@@ -1,0 +1,44 @@
+//! Criterion wrappers: one benchmark per table/figure, on representative
+//! points sized for CI budgets. Use the `src/bin/` binaries for the full
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use issr_bench::figures;
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4a_spvv_utilization");
+    g.sample_size(10);
+    g.bench_function("nnz256", |b| b.iter(|| figures::fig4a(&[256])));
+    g.finish();
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4b_csrmv_speedup");
+    g.sample_size(10);
+    g.bench_function("row_nnz32", |b| b.iter(|| figures::fig4b(&[32])));
+    g.finish();
+}
+
+fn bench_fig4c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4c_cluster_speedup");
+    g.sample_size(10);
+    g.bench_function("row_nnz16", |b| b.iter(|| figures::fig4c(&[16])));
+    g.finish();
+}
+
+fn bench_fig4d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4d_cluster_energy");
+    g.sample_size(10);
+    g.bench_function("small_suite", |b| b.iter(|| figures::fig4d(10_000)));
+    g.finish();
+}
+
+fn bench_csrmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csrmm_spot_check");
+    g.sample_size(10);
+    g.bench_function("ragusa18x2", |b| b.iter(|| figures::csrmm_check("ragusa18", 2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4a, bench_fig4b, bench_fig4c, bench_fig4d, bench_csrmm);
+criterion_main!(benches);

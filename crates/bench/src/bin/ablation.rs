@@ -1,0 +1,51 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//! worker-count scaling of the cluster CsrMV and the contribution of
+//! the instruction-cache model.
+
+use issr_bench::report::markdown_table;
+use issr_cluster::cluster::ClusterParams;
+use issr_kernels::cluster_csrmv::run_cluster_csrmv_with;
+use issr_kernels::variant::Variant;
+use issr_sparse::gen;
+
+fn main() {
+    let mut rng = gen::rng(0xAB1A);
+    let m = gen::csr_clustered::<u16>(&mut rng, 512, 2048, 64, 256);
+    let x = gen::dense_vector(&mut rng, 2048);
+
+    // Worker scaling: does the ISSR cluster scale with cores?
+    let mut rows = Vec::new();
+    let mut one_worker = None;
+    for n in [1usize, 2, 4, 8] {
+        let params = ClusterParams { n_workers: n, ..ClusterParams::default() };
+        let run = run_cluster_csrmv_with(Variant::Issr, &m, &x, params).expect("run");
+        let cycles = run.summary.cycles;
+        let base = *one_worker.get_or_insert(cycles) as f64;
+        rows.push(vec![
+            n.to_string(),
+            cycles.to_string(),
+            format!("{:.2}", base / cycles as f64),
+            format!("{:.3}", run.summary.cluster_utilization()),
+            run.summary.tcdm_stats.conflicts.to_string(),
+        ]);
+    }
+    println!("Ablation 1 — ISSR cluster CsrMV worker scaling (512x2048, 64 nnz/row)\n");
+    println!(
+        "{}",
+        markdown_table(&["workers", "cycles", "scaling", "cluster util", "conflicts"], &rows)
+    );
+
+    // Instruction-cache contribution: ideal fetch vs L0+L1 model.
+    let mut rows = Vec::new();
+    for icache in [false, true] {
+        let params = ClusterParams { icache, ..ClusterParams::default() };
+        let run = run_cluster_csrmv_with(Variant::Issr, &m, &x, params).expect("run");
+        rows.push(vec![
+            if icache { "L0 + shared L1" } else { "ideal fetch" }.to_owned(),
+            run.summary.cycles.to_string(),
+            format!("{:.3}", run.summary.cluster_utilization()),
+        ]);
+    }
+    println!("\nAblation 2 — instruction-cache model (\"some instruction cache stalls\", §IV-B)\n");
+    println!("{}", markdown_table(&["fetch model", "cycles", "cluster util"], &rows));
+}

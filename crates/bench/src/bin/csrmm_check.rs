@@ -1,0 +1,13 @@
+//! Regenerates the §IV-A CsrMM spot check (Ragusa18 edge case).
+
+use issr_bench::figures::csrmm_check;
+
+fn main() {
+    for (name, cols) in [("ragusa18", 2), ("ragusa18", 8), ("g11", 4)] {
+        let row = csrmm_check(name, cols);
+        println!(
+            "{} x {} dense cols: CsrMV util {:.4}, CsrMM util {:.4}, delta {:.4} (paper: ~0.0012 for ragusa18 x 2)",
+            row.name, row.b_cols, row.mv_util, row.mm_util, row.delta
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Fig. 4a: single-CC SpVV FPU utilization vs nnz.
+
+use issr_bench::figures::{default_nnz_sweep, fig4a};
+use issr_bench::report::markdown_table;
+
+fn main() {
+    let rows = fig4a(&default_nnz_sweep());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.nnz.to_string(),
+                format!("{:.3}", r.base),
+                format!("{:.3}", r.ssr),
+                format!("{:.3}", r.issr32),
+                format!("{:.3}", r.issr32_m),
+                format!("{:.3}", r.issr16),
+                format!("{:.3}", r.issr16_m),
+            ]
+        })
+        .collect();
+    println!("Fig. 4a — CC SpVV FPU utilization (paper limits: BASE 1/9, SSR 1/7, ISSR-32 0.67, ISSR-16 0.80)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["nnz", "BASE", "SSR", "ISSR-32", "ISSR-32m", "ISSR-16", "ISSR-16m"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 4b: single-CC CsrMV speedup over BASE vs nnz/row.
+
+use issr_bench::figures::fig4b;
+use issr_bench::report::markdown_table;
+
+fn main() {
+    let points = [1, 2, 4, 8, 16, 24, 32, 64, 128, 256];
+    let rows = fig4b(&points);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.row_nnz.to_string(),
+                format!("{:.2}", r.ssr),
+                format!("{:.2}", r.issr32),
+                format!("{:.2}", r.issr16),
+            ]
+        })
+        .collect();
+    println!("Fig. 4b — CC CsrMV speedup over BASE (paper limits: ISSR-16 7.2x, ISSR-32 6.0x; crossover ~nnz 20)\n");
+    println!("{}", markdown_table(&["nnz/row", "SSR", "ISSR-32", "ISSR-16"], &table));
+}

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 4c: cluster CsrMV speedup (ISSR-16 over BASE).
+
+use issr_bench::figures::fig4c;
+use issr_bench::report::markdown_table;
+use issr_compare::base_core_equivalent;
+
+fn main() {
+    let points = [1, 2, 4, 8, 16, 32, 64, 128];
+    let rows = fig4c(&points);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.row_nnz.to_string(),
+                r.base_cycles.to_string(),
+                r.issr_cycles.to_string(),
+                format!("{:.2}", r.speedup),
+                format!("{:.3}", r.peak_util),
+                format!("{:.3}", r.cluster_util),
+            ]
+        })
+        .collect();
+    println!("Fig. 4c — cluster CsrMV, ISSR-16 vs BASE (paper: 1.9x at nnz/row=1 up to 5.8x; peak worker util ~0.71)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["nnz/row", "BASE cyc", "ISSR cyc", "speedup", "peak util", "cluster util"],
+            &table
+        )
+    );
+    let peak = rows.iter().map(|r| r.speedup).fold(0.0_f64, f64::max);
+    println!(
+        "\nPeak speedup {:.2}x -> one ISSR cluster matches ~{:.0} BASE cores (paper: 46).",
+        peak,
+        base_core_equivalent(8.0, peak)
+    );
+}

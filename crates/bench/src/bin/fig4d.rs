@@ -1,0 +1,34 @@
+//! Regenerates Fig. 4d: cluster CsrMV energy per suite matrix.
+
+use issr_bench::figures::fig4d;
+use issr_bench::report::markdown_table;
+
+fn main() {
+    let cap: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+    let rows = fig4d(cap);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.nnz.to_string(),
+                format!("{:.0}", r.base_mw),
+                format!("{:.0}", r.issr_mw),
+                format!("{:.0}", r.base_pj),
+                format!("{:.0}", r.issr_pj),
+                format!("{:.2}", r.gain),
+            ]
+        })
+        .collect();
+    println!("Fig. 4d — cluster CsrMV power/energy (paper anchors: BASE ~89 mW, ISSR ~194 mW; 142 -> 53 pJ/fmadd, up to 2.7x)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["matrix", "nnz", "BASE mW", "ISSR mW", "BASE pJ/fmadd", "ISSR pJ/fmadd", "gain"],
+            &table
+        )
+    );
+}

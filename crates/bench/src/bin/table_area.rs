@@ -1,0 +1,41 @@
+//! Regenerates the area/timing numbers of §IV-C and Fig. 2.
+
+use issr_bench::report::markdown_table;
+use issr_model::area::{ClusterArea, StreamerArea, ISSR_DELTA_KGE};
+use issr_model::timing::CriticalPath;
+
+fn main() {
+    let streamer = StreamerArea::paper_config();
+    let rows: Vec<Vec<String>> = streamer
+        .blocks
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.to_owned(),
+                format!("{:.1}", b.kge),
+                format!("{:.0}%", 100.0 * b.kge / streamer.total_kge()),
+            ]
+        })
+        .collect();
+    println!("Fig. 2 / §IV-C — streamer area breakdown\n");
+    println!("{}", markdown_table(&["block", "kGE", "of streamer"], &rows));
+    println!(
+        "ISSR delta over SSR: {:.1} kGE ({:.0}%)",
+        ISSR_DELTA_KGE,
+        100.0 * streamer.issr_over_ssr()
+    );
+    let cluster = ClusterArea::paper_config();
+    println!(
+        "Cluster overhead of 8 ISSRs: {:.1} kGE = {:.2}% (paper: 0.8%)",
+        cluster.issr_upgrade_kge(),
+        100.0 * cluster.issr_overhead()
+    );
+    let t = CriticalPath::paper_results();
+    println!(
+        "Critical path: SSR {:.0} ps -> ISSR {:.0} ps; meets 1 GHz: {} (slack {:.0} ps)",
+        t.ssr_ps,
+        t.issr_ps,
+        t.meets_clock(),
+        t.slack_ps()
+    );
+}

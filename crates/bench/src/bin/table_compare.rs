@@ -1,0 +1,37 @@
+//! Regenerates the §V related-work comparison using a measured cluster
+//! utilization.
+
+use issr_bench::figures::fig4c;
+use issr_bench::report::markdown_table;
+use issr_compare::{compare, related_systems};
+
+fn main() {
+    // Measure the cluster at a dense operating point.
+    let rows = fig4c(&[128]);
+    let measured = rows[0].cluster_util;
+    let systems = related_systems();
+    let table: Vec<Vec<String>> = systems
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_owned(),
+                s.precision.to_owned(),
+                s.occupancy.map_or("-".into(), |o| format!("{:.0}%", o * 100.0)),
+                format!("{:.2}%", s.fp_utilization * 100.0),
+                s.source.to_owned(),
+            ]
+        })
+        .collect();
+    println!("§V — peak FP utilization in CSR SpMV\n");
+    println!(
+        "{}",
+        markdown_table(&["system", "precision", "occupancy", "FP util", "source"], &table)
+    );
+    let c = compare(measured);
+    println!(
+        "\nSnitch cluster + ISSR (measured here): {:.1}% FP64 utilization -> {:.1}x over the GTX 1080 Ti FP64 (paper: 2.8x), {:.0}x over Xeon Phi CVR (paper: 70x).",
+        c.cluster_utilization * 100.0,
+        c.vs_gpu_fp64,
+        c.vs_cpu
+    );
+}

@@ -1,0 +1,272 @@
+//! The per-figure experiment runners.
+
+use issr_kernels::cluster_csrmv::run_cluster_csrmv;
+use issr_kernels::csrmm::run_csrmm;
+use issr_kernels::csrmv::run_csrmv;
+use issr_kernels::spvv::run_spvv;
+use issr_kernels::variant::Variant;
+use issr_model::power::PowerModel;
+use issr_sparse::dense::DenseMatrix;
+use issr_sparse::{gen, suite};
+
+/// One series point of Fig. 4a: SpVV FPU utilization against nnz.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4aRow {
+    /// Sparse vector nonzeros.
+    pub nnz: usize,
+    /// BASE utilization (identical for 16/32-bit indices).
+    pub base: f64,
+    /// SSR utilization.
+    pub ssr: f64,
+    /// ISSR, 32-bit indices, excluding the reduction.
+    pub issr32: f64,
+    /// ISSR, 32-bit, including the reduction (`m` suffix).
+    pub issr32_m: f64,
+    /// ISSR, 16-bit indices, excluding the reduction.
+    pub issr16: f64,
+    /// ISSR, 16-bit, including the reduction.
+    pub issr16_m: f64,
+}
+
+/// Fig. 4a: single-CC SpVV FPU utilization sweep.
+#[must_use]
+pub fn fig4a(points: &[usize]) -> Vec<Fig4aRow> {
+    let dim = 2048;
+    points
+        .iter()
+        .map(|&nnz| {
+            let mut rng = gen::rng(0xF16_4A + nnz as u64);
+            let a32 = gen::sparse_vector::<u32>(&mut rng, dim, nnz);
+            let a16 = a32.with_index_width::<u16>();
+            let b = gen::dense_vector(&mut rng, dim);
+            let base = run_spvv(Variant::Base, &a32, &b).expect("base run");
+            let ssr = run_spvv(Variant::Ssr, &a32, &b).expect("ssr run");
+            let i32r = run_spvv(Variant::Issr, &a32, &b).expect("issr32 run");
+            let i16r = run_spvv(Variant::Issr, &a16, &b).expect("issr16 run");
+            Fig4aRow {
+                nnz,
+                base: base.summary.metrics.fpu_utilization(),
+                ssr: ssr.summary.metrics.fpu_utilization(),
+                issr32: i32r.summary.metrics.fpu_utilization(),
+                issr32_m: i32r.summary.metrics.fpu_utilization_with_reduction(),
+                issr16: i16r.summary.metrics.fpu_utilization(),
+                issr16_m: i16r.summary.metrics.fpu_utilization_with_reduction(),
+            }
+        })
+        .collect()
+}
+
+/// One series point of Fig. 4b: single-CC CsrMV speedup over BASE.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4bRow {
+    /// Average nonzeros per row.
+    pub row_nnz: usize,
+    /// SSR speedup over BASE.
+    pub ssr: f64,
+    /// ISSR 32-bit speedup.
+    pub issr32: f64,
+    /// ISSR 16-bit speedup.
+    pub issr16: f64,
+}
+
+/// Fig. 4b: single-CC CsrMV speedup sweep over nnz/row.
+#[must_use]
+pub fn fig4b(points: &[usize]) -> Vec<Fig4bRow> {
+    let (nrows, ncols) = (64, 2048);
+    points
+        .iter()
+        .map(|&row_nnz| {
+            let mut rng = gen::rng(0xF16_4B + row_nnz as u64);
+            let m32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, nrows, ncols, row_nnz);
+            let m16 = m32.with_index_width::<u16>();
+            let x = gen::dense_vector(&mut rng, ncols);
+            let cycles = |v, wide: bool| -> u64 {
+                if wide {
+                    run_csrmv(v, &m32, &x).expect("run").summary.metrics.roi.cycles
+                } else {
+                    run_csrmv(v, &m16, &x).expect("run").summary.metrics.roi.cycles
+                }
+            };
+            let base = cycles(Variant::Base, true) as f64;
+            Fig4bRow {
+                row_nnz,
+                ssr: base / cycles(Variant::Ssr, true) as f64,
+                issr32: base / cycles(Variant::Issr, true) as f64,
+                issr16: base / cycles(Variant::Issr, false) as f64,
+            }
+        })
+        .collect()
+}
+
+/// One series point of Fig. 4c: cluster CsrMV speedup (ISSR-16 / BASE).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4cRow {
+    /// Average nonzeros per row.
+    pub row_nnz: usize,
+    /// BASE cluster cycles.
+    pub base_cycles: u64,
+    /// ISSR-16 cluster cycles.
+    pub issr_cycles: u64,
+    /// Speedup.
+    pub speedup: f64,
+    /// Peak per-worker FPU utilization (paper: 0.8 → ≈0.71).
+    pub peak_util: f64,
+    /// Cluster-aggregate utilization (for §V).
+    pub cluster_util: f64,
+}
+
+/// Fig. 4c: cluster CsrMV sweep over nnz/row.
+#[must_use]
+pub fn fig4c(points: &[usize]) -> Vec<Fig4cRow> {
+    let (nrows, ncols) = (512, 2048);
+    points
+        .iter()
+        .map(|&row_nnz| {
+            let mut rng = gen::rng(0xF16_4C + row_nnz as u64);
+            let m = gen::csr_clustered::<u16>(
+                &mut rng,
+                nrows,
+                ncols,
+                row_nnz,
+                (row_nnz * 4).clamp(16, ncols),
+            );
+            let x = gen::dense_vector(&mut rng, ncols);
+            let base = run_cluster_csrmv(Variant::Base, &m, &x).expect("base run");
+            let issr = run_cluster_csrmv(Variant::Issr, &m, &x).expect("issr run");
+            Fig4cRow {
+                row_nnz,
+                base_cycles: base.summary.cycles,
+                issr_cycles: issr.summary.cycles,
+                speedup: base.summary.cycles as f64 / issr.summary.cycles as f64,
+                peak_util: issr.summary.peak_worker_utilization(),
+                cluster_util: issr.summary.cluster_utilization(),
+            }
+        })
+        .collect()
+}
+
+/// One row of Fig. 4d: per-matrix cluster CsrMV energy.
+#[derive(Clone, Debug)]
+pub struct Fig4dRow {
+    /// Suite matrix name.
+    pub name: String,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// BASE average power (mW) — paper anchor ≈ 89 mW.
+    pub base_mw: f64,
+    /// ISSR average power (mW) — paper anchor ≈ 194 mW.
+    pub issr_mw: f64,
+    /// BASE energy per fmadd (pJ).
+    pub base_pj: f64,
+    /// ISSR energy per fmadd (pJ).
+    pub issr_pj: f64,
+    /// Efficiency gain (paper: up to 2.7×).
+    pub gain: f64,
+}
+
+/// Fig. 4d: cluster CsrMV energy over the matrix suite.
+///
+/// `max_nnz` caps the matrices simulated (the full suite's largest
+/// entries take minutes; binaries pass a generous cap, Criterion a
+/// small one).
+#[must_use]
+pub fn fig4d(max_nnz: usize) -> Vec<Fig4dRow> {
+    let model = PowerModel::default();
+    suite::suite()
+        .into_iter()
+        .filter(|e| e.nnz <= max_nnz)
+        .map(|entry| {
+            let m = entry.build::<u16>();
+            let mut rng = gen::rng(0xF16_4D);
+            let x = gen::dense_vector(&mut rng, m.ncols());
+            let base = run_cluster_csrmv(Variant::Base, &m, &x).expect("base run");
+            let issr = run_cluster_csrmv(Variant::Issr, &m, &x).expect("issr run");
+            let eb = model.evaluate(&base.summary);
+            let ei = model.evaluate(&issr.summary);
+            Fig4dRow {
+                name: entry.name.to_owned(),
+                nnz: entry.nnz,
+                base_mw: eb.avg_power_mw,
+                issr_mw: ei.avg_power_mw,
+                base_pj: eb.pj_per_fmadd,
+                issr_pj: ei.pj_per_fmadd,
+                gain: eb.pj_per_fmadd / ei.pj_per_fmadd,
+            }
+        })
+        .collect()
+}
+
+/// §IV-A CsrMM spot check: utilization delta between CsrMM and CsrMV.
+#[derive(Clone, Debug)]
+pub struct CsrmmCheckRow {
+    /// Matrix name.
+    pub name: String,
+    /// Dense columns.
+    pub b_cols: usize,
+    /// CsrMV ISSR utilization.
+    pub mv_util: f64,
+    /// CsrMM ISSR utilization.
+    pub mm_util: f64,
+    /// Absolute delta (paper: 0.12 % for Ragusa18 × 2 columns).
+    pub delta: f64,
+}
+
+/// Runs the CsrMM ≈ CsrMV comparison on a suite entry.
+#[must_use]
+pub fn csrmm_check(name: &str, b_cols: usize) -> CsrmmCheckRow {
+    let entry = suite::by_name(name).expect("suite entry");
+    let m = entry.build::<u16>();
+    let mut rng = gen::rng(0xC5);
+    let mut b = DenseMatrix::with_pow2_stride(m.ncols(), b_cols);
+    for r in 0..m.ncols() {
+        for c in 0..b_cols {
+            b.set(r, c, gen::dense_vector(&mut rng, 1)[0]);
+        }
+    }
+    let x = b.col(0);
+    let mv = run_csrmv(Variant::Issr, &m, &x).expect("csrmv run");
+    let mm = run_csrmm(Variant::Issr, &m, &b).expect("csrmm run");
+    let mv_util = mv.summary.metrics.fpu_utilization();
+    let mm_util = mm.summary.metrics.fpu_utilization();
+    CsrmmCheckRow {
+        name: name.to_owned(),
+        b_cols,
+        mv_util,
+        mm_util,
+        delta: (mv_util - mm_util).abs(),
+    }
+}
+
+/// Default sweep points for the figures (log-spaced like the paper).
+#[must_use]
+pub fn default_nnz_sweep() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_limits_on_a_coarse_sweep() {
+        let rows = fig4a(&[256]);
+        let r = rows[0];
+        assert!((r.base - 1.0 / 9.0).abs() < 0.02);
+        assert!((r.ssr - 1.0 / 7.0).abs() < 0.02);
+        assert!(r.issr16 > r.issr32, "16-bit wins at high nnz");
+        assert!(r.issr16_m >= r.issr16);
+    }
+
+    #[test]
+    fn fig4b_ordering() {
+        let rows = fig4b(&[64]);
+        let r = rows[0];
+        assert!(r.issr16 > r.issr32 && r.issr32 > r.ssr && r.ssr > 1.0);
+    }
+
+    #[test]
+    fn csrmm_check_small_delta() {
+        let row = csrmm_check("ragusa18", 2);
+        assert!(row.delta < 0.02, "delta {}", row.delta);
+    }
+}

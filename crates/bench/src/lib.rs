@@ -1,0 +1,13 @@
+//! # issr-bench
+//!
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation (§IV–§V). Each figure has a runner returning plain rows
+//! and a binary (`src/bin/`) that prints them as a markdown table;
+//! `benches/figures.rs` wraps representative points in Criterion.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod report;
+
+pub use figures::*;

@@ -1,0 +1,33 @@
+//! Markdown table rendering for the figure binaries.
+
+/// Renders a markdown table from a header and rows of cells.
+#[must_use]
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

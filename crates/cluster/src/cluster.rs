@@ -1,0 +1,401 @@
+//! The cluster model and its run harness.
+
+use issr_mem::dma::{Dma, DmaStats};
+use issr_mem::icache::{ICacheParams, L0Buffer, L1ICache};
+use issr_mem::main_mem::MainMemory;
+use issr_mem::map::{region_of, Region, MAIN_BASE, MAIN_SIZE, TCDM_BANKS, TCDM_BASE, TCDM_SIZE};
+use issr_mem::port::MemPort;
+use issr_mem::tcdm::{Tcdm, TcdmStats};
+use issr_core::lane::LaneStats;
+use issr_isa::asm::Program;
+use issr_snitch::cc::{CoreComplex, SimTimeout};
+use issr_snitch::metrics::Metrics;
+use issr_snitch::params::CcParams;
+
+/// Cluster configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterParams {
+    /// Worker core complexes (the paper's cluster has 8 in two hives).
+    pub n_workers: usize,
+    /// Per-core microarchitecture.
+    pub cc: CcParams,
+    /// Model instruction caches (L0 + per-hive shared L1); when false,
+    /// instruction fetch is ideal.
+    pub icache: bool,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        Self { n_workers: 8, cc: CcParams::default(), icache: true }
+    }
+}
+
+/// Result of a completed cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterSummary {
+    /// Total cycles until the whole cluster went quiescent.
+    pub cycles: u64,
+    /// Per-worker metrics (ROI counters included).
+    pub worker_metrics: Vec<Metrics>,
+    /// DMCC metrics.
+    pub dmcc_metrics: Metrics,
+    /// Per-worker streamer lane statistics.
+    pub lane_stats: Vec<Vec<LaneStats>>,
+    /// TCDM statistics (grants, conflicts).
+    pub tcdm_stats: TcdmStats,
+    /// DMA statistics.
+    pub dma_stats: DmaStats,
+}
+
+impl ClusterSummary {
+    /// Total multiply-accumulates retired by the workers (in their ROIs).
+    #[must_use]
+    pub fn total_fmadds(&self) -> u64 {
+        self.worker_metrics.iter().map(|m| m.roi.fmadds).sum()
+    }
+
+    /// Cluster-aggregate FPU utilization: retired MACs over
+    /// `cycles × workers` — the figure compared against CPUs/GPUs in §V.
+    #[must_use]
+    pub fn cluster_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.worker_metrics.is_empty() {
+            return 0.0;
+        }
+        self.total_fmadds() as f64 / (self.cycles as f64 * self.worker_metrics.len() as f64)
+    }
+
+    /// Peak per-worker FPU utilization within worker ROIs.
+    #[must_use]
+    pub fn peak_worker_utilization(&self) -> f64 {
+        self.worker_metrics
+            .iter()
+            .map(Metrics::fpu_utilization)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The eight-worker Snitch cluster plus DMCC.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Worker core complexes (harts `0..n_workers`).
+    pub workers: Vec<CoreComplex>,
+    /// The data-mover core (hart `n_workers`), no FPU work, drives the DMA.
+    pub dmcc: CoreComplex,
+    /// Banked scratchpad.
+    pub tcdm: Tcdm,
+    /// Main memory behind the crossbar.
+    pub main: MainMemory,
+    /// The 512-bit DMA engine.
+    pub dma: Dma,
+    ports: Vec<Vec<MemPort>>,
+    l1: Vec<L1ICache>,
+    dma_claimed: Vec<bool>,
+    now: u64,
+}
+
+impl Cluster {
+    /// Builds the cluster; every core runs `program` and dispatches on
+    /// `mhartid` (workers `0..n_workers`, DMCC = `n_workers`).
+    #[must_use]
+    pub fn new(program: Program, params: ClusterParams) -> Self {
+        let icache_params = ICacheParams::default();
+        let mut workers = Vec::with_capacity(params.n_workers);
+        for hart in 0..params.n_workers {
+            let mut cc = CoreComplex::new(hart as u32, program.clone(), params.cc);
+            if params.icache {
+                cc.set_l0(L0Buffer::new(icache_params));
+            }
+            workers.push(cc);
+        }
+        // The DMCC has no FPU subsystem worth modelling and a single
+        // (SSR-less would be ideal; one plain lane keeps the port math
+        // uniform) memory port.
+        let dmcc = CoreComplex::with_streamer(
+            params.n_workers as u32,
+            program,
+            params.cc,
+            issr_core::streamer::Streamer::new(&[issr_core::lane::LaneKind::Ssr]),
+        );
+        let mut ports = Vec::new();
+        for cc in &workers {
+            ports.push((0..cc.n_ports()).map(|_| MemPort::new()).collect::<Vec<_>>());
+        }
+        ports.push((0..dmcc.n_ports()).map(|_| MemPort::new()).collect());
+        // Two hives of four workers share an L1 each; the DMCC fetches
+        // ideally (control code only).
+        let n_hives = params.n_workers.div_ceil(4).max(1);
+        let l1 = (0..n_hives).map(|_| L1ICache::new(icache_params)).collect();
+        Self {
+            workers,
+            dmcc,
+            tcdm: Tcdm::banked(TCDM_BASE, TCDM_SIZE, TCDM_BANKS),
+            main: MainMemory::new(MAIN_BASE, MAIN_SIZE),
+            dma: Dma::new(TCDM_BASE, TCDM_SIZE),
+            ports,
+            l1,
+            dma_claimed: vec![false; TCDM_BANKS],
+            now: 0,
+        }
+    }
+
+    /// Whether every core halted and all queues drained.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.workers.iter().all(CoreComplex::quiescent)
+            && self.dmcc.quiescent()
+            && !self.dma.busy()
+    }
+
+    fn release_barrier_if_all_arrived(&mut self) {
+        let all = self.workers.iter().all(|cc| cc.core.at_barrier())
+            && self.dmcc.core.at_barrier();
+        if all {
+            for cc in &mut self.workers {
+                cc.core.release_barrier();
+            }
+            self.dmcc.core.release_barrier();
+        }
+    }
+
+    /// Advances the whole cluster one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        self.release_barrier_if_all_arrived();
+        // 1. Cores.
+        let n_workers = self.workers.len();
+        for (i, cc) in self.workers.iter_mut().enumerate() {
+            let hive = i / 4;
+            let mut refs: Vec<&mut MemPort> = self.ports[i].iter_mut().collect();
+            cc.tick(now, &mut refs, None, Some(&mut self.l1[hive.min(1)]));
+        }
+        {
+            let mut refs: Vec<&mut MemPort> = self.ports[n_workers].iter_mut().collect();
+            self.dmcc.tick(now, &mut refs, Some(&mut self.dma), None);
+        }
+        // 2. DMA moves a beat and claims its banks, yielding contested
+        // banks to core ports every other cycle (fair interconnect).
+        self.dma_claimed.fill(false);
+        let mut contested = vec![false; issr_mem::map::TCDM_BANKS];
+        for port in self.ports.iter().flatten() {
+            if let Some(req) = port.pending() {
+                if region_of(req.addr) == Region::Tcdm {
+                    contested[self.tcdm.bank_of(req.addr)] = true;
+                }
+            }
+        }
+        let yield_to_cores = now % 2 == 0;
+        self.dma.tick(
+            self.tcdm.array_mut(),
+            &mut self.main,
+            &mut self.dma_claimed,
+            &contested,
+            yield_to_cores,
+        );
+        // 3. Route ports to their memories by pending-request region.
+        let mut tcdm_ports: Vec<&mut MemPort> = Vec::new();
+        let mut main_ports: Vec<&mut MemPort> = Vec::new();
+        for port in self.ports.iter_mut().flatten() {
+            match port.pending().map(|r| region_of(r.addr)) {
+                Some(Region::Tcdm) | None => tcdm_ports.push(port),
+                Some(Region::Main) => main_ports.push(port),
+                Some(other) => panic!("cluster request to unsupported region {other:?}"),
+            }
+        }
+        self.tcdm.tick(now, &mut tcdm_ports, &self.dma_claimed);
+        self.main.tick(now, &mut main_ports);
+        self.now += 1;
+    }
+
+    /// Runs to quiescence.
+    ///
+    /// # Errors
+    /// Returns [`SimTimeout`] if the cluster does not finish in
+    /// `max_cycles` (deadlock or bug).
+    pub fn run(&mut self, max_cycles: u64) -> Result<ClusterSummary, SimTimeout> {
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            self.tick();
+            if self.quiescent() {
+                return Ok(self.summary());
+            }
+        }
+        Err(SimTimeout { max_cycles, pc: self.workers[0].core.pc() })
+    }
+
+    /// Snapshot of the run statistics.
+    #[must_use]
+    pub fn summary(&self) -> ClusterSummary {
+        ClusterSummary {
+            cycles: self.now,
+            worker_metrics: self.workers.iter().map(|cc| cc.metrics).collect(),
+            dmcc_metrics: self.dmcc.metrics,
+            lane_stats: self.workers.iter().map(|cc| cc.streamer.stats()).collect(),
+            tcdm_stats: self.tcdm.stats(),
+            dma_stats: self.dma.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_isa::asm::Assembler;
+    use issr_isa::reg::IntReg as R;
+    use issr_isa::Csr;
+
+    /// Every core writes its hartid² to a TCDM slot.
+    #[test]
+    fn harts_execute_independently() {
+        let mut a = Assembler::new();
+        a.csrr(R::T0, Csr::MHartId);
+        a.mul(R::T1, R::T0, R::T0);
+        a.slli(R::T2, R::T0, 3);
+        a.li_addr(R::T3, TCDM_BASE);
+        a.add(R::T2, R::T2, R::T3);
+        a.sw(R::T1, R::T2, 0);
+        a.halt();
+        let mut cluster = Cluster::new(a.finish().unwrap(), ClusterParams::default());
+        let summary = cluster.run(10_000).unwrap();
+        for hart in 0..9u32 {
+            assert_eq!(
+                cluster.tcdm.array().load_u32(TCDM_BASE + hart * 8),
+                hart * hart,
+                "hart {hart}"
+            );
+        }
+        assert!(summary.cycles < 200);
+    }
+
+    /// The hardware barrier holds early cores until the slowest arrives.
+    #[test]
+    fn barrier_synchronizes_all_cores() {
+        let mut a = Assembler::new();
+        a.csrr(R::T0, Csr::MHartId);
+        // Stagger arrival: hart h burns 20·h cycles first.
+        a.li(R::T1, 20);
+        a.mul(R::T1, R::T1, R::T0);
+        let spin = a.bind_label();
+        a.addi(R::T1, R::T1, -1);
+        a.bgtz(R::T1, spin);
+        a.csrr(R::ZERO, Csr::Barrier);
+        // After the barrier, every core stamps the cycle counter.
+        a.csrr(R::T2, Csr::MCycle);
+        a.slli(R::T3, R::T0, 3);
+        a.li_addr(R::T4, TCDM_BASE + 0x100);
+        a.add(R::T3, R::T3, R::T4);
+        a.sw(R::T2, R::T3, 0);
+        a.halt();
+        let mut cluster = Cluster::new(a.finish().unwrap(), ClusterParams::default());
+        cluster.run(10_000).unwrap();
+        let stamps: Vec<u32> = (0..9)
+            .map(|h| cluster.tcdm.array().load_u32(TCDM_BASE + 0x100 + h * 8))
+            .collect();
+        let min = *stamps.iter().min().unwrap();
+        let max = *stamps.iter().max().unwrap();
+        // All cores resumed within a couple of cycles of each other,
+        // despite arrival skew of ~160 cycles.
+        assert!(max - min <= 4, "stamps {stamps:?}");
+    }
+
+    /// DMCC copies data in via DMA; a worker consumes it after a flag.
+    #[test]
+    fn dma_flag_handshake() {
+        let n = 64u32;
+        let src = MAIN_BASE;
+        let dst = TCDM_BASE + 0x1000;
+        let flag = TCDM_BASE + 0x8;
+        let out = TCDM_BASE + 0x10;
+        let mut a = Assembler::new();
+        a.csrr(R::T0, Csr::MHartId);
+        let worker = a.new_label();
+        a.li(R::T1, 8);
+        a.bne(R::T0, R::T1, worker);
+        // DMCC: copy n words, poll completion, raise the flag.
+        a.li_addr(R::A0, src);
+        a.li_addr(R::A1, dst);
+        a.dmsrc(R::A0, R::ZERO);
+        a.dmdst(R::A1, R::ZERO);
+        a.li(R::A2, i64::from(n) * 8);
+        a.dmcpyi(R::A3, R::A2, 0);
+        let poll = a.bind_label();
+        a.dmstati(R::T2, 0);
+        a.beqz(R::T2, poll);
+        a.li(R::T3, 1);
+        a.li_addr(R::T4, flag);
+        a.sw(R::T3, R::T4, 0);
+        a.halt();
+        // Workers: hart 0 sums the data after the flag; others halt.
+        a.bind(worker);
+        let hart0 = a.new_label();
+        a.beqz(R::T0, hart0);
+        a.halt();
+        a.bind(hart0);
+        a.li_addr(R::T4, flag);
+        let spin = a.bind_label();
+        a.lw(R::T2, R::T4, 0);
+        a.beqz(R::T2, spin);
+        a.li_addr(R::A0, dst);
+        a.li(R::T5, i64::from(n));
+        a.li(R::T6, 0);
+        let head = a.bind_label();
+        a.lw(R::T2, R::A0, 0);
+        a.addi(R::A0, R::A0, 8);
+        a.add(R::T6, R::T6, R::T2);
+        a.addi(R::T5, R::T5, -1);
+        a.bnez(R::T5, head);
+        a.li_addr(R::T4, out);
+        a.sw(R::T6, R::T4, 0);
+        a.halt();
+
+        let mut cluster = Cluster::new(a.finish().unwrap(), ClusterParams::default());
+        for i in 0..n {
+            cluster.main.array_mut().store_u64(src + i * 8, u64::from(i));
+        }
+        cluster.run(50_000).unwrap();
+        let expect: u32 = (0..n).sum();
+        assert_eq!(cluster.tcdm.array().load_u32(out), expect);
+        assert_eq!(cluster.summary().dma_stats.words_in, u64::from(n));
+    }
+
+    #[test]
+    fn bank_conflicts_are_observed_under_contention() {
+        // All workers hammer the same bank (same address).
+        let mut a = Assembler::new();
+        a.csrr(R::T0, Csr::MHartId);
+        let end = a.new_label();
+        a.li(R::T1, 8);
+        a.beq(R::T0, R::T1, end); // DMCC idles
+        a.li_addr(R::A0, TCDM_BASE + 0x2000);
+        a.li(R::T2, 64);
+        let head = a.bind_label();
+        a.lw(R::T3, R::A0, 0);
+        a.addi(R::T2, R::T2, -1);
+        a.bnez(R::T2, head);
+        a.bind(end);
+        a.halt();
+        let mut cluster = Cluster::new(a.finish().unwrap(), ClusterParams::default());
+        cluster.run(50_000).unwrap();
+        assert!(
+            cluster.summary().tcdm_stats.conflicts > 100,
+            "expected conflicts, got {:?}",
+            cluster.summary().tcdm_stats
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let build = || {
+            let mut a = Assembler::new();
+            a.csrr(R::T0, Csr::MHartId);
+            a.li(R::T1, 50);
+            let head = a.bind_label();
+            a.addi(R::T1, R::T1, -1);
+            a.bnez(R::T1, head);
+            a.halt();
+            a.finish().unwrap()
+        };
+        let c1 = Cluster::new(build(), ClusterParams::default()).run(10_000).unwrap().cycles;
+        let c2 = Cluster::new(build(), ClusterParams::default()).run(10_000).unwrap().cycles;
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,192 @@
+//! The four-deep nested affine address iterator.
+//!
+//! Unchanged from the SSR (§II-A): four nested loops, each with a bound
+//! and a byte stride. At each emitted datum the stride of the loop that
+//! increments at that step is added onto a single shared pointer — the
+//! hardware performs exactly one addition per element, so the per-level
+//! strides are *relative* (the delta from the previous address), not
+//! nested offsets. [`AffineIterator::from_nested`] converts conventional
+//! nested strides into this form.
+//!
+//! In indirection mode the same iterator is fixed to one dimension with
+//! an 8-byte stride and walks the index array instead (see
+//! [`crate::lane`]).
+
+/// Maximum nesting depth (as in the paper's configuration).
+pub const MAX_DIMS: usize = 4;
+
+/// One affine loop nest walking addresses with a single shared pointer.
+#[derive(Clone, Debug)]
+pub struct AffineIterator {
+    bounds: [u32; MAX_DIMS],
+    strides: [i64; MAX_DIMS],
+    dims: usize,
+    index: [u32; MAX_DIMS],
+    pointer: u32,
+    done: bool,
+}
+
+impl AffineIterator {
+    /// Creates an iterator over `dims` nested loops with **relative**
+    /// (hardware) strides.
+    ///
+    /// `bounds[d]` is the iteration count of loop `d` **minus one**
+    /// (matching the SSR's configuration registers); loop 0 is innermost.
+    /// `strides[d]` is the byte delta added when loop `d` increments.
+    ///
+    /// # Panics
+    /// Panics if `dims` is zero or exceeds [`MAX_DIMS`].
+    #[must_use]
+    pub fn new(base: u32, dims: usize, bounds: [u32; MAX_DIMS], strides: [i64; MAX_DIMS]) -> Self {
+        assert!((1..=MAX_DIMS).contains(&dims), "dims {dims} out of range");
+        Self { bounds, strides, dims, index: [0; MAX_DIMS], pointer: base, done: false }
+    }
+
+    /// Creates an iterator from conventional *nested* strides, where the
+    /// address of element `(i0, …, i3)` is `base + Σ i_d · nested[d]`.
+    /// This converts to the hardware's relative form:
+    /// `rel[k] = nested[k] − Σ_{d<k} bounds[d] · nested[d]`.
+    #[must_use]
+    pub fn from_nested(
+        base: u32,
+        dims: usize,
+        bounds: [u32; MAX_DIMS],
+        nested: [i64; MAX_DIMS],
+    ) -> Self {
+        let mut rel = [0i64; MAX_DIMS];
+        for k in 0..dims {
+            let below: i64 = (0..k).map(|d| i64::from(bounds[d]) * nested[d]).sum();
+            rel[k] = nested[k] - below;
+        }
+        Self::new(base, dims, bounds, rel)
+    }
+
+    /// A one-dimensional iterator: `count` elements spaced `stride` bytes.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn linear(base: u32, count: u32, stride: i64) -> Self {
+        assert!(count > 0, "element count must be positive");
+        Self::new(base, 1, [count - 1, 0, 0, 0], [stride, 0, 0, 0])
+    }
+
+    /// Total number of addresses this iterator emits.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        (0..self.dims).map(|d| u64::from(self.bounds[d]) + 1).product()
+    }
+
+    /// Whether all addresses have been emitted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Emits the next address, advancing the nest by one stride addition.
+    pub fn next_addr(&mut self) -> Option<u32> {
+        if self.done {
+            return None;
+        }
+        let addr = self.pointer;
+        let mut d = 0;
+        loop {
+            if d == self.dims {
+                self.done = true;
+                break;
+            }
+            if self.index[d] < self.bounds[d] {
+                self.index[d] += 1;
+                self.pointer = (i64::from(self.pointer) + self.strides[d]) as u32;
+                break;
+            }
+            self.index[d] = 0;
+            d += 1;
+        }
+        Some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(mut it: AffineIterator) -> Vec<u32> {
+        let mut v = Vec::new();
+        while let Some(a) = it.next_addr() {
+            v.push(a);
+        }
+        v
+    }
+
+    #[test]
+    fn linear_walk() {
+        let it = AffineIterator::linear(0x100, 4, 8);
+        assert_eq!(collect(it), [0x100, 0x108, 0x110, 0x118]);
+    }
+
+    #[test]
+    fn linear_with_negative_stride() {
+        let it = AffineIterator::linear(0x118, 4, -8);
+        assert_eq!(collect(it), [0x118, 0x110, 0x108, 0x100]);
+    }
+
+    #[test]
+    fn relative_strides_add_once_per_element() {
+        // 2 elements inner (stride 8), 3 rows; at each row wrap the
+        // hardware adds the row stride once.
+        let it = AffineIterator::new(0x1000, 2, [1, 2, 0, 0], [8, 0xF8, 0, 0]);
+        assert_eq!(
+            collect(it),
+            [0x1000, 0x1008, 0x1100, 0x1108, 0x1200, 0x1208]
+        );
+    }
+
+    #[test]
+    fn nested_strides_match_loop_nest() {
+        // for j in 0..3 { for i in 0..2 { emit base + i*8 + j*0x100 } }
+        let it = AffineIterator::from_nested(0x1000, 2, [1, 2, 0, 0], [8, 0x100, 0, 0]);
+        assert_eq!(
+            collect(it),
+            [0x1000, 0x1008, 0x1100, 0x1108, 0x1200, 0x1208]
+        );
+    }
+
+    #[test]
+    fn nested_four_dimensional_is_exhaustive() {
+        let bounds = [1, 1, 1, 1];
+        let nested = [8, 64, 512, 4096];
+        let it = AffineIterator::from_nested(0, 4, bounds, nested);
+        assert_eq!(it.total(), 16);
+        let addrs = collect(it);
+        assert_eq!(addrs.len(), 16);
+        // Spot-check against the explicit loop nest.
+        let mut expected = Vec::new();
+        for i3 in 0..2i64 {
+            for i2 in 0..2i64 {
+                for i1 in 0..2i64 {
+                    for i0 in 0..2i64 {
+                        expected
+                            .push((i0 * 8 + i1 * 64 + i2 * 512 + i3 * 4096) as u32);
+                    }
+                }
+            }
+        }
+        assert_eq!(addrs, expected);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut it = AffineIterator::linear(0x42 * 8, 1, 8);
+        assert_eq!(it.next_addr(), Some(0x42 * 8));
+        assert_eq!(it.next_addr(), None);
+        assert!(it.is_done());
+    }
+
+    #[test]
+    fn nested_non_contiguous_rows() {
+        // 3 elements per row spaced 16 B, rows spaced 256 B.
+        let it = AffineIterator::from_nested(0, 2, [2, 1, 0, 0], [16, 256, 0, 0]);
+        assert_eq!(collect(it), [0, 16, 32, 256, 272, 288]);
+    }
+}

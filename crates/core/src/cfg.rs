@@ -1,0 +1,290 @@
+//! Streamer configuration registers and job specifications.
+//!
+//! Each lane exposes a shadowed configuration register file to the core
+//! (Fig. 1, block 1): `scfgwi`/`scfgri` address it with
+//! `addr = reg << 5 | lane`. Writing a *pointer* register launches a job
+//! from the current shadow state — a read job via `RPTR[d]` (affine,
+//! `d + 1` dimensions) or a write job via `WPTR[d]`. With indirection
+//! enabled in `IDX_CFG`, the pointer carries the **index array** address
+//! and the affine configuration is fixed to one dimension, as in the
+//! paper (§II-A); the streamed element count still comes from
+//! `BOUNDS[0] + 1`.
+
+use crate::affine::MAX_DIMS;
+use crate::serializer::IndexSize;
+
+/// Register indices within a lane's configuration space.
+pub mod reg {
+    /// Status word: bit 0 = done, bit 1 = busy.
+    pub const STATUS: u16 = 0;
+    /// Element repetition count (each datum delivered `REPEAT + 1` times).
+    pub const REPEAT: u16 = 1;
+    /// Loop bounds minus one, dimensions 0..=3.
+    pub const BOUNDS: [u16; 4] = [2, 3, 4, 5];
+    /// Relative byte strides, dimensions 0..=3.
+    pub const STRIDES: [u16; 4] = [6, 7, 8, 9];
+    /// Indirection configuration: bit 0 enable, bit 1 index size
+    /// (0 = 16-bit, 1 = 32-bit), bits 7:4 extra index shift.
+    pub const IDX_CFG: u16 = 10;
+    /// Data base address for indirection.
+    pub const DATA_BASE: u16 = 12;
+    /// Read-job pointer registers (write launches the job).
+    pub const RPTR: [u16; 4] = [16, 17, 18, 19];
+    /// Write-job pointer registers (write launches the job).
+    pub const WPTR: [u16; 4] = [20, 21, 22, 23];
+}
+
+/// Builds an `scfgwi`/`scfgri` address from a register and lane index.
+#[must_use]
+pub fn cfg_addr(register: u16, lane: u8) -> u16 {
+    (register << 5) | u16::from(lane & 0x1F)
+}
+
+/// Splits an `scfg` address into `(register, lane)`.
+#[must_use]
+pub fn split_addr(addr: u16) -> (u16, u8) {
+    (addr >> 5, (addr & 0x1F) as u8)
+}
+
+/// The shadow configuration a core writes before launching a job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CfgShadow {
+    /// Element repetition count.
+    pub repeat: u32,
+    /// Loop bounds minus one.
+    pub bounds: [u32; MAX_DIMS],
+    /// Relative byte strides.
+    pub strides: [i32; MAX_DIMS],
+    /// Raw indirection configuration word.
+    pub idx_cfg: u32,
+    /// Data base address for indirection.
+    pub data_base: u32,
+}
+
+impl CfgShadow {
+    /// Whether indirection mode is enabled.
+    #[must_use]
+    pub fn indirect(&self) -> bool {
+        self.idx_cfg & 1 != 0
+    }
+
+    /// Configured index width.
+    #[must_use]
+    pub fn index_size(&self) -> IndexSize {
+        if self.idx_cfg & 2 != 0 {
+            IndexSize::U32
+        } else {
+            IndexSize::U16
+        }
+    }
+
+    /// Extra index shift (beyond the static `<< 3` serving doubles).
+    #[must_use]
+    pub fn index_shift(&self) -> u32 {
+        (self.idx_cfg >> 4) & 0xF
+    }
+
+    /// Reads a shadow register (the value `scfgri` returns).
+    #[must_use]
+    pub fn read(&self, register: u16) -> u32 {
+        match register {
+            reg::REPEAT => self.repeat,
+            r if reg::BOUNDS.contains(&r) => self.bounds[(r - reg::BOUNDS[0]) as usize],
+            r if reg::STRIDES.contains(&r) => {
+                self.strides[(r - reg::STRIDES[0]) as usize] as u32
+            }
+            reg::IDX_CFG => self.idx_cfg,
+            reg::DATA_BASE => self.data_base,
+            _ => 0,
+        }
+    }
+
+    /// Writes a shadow register. Pointer registers are handled by the
+    /// lane (they launch jobs); everything else lands here.
+    pub fn write(&mut self, register: u16, value: u32) {
+        match register {
+            reg::REPEAT => self.repeat = value,
+            r if reg::BOUNDS.contains(&r) => {
+                self.bounds[(r - reg::BOUNDS[0]) as usize] = value;
+            }
+            r if reg::STRIDES.contains(&r) => {
+                self.strides[(r - reg::STRIDES[0]) as usize] = value as i32;
+            }
+            reg::IDX_CFG => self.idx_cfg = value,
+            reg::DATA_BASE => self.data_base = value,
+            _ => {}
+        }
+    }
+}
+
+/// Whether a job streams from memory to the register file or back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobKind {
+    /// Memory → register (gather / unit-stride load stream).
+    Read,
+    /// Register → memory (scatter / unit-stride store stream).
+    Write,
+}
+
+/// The address pattern of a job.
+#[derive(Clone, Debug)]
+pub enum Pattern {
+    /// SSR-style affine loop nest.
+    Affine {
+        /// Data pointer the job was launched with.
+        base: u32,
+        /// Number of active dimensions.
+        dims: usize,
+        /// Bounds minus one.
+        bounds: [u32; MAX_DIMS],
+        /// Relative byte strides.
+        strides: [i64; MAX_DIMS],
+    },
+    /// ISSR streaming indirection: `data_base + (idx << (3 + shift))`.
+    Indirect {
+        /// Index array byte address (any index-aligned address).
+        idx_base: u32,
+        /// Index width.
+        idx_size: IndexSize,
+        /// Extra shift for power-of-two-strided higher axes.
+        shift: u32,
+        /// Dense operand base address.
+        data_base: u32,
+        /// Number of elements to stream.
+        count: u64,
+    },
+}
+
+/// A fully-specified streaming job, decoded from the shadow registers at
+/// pointer-write time.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Read or write stream.
+    pub kind: JobKind,
+    /// Each datum is delivered `repeat + 1` times (read jobs only).
+    pub repeat: u32,
+    /// The address pattern.
+    pub pattern: Pattern,
+}
+
+impl JobSpec {
+    /// Decodes a job from the shadow state and a pointer write.
+    #[must_use]
+    pub fn from_shadow(shadow: &CfgShadow, kind: JobKind, dims: usize, pointer: u32) -> Self {
+        let pattern = if shadow.indirect() {
+            Pattern::Indirect {
+                idx_base: pointer,
+                idx_size: shadow.index_size(),
+                shift: shadow.index_shift(),
+                data_base: shadow.data_base,
+                count: u64::from(shadow.bounds[0]) + 1,
+            }
+        } else {
+            let mut strides = [0i64; MAX_DIMS];
+            for (dst, &src) in strides.iter_mut().zip(shadow.strides.iter()) {
+                *dst = i64::from(src);
+            }
+            Pattern::Affine { base: pointer, dims, bounds: shadow.bounds, strides }
+        };
+        JobSpec { kind, repeat: shadow.repeat, pattern }
+    }
+
+    /// Total number of elements the FPU side will see.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        let raw = match &self.pattern {
+            Pattern::Affine { dims, bounds, .. } => {
+                (0..*dims).map(|d| u64::from(bounds[d]) + 1).product()
+            }
+            Pattern::Indirect { count, .. } => *count,
+        };
+        raw * (u64::from(self.repeat) + 1)
+    }
+}
+
+/// Encodes the `IDX_CFG` register value.
+#[must_use]
+pub fn idx_cfg_word(size: IndexSize, shift: u32) -> u32 {
+    let size_bit = match size {
+        IndexSize::U16 => 0,
+        IndexSize::U32 => 2,
+    };
+    1 | size_bit | ((shift & 0xF) << 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_packing_round_trips() {
+        let addr = cfg_addr(reg::RPTR[0], 1);
+        assert_eq!(split_addr(addr), (reg::RPTR[0], 1));
+        assert_eq!(split_addr(cfg_addr(reg::STATUS, 0)), (reg::STATUS, 0));
+    }
+
+    #[test]
+    fn shadow_read_write_round_trip() {
+        let mut s = CfgShadow::default();
+        s.write(reg::REPEAT, 3);
+        s.write(reg::BOUNDS[0], 99);
+        s.write(reg::BOUNDS[2], 7);
+        s.write(reg::STRIDES[0], 8);
+        s.write(reg::STRIDES[1], (-16i32) as u32);
+        s.write(reg::IDX_CFG, idx_cfg_word(IndexSize::U32, 2));
+        s.write(reg::DATA_BASE, 0x0010_4000);
+        assert_eq!(s.read(reg::REPEAT), 3);
+        assert_eq!(s.read(reg::BOUNDS[0]), 99);
+        assert_eq!(s.read(reg::BOUNDS[2]), 7);
+        assert_eq!(s.read(reg::STRIDES[0]), 8);
+        assert_eq!(s.read(reg::STRIDES[1]) as i32, -16);
+        assert!(s.indirect());
+        assert_eq!(s.index_size(), IndexSize::U32);
+        assert_eq!(s.index_shift(), 2);
+        assert_eq!(s.read(reg::DATA_BASE), 0x0010_4000);
+    }
+
+    #[test]
+    fn affine_job_decode() {
+        let mut s = CfgShadow::default();
+        s.write(reg::BOUNDS[0], 9);
+        s.write(reg::STRIDES[0], 8);
+        let job = JobSpec::from_shadow(&s, JobKind::Read, 1, 0x0010_0000);
+        assert_eq!(job.total_elements(), 10);
+        match job.pattern {
+            Pattern::Affine { base, dims, .. } => {
+                assert_eq!(base, 0x0010_0000);
+                assert_eq!(dims, 1);
+            }
+            Pattern::Indirect { .. } => panic!("expected affine"),
+        }
+    }
+
+    #[test]
+    fn indirect_job_decode() {
+        let mut s = CfgShadow::default();
+        s.write(reg::BOUNDS[0], 15);
+        s.write(reg::IDX_CFG, idx_cfg_word(IndexSize::U16, 0));
+        s.write(reg::DATA_BASE, 0x0010_8000);
+        let job = JobSpec::from_shadow(&s, JobKind::Read, 1, 0x0010_0002);
+        match job.pattern {
+            Pattern::Indirect { idx_base, idx_size, data_base, count, shift } => {
+                assert_eq!(idx_base, 0x0010_0002);
+                assert_eq!(idx_size, IndexSize::U16);
+                assert_eq!(data_base, 0x0010_8000);
+                assert_eq!(count, 16);
+                assert_eq!(shift, 0);
+            }
+            Pattern::Affine { .. } => panic!("expected indirect"),
+        }
+    }
+
+    #[test]
+    fn repeat_scales_elements() {
+        let mut s = CfgShadow::default();
+        s.write(reg::BOUNDS[0], 4);
+        s.write(reg::REPEAT, 2);
+        let job = JobSpec::from_shadow(&s, JobKind::Read, 1, 0);
+        assert_eq!(job.total_elements(), 15);
+    }
+}

@@ -1,0 +1,125 @@
+//! A hardware-style bounded FIFO.
+//!
+//! Decouples the register and memory streams of each SSR/ISSR lane
+//! (five data stages in the paper's configuration). Push/pop model the
+//! valid/ready handshake: callers must check capacity first, as the RTL
+//! would assert back-pressure.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO with occupancy statistics.
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    slots: VecDeque<T>,
+    capacity: usize,
+    /// Total elements ever pushed.
+    pub pushes: u64,
+    /// Total elements ever popped.
+    pub pops: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self { slots: VecDeque::with_capacity(capacity), capacity, pushes: 0, pops: 0 }
+    }
+
+    /// Maximum number of elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the FIFO holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.capacity
+    }
+
+    /// Free slots remaining.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity - self.slots.len()
+    }
+
+    /// Pushes an element.
+    ///
+    /// # Panics
+    /// Panics if the FIFO is full — the caller models back-pressure and
+    /// must check [`Self::is_full`] first.
+    pub fn push(&mut self, value: T) {
+        assert!(!self.is_full(), "FIFO overflow");
+        self.slots.push_back(value);
+        self.pushes += 1;
+    }
+
+    /// Pops the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.slots.pop_front();
+        if v.is_some() {
+            self.pops += 1;
+        }
+        v
+    }
+
+    /// Peeks at the oldest element.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.slots.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_capacity() {
+        let mut f = Fifo::new(3);
+        f.push(1);
+        f.push(2);
+        f.push(3);
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some(1));
+        f.push(4);
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(4));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.pushes, 4);
+        assert_eq!(f.pops, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut f = Fifo::new(1);
+        f.push(1);
+        f.push(2);
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(7);
+        assert_eq!(f.front(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # issr-core
+//!
+//! The paper's primary contribution: **indirection stream semantic
+//! registers (ISSRs)** — stream semantic registers extended with a
+//! streaming-indirection address generator so that sparse-dense inner
+//! loops (`y += a_vals[j] * x[a_idcs[j]]`) execute as pure `fmadd`
+//! streams.
+//!
+//! The crate models, cycle by cycle:
+//!
+//! * the shadowed configuration interface ([`cfg`]),
+//! * the four-deep affine address iterator ([`affine`]),
+//! * the indirection unit: index-word fetcher, decoupling FIFO, 16/32-bit
+//!   index serializer with arbitrary alignment, shift + base adder and
+//!   outstanding-request limiter ([`serializer`], [`lane`]),
+//! * the round-robin multiplexing of index and data traffic onto one
+//!   memory port, which yields the paper's 4/5 (16-bit) and 2/3 (32-bit)
+//!   peak data rates ([`lane`]),
+//! * the lane bundle mapped onto the FP register file ([`streamer`]).
+//!
+//! The streamer is platform-agnostic, exactly as the paper argues: it
+//! talks to the world through [`issr_mem::port::MemPort`] and a small
+//! register-file interface, and is embedded into the Snitch core complex
+//! by the `issr-snitch` crate.
+
+#![forbid(unsafe_code)]
+
+pub mod affine;
+pub mod cfg;
+pub mod fifo;
+pub mod lane;
+pub mod serializer;
+pub mod streamer;
+
+pub use affine::{AffineIterator, MAX_DIMS};
+pub use cfg::{cfg_addr, idx_cfg_word, CfgShadow, JobKind, JobSpec, Pattern};
+pub use fifo::Fifo;
+pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};
+pub use serializer::{IndexSerializer, IndexSize};
+pub use streamer::Streamer;

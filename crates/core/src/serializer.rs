@@ -1,0 +1,211 @@
+//! The index serializer (Fig. 1, block 5).
+//!
+//! Indirection fetches the index array as aligned 64-bit words; the
+//! serializer extracts the 16- or 32-bit indices from each buffered word,
+//! backed by a two-bit short-offset counter (block 6). Arbitrary index
+//! array alignment is supported: the first word may contain leading
+//! bytes that belong to the previous array, which the serializer skips.
+
+/// Width of the indices in the index array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IndexSize {
+    /// 16-bit indices: four per 64-bit word (peak data utilization 4/5).
+    U16,
+    /// 32-bit indices: two per 64-bit word (peak data utilization 2/3).
+    U32,
+}
+
+impl IndexSize {
+    /// Bytes per index.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            IndexSize::U16 => 2,
+            IndexSize::U32 => 4,
+        }
+    }
+
+    /// Indices contained in one 64-bit word.
+    #[must_use]
+    pub fn per_word(self) -> u32 {
+        8 / self.bytes()
+    }
+
+    /// Peak fraction of data-mover cycles available for data words when
+    /// index and data fetches share one port (§II-B): 4/5 for 16-bit,
+    /// 2/3 for 32-bit.
+    #[must_use]
+    pub fn peak_data_utilization(self) -> f64 {
+        let n = f64::from(self.per_word());
+        n / (n + 1.0)
+    }
+}
+
+/// Extracts indices from buffered 64-bit index words.
+#[derive(Clone, Debug)]
+pub struct IndexSerializer {
+    size: IndexSize,
+    /// Sub-word element offset into the current word (the short-offset
+    /// counter).
+    soffs: u32,
+    /// Indices still to emit.
+    remaining: u64,
+    current: Option<u64>,
+}
+
+impl IndexSerializer {
+    /// Creates a serializer for `total` indices starting at byte address
+    /// `base` (any `size`-aligned address; word alignment not required).
+    #[must_use]
+    pub fn new(size: IndexSize, base: u32, total: u64) -> Self {
+        Self { size, soffs: (base % 8) / size.bytes(), remaining: total, current: None }
+    }
+
+    /// Number of 64-bit word fetches needed to cover the whole stream,
+    /// including alignment slack.
+    #[must_use]
+    pub fn words_needed(size: IndexSize, base: u32, total: u64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let first = u64::from(base) & !7;
+        let end = u64::from(base) + total * u64::from(size.bytes());
+        (end - first + 7) / 8
+    }
+
+    /// Whether all indices have been emitted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Whether the serializer needs a fresh word before it can emit.
+    #[must_use]
+    pub fn wants_word(&self) -> bool {
+        self.remaining > 0 && self.current.is_none()
+    }
+
+    /// Indices still extractable from the currently loaded word.
+    #[must_use]
+    pub fn buffered(&self) -> u64 {
+        match self.current {
+            Some(_) => {
+                u64::from(self.size.per_word() - self.soffs).min(self.remaining)
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether an index can be emitted right now.
+    #[must_use]
+    pub fn index_ready(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Loads the next fetched index word.
+    ///
+    /// # Panics
+    /// Panics if the previous word has not been fully consumed.
+    pub fn load_word(&mut self, word: u64) {
+        assert!(self.current.is_none(), "serializer word still in use");
+        self.current = Some(word);
+    }
+
+    /// Extracts the next index if one is available.
+    pub fn next_index(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let word = self.current?;
+        let idx = match self.size {
+            IndexSize::U16 => u32::from((word >> (self.soffs * 16)) as u16),
+            IndexSize::U32 => (word >> (self.soffs * 32)) as u32,
+        };
+        self.soffs += 1;
+        self.remaining -= 1;
+        if self.soffs == self.size.per_word() || self.remaining == 0 {
+            self.soffs = 0;
+            self.current = None;
+        }
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack16(v: [u16; 4]) -> u64 {
+        u64::from(v[0])
+            | u64::from(v[1]) << 16
+            | u64::from(v[2]) << 32
+            | u64::from(v[3]) << 48
+    }
+
+    #[test]
+    fn sixteen_bit_aligned_stream() {
+        let mut s = IndexSerializer::new(IndexSize::U16, 0x100, 6);
+        assert!(s.wants_word());
+        s.load_word(pack16([1, 2, 3, 4]));
+        assert_eq!(
+            (0..4).map(|_| s.next_index().unwrap()).collect::<Vec<_>>(),
+            [1, 2, 3, 4]
+        );
+        assert!(s.wants_word());
+        s.load_word(pack16([5, 6, 7, 8]));
+        assert_eq!(s.next_index(), Some(5));
+        assert_eq!(s.next_index(), Some(6));
+        assert!(s.is_done());
+        assert_eq!(s.next_index(), None);
+    }
+
+    #[test]
+    fn sixteen_bit_unaligned_start() {
+        // Array starts at byte 4 of its first word: skip two elements.
+        let mut s = IndexSerializer::new(IndexSize::U16, 0x104, 3);
+        s.load_word(pack16([0xAAAA, 0xBBBB, 10, 11]));
+        assert_eq!(s.next_index(), Some(10));
+        assert_eq!(s.next_index(), Some(11));
+        assert!(s.wants_word());
+        s.load_word(pack16([12, 0, 0, 0]));
+        assert_eq!(s.next_index(), Some(12));
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn thirty_two_bit_unaligned_start() {
+        let mut s = IndexSerializer::new(IndexSize::U32, 0x10C, 2);
+        s.load_word(u64::from(7u32) << 32 | 0xFFFF_FFFF);
+        assert_eq!(s.next_index(), Some(7));
+        s.load_word(u64::from(9u32));
+        assert_eq!(s.next_index(), Some(9));
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn words_needed_accounts_for_alignment() {
+        // 4 aligned 16-bit indices: exactly one word.
+        assert_eq!(IndexSerializer::words_needed(IndexSize::U16, 0x100, 4), 1);
+        // Same 4 starting at +2: spills into a second word.
+        assert_eq!(IndexSerializer::words_needed(IndexSize::U16, 0x102, 4), 2);
+        // 2 aligned 32-bit: one word; unaligned: two.
+        assert_eq!(IndexSerializer::words_needed(IndexSize::U32, 0x100, 2), 1);
+        assert_eq!(IndexSerializer::words_needed(IndexSize::U32, 0x104, 2), 2);
+        assert_eq!(IndexSerializer::words_needed(IndexSize::U16, 0x100, 0), 0);
+    }
+
+    #[test]
+    fn peak_utilization_limits() {
+        assert!((IndexSize::U16.peak_data_utilization() - 0.8).abs() < 1e-12);
+        assert!((IndexSize::U32.peak_data_utilization() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_last_word_releases_buffer() {
+        let mut s = IndexSerializer::new(IndexSize::U16, 0, 1);
+        s.load_word(pack16([42, 1, 2, 3]));
+        assert_eq!(s.next_index(), Some(42));
+        assert!(s.is_done());
+        assert!(!s.wants_word());
+    }
+}

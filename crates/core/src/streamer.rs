@@ -1,0 +1,230 @@
+//! The streamer: the set of SSR/ISSR lanes multiplexed into the FPU
+//! register file (Fig. 2).
+//!
+//! The paper's area-optimized configuration provides one plain SSR
+//! (mapped to `ft0`) and one ISSR (mapped to `ft1`), each with a private
+//! memory port; [`Streamer::paper_config`] builds exactly that. Other
+//! mixes (e.g. two ISSRs for codebook-compressed sparse values, §III-C)
+//! are expressed by constructing with a different lane list.
+//!
+//! While the `ssr` CSR bit is set, floating-point register indices below
+//! the lane count read/write the streams instead of the register file —
+//! the *register redirection* the kernels toggle around their compute
+//! loops.
+
+use crate::lane::{Lane, LaneKind, LaneStats};
+use issr_mem::port::MemPort;
+
+/// The lane bundle attached to one core's FPU subsystem.
+#[derive(Debug)]
+pub struct Streamer {
+    lanes: Vec<Lane>,
+    enabled: bool,
+}
+
+impl Streamer {
+    /// Creates a streamer with the given lane kinds; lane *i* maps to
+    /// floating-point register *f_i*.
+    ///
+    /// # Panics
+    /// Panics if no lanes are given or more than 8 (the register-map
+    /// window).
+    #[must_use]
+    pub fn new(kinds: &[LaneKind]) -> Self {
+        assert!(
+            (1..=8).contains(&kinds.len()),
+            "streamer supports 1..=8 lanes, got {}",
+            kinds.len()
+        );
+        Self { lanes: kinds.iter().map(|&k| Lane::new(k)).collect(), enabled: false }
+    }
+
+    /// The paper's evaluated configuration: one SSR (`ft0`) and one ISSR
+    /// (`ft1`).
+    #[must_use]
+    pub fn paper_config() -> Self {
+        Self::new(&[LaneKind::Ssr, LaneKind::Issr])
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Sets the register-redirection enable (the `ssr` CSR bit).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether register redirection is active.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The lane a floating-point register redirects to, if any.
+    #[must_use]
+    pub fn lane_of_reg(&self, fp_reg: u8) -> Option<usize> {
+        if self.enabled && (fp_reg as usize) < self.lanes.len() {
+            Some(fp_reg as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Immutable lane access.
+    #[must_use]
+    pub fn lane(&self, index: usize) -> &Lane {
+        &self.lanes[index]
+    }
+
+    /// Mutable lane access (register-file side uses this to pop/push).
+    pub fn lane_mut(&mut self, index: usize) -> &mut Lane {
+        &mut self.lanes[index]
+    }
+
+    /// Configuration write from the core (`scfgwi`); the 12-bit address is
+    /// `reg << 5 | lane`. Returns `false` if the lane cannot accept the
+    /// write this cycle (job queue full — the core retries).
+    pub fn cfg_write(&mut self, addr: u16, value: u32) -> bool {
+        let (register, lane) = crate::cfg::split_addr(addr);
+        let lane = lane as usize;
+        assert!(lane < self.lanes.len(), "scfgwi to nonexistent lane {lane}");
+        self.lanes[lane].cfg_write(register, value)
+    }
+
+    /// Configuration read from the core (`scfgri`).
+    #[must_use]
+    pub fn cfg_read(&self, addr: u16) -> u32 {
+        let (register, lane) = crate::cfg::split_addr(addr);
+        let lane = lane as usize;
+        assert!(lane < self.lanes.len(), "scfgri to nonexistent lane {lane}");
+        self.lanes[lane].cfg_read(register)
+    }
+
+    /// Advances all lanes one cycle; `ports[i]` is lane *i*'s private
+    /// memory port.
+    ///
+    /// # Panics
+    /// Panics if the port count does not match the lane count.
+    pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort]) {
+        assert_eq!(ports.len(), self.lanes.len(), "one port per lane");
+        for (lane, port) in self.lanes.iter_mut().zip(ports.iter_mut()) {
+            lane.tick(now, port);
+        }
+    }
+
+    /// Whether every lane has fully drained.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.lanes.iter().all(Lane::is_idle)
+    }
+
+    /// Per-lane statistics.
+    #[must_use]
+    pub fn stats(&self) -> Vec<LaneStats> {
+        self.lanes.iter().map(|l| l.stats()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{cfg_addr, idx_cfg_word, reg};
+    use crate::serializer::IndexSize;
+    use issr_mem::tcdm::Tcdm;
+
+    const BASE: u32 = 0x0010_0000;
+
+    #[test]
+    fn paper_config_shape() {
+        let s = Streamer::paper_config();
+        assert_eq!(s.n_lanes(), 2);
+        assert_eq!(s.lane(0).kind(), LaneKind::Ssr);
+        assert_eq!(s.lane(1).kind(), LaneKind::Issr);
+    }
+
+    #[test]
+    fn redirection_gated_by_enable() {
+        let mut s = Streamer::paper_config();
+        assert_eq!(s.lane_of_reg(0), None);
+        s.set_enabled(true);
+        assert_eq!(s.lane_of_reg(0), Some(0));
+        assert_eq!(s.lane_of_reg(1), Some(1));
+        assert_eq!(s.lane_of_reg(2), None);
+    }
+
+    /// The paper's SpVV data flow: SSR streams the sparse values while
+    /// the ISSR gathers dense operands at the sparse indices — both
+    /// sustained concurrently on private ports.
+    #[test]
+    fn concurrent_ssr_and_issr_streams() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let nnz = 40u32;
+        let a_vals = BASE;
+        let b = BASE + 0x4000;
+        let a_idcs = BASE + 0x8000;
+        for j in 0..nnz {
+            tcdm.array_mut().store_f64(a_vals + j * 8, f64::from(j));
+        }
+        for i in 0..256u32 {
+            tcdm.array_mut().store_f64(b + i * 8, f64::from(i) * 0.5);
+        }
+        let idcs: Vec<u16> = (0..nnz as u16).map(|j| (j * 13) % 256).collect();
+        tcdm.array_mut().store_u16_slice(a_idcs, &idcs);
+
+        let mut s = Streamer::paper_config();
+        // ft0: affine over a_vals.
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 0), nnz - 1));
+        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 0), 8));
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), a_vals));
+        // ft1: indirect over b at a_idcs.
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 1), nnz - 1));
+        assert!(s.cfg_write(cfg_addr(reg::IDX_CFG, 1), idx_cfg_word(IndexSize::U16, 0)));
+        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 1), b));
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 1), a_idcs));
+        s.set_enabled(true);
+
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        let mut dot = 0.0f64;
+        let mut pairs = 0u32;
+        let mut cycles = 0u64;
+        for now in 0..2000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.lane(0).can_pop() && s.lane(1).can_pop() {
+                let a = f64::from_bits(s.lane_mut(0).pop());
+                let x = f64::from_bits(s.lane_mut(1).pop());
+                dot += a * x;
+                pairs += 1;
+            }
+            cycles = now + 1;
+            if pairs == nnz {
+                break;
+            }
+        }
+        let expected: f64 =
+            (0..nnz).map(|j| f64::from(j) * (f64::from((j * 13) % 256) * 0.5)).sum();
+        assert_eq!(dot, expected);
+        // Pair rate limited by the ISSR's 4/5 cap, not the SSR.
+        let rate = f64::from(pairs) / cycles as f64;
+        assert!(rate > 0.7, "pair rate {rate:.3} too low");
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn status_readable_over_cfg_interface() {
+        let s = Streamer::paper_config();
+        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 0)), 1);
+        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent lane")]
+    fn cfg_write_to_missing_lane_panics() {
+        let mut s = Streamer::paper_config();
+        let _ = s.cfg_write(cfg_addr(reg::STATUS, 5), 0);
+    }
+}

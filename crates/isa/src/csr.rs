@@ -1,0 +1,110 @@
+//! Control and status register (CSR) addresses used by the Snitch core.
+//!
+//! Besides the standard machine-mode CSRs, Snitch exposes the SSR enable
+//! bit through a custom CSR (`ssr`, `0x7C0`): while set, reads and writes
+//! of the mapped floating-point registers are redirected to the streamer.
+//! Two additional simulator-visible CSRs delimit the measured region of
+//! interest of a kernel without perturbing its timing.
+
+/// Standard and custom CSR addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Csr {
+    /// `mhartid` (0xF14): hardware thread id, read-only.
+    MHartId,
+    /// `mcycle` (0xB00): cycle counter, read-only in this model.
+    MCycle,
+    /// `minstret` (0xB02): retired-instruction counter, read-only.
+    MInstret,
+    /// `ssr` (0x7C0, custom): bit 0 enables stream-register redirection.
+    Ssr,
+    /// `fmode` (0x7C1, custom): reserved FPU mode bits (unused, reads zero).
+    FMode,
+    /// `roi` (0x7C4, custom, simulator-only): writing 1 opens the region of
+    /// interest for metric collection, writing 0 closes it. Timing-neutral.
+    Roi,
+    /// `barrier` (0x7C5, custom): reading stalls the core until all cluster
+    /// cores have read it (hardware barrier). Reads zero on a single core.
+    Barrier,
+    /// Any other address, kept for decode round-trips.
+    Other(u16),
+}
+
+impl Csr {
+    /// Returns the 12-bit CSR address.
+    #[must_use]
+    pub fn addr(self) -> u16 {
+        match self {
+            Csr::MHartId => 0xF14,
+            Csr::MCycle => 0xB00,
+            Csr::MInstret => 0xB02,
+            Csr::Ssr => 0x7C0,
+            Csr::FMode => 0x7C1,
+            Csr::Roi => 0x7C4,
+            Csr::Barrier => 0x7C5,
+            Csr::Other(a) => a & 0xFFF,
+        }
+    }
+
+    /// Builds a CSR from a 12-bit address, mapping known addresses onto
+    /// their named variants.
+    #[must_use]
+    pub fn from_addr(addr: u16) -> Self {
+        match addr & 0xFFF {
+            0xF14 => Csr::MHartId,
+            0xB00 => Csr::MCycle,
+            0xB02 => Csr::MInstret,
+            0x7C0 => Csr::Ssr,
+            0x7C1 => Csr::FMode,
+            0x7C4 => Csr::Roi,
+            0x7C5 => Csr::Barrier,
+            other => Csr::Other(other),
+        }
+    }
+}
+
+impl std::fmt::Display for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Csr::MHartId => write!(f, "mhartid"),
+            Csr::MCycle => write!(f, "mcycle"),
+            Csr::MInstret => write!(f, "minstret"),
+            Csr::Ssr => write!(f, "ssr"),
+            Csr::FMode => write!(f, "fmode"),
+            Csr::Roi => write!(f, "roi"),
+            Csr::Barrier => write!(f, "barrier"),
+            Csr::Other(a) => write!(f, "csr{a:#05x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_named() {
+        for csr in [
+            Csr::MHartId,
+            Csr::MCycle,
+            Csr::MInstret,
+            Csr::Ssr,
+            Csr::FMode,
+            Csr::Roi,
+            Csr::Barrier,
+        ] {
+            assert_eq!(Csr::from_addr(csr.addr()), csr);
+        }
+    }
+
+    #[test]
+    fn round_trip_other() {
+        assert_eq!(Csr::from_addr(0x123), Csr::Other(0x123));
+        assert_eq!(Csr::Other(0x123).addr(), 0x123);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Csr::Ssr.to_string(), "ssr");
+        assert_eq!(Csr::Other(0x42).to_string(), "csr0x042");
+    }
+}

@@ -1,0 +1,369 @@
+//! Decoding of 32-bit machine words back into [`Instr`].
+//!
+//! `decode(encode(i)) == Ok(i)` holds for every instruction the encoder
+//! produces, with one canonical alias: `fsgnj.d rd, rs, rs` decodes as
+//! [`Instr::FmvD`] (the architectural move alias).
+
+use crate::csr::Csr;
+use crate::encode::*;
+use crate::instr::*;
+use crate::reg::{FpReg, IntReg};
+
+/// Error returned when a word is not a recognized instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unrecognized instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1F) as u8
+}
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1F) as u8
+}
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1F) as u8
+}
+fn rs3(w: u32) -> u8 {
+    ((w >> 27) & 0x1F) as u8
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    (w >> 25) & 0x7F
+}
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | (((w >> 7) & 0x1F) as i32)
+}
+fn imm_b(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 12
+    (sign << 12)
+        | ((((w >> 7) & 0x1) as i32) << 11)
+        | ((((w >> 25) & 0x3F) as i32) << 5)
+        | ((((w >> 8) & 0xF) as i32) << 1)
+}
+fn imm_j(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 20
+    (sign << 20)
+        | ((((w >> 12) & 0xFF) as i32) << 12)
+        | ((((w >> 20) & 0x1) as i32) << 11)
+        | ((((w >> 21) & 0x3FF) as i32) << 1)
+}
+
+fn int(r: u8) -> IntReg {
+    IntReg::new(r)
+}
+fn fp(r: u8) -> FpReg {
+    FpReg::new(r)
+}
+
+/// Decodes one machine word.
+///
+/// # Errors
+/// Returns [`DecodeError`] if the word does not correspond to any
+/// instruction in the supported subset.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word });
+    let w = word;
+    Ok(match w & 0x7F {
+        OPC_LUI => Instr::Lui { rd: int(rd(w)), imm: w & 0xFFFF_F000 },
+        OPC_AUIPC => Instr::Auipc { rd: int(rd(w)), imm: w & 0xFFFF_F000 },
+        OPC_JAL => Instr::Jal { rd: int(rd(w)), offset: imm_j(w) },
+        OPC_JALR => Instr::Jalr { rd: int(rd(w)), rs1: int(rs1(w)), offset: imm_i(w) },
+        OPC_BRANCH => {
+            let cond = match funct3(w) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return err,
+            };
+            Instr::Branch { cond, rs1: int(rs1(w)), rs2: int(rs2(w)), offset: imm_b(w) }
+        }
+        OPC_LOAD => {
+            let width = match funct3(w) {
+                0b000 => LoadWidth::B,
+                0b001 => LoadWidth::H,
+                0b010 => LoadWidth::W,
+                0b100 => LoadWidth::Bu,
+                0b101 => LoadWidth::Hu,
+                _ => return err,
+            };
+            Instr::Load { width, rd: int(rd(w)), rs1: int(rs1(w)), offset: imm_i(w) }
+        }
+        OPC_STORE => {
+            let width = match funct3(w) {
+                0b000 => StoreWidth::B,
+                0b001 => StoreWidth::H,
+                0b010 => StoreWidth::W,
+                _ => return err,
+            };
+            Instr::Store { width, rs2: int(rs2(w)), rs1: int(rs1(w)), offset: imm_s(w) }
+        }
+        OPC_OP_IMM => {
+            let (op, imm) = match funct3(w) {
+                0b000 => (AluImmOp::Addi, imm_i(w)),
+                0b010 => (AluImmOp::Slti, imm_i(w)),
+                0b011 => (AluImmOp::Sltiu, imm_i(w)),
+                0b100 => (AluImmOp::Xori, imm_i(w)),
+                0b110 => (AluImmOp::Ori, imm_i(w)),
+                0b111 => (AluImmOp::Andi, imm_i(w)),
+                0b001 => (AluImmOp::Slli, i32::from(rs2(w))),
+                0b101 if funct7(w) == 0 => (AluImmOp::Srli, i32::from(rs2(w))),
+                0b101 if funct7(w) == 0x20 => (AluImmOp::Srai, i32::from(rs2(w))),
+                _ => return err,
+            };
+            Instr::OpImm { op, rd: int(rd(w)), rs1: int(rs1(w)), imm }
+        }
+        OPC_OP => {
+            let op = match (funct3(w), funct7(w)) {
+                (0b000, 0x00) => AluOp::Add,
+                (0b000, 0x20) => AluOp::Sub,
+                (0b001, 0x00) => AluOp::Sll,
+                (0b010, 0x00) => AluOp::Slt,
+                (0b011, 0x00) => AluOp::Sltu,
+                (0b100, 0x00) => AluOp::Xor,
+                (0b101, 0x00) => AluOp::Srl,
+                (0b101, 0x20) => AluOp::Sra,
+                (0b110, 0x00) => AluOp::Or,
+                (0b111, 0x00) => AluOp::And,
+                (0b000, 0x01) => AluOp::Mul,
+                (0b001, 0x01) => AluOp::Mulh,
+                (0b010, 0x01) => AluOp::Mulhsu,
+                (0b011, 0x01) => AluOp::Mulhu,
+                (0b100, 0x01) => AluOp::Div,
+                (0b101, 0x01) => AluOp::Divu,
+                (0b110, 0x01) => AluOp::Rem,
+                (0b111, 0x01) => AluOp::Remu,
+                _ => return err,
+            };
+            Instr::Op { op, rd: int(rd(w)), rs1: int(rs1(w)), rs2: int(rs2(w)) }
+        }
+        OPC_SYSTEM => {
+            if w == OPC_SYSTEM {
+                return Ok(Instr::Ecall);
+            }
+            let csr = Csr::from_addr(((w >> 20) & 0xFFF) as u16);
+            match funct3(w) {
+                0b001 => Instr::CsrR { op: CsrOp::Rw, rd: int(rd(w)), rs1: int(rs1(w)), csr },
+                0b010 => Instr::CsrR { op: CsrOp::Rs, rd: int(rd(w)), rs1: int(rs1(w)), csr },
+                0b011 => Instr::CsrR { op: CsrOp::Rc, rd: int(rd(w)), rs1: int(rs1(w)), csr },
+                0b101 => Instr::CsrI { op: CsrOp::Rw, rd: int(rd(w)), uimm: rs1(w), csr },
+                0b110 => Instr::CsrI { op: CsrOp::Rs, rd: int(rd(w)), uimm: rs1(w), csr },
+                0b111 => Instr::CsrI { op: CsrOp::Rc, rd: int(rd(w)), uimm: rs1(w), csr },
+                _ => return err,
+            }
+        }
+        OPC_FENCE => Instr::Fence,
+        OPC_LOAD_FP if funct3(w) == 0b011 => {
+            Instr::Fld { rd: fp(rd(w)), rs1: int(rs1(w)), offset: imm_i(w) }
+        }
+        OPC_STORE_FP if funct3(w) == 0b011 => {
+            Instr::Fsd { rs2: fp(rs2(w)), rs1: int(rs1(w)), offset: imm_s(w) }
+        }
+        OPC_MADD | OPC_MSUB | OPC_NMSUB | OPC_NMADD => {
+            if (w >> 25) & 0x3 != 0b01 {
+                return err; // only double precision supported
+            }
+            let op = match w & 0x7F {
+                OPC_MADD => FpOp3::FmaddD,
+                OPC_MSUB => FpOp3::FmsubD,
+                OPC_NMSUB => FpOp3::FnmsubD,
+                _ => FpOp3::FnmaddD,
+            };
+            Instr::FpuOp3 {
+                op,
+                rd: fp(rd(w)),
+                rs1: fp(rs1(w)),
+                rs2: fp(rs2(w)),
+                rs3: fp(rs3(w)),
+            }
+        }
+        OPC_OP_FP => match funct7(w) {
+            0x01 => fp2(w, FpOp2::FaddD)?,
+            0x05 => fp2(w, FpOp2::FsubD)?,
+            0x09 => fp2(w, FpOp2::FmulD)?,
+            0x0D => fp2(w, FpOp2::FdivD)?,
+            0x11 => match funct3(w) {
+                0b000 if rs1(w) == rs2(w) => Instr::FmvD { rd: fp(rd(w)), rs1: fp(rs1(w)) },
+                0b000 => fp2(w, FpOp2::FsgnjD)?,
+                0b001 => fp2(w, FpOp2::FsgnjnD)?,
+                0b010 => fp2(w, FpOp2::FsgnjxD)?,
+                _ => return err,
+            },
+            0x15 => match funct3(w) {
+                0b000 => fp2(w, FpOp2::FminD)?,
+                0b001 => fp2(w, FpOp2::FmaxD)?,
+                _ => return err,
+            },
+            0x51 => {
+                let op = match funct3(w) {
+                    0b010 => FpCmp::FeqD,
+                    0b001 => FpCmp::FltD,
+                    0b000 => FpCmp::FleD,
+                    _ => return err,
+                };
+                Instr::FpuCmp { op, rd: int(rd(w)), rs1: fp(rs1(w)), rs2: fp(rs2(w)) }
+            }
+            0x61 if rs2(w) == 0 => Instr::FcvtWD { rd: int(rd(w)), rs1: fp(rs1(w)) },
+            0x69 if rs2(w) == 0 => Instr::FcvtDW { rd: fp(rd(w)), rs1: int(rs1(w)) },
+            _ => return err,
+        },
+        OPC_CUSTOM1 => match funct3(w) {
+            0b001 => Instr::Scfgri { rd: int(rd(w)), addr: (imm_i(w) as u32 & 0xFFF) as u16 },
+            0b010 => Instr::Scfgwi { rs1: int(rs1(w)), addr: (imm_i(w) as u32 & 0xFFF) as u16 },
+            _ => return err,
+        },
+        OPC_CUSTOM2 => match funct3(w) {
+            0b000 | 0b001 => {
+                let imm = imm_i(w) as u32;
+                let kind = if funct3(w) == 0 { FrepKind::Outer } else { FrepKind::Inner };
+                Instr::Frep {
+                    kind,
+                    max_rpt: int(rs1(w)),
+                    n_insns: (imm & 0xF) as u8,
+                    stagger: Stagger {
+                        count: ((imm >> 4) & 0xF) as u8,
+                        mask: ((imm >> 8) & 0xF) as u8,
+                    },
+                }
+            }
+            0b111 => Instr::Halt,
+            _ => return err,
+        },
+        OPC_CUSTOM0 => match funct3(w) {
+            0b000 => Instr::DmSrc { rs1: int(rs1(w)), rs2: int(rs2(w)) },
+            0b001 => Instr::DmDst { rs1: int(rs1(w)), rs2: int(rs2(w)) },
+            0b010 => Instr::DmStr { rs1: int(rs1(w)), rs2: int(rs2(w)) },
+            0b011 => Instr::DmRep { rs1: int(rs1(w)) },
+            0b100 => Instr::DmCpyI {
+                rd: int(rd(w)),
+                rs1: int(rs1(w)),
+                cfg: (imm_i(w) & 0xFF) as u8,
+            },
+            0b101 => Instr::DmStatI { rd: int(rd(w)), which: (imm_i(w) & 0xFF) as u8 },
+            _ => return err,
+        },
+        _ => return err,
+    })
+}
+
+fn fp2(w: u32, op: FpOp2) -> Result<Instr, DecodeError> {
+    Ok(Instr::FpuOp2 {
+        op,
+        rd: FpReg::new(rd(w)),
+        rs1: FpReg::new(rs1(w)),
+        rs2: FpReg::new(rs2(w)),
+    })
+}
+
+/// Decodes a whole program.
+///
+/// # Errors
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_all(words: &[u32]) -> Result<Vec<Instr>, DecodeError> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0).is_err());
+    }
+
+    #[test]
+    fn fmv_alias_is_canonical() {
+        let mv = Instr::FmvD { rd: FpReg::FT3, rs1: FpReg::FT4 };
+        assert_eq!(decode(encode(&mv)).unwrap(), mv);
+        // fsgnj.d with equal sources decodes as the move alias.
+        let sgnj = Instr::FpuOp2 {
+            op: FpOp2::FsgnjD,
+            rd: FpReg::FT3,
+            rs1: FpReg::FT4,
+            rs2: FpReg::FT4,
+        };
+        assert_eq!(
+            decode(encode(&sgnj)).unwrap(),
+            Instr::FmvD { rd: FpReg::FT3, rs1: FpReg::FT4 }
+        );
+    }
+
+    #[test]
+    fn negative_offsets_round_trip() {
+        for offset in [-4096, -2048, -4, -2, 0, 2, 4, 2046, 4094] {
+            let b = Instr::Branch {
+                cond: BranchCond::Ltu,
+                rs1: IntReg::A0,
+                rs2: IntReg::A1,
+                offset: offset.clamp(-4096, 4094) & !1,
+            };
+            assert_eq!(decode(encode(&b)).unwrap(), b, "offset {offset}");
+        }
+        for offset in [-2048, -8, 0, 8, 2047] {
+            let l = Instr::Load {
+                width: LoadWidth::W,
+                rd: IntReg::T1,
+                rs1: IntReg::SP,
+                offset,
+            };
+            assert_eq!(decode(encode(&l)).unwrap(), l);
+            let s = Instr::Store {
+                width: StoreWidth::H,
+                rs2: IntReg::T1,
+                rs1: IntReg::SP,
+                offset,
+            };
+            assert_eq!(decode(encode(&s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn extension_round_trips() {
+        let cases = [
+            Instr::Scfgwi { rs1: IntReg::T0, addr: 0x7A1 },
+            Instr::Scfgri { rd: IntReg::A5, addr: 0x020 },
+            Instr::Frep {
+                kind: FrepKind::Outer,
+                max_rpt: IntReg::T2,
+                n_insns: 1,
+                stagger: Stagger { count: 7, mask: 0b1001 },
+            },
+            Instr::Frep {
+                kind: FrepKind::Inner,
+                max_rpt: IntReg::A0,
+                n_insns: 3,
+                stagger: Stagger::NONE,
+            },
+            Instr::DmSrc { rs1: IntReg::A0, rs2: IntReg::A1 },
+            Instr::DmDst { rs1: IntReg::A2, rs2: IntReg::A3 },
+            Instr::DmStr { rs1: IntReg::A4, rs2: IntReg::A5 },
+            Instr::DmRep { rs1: IntReg::A6 },
+            Instr::DmCpyI { rd: IntReg::T0, rs1: IntReg::A0, cfg: 1 },
+            Instr::DmStatI { rd: IntReg::T1, which: 0 },
+            Instr::Halt,
+        ];
+        for i in cases {
+            assert_eq!(decode(encode(&i)).unwrap(), i, "{i}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests: every instruction round-trips through its binary
+//! encoding, and the decoder never panics on arbitrary words.
+
+use issr_isa::csr::Csr;
+use issr_isa::decode::decode;
+use issr_isa::encode::encode;
+use issr_isa::instr::*;
+use issr_isa::reg::{FpReg, IntReg};
+use proptest::prelude::*;
+
+fn int_reg() -> impl Strategy<Value = IntReg> {
+    (0u8..32).prop_map(IntReg::new)
+}
+
+fn fp_reg() -> impl Strategy<Value = FpReg> {
+    (0u8..32).prop_map(FpReg::new)
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn branch_offset() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|units| units * 2)
+}
+
+fn jal_offset() -> impl Strategy<Value = i32> {
+    (-(1i32 << 19)..(1 << 19)).prop_map(|units| units * 2)
+}
+
+fn csr() -> impl Strategy<Value = Csr> {
+    prop_oneof![
+        Just(Csr::MHartId),
+        Just(Csr::MCycle),
+        Just(Csr::Ssr),
+        Just(Csr::Roi),
+        Just(Csr::Barrier),
+        (0u16..0x1000).prop_map(Csr::from_addr),
+    ]
+}
+
+fn branch_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn alu_imm_op() -> impl Strategy<Value = AluImmOp> {
+    prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai),
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn fp_op2() -> impl Strategy<Value = FpOp2> {
+    prop_oneof![
+        Just(FpOp2::FaddD),
+        Just(FpOp2::FsubD),
+        Just(FpOp2::FmulD),
+        Just(FpOp2::FdivD),
+        Just(FpOp2::FsgnjnD),
+        Just(FpOp2::FsgnjxD),
+        Just(FpOp2::FminD),
+        Just(FpOp2::FmaxD),
+    ]
+}
+
+fn fp_op3() -> impl Strategy<Value = FpOp3> {
+    prop_oneof![
+        Just(FpOp3::FmaddD),
+        Just(FpOp3::FmsubD),
+        Just(FpOp3::FnmsubD),
+        Just(FpOp3::FnmaddD),
+    ]
+}
+
+fn fp_cmp() -> impl Strategy<Value = FpCmp> {
+    prop_oneof![Just(FpCmp::FeqD), Just(FpCmp::FltD), Just(FpCmp::FleD)]
+}
+
+fn csr_op() -> impl Strategy<Value = CsrOp> {
+    prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)]
+}
+
+fn load_width() -> impl Strategy<Value = LoadWidth> {
+    prop_oneof![
+        Just(LoadWidth::B),
+        Just(LoadWidth::H),
+        Just(LoadWidth::W),
+        Just(LoadWidth::Bu),
+        Just(LoadWidth::Hu),
+    ]
+}
+
+fn store_width() -> impl Strategy<Value = StoreWidth> {
+    prop_oneof![Just(StoreWidth::B), Just(StoreWidth::H), Just(StoreWidth::W)]
+}
+
+fn stagger() -> impl Strategy<Value = Stagger> {
+    (0u8..16, 0u8..16).prop_map(|(count, mask)| Stagger { count, mask })
+}
+
+/// All instructions, avoiding the one intentional alias
+/// (`fsgnj.d rd, r, r` ≡ `fmv.d`, which decodes canonically as the move).
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xFFFF_F000 }),
+        (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v & 0xFFFF_F000 }),
+        (int_reg(), jal_offset()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (int_reg(), int_reg(), imm12())
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (branch_cond(), int_reg(), int_reg(), branch_offset())
+            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset }),
+        (load_width(), int_reg(), int_reg(), imm12())
+            .prop_map(|(width, rd, rs1, offset)| Instr::Load { width, rd, rs1, offset }),
+        (store_width(), int_reg(), int_reg(), imm12())
+            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset }),
+        (alu_imm_op(), int_reg(), int_reg(), imm12()).prop_map(|(op, rd, rs1, imm)| {
+            let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai) {
+                imm & 0x1F
+            } else {
+                imm
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        }),
+        (alu_op(), int_reg(), int_reg(), int_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (csr_op(), int_reg(), int_reg(), csr())
+            .prop_map(|(op, rd, rs1, csr)| Instr::CsrR { op, rd, rs1, csr }),
+        (csr_op(), int_reg(), 0u8..32, csr())
+            .prop_map(|(op, rd, uimm, csr)| Instr::CsrI { op, rd, uimm, csr }),
+        Just(Instr::Ecall),
+        Just(Instr::Fence),
+        (fp_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Instr::Fld { rd, rs1, offset }),
+        (fp_reg(), int_reg(), imm12())
+            .prop_map(|(rs2, rs1, offset)| Instr::Fsd { rs2, rs1, offset }),
+        (fp_op2(), fp_reg(), fp_reg(), fp_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FpuOp2 { op, rd, rs1, rs2 }),
+        (fp_op3(), fp_reg(), fp_reg(), fp_reg(), fp_reg())
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Instr::FpuOp3 { op, rd, rs1, rs2, rs3 }),
+        (fp_cmp(), int_reg(), fp_reg(), fp_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::FpuCmp { op, rd, rs1, rs2 }),
+        (fp_reg(), int_reg()).prop_map(|(rd, rs1)| Instr::FcvtDW { rd, rs1 }),
+        (int_reg(), fp_reg()).prop_map(|(rd, rs1)| Instr::FcvtWD { rd, rs1 }),
+        (fp_reg(), fp_reg()).prop_map(|(rd, rs1)| Instr::FmvD { rd, rs1 }),
+        (int_reg(), 0u16..0x1000).prop_map(|(rs1, addr)| Instr::Scfgwi { rs1, addr }),
+        (int_reg(), 0u16..0x1000).prop_map(|(rd, addr)| Instr::Scfgri { rd, addr }),
+        (int_reg(), 0u8..16, stagger()).prop_map(|(max_rpt, n_insns, stagger)| Instr::Frep {
+            kind: FrepKind::Outer,
+            max_rpt,
+            n_insns,
+            stagger
+        }),
+        (int_reg(), 0u8..16, stagger()).prop_map(|(max_rpt, n_insns, stagger)| Instr::Frep {
+            kind: FrepKind::Inner,
+            max_rpt,
+            n_insns,
+            stagger
+        }),
+        (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Instr::DmSrc { rs1, rs2 }),
+        (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Instr::DmDst { rs1, rs2 }),
+        (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Instr::DmStr { rs1, rs2 }),
+        int_reg().prop_map(|rs1| Instr::DmRep { rs1 }),
+        (int_reg(), int_reg(), 0u8..2).prop_map(|(rd, rs1, cfg)| Instr::DmCpyI { rd, rs1, cfg }),
+        (int_reg(), 0u8..2).prop_map(|(rd, which)| Instr::DmStatI { rd, which }),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(i in instr()) {
+        let word = encode(&i);
+        let back = decode(word);
+        prop_assert_eq!(back, Ok(i), "word {:#010x}", word);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_instrs_reencode_identically(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            // The decoded instruction must denote the same operation:
+            // re-encoding and re-decoding is a fixed point.
+            let word2 = encode(&i);
+            prop_assert_eq!(decode(word2), Ok(i));
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Multicore cluster CsrMV (§IV-B).
+//!
+//! The paper's system-level experiment: all data starts in main memory;
+//! the DMCC double-buffers matrix blocks (values + indices) into the
+//! TCDM with the 512-bit DMA while eight workers process the previous
+//! block, rows statically distributed among them. The dense vector, row
+//! pointers and block descriptors are DMAed once up front and stay
+//! resident; the result vector accumulates in the TCDM and is written
+//! back at the end.
+//!
+//! Synchronization uses monotonic flag words in the TCDM:
+//! `meta_ready`, per-buffer `ready[2]` (DMCC → workers, holds the
+//! 1-based block number loaded) and per-worker `done[8]` (workers →
+//! DMCC, holds the 1-based last block finished), so no flag is ever
+//! reset.
+
+use crate::common::FZ;
+use crate::csrmv::{emit_issr_row_loop, emit_sw_row_loop, RowLoopCtx};
+use crate::variant::{KernelIndex, Variant};
+use issr_cluster::cluster::{Cluster, ClusterParams, ClusterSummary};
+use issr_core::cfg::{cfg_addr, idx_cfg_word, reg as sreg};
+use issr_isa::asm::{Assembler, Program};
+use issr_isa::reg::IntReg as R;
+use issr_isa::Csr;
+use issr_mem::map::{MAIN_BASE, TCDM_BASE, TCDM_SIZE};
+use issr_snitch::cc::SimTimeout;
+use issr_sparse::csr::CsrMatrix;
+
+/// Per-buffer size (two of these sit at the top of the TCDM).
+pub const BUF_BYTES: u32 = 1 << 16;
+/// Bytes of each buffer reserved for matrix values.
+pub const VALS_CAP: u32 = 48 * 1024;
+/// Bytes of each buffer reserved for (word-aligned) index chunks.
+pub const IDX_CAP: u32 = BUF_BYTES - VALS_CAP;
+
+const FLAG_META: u32 = TCDM_BASE;
+const FLAG_READY: u32 = TCDM_BASE + 8;
+const FLAG_DONE: u32 = TCDM_BASE + 0x20;
+const DATA_LOW: u32 = TCDM_BASE + 0x100;
+const BUF_A: u32 = TCDM_BASE + TCDM_SIZE - 2 * BUF_BYTES;
+
+/// One double-buffered block of rows.
+#[derive(Clone, Copy, Debug)]
+struct Block {
+    row_start: u32,
+    row_count: u32,
+    nnz_start: u32,
+    vals_src: u32,
+    vals_len: u32,
+    idcs_src: u32,
+    idcs_len: u32,
+}
+
+/// The planned layout of one cluster CsrMV run.
+#[derive(Clone, Debug)]
+pub struct ClusterCsrmvPlan {
+    n_workers: u32,
+    nrows: u32,
+    ncols: u32,
+    blocks: Vec<Block>,
+    // Main memory.
+    main_vals: u32,
+    main_idcs: u32,
+    main_meta: u32,
+    main_y: u32,
+    meta_bytes: u32,
+    // TCDM.
+    tcdm_x: u32,
+    tcdm_ptr: u32,
+    tcdm_desc: u32,
+    tcdm_y: u32,
+}
+
+impl ClusterCsrmvPlan {
+    /// Plans blocks and addresses for `m` on `n_workers` workers.
+    ///
+    /// # Panics
+    /// Panics if a single row exceeds the block capacity or the resident
+    /// data does not fit the TCDM (the paper's matrices all fit).
+    #[must_use]
+    pub fn new<I: KernelIndex>(m: &CsrMatrix<I>, n_workers: u32) -> Self {
+        let nrows = m.nrows() as u32;
+        let ncols = m.ncols() as u32;
+        let max_elems = (VALS_CAP / 8).min((IDX_CAP - 8) / I::BYTES);
+        // Greedy row blocking under the element capacity.
+        let mut blocks = Vec::new();
+        let ptr = m.ptr();
+        let mut row = 0u32;
+        while row < nrows {
+            let start_nnz = ptr[row as usize];
+            let mut end = row + 1;
+            while end < nrows && ptr[end as usize + 1] - start_nnz <= max_elems {
+                end += 1;
+            }
+            let nnz_count = ptr[end as usize] - start_nnz;
+            assert!(
+                nnz_count <= max_elems,
+                "row {row} alone exceeds the block capacity of {max_elems} nonzeros"
+            );
+            blocks.push(Block {
+                row_start: row,
+                row_count: end - row,
+                nnz_start: start_nnz,
+                vals_src: 0,
+                vals_len: (nnz_count * 8).max(8),
+                idcs_src: 0,
+                idcs_len: 0,
+                });
+            row = end;
+        }
+        // Main-memory layout: vals | idcs | meta [x | ptr | desc] | y.
+        let mut main = crate::layout::Arena::new(MAIN_BASE, issr_mem::map::MAIN_SIZE);
+        let nnz = m.nnz() as u32;
+        let main_vals = main.alloc(nnz.max(1) * 8 + 8, 8);
+        let main_idcs = main.alloc((nnz.max(1) * I::BYTES + 15) & !7, 8);
+        let x_bytes = ncols * 8;
+        let ptr_bytes = ((nrows + 1) * 4 + 7) & !7;
+        let desc_bytes = (blocks.len() as u32 * 32).max(8);
+        let meta_bytes = x_bytes + ptr_bytes + desc_bytes;
+        let main_meta = main.alloc(meta_bytes, 8);
+        let main_y = main.alloc(nrows.max(1) * 8, 8);
+        // TCDM layout mirrors the meta block contiguously.
+        let tcdm_x = DATA_LOW;
+        let tcdm_ptr = tcdm_x + x_bytes;
+        let tcdm_desc = tcdm_ptr + ptr_bytes;
+        let tcdm_y = tcdm_desc + desc_bytes;
+        assert!(
+            tcdm_y + nrows.max(1) * 8 <= BUF_A,
+            "resident data (x, ptr, descriptors, y) does not fit below the block buffers"
+        );
+        // Fill per-block DMA sources now that array bases are known.
+        for b in &mut blocks {
+            let nnz_end = ptr[(b.row_start + b.row_count) as usize];
+            b.vals_src = main_vals + b.nnz_start * 8;
+            b.vals_len = ((nnz_end - b.nnz_start) * 8).max(8);
+            let idx_begin = main_idcs + b.nnz_start * I::BYTES;
+            let idx_end = main_idcs + nnz_end * I::BYTES;
+            b.idcs_src = idx_begin & !7;
+            b.idcs_len = (((idx_end + 7) & !7) - b.idcs_src).max(8);
+            assert!(b.idcs_len <= IDX_CAP, "index chunk exceeds buffer");
+        }
+        Self {
+            n_workers,
+            nrows,
+            ncols,
+            blocks,
+            main_vals,
+            main_idcs,
+            main_meta,
+            main_y,
+            meta_bytes,
+            tcdm_x,
+            tcdm_ptr,
+            tcdm_desc,
+            tcdm_y,
+        }
+    }
+
+    /// Number of planned blocks.
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Writes the workload into cluster main memory.
+    pub fn marshal<I: KernelIndex>(&self, cluster: &mut Cluster, m: &CsrMatrix<I>, x: &[f64]) {
+        let mem = cluster.main.array_mut();
+        mem.store_f64_slice(self.main_vals, m.vals());
+        I::store_slice(mem, self.main_idcs, m.idcs());
+        // Meta block: x, ptr, descriptors — contiguous, DMAed in one go.
+        let x_bytes = self.ncols * 8;
+        let ptr_bytes = ((self.nrows + 1) * 4 + 7) & !7;
+        mem.store_f64_slice(self.main_meta, x);
+        mem.store_u32_slice(self.main_meta + x_bytes, m.ptr());
+        for (i, b) in self.blocks.iter().enumerate() {
+            let d = self.main_meta + x_bytes + ptr_bytes + (i as u32) * 32;
+            mem.store_u32_slice(
+                d,
+                &[
+                    b.row_start,
+                    b.row_count,
+                    b.nnz_start,
+                    0,
+                    b.vals_src,
+                    b.vals_len,
+                    b.idcs_src,
+                    b.idcs_len,
+                ],
+            );
+        }
+    }
+
+    /// Reads the result vector back from main memory.
+    #[must_use]
+    pub fn read_y(&self, cluster: &Cluster) -> Vec<f64> {
+        cluster.main.array().load_f64_slice(self.main_y, self.nrows as usize)
+    }
+}
+
+/// Builds the SPMD cluster program (all harts run it; the DMCC is hart
+/// `n_workers`).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmvPlan) -> Program {
+    assert!(
+        plan.n_workers.is_power_of_two(),
+        "the static row split shifts by log2(workers)"
+    );
+    assert!(
+        matches!(variant, Variant::Base | Variant::Issr),
+        "cluster CsrMV is evaluated for BASE and ISSR (paper Fig. 4c)"
+    );
+    let nblocks = plan.blocks.len() as u32;
+    let log_w = if I::BYTES == 2 { 1 } else { 2 };
+    let mut asm = Assembler::new();
+    asm.csrr(R::A7, Csr::MHartId);
+    let dmcc_entry = asm.new_label();
+    asm.li(R::T0, i64::from(plan.n_workers));
+    asm.beq(R::A7, R::T0, dmcc_entry);
+
+    // ---------------- worker ----------------
+    asm.symbol("worker");
+    // Wait for resident data.
+    asm.li_addr(R::T0, FLAG_META);
+    let spin_meta = asm.bind_label();
+    asm.lw(R::T1, R::T0, 0);
+    asm.beqz(R::T1, spin_meta);
+    // Static state.
+    asm.li_addr(R::S9, plan.tcdm_desc);
+    asm.li(R::S10, 0); // block counter
+    asm.li(R::S11, i64::from(nblocks));
+    asm.li(R::S8, 8); // y stride
+    asm.li_addr(R::A6, FLAG_DONE);
+    asm.slli(R::T0, R::A7, 3);
+    asm.add(R::A6, R::A6, R::T0);
+    if variant == Variant::Issr {
+        // Invariant lane configuration: value stride, index mode, x base.
+        asm.li(R::T0, 8);
+        asm.scfgwi(R::T0, cfg_addr(sreg::STRIDES[0], 0));
+        asm.li(R::T0, i64::from(idx_cfg_word(I::IDX_SIZE, 0)));
+        asm.scfgwi(R::T0, cfg_addr(sreg::IDX_CFG, 1));
+        asm.li_addr(R::T0, plan.tcdm_x);
+        asm.scfgwi(R::T0, cfg_addr(sreg::DATA_BASE, 1));
+        asm.csrsi(Csr::Ssr, 1);
+        asm.fcvt_d_w(FZ, R::ZERO);
+    }
+    asm.roi_begin();
+    let worker_end = asm.new_label();
+    if nblocks == 0 {
+        asm.j(worker_end);
+    }
+    let block_loop = asm.bind_label();
+    asm.symbol("worker_block");
+    // Wait ready[b & 1] >= b + 1.
+    asm.andi(R::T0, R::S10, 1);
+    asm.slli(R::T0, R::T0, 3);
+    asm.li_addr(R::T1, FLAG_READY);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.addi(R::T3, R::S10, 1);
+    let spin_ready = asm.bind_label();
+    asm.lw(R::T2, R::T0, 0);
+    asm.blt(R::T2, R::T3, spin_ready);
+    // Descriptor fields.
+    asm.slli(R::T4, R::S10, 5);
+    asm.add(R::T4, R::T4, R::S9);
+    asm.lw(R::A0, R::T4, 0); // row_start
+    asm.lw(R::A1, R::T4, 4); // row_count
+    asm.lw(R::A2, R::T4, 8); // nnz_start
+    // My row slice: rpw = ceil(row_count / workers); my_off = h * rpw.
+    asm.addi(R::T5, R::A1, i32::try_from(plan.n_workers - 1).expect("small"));
+    asm.srli(R::T5, R::T5, plan.n_workers.trailing_zeros() as i32);
+    asm.mul(R::T6, R::T5, R::A7);
+    asm.sub(R::A3, R::A1, R::T6); // rows remaining after my offset
+    let signal_done = asm.new_label();
+    asm.blez(R::A3, signal_done); // no rows for me in this block
+    let clamp_ok = asm.new_label();
+    asm.bge(R::A3, R::T5, clamp_ok);
+    asm.mv(R::T5, R::A3); // my_count = min(rpw, remaining)
+    asm.bind(clamp_ok);
+    asm.add(R::A4, R::A0, R::T6); // my_start
+    // Row-pointer window: s3 = ptr[my_start]; s0 = &ptr[my_start + 1].
+    asm.slli(R::T0, R::A4, 2);
+    asm.li_addr(R::T1, plan.tcdm_ptr);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.lw(R::S3, R::T0, 0);
+    asm.addi(R::S0, R::T0, 4);
+    asm.slli(R::T2, R::T5, 2);
+    asm.add(R::T2, R::T2, R::T0);
+    asm.lw(R::T2, R::T2, 0); // ptr[my_end]
+    asm.mv(R::S2, R::T5); // row count for the row loop
+    // y cursor.
+    asm.slli(R::T0, R::A4, 3);
+    asm.li_addr(R::T1, plan.tcdm_y);
+    asm.add(R::S1, R::T0, R::T1);
+    asm.sub(R::A5, R::T2, R::S3); // my element count
+    // Buffer bases for this block.
+    asm.andi(R::T0, R::S10, 1);
+    asm.slli(R::T0, R::T0, 16);
+    asm.li_addr(R::T1, BUF_A);
+    asm.add(R::T0, R::T0, R::T1); // buffer base (vals at +0)
+    match variant {
+        Variant::Issr => {
+            let launch_done = asm.new_label();
+            asm.beqz(R::A5, launch_done); // nothing streams this block
+            // Launch SSR over my values.
+            asm.addi(R::T1, R::A5, -1);
+            asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 0));
+            asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 1));
+            asm.sub(R::T2, R::S3, R::A2); // element offset in buffer
+            asm.slli(R::T2, R::T2, 3);
+            asm.add(R::T2, R::T2, R::T0);
+            asm.scfgwi(R::T2, cfg_addr(sreg::RPTR[0], 0));
+            // Launch ISSR over my indices (buffer chunk is 8-aligned from
+            // `idcs_src`; the serializer absorbs the sub-word offset).
+            asm.slli(R::T2, R::S3, log_w);
+            asm.slli(R::T3, R::A2, log_w);
+            asm.andi(R::T3, R::T3, -8);
+            asm.sub(R::T2, R::T2, R::T3);
+            asm.add(R::T2, R::T2, R::T0);
+            asm.li(R::T3, i64::from(VALS_CAP));
+            asm.add(R::T2, R::T2, R::T3);
+            asm.scfgwi(R::T2, cfg_addr(sreg::RPTR[0], 1));
+            asm.bind(launch_done);
+            emit_issr_row_loop::<I>(&mut asm, &RowLoopCtx { idx_shift: 3, restore_cursors: false });
+        }
+        _ => {
+            // BASE: software cursors into the buffer.
+            // Virtual value base: buf_vals - 8 * nnz_start.
+            asm.slli(R::T1, R::A2, 3);
+            asm.sub(R::S7, R::T0, R::T1);
+            asm.slli(R::T1, R::S3, 3);
+            asm.add(R::S5, R::S7, R::T1); // vals cursor at ptr[my_start]
+            // Virtual index base: buf_idcs - align8(W * nnz_start).
+            asm.slli(R::T1, R::A2, log_w);
+            asm.andi(R::T1, R::T1, -8);
+            asm.li(R::T2, i64::from(VALS_CAP));
+            asm.add(R::T2, R::T2, R::T0);
+            asm.sub(R::T2, R::T2, R::T1); // virtual idx base
+            asm.slli(R::T1, R::S3, log_w);
+            asm.add(R::S4, R::T2, R::T1); // idx cursor
+            asm.li_addr(R::S6, plan.tcdm_x);
+            // emit_sw_row_loop(BASE) computes row ends against s7.
+            emit_sw_row_loop::<I>(&mut asm, Variant::Base, &RowLoopCtx {
+                idx_shift: 3,
+                restore_cursors: false,
+            });
+        }
+    }
+    asm.bind(signal_done);
+    asm.addi(R::T0, R::S10, 1);
+    asm.sw(R::T0, R::A6, 0);
+    asm.addi(R::S10, R::S10, 1);
+    asm.blt(R::S10, R::S11, block_loop);
+    asm.bind(worker_end);
+    asm.roi_end();
+    if variant == Variant::Issr {
+        asm.csrci(Csr::Ssr, 1);
+    }
+    asm.halt();
+
+    // ---------------- DMCC ----------------
+    asm.bind(dmcc_entry);
+    asm.symbol("dmcc");
+    // Meta transfer: x | ptr | descriptors in one DMA.
+    asm.li_addr(R::A0, plan.main_meta);
+    asm.li_addr(R::A1, plan.tcdm_x);
+    asm.dmsrc(R::A0, R::ZERO);
+    asm.dmdst(R::A1, R::ZERO);
+    asm.li(R::A2, i64::from(plan.meta_bytes));
+    asm.dmcpyi(R::ZERO, R::A2, 0);
+    let poll_meta = asm.bind_label();
+    asm.dmstati(R::T0, 0);
+    asm.beqz(R::T0, poll_meta);
+    asm.li(R::T1, 1);
+    asm.li_addr(R::T2, FLAG_META);
+    asm.sw(R::T1, R::T2, 0);
+    asm.li(R::S7, 1); // DMA transfers issued so far
+    asm.li(R::S10, 0); // block counter
+    asm.li(R::S11, i64::from(nblocks));
+    let dmcc_finish = asm.new_label();
+    if nblocks == 0 {
+        asm.j(dmcc_finish);
+    }
+    let dmcc_loop = asm.bind_label();
+    asm.symbol("dmcc_block");
+    // Before overwriting buffer b&1, wait for every worker to be done
+    // with block b-2 (monotonic flags: done[c] >= b-1).
+    let no_wait = asm.new_label();
+    asm.addi(R::T0, R::S10, -2);
+    asm.blt(R::T0, R::ZERO, no_wait);
+    asm.addi(R::T3, R::S10, -1); // need done >= b-1
+    for c in 0..plan.n_workers {
+        let spin = asm.bind_label();
+        asm.li_addr(R::T1, FLAG_DONE + c * 8);
+        asm.lw(R::T2, R::T1, 0);
+        asm.blt(R::T2, R::T3, spin);
+    }
+    asm.bind(no_wait);
+    // Descriptor: DMA sources and lengths.
+    asm.slli(R::T4, R::S10, 5);
+    asm.li_addr(R::T5, plan.tcdm_desc);
+    asm.add(R::T4, R::T4, R::T5);
+    asm.lw(R::A0, R::T4, 16); // vals_src
+    asm.lw(R::A1, R::T4, 20); // vals_len
+    asm.lw(R::A2, R::T4, 24); // idcs_src
+    asm.lw(R::A3, R::T4, 28); // idcs_len
+    // Destination buffer.
+    asm.andi(R::T0, R::S10, 1);
+    asm.slli(R::T0, R::T0, 16);
+    asm.li_addr(R::T1, BUF_A);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.dmsrc(R::A0, R::ZERO);
+    asm.dmdst(R::T0, R::ZERO);
+    asm.dmcpyi(R::ZERO, R::A1, 0);
+    asm.li(R::T2, i64::from(VALS_CAP));
+    asm.add(R::T2, R::T2, R::T0);
+    asm.dmsrc(R::A2, R::ZERO);
+    asm.dmdst(R::T2, R::ZERO);
+    asm.dmcpyi(R::ZERO, R::A3, 0);
+    asm.addi(R::S7, R::S7, 2);
+    let poll_block = asm.bind_label();
+    asm.dmstati(R::T3, 0);
+    asm.blt(R::T3, R::S7, poll_block);
+    // ready[b & 1] = b + 1.
+    asm.andi(R::T0, R::S10, 1);
+    asm.slli(R::T0, R::T0, 3);
+    asm.li_addr(R::T1, FLAG_READY);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.addi(R::T2, R::S10, 1);
+    asm.sw(R::T2, R::T0, 0);
+    asm.addi(R::S10, R::S10, 1);
+    asm.blt(R::S10, R::S11, dmcc_loop);
+    asm.bind(dmcc_finish);
+    // Wait for all workers to finish the last block.
+    for c in 0..plan.n_workers {
+        let spin = asm.bind_label();
+        asm.li_addr(R::T1, FLAG_DONE + c * 8);
+        asm.lw(R::T2, R::T1, 0);
+        asm.blt(R::T2, R::S11, spin);
+    }
+    // Write the result back.
+    if plan.nrows > 0 {
+        asm.li_addr(R::A0, plan.tcdm_y);
+        asm.li_addr(R::A1, plan.main_y);
+        asm.dmsrc(R::A0, R::ZERO);
+        asm.dmdst(R::A1, R::ZERO);
+        asm.li(R::A2, i64::from(plan.nrows) * 8);
+        asm.dmcpyi(R::ZERO, R::A2, 0);
+        asm.addi(R::S7, R::S7, 1);
+        let poll_y = asm.bind_label();
+        asm.dmstati(R::T0, 0);
+        asm.blt(R::T0, R::S7, poll_y);
+    }
+    asm.halt();
+    asm.finish().expect("cluster CsrMV program assembles")
+}
+
+/// Result of one cluster CsrMV run.
+#[derive(Clone, Debug)]
+pub struct ClusterCsrmvRun {
+    /// The result vector, read back from main memory.
+    pub y: Vec<f64>,
+    /// Cluster-wide summary.
+    pub summary: ClusterSummary,
+}
+
+/// Runs cluster CsrMV end to end (marshal → simulate → read back).
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the cluster deadlocks or exceeds its cycle
+/// budget (a bug).
+pub fn run_cluster_csrmv<I: KernelIndex>(
+    variant: Variant,
+    m: &CsrMatrix<I>,
+    x: &[f64],
+) -> Result<ClusterCsrmvRun, SimTimeout> {
+    run_cluster_csrmv_with(variant, m, x, ClusterParams::default())
+}
+
+/// [`run_cluster_csrmv`] with explicit cluster parameters (worker-count
+/// scaling studies, instruction-cache ablations).
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the cluster deadlocks or exceeds its cycle
+/// budget (a bug).
+pub fn run_cluster_csrmv_with<I: KernelIndex>(
+    variant: Variant,
+    m: &CsrMatrix<I>,
+    x: &[f64],
+    params: ClusterParams,
+) -> Result<ClusterCsrmvRun, SimTimeout> {
+    let plan = ClusterCsrmvPlan::new(m, params.n_workers as u32);
+    let program = build_cluster_csrmv::<I>(variant, &plan);
+    let mut cluster = Cluster::new(program, params);
+    plan.marshal(&mut cluster, m, x);
+    let budget = 1_000_000 + 32 * m.nnz() as u64 + 512 * m.nrows() as u64;
+    let summary = cluster.run(budget)?;
+    Ok(ClusterCsrmvRun { y: plan.read_y(&cluster), summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_sparse::dense::allclose;
+    use issr_sparse::{gen, reference};
+
+    fn check<I: KernelIndex>(variant: Variant, nrows: usize, ncols: usize, nnz: usize, seed: u64) {
+        let mut rng = gen::rng(seed);
+        let m = gen::csr_uniform::<I>(&mut rng, nrows, ncols, nnz);
+        let x = gen::dense_vector(&mut rng, ncols);
+        let run = run_cluster_csrmv(variant, &m, &x).expect("cluster run finishes");
+        let expect = reference::csrmv(&m, &x);
+        assert!(
+            allclose(&run.y, &expect, 1e-12, 1e-12),
+            "{variant} cluster {nrows}x{ncols} nnz={nnz}"
+        );
+    }
+
+    #[test]
+    fn issr_single_block_matches_reference() {
+        check::<u16>(Variant::Issr, 64, 128, 600, 50);
+        check::<u32>(Variant::Issr, 64, 128, 600, 51);
+    }
+
+    #[test]
+    fn base_single_block_matches_reference() {
+        check::<u16>(Variant::Base, 64, 128, 600, 52);
+    }
+
+    #[test]
+    fn multi_block_double_buffering_matches_reference() {
+        // > 6144 elements forces several blocks through both buffers.
+        check::<u16>(Variant::Issr, 400, 256, 16_000, 53);
+    }
+
+    #[test]
+    fn multi_block_base_matches_reference() {
+        check::<u16>(Variant::Base, 400, 256, 16_000, 54);
+    }
+
+    #[test]
+    fn empty_and_unbalanced_rows() {
+        // Rows 0 and 5 dense, everything else empty; fewer rows than cores.
+        let mut triplets = Vec::new();
+        for j in 0..40 {
+            triplets.push((0, j, j as f64 + 1.0));
+            triplets.push((5, (j * 3) % 64, 0.5 * j as f64));
+        }
+        let m = CsrMatrix::<u16>::from_triplets(6, 64, &triplets);
+        let x: Vec<f64> = (0..64).map(|i| f64::from(i as u32) * 0.25).collect();
+        let run = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();
+        assert!(allclose(&run.y, &reference::csrmv(&m, &x), 1e-12, 1e-12));
+    }
+
+    /// Fig. 4c's headline: the ISSR-16 cluster kernel beats BASE by a
+    /// large factor on reasonably dense matrices.
+    #[test]
+    fn cluster_speedup_on_dense_rows() {
+        let mut rng = gen::rng(60);
+        let m = gen::csr_fixed_row_nnz::<u16>(&mut rng, 256, 512, 64);
+        let x = gen::dense_vector(&mut rng, 512);
+        let base = run_cluster_csrmv(Variant::Base, &m, &x).unwrap();
+        let issr = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();
+        let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+        assert!(
+            speedup > 3.0 && speedup < 7.3,
+            "cluster ISSR-16 speedup {speedup:.2} out of plausible band"
+        );
+        // Bank conflicts must be visible in the ISSR run (random gathers).
+        assert!(issr.summary.tcdm_stats.conflicts > 0);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use issr_sparse::gen;
+
+    #[test]
+    #[ignore = "calibration probe"]
+    fn probe_cluster_numbers() {
+        for row_nnz in [1usize, 4, 16, 64, 128] {
+            let mut rng = gen::rng(99);
+            let nrows = 512;
+            let m = gen::csr_clustered::<u16>(&mut rng, nrows, 1024, row_nnz, (row_nnz * 4).clamp(16, 1024));
+            let x = gen::dense_vector(&mut rng, 1024);
+            let base = run_cluster_csrmv(Variant::Base, &m, &x).unwrap();
+            let issr = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();
+            let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+            let w0 = &issr.summary.worker_metrics[0];
+            println!(
+                "nnz/row {row_nnz:4}: BASE {:8} ISSR {:8} speedup {speedup:.2} peak_util {:.3} cluster_util {:.3} conflicts {} dma_busy {} w0_roi {} w0_fpustall {} w0_fmadds {}",
+                base.summary.cycles, issr.summary.cycles,
+                issr.summary.peak_worker_utilization(),
+                issr.summary.cluster_utilization(),
+                issr.summary.tcdm_stats.conflicts,
+                issr.summary.dma_stats.busy_cycles,
+                w0.roi.cycles, w0.roi.fpu_stall, w0.roi.fmadds,
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! CSF tensor-times-vector on the ISSR (§III-A extension).
+//!
+//! CSF generalizes CSR by nesting fibers; the paper notes that the ISSR
+//! accelerates *any* fiber-based format with the core iterating the
+//! upper axes. Mode-2 TTV (`Y[i][j] = Σ_k T[i][j][k] · x[k]`) maps onto
+//! two existing accelerated passes:
+//!
+//! 1. the compressed leaf rows of the tensor *are* a CSR matrix
+//!    (`n_compressed_rows × dims[2]`), so the ISSR CsrMV kernel produces
+//!    one partial result per nonempty `(i, j)` fiber;
+//! 2. an ISSR *scatter* stream places those partials at their `(i, j)`
+//!    positions in the dense output — the output coordinates are format
+//!    metadata the host precomputes, like CSR row pointers.
+
+use crate::csrmv::run_csrmv;
+use crate::streaming::run_scatter;
+use crate::variant::{KernelIndex, Variant};
+use issr_snitch::cc::SimTimeout;
+use issr_sparse::csf::CsfTensor;
+use issr_sparse::csr::CsrMatrix;
+
+/// Result of a TTV run.
+#[derive(Clone, Debug)]
+pub struct CsfTtvRun {
+    /// Dense `dims[0] × dims[1]` output.
+    pub y: Vec<Vec<f64>>,
+    /// Cycles of the CsrMV pass.
+    pub mv_cycles: u64,
+    /// Cycles of the scatter pass.
+    pub scatter_cycles: u64,
+}
+
+/// Runs mode-2 TTV with `variant` kernels (the scatter pass is always
+/// ISSR — it has no BASE analogue in the paper).
+///
+/// # Errors
+/// Returns [`SimTimeout`] on a simulation bug.
+///
+/// # Panics
+/// Panics if `x.len() != dims[2]` or the output coordinates do not fit
+/// the index width `I`.
+pub fn run_csf_ttv<I: KernelIndex>(
+    variant: Variant,
+    t: &CsfTensor<I>,
+    x: &[f64],
+) -> Result<CsfTtvRun, SimTimeout> {
+    let dims = t.dims();
+    assert_eq!(x.len(), dims[2], "vector length mismatch");
+    // Pass 1: the leaf level as a CSR matrix over compressed rows.
+    let mut ptr = vec![0u32];
+    let mut out_coord: Vec<I> = Vec::new();
+    for (i, rows) in t.slices() {
+        for r in rows {
+            let (j, leaves) = t.row(r);
+            ptr.push(leaves.end as u32);
+            out_coord.push(I::from_usize(i * dims[1] + j));
+        }
+    }
+    let n_rows = ptr.len() - 1;
+    let mut y = vec![vec![0.0; dims[1]]; dims[0]];
+    if n_rows == 0 {
+        return Ok(CsfTtvRun { y, mv_cycles: 0, scatter_cycles: 0 });
+    }
+    let leaf_matrix = CsrMatrix::new(
+        n_rows,
+        dims[2],
+        ptr,
+        t.leaf_idcs().to_vec(),
+        t.vals().to_vec(),
+    )
+    .expect("CSF leaf level is a valid CSR");
+    let mv = run_csrmv(variant, &leaf_matrix, x)?;
+    // Pass 2: scatter the per-fiber partials to their (i, j) slots.
+    let scatter = run_scatter(dims[0] * dims[1], &out_coord, &mv.y)?;
+    for i in 0..dims[0] {
+        for j in 0..dims[1] {
+            y[i][j] = scatter.out[i * dims[1] + j];
+        }
+    }
+    Ok(CsfTtvRun {
+        y,
+        mv_cycles: mv.summary.metrics.roi.cycles,
+        scatter_cycles: scatter.summary.metrics.roi.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_sparse::gen;
+    use rand::Rng;
+
+    fn random_tensor(seed: u64, dims: [usize; 3], nnz: usize) -> CsfTensor<u16> {
+        let mut rng = gen::rng(seed);
+        let entries: Vec<([usize; 3], f64)> = (0..nnz)
+            .map(|_| {
+                (
+                    [
+                        rng.gen_range(0..dims[0]),
+                        rng.gen_range(0..dims[1]),
+                        rng.gen_range(0..dims[2]),
+                    ],
+                    rng.gen_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        CsfTensor::from_coords(dims, &entries)
+    }
+
+    #[test]
+    fn ttv_matches_reference() {
+        let dims = [6, 8, 64];
+        let t = random_tensor(90, dims, 300);
+        let mut rng = gen::rng(91);
+        let x = gen::dense_vector(&mut rng, dims[2]);
+        let run = run_csf_ttv(Variant::Issr, &t, &x).unwrap();
+        let expect = t.ttv(&x);
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                assert!(
+                    (run.y[i][j] - expect[i][j]).abs() < 1e-9,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_variant_also_correct() {
+        let dims = [3, 4, 32];
+        let t = random_tensor(92, dims, 60);
+        let mut rng = gen::rng(93);
+        let x = gen::dense_vector(&mut rng, dims[2]);
+        let run = run_csf_ttv(Variant::Base, &t, &x).unwrap();
+        let expect = t.ttv(&x);
+        assert!((run.y[2][3] - expect[2][3]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tensor_yields_zeros() {
+        let t = CsfTensor::<u16>::from_coords([2, 2, 8], &[]);
+        let run = run_csf_ttv(Variant::Issr, &t, &[0.0; 8]).unwrap();
+        assert_eq!(run.y, vec![vec![0.0; 2]; 2]);
+        assert_eq!(run.mv_cycles, 0);
+    }
+
+    #[test]
+    fn scatter_pass_is_small_next_to_mv() {
+        let dims = [8, 8, 128];
+        let t = random_tensor(94, dims, 2000);
+        let mut rng = gen::rng(95);
+        let x = gen::dense_vector(&mut rng, dims[2]);
+        let run = run_csf_ttv(Variant::Issr, &t, &x).unwrap();
+        assert!(
+            run.scatter_cycles < run.mv_cycles,
+            "scatter {} vs mv {}",
+            run.scatter_cycles,
+            run.mv_cycles
+        );
+    }
+}

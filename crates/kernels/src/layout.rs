@@ -1,0 +1,185 @@
+//! Memory layout planning and workload marshalling.
+//!
+//! Kernels are generated per workload with base addresses baked in as a
+//! linker would; the [`Arena`] hands out aligned regions and the
+//! placement helpers copy sparse structures into simulated memory.
+
+use crate::variant::KernelIndex;
+use issr_mem::array::MemArray;
+use issr_sparse::csr::CsrMatrix;
+use issr_sparse::dense::DenseMatrix;
+use issr_sparse::fiber::SparseFiber;
+
+/// A bump allocator over a memory region.
+#[derive(Clone, Debug)]
+pub struct Arena {
+    next: u32,
+    limit: u32,
+}
+
+impl Arena {
+    /// Creates an arena over `[base, base + size)`.
+    #[must_use]
+    pub fn new(base: u32, size: u32) -> Self {
+        Self { next: base, limit: base + size }
+    }
+
+    /// Allocates `bytes` with the given power-of-two alignment.
+    ///
+    /// # Panics
+    /// Panics if the arena is exhausted or alignment is not a power of
+    /// two.
+    pub fn alloc(&mut self, bytes: u32, align: u32) -> u32 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        assert!(
+            u64::from(base) + u64::from(bytes) <= u64::from(self.limit),
+            "arena exhausted: need {bytes} bytes at {base:#x}, limit {:#x}",
+            self.limit
+        );
+        self.next = base + bytes;
+        base
+    }
+
+    /// Next free address (for fit checks).
+    #[must_use]
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+
+    /// Remaining capacity in bytes.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.limit - self.next
+    }
+}
+
+/// Addresses of a placed sparse fiber.
+#[derive(Clone, Copy, Debug)]
+pub struct FiberAddrs {
+    /// Value array (8-byte aligned).
+    pub vals: u32,
+    /// Index array (element aligned).
+    pub idcs: u32,
+    /// Nonzero count.
+    pub nnz: u32,
+}
+
+/// Places a fiber's arrays; index storage is padded to whole words so
+/// DMA transfers stay word-aligned.
+pub fn place_fiber<I: KernelIndex>(
+    arena: &mut Arena,
+    mem: &mut MemArray,
+    fiber: &SparseFiber<I>,
+) -> FiberAddrs {
+    let nnz = fiber.nnz() as u32;
+    let vals = arena.alloc(nnz.max(1) * 8, 8);
+    let idx_bytes = (nnz.max(1) * I::BYTES + 7) & !7;
+    let idcs = arena.alloc(idx_bytes, 8);
+    mem.store_f64_slice(vals, fiber.vals());
+    I::store_slice(mem, idcs, fiber.idcs());
+    FiberAddrs { vals, idcs, nnz }
+}
+
+/// Addresses of a placed CSR matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrAddrs {
+    /// Row pointer array (32-bit entries).
+    pub ptr: u32,
+    /// Column index array.
+    pub idcs: u32,
+    /// Value array.
+    pub vals: u32,
+    /// Rows.
+    pub nrows: u32,
+    /// Nonzero count.
+    pub nnz: u32,
+}
+
+/// Places a CSR matrix.
+pub fn place_csr<I: KernelIndex>(
+    arena: &mut Arena,
+    mem: &mut MemArray,
+    m: &CsrMatrix<I>,
+) -> CsrAddrs {
+    let ptr = arena.alloc(((m.nrows() as u32 + 1) * 4 + 7) & !7, 8);
+    mem.store_u32_slice(ptr, m.ptr());
+    let nnz = m.nnz() as u32;
+    let vals = arena.alloc(nnz.max(1) * 8, 8);
+    mem.store_f64_slice(vals, m.vals());
+    let idx_bytes = (nnz.max(1) * I::BYTES + 7) & !7;
+    let idcs = arena.alloc(idx_bytes, 8);
+    I::store_slice(mem, idcs, m.idcs());
+    CsrAddrs { ptr, idcs, vals, nrows: m.nrows() as u32, nnz }
+}
+
+/// Places a dense f64 slice (8-byte aligned).
+pub fn place_f64s(arena: &mut Arena, mem: &mut MemArray, data: &[f64]) -> u32 {
+    let addr = arena.alloc((data.len() as u32).max(1) * 8, 8);
+    mem.store_f64_slice(addr, data);
+    addr
+}
+
+/// Places a dense matrix including its stride padding; returns the base
+/// address (row `r` at `base + r * stride * 8`).
+pub fn place_dense_matrix(arena: &mut Arena, mem: &mut MemArray, m: &DenseMatrix) -> u32 {
+    place_f64s(arena, mem, m.data())
+}
+
+/// Allocates an uninitialized result buffer of `len` doubles.
+pub fn alloc_result(arena: &mut Arena, len: u32) -> u32 {
+    arena.alloc(len.max(1) * 8, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_sparse::fiber::SparseFiber;
+
+    #[test]
+    fn arena_alignment_and_exhaustion() {
+        let mut a = Arena::new(0x1000, 0x100);
+        assert_eq!(a.alloc(4, 8), 0x1000);
+        assert_eq!(a.alloc(8, 8), 0x1008);
+        let unaligned = a.alloc(2, 2);
+        assert_eq!(unaligned, 0x1010);
+        assert_eq!(a.alloc(8, 8), 0x1018);
+        assert!(a.remaining() < 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn arena_overflow_panics() {
+        let mut a = Arena::new(0, 16);
+        let _ = a.alloc(32, 8);
+    }
+
+    #[test]
+    fn fiber_placement_round_trips() {
+        let mut arena = Arena::new(0x2000, 0x1000);
+        let mut mem = MemArray::new(0x2000, 0x1000);
+        let f = SparseFiber::<u16>::new(100, vec![3, 50, 99], vec![1.0, 2.0, 3.0]).unwrap();
+        let addrs = place_fiber(&mut arena, &mut mem, &f);
+        assert_eq!(addrs.nnz, 3);
+        assert_eq!(mem.load_f64(addrs.vals + 8), 2.0);
+        assert_eq!(mem.load_u16(addrs.idcs + 2), 50);
+        assert_eq!(addrs.vals % 8, 0);
+    }
+
+    #[test]
+    fn csr_placement_round_trips() {
+        let mut arena = Arena::new(0x2000, 0x4000);
+        let mut mem = MemArray::new(0x2000, 0x4000);
+        let m = issr_sparse::csr::CsrMatrix::<u32>::from_triplets(
+            2,
+            4,
+            &[(0, 1, 5.0), (1, 0, -1.0), (1, 3, 2.0)],
+        );
+        let addrs = place_csr(&mut arena, &mut mem, &m);
+        assert_eq!(mem.load_u32(addrs.ptr), 0);
+        assert_eq!(mem.load_u32(addrs.ptr + 4), 1);
+        assert_eq!(mem.load_u32(addrs.ptr + 8), 3);
+        assert_eq!(mem.load_f64(addrs.vals + 16), 2.0);
+        assert_eq!(mem.load_u32(addrs.idcs + 8), 3);
+    }
+}

@@ -1,0 +1,379 @@
+//! The cluster DMA engine.
+//!
+//! A 512-bit engine that moves blocks between main memory and the TCDM
+//! (§II-C, [7]). It supports 1D transfers and 2D (strided) transfers used
+//! to tile matrices into the TCDM. Transfers are queued and processed in
+//! order; the engine moves up to eight 64-bit words per cycle and claims
+//! the TCDM banks it touches (it has priority over core ports, matching
+//! the Snitch cluster's interconnect).
+//!
+//! Programming model (Xdma instructions, see `issr-isa`):
+//! `dmsrc`/`dmdst` latch addresses, `dmstr` latches 2D strides, `dmrep`
+//! the repetition count, and `dmcpyi` enqueues the transfer and returns
+//! its id. `dmstati 0` reads the number of completed transfers.
+
+use crate::array::MemArray;
+use crate::main_mem::MainMemory;
+
+/// Words moved per cycle (512-bit datapath).
+pub const DMA_WORDS_PER_CYCLE: u32 = 8;
+
+/// Direction of a transfer, derived from its addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Direction {
+    /// Main memory → TCDM.
+    In,
+    /// TCDM → main memory.
+    Out,
+    /// TCDM → TCDM.
+    Local,
+}
+
+/// One queued transfer descriptor.
+#[derive(Clone, Copy, Debug)]
+struct Transfer {
+    id: u32,
+    src: u32,
+    dst: u32,
+    /// Bytes per row (8-byte multiple).
+    size: u32,
+    src_stride: u32,
+    dst_stride: u32,
+    /// Number of rows (1 for 1D transfers).
+    reps: u32,
+}
+
+/// Progress of the active transfer.
+#[derive(Clone, Copy, Debug)]
+struct Progress {
+    row: u32,
+    word: u32,
+}
+
+/// Statistics for energy modelling and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DmaStats {
+    /// Words copied in (main → TCDM).
+    pub words_in: u64,
+    /// Words copied out (TCDM → main).
+    pub words_out: u64,
+    /// Cycles with at least one word moved.
+    pub busy_cycles: u64,
+    /// Transfers completed.
+    pub transfers: u64,
+}
+
+/// The DMA engine front end + mover.
+#[derive(Clone, Debug)]
+pub struct Dma {
+    // Latched configuration (next transfer).
+    src: u32,
+    dst: u32,
+    src_stride: u32,
+    dst_stride: u32,
+    reps: u32,
+    // Engine state.
+    queue: std::collections::VecDeque<Transfer>,
+    active: Option<(Transfer, Progress)>,
+    next_id: u32,
+    completed: u32,
+    tcdm_base: u32,
+    tcdm_size: u32,
+    stats: DmaStats,
+}
+
+impl Dma {
+    /// Creates an idle engine; `tcdm_base`/`tcdm_size` identify which
+    /// addresses live in the TCDM (everything else is main memory).
+    #[must_use]
+    pub fn new(tcdm_base: u32, tcdm_size: u32) -> Self {
+        Self {
+            src: 0,
+            dst: 0,
+            src_stride: 0,
+            dst_stride: 0,
+            reps: 1,
+            queue: std::collections::VecDeque::new(),
+            active: None,
+            next_id: 0,
+            completed: 0,
+            tcdm_base,
+            tcdm_size,
+            stats: DmaStats::default(),
+        }
+    }
+
+    /// Latches the source address (`dmsrc`).
+    pub fn set_src(&mut self, addr: u32) {
+        self.src = addr;
+    }
+
+    /// Latches the destination address (`dmdst`).
+    pub fn set_dst(&mut self, addr: u32) {
+        self.dst = addr;
+    }
+
+    /// Latches 2D strides in bytes (`dmstr`).
+    pub fn set_strides(&mut self, src_stride: u32, dst_stride: u32) {
+        self.src_stride = src_stride;
+        self.dst_stride = dst_stride;
+    }
+
+    /// Latches the 2D repetition count (`dmrep`).
+    pub fn set_reps(&mut self, reps: u32) {
+        self.reps = reps.max(1);
+    }
+
+    /// Enqueues a transfer of `size` bytes per row (`dmcpyi`); `twod`
+    /// selects 2D mode (otherwise a single row is moved). Returns the
+    /// transfer id.
+    ///
+    /// # Panics
+    /// Panics if addresses or size are not 8-byte aligned (the engine
+    /// moves whole words; the layout planners guarantee alignment).
+    pub fn start(&mut self, size: u32, twod: bool) -> u32 {
+        assert_eq!(size % 8, 0, "DMA size must be word-aligned");
+        assert_eq!(self.src % 8, 0, "DMA source must be word-aligned");
+        assert_eq!(self.dst % 8, 0, "DMA destination must be word-aligned");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Transfer {
+            id,
+            src: self.src,
+            dst: self.dst,
+            size,
+            src_stride: if twod { self.src_stride } else { 0 },
+            dst_stride: if twod { self.dst_stride } else { 0 },
+            reps: if twod { self.reps } else { 1 },
+        });
+        id
+    }
+
+    /// Number of completed transfers (`dmstati 0`). A transfer with id `t`
+    /// is done once `completed() > t`.
+    #[must_use]
+    pub fn completed(&self) -> u32 {
+        self.completed
+    }
+
+    /// Whether a transfer is active or queued (`dmstati 1`).
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.active.is_some() || !self.queue.is_empty()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> DmaStats {
+        self.stats
+    }
+
+    fn direction(&self, t: &Transfer) -> Direction {
+        let src_local = self.in_tcdm(t.src);
+        let dst_local = self.in_tcdm(t.dst);
+        match (src_local, dst_local) {
+            (false, true) => Direction::In,
+            (true, false) => Direction::Out,
+            _ => Direction::Local,
+        }
+    }
+
+    fn in_tcdm(&self, addr: u32) -> bool {
+        addr >= self.tcdm_base && addr - self.tcdm_base < self.tcdm_size
+    }
+
+    /// Advances the engine by one cycle, copying up to
+    /// [`DMA_WORDS_PER_CYCLE`] words. Returns the TCDM banks claimed this
+    /// cycle in `claimed` (caller passes a `false`-initialized slice of
+    /// bank-count length and the word-interleaving is 8 bytes).
+    ///
+    /// `contested` marks banks with core requests pending this cycle; on
+    /// alternating *yield* cycles the engine stops at the first word
+    /// whose bank a core wants, modelling the cluster interconnect's
+    /// fair arbitration between the wide DMA port and the core ports
+    /// (the DMA does not starve cores, and vice versa).
+    pub fn tick(
+        &mut self,
+        tcdm: &mut MemArray,
+        main: &mut MainMemory,
+        claimed: &mut [bool],
+        contested: &[bool],
+        yield_to_cores: bool,
+    ) {
+        if self.active.is_none() {
+            if let Some(t) = self.queue.pop_front() {
+                self.active = Some((t, Progress { row: 0, word: 0 }));
+            }
+        }
+        let Some((t, mut p)) = self.active else {
+            return;
+        };
+        let dir = self.direction(&t);
+        let words_per_row = t.size / 8;
+        let n_banks = claimed.len().max(1);
+        let mut moved = 0;
+        while moved < DMA_WORDS_PER_CYCLE && p.row < t.reps {
+            let src = t.src + p.row * t.src_stride + p.word * 8;
+            let dst = t.dst + p.row * t.dst_stride + p.word * 8;
+            if yield_to_cores {
+                let local = match dir {
+                    Direction::In => dst,
+                    Direction::Out | Direction::Local => src,
+                };
+                let bank = ((local / 8) as usize) % n_banks;
+                if contested.get(bank).copied().unwrap_or(false) {
+                    break;
+                }
+            }
+            let data = match dir {
+                Direction::In => main.dma_read_word(src),
+                Direction::Out | Direction::Local => tcdm.read_word(src),
+            };
+            match dir {
+                Direction::In | Direction::Local => {
+                    tcdm.write_word(dst, data, 0xFF);
+                    claimed[((dst / 8) as usize) % n_banks] = true;
+                }
+                Direction::Out => main.dma_write_word(dst, data),
+            }
+            if dir == Direction::Out || dir == Direction::Local {
+                claimed[((src / 8) as usize) % n_banks] = true;
+            }
+            match dir {
+                Direction::In => self.stats.words_in += 1,
+                Direction::Out => self.stats.words_out += 1,
+                Direction::Local => {
+                    self.stats.words_in += 1;
+                    self.stats.words_out += 1;
+                }
+            }
+            moved += 1;
+            p.word += 1;
+            if p.word == words_per_row {
+                p.word = 0;
+                p.row += 1;
+            }
+        }
+        if moved > 0 {
+            self.stats.busy_cycles += 1;
+        }
+        if p.row >= t.reps {
+            self.completed = self.completed.max(t.id + 1);
+            self.stats.transfers += 1;
+            self.active = None;
+        } else {
+            self.active = Some((t, p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemArray, MainMemory, Dma) {
+        let tcdm = MemArray::new(0x0010_0000, 0x4_0000);
+        let main = MainMemory::new(0x8000_0000, 1 << 20);
+        let dma = Dma::new(0x0010_0000, 0x4_0000);
+        (tcdm, main, dma)
+    }
+
+    #[test]
+    fn one_dimensional_transfer_in() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        for i in 0..32u32 {
+            main.array_mut().store_u64(0x8000_0000 + i * 8, u64::from(i) + 1);
+        }
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        let id = dma.start(32 * 8, false);
+        assert_eq!(id, 0);
+        let mut cycles = 0;
+        let mut claimed = vec![false; 32];
+        while dma.busy() {
+            claimed.fill(false);
+            dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+            cycles += 1;
+            assert!(cycles < 100, "transfer did not finish");
+        }
+        // 32 words at 8 words/cycle = 4 cycles.
+        assert_eq!(cycles, 4);
+        for i in 0..32u32 {
+            assert_eq!(tcdm.load_u64(0x0010_0000 + i * 8), u64::from(i) + 1);
+        }
+        assert_eq!(dma.completed(), 1);
+    }
+
+    #[test]
+    fn two_dimensional_transfer_tiles() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        // A 4x4 f64 matrix with row stride 64 bytes in main memory;
+        // gather a 4x2-word tile into contiguous TCDM rows.
+        for row in 0..4u32 {
+            for col in 0..8u32 {
+                main.array_mut()
+                    .store_u64(0x8000_0000 + row * 64 + col * 8, u64::from(row * 100 + col));
+            }
+        }
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        dma.set_strides(64, 16);
+        dma.set_reps(4);
+        dma.start(16, true);
+        let mut claimed = vec![false; 32];
+        while dma.busy() {
+            claimed.fill(false);
+            dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+        }
+        for row in 0..4u32 {
+            assert_eq!(tcdm.load_u64(0x0010_0000 + row * 16), u64::from(row * 100));
+            assert_eq!(tcdm.load_u64(0x0010_0000 + row * 16 + 8), u64::from(row * 100 + 1));
+        }
+    }
+
+    #[test]
+    fn transfer_out_writes_main_memory() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        tcdm.store_u64(0x0010_0100, 0x77);
+        dma.set_src(0x0010_0100);
+        dma.set_dst(0x8000_0040);
+        dma.start(8, false);
+        let mut claimed = vec![false; 32];
+        dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+        assert_eq!(main.array().load_u64(0x8000_0040), 0x77);
+        assert_eq!(dma.stats().words_out, 1);
+        // The source bank was claimed.
+        assert!(claimed[((0x0010_0100u32 / 8) as usize) % 32]);
+    }
+
+    #[test]
+    fn transfers_queue_in_order() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        main.array_mut().store_u64(0x8000_0000, 1);
+        main.array_mut().store_u64(0x8000_1000, 2);
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        let id0 = dma.start(8, false);
+        dma.set_src(0x8000_1000);
+        dma.set_dst(0x0010_0008);
+        let id1 = dma.start(8, false);
+        assert_eq!((id0, id1), (0, 1));
+        let mut claimed = vec![false; 32];
+        // Two 1-word transfers need two cycles (one each).
+        dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+        assert_eq!(dma.completed(), 1);
+        claimed.fill(false);
+        dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+        assert_eq!(dma.completed(), 2);
+        assert_eq!(tcdm.load_u64(0x0010_0000), 1);
+        assert_eq!(tcdm.load_u64(0x0010_0008), 2);
+        assert!(!dma.busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_size_panics() {
+        let (_, _, mut dma) = setup();
+        dma.start(12, false);
+    }
+}

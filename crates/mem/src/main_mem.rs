@@ -1,0 +1,129 @@
+//! Cluster-external main memory.
+//!
+//! The paper models main memory as an ideal 512-bit duplex interface
+//! (§IV-B): the DMA engine can move one 64-byte beat per cycle in each
+//! direction. Cores can also reach main memory directly over the cluster
+//! crossbar with a fixed (much higher) latency; the kernels only use this
+//! for rare bookkeeping, all bulk traffic goes through the DMA.
+
+use crate::array::MemArray;
+use crate::port::{MemOp, MemPort, MemRsp};
+
+/// Ideal wide main memory with a latency for narrow (core) accesses.
+#[derive(Clone, Debug)]
+pub struct MainMemory {
+    array: MemArray,
+    narrow_latency: u64,
+    /// Narrow requests served (core-side accesses).
+    pub narrow_accesses: u64,
+    /// Wide beats served (DMA side), reads + writes.
+    pub wide_beats: u64,
+}
+
+impl MainMemory {
+    /// Default narrow-access round-trip latency in cycles.
+    pub const DEFAULT_NARROW_LATENCY: u64 = 25;
+
+    /// Creates a main memory covering `[base, base + size)`.
+    #[must_use]
+    pub fn new(base: u32, size: u32) -> Self {
+        Self {
+            array: MemArray::new(base, size),
+            narrow_latency: Self::DEFAULT_NARROW_LATENCY,
+            narrow_accesses: 0,
+            wide_beats: 0,
+        }
+    }
+
+    /// Overrides the narrow-access latency.
+    #[must_use]
+    pub fn with_narrow_latency(mut self, latency: u64) -> Self {
+        self.narrow_latency = latency.max(1);
+        self
+    }
+
+    /// The backing storage (for workload marshalling).
+    #[must_use]
+    pub fn array(&self) -> &MemArray {
+        &self.array
+    }
+
+    /// Mutable backing storage.
+    pub fn array_mut(&mut self) -> &mut MemArray {
+        &mut self.array
+    }
+
+    /// Serves narrow (64-bit) ports; one request per port per cycle, fixed
+    /// latency, no contention (the crossbar is not the bottleneck in the
+    /// paper's setup).
+    pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort]) {
+        for port in ports.iter_mut() {
+            if let Some(req) = port.take_pending() {
+                self.narrow_accesses += 1;
+                debug_assert!(
+                    self.array.contains(req.addr),
+                    "main memory access {:#010x} out of range",
+                    req.addr
+                );
+                match req.op {
+                    MemOp::Read => {
+                        let data = self.array.read_word(req.addr);
+                        port.push_rsp(now + self.narrow_latency, MemRsp { data });
+                    }
+                    MemOp::Write { data, strb } => {
+                        self.array.write_word(req.addr, data, strb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// DMA-side word read (counted toward the 512-bit beat budget by the
+    /// DMA engine itself).
+    #[must_use]
+    pub fn dma_read_word(&mut self, addr: u32) -> u64 {
+        self.wide_beats += 1;
+        self.array.read_word(addr)
+    }
+
+    /// DMA-side word write.
+    pub fn dma_write_word(&mut self, addr: u32, data: u64) {
+        self.wide_beats += 1;
+        self.array.write_word(addr, data, 0xFF);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::MemReq;
+
+    #[test]
+    fn narrow_access_has_latency() {
+        let mut mem = MainMemory::new(0x8000_0000, 4096).with_narrow_latency(10);
+        mem.array_mut().store_u64(0x8000_0010, 99);
+        let mut p = MemPort::new();
+        p.send(MemReq::read(0x8000_0010));
+        mem.tick(0, &mut [&mut p]);
+        assert_eq!(p.take_rsp(9), None);
+        assert_eq!(p.take_rsp(10).unwrap().data, 99);
+        assert_eq!(mem.narrow_accesses, 1);
+    }
+
+    #[test]
+    fn dma_side_counts_beats() {
+        let mut mem = MainMemory::new(0, 128);
+        mem.dma_write_word(0x40, 7);
+        assert_eq!(mem.dma_read_word(0x40), 7);
+        assert_eq!(mem.wide_beats, 2);
+    }
+
+    #[test]
+    fn narrow_writes_apply_immediately() {
+        let mut mem = MainMemory::new(0, 128);
+        let mut p = MemPort::new();
+        p.send(MemReq::write(0x18, 0xAB));
+        mem.tick(3, &mut [&mut p]);
+        assert_eq!(mem.array().load_u64(0x18), 0xAB);
+    }
+}

@@ -1,0 +1,270 @@
+//! The cluster-local tightly-coupled data memory (TCDM).
+//!
+//! The paper's cluster has 32 banks of 8 KiB (256 KiB total),
+//! word-interleaved, with single-cycle access and one grant per bank per
+//! cycle; contending masters are arbitrated round-robin. Indirection's
+//! random access patterns make bank conflicts the dominant cluster-level
+//! loss (peak FPU utilization 0.8 → 0.71 in the paper, §IV-B).
+//!
+//! The same type also models the *ideal two-port data memory* used for
+//! the paper's single-core experiments (§IV-A) by constructing it with
+//! [`Tcdm::ideal`], which serves every port independently each cycle.
+
+use crate::array::MemArray;
+use crate::port::{MemOp, MemPort, MemRsp};
+
+/// Statistics accumulated by the TCDM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcdmStats {
+    /// Requests granted (reads + writes).
+    pub grants: u64,
+    /// Requests deferred because their bank was taken this cycle.
+    pub conflicts: u64,
+    /// Requests deferred because the DMA engine claimed the bank.
+    pub dma_conflicts: u64,
+}
+
+/// Banked, word-interleaved scratchpad memory.
+#[derive(Clone, Debug)]
+pub struct Tcdm {
+    array: MemArray,
+    n_banks: usize,
+    /// `None` models an ideal multi-port memory (no arbitration).
+    rr_next: Option<Vec<usize>>,
+    stats: TcdmStats,
+}
+
+impl Tcdm {
+    /// Creates a banked TCDM with round-robin per-bank arbitration.
+    ///
+    /// # Panics
+    /// Panics if `n_banks` is zero or not a power of two.
+    #[must_use]
+    pub fn banked(base: u32, size: u32, n_banks: usize) -> Self {
+        assert!(n_banks.is_power_of_two() && n_banks > 0, "bank count must be a power of two");
+        Self {
+            array: MemArray::new(base, size),
+            n_banks,
+            rr_next: Some(vec![0; n_banks]),
+            stats: TcdmStats::default(),
+        }
+    }
+
+    /// Creates an ideal conflict-free memory (one implicit bank per port),
+    /// as used in the paper's single-CC evaluation.
+    #[must_use]
+    pub fn ideal(base: u32, size: u32) -> Self {
+        Self {
+            array: MemArray::new(base, size),
+            n_banks: 1,
+            rr_next: None,
+            stats: TcdmStats::default(),
+        }
+    }
+
+    /// The backing storage (for workload marshalling).
+    #[must_use]
+    pub fn array(&self) -> &MemArray {
+        &self.array
+    }
+
+    /// Mutable backing storage (for workload marshalling and the DMA).
+    pub fn array_mut(&mut self) -> &mut MemArray {
+        &mut self.array
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> TcdmStats {
+        self.stats
+    }
+
+    /// Bank index of a byte address (word-interleaved).
+    #[must_use]
+    pub fn bank_of(&self, addr: u32) -> usize {
+        ((addr / 8) as usize) % self.n_banks
+    }
+
+    /// Services the ports for one cycle.
+    ///
+    /// `now` is the current cycle; read responses become visible at
+    /// `now + 1`. `dma_claimed` marks banks the DMA engine occupies this
+    /// cycle (it has priority, as in the Snitch cluster); pass `&[]` when
+    /// no DMA is present.
+    pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort], dma_claimed: &[bool]) {
+        match self.rr_next.take() {
+            None => {
+                // Ideal memory: grant every pending request.
+                for port in ports.iter_mut() {
+                    if let Some(req) = port.take_pending() {
+                        self.serve(now, req, port);
+                    }
+                }
+            }
+            Some(mut rr) => {
+                let n = ports.len();
+                // For each bank, scan ports beginning at its round-robin
+                // pointer and grant the first contender.
+                for bank in 0..self.n_banks {
+                    if dma_claimed.get(bank).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let start = rr[bank];
+                    for k in 0..n {
+                        let pi = (start + k) % n;
+                        let wants = ports[pi]
+                            .pending()
+                            .map_or(false, |req| self.bank_of(req.addr) == bank);
+                        if wants {
+                            let req = ports[pi].take_pending().expect("pending checked");
+                            self.serve(now, req, ports[pi]);
+                            rr[bank] = (pi + 1) % n;
+                            break;
+                        }
+                    }
+                }
+                // Count contention on ports still pending.
+                for port in ports.iter_mut() {
+                    if let Some(req) = port.pending() {
+                        let bank = self.bank_of(req.addr);
+                        if dma_claimed.get(bank).copied().unwrap_or(false) {
+                            self.stats.dma_conflicts += 1;
+                        } else {
+                            self.stats.conflicts += 1;
+                        }
+                        port.note_wait();
+                    }
+                }
+                self.rr_next = Some(rr);
+            }
+        }
+    }
+
+    fn serve(&mut self, now: u64, req: crate::port::MemReq, port: &mut MemPort) {
+        self.stats.grants += 1;
+        debug_assert!(
+            self.array.contains(req.addr),
+            "TCDM access {:#010x} out of range",
+            req.addr
+        );
+        match req.op {
+            MemOp::Read => {
+                let data = self.array.read_word(req.addr);
+                port.push_rsp(now + 1, MemRsp { data });
+            }
+            MemOp::Write { data, strb } => {
+                self.array.write_word(req.addr, data, strb);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::MemReq;
+
+    #[test]
+    fn ideal_memory_serves_all_ports_every_cycle() {
+        let mut tcdm = Tcdm::ideal(0, 256);
+        tcdm.array_mut().store_u64(0x10, 42);
+        tcdm.array_mut().store_u64(0x18, 43);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        p0.send(MemReq::read(0x10));
+        p1.send(MemReq::read(0x18));
+        tcdm.tick(0, &mut [&mut p0, &mut p1], &[]);
+        assert_eq!(p0.take_rsp(1).unwrap().data, 42);
+        assert_eq!(p1.take_rsp(1).unwrap().data, 43);
+        assert_eq!(tcdm.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn responses_not_visible_same_cycle() {
+        let mut tcdm = Tcdm::ideal(0, 64);
+        let mut p = MemPort::new();
+        p.send(MemReq::read(0x0));
+        tcdm.tick(7, &mut [&mut p], &[]);
+        assert_eq!(p.take_rsp(7), None);
+        assert!(p.take_rsp(8).is_some());
+    }
+
+    #[test]
+    fn same_bank_requests_conflict() {
+        // 2 banks: addresses 0x00 and 0x10 are both bank 0.
+        let mut tcdm = Tcdm::banked(0, 256, 2);
+        tcdm.array_mut().store_u64(0x00, 1);
+        tcdm.array_mut().store_u64(0x10, 2);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        p0.send(MemReq::read(0x00));
+        p1.send(MemReq::read(0x10));
+        tcdm.tick(0, &mut [&mut p0, &mut p1], &[]);
+        // Exactly one granted, the other still pending.
+        let served = usize::from(p0.can_send()) + usize::from(p1.can_send());
+        assert_eq!(served, 1);
+        assert_eq!(tcdm.stats().conflicts, 1);
+        tcdm.tick(1, &mut [&mut p0, &mut p1], &[]);
+        assert!(p0.can_send() && p1.can_send());
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut tcdm = Tcdm::banked(0, 256, 2);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        p0.send(MemReq::read(0x00)); // bank 0
+        p1.send(MemReq::read(0x08)); // bank 1
+        tcdm.tick(0, &mut [&mut p0, &mut p1], &[]);
+        assert!(p0.can_send() && p1.can_send());
+        assert_eq!(tcdm.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn round_robin_rotates_grants() {
+        let mut tcdm = Tcdm::banked(0, 256, 1);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        // Cycle 0: both contend for bank 0; pointer starts at port 0.
+        p0.send(MemReq::read(0x00));
+        p1.send(MemReq::read(0x08));
+        tcdm.tick(0, &mut [&mut p0, &mut p1], &[]);
+        assert!(p0.can_send());
+        assert!(!p1.can_send());
+        // Cycle 1: p1 is granted; re-arm p0 — pointer now favours p1.
+        p0.send(MemReq::read(0x00));
+        tcdm.tick(1, &mut [&mut p0, &mut p1], &[]);
+        assert!(p1.can_send());
+        assert!(!p0.can_send());
+    }
+
+    #[test]
+    fn dma_claim_blocks_bank() {
+        let mut tcdm = Tcdm::banked(0, 256, 2);
+        let mut p = MemPort::new();
+        p.send(MemReq::read(0x00)); // bank 0
+        tcdm.tick(0, &mut [&mut p], &[true, false]);
+        assert!(!p.can_send());
+        assert_eq!(tcdm.stats().dma_conflicts, 1);
+        tcdm.tick(1, &mut [&mut p], &[false, false]);
+        assert!(p.can_send());
+    }
+
+    #[test]
+    fn writes_update_storage() {
+        let mut tcdm = Tcdm::ideal(0x100, 64);
+        let mut p = MemPort::new();
+        p.send(MemReq::write(0x108, 0x55));
+        tcdm.tick(0, &mut [&mut p], &[]);
+        assert_eq!(tcdm.array().load_u64(0x108), 0x55);
+    }
+
+    #[test]
+    fn bank_mapping_is_word_interleaved() {
+        let tcdm = Tcdm::banked(0, 1 << 18, 32);
+        assert_eq!(tcdm.bank_of(0x00), 0);
+        assert_eq!(tcdm.bank_of(0x08), 1);
+        assert_eq!(tcdm.bank_of(0xF8), 31);
+        assert_eq!(tcdm.bank_of(0x100), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Power and energy model (§IV-D).
+//!
+//! The paper synthesizes the cluster, runs PrimeTime on two anchor
+//! matrices (G11 low-efficiency, G7 high-efficiency) and scales dynamic
+//! power with component utilizations measured in RTL simulation for the
+//! rest. We mirror the methodology: per-event dynamic energies plus a
+//! cluster leakage floor, **calibrated so the paper's anchors come out**
+//! (BASE ≈ 89 mW, ISSR ≈ 194 mW average cluster power at 1 GHz;
+//! 142 → 53 pJ per fmadd), then driven entirely by activity counters
+//! from the cycle-level simulator.
+
+use issr_cluster::cluster::ClusterSummary;
+
+/// Per-event dynamic energies (picojoules) and static power (milliwatts)
+/// at 1 GHz, TT corner.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Integer-pipeline instruction issue.
+    pub core_op_pj: f64,
+    /// FPU-subsystem operation (FMA-dominated).
+    pub fpu_op_pj: f64,
+    /// TCDM bank access.
+    pub tcdm_access_pj: f64,
+    /// Streamer element (address generation + FIFO transit).
+    pub stream_elem_pj: f64,
+    /// DMA word moved (wide datapath + main-memory interface).
+    pub dma_word_pj: f64,
+    /// Cluster leakage + clock tree floor.
+    pub static_mw: f64,
+    /// Clock frequency in GHz (energy/cycle = power in mW / GHz).
+    pub freq_ghz: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self {
+            core_op_pj: 5.2,
+            fpu_op_pj: 15.0,
+            tcdm_access_pj: 5.0,
+            stream_elem_pj: 3.7,
+            dma_word_pj: 10.0,
+            static_mw: 15.0,
+            freq_ghz: 1.0,
+        }
+    }
+}
+
+/// Energy accounting for one cluster run.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub total_nj: f64,
+    /// Average power in milliwatts.
+    pub avg_power_mw: f64,
+    /// Energy per retired multiply-accumulate, in picojoules.
+    pub pj_per_fmadd: f64,
+}
+
+impl PowerModel {
+    /// Evaluates a cluster run.
+    #[must_use]
+    pub fn evaluate(&self, summary: &ClusterSummary) -> EnergyBreakdown {
+        let core_ops: u64 = summary
+            .worker_metrics
+            .iter()
+            .map(|m| m.instret)
+            .sum::<u64>()
+            + summary.dmcc_metrics.instret;
+        let fpu_ops: u64 = summary.worker_metrics.iter().map(|m| m.roi.fpu_ops).sum();
+        let stream_elems: u64 = summary
+            .lane_stats
+            .iter()
+            .flatten()
+            .map(|l| l.data_reads + l.data_writes + l.idx_words)
+            .sum();
+        let tcdm = summary.tcdm_stats.grants;
+        let dma_words = summary.dma_stats.words_in + summary.dma_stats.words_out;
+        let dynamic_pj = self.core_op_pj * core_ops as f64
+            + self.fpu_op_pj * fpu_ops as f64
+            + self.tcdm_access_pj * tcdm as f64
+            + self.stream_elem_pj * stream_elems as f64
+            + self.dma_word_pj * dma_words as f64;
+        let cycles = summary.cycles.max(1) as f64;
+        let static_pj = self.static_mw / self.freq_ghz * cycles;
+        let total_pj = dynamic_pj + static_pj;
+        let fmadds = summary.total_fmadds().max(1) as f64;
+        EnergyBreakdown {
+            total_nj: total_pj / 1000.0,
+            avg_power_mw: total_pj / cycles * self.freq_ghz,
+            pj_per_fmadd: total_pj / fmadds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_kernels::cluster_csrmv::run_cluster_csrmv;
+    use issr_kernels::variant::Variant;
+    use issr_sparse::{gen, suite};
+
+    /// The calibration check: on a G7-like high-efficiency matrix the
+    /// model must land in the neighbourhood of the paper's anchors
+    /// (89 mW BASE, 194 mW ISSR) and reproduce the ~2.7× efficiency gap.
+    #[test]
+    fn anchors_land_near_paper_values() {
+        let entry = suite::by_name("g7").expect("suite entry");
+        let m = entry.build::<u16>();
+        let mut rng = gen::rng(4242);
+        let x = gen::dense_vector(&mut rng, m.ncols());
+        let model = PowerModel::default();
+        let base = run_cluster_csrmv(Variant::Base, &m, &x).expect("base run");
+        let issr = run_cluster_csrmv(Variant::Issr, &m, &x).expect("issr run");
+        let pb = model.evaluate(&base.summary);
+        let pi = model.evaluate(&issr.summary);
+        // Power ordering and ballpark (±40% of anchors).
+        assert!(pb.avg_power_mw > 50.0 && pb.avg_power_mw < 125.0, "BASE {pb:?}");
+        assert!(pi.avg_power_mw > 120.0 && pi.avg_power_mw < 270.0, "ISSR {pi:?}");
+        assert!(pi.avg_power_mw > pb.avg_power_mw, "ISSR draws more power");
+        // ...but finishes so much faster that energy/fmadd drops ~2-3x.
+        let gain = pb.pj_per_fmadd / pi.pj_per_fmadd;
+        assert!(gain > 1.7 && gain < 3.5, "efficiency gain {gain:.2}");
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let mut rng = gen::rng(77);
+        let small = gen::csr_fixed_row_nnz::<u16>(&mut rng, 64, 256, 8);
+        let big = gen::csr_fixed_row_nnz::<u16>(&mut rng, 64, 256, 64);
+        let x = gen::dense_vector(&mut rng, 256);
+        let model = PowerModel::default();
+        let e_small = model
+            .evaluate(&run_cluster_csrmv(Variant::Issr, &small, &x).unwrap().summary)
+            .total_nj;
+        let e_big = model
+            .evaluate(&run_cluster_csrmv(Variant::Issr, &big, &x).unwrap().summary)
+            .total_nj;
+        assert!(e_big > 2.0 * e_small, "8x the nonzeros must cost much more energy");
+    }
+}

@@ -1,0 +1,458 @@
+//! The core complex (CC): Snitch core + FPU subsystem + streamer,
+//! wired to the memory system — and the single-CC evaluation harness
+//! of §IV-A.
+
+use crate::core::SnitchCore;
+use crate::fpu::FpuSubsystem;
+use crate::metrics::Metrics;
+use crate::params::CcParams;
+use crate::shared::SharedPort;
+use issr_core::lane::LaneStats;
+use issr_core::streamer::Streamer;
+use issr_isa::asm::Program;
+use issr_mem::dma::Dma;
+use issr_mem::icache::{L0Buffer, L1ICache};
+use issr_mem::map::TCDM_BASE;
+use issr_mem::port::MemPort;
+use issr_mem::tcdm::{Tcdm, TcdmStats};
+
+/// One Snitch core complex.
+///
+/// Port topology (§II-C): physical port 0 carries the combined core /
+/// FPU / SSR traffic through [`SharedPort`]; each further streamer lane
+/// (the ISSR, lane 1 in the paper configuration) gets an exclusive
+/// physical port.
+#[derive(Debug)]
+pub struct CoreComplex {
+    /// Integer pipeline.
+    pub core: SnitchCore,
+    /// FPU subsystem (offload queue, FREP sequencer, FP registers).
+    pub fpu: FpuSubsystem,
+    /// SSR/ISSR lanes.
+    pub streamer: Streamer,
+    /// The combined-port multiplexer.
+    pub shared: SharedPort,
+    /// Per-core metrics.
+    pub metrics: Metrics,
+    program: Program,
+    l0: Option<L0Buffer>,
+}
+
+impl CoreComplex {
+    /// Creates a CC with the paper's streamer configuration (one SSR,
+    /// one ISSR).
+    #[must_use]
+    pub fn new(hartid: u32, program: Program, params: CcParams) -> Self {
+        Self::with_streamer(hartid, program, params, Streamer::paper_config())
+    }
+
+    /// Creates a CC with a custom streamer (e.g. two ISSRs for codebook
+    /// streaming, §III-C).
+    #[must_use]
+    pub fn with_streamer(
+        hartid: u32,
+        program: Program,
+        params: CcParams,
+        streamer: Streamer,
+    ) -> Self {
+        let n_lanes = streamer.n_lanes();
+        Self {
+            core: SnitchCore::new(hartid),
+            fpu: FpuSubsystem::new(params, n_lanes),
+            streamer,
+            shared: SharedPort::new(),
+            metrics: Metrics::default(),
+            program,
+            l0: None,
+        }
+    }
+
+    /// Number of physical memory ports this CC exposes.
+    #[must_use]
+    pub fn n_ports(&self) -> usize {
+        self.streamer.n_lanes()
+    }
+
+    /// Installs an L0 instruction buffer (cluster configuration).
+    pub fn set_l0(&mut self, l0: L0Buffer) {
+        self.l0 = Some(l0);
+    }
+
+    /// The loaded program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Whether the CC has halted *and* all decoupled state has drained.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.core.halted()
+            && self.fpu.is_drained()
+            && self.streamer.is_idle()
+            && self.shared.is_idle()
+    }
+
+    /// Advances the CC one cycle. `phys[0]` is the shared port, `phys[1..]`
+    /// the exclusive lane ports; `l1` is the hive instruction cache (None
+    /// models the ideal instruction memory of §IV-A).
+    pub fn tick(
+        &mut self,
+        now: u64,
+        phys: &mut [&mut MemPort],
+        dma: Option<&mut Dma>,
+        l1: Option<&mut L1ICache>,
+    ) {
+        assert_eq!(phys.len(), self.streamer.n_lanes(), "one physical port per lane");
+        // 0. Instruction fetch timing (L0 / shared L1 model).
+        if let (Some(l0), Some(l1)) = (self.l0.as_mut(), l1) {
+            if !self.core.halted() && self.core.fetch_stall == 0 && !l0.fetch(self.core.pc()) {
+                self.core.fetch_stall = l1.refill(self.core.pc());
+            }
+        }
+        // 1. Return yesterday's shared-port responses to their masters.
+        self.shared.relay_responses(now, phys[0]);
+        // 2. Integer pipeline.
+        self.core.tick(
+            now,
+            &self.program,
+            &mut self.shared.core_lsu,
+            &mut self.fpu,
+            &mut self.streamer,
+            &mut self.metrics,
+            dma,
+        );
+        // 3. FPU subsystem; deliver its integer results.
+        let int_wbs =
+            self.fpu.tick(now, &mut self.shared.fpu_lsu, &mut self.streamer, &mut self.metrics);
+        for wb in int_wbs {
+            self.core.apply_int_writeback(wb.reg, wb.value);
+        }
+        // 4. Streamer lanes: lane 0 shares, others are exclusive.
+        {
+            let (first, rest) = phys.split_at_mut(1);
+            let _ = first;
+            let mut lane_ports: Vec<&mut MemPort> = Vec::with_capacity(self.streamer.n_lanes());
+            lane_ports.push(&mut self.shared.ssr);
+            for p in rest.iter_mut() {
+                lane_ports.push(&mut **p);
+            }
+            self.streamer.tick(now, &mut lane_ports);
+        }
+        // 5. Forward one combined request.
+        self.shared.forward_requests(phys[0]);
+        // 6. Account the cycle.
+        self.metrics.cycles += 1;
+        if self.metrics.roi_active {
+            self.metrics.roi.cycles += 1;
+        }
+    }
+}
+
+/// Why a run did not complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimTimeout {
+    /// The cycle limit that was exhausted.
+    pub max_cycles: u64,
+    /// The PC at the timeout (for diagnostics).
+    pub pc: u32,
+}
+
+impl std::fmt::Display for SimTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation exceeded {} cycles (pc={:#010x})", self.max_cycles, self.pc)
+    }
+}
+
+impl std::error::Error for SimTimeout {}
+
+/// Result of a completed single-CC run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Cycles until the CC went quiescent.
+    pub cycles: u64,
+    /// Core metrics (ROI counters included).
+    pub metrics: Metrics,
+    /// Final per-lane streamer statistics.
+    pub lane_stats: Vec<LaneStats>,
+    /// Memory statistics.
+    pub tcdm_stats: TcdmStats,
+}
+
+/// Base address of the data arena used by single-CC workloads (above the
+/// peripheral window, so address-map region checks stay meaningful).
+pub const SINGLE_CC_ARENA: u32 = 0x0030_0000;
+
+/// The single-CC evaluation setup of §IV-A: one core complex coupled to
+/// ideal single-cycle instruction and two-port data memories. The data
+/// memory is sized generously (the paper assumes the full matrix fits).
+#[derive(Debug)]
+pub struct SingleCcSim {
+    /// The core complex under test.
+    pub cc: CoreComplex,
+    /// Ideal data memory.
+    pub mem: Tcdm,
+    ports: Vec<MemPort>,
+    now: u64,
+}
+
+impl SingleCcSim {
+    /// Default data memory size (32 MiB: fits the largest suite matrix).
+    pub const DEFAULT_MEM_BYTES: u32 = 32 << 20;
+
+    /// Creates the harness for `program` with default parameters.
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        Self::with_params(program, CcParams::default())
+    }
+
+    /// Creates the harness with explicit core parameters.
+    #[must_use]
+    pub fn with_params(program: Program, params: CcParams) -> Self {
+        Self::with_cc(CoreComplex::new(0, program, params))
+    }
+
+    /// Creates the harness around a custom core complex (e.g. one with a
+    /// two-ISSR streamer for codebook-compressed sparse values, §III-C).
+    #[must_use]
+    pub fn with_cc(cc: CoreComplex) -> Self {
+        let n_ports = cc.n_ports();
+        Self {
+            cc,
+            mem: Tcdm::ideal(TCDM_BASE, Self::DEFAULT_MEM_BYTES),
+            ports: (0..n_ports).map(|_| MemPort::new()).collect(),
+            now: 0,
+        }
+    }
+
+    /// Runs until the CC is quiescent.
+    ///
+    /// # Errors
+    /// Returns [`SimTimeout`] if the CC does not go quiescent within
+    /// `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimTimeout> {
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            let now = self.now;
+            {
+                let mut port_refs: Vec<&mut MemPort> = self.ports.iter_mut().collect();
+                self.cc.tick(now, &mut port_refs, None, None);
+            }
+            {
+                let mut port_refs: Vec<&mut MemPort> = self.ports.iter_mut().collect();
+                self.mem.tick(now, &mut port_refs, &[]);
+            }
+            self.now += 1;
+            if self.cc.quiescent() {
+                return Ok(RunSummary {
+                    cycles: self.now,
+                    metrics: self.cc.metrics,
+                    lane_stats: self.cc.streamer.stats(),
+                    tcdm_stats: self.mem.stats(),
+                });
+            }
+        }
+        Err(SimTimeout { max_cycles, pc: self.cc.core.pc() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_isa::asm::Assembler;
+    use issr_isa::instr::Stagger;
+    use issr_isa::reg::{FpReg as F, IntReg as R};
+
+    #[test]
+    fn integer_loop_and_store() {
+        // Sum 1..=10, store at arena base.
+        let mut a = Assembler::new();
+        a.li(R::T0, 10);
+        a.li(R::T1, 0);
+        let head = a.bind_label();
+        a.add(R::T1, R::T1, R::T0);
+        a.addi(R::T0, R::T0, -1);
+        a.bnez(R::T0, head);
+        a.li_addr(R::A0, SINGLE_CC_ARENA);
+        a.sw(R::T1, R::A0, 0);
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let summary = sim.run(1000).unwrap();
+        assert_eq!(sim.mem.array().load_u32(SINGLE_CC_ARENA), 55);
+        // 3-instruction loop body, 10 iterations, small pro/epilogue.
+        assert!(summary.cycles < 50, "took {} cycles", summary.cycles);
+    }
+
+    #[test]
+    fn load_use_latency_is_two_cycles() {
+        let addr = SINGLE_CC_ARENA;
+        // Dependent: lw; addi on result.
+        let cycles = |pad: bool| {
+            let mut a = Assembler::new();
+            a.li_addr(R::A0, addr);
+            a.roi_begin();
+            for _ in 0..32 {
+                a.lw(R::T0, R::A0, 0);
+                if pad {
+                    a.nop();
+                }
+                a.addi(R::T1, R::T0, 1);
+            }
+            a.roi_end();
+            a.halt();
+            let mut sim = SingleCcSim::new(a.finish().unwrap());
+            sim.run(10_000).unwrap().metrics.roi.cycles
+        };
+        let dependent = cycles(false);
+        let padded = cycles(true);
+        // Padded version hides the 1-cycle bubble with a useful slot:
+        // both take 3 cycles per iteration.
+        assert_eq!(dependent, padded, "dependent {dependent} vs padded {padded}");
+        assert_eq!(padded, 32 * 3 + 1);
+    }
+
+    #[test]
+    fn dense_dot_product_with_fld() {
+        let n = 16u32;
+        let x = SINGLE_CC_ARENA;
+        let y = SINGLE_CC_ARENA + 0x1000;
+        let out = SINGLE_CC_ARENA + 0x2000;
+        let mut a = Assembler::new();
+        a.li_addr(R::A0, x);
+        a.li_addr(R::A1, y);
+        a.li(R::T0, i64::from(n));
+        a.fcvt_d_w(F::FS0, R::ZERO);
+        let head = a.bind_label();
+        a.fld(F::FT0, R::A0, 0);
+        a.fld(F::FT1, R::A1, 0);
+        a.fmadd_d(F::FS0, F::FT0, F::FT1, F::FS0);
+        a.addi(R::A0, R::A0, 8);
+        a.addi(R::A1, R::A1, 8);
+        a.addi(R::T0, R::T0, -1);
+        a.bnez(R::T0, head);
+        a.li_addr(R::A2, out);
+        a.fsd(F::FS0, R::A2, 0);
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        for i in 0..n {
+            sim.mem.array_mut().store_f64(x + i * 8, f64::from(i));
+            sim.mem.array_mut().store_f64(y + i * 8, 2.0);
+        }
+        sim.run(10_000).unwrap();
+        let expected: f64 = (0..n).map(|i| f64::from(i) * 2.0).sum();
+        assert_eq!(sim.mem.array().load_f64(out), expected);
+    }
+
+    /// The SSR dense path: both operands streamed, FREP loop with
+    /// staggered accumulators → FPU utilization close to 1 (the SSR
+    /// paper's headline, which the ISSR must not regress).
+    #[test]
+    fn ssr_dense_dot_reaches_full_utilization() {
+        use issr_core::cfg::{cfg_addr, reg as sreg};
+        let n = 512u32;
+        let x = SINGLE_CC_ARENA;
+        let y = SINGLE_CC_ARENA + 0x4000;
+        let out = SINGLE_CC_ARENA + 0x8000;
+        let n_acc = 4u8;
+        let mut a = Assembler::new();
+        // ft0 <- x (SSR lane 0), ft1 <- y (ISSR lane 1 in affine mode).
+        for lane in 0..2u8 {
+            a.li(R::T0, i64::from(n - 1));
+            a.scfgwi(R::T0, cfg_addr(sreg::BOUNDS[0], lane));
+            a.li(R::T0, 8);
+            a.scfgwi(R::T0, cfg_addr(sreg::STRIDES[0], lane));
+        }
+        a.li_addr(R::T0, x);
+        a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 0));
+        a.li_addr(R::T0, y);
+        a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 1));
+        for k in 0..n_acc {
+            a.fcvt_d_w(F::FT2.offset(k), R::ZERO);
+        }
+        a.csrsi(issr_isa::Csr::Ssr, 1);
+        a.roi_begin();
+        a.li(R::T1, i64::from(n - 1));
+        a.frep_outer(R::T1, 1, Stagger::accumulator(n_acc));
+        a.fmadd_d(F::FT2, F::FT0, F::FT1, F::FT2);
+        // Reduce the accumulators.
+        a.fadd_d(F::FT2, F::FT2, F::FT3);
+        a.fadd_d(F::FT4, F::FT4, F::FT5);
+        a.fadd_d(F::FT2, F::FT2, F::FT4);
+        a.roi_end();
+        a.csrci(issr_isa::Csr::Ssr, 1);
+        a.li_addr(R::A2, out);
+        a.fsd(F::FT2, R::A2, 0);
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        for i in 0..n {
+            sim.mem.array_mut().store_f64(x + i * 8, f64::from(i % 7));
+            sim.mem.array_mut().store_f64(y + i * 8, f64::from(i % 5));
+        }
+        let summary = sim.run(100_000).unwrap();
+        let expected: f64 = (0..n).map(|i| f64::from(i % 7) * f64::from(i % 5)).sum();
+        assert_eq!(sim.mem.array().load_f64(out), expected);
+        let util = summary.metrics.fpu_utilization();
+        assert!(util > 0.9, "SSR dense utilization {util:.3}, expected ~1.0");
+    }
+
+    /// Pseudo-dual-issue: the core retires independent integer work while
+    /// the FPU runs an FREP loop.
+    #[test]
+    fn core_overlaps_with_frep_loop() {
+        let n = 64u32;
+        let mut a = Assembler::new();
+        a.fcvt_d_w(F::FT2, R::ZERO);
+        a.fcvt_d_w(F::FT3, R::ZERO);
+        a.li(R::T1, i64::from(n - 1));
+        a.roi_begin();
+        a.frep_outer(R::T1, 1, Stagger::NONE);
+        a.fadd_d(F::FT2, F::FT2, F::FT3);
+        // Integer work that should overlap with the FP loop.
+        a.li(R::T2, 0);
+        for _ in 0..32 {
+            a.addi(R::T2, R::T2, 1);
+        }
+        a.roi_end();
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let summary = sim.run(10_000).unwrap();
+        // The fadd chain is dependent: n * fpu_latency cycles. The 33
+        // integer instructions must hide inside it.
+        let fp_time = u64::from(n) * CcParams::default().fpu_latency;
+        assert!(
+            summary.metrics.roi.cycles < fp_time + 16,
+            "roi {} cycles, fp alone {}",
+            summary.metrics.roi.cycles,
+            fp_time
+        );
+        assert_eq!(sim.cc.core.reg(R::T2), 32);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(R::T0, 100);
+            let head = a.bind_label();
+            a.addi(R::T0, R::T0, -1);
+            a.bnez(R::T0, head);
+            a.halt();
+            a.finish().unwrap()
+        };
+        let mut s1 = SingleCcSim::new(build());
+        let mut s2 = SingleCcSim::new(build());
+        let c1 = s1.run(10_000).unwrap().cycles;
+        let c2 = s2.run(10_000).unwrap().cycles;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn timeout_reports_pc() {
+        let mut a = Assembler::new();
+        let head = a.bind_label();
+        a.j(head); // infinite loop
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let err = sim.run(100).unwrap_err();
+        assert_eq!(err.max_cycles, 100);
+    }
+}

@@ -1,0 +1,647 @@
+//! The Snitch integer core: a single-issue, in-order RV32IM pipeline.
+//!
+//! The core sustains one instruction per cycle with result forwarding
+//! between ALU operations. Loads have two-cycle load-use latency (the
+//! TCDM responds the next cycle; write-back precedes issue in the cycle
+//! after that), multiplies and divides have fixed latencies, and taken
+//! branches execute without a bubble because kernels run from the L0
+//! loop buffer — together these reproduce the paper's nine-cycle BASE
+//! inner loop.
+//!
+//! Floating-point instructions (and `frep`) are *offloaded* to the FPU
+//! subsystem with their captured integer operands; the core moves on —
+//! Snitch's pseudo-dual-issue.
+
+use crate::fpu::{FpOp, FpuSubsystem};
+use crate::metrics::Metrics;
+use issr_core::streamer::Streamer;
+use issr_isa::asm::Program;
+use issr_isa::csr::Csr;
+use issr_isa::instr::{AluImmOp, AluOp, BranchCond, CsrOp, Instr, LoadWidth, StoreWidth};
+use issr_isa::reg::IntReg;
+use issr_mem::dma::Dma;
+use issr_mem::map::{region_of, Region};
+use issr_mem::port::{MemOp, MemPort, MemReq};
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+struct LsuTag {
+    rd: u8,
+    width: LoadWidth,
+    byte: u32,
+    blocking: bool,
+}
+
+/// The integer pipeline of one core complex.
+#[derive(Debug)]
+pub struct SnitchCore {
+    hartid: u32,
+    regs: [u32; 32],
+    busy: [bool; 32],
+    pc: u32,
+    halted: bool,
+    lsu_tags: VecDeque<LsuTag>,
+    /// Pending multi-cycle ALU results (mul/div): (ready_cycle, rd, value).
+    alu_wb: Vec<(u64, u8, u32)>,
+    /// Set while a peripheral (barrier) load blocks all issue.
+    blocked_on_periph: bool,
+    /// Set while the core waits at the hardware barrier (CSR read).
+    barrier_waiting: bool,
+    /// One-shot release latched by the cluster barrier.
+    barrier_clear: bool,
+    /// Extra cycles the fetch stage still owes (instruction cache miss).
+    pub fetch_stall: u64,
+}
+
+impl SnitchCore {
+    /// Creates a core with the given hart id, starting at PC 0.
+    #[must_use]
+    pub fn new(hartid: u32) -> Self {
+        Self {
+            hartid,
+            regs: [0; 32],
+            busy: [false; 32],
+            pc: 0,
+            halted: false,
+            lsu_tags: VecDeque::new(),
+            alu_wb: Vec::new(),
+            blocked_on_periph: false,
+            barrier_waiting: false,
+            barrier_clear: false,
+            fetch_stall: 0,
+        }
+    }
+
+    /// The hart id.
+    #[must_use]
+    pub fn hartid(&self) -> u32 {
+        self.hartid
+    }
+
+    /// Current program counter (byte address).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether the core has executed `halt`.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads an integer register (tests and harnesses).
+    #[must_use]
+    pub fn reg(&self, r: IntReg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes an integer register (harness argument passing).
+    pub fn set_reg(&mut self, r: IntReg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// Whether the core is parked at the hardware barrier.
+    #[must_use]
+    pub fn at_barrier(&self) -> bool {
+        self.barrier_waiting
+    }
+
+    /// Releases a core parked at the barrier (cluster side).
+    pub fn release_barrier(&mut self) {
+        if self.barrier_waiting {
+            self.barrier_waiting = false;
+            self.barrier_clear = true;
+        }
+    }
+
+    /// Applies an integer write-back from the FPU subsystem.
+    pub fn apply_int_writeback(&mut self, reg: u8, value: u32) {
+        if reg != 0 {
+            self.regs[reg as usize] = value;
+        }
+        self.busy[reg as usize] = false;
+    }
+
+    fn read(&self, r: IntReg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    fn ready(&self, r: IntReg) -> bool {
+        !self.busy[r.index() as usize]
+    }
+
+    fn write(&mut self, r: IntReg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// One cycle: issue at most one instruction, then retire memory and
+    /// multi-cycle results (so dependent issue happens the cycle after
+    /// write-back — two-cycle load-use latency).
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick(
+        &mut self,
+        now: u64,
+        program: &Program,
+        lsu: &mut MemPort,
+        fpu: &mut FpuSubsystem,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+        dma: Option<&mut Dma>,
+    ) {
+        self.issue(now, program, lsu, fpu, streamer, metrics, dma);
+        self.retire(now, lsu);
+    }
+
+    fn retire(&mut self, now: u64, lsu: &mut MemPort) {
+        while let Some(rsp) = lsu.take_rsp(now) {
+            let tag = self.lsu_tags.pop_front().expect("load response without tag");
+            let value = extract(rsp.data, tag.byte, tag.width);
+            if tag.rd != 0 {
+                self.regs[tag.rd as usize] = value;
+                self.busy[tag.rd as usize] = false;
+            }
+            if tag.blocking {
+                self.blocked_on_periph = false;
+            }
+        }
+        let mut i = 0;
+        while i < self.alu_wb.len() {
+            if self.alu_wb[i].0 <= now {
+                let (_, rd, value) = self.alu_wb.swap_remove(i);
+                if rd != 0 {
+                    self.regs[rd as usize] = value;
+                }
+                self.busy[rd as usize] = false;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn issue(
+        &mut self,
+        now: u64,
+        program: &Program,
+        lsu: &mut MemPort,
+        fpu: &mut FpuSubsystem,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+        dma: Option<&mut Dma>,
+    ) {
+        if self.halted || self.blocked_on_periph || self.barrier_waiting {
+            return;
+        }
+        if self.fetch_stall > 0 {
+            self.fetch_stall -= 1;
+            return;
+        }
+        let index = (self.pc / 4) as usize;
+        let Some(&instr) = program.instrs().get(index) else {
+            panic!("PC {:#010x} past end of program (hart {})", self.pc, self.hartid);
+        };
+        let stall_raw = |m: &mut Metrics| {
+            if m.roi_active {
+                m.roi.core_stall_raw += 1;
+            }
+        };
+        let stall_struct = |m: &mut Metrics| {
+            if m.roi_active {
+                m.roi.core_stall_structural += 1;
+            }
+        };
+        let mut next_pc = self.pc.wrapping_add(4);
+        match instr {
+            Instr::Lui { rd, imm } => {
+                self.write(rd, imm);
+            }
+            Instr::Auipc { rd, imm } => {
+                self.write(rd, self.pc.wrapping_add(imm));
+            }
+            Instr::Jal { rd, offset } => {
+                self.write(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                if !self.ready(rs1) {
+                    return stall_raw(metrics);
+                }
+                let target = self.read(rs1).wrapping_add(offset as u32) & !1;
+                self.write(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                if !(self.ready(rs1) && self.ready(rs2)) {
+                    return stall_raw(metrics);
+                }
+                let a = self.read(rs1);
+                let b = self.read(rs2);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Load { width, rd, rs1, offset } => {
+                if !self.ready(rs1) || !self.ready(rd) {
+                    return stall_raw(metrics);
+                }
+                if !lsu.can_send() {
+                    return stall_struct(metrics);
+                }
+                let addr = self.read(rs1).wrapping_add(offset as u32);
+                let blocking = region_of(addr) == Region::Periph;
+                lsu.send(MemReq::read(addr));
+                self.lsu_tags.push_back(LsuTag {
+                    rd: rd.index(),
+                    width,
+                    byte: addr % 8,
+                    blocking,
+                });
+                if !rd.is_zero() {
+                    self.busy[rd.index() as usize] = true;
+                }
+                if blocking {
+                    self.blocked_on_periph = true;
+                }
+                if metrics.roi_active {
+                    metrics.roi.lsu_accesses += 1;
+                }
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                if !(self.ready(rs1) && self.ready(rs2)) {
+                    return stall_raw(metrics);
+                }
+                if !lsu.can_send() {
+                    return stall_struct(metrics);
+                }
+                let addr = self.read(rs1).wrapping_add(offset as u32);
+                let byte = addr % 8;
+                let (data, strb) = match width {
+                    StoreWidth::B => (u64::from(self.read(rs2) & 0xFF) << (byte * 8), 1u8 << byte),
+                    StoreWidth::H => {
+                        (u64::from(self.read(rs2) & 0xFFFF) << (byte * 8), 0x3u8 << byte)
+                    }
+                    StoreWidth::W => {
+                        (u64::from(self.read(rs2)) << (byte * 8), 0xFu8 << byte)
+                    }
+                };
+                lsu.send(MemReq { addr, op: MemOp::Write { data, strb } });
+                if metrics.roi_active {
+                    metrics.roi.lsu_accesses += 1;
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                if !self.ready(rs1) {
+                    return stall_raw(metrics);
+                }
+                let a = self.read(rs1);
+                let b = imm as u32;
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(b),
+                    AluImmOp::Slti => u32::from((a as i32) < (b as i32)),
+                    AluImmOp::Sltiu => u32::from(a < b),
+                    AluImmOp::Xori => a ^ b,
+                    AluImmOp::Ori => a | b,
+                    AluImmOp::Andi => a & b,
+                    AluImmOp::Slli => a.wrapping_shl(b & 0x1F),
+                    AluImmOp::Srli => a.wrapping_shr(b & 0x1F),
+                    AluImmOp::Srai => (a as i32).wrapping_shr(b & 0x1F) as u32,
+                };
+                self.write(rd, v);
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                if !(self.ready(rs1) && self.ready(rs2) && self.ready(rd)) {
+                    return stall_raw(metrics);
+                }
+                let a = self.read(rs1);
+                let b = self.read(rs2);
+                let multi = matches!(
+                    op,
+                    AluOp::Mul
+                        | AluOp::Mulh
+                        | AluOp::Mulhsu
+                        | AluOp::Mulhu
+                        | AluOp::Div
+                        | AluOp::Divu
+                        | AluOp::Rem
+                        | AluOp::Remu
+                );
+                let v = alu(op, a, b);
+                if multi {
+                    let latency = if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu)
+                    {
+                        3
+                    } else {
+                        20
+                    };
+                    if !rd.is_zero() {
+                        self.busy[rd.index() as usize] = true;
+                    }
+                    self.alu_wb.push((now + latency, rd.index(), v));
+                } else {
+                    self.write(rd, v);
+                }
+            }
+            Instr::CsrR { op, rd, rs1, csr } => {
+                if !self.ready(rs1) {
+                    return stall_raw(metrics);
+                }
+                if !self.csr_access(now, csr, op, self.read(rs1), rd, fpu, streamer, metrics) {
+                    return;
+                }
+            }
+            Instr::CsrI { op, rd, uimm, csr } => {
+                if !self.csr_access(now, csr, op, u32::from(uimm), rd, fpu, streamer, metrics) {
+                    return;
+                }
+            }
+            Instr::Ecall | Instr::Fence => {}
+            Instr::Scfgwi { rs1, addr } => {
+                if !self.ready(rs1) {
+                    return stall_raw(metrics);
+                }
+                if !streamer.cfg_write(addr, self.read(rs1)) {
+                    return stall_struct(metrics);
+                }
+            }
+            Instr::Scfgri { rd, addr } => {
+                self.write(rd, streamer.cfg_read(addr));
+            }
+            Instr::Frep { max_rpt, .. } => {
+                if !self.ready(max_rpt) {
+                    return stall_raw(metrics);
+                }
+                if !fpu.can_offload() {
+                    return stall_struct(metrics);
+                }
+                fpu.offload(FpOp { instr, aux: self.read(max_rpt) });
+            }
+            Instr::DmSrc { rs1, rs2 }
+            | Instr::DmDst { rs1, rs2 }
+            | Instr::DmStr { rs1, rs2 } => {
+                if !(self.ready(rs1) && self.ready(rs2)) {
+                    return stall_raw(metrics);
+                }
+                let Some(dma) = dma else {
+                    panic!("DMA instruction on a core without a DMA engine");
+                };
+                match instr {
+                    Instr::DmSrc { .. } => dma.set_src(self.read(rs1)),
+                    Instr::DmDst { .. } => dma.set_dst(self.read(rs1)),
+                    Instr::DmStr { .. } => dma.set_strides(self.read(rs1), self.read(rs2)),
+                    _ => unreachable!(),
+                }
+            }
+            Instr::DmRep { rs1 } => {
+                if !self.ready(rs1) {
+                    return stall_raw(metrics);
+                }
+                let Some(dma) = dma else {
+                    panic!("DMA instruction on a core without a DMA engine");
+                };
+                dma.set_reps(self.read(rs1));
+            }
+            Instr::DmCpyI { rd, rs1, cfg } => {
+                if !self.ready(rs1) {
+                    return stall_raw(metrics);
+                }
+                let Some(dma) = dma else {
+                    panic!("DMA instruction on a core without a DMA engine");
+                };
+                let id = dma.start(self.read(rs1), cfg & 1 != 0);
+                self.write(rd, id);
+            }
+            Instr::DmStatI { rd, which } => {
+                let Some(dma) = dma else {
+                    panic!("DMA instruction on a core without a DMA engine");
+                };
+                let v = match which {
+                    0 => dma.completed(),
+                    _ => u32::from(dma.busy()),
+                };
+                self.write(rd, v);
+            }
+            Instr::Halt => {
+                self.halted = true;
+            }
+            fp if fp.is_fp() => {
+                if !fpu.can_offload() {
+                    return stall_struct(metrics);
+                }
+                // Capture integer operands at offload time.
+                let aux = match fp {
+                    Instr::Fld { rs1, offset, .. } | Instr::Fsd { rs1, offset, .. } => {
+                        if !self.ready(rs1) {
+                            return stall_raw(metrics);
+                        }
+                        self.read(rs1).wrapping_add(offset as u32)
+                    }
+                    Instr::FcvtDW { rs1, .. } => {
+                        if !self.ready(rs1) {
+                            return stall_raw(metrics);
+                        }
+                        self.read(rs1)
+                    }
+                    _ => 0,
+                };
+                // FP→int results come back asynchronously: reserve rd.
+                match fp {
+                    Instr::FcvtWD { rd, .. } | Instr::FpuCmp { rd, .. } => {
+                        if !self.ready(rd) {
+                            return stall_raw(metrics);
+                        }
+                        if !rd.is_zero() {
+                            self.busy[rd.index() as usize] = true;
+                        }
+                    }
+                    _ => {}
+                }
+                fpu.offload(FpOp { instr: fp, aux });
+            }
+            other => panic!("unimplemented instruction {other}"),
+        }
+        self.pc = next_pc;
+        metrics.instret += 1;
+        if metrics.roi_active {
+            metrics.roi.core_ops += 1;
+        }
+    }
+
+    /// Returns `false` if the access must retry next cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn csr_access(
+        &mut self,
+        now: u64,
+        csr: Csr,
+        op: CsrOp,
+        src: u32,
+        rd: IntReg,
+        fpu: &FpuSubsystem,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+    ) -> bool {
+        if csr == Csr::Barrier {
+            if self.barrier_clear {
+                self.barrier_clear = false;
+                self.write(rd, 0);
+                return true;
+            }
+            self.barrier_waiting = true;
+            return false;
+        }
+        let old = match csr {
+            Csr::MHartId => self.hartid,
+            Csr::MCycle => now as u32,
+            Csr::MInstret => metrics.instret as u32,
+            Csr::Ssr => u32::from(streamer.is_enabled()),
+            Csr::Roi => u32::from(metrics.roi_active),
+            _ => 0,
+        };
+        let new = match op {
+            CsrOp::Rw => src,
+            CsrOp::Rs => old | src,
+            CsrOp::Rc => old & !src,
+        };
+        let write_intended = !(matches!(op, CsrOp::Rs | CsrOp::Rc) && src == 0);
+        if write_intended {
+            match csr {
+                Csr::Ssr => {
+                    // Toggling redirection must not race queued FP ops.
+                    if !fpu.is_drained() {
+                        if metrics.roi_active {
+                            metrics.roi.core_stall_structural += 1;
+                        }
+                        return false;
+                    }
+                    streamer.set_enabled(new & 1 != 0);
+                }
+                Csr::Roi => {
+                    // Measurement brackets synchronize with the FPU: the
+                    // paper times kernels to completion, and the core
+                    // runs ahead of the FPU subsystem (pseudo-dual-issue).
+                    if !fpu.is_drained() {
+                        if metrics.roi_active {
+                            metrics.roi.core_stall_structural += 1;
+                        }
+                        return false;
+                    }
+                    if new & 1 != 0 {
+                        metrics.roi_begin(now);
+                    } else {
+                        metrics.roi_end();
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.write(rd, old);
+        true
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => (a as i32).wrapping_shr(b & 0x1F) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        AluOp::Mulhsu => ((i64::from(a as i32) * i64::from(b)) >> 32) as u32,
+        AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn extract(word: u64, byte: u32, width: LoadWidth) -> u32 {
+    let shifted = word >> (byte * 8);
+    match width {
+        LoadWidth::B => (shifted as u8) as i8 as i32 as u32,
+        LoadWidth::Bu => u32::from(shifted as u8),
+        LoadWidth::H => (shifted as u16) as i16 as i32 as u32,
+        LoadWidth::Hu => u32::from(shifted as u16),
+        LoadWidth::W => shifted as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_reference_semantics() {
+        assert_eq!(alu(AluOp::Add, 2, 3), 5);
+        assert_eq!(alu(AluOp::Sub, 2, 3), u32::MAX);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 4), 0xF800_0000);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 4), 0x0800_0000);
+        assert_eq!(alu(AluOp::Slt, u32::MAX, 0), 1); // -1 < 0
+        assert_eq!(alu(AluOp::Sltu, u32::MAX, 0), 0);
+        assert_eq!(alu(AluOp::Mulhu, 0xFFFF_FFFF, 0xFFFF_FFFF), 0xFFFF_FFFE);
+        assert_eq!(alu(AluOp::Div, 7u32.wrapping_neg(), 2), 3u32.wrapping_neg());
+        assert_eq!(alu(AluOp::Divu, 0, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+    }
+
+    #[test]
+    fn subword_extraction() {
+        let word = 0x8877_6655_4433_2211u64;
+        assert_eq!(extract(word, 0, LoadWidth::Bu), 0x11);
+        assert_eq!(extract(word, 7, LoadWidth::Bu), 0x88);
+        assert_eq!(extract(word, 7, LoadWidth::B), 0xFFFF_FF88);
+        assert_eq!(extract(word, 2, LoadWidth::Hu), 0x4433);
+        assert_eq!(extract(word, 6, LoadWidth::H), 0xFFFF_8877u32);
+        assert_eq!(extract(word, 4, LoadWidth::W), 0x8877_6655);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut c = SnitchCore::new(0);
+        c.set_reg(IntReg::ZERO, 42);
+        assert_eq!(c.reg(IntReg::ZERO), 0);
+    }
+}

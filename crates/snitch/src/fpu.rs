@@ -1,0 +1,753 @@
+//! The FPU subsystem: offload queue, FREP sequencer, double-precision
+//! pipeline, FP register file and scoreboard, and the FP load/store path.
+//!
+//! Snitch offloads every floating-point instruction (with any captured
+//! integer operands) into this subsystem and keeps executing — the
+//! *pseudo-dual-issue* behaviour the paper leans on: integer bookkeeping
+//! for the next row overlaps the FPU stream of the current one.
+//!
+//! The FREP sequencer implements the paper's hardware loop: it captures
+//! the next `n_insns` offloaded FP instructions while executing them
+//! (iteration 0) and replays the buffer `max_rpt` more times without any
+//! core involvement. *Register staggering* rotates operand registers
+//! selected by the stagger mask through `stagger_count + 1` consecutive
+//! registers per iteration, maintaining the parallel accumulators that
+//! hide FMA latency (Listing 1).
+
+use crate::metrics::Metrics;
+use crate::params::CcParams;
+use issr_core::streamer::Streamer;
+use issr_isa::instr::{FpCmp, FpOp2, FpOp3, FrepKind, Instr, Stagger};
+use issr_isa::reg::FpReg;
+use issr_mem::port::{MemPort, MemReq};
+use std::collections::VecDeque;
+
+/// An offloaded FP instruction with its captured integer operand:
+/// the effective address for `fld`/`fsd`, the register value for
+/// `fcvt.d.w`, the trip count for `frep`.
+#[derive(Clone, Copy, Debug)]
+pub struct FpOp {
+    /// The instruction.
+    pub instr: Instr,
+    /// Captured integer operand (meaning depends on the instruction).
+    pub aux: u32,
+}
+
+/// Integer write-back produced by the FPU (comparisons, conversions),
+/// delivered to the core by the core complex.
+#[derive(Clone, Copy, Debug)]
+pub struct IntWriteback {
+    /// Destination integer register index.
+    pub reg: u8,
+    /// Value.
+    pub value: u32,
+}
+
+#[derive(Debug)]
+enum SeqState {
+    Idle,
+    Capturing { remaining: u8, max_rpt: u32, stagger: Stagger, kind: FrepKind, buf: Vec<FpOp> },
+    Replaying { iter: u32, pos: usize, max_rpt: u32, stagger: Stagger, kind: FrepKind, buf: Vec<FpOp> },
+}
+
+/// Reason the FPU could not issue this cycle (for stall accounting).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Blocked {
+    /// Nothing to do.
+    Empty,
+    /// An operand or resource was not ready.
+    Stalled,
+}
+
+/// The FPU subsystem of one core complex.
+#[derive(Debug)]
+pub struct FpuSubsystem {
+    params: CcParams,
+    regs: [u64; 32],
+    busy: [bool; 32],
+    queue: VecDeque<FpOp>,
+    seq: SeqState,
+    /// Scheduled FP write-backs: (ready_cycle, reg, value).
+    wb_fp: Vec<(u64, u8, u64)>,
+    /// Scheduled integer write-backs.
+    wb_int: Vec<(u64, IntWriteback)>,
+    /// Destination registers of outstanding `fld`s, in request order.
+    lsu_tags: VecDeque<u8>,
+    /// In-flight stream-register writes per lane (credit reservation).
+    stream_wr_outstanding: Vec<usize>,
+}
+
+impl FpuSubsystem {
+    /// Creates an idle subsystem.
+    #[must_use]
+    pub fn new(params: CcParams, n_lanes: usize) -> Self {
+        Self {
+            params,
+            regs: [0; 32],
+            busy: [false; 32],
+            queue: VecDeque::new(),
+            seq: SeqState::Idle,
+            wb_fp: Vec::new(),
+            wb_int: Vec::new(),
+            lsu_tags: VecDeque::new(),
+            stream_wr_outstanding: vec![0; n_lanes],
+        }
+    }
+
+    /// Whether the offload queue can accept another instruction.
+    #[must_use]
+    pub fn can_offload(&self) -> bool {
+        self.queue.len() < self.params.offload_depth
+    }
+
+    /// Offloads one FP instruction (or `frep`) from the core.
+    ///
+    /// # Panics
+    /// Panics if the queue is full (check [`Self::can_offload`]).
+    pub fn offload(&mut self, op: FpOp) {
+        assert!(self.can_offload(), "FPU offload queue overflow");
+        self.queue.push_back(op);
+    }
+
+    /// Whether every offloaded instruction has fully completed.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty()
+            && matches!(self.seq, SeqState::Idle)
+            && self.wb_fp.is_empty()
+            && self.wb_int.is_empty()
+            && self.lsu_tags.is_empty()
+            && self.stream_wr_outstanding.iter().all(|&n| n == 0)
+    }
+
+    /// Direct register-file read (tests and result marshalling).
+    #[must_use]
+    pub fn reg(&self, r: FpReg) -> f64 {
+        f64::from_bits(self.regs[r.index() as usize])
+    }
+
+    /// Direct register-file write (tests).
+    pub fn set_reg(&mut self, r: FpReg, value: f64) {
+        self.regs[r.index() as usize] = value.to_bits();
+    }
+
+    /// Advances one cycle. `port` is the FPU's virtual slice of the
+    /// shared CC memory port; `streamer` provides the stream registers.
+    /// Returns integer write-backs that completed this cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        port: &mut MemPort,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+    ) -> Vec<IntWriteback> {
+        // 1. Retire scheduled write-backs.
+        let mut int_out = Vec::new();
+        let mut i = 0;
+        while i < self.wb_fp.len() {
+            if self.wb_fp[i].0 <= now {
+                let (_, reg, value) = self.wb_fp.swap_remove(i);
+                self.regs[reg as usize] = value;
+                self.busy[reg as usize] = false;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.wb_int.len() {
+            if self.wb_int[i].0 <= now {
+                let (_, wb) = self.wb_int.swap_remove(i);
+                int_out.push(wb);
+            } else {
+                i += 1;
+            }
+        }
+        // 2. FP load responses.
+        while let Some(rsp) = port.take_rsp(now) {
+            let reg = self.lsu_tags.pop_front().expect("fld response without tag");
+            self.regs[reg as usize] = rsp.data;
+            self.busy[reg as usize] = false;
+        }
+        // 3. Issue at most one operation.
+        match self.try_issue(now, port, streamer, metrics) {
+            Ok(()) => {}
+            Err(Blocked::Empty) => {}
+            Err(Blocked::Stalled) => {
+                if metrics.roi_active {
+                    metrics.roi.fpu_stall += 1;
+                }
+            }
+        }
+        int_out
+    }
+
+    /// Attempts to issue one op from the sequencer or the queue head.
+    fn try_issue(
+        &mut self,
+        now: u64,
+        port: &mut MemPort,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+    ) -> Result<(), Blocked> {
+        // Replay takes priority: the queue is stalled behind the loop.
+        if let SeqState::Replaying { iter, pos, max_rpt, stagger, kind, buf } = &self.seq {
+            let op = buf[*pos];
+            let offset = stagger.offset_at(*iter);
+            let stagger = *stagger;
+            let (iter, pos, max_rpt, kind, buf_len) =
+                (*iter, *pos, *max_rpt, *kind, buf.len());
+            self.issue_op(op, offset, now, port, streamer, metrics)?;
+            // Advance the sequencer.
+            let (next_iter, next_pos) = match kind {
+                FrepKind::Outer => {
+                    if pos + 1 < buf_len {
+                        (iter, pos + 1)
+                    } else {
+                        (iter + 1, 0)
+                    }
+                }
+                FrepKind::Inner => {
+                    if iter < max_rpt {
+                        (iter + 1, pos)
+                    } else {
+                        (1, pos + 1)
+                    }
+                }
+            };
+            let done = match kind {
+                FrepKind::Outer => next_iter > max_rpt,
+                FrepKind::Inner => next_pos >= buf_len,
+            };
+            if done {
+                self.seq = SeqState::Idle;
+            } else if let SeqState::Replaying { iter, pos, .. } = &mut self.seq {
+                *iter = next_iter;
+                *pos = next_pos;
+                let _ = stagger;
+            }
+            return Ok(());
+        }
+        // Sequencer markers are processed without consuming issue slots.
+        loop {
+            match self.queue.front() {
+                Some(FpOp { instr: Instr::Frep { kind, n_insns, stagger, .. }, aux }) => {
+                    assert!(
+                        matches!(self.seq, SeqState::Idle),
+                        "nested FREP is not supported"
+                    );
+                    assert!(
+                        (*n_insns as usize) <= self.params.frep_buffer,
+                        "FREP body exceeds sequencer buffer"
+                    );
+                    assert!(*n_insns > 0, "FREP with empty body");
+                    self.seq = SeqState::Capturing {
+                        remaining: *n_insns,
+                        max_rpt: *aux,
+                        stagger: *stagger,
+                        kind: *kind,
+                        buf: Vec::with_capacity(*n_insns as usize),
+                    };
+                    self.queue.pop_front();
+                }
+                Some(_) => break,
+                None => return Err(Blocked::Empty),
+            }
+        }
+        let op = *self.queue.front().expect("checked non-empty");
+        // Iteration 0 of a captured body executes as it streams by.
+        let offset = 0;
+        self.issue_op(op, offset, now, port, streamer, metrics)?;
+        self.queue.pop_front();
+        if let SeqState::Capturing { remaining, max_rpt, stagger, kind, buf } = &mut self.seq {
+            buf.push(op);
+            *remaining -= 1;
+            if *remaining == 0 {
+                if *max_rpt == 0 {
+                    self.seq = SeqState::Idle;
+                } else {
+                    self.seq = SeqState::Replaying {
+                        iter: 1,
+                        pos: 0,
+                        max_rpt: *max_rpt,
+                        stagger: *stagger,
+                        kind: *kind,
+                        buf: std::mem::take(buf),
+                    };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stagger_reg(reg: FpReg, mask_bit: u8, mask: u8, offset: u8) -> FpReg {
+        if mask & (1 << mask_bit) != 0 && offset > 0 {
+            FpReg::new((reg.index() + offset) % 32)
+        } else {
+            reg
+        }
+    }
+
+    /// Reads an FP source operand: pops the stream if the register is
+    /// redirected, else checks the scoreboard. Returns `None` on stall.
+    /// `probe` first verifies availability without consuming.
+    fn src_ready(&self, reg: FpReg, streamer: &Streamer) -> bool {
+        match streamer.lane_of_reg(reg.index()) {
+            Some(lane) => streamer.lane(lane).can_pop(),
+            None => !self.busy[reg.index() as usize],
+        }
+    }
+
+    fn read_src(&mut self, reg: FpReg, streamer: &mut Streamer) -> u64 {
+        match streamer.lane_of_reg(reg.index()) {
+            Some(lane) => streamer.lane_mut(lane).pop(),
+            None => self.regs[reg.index() as usize],
+        }
+    }
+
+    /// Checks the destination: a stream register needs write credit;
+    /// a plain register must not have a write in flight (WAW).
+    fn dst_ready(&self, reg: FpReg, streamer: &Streamer) -> bool {
+        match streamer.lane_of_reg(reg.index()) {
+            Some(lane) => {
+                let reserved = self.stream_wr_outstanding[lane];
+                let fifo_ok = streamer.lane(lane).can_push();
+                fifo_ok && reserved < issr_core::lane::DATA_FIFO_DEPTH
+            }
+            None => !self.busy[reg.index() as usize],
+        }
+    }
+
+    /// Commits a result: schedules a register write-back or a stream push.
+    fn write_dst(
+        &mut self,
+        reg: FpReg,
+        value: u64,
+        latency: u64,
+        now: u64,
+        streamer: &mut Streamer,
+    ) {
+        match streamer.lane_of_reg(reg.index()) {
+            Some(lane) => {
+                // Stream writes commit at issue: the FIFO is the pipeline
+                // decoupling stage and credit was checked.
+                streamer.lane_mut(lane).push(value);
+                let _ = latency;
+            }
+            None => {
+                self.busy[reg.index() as usize] = true;
+                self.wb_fp.push((now + latency, reg.index(), value));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn issue_op(
+        &mut self,
+        op: FpOp,
+        stagger_offset: u8,
+        now: u64,
+        port: &mut MemPort,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+    ) -> Result<(), Blocked> {
+        let (smask, soff) = match &self.seq {
+            SeqState::Capturing { stagger, .. } | SeqState::Replaying { stagger, .. } => {
+                (stagger.mask, stagger_offset)
+            }
+            SeqState::Idle => (0, 0),
+        };
+        let p = self.params;
+        let count = |metrics: &mut Metrics, fmadd: bool, fadd: bool| {
+            if metrics.roi_active {
+                metrics.roi.fpu_ops += 1;
+                if fmadd {
+                    metrics.roi.fmadds += 1;
+                }
+                if fadd {
+                    metrics.roi.fadds += 1;
+                }
+            }
+        };
+        match op.instr {
+            Instr::FpuOp3 { op: kind, rd, rs1, rs2, rs3 } => {
+                let rd = Self::stagger_reg(rd, 0, smask, soff);
+                let rs1 = Self::stagger_reg(rs1, 1, smask, soff);
+                let rs2 = Self::stagger_reg(rs2, 2, smask, soff);
+                let rs3 = Self::stagger_reg(rs3, 3, smask, soff);
+                if !(self.src_ready(rs1, streamer)
+                    && self.src_ready(rs2, streamer)
+                    && self.src_ready(rs3, streamer)
+                    && self.dst_ready(rd, streamer))
+                {
+                    return Err(Blocked::Stalled);
+                }
+                let a = f64::from_bits(self.read_src(rs1, streamer));
+                let b = f64::from_bits(self.read_src(rs2, streamer));
+                let c = f64::from_bits(self.read_src(rs3, streamer));
+                let v = match kind {
+                    FpOp3::FmaddD => a.mul_add(b, c),
+                    FpOp3::FmsubD => a.mul_add(b, -c),
+                    FpOp3::FnmsubD => (-a).mul_add(b, c),
+                    FpOp3::FnmaddD => (-a).mul_add(b, -c),
+                };
+                self.write_dst(rd, v.to_bits(), p.fpu_latency, now, streamer);
+                count(metrics, true, false);
+            }
+            Instr::FpuOp2 { op: kind, rd, rs1, rs2 } => {
+                let rd = Self::stagger_reg(rd, 0, smask, soff);
+                let rs1 = Self::stagger_reg(rs1, 1, smask, soff);
+                let rs2 = Self::stagger_reg(rs2, 2, smask, soff);
+                if !(self.src_ready(rs1, streamer)
+                    && self.src_ready(rs2, streamer)
+                    && self.dst_ready(rd, streamer))
+                {
+                    return Err(Blocked::Stalled);
+                }
+                let a = f64::from_bits(self.read_src(rs1, streamer));
+                let b = f64::from_bits(self.read_src(rs2, streamer));
+                let (v, latency, is_add) = match kind {
+                    FpOp2::FaddD => (a + b, p.fpu_latency, true),
+                    FpOp2::FsubD => (a - b, p.fpu_latency, true),
+                    FpOp2::FmulD => (a * b, p.fpu_latency, false),
+                    FpOp2::FdivD => (a / b, p.fdiv_latency, false),
+                    FpOp2::FsgnjD => (a.copysign(b), p.fpu_short_latency, false),
+                    FpOp2::FsgnjnD => (a.copysign(-b), p.fpu_short_latency, false),
+                    FpOp2::FsgnjxD => {
+                        let sign = if (b.is_sign_negative()) ^ (a.is_sign_negative()) {
+                            -1.0
+                        } else {
+                            1.0
+                        };
+                        (a.abs() * sign, p.fpu_short_latency, false)
+                    }
+                    FpOp2::FminD => (a.min(b), p.fpu_short_latency, false),
+                    FpOp2::FmaxD => (a.max(b), p.fpu_short_latency, false),
+                };
+                self.write_dst(rd, v.to_bits(), latency, now, streamer);
+                count(metrics, false, is_add);
+            }
+            Instr::FmvD { rd, rs1 } => {
+                let rd = Self::stagger_reg(rd, 0, smask, soff);
+                let rs1 = Self::stagger_reg(rs1, 1, smask, soff);
+                if !(self.src_ready(rs1, streamer) && self.dst_ready(rd, streamer)) {
+                    return Err(Blocked::Stalled);
+                }
+                let v = self.read_src(rs1, streamer);
+                self.write_dst(rd, v, p.fpu_short_latency, now, streamer);
+                count(metrics, false, false);
+            }
+            Instr::Fld { rd, .. } => {
+                let rd = Self::stagger_reg(rd, 0, smask, soff);
+                assert!(
+                    streamer.lane_of_reg(rd.index()).is_none(),
+                    "fld into a redirected stream register"
+                );
+                if self.busy[rd.index() as usize] || !port.can_send() {
+                    return Err(Blocked::Stalled);
+                }
+                port.send(MemReq::read(op.aux & !7));
+                debug_assert_eq!(op.aux % 8, 0, "fld address must be 8-byte aligned");
+                self.busy[rd.index() as usize] = true;
+                self.lsu_tags.push_back(rd.index());
+                count(metrics, false, false);
+            }
+            Instr::Fsd { rs2, .. } => {
+                let rs2 = Self::stagger_reg(rs2, 2, smask, soff);
+                if !(self.src_ready(rs2, streamer) && port.can_send()) {
+                    return Err(Blocked::Stalled);
+                }
+                let v = self.read_src(rs2, streamer);
+                debug_assert_eq!(op.aux % 8, 0, "fsd address must be 8-byte aligned");
+                port.send(MemReq::write(op.aux & !7, v));
+                count(metrics, false, false);
+            }
+            Instr::FcvtDW { rd, .. } => {
+                let rd = Self::stagger_reg(rd, 0, smask, soff);
+                if !self.dst_ready(rd, streamer) {
+                    return Err(Blocked::Stalled);
+                }
+                let v = f64::from(op.aux as i32);
+                self.write_dst(rd, v.to_bits(), p.fpu_short_latency, now, streamer);
+                count(metrics, false, false);
+            }
+            Instr::FcvtWD { rd, rs1 } => {
+                if !self.src_ready(rs1, streamer) {
+                    return Err(Blocked::Stalled);
+                }
+                let a = f64::from_bits(self.read_src(rs1, streamer));
+                let v = (a as i32) as u32;
+                self.wb_int
+                    .push((now + p.fpu_short_latency, IntWriteback { reg: rd.index(), value: v }));
+                count(metrics, false, false);
+            }
+            Instr::FpuCmp { op: kind, rd, rs1, rs2 } => {
+                if !(self.src_ready(rs1, streamer) && self.src_ready(rs2, streamer)) {
+                    return Err(Blocked::Stalled);
+                }
+                let a = f64::from_bits(self.read_src(rs1, streamer));
+                let b = f64::from_bits(self.read_src(rs2, streamer));
+                let v = u32::from(match kind {
+                    FpCmp::FeqD => a == b,
+                    FpCmp::FltD => a < b,
+                    FpCmp::FleD => a <= b,
+                });
+                self.wb_int
+                    .push((now + p.fpu_short_latency, IntWriteback { reg: rd.index(), value: v }));
+                count(metrics, false, false);
+            }
+            other => panic!("non-FP instruction {other} offloaded to FPU"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_isa::instr::Stagger;
+    use issr_isa::reg::FpReg as F;
+
+    fn fp3(rd: F, rs1: F, rs2: F, rs3: F) -> FpOp {
+        FpOp {
+            instr: Instr::FpuOp3 { op: FpOp3::FmaddD, rd, rs1, rs2, rs3 },
+            aux: 0,
+        }
+    }
+
+    fn tick_n(
+        fpu: &mut FpuSubsystem,
+        streamer: &mut Streamer,
+        metrics: &mut Metrics,
+        start: u64,
+        n: u64,
+    ) {
+        let mut port = MemPort::new();
+        for now in start..start + n {
+            fpu.tick(now, &mut port, streamer, metrics);
+        }
+    }
+
+    #[test]
+    fn fmadd_has_pipeline_latency() {
+        let mut fpu = FpuSubsystem::new(CcParams::default(), 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        fpu.set_reg(F::FT3, 2.0);
+        fpu.set_reg(F::FT4, 3.0);
+        fpu.set_reg(F::FT5, 1.0);
+        fpu.offload(fp3(F::FT6, F::FT3, F::FT4, F::FT5));
+        // Issues at cycle 0; completes at fpu_latency.
+        tick_n(&mut fpu, &mut streamer, &mut metrics, 0, 1);
+        assert!(!fpu.is_drained());
+        tick_n(&mut fpu, &mut streamer, &mut metrics, 1, CcParams::default().fpu_latency);
+        assert!(fpu.is_drained());
+        assert_eq!(fpu.reg(F::FT6), 7.0);
+    }
+
+    #[test]
+    fn dependent_ops_stall_on_scoreboard() {
+        let mut fpu = FpuSubsystem::new(CcParams::default(), 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        metrics.roi_begin(0);
+        metrics.roi_active = true;
+        fpu.set_reg(F::FT3, 1.0);
+        fpu.set_reg(F::FT4, 1.0);
+        // acc = acc*1 + 1 twice: second depends on first.
+        fpu.offload(fp3(F::FT5, F::FT5, F::FT3, F::FT4));
+        fpu.offload(fp3(F::FT5, F::FT5, F::FT3, F::FT4));
+        let mut port = MemPort::new();
+        let mut cycles = 0;
+        for now in 0..40 {
+            fpu.tick(now, &mut port, &mut streamer, &mut metrics);
+            cycles = now + 1;
+            if fpu.is_drained() {
+                break;
+            }
+        }
+        // Two dependent FMAs: latency-bound, ~2 * fpu_latency.
+        assert!(cycles >= 2 * CcParams::default().fpu_latency);
+        assert!(metrics.roi.fpu_stall > 0);
+    }
+
+    #[test]
+    fn frep_outer_replays_body() {
+        let mut fpu = FpuSubsystem::new(CcParams::default(), 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        metrics.roi_begin(0);
+        metrics.roi_active = true;
+        fpu.set_reg(F::FT3, 1.0);
+        fpu.set_reg(F::FT4, 2.0);
+        fpu.set_reg(F::FT5, 0.0);
+        // frep.o with max_rpt = 4 (5 iterations), body = 1 fmadd; no stagger:
+        // the dependent accumulation is latency-bound but correct.
+        fpu.offload(FpOp {
+            instr: Instr::Frep {
+                kind: FrepKind::Outer,
+                max_rpt: issr_isa::reg::IntReg::T0,
+                n_insns: 1,
+                stagger: Stagger::NONE,
+            },
+            aux: 4,
+        });
+        fpu.offload(fp3(F::FT5, F::FT3, F::FT4, F::FT5));
+        let mut port = MemPort::new();
+        for now in 0..200 {
+            fpu.tick(now, &mut port, &mut streamer, &mut metrics);
+            if fpu.is_drained() {
+                break;
+            }
+        }
+        assert!(fpu.is_drained());
+        assert_eq!(fpu.reg(F::FT5), 10.0); // 5 iterations of +2
+        assert_eq!(metrics.roi.fmadds, 5);
+    }
+
+    #[test]
+    fn frep_stagger_rotates_accumulators_at_full_rate() {
+        let params = CcParams::default();
+        let mut fpu = FpuSubsystem::new(params, 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        metrics.roi_begin(0);
+        metrics.roi_active = true;
+        fpu.set_reg(F::FT0, 1.0);
+        fpu.set_reg(F::FT1, 1.0);
+        let n_acc = params.fpu_latency as u8; // enough to hide latency
+        for k in 0..n_acc {
+            fpu.set_reg(F::FT2.offset(k), 0.0);
+        }
+        let iters = 64u32;
+        fpu.offload(FpOp {
+            instr: Instr::Frep {
+                kind: FrepKind::Outer,
+                max_rpt: issr_isa::reg::IntReg::T0,
+                n_insns: 1,
+                stagger: Stagger::accumulator(n_acc),
+            },
+            aux: iters - 1,
+        });
+        fpu.offload(fp3(F::FT2, F::FT0, F::FT1, F::FT2));
+        let mut port = MemPort::new();
+        let mut cycles = 0;
+        for now in 0..500 {
+            fpu.tick(now, &mut port, &mut streamer, &mut metrics);
+            cycles = now + 1;
+            if fpu.is_drained() {
+                break;
+            }
+        }
+        // Sum over the accumulator group is the iteration count.
+        let total: f64 = (0..n_acc).map(|k| fpu.reg(F::FT2.offset(k))).sum();
+        assert_eq!(total, f64::from(iters));
+        // Staggering hides FMA latency: ~1 issue/cycle plus drain.
+        assert!(
+            cycles <= u64::from(iters) + params.fpu_latency + 4,
+            "staggered loop took {cycles} cycles for {iters} iterations"
+        );
+        assert_eq!(metrics.roi.fmadds, u64::from(iters));
+    }
+
+    #[test]
+    fn frep_inner_repeats_each_instruction() {
+        let mut fpu = FpuSubsystem::new(CcParams::default(), 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        fpu.set_reg(F::FT3, 1.0);
+        fpu.set_reg(F::FT5, 0.0);
+        fpu.set_reg(F::FT6, 100.0);
+        // Body: [ft5 += 1; ft6 += 1] with frep.i ×2 → each repeated
+        // before moving on.
+        fpu.offload(FpOp {
+            instr: Instr::Frep {
+                kind: FrepKind::Inner,
+                max_rpt: issr_isa::reg::IntReg::T0,
+                n_insns: 2,
+                stagger: Stagger::NONE,
+            },
+            aux: 1,
+        });
+        fpu.offload(FpOp {
+            instr: Instr::FpuOp2 { op: FpOp2::FaddD, rd: F::FT5, rs1: F::FT5, rs2: F::FT3 },
+            aux: 0,
+        });
+        fpu.offload(FpOp {
+            instr: Instr::FpuOp2 { op: FpOp2::FaddD, rd: F::FT6, rs1: F::FT6, rs2: F::FT3 },
+            aux: 0,
+        });
+        let mut port = MemPort::new();
+        for now in 0..100 {
+            fpu.tick(now, &mut port, &mut streamer, &mut metrics);
+            if fpu.is_drained() {
+                break;
+            }
+        }
+        assert_eq!(fpu.reg(F::FT5), 2.0);
+        assert_eq!(fpu.reg(F::FT6), 102.0);
+    }
+
+    #[test]
+    fn fld_round_trips_through_port() {
+        let mut fpu = FpuSubsystem::new(CcParams::default(), 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        let mut port = MemPort::new();
+        fpu.offload(FpOp {
+            instr: Instr::Fld { rd: F::FT7, rs1: issr_isa::reg::IntReg::A0, offset: 0 },
+            aux: 0x1000,
+        });
+        fpu.tick(0, &mut port, &mut streamer, &mut metrics);
+        // The request is on the port; emulate a 1-cycle memory.
+        let req = port.take_pending().expect("fld issued");
+        assert_eq!(req.addr, 0x1000);
+        port.push_rsp(1, issr_mem::port::MemRsp { data: 2.5f64.to_bits() });
+        fpu.tick(1, &mut port, &mut streamer, &mut metrics);
+        assert_eq!(fpu.reg(F::FT7), 2.5);
+        assert!(fpu.is_drained());
+    }
+
+    #[test]
+    fn fsd_waits_for_pending_result() {
+        let params = CcParams::default();
+        let mut fpu = FpuSubsystem::new(params, 2);
+        let mut streamer = Streamer::paper_config();
+        let mut metrics = Metrics::default();
+        let mut port = MemPort::new();
+        fpu.set_reg(F::FT3, 4.0);
+        fpu.set_reg(F::FT4, 0.25);
+        fpu.offload(FpOp {
+            instr: Instr::FpuOp2 { op: FpOp2::FmulD, rd: F::FT5, rs1: F::FT3, rs2: F::FT4 },
+            aux: 0,
+        });
+        fpu.offload(FpOp {
+            instr: Instr::Fsd { rs2: F::FT5, rs1: issr_isa::reg::IntReg::A0, offset: 0 },
+            aux: 0x2000,
+        });
+        let mut store_cycle = None;
+        for now in 0..30 {
+            fpu.tick(now, &mut port, &mut streamer, &mut metrics);
+            if let Some(req) = port.take_pending() {
+                assert!(!req.is_read());
+                store_cycle = Some(now);
+                match req.op {
+                    issr_mem::port::MemOp::Write { data, .. } => {
+                        assert_eq!(f64::from_bits(data), 1.0);
+                    }
+                    issr_mem::port::MemOp::Read => unreachable!(),
+                }
+                break;
+            }
+        }
+        // The store cannot issue before the multiply's write-back.
+        assert!(store_cycle.expect("store issued") >= params.fpu_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "offload queue overflow")]
+    fn offload_overflow_panics() {
+        let mut fpu = FpuSubsystem::new(CcParams { offload_depth: 1, ..CcParams::default() }, 2);
+        fpu.offload(fp3(F::FT3, F::FT3, F::FT3, F::FT3));
+        fpu.offload(fp3(F::FT4, F::FT4, F::FT4, F::FT4));
+    }
+}

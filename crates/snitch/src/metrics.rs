@@ -1,0 +1,111 @@
+//! Execution metrics and the measured region of interest (ROI).
+//!
+//! Kernels bracket their timed section with writes to the `roi` CSR
+//! (timing-neutral in this model). Within the ROI the simulator counts
+//! cycles and classifies FPU activity, from which the paper's headline
+//! metric — FPU utilization, the fraction of cycles the FPU retires a
+//! multiply-accumulate — is computed, with and without the accumulator
+//! reduction (`fadd`) overhead (the `m`-suffixed curves of Fig. 4a).
+
+/// Counters accumulated while the ROI is open.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoiCounters {
+    /// Cycles inside the region of interest.
+    pub cycles: u64,
+    /// Fused multiply-add family issues (`fmadd`/`fmsub`/`fnmadd`/`fnmsub`).
+    pub fmadds: u64,
+    /// Plain FP add/sub issues (accumulator reductions).
+    pub fadds: u64,
+    /// All FPU-subsystem issues (loads/stores/moves included).
+    pub fpu_ops: u64,
+    /// Integer-pipeline instructions issued.
+    pub core_ops: u64,
+    /// Core issue stalls on operands (RAW).
+    pub core_stall_raw: u64,
+    /// Core issue stalls on structure (ports, queues).
+    pub core_stall_structural: u64,
+    /// FPU cycles with work available but no issue (stream back-pressure
+    /// or scoreboard).
+    pub fpu_stall: u64,
+    /// Core data-memory accesses (integer LSU).
+    pub lsu_accesses: u64,
+}
+
+/// Full per-core metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Metrics {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Total instructions issued by the integer pipeline.
+    pub instret: u64,
+    /// Whether the ROI is currently open.
+    pub roi_active: bool,
+    /// Cycle at which the ROI (last) opened.
+    pub roi_opened_at: u64,
+    /// Counters accumulated inside the ROI.
+    pub roi: RoiCounters,
+}
+
+impl Metrics {
+    /// Opens the region of interest.
+    pub fn roi_begin(&mut self, now: u64) {
+        self.roi_active = true;
+        self.roi_opened_at = now;
+    }
+
+    /// Closes the region of interest.
+    pub fn roi_end(&mut self) {
+        self.roi_active = false;
+    }
+
+    /// FPU utilization inside the ROI, counting only multiply-accumulates
+    /// (the paper's headline metric).
+    #[must_use]
+    pub fn fpu_utilization(&self) -> f64 {
+        if self.roi.cycles == 0 {
+            return 0.0;
+        }
+        self.roi.fmadds as f64 / self.roi.cycles as f64
+    }
+
+    /// FPU utilization including the accumulator reduction adds
+    /// (the `m`-suffixed curves in Fig. 4a).
+    #[must_use]
+    pub fn fpu_utilization_with_reduction(&self) -> f64 {
+        if self.roi.cycles == 0 {
+            return 0.0;
+        }
+        (self.roi.fmadds + self.roi.fadds) as f64 / self.roi.cycles as f64
+    }
+
+    /// Useful floating-point operations inside the ROI (1 fmadd = 2 flops).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.roi.fmadds * 2 + self.roi.fadds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_computed_over_roi() {
+        let mut m = Metrics::default();
+        m.roi_begin(10);
+        m.roi.cycles = 100;
+        m.roi.fmadds = 80;
+        m.roi.fadds = 10;
+        m.roi_end();
+        assert!((m.fpu_utilization() - 0.8).abs() < 1e-12);
+        assert!((m.fpu_utilization_with_reduction() - 0.9).abs() < 1e-12);
+        assert_eq!(m.flops(), 170);
+    }
+
+    #[test]
+    fn empty_roi_yields_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.fpu_utilization(), 0.0);
+        assert_eq!(m.fpu_utilization_with_reduction(), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Microarchitectural parameters of the core complex.
+//!
+//! Defaults are calibrated to the paper's stated per-iteration costs
+//! (DESIGN.md, "Cycle-model calibration"): a single-issue in-order core
+//! sustaining one instruction per cycle with two-cycle load-use latency,
+//! and a fully-pipelined double-precision FMA.
+
+/// Tunable latencies and queue depths of one Snitch core complex.
+#[derive(Clone, Copy, Debug)]
+pub struct CcParams {
+    /// `fmadd.d`/`fadd.d`/`fmul.d` result latency in cycles.
+    pub fpu_latency: u64,
+    /// `fdiv.d` result latency in cycles.
+    pub fdiv_latency: u64,
+    /// Latency of FP moves, sign-injections, comparisons, conversions.
+    pub fpu_short_latency: u64,
+    /// Integer multiplier latency (shared unit, contention not modelled).
+    pub mul_latency: u64,
+    /// Integer divider latency.
+    pub div_latency: u64,
+    /// FPU offload queue depth (core → FPU subsystem).
+    pub offload_depth: usize,
+    /// Maximum FREP body length the sequencer buffers.
+    pub frep_buffer: usize,
+}
+
+impl Default for CcParams {
+    fn default() -> Self {
+        Self {
+            fpu_latency: 4,
+            fdiv_latency: 12,
+            fpu_short_latency: 2,
+            mul_latency: 3,
+            div_latency: 20,
+            offload_depth: 8,
+            frep_buffer: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = CcParams::default();
+        assert!(p.fpu_latency >= 1);
+        assert!(p.offload_depth >= 2);
+        assert!(p.frep_buffer >= 1);
+        assert!(p.fdiv_latency > p.fpu_latency);
+    }
+}

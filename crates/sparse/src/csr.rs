@@ -1,0 +1,361 @@
+//! Compressed sparse rows (CSR) and columns (CSC).
+//!
+//! A CSR matrix concatenates the sparse row fibers of a matrix and adds
+//! a pointer array delimiting them (§III-A). Row pointers are 32-bit, as
+//! in the paper's kernels, "enabling broad scaling in rows"; the column
+//! indices are generic over the 16/32-bit width.
+
+use crate::fiber::{FormatError, SparseFiber};
+use crate::index::IndexValue;
+
+/// A CSR matrix with `I`-width column indices.
+///
+/// # Examples
+/// ```
+/// use issr_sparse::csr::CsrMatrix;
+/// // [[1, 0], [0, 2]]
+/// let m = CsrMatrix::<u16>::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.to_dense(), vec![vec![1.0, 0.0], vec![0.0, 2.0]]);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct CsrMatrix<I> {
+    nrows: usize,
+    ncols: usize,
+    ptr: Vec<u32>,
+    idcs: Vec<I>,
+    vals: Vec<f64>,
+}
+
+impl<I: IndexValue> CsrMatrix<I> {
+    /// Builds from raw arrays, validating the invariants.
+    ///
+    /// # Errors
+    /// Returns [`FormatError`] on inconsistent pointers, mismatched
+    /// lengths, or out-of-range column indices.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        ptr: Vec<u32>,
+        idcs: Vec<I>,
+        vals: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        if idcs.len() != vals.len() {
+            return Err(FormatError::LengthMismatch { idcs: idcs.len(), vals: vals.len() });
+        }
+        if ptr.len() != nrows + 1 {
+            return Err(FormatError::PtrBounds { expected: nrows + 1, got: ptr.len() });
+        }
+        if ptr[0] != 0 || ptr[nrows] as usize != vals.len() {
+            return Err(FormatError::PtrBounds {
+                expected: vals.len(),
+                got: ptr[nrows] as usize,
+            });
+        }
+        for r in 0..nrows {
+            if ptr[r] > ptr[r + 1] {
+                return Err(FormatError::NonMonotonicPtr { row: r });
+            }
+        }
+        for &c in &idcs {
+            if c.to_usize() >= ncols {
+                return Err(FormatError::IndexOutOfRange { index: c.to_usize(), dim: ncols });
+            }
+        }
+        Ok(Self { nrows, ncols, ptr, idcs, vals })
+    }
+
+    /// Builds from `(row, col, value)` triplets; duplicates are summed.
+    ///
+    /// # Panics
+    /// Panics if a coordinate is out of range.
+    #[must_use]
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut rows: Vec<usize> = Vec::with_capacity(sorted.len());
+        let mut idcs: Vec<I> = Vec::with_capacity(sorted.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of range");
+            if rows.last() == Some(&r) && idcs.last().map(|i| i.to_usize()) == Some(c) {
+                *vals.last_mut().expect("non-empty") += v;
+            } else {
+                rows.push(r);
+                idcs.push(I::from_usize(c));
+                vals.push(v);
+            }
+        }
+        let mut ptr = vec![0u32; nrows + 1];
+        for &r in &rows {
+            ptr[r + 1] += 1;
+        }
+        for r in 0..nrows {
+            ptr[r + 1] += ptr[r];
+        }
+        let m = Self { nrows, ncols, ptr, idcs, vals };
+        debug_assert!(m.validate().is_ok());
+        m
+    }
+
+    /// Internal consistency check.
+    ///
+    /// # Errors
+    /// Returns the violated invariant.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        Self::new(
+            self.nrows,
+            self.ncols,
+            self.ptr.clone(),
+            self.idcs.clone(),
+            self.vals.clone(),
+        )
+        .map(|_| ())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Average nonzeros per row (the x-axis of Figs. 4b/4c).
+    #[must_use]
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    #[must_use]
+    pub fn ptr(&self) -> &[u32] {
+        &self.ptr
+    }
+
+    /// Column index array.
+    #[must_use]
+    pub fn idcs(&self) -> &[I] {
+        &self.idcs
+    }
+
+    /// Value array.
+    #[must_use]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// The half-open nonzero range of row `r`.
+    #[must_use]
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.ptr[r] as usize..self.ptr[r + 1] as usize
+    }
+
+    /// Iterates `(col, value)` of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.row_range(r);
+        self.idcs[range.clone()]
+            .iter()
+            .zip(&self.vals[range])
+            .map(|(&c, &v)| (c.to_usize(), v))
+    }
+
+    /// Extracts row `r` as a standalone fiber.
+    #[must_use]
+    pub fn row_fiber(&self, r: usize) -> SparseFiber<I> {
+        let range = self.row_range(r);
+        SparseFiber::new(
+            self.ncols,
+            self.idcs[range.clone()].to_vec(),
+            self.vals[range].to_vec(),
+        )
+        .expect("row of a valid matrix is valid")
+    }
+
+    /// Densifies (rows of columns).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.ncols]; self.nrows];
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                out[r][c] += v;
+            }
+        }
+        out
+    }
+
+    /// Transposes into CSC-of-the-same-matrix, i.e. returns the CSR of
+    /// the transpose.
+    #[must_use]
+    pub fn transpose(&self) -> CsrMatrix<I> {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.ncols, self.nrows, &triplets)
+    }
+
+    /// Converts the index width.
+    #[must_use]
+    pub fn with_index_width<J: IndexValue>(&self) -> CsrMatrix<J> {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ptr: self.ptr.clone(),
+            idcs: self.idcs.iter().map(|&i| J::from_usize(i.to_usize())).collect(),
+            vals: self.vals.clone(),
+        }
+    }
+}
+
+/// A CSC matrix, stored as the CSR of its transpose.
+///
+/// The paper's kernels handle CSC by exchanging the roles of the two
+/// dense axes (§III-B); this type keeps that duality explicit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CscMatrix<I> {
+    /// CSR representation of the transpose.
+    transpose_csr: CsrMatrix<I>,
+}
+
+impl<I: IndexValue> CscMatrix<I> {
+    /// Builds the CSC form of `m`.
+    #[must_use]
+    pub fn from_csr(m: &CsrMatrix<I>) -> Self {
+        Self { transpose_csr: m.transpose() }
+    }
+
+    /// Number of rows of the represented matrix.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.transpose_csr.ncols()
+    }
+
+    /// Number of columns of the represented matrix.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.transpose_csr.nrows()
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.transpose_csr.nnz()
+    }
+
+    /// Iterates `(row, value)` of column `c`.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.transpose_csr.row(c)
+    }
+
+    /// The underlying CSR of the transpose (what the kernels consume).
+    #[must_use]
+    pub fn as_transposed_csr(&self) -> &CsrMatrix<I> {
+        &self.transpose_csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<u32> {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+    }
+
+    #[test]
+    fn triplets_build_valid_csr() {
+        let m = sample();
+        assert_eq!(m.ptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.avg_row_nnz(), 4.0 / 3.0);
+        assert_eq!(
+            m.to_dense(),
+            vec![vec![1.0, 0.0, 2.0], vec![0.0, 0.0, 0.0], vec![3.0, 4.0, 0.0]]
+        );
+    }
+
+    #[test]
+    fn empty_rows_are_represented() {
+        let m = sample();
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row_range(1), 2..2);
+    }
+
+    #[test]
+    fn duplicate_triplets_sum() {
+        let m = CsrMatrix::<u32>::from_triplets(1, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense()[0][1], 3.5);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        let tt = t.transpose();
+        assert_eq!(tt.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn csc_views_columns() {
+        let m = sample();
+        let csc = CscMatrix::from_csr(&m);
+        let col0: Vec<(usize, f64)> = csc.col(0).collect();
+        assert_eq!(col0, [(0, 1.0), (2, 3.0)]);
+        assert_eq!(csc.nnz(), 4);
+        assert_eq!(csc.nrows(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_ptr() {
+        let err = CsrMatrix::<u32>::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_col() {
+        let err = CsrMatrix::<u16>::new(1, 2, vec![0, 1], vec![2u16], vec![1.0]);
+        assert!(matches!(err, Err(FormatError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn row_fiber_extraction() {
+        let m = sample();
+        let f = m.row_fiber(2);
+        assert_eq!(f.idcs(), &[0, 1]);
+        assert_eq!(f.vals(), &[3.0, 4.0]);
+        assert_eq!(f.dim(), 3);
+    }
+
+    #[test]
+    fn width_conversion() {
+        let m = sample().with_index_width::<u16>();
+        assert_eq!(m.idcs(), &[0u16, 2, 0, 1]);
+        assert!(m.validate().is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! Dense vectors and strided row-major matrices.
+//!
+//! The ISSR's index shifter requires a power-of-two stride on the
+//! indirected dense axis (§III-B); [`DenseMatrix::with_pow2_stride`]
+//! pads the row stride accordingly, exactly as the paper suggests tiling
+//! matrices into the TCDM.
+
+/// A dense row-major matrix with an explicit row stride (in elements).
+#[derive(Clone, PartialEq, Debug)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix with `stride == cols`.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, stride: cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a zero matrix whose row stride is padded to the next
+    /// power of two, as required for ISSR indirection into rows.
+    #[must_use]
+    pub fn with_pow2_stride(rows: usize, cols: usize) -> Self {
+        let stride = cols.next_power_of_two().max(1);
+        Self { rows, cols, stride, data: vec![0.0; rows * stride] }
+    }
+
+    /// Builds from row-major data with `stride == cols`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, stride: cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of (logical) columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row stride in elements (≥ `cols`).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Raw storage including stride padding.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element accessor.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.stride + c]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.stride + c] = v;
+    }
+
+    /// One row (logical columns only).
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.stride..r * self.stride + self.cols]
+    }
+
+    /// A column, gathered.
+    #[must_use]
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let mut worst = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                worst = worst.max((self.get(r, c) - other.get(r, c)).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Relative comparison of two f64 slices: `|a-b| <= atol + rtol·|b|`.
+///
+/// Accumulation order differs between the simulated kernels (staggered
+/// accumulators, tree reductions) and the reference, so exact equality
+/// is not expected.
+#[must_use]
+pub fn allclose(a: &[f64], b: &[f64], rtol: f64, atol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_stride_padding() {
+        let m = DenseMatrix::with_pow2_stride(3, 5);
+        assert_eq!(m.stride(), 8);
+        assert_eq!(m.data().len(), 24);
+        assert_eq!(m.cols(), 5);
+    }
+
+    #[test]
+    fn get_set_respects_stride() {
+        let mut m = DenseMatrix::with_pow2_stride(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.data()[1 * 4 + 2], 7.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn from_rows_and_col() {
+        let m = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.col(1), [2.0, 4.0]);
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        assert!(allclose(&[1.0, 2.0], &[1.0 + 1e-13, 2.0], 1e-12, 0.0));
+        assert!(!allclose(&[1.0], &[1.1], 1e-12, 0.0));
+        assert!(!allclose(&[1.0], &[1.0, 2.0], 1e-12, 1e-12));
+        assert!(allclose(&[0.0], &[1e-15], 0.0, 1e-12));
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst() {
+        let a = DenseMatrix::from_rows(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = DenseMatrix::from_rows(1, 3, vec![1.0, 2.5, 3.1]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-15);
+    }
+}

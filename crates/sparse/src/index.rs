@@ -1,0 +1,69 @@
+//! Index-width abstraction.
+//!
+//! The paper evaluates every kernel for 16-bit and 32-bit index arrays;
+//! formats here are generic over [`IndexValue`] so workloads can be
+//! materialized in either width without duplication.
+
+use std::fmt::Debug;
+
+/// An unsigned type usable as a sparse index (16- or 32-bit).
+pub trait IndexValue: Copy + Debug + Ord + Send + Sync + 'static {
+    /// Width marker matching `issr-core`'s serializer configuration.
+    const BYTES: u32;
+    /// Human-readable width name (for reports: "16" / "32").
+    const NAME: &'static str;
+
+    /// Converts from a usize position.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit the index width.
+    fn from_usize(v: usize) -> Self;
+
+    /// Widens to usize.
+    fn to_usize(self) -> usize;
+}
+
+impl IndexValue for u16 {
+    const BYTES: u32 = 2;
+    const NAME: &'static str = "16";
+
+    fn from_usize(v: usize) -> Self {
+        u16::try_from(v).expect("index does not fit in 16 bits")
+    }
+
+    fn to_usize(self) -> usize {
+        usize::from(self)
+    }
+}
+
+impl IndexValue for u32 {
+    const BYTES: u32 = 4;
+    const NAME: &'static str = "32";
+
+    fn from_usize(v: usize) -> Self {
+        u32::try_from(v).expect("index does not fit in 32 bits")
+    }
+
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(u16::from_usize(65535).to_usize(), 65535);
+        assert_eq!(u32::from_usize(1 << 20).to_usize(), 1 << 20);
+        assert_eq!(u16::BYTES, 2);
+        assert_eq!(u32::BYTES, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bits")]
+    fn overflow_panics() {
+        let _ = u16::from_usize(65536);
+    }
+}

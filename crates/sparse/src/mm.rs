@@ -1,0 +1,193 @@
+//! Matrix Market (coordinate format) I/O.
+//!
+//! Lets users run the benchmark harnesses on the *real* SuiteSparse
+//! matrices the paper used, when they have the files: load with
+//! [`read_matrix_market`] and feed the result anywhere a suite stand-in
+//! is accepted.
+
+use crate::csr::CsrMatrix;
+use crate::index::IndexValue;
+use std::io::{BufRead, Write};
+
+/// Error reading a Matrix Market stream.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Header or entry could not be parsed.
+    Parse { line: usize, reason: String },
+    /// The file declares an unsupported variant.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "i/o error: {e}"),
+            MmError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            MmError::Unsupported(what) => write!(f, "unsupported matrix market variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Reads a coordinate-format Matrix Market matrix (real or integer
+/// values; `general` or `symmetric`).
+///
+/// # Errors
+/// Returns [`MmError`] on malformed input or unsupported variants
+/// (complex values, dense arrays).
+pub fn read_matrix_market<I: IndexValue, R: BufRead>(reader: R) -> Result<CsrMatrix<I>, MmError> {
+    let mut lines = reader.lines().enumerate();
+    // Header.
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| MmError::Parse { line: 0, reason: "empty file".into() })
+        .and_then(|(n, l)| Ok((n, l?)))?;
+    let header_lower = header.to_lowercase();
+    if !header_lower.starts_with("%%matrixmarket") {
+        return Err(MmError::Parse { line: ln + 1, reason: "missing %%MatrixMarket header".into() });
+    }
+    if !header_lower.contains("coordinate") {
+        return Err(MmError::Unsupported("non-coordinate (dense array) format".into()));
+    }
+    if header_lower.contains("complex") {
+        return Err(MmError::Unsupported("complex values".into()));
+    }
+    let symmetric = header_lower.contains("symmetric");
+    let pattern = header_lower.contains("pattern");
+    // Size line (skip comments).
+    let mut size_line = None;
+    for (n, line) in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some((n, trimmed.to_owned()));
+        break;
+    }
+    let (ln, size_line) =
+        size_line.ok_or(MmError::Parse { line: 0, reason: "missing size line".into() })?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|e| MmError::Parse { line: ln + 1, reason: format!("size line: {e}") })?;
+    if dims.len() != 3 {
+        return Err(MmError::Parse { line: ln + 1, reason: "size line needs 3 fields".into() });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+    let mut triplets = Vec::with_capacity(declared_nnz);
+    for (n, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse_coord = |s: Option<&str>, what: &str| -> Result<usize, MmError> {
+            s.ok_or_else(|| MmError::Parse { line: n + 1, reason: format!("missing {what}") })?
+                .parse::<usize>()
+                .map_err(|e| MmError::Parse { line: n + 1, reason: format!("{what}: {e}") })
+        };
+        let r = parse_coord(fields.next(), "row")?;
+        let c = parse_coord(fields.next(), "col")?;
+        if r == 0 || c == 0 {
+            return Err(MmError::Parse { line: n + 1, reason: "coordinates are 1-based".into() });
+        }
+        let v = if pattern {
+            1.0
+        } else {
+            fields
+                .next()
+                .ok_or_else(|| MmError::Parse { line: n + 1, reason: "missing value".into() })?
+                .parse::<f64>()
+                .map_err(|e| MmError::Parse { line: n + 1, reason: format!("value: {e}") })?
+        };
+        triplets.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+    }
+    Ok(CsrMatrix::from_triplets(nrows, ncols, &triplets))
+}
+
+/// Writes a matrix in coordinate `general real` format.
+///
+/// # Errors
+/// Returns any underlying I/O error.
+pub fn write_matrix_market<I: IndexValue, W: Write>(
+    mut writer: W,
+    m: &CsrMatrix<I>,
+) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for r in 0..m.nrows() {
+        for (c, v) in m.row(r) {
+            writeln!(writer, "{} {} {v:e}", r + 1, c + 1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let m = CsrMatrix::<u32>::from_triplets(
+            3,
+            4,
+            &[(0, 1, 1.5), (2, 0, -2.0), (2, 3, 0.25)],
+        );
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back: CsrMatrix<u32> = read_matrix_market(Cursor::new(&buf)).unwrap();
+        assert_eq!(back.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % a comment\n\
+                    2 2 2\n\
+                    1 1 3.0\n\
+                    2 1 1.0\n";
+        let m: CsrMatrix<u16> = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense(), vec![vec![3.0, 1.0], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 1\n\
+                    2 2\n";
+        let m: CsrMatrix<u16> = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.to_dense()[1][1], 1.0);
+    }
+
+    #[test]
+    fn rejects_complex() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n";
+        let err = read_matrix_market::<u32, _>(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MmError::Unsupported(_)));
+    }
+
+    #[test]
+    fn rejects_zero_based_coords() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n";
+        let err = read_matrix_market::<u32, _>(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MmError::Parse { .. }));
+    }
+}

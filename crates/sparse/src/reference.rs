@@ -1,0 +1,156 @@
+//! Host-side reference kernels: the oracles every simulated kernel is
+//! checked against.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::fiber::SparseFiber;
+use crate::index::IndexValue;
+
+/// Sparse-dense dot product: `Σ_j a_vals[j] · b[a_idcs[j]]` (SpVV).
+///
+/// # Panics
+/// Panics if `b` is shorter than the fiber's dimension.
+#[must_use]
+pub fn spvv<I: IndexValue>(a: &SparseFiber<I>, b: &[f64]) -> f64 {
+    assert!(b.len() >= a.dim(), "dense operand shorter than fiber dimension");
+    a.iter().map(|(i, v)| v * b[i]).sum()
+}
+
+/// CSR matrix-vector product `y = A·x` (CsrMV).
+///
+/// # Panics
+/// Panics if `x` is shorter than `a.ncols()`.
+#[must_use]
+pub fn csrmv<I: IndexValue>(a: &CsrMatrix<I>, x: &[f64]) -> Vec<f64> {
+    assert!(x.len() >= a.ncols(), "dense vector shorter than matrix columns");
+    (0..a.nrows())
+        .map(|r| a.row(r).map(|(c, v)| v * x[c]).sum())
+        .collect()
+}
+
+/// CSR matrix × dense row-major matrix, `Y = A·B` (CsrMM).
+///
+/// # Panics
+/// Panics if `b.rows() != a.ncols()`.
+#[must_use]
+pub fn csrmm<I: IndexValue>(a: &CsrMatrix<I>, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(b.rows(), a.ncols(), "inner dimensions must agree");
+    let mut y = DenseMatrix::zeros(a.nrows(), b.cols());
+    for r in 0..a.nrows() {
+        for (k, v) in a.row(r) {
+            for c in 0..b.cols() {
+                y.set(r, c, y.get(r, c) + v * b.get(k, c));
+            }
+        }
+    }
+    y
+}
+
+/// Gather: `out[j] = data[idcs[j]]`.
+#[must_use]
+pub fn gather<I: IndexValue>(data: &[f64], idcs: &[I]) -> Vec<f64> {
+    idcs.iter().map(|&i| data[i.to_usize()]).collect()
+}
+
+/// Scatter: `out[idcs[j]] = vals[j]` over a zeroed output of length
+/// `dim` (sparse vector densification).
+///
+/// # Panics
+/// Panics if lengths mismatch.
+#[must_use]
+pub fn scatter<I: IndexValue>(dim: usize, idcs: &[I], vals: &[f64]) -> Vec<f64> {
+    assert_eq!(idcs.len(), vals.len(), "index/value length mismatch");
+    let mut out = vec![0.0; dim];
+    for (&i, &v) in idcs.iter().zip(vals) {
+        out[i.to_usize()] = v;
+    }
+    out
+}
+
+/// Codebook decode: `out[j] = codebook[codes[j]]` (§III-C).
+#[must_use]
+pub fn codebook_decode<I: IndexValue>(codebook: &[f64], codes: &[I]) -> Vec<f64> {
+    gather(codebook, codes)
+}
+
+/// Dot product of a codebook-compressed sparse vector with a dense one:
+/// values come from the codebook, positions from the sparse indices.
+#[must_use]
+pub fn codebook_spvv<I: IndexValue>(
+    codebook: &[f64],
+    codes: &[I],
+    idcs: &[I],
+    dense: &[f64],
+) -> f64 {
+    codes
+        .iter()
+        .zip(idcs)
+        .map(|(&c, &i)| codebook[c.to_usize()] * dense[i.to_usize()])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn spvv_small() {
+        let a = SparseFiber::<u16>::new(4, vec![1, 3], vec![2.0, -1.0]).unwrap();
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(spvv(&a, &b), 2.0 * 20.0 - 40.0);
+    }
+
+    #[test]
+    fn csrmv_matches_dense_computation() {
+        let mut rng = gen::rng(17);
+        let m = gen::csr_uniform::<u32>(&mut rng, 30, 40, 200);
+        let x = gen::dense_vector(&mut rng, 40);
+        let y = csrmv(&m, &x);
+        let dense = m.to_dense();
+        for (r, yr) in y.iter().enumerate() {
+            let expect: f64 = dense[r].iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((yr - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csrmm_matches_column_wise_csrmv() {
+        let mut rng = gen::rng(23);
+        let a = gen::csr_uniform::<u16>(&mut rng, 10, 12, 40);
+        let mut b = DenseMatrix::zeros(12, 3);
+        for r in 0..12 {
+            for c in 0..3 {
+                b.set(r, c, gen::dense_vector(&mut rng, 1)[0]);
+            }
+        }
+        let y = csrmm(&a, &b);
+        for c in 0..3 {
+            let yc = csrmv(&a, &b.col(c));
+            for r in 0..10 {
+                assert!((y.get(r, c) - yc[r]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_inverse() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let idcs: [u16; 3] = [4, 0, 2];
+        let g = gather(&data, &idcs);
+        assert_eq!(g, [5.0, 1.0, 3.0]);
+        let s = scatter(5, &idcs, &g);
+        assert_eq!(s, [1.0, 0.0, 3.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn codebook_paths() {
+        let book = [0.5, -1.5, 2.0];
+        let codes: [u16; 4] = [2, 0, 1, 2];
+        assert_eq!(codebook_decode(&book, &codes), [2.0, 0.5, -1.5, 2.0]);
+        let idcs: [u16; 4] = [0, 1, 2, 3];
+        let dense = [1.0, 10.0, 100.0, 1000.0];
+        let expect = 2.0 * 1.0 + 0.5 * 10.0 + -1.5 * 100.0 + 2.0 * 1000.0;
+        assert_eq!(codebook_spvv(&book, &codes, &idcs, &dense), expect);
+    }
+}

@@ -1,0 +1,39 @@
+//! Codebook decoding (§III-C): stream a codebook-compressed vector
+//! through the ISSR, and run the two-ISSR codebook-compressed SpVV.
+//!
+//! ```sh
+//! cargo run --release --example codebook_decode
+//! ```
+
+use issr::kernels::streaming::{run_codebook_spvv, run_gather};
+use issr::sparse::{gen, reference};
+
+fn main() {
+    let mut rng = gen::rng(3);
+    let n = 4096;
+    let (codebook, codes) = gen::codebook_vector::<u16>(&mut rng, n, 32);
+
+    // Decoding is a gather with the codebook as the dense operand.
+    let run = run_gather(&codebook, &codes).expect("decode finishes");
+    assert_eq!(run.out, reference::codebook_decode(&codebook, &codes));
+    println!(
+        "decoded {n} codebook entries in {} cycles ({:.2} elements/cycle; memory footprint {}x smaller)",
+        run.summary.metrics.roi.cycles,
+        n as f64 / run.summary.metrics.roi.cycles as f64,
+        8 / 2,
+    );
+
+    // Sparse-dense product with codebook-compressed values: a streamer
+    // with two ISSRs runs the same single-fmadd loop as Listing 1.
+    let fiber = gen::sparse_vector::<u16>(&mut rng, 8192, n);
+    let dense = gen::dense_vector(&mut rng, 8192);
+    let (dot, summary) =
+        run_codebook_spvv(&codebook, &codes, fiber.idcs(), &dense).expect("spvv finishes");
+    let expect = reference::codebook_spvv(&codebook, &codes, fiber.idcs(), &dense);
+    assert!((dot - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    println!(
+        "codebook SpVV: {n} nonzeros in {} cycles, FPU utilization {:.3} (plain ISSR SpVV peaks at 0.80)",
+        summary.metrics.roi.cycles,
+        summary.metrics.fpu_utilization(),
+    );
+}

@@ -1,0 +1,46 @@
+//! Cluster SpMV: run the eight-core Snitch cluster with DMA
+//! double-buffering on a suite matrix, in BASE and ISSR variants, and
+//! report speedup, utilization, and modelled energy (Fig. 4c/4d flow).
+//!
+//! ```sh
+//! cargo run --release --example spmv_cluster [matrix-name]
+//! ```
+
+use issr::kernels::cluster_csrmv::run_cluster_csrmv;
+use issr::kernels::variant::Variant;
+use issr::model::power::PowerModel;
+use issr::sparse::dense::allclose;
+use issr::sparse::{gen, reference, suite};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "g7".to_owned());
+    let entry = suite::by_name(&name).expect("unknown suite matrix (try g7, g11, plat1919)");
+    let m = entry.build::<u16>();
+    let mut rng = gen::rng(2);
+    let x = gen::dense_vector(&mut rng, m.ncols());
+    println!(
+        "cluster CsrMV on `{name}`: {}x{}, {} nonzeros ({:.1} nnz/row)\n",
+        m.nrows(),
+        m.ncols(),
+        m.nnz(),
+        m.avg_row_nnz()
+    );
+    let expect = reference::csrmv(&m, &x);
+    let model = PowerModel::default();
+    let mut cycles = Vec::new();
+    for variant in [Variant::Base, Variant::Issr] {
+        let run = run_cluster_csrmv(variant, &m, &x).expect("cluster run finishes");
+        assert!(allclose(&run.y, &expect, 1e-12, 1e-12), "result mismatch");
+        let e = model.evaluate(&run.summary);
+        println!(
+            "{variant:>5}: {:8} cycles | peak worker util {:.3} | {:5.0} mW | {:5.0} pJ/fmadd | {} bank conflicts",
+            run.summary.cycles,
+            run.summary.peak_worker_utilization(),
+            e.avg_power_mw,
+            e.pj_per_fmadd,
+            run.summary.tcdm_stats.conflicts,
+        );
+        cycles.push(run.summary.cycles as f64);
+    }
+    println!("\nspeedup ISSR-16 over BASE: {:.2}x", cycles[0] / cycles[1]);
+}

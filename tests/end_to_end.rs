@@ -1,0 +1,77 @@
+//! Cross-crate integration: every kernel variant against the host
+//! reference, architectural utilization limits, and determinism.
+
+use issr::kernels::cluster_csrmv::run_cluster_csrmv;
+use issr::kernels::csrmv::run_csrmv;
+use issr::kernels::spvv::run_spvv;
+use issr::kernels::variant::Variant;
+use issr::sparse::dense::allclose;
+use issr::sparse::{gen, reference};
+
+#[test]
+fn all_spvv_variants_and_widths_match_reference() {
+    let mut rng = gen::rng(1000);
+    let a32 = gen::sparse_vector::<u32>(&mut rng, 1024, 300);
+    let a16 = a32.with_index_width::<u16>();
+    let b = gen::dense_vector(&mut rng, 1024);
+    let expect = reference::spvv(&a32, &b);
+    for variant in Variant::ALL {
+        let wide = run_spvv(variant, &a32, &b).unwrap().result;
+        let narrow = run_spvv(variant, &a16, &b).unwrap().result;
+        let tol = 1e-10 * expect.abs().max(1.0);
+        assert!((wide - expect).abs() < tol, "{variant} u32");
+        assert!((narrow - expect).abs() < tol, "{variant} u16");
+    }
+}
+
+#[test]
+fn all_csrmv_variants_match_reference_on_suite_matrix() {
+    let entry = issr::sparse::suite::by_name("ragusa18").unwrap();
+    let m = entry.build::<u16>();
+    let mut rng = gen::rng(1001);
+    let x = gen::dense_vector(&mut rng, m.ncols());
+    let expect = reference::csrmv(&m, &x);
+    for variant in Variant::ALL {
+        let run = run_csrmv(variant, &m, &x).unwrap();
+        assert!(allclose(&run.y, &expect, 1e-12, 1e-12), "{variant}");
+    }
+}
+
+/// The paper's architectural ceilings are never exceeded.
+#[test]
+fn utilization_never_exceeds_architectural_limits() {
+    let mut rng = gen::rng(1002);
+    let a32 = gen::sparse_vector::<u32>(&mut rng, 2048, 1024);
+    let a16 = a32.with_index_width::<u16>();
+    let b = gen::dense_vector(&mut rng, 2048);
+    let eps = 1e-9;
+    let base = run_spvv(Variant::Base, &a32, &b).unwrap();
+    assert!(base.summary.metrics.fpu_utilization() <= 1.0 / 9.0 + eps);
+    let ssr = run_spvv(Variant::Ssr, &a32, &b).unwrap();
+    assert!(ssr.summary.metrics.fpu_utilization() <= 1.0 / 7.0 + eps);
+    let issr32 = run_spvv(Variant::Issr, &a32, &b).unwrap();
+    assert!(issr32.summary.metrics.fpu_utilization() <= 2.0 / 3.0 + eps);
+    let issr16 = run_spvv(Variant::Issr, &a16, &b).unwrap();
+    assert!(issr16.summary.metrics.fpu_utilization() <= 0.8 + eps);
+}
+
+#[test]
+fn cluster_and_single_cc_agree_on_results() {
+    let mut rng = gen::rng(1003);
+    let m = gen::csr_uniform::<u16>(&mut rng, 96, 160, 1200);
+    let x = gen::dense_vector(&mut rng, 160);
+    let single = run_csrmv(Variant::Issr, &m, &x).unwrap();
+    let cluster = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();
+    assert!(allclose(&single.y, &cluster.y, 1e-12, 1e-12));
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let mut rng = gen::rng(1004);
+        let m = gen::csr_uniform::<u16>(&mut rng, 64, 128, 512);
+        let x = gen::dense_vector(&mut rng, 128);
+        run_cluster_csrmv(Variant::Issr, &m, &x).unwrap().summary.cycles
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,59 @@
+//! Property-based integration tests: random workloads through the full
+//! simulated stack must match the host references.
+
+use issr::kernels::csrmv::run_csrmv;
+use issr::kernels::spvv::run_spvv;
+use issr::kernels::streaming::{run_gather, run_scatter};
+use issr::kernels::variant::Variant;
+use issr::sparse::csr::CsrMatrix;
+use issr::sparse::dense::allclose;
+use issr::sparse::fiber::SparseFiber;
+use issr::sparse::reference;
+use proptest::prelude::*;
+
+fn fiber_strategy(dim: usize, max_nnz: usize) -> impl Strategy<Value = SparseFiber<u16>> {
+    proptest::collection::btree_set(0..dim, 0..=max_nnz).prop_flat_map(move |idcs| {
+        let idcs: Vec<u16> = idcs.into_iter().map(|i| i as u16).collect();
+        let n = idcs.len();
+        (Just(idcs), proptest::collection::vec(-100.0f64..100.0, n))
+            .prop_map(move |(idcs, vals)| SparseFiber::new(dim, idcs, vals).expect("valid"))
+    })
+}
+
+fn csr_strategy() -> impl Strategy<Value = CsrMatrix<u16>> {
+    proptest::collection::vec((0usize..24, 0usize..48, -10.0f64..10.0), 0..200)
+        .prop_map(|triplets| CsrMatrix::from_triplets(24, 48, &triplets))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn issr_spvv_matches_reference(
+        fiber in fiber_strategy(256, 60),
+        dense in proptest::collection::vec(-10.0f64..10.0, 256),
+    ) {
+        let run = run_spvv(Variant::Issr, &fiber, &dense).expect("finishes");
+        let expect = reference::spvv(&fiber, &dense);
+        prop_assert!((run.result - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn issr_csrmv_matches_reference(m in csr_strategy(), seed in 0u64..1000) {
+        let mut rng = issr::sparse::gen::rng(seed);
+        let x = issr::sparse::gen::dense_vector(&mut rng, m.ncols());
+        let run = run_csrmv(Variant::Issr, &m, &x).expect("finishes");
+        prop_assert!(allclose(&run.y, &reference::csrmv(&m, &x), 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trips(fiber in fiber_strategy(128, 40)) {
+        let scattered = run_scatter(128, fiber.idcs(), fiber.vals()).expect("finishes");
+        prop_assert_eq!(
+            &scattered.out,
+            &reference::scatter(128, fiber.idcs(), fiber.vals())
+        );
+        let gathered = run_gather(&scattered.out, fiber.idcs()).expect("finishes");
+        prop_assert_eq!(&gathered.out[..], fiber.vals());
+    }
+}
