@@ -4,10 +4,7 @@ use issr_bench::figures::fig4d;
 use issr_bench::report::markdown_table;
 
 fn main() {
-    let cap: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120_000);
+    let cap: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120_000);
     let rows = fig4d(cap);
     let table: Vec<Vec<String>> = rows
         .iter()

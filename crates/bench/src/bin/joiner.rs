@@ -1,0 +1,66 @@
+//! Reports the sparse-sparse index-joiner subsystem: SpVV∩ and SpMSpV
+//! cycle counts, joiner vs. software two-pointer merge, across match
+//! densities.
+
+use issr_bench::figures::{default_overlap_sweep, joiner_spmspv, joiner_spvv};
+use issr_bench::report::markdown_table;
+
+fn main() {
+    let spvv = joiner_spvv(&default_overlap_sweep());
+    let table: Vec<Vec<String>> = spvv
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.3}", r.overlap),
+                r.base16.to_string(),
+                r.issr16.to_string(),
+                format!("{:.2}x", r.speedup16()),
+                r.base32.to_string(),
+                r.issr32.to_string(),
+                format!("{:.2}x", r.speedup32()),
+                format!("{:.3}", r.joiner_util),
+            ]
+        })
+        .collect();
+    println!("SpVV∩ — sparse-sparse dot (512 ∩ 512 nnz in 8192), joiner vs software merge\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "overlap",
+                "BASE-16",
+                "ISSR-16",
+                "speedup",
+                "BASE-32",
+                "ISSR-32",
+                "speedup",
+                "pairs/cycle"
+            ],
+            &table
+        )
+    );
+
+    let spmspv = joiner_spmspv(&[16, 64, 256, 1024]);
+    let table: Vec<Vec<String>> = spmspv
+        .iter()
+        .map(|r| {
+            vec![
+                r.x_nnz.to_string(),
+                r.base16.to_string(),
+                r.issr16.to_string(),
+                format!("{:.2}x", r.speedup16()),
+                r.base32.to_string(),
+                r.issr32.to_string(),
+                format!("{:.2}x", r.speedup32()),
+            ]
+        })
+        .collect();
+    println!("SpMSpV — 48x2048 CSR (64 nnz/row) times sparse x, joiner vs software merge\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["x nnz", "BASE-16", "ISSR-16", "speedup", "BASE-32", "ISSR-32", "speedup"],
+            &table
+        )
+    );
+}

@@ -3,6 +3,7 @@
 use issr_kernels::cluster_csrmv::run_cluster_csrmv;
 use issr_kernels::csrmm::run_csrmm;
 use issr_kernels::csrmv::run_csrmv;
+use issr_kernels::spmspv::{run_spmspv, run_spvv_ss};
 use issr_kernels::spvv::run_spvv;
 use issr_kernels::variant::Variant;
 use issr_model::power::PowerModel;
@@ -35,7 +36,7 @@ pub fn fig4a(points: &[usize]) -> Vec<Fig4aRow> {
     points
         .iter()
         .map(|&nnz| {
-            let mut rng = gen::rng(0xF16_4A + nnz as u64);
+            let mut rng = gen::rng(0x000F_164A + nnz as u64);
             let a32 = gen::sparse_vector::<u32>(&mut rng, dim, nnz);
             let a16 = a32.with_index_width::<u16>();
             let b = gen::dense_vector(&mut rng, dim);
@@ -76,7 +77,7 @@ pub fn fig4b(points: &[usize]) -> Vec<Fig4bRow> {
     points
         .iter()
         .map(|&row_nnz| {
-            let mut rng = gen::rng(0xF16_4B + row_nnz as u64);
+            let mut rng = gen::rng(0x000F_164B + row_nnz as u64);
             let m32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, nrows, ncols, row_nnz);
             let m16 = m32.with_index_width::<u16>();
             let x = gen::dense_vector(&mut rng, ncols);
@@ -122,7 +123,7 @@ pub fn fig4c(points: &[usize]) -> Vec<Fig4cRow> {
     points
         .iter()
         .map(|&row_nnz| {
-            let mut rng = gen::rng(0xF16_4C + row_nnz as u64);
+            let mut rng = gen::rng(0x000F_164C + row_nnz as u64);
             let m = gen::csr_clustered::<u16>(
                 &mut rng,
                 nrows,
@@ -177,7 +178,7 @@ pub fn fig4d(max_nnz: usize) -> Vec<Fig4dRow> {
         .filter(|e| e.nnz <= max_nnz)
         .map(|entry| {
             let m = entry.build::<u16>();
-            let mut rng = gen::rng(0xF16_4D);
+            let mut rng = gen::rng(0x000F_164D);
             let x = gen::dense_vector(&mut rng, m.ncols());
             let base = run_cluster_csrmv(Variant::Base, &m, &x).expect("base run");
             let issr = run_cluster_csrmv(Variant::Issr, &m, &x).expect("issr run");
@@ -243,6 +244,128 @@ pub fn default_nnz_sweep() -> Vec<usize> {
     vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
 }
 
+/// One point of the joiner SpVV∩ sweep: cycles for the software
+/// two-pointer merge vs. the index joiner at a given match density.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinerSpvvRow {
+    /// Fraction of indices shared between the two operands.
+    pub overlap: f64,
+    /// BASE (software merge) ROI cycles, 16-bit indices.
+    pub base16: u64,
+    /// ISSR-joiner ROI cycles, 16-bit indices.
+    pub issr16: u64,
+    /// BASE ROI cycles, 32-bit indices.
+    pub base32: u64,
+    /// ISSR-joiner ROI cycles, 32-bit indices.
+    pub issr32: u64,
+    /// Joiner utilization: pairs emitted per ROI cycle (16-bit run).
+    pub joiner_util: f64,
+}
+
+impl JoinerSpvvRow {
+    /// Joiner speedup over the software merge, 16-bit indices.
+    #[must_use]
+    pub fn speedup16(&self) -> f64 {
+        self.base16 as f64 / self.issr16 as f64
+    }
+
+    /// Joiner speedup over the software merge, 32-bit indices.
+    #[must_use]
+    pub fn speedup32(&self) -> f64 {
+        self.base32 as f64 / self.issr32 as f64
+    }
+}
+
+/// Sparse-sparse SpVV: joiner vs. software merge across match densities.
+#[must_use]
+pub fn joiner_spvv(overlaps: &[f64]) -> Vec<JoinerSpvvRow> {
+    let (dim, nnz) = (8192, 512);
+    overlaps
+        .iter()
+        .map(|&overlap| {
+            let mut rng = gen::rng(0x000F_164E + (overlap * 100.0) as u64);
+            let (a32, b32) = gen::overlapping_pair::<u32>(&mut rng, dim, nnz, nnz, overlap);
+            let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+            let base16 = run_spvv_ss(Variant::Base, &a16, &b16).expect("base16 run");
+            let issr16 = run_spvv_ss(Variant::Issr, &a16, &b16).expect("issr16 run");
+            let base32 = run_spvv_ss(Variant::Base, &a32, &b32).expect("base32 run");
+            let issr32 = run_spvv_ss(Variant::Issr, &a32, &b32).expect("issr32 run");
+            let roi = issr16.summary.metrics.roi.cycles.max(1);
+            JoinerSpvvRow {
+                overlap,
+                base16: base16.summary.metrics.roi.cycles,
+                issr16: issr16.summary.metrics.roi.cycles,
+                base32: base32.summary.metrics.roi.cycles,
+                issr32: issr32.summary.metrics.roi.cycles,
+                joiner_util: issr16.summary.joiner_stats.emissions as f64 / roi as f64,
+            }
+        })
+        .collect()
+}
+
+/// One point of the joiner SpMSpV sweep: cycles against the operand
+/// vector's density.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinerSpmspvRow {
+    /// Nonzeros of the sparse vector operand.
+    pub x_nnz: usize,
+    /// BASE (software merge) ROI cycles, 16-bit indices.
+    pub base16: u64,
+    /// ISSR-joiner ROI cycles, 16-bit indices.
+    pub issr16: u64,
+    /// BASE ROI cycles, 32-bit indices.
+    pub base32: u64,
+    /// ISSR-joiner ROI cycles, 32-bit indices.
+    pub issr32: u64,
+}
+
+impl JoinerSpmspvRow {
+    /// Joiner speedup over the software merge, 16-bit indices.
+    #[must_use]
+    pub fn speedup16(&self) -> f64 {
+        self.base16 as f64 / self.issr16 as f64
+    }
+
+    /// Joiner speedup over the software merge, 32-bit indices.
+    #[must_use]
+    pub fn speedup32(&self) -> f64 {
+        self.base32 as f64 / self.issr32 as f64
+    }
+}
+
+/// SpMSpV: joiner vs. software merge across operand-vector densities.
+#[must_use]
+pub fn joiner_spmspv(x_nnzs: &[usize]) -> Vec<JoinerSpmspvRow> {
+    let (nrows, ncols, row_nnz) = (48, 2048, 64);
+    x_nnzs
+        .iter()
+        .map(|&x_nnz| {
+            let mut rng = gen::rng(0x000F_164F + x_nnz as u64);
+            let m32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, nrows, ncols, row_nnz);
+            let m16 = m32.with_index_width::<u16>();
+            let x32 = gen::sparse_vector::<u32>(&mut rng, ncols, x_nnz);
+            let x16 = x32.with_index_width::<u16>();
+            let base16 = run_spmspv(Variant::Base, &m16, &x16).expect("base16 run");
+            let issr16 = run_spmspv(Variant::Issr, &m16, &x16).expect("issr16 run");
+            let base32 = run_spmspv(Variant::Base, &m32, &x32).expect("base32 run");
+            let issr32 = run_spmspv(Variant::Issr, &m32, &x32).expect("issr32 run");
+            JoinerSpmspvRow {
+                x_nnz,
+                base16: base16.summary.metrics.roi.cycles,
+                issr16: issr16.summary.metrics.roi.cycles,
+                base32: base32.summary.metrics.roi.cycles,
+                issr32: issr32.summary.metrics.roi.cycles,
+            }
+        })
+        .collect()
+}
+
+/// The overlap sweep the joiner binary reports.
+#[must_use]
+pub fn default_overlap_sweep() -> Vec<f64> {
+    vec![0.0, 0.125, 0.25, 0.5, 0.75, 1.0]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +391,15 @@ mod tests {
     fn csrmm_check_small_delta() {
         let row = csrmm_check("ragusa18", 2);
         assert!(row.delta < 0.02, "delta {}", row.delta);
+    }
+
+    #[test]
+    fn joiner_beats_software_merge_on_both_kernels() {
+        let spvv = joiner_spvv(&[0.5]);
+        assert!(spvv[0].speedup16() > 3.0, "SpVV∩ speedup {:.2}", spvv[0].speedup16());
+        assert!(spvv[0].speedup32() > 3.0, "SpVV∩-32 speedup {:.2}", spvv[0].speedup32());
+        assert!(spvv[0].joiner_util > 0.2, "joiner util {:.3}", spvv[0].joiner_util);
+        let spmspv = joiner_spmspv(&[128]);
+        assert!(spmspv[0].speedup16() > 2.0, "SpMSpV speedup {:.2}", spmspv[0].speedup16());
     }
 }

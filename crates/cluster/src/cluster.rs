@@ -1,13 +1,13 @@
 //! The cluster model and its run harness.
 
+use issr_core::lane::LaneStats;
+use issr_isa::asm::Program;
 use issr_mem::dma::{Dma, DmaStats};
 use issr_mem::icache::{ICacheParams, L0Buffer, L1ICache};
 use issr_mem::main_mem::MainMemory;
 use issr_mem::map::{region_of, Region, MAIN_BASE, MAIN_SIZE, TCDM_BANKS, TCDM_BASE, TCDM_SIZE};
 use issr_mem::port::MemPort;
 use issr_mem::tcdm::{Tcdm, TcdmStats};
-use issr_core::lane::LaneStats;
-use issr_isa::asm::Program;
 use issr_snitch::cc::{CoreComplex, SimTimeout};
 use issr_snitch::metrics::Metrics;
 use issr_snitch::params::CcParams;
@@ -67,10 +67,7 @@ impl ClusterSummary {
     /// Peak per-worker FPU utilization within worker ROIs.
     #[must_use]
     pub fn peak_worker_utilization(&self) -> f64 {
-        self.worker_metrics
-            .iter()
-            .map(Metrics::fpu_utilization)
-            .fold(0.0, f64::max)
+        self.worker_metrics.iter().map(Metrics::fpu_utilization).fold(0.0, f64::max)
     }
 }
 
@@ -141,14 +138,11 @@ impl Cluster {
     /// Whether every core halted and all queues drained.
     #[must_use]
     pub fn quiescent(&self) -> bool {
-        self.workers.iter().all(CoreComplex::quiescent)
-            && self.dmcc.quiescent()
-            && !self.dma.busy()
+        self.workers.iter().all(CoreComplex::quiescent) && self.dmcc.quiescent() && !self.dma.busy()
     }
 
     fn release_barrier_if_all_arrived(&mut self) {
-        let all = self.workers.iter().all(|cc| cc.core.at_barrier())
-            && self.dmcc.core.at_barrier();
+        let all = self.workers.iter().all(|cc| cc.core.at_barrier()) && self.dmcc.core.at_barrier();
         if all {
             for cc in &mut self.workers {
                 cc.core.release_barrier();
@@ -287,9 +281,8 @@ mod tests {
         a.halt();
         let mut cluster = Cluster::new(a.finish().unwrap(), ClusterParams::default());
         cluster.run(10_000).unwrap();
-        let stamps: Vec<u32> = (0..9)
-            .map(|h| cluster.tcdm.array().load_u32(TCDM_BASE + 0x100 + h * 8))
-            .collect();
+        let stamps: Vec<u32> =
+            (0..9).map(|h| cluster.tcdm.array().load_u32(TCDM_BASE + 0x100 + h * 8)).collect();
         let min = *stamps.iter().min().unwrap();
         let max = *stamps.iter().max().unwrap();
         // All cores resumed within a couple of cycles of each other,

@@ -1,0 +1,117 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! The build environment has no access to a crate registry, so
+//! `benches/figures.rs` runs on this minimal implementation: benchmark
+//! groups, `bench_function`, `iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of statistical analysis it runs
+//! each benchmark `sample_size` times and prints the mean wall-clock
+//! time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { samples: 10 }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 0, start: Instant::now() };
+        bencher.start = Instant::now();
+        for _ in 0..self.samples {
+            f(&mut bencher);
+        }
+        let elapsed = bencher.start.elapsed();
+        let per_iter = elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+        println!("  {id}: {:.3} ms/iter ({} iters)", per_iter * 1e3, bencher.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    start: Instant,
+}
+
+impl Bencher {
+    /// Runs the benchmarked routine once per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.iters += 1;
+        black_box(f());
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u32;
+        g.sample_size(3).bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

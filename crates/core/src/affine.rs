@@ -136,20 +136,14 @@ mod tests {
         // 2 elements inner (stride 8), 3 rows; at each row wrap the
         // hardware adds the row stride once.
         let it = AffineIterator::new(0x1000, 2, [1, 2, 0, 0], [8, 0xF8, 0, 0]);
-        assert_eq!(
-            collect(it),
-            [0x1000, 0x1008, 0x1100, 0x1108, 0x1200, 0x1208]
-        );
+        assert_eq!(collect(it), [0x1000, 0x1008, 0x1100, 0x1108, 0x1200, 0x1208]);
     }
 
     #[test]
     fn nested_strides_match_loop_nest() {
         // for j in 0..3 { for i in 0..2 { emit base + i*8 + j*0x100 } }
         let it = AffineIterator::from_nested(0x1000, 2, [1, 2, 0, 0], [8, 0x100, 0, 0]);
-        assert_eq!(
-            collect(it),
-            [0x1000, 0x1008, 0x1100, 0x1108, 0x1200, 0x1208]
-        );
+        assert_eq!(collect(it), [0x1000, 0x1008, 0x1100, 0x1108, 0x1200, 0x1208]);
     }
 
     #[test]
@@ -166,8 +160,7 @@ mod tests {
             for i2 in 0..2i64 {
                 for i1 in 0..2i64 {
                     for i0 in 0..2i64 {
-                        expected
-                            .push((i0 * 8 + i1 * 64 + i2 * 512 + i3 * 4096) as u32);
+                        expected.push((i0 * 8 + i1 * 64 + i2 * 512 + i3 * 4096) as u32);
                     }
                 }
             }

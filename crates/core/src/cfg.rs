@@ -32,6 +32,20 @@ pub mod reg {
     pub const RPTR: [u16; 4] = [16, 17, 18, 19];
     /// Write-job pointer registers (write launches the job).
     pub const WPTR: [u16; 4] = [20, 21, 22, 23];
+    /// Joiner configuration: bit 0 enable, bits 2:1 mode
+    /// ([`super::JoinerMode`]), bit 3 index size (0 = 16-bit, 1 = 32-bit).
+    pub const JOIN_CFG: u16 = 24;
+    /// Second (B-side) index array base address for joiner jobs.
+    pub const JOIN_IDX_B: u16 = 25;
+    /// B-side value array base address for joiner jobs.
+    pub const JOIN_DATA_B: u16 = 26;
+    /// A-side element count for joiner jobs (raw count; zero allowed).
+    pub const JOIN_NNZ_A: u16 = 27;
+    /// B-side element count for joiner jobs (raw count; zero allowed).
+    pub const JOIN_NNZ_B: u16 = 28;
+    /// Joiner status: pairs emitted by the most recent joiner job
+    /// (streamer-level, read-only).
+    pub const JOIN_COUNT: u16 = 29;
 }
 
 /// Builds an `scfgwi`/`scfgri` address from a register and lane index.
@@ -57,8 +71,18 @@ pub struct CfgShadow {
     pub strides: [i32; MAX_DIMS],
     /// Raw indirection configuration word.
     pub idx_cfg: u32,
-    /// Data base address for indirection.
+    /// Data base address for indirection (A-side values for joiner jobs).
     pub data_base: u32,
+    /// Raw joiner configuration word.
+    pub join_cfg: u32,
+    /// B-side index array base address for joiner jobs.
+    pub join_idx_b: u32,
+    /// B-side value array base address for joiner jobs.
+    pub join_data_b: u32,
+    /// A-side element count for joiner jobs.
+    pub join_nnz_a: u32,
+    /// B-side element count for joiner jobs.
+    pub join_nnz_b: u32,
 }
 
 impl CfgShadow {
@@ -84,17 +108,46 @@ impl CfgShadow {
         (self.idx_cfg >> 4) & 0xF
     }
 
+    /// Whether the next pointer write launches a joiner job.
+    #[must_use]
+    pub fn join_enabled(&self) -> bool {
+        self.join_cfg & 1 != 0
+    }
+
+    /// Configured joiner matching mode.
+    #[must_use]
+    pub fn join_mode(&self) -> JoinerMode {
+        match (self.join_cfg >> 1) & 3 {
+            0 => JoinerMode::Intersect,
+            1 => JoinerMode::Union,
+            _ => JoinerMode::GatherA,
+        }
+    }
+
+    /// Configured joiner index width (both streams share it).
+    #[must_use]
+    pub fn join_index_size(&self) -> IndexSize {
+        if self.join_cfg & 8 != 0 {
+            IndexSize::U32
+        } else {
+            IndexSize::U16
+        }
+    }
+
     /// Reads a shadow register (the value `scfgri` returns).
     #[must_use]
     pub fn read(&self, register: u16) -> u32 {
         match register {
             reg::REPEAT => self.repeat,
             r if reg::BOUNDS.contains(&r) => self.bounds[(r - reg::BOUNDS[0]) as usize],
-            r if reg::STRIDES.contains(&r) => {
-                self.strides[(r - reg::STRIDES[0]) as usize] as u32
-            }
+            r if reg::STRIDES.contains(&r) => self.strides[(r - reg::STRIDES[0]) as usize] as u32,
             reg::IDX_CFG => self.idx_cfg,
             reg::DATA_BASE => self.data_base,
+            reg::JOIN_CFG => self.join_cfg,
+            reg::JOIN_IDX_B => self.join_idx_b,
+            reg::JOIN_DATA_B => self.join_data_b,
+            reg::JOIN_NNZ_A => self.join_nnz_a,
+            reg::JOIN_NNZ_B => self.join_nnz_b,
             _ => 0,
         }
     }
@@ -112,6 +165,11 @@ impl CfgShadow {
             }
             reg::IDX_CFG => self.idx_cfg = value,
             reg::DATA_BASE => self.data_base = value,
+            reg::JOIN_CFG => self.join_cfg = value,
+            reg::JOIN_IDX_B => self.join_idx_b = value,
+            reg::JOIN_DATA_B => self.join_data_b = value,
+            reg::JOIN_NNZ_A => self.join_nnz_a = value,
+            reg::JOIN_NNZ_B => self.join_nnz_b = value,
             _ => {}
         }
     }
@@ -202,6 +260,97 @@ impl JobSpec {
     }
 }
 
+/// Matching mode of an index-joiner job (the sparse-sparse extension of
+/// the SSSR follow-up, arXiv:2305.05559).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JoinerMode {
+    /// Emit a pair only where both index streams carry the index.
+    Intersect,
+    /// Emit a pair for every index in either stream; the absent side is
+    /// zero-filled.
+    Union,
+    /// Emit one pair per A-side index (in order); the B side delivers
+    /// its matching value or zero. The emission count equals the A-side
+    /// length, which keeps sparse-sparse FREP trip counts static.
+    GatherA,
+}
+
+impl JoinerMode {
+    /// All modes in presentation order.
+    pub const ALL: [JoinerMode; 3] =
+        [JoinerMode::Intersect, JoinerMode::Union, JoinerMode::GatherA];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinerMode::Intersect => "intersect",
+            JoinerMode::Union => "union",
+            JoinerMode::GatherA => "gather-a",
+        }
+    }
+}
+
+impl std::fmt::Display for JoinerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully-specified index-joiner job, decoded from the shadow registers
+/// at pointer-write time (the pointer carries the A-side index array).
+#[derive(Clone, Copy, Debug)]
+pub struct JoinerSpec {
+    /// Matching mode.
+    pub mode: JoinerMode,
+    /// Index width shared by both streams.
+    pub idx_size: IndexSize,
+    /// A-side index array byte address.
+    pub idx_a: u32,
+    /// A-side value array base address.
+    pub vals_a: u32,
+    /// A-side element count (may be zero).
+    pub count_a: u64,
+    /// B-side index array byte address.
+    pub idx_b: u32,
+    /// B-side value array base address.
+    pub vals_b: u32,
+    /// B-side element count (may be zero).
+    pub count_b: u64,
+}
+
+impl JoinerSpec {
+    /// Decodes a joiner job from the shadow state and a pointer write.
+    #[must_use]
+    pub fn from_shadow(shadow: &CfgShadow, idx_a: u32) -> Self {
+        Self {
+            mode: shadow.join_mode(),
+            idx_size: shadow.join_index_size(),
+            idx_a,
+            vals_a: shadow.data_base,
+            count_a: u64::from(shadow.join_nnz_a),
+            idx_b: shadow.join_idx_b,
+            vals_b: shadow.join_data_b,
+            count_b: u64::from(shadow.join_nnz_b),
+        }
+    }
+}
+
+/// Encodes the `JOIN_CFG` register value.
+#[must_use]
+pub fn join_cfg_word(mode: JoinerMode, size: IndexSize) -> u32 {
+    let mode_bits = match mode {
+        JoinerMode::Intersect => 0,
+        JoinerMode::Union => 1,
+        JoinerMode::GatherA => 2,
+    };
+    let size_bit = match size {
+        IndexSize::U16 => 0,
+        IndexSize::U32 => 8,
+    };
+    1 | (mode_bits << 1) | size_bit
+}
+
 /// Encodes the `IDX_CFG` register value.
 #[must_use]
 pub fn idx_cfg_word(size: IndexSize, shift: u32) -> u32 {
@@ -277,6 +426,42 @@ mod tests {
             }
             Pattern::Affine { .. } => panic!("expected indirect"),
         }
+    }
+
+    #[test]
+    fn joiner_cfg_word_round_trips() {
+        for mode in JoinerMode::ALL {
+            for size in [IndexSize::U16, IndexSize::U32] {
+                let mut s = CfgShadow::default();
+                s.write(reg::JOIN_CFG, join_cfg_word(mode, size));
+                assert!(s.join_enabled());
+                assert_eq!(s.join_mode(), mode);
+                assert_eq!(s.join_index_size(), size);
+            }
+        }
+        assert!(!CfgShadow::default().join_enabled());
+    }
+
+    #[test]
+    fn joiner_job_decode() {
+        let mut s = CfgShadow::default();
+        s.write(reg::JOIN_CFG, join_cfg_word(JoinerMode::GatherA, IndexSize::U16));
+        s.write(reg::DATA_BASE, 0x0010_1000);
+        s.write(reg::JOIN_IDX_B, 0x0010_2000);
+        s.write(reg::JOIN_DATA_B, 0x0010_3000);
+        s.write(reg::JOIN_NNZ_A, 5);
+        s.write(reg::JOIN_NNZ_B, 0);
+        assert_eq!(s.read(reg::JOIN_IDX_B), 0x0010_2000);
+        assert_eq!(s.read(reg::JOIN_NNZ_A), 5);
+        let spec = JoinerSpec::from_shadow(&s, 0x0010_0800);
+        assert_eq!(spec.mode, JoinerMode::GatherA);
+        assert_eq!(spec.idx_size, IndexSize::U16);
+        assert_eq!(spec.idx_a, 0x0010_0800);
+        assert_eq!(spec.vals_a, 0x0010_1000);
+        assert_eq!(spec.count_a, 5);
+        assert_eq!(spec.idx_b, 0x0010_2000);
+        assert_eq!(spec.vals_b, 0x0010_3000);
+        assert_eq!(spec.count_b, 0);
     }
 
     #[test]

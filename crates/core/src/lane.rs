@@ -113,8 +113,7 @@ impl IndirectUnit {
 
     /// Whether an index can be consumed this cycle.
     fn index_available(&self) -> bool {
-        self.serializer.index_ready()
-            || (self.serializer.wants_word() && !self.idx_fifo.is_empty())
+        self.serializer.index_ready() || (self.serializer.wants_word() && !self.idx_fifo.is_empty())
     }
 
     /// Consumes the next index, pulling a word from the FIFO if needed.
@@ -199,6 +198,25 @@ impl Lane {
             && self.rsp_tags.is_empty()
     }
 
+    /// Whether the lane owns its memory port: a job is running or queued,
+    /// or responses are still in flight. Unlike [`Self::is_idle`], data
+    /// already buffered for the register file does not count — the
+    /// streamer uses this to decide when the joiner may take over the
+    /// lane's port.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.job.is_some()
+            || self.pending.is_some()
+            || self.outstanding_data > 0
+            || !self.rsp_tags.is_empty()
+    }
+
+    /// The lane's shadow configuration (streamer-side joiner decode).
+    #[must_use]
+    pub fn shadow(&self) -> &CfgShadow {
+        &self.shadow
+    }
+
     // ---- configuration interface (core side) ----
 
     /// Writes configuration register `register`. Pointer registers launch
@@ -207,12 +225,18 @@ impl Lane {
     ///
     /// # Panics
     /// Panics if an indirection job is launched on a plain SSR lane —
-    /// a programming error the RTL would also not support.
+    /// a programming error the RTL would also not support — or if the
+    /// shadow requests a joiner job, which only the streamer can launch
+    /// (it spans two lanes).
     pub fn cfg_write(&mut self, register: u16, value: u32) -> bool {
         let launch = |kind: JobKind, dims: usize, this: &mut Self, ptr: u32| -> bool {
             if this.pending.is_some() {
                 return false;
             }
+            assert!(
+                !this.shadow.join_enabled(),
+                "joiner jobs launch through the streamer, not a single lane"
+            );
             let spec = JobSpec::from_shadow(&this.shadow, kind, dims, ptr);
             if matches!(spec.pattern, Pattern::Indirect { .. }) {
                 assert!(
@@ -285,6 +309,16 @@ impl Lane {
     pub fn push(&mut self, value: u64) {
         self.data_fifo.push((value, 0));
         self.stats.fpu_writes += 1;
+    }
+
+    /// Injects one value into the *read* stream from the streamer side —
+    /// the path the index joiner uses to deliver matched values through
+    /// this lane's register mapping.
+    ///
+    /// # Panics
+    /// Panics if the FIFO is full (check [`Self::can_push`]).
+    pub fn inject(&mut self, value: u64) {
+        self.data_fifo.push((value, 0));
     }
 
     // ---- cycle behaviour ----
@@ -369,8 +403,7 @@ impl Lane {
                     JobKind::Read => data_credit,
                     JobKind::Write => !self.data_fifo.is_empty(),
                 };
-                let data_wants =
-                    data_ready && unit.emitted < unit.count && unit.index_available();
+                let data_wants = data_ready && unit.emitted < unit.count && unit.index_available();
                 let idx_wants = unit.idx_wants();
                 let grant_idx = match (idx_wants, data_wants) {
                     (true, false) => true,

@@ -16,6 +16,10 @@
 //! * the round-robin multiplexing of index and data traffic onto one
 //!   memory port, which yields the paper's 4/5 (16-bit) and 2/3 (32-bit)
 //!   peak data rates ([`lane`]),
+//! * the sparse-sparse **index joiner** of the SSSR follow-up
+//!   (arXiv:2305.05559): an index comparator that intersects, unions or
+//!   left-joins two sparse index streams and feeds matched value pairs
+//!   to the register file ([`joiner`]),
 //! * the lane bundle mapped onto the FP register file ([`streamer`]).
 //!
 //! The streamer is platform-agnostic, exactly as the paper argues: it
@@ -28,13 +32,18 @@
 pub mod affine;
 pub mod cfg;
 pub mod fifo;
+pub mod joiner;
 pub mod lane;
 pub mod serializer;
 pub mod streamer;
 
 pub use affine::{AffineIterator, MAX_DIMS};
-pub use cfg::{cfg_addr, idx_cfg_word, CfgShadow, JobKind, JobSpec, Pattern};
+pub use cfg::{
+    cfg_addr, idx_cfg_word, join_cfg_word, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec,
+    Pattern,
+};
 pub use fifo::Fifo;
+pub use joiner::{IndexJoiner, JoinerStats, JOIN_OUT_DEPTH};
 pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};
 pub use serializer::{IndexSerializer, IndexSize};
 pub use streamer::Streamer;

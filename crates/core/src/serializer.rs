@@ -70,7 +70,7 @@ impl IndexSerializer {
         }
         let first = u64::from(base) & !7;
         let end = u64::from(base) + total * u64::from(size.bytes());
-        (end - first + 7) / 8
+        (end - first).div_ceil(8)
     }
 
     /// Whether all indices have been emitted.
@@ -89,9 +89,7 @@ impl IndexSerializer {
     #[must_use]
     pub fn buffered(&self) -> u64 {
         match self.current {
-            Some(_) => {
-                u64::from(self.size.per_word() - self.soffs).min(self.remaining)
-            }
+            Some(_) => u64::from(self.size.per_word() - self.soffs).min(self.remaining),
             None => 0,
         }
     }
@@ -136,10 +134,7 @@ mod tests {
     use super::*;
 
     fn pack16(v: [u16; 4]) -> u64 {
-        u64::from(v[0])
-            | u64::from(v[1]) << 16
-            | u64::from(v[2]) << 32
-            | u64::from(v[3]) << 48
+        u64::from(v[0]) | u64::from(v[1]) << 16 | u64::from(v[2]) << 32 | u64::from(v[3]) << 48
     }
 
     #[test]
@@ -147,10 +142,7 @@ mod tests {
         let mut s = IndexSerializer::new(IndexSize::U16, 0x100, 6);
         assert!(s.wants_word());
         s.load_word(pack16([1, 2, 3, 4]));
-        assert_eq!(
-            (0..4).map(|_| s.next_index().unwrap()).collect::<Vec<_>>(),
-            [1, 2, 3, 4]
-        );
+        assert_eq!((0..4).map(|_| s.next_index().unwrap()).collect::<Vec<_>>(), [1, 2, 3, 4]);
         assert!(s.wants_word());
         s.load_word(pack16([5, 6, 7, 8]));
         assert_eq!(s.next_index(), Some(5));

@@ -11,7 +11,16 @@
 //! the lane count read/write the streams instead of the register file —
 //! the *register redirection* the kernels toggle around their compute
 //! loops.
+//!
+//! A streamer built with [`Streamer::with_joiner`] additionally carries
+//! the sparse-sparse **index joiner** (arXiv:2305.05559). A joiner job
+//! is configured through lane 0's shadow registers (`JOIN_*`) and
+//! launched by writing lane 0's read pointer with the A-side index
+//! array; while it runs it owns the memory ports of lanes 0 and 1 and
+//! delivers matched value pairs through those two registers.
 
+use crate::cfg::{reg, JoinerSpec};
+use crate::joiner::{IndexJoiner, JoinerStats};
 use crate::lane::{Lane, LaneKind, LaneStats};
 use issr_mem::port::MemPort;
 
@@ -20,6 +29,14 @@ use issr_mem::port::MemPort;
 pub struct Streamer {
     lanes: Vec<Lane>,
     enabled: bool,
+    /// Whether the hardware includes the index joiner.
+    has_joiner: bool,
+    joiner: Option<IndexJoiner>,
+    /// One-deep shadow queue for joiner jobs (like a lane's pending slot).
+    pending_join: Option<JoinerSpec>,
+    joiner_stats: JoinerStats,
+    /// Pairs emitted by the most recent completed joiner job.
+    join_count_last: u32,
 }
 
 impl Streamer {
@@ -36,7 +53,29 @@ impl Streamer {
             "streamer supports 1..=8 lanes, got {}",
             kinds.len()
         );
-        Self { lanes: kinds.iter().map(|&k| Lane::new(k)).collect(), enabled: false }
+        Self {
+            lanes: kinds.iter().map(|&k| Lane::new(k)).collect(),
+            enabled: false,
+            has_joiner: false,
+            joiner: None,
+            pending_join: None,
+            joiner_stats: JoinerStats::default(),
+            join_count_last: 0,
+        }
+    }
+
+    /// Creates a streamer that also carries the index joiner, which
+    /// matches two sparse index streams onto lanes 0 and 1.
+    ///
+    /// # Panics
+    /// Panics if fewer than two lanes are given (the joiner needs both
+    /// ports) or more than 8.
+    #[must_use]
+    pub fn with_joiner(kinds: &[LaneKind]) -> Self {
+        assert!(kinds.len() >= 2, "the index joiner spans lanes 0 and 1");
+        let mut s = Self::new(kinds);
+        s.has_joiner = true;
+        s
     }
 
     /// The paper's evaluated configuration: one SSR (`ft0`) and one ISSR
@@ -44,6 +83,19 @@ impl Streamer {
     #[must_use]
     pub fn paper_config() -> Self {
         Self::new(&[LaneKind::Ssr, LaneKind::Issr])
+    }
+
+    /// The sparse-sparse configuration: the paper's two lanes plus the
+    /// SSSR-style index joiner across them.
+    #[must_use]
+    pub fn sssr_config() -> Self {
+        Self::with_joiner(&[LaneKind::Ssr, LaneKind::Issr])
+    }
+
+    /// Whether the hardware includes the index joiner.
+    #[must_use]
+    pub fn has_joiner(&self) -> bool {
+        self.has_joiner
     }
 
     /// Number of lanes.
@@ -87,10 +139,26 @@ impl Streamer {
     /// Configuration write from the core (`scfgwi`); the 12-bit address is
     /// `reg << 5 | lane`. Returns `false` if the lane cannot accept the
     /// write this cycle (job queue full — the core retries).
+    ///
+    /// A read-pointer write to lane 0 with `JOIN_CFG` enabled launches a
+    /// **joiner job** across lanes 0 and 1 instead of a lane job.
+    ///
+    /// # Panics
+    /// Panics if a joiner job is launched on a streamer without joiner
+    /// hardware.
     pub fn cfg_write(&mut self, addr: u16, value: u32) -> bool {
         let (register, lane) = crate::cfg::split_addr(addr);
         let lane = lane as usize;
         assert!(lane < self.lanes.len(), "scfgwi to nonexistent lane {lane}");
+        if lane == 0 && register == reg::RPTR[0] && self.lanes[0].shadow().join_enabled() {
+            assert!(self.has_joiner, "joiner job launched on a streamer without an index joiner");
+            if self.pending_join.is_some() {
+                return false;
+            }
+            self.pending_join = Some(JoinerSpec::from_shadow(self.lanes[0].shadow(), value));
+            self.promote_join();
+            return true;
+        }
         self.lanes[lane].cfg_write(register, value)
     }
 
@@ -100,25 +168,75 @@ impl Streamer {
         let (register, lane) = crate::cfg::split_addr(addr);
         let lane = lane as usize;
         assert!(lane < self.lanes.len(), "scfgri to nonexistent lane {lane}");
+        if lane == 0 && register == reg::JOIN_COUNT {
+            return self.join_count_last;
+        }
+        if lane == 0 && register == reg::STATUS {
+            let done =
+                self.lanes[0].is_idle() && self.joiner.is_none() && self.pending_join.is_none();
+            return u32::from(done) | (u32::from(!done) << 1);
+        }
         self.lanes[lane].cfg_read(register)
     }
 
+    /// Starts the queued joiner job once the previous one retired and
+    /// lanes 0/1 have released their ports.
+    fn promote_join(&mut self) {
+        if self.joiner.is_some() || self.pending_join.is_none() {
+            return;
+        }
+        if self.lanes[0].is_streaming() || self.lanes[1].is_streaming() {
+            return;
+        }
+        let spec = self.pending_join.take().expect("checked above");
+        self.joiner = Some(IndexJoiner::new(&spec));
+    }
+
     /// Advances all lanes one cycle; `ports[i]` is lane *i*'s private
-    /// memory port.
+    /// memory port. An active joiner job runs on the ports of lanes 0
+    /// and 1 and delivers matched pairs into those lanes' FIFOs.
     ///
     /// # Panics
-    /// Panics if the port count does not match the lane count.
+    /// Panics if the port count does not match the lane count, or if a
+    /// lane job was launched on lanes 0/1 while the joiner owns their
+    /// ports.
     pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort]) {
         assert_eq!(ports.len(), self.lanes.len(), "one port per lane");
+        self.promote_join();
+        if let Some(joiner) = &mut self.joiner {
+            assert!(
+                !self.lanes[0].is_streaming() && !self.lanes[1].is_streaming(),
+                "lane job on lanes 0/1 while the joiner owns their ports"
+            );
+            let (p0, rest) = ports.split_at_mut(1);
+            joiner.tick(now, p0[0], rest[0]);
+            while joiner.a_ready() && self.lanes[0].can_push() {
+                let value = joiner.pop_a();
+                self.lanes[0].inject(value);
+            }
+            while joiner.b_ready() && self.lanes[1].can_push() {
+                let value = joiner.pop_b();
+                self.lanes[1].inject(value);
+            }
+            if joiner.is_done() {
+                let stats = joiner.stats();
+                self.joiner_stats.merge(&stats);
+                self.joiner_stats.jobs += 1;
+                self.join_count_last = stats.emissions as u32;
+                self.joiner = None;
+                self.promote_join();
+            }
+        }
         for (lane, port) in self.lanes.iter_mut().zip(ports.iter_mut()) {
             lane.tick(now, port);
         }
     }
 
-    /// Whether every lane has fully drained.
+    /// Whether every lane has fully drained and no joiner job is active
+    /// or queued.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.lanes.iter().all(Lane::is_idle)
+        self.lanes.iter().all(Lane::is_idle) && self.joiner.is_none() && self.pending_join.is_none()
     }
 
     /// Per-lane statistics.
@@ -126,12 +244,18 @@ impl Streamer {
     pub fn stats(&self) -> Vec<LaneStats> {
         self.lanes.iter().map(|l| l.stats()).collect()
     }
+
+    /// Accumulated joiner statistics (completed jobs).
+    #[must_use]
+    pub fn joiner_stats(&self) -> JoinerStats {
+        self.joiner_stats
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cfg::{cfg_addr, idx_cfg_word, reg};
+    use crate::cfg::{cfg_addr, idx_cfg_word, reg, JoinerMode};
     use crate::serializer::IndexSize;
     use issr_mem::tcdm::Tcdm;
 
@@ -226,5 +350,144 @@ mod tests {
     fn cfg_write_to_missing_lane_panics() {
         let mut s = Streamer::paper_config();
         let _ = s.cfg_write(cfg_addr(reg::STATUS, 5), 0);
+    }
+
+    /// Stores the standard sparse-sparse workload used by the joiner
+    /// tests: indices at `IDX_*`, values `1000 + pos` / `2000 + pos`.
+    fn place_join_workload(tcdm: &mut Tcdm, idcs_a: &[u16], idcs_b: &[u16]) {
+        tcdm.array_mut().store_u16_slice(BASE + 0x1000, idcs_a);
+        tcdm.array_mut().store_u16_slice(BASE + 0x2000, idcs_b);
+        for j in 0..idcs_a.len() as u32 {
+            tcdm.array_mut().store_u64(BASE + 0x4000 + j * 8, 1000 + u64::from(j));
+        }
+        for j in 0..idcs_b.len() as u32 {
+            tcdm.array_mut().store_u64(BASE + 0x8000 + j * 8, 2000 + u64::from(j));
+        }
+    }
+
+    fn configure_join(s: &mut Streamer, mode: JoinerMode, nnz_a: u32, nnz_b: u32) -> bool {
+        assert!(s.cfg_write(
+            cfg_addr(reg::JOIN_CFG, 0),
+            crate::cfg::join_cfg_word(mode, IndexSize::U16)
+        ));
+        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 0), BASE + 0x4000));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_IDX_B, 0), BASE + 0x2000));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_DATA_B, 0), BASE + 0x8000));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_A, 0), nnz_a));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_B, 0), nnz_b));
+        s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000)
+    }
+
+    /// A joiner job launched over the configuration interface delivers
+    /// matched pairs through lanes 0/1 like ordinary streams.
+    #[test]
+    fn joiner_job_streams_matched_pairs() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        place_join_workload(&mut tcdm, &[1, 4, 9], &[0, 4, 9, 12]);
+        let mut s = Streamer::sssr_config();
+        assert!(configure_join(&mut s, JoinerMode::Intersect, 3, 4));
+        s.set_enabled(true);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        let mut pairs = Vec::new();
+        for now in 0..2000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.lane(0).can_pop() && s.lane(1).can_pop() {
+                pairs.push((s.lane_mut(0).pop(), s.lane_mut(1).pop()));
+            }
+            if s.is_idle() {
+                break;
+            }
+        }
+        // Matches at indices 4 and 9: A positions 1, 2; B positions 1, 2.
+        assert_eq!(pairs, [(1001, 2001), (1002, 2002)]);
+        assert!(s.is_idle());
+        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)), 2);
+        assert_eq!(s.joiner_stats().jobs, 1);
+        assert_eq!(s.joiner_stats().matches, 2);
+    }
+
+    /// Back-to-back joiner jobs: the second launch queues in the shadow
+    /// slot while the first drains, and a third is rejected until then.
+    #[test]
+    fn joiner_jobs_queue_one_deep() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        place_join_workload(&mut tcdm, &[0, 1, 2, 3], &[0, 1, 2, 3]);
+        let mut s = Streamer::sssr_config();
+        assert!(configure_join(&mut s, JoinerMode::GatherA, 4, 4));
+        // Queue a second job (same shadow) and verify a third is refused.
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000));
+        assert!(!s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000));
+        s.set_enabled(true);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        let mut pairs = 0;
+        for now in 0..4000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.lane(0).can_pop() && s.lane(1).can_pop() {
+                let _ = s.lane_mut(0).pop();
+                let _ = s.lane_mut(1).pop();
+                pairs += 1;
+            }
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(pairs, 8, "both queued jobs must run");
+        assert_eq!(s.joiner_stats().jobs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an index joiner")]
+    fn joiner_launch_without_hardware_panics() {
+        let mut s = Streamer::paper_config();
+        assert!(s.cfg_write(
+            cfg_addr(reg::JOIN_CFG, 0),
+            crate::cfg::join_cfg_word(JoinerMode::Intersect, IndexSize::U16)
+        ));
+        let _ = s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE);
+    }
+
+    /// Lane jobs launched before the joiner defer it: the joiner waits
+    /// until lanes 0/1 release their ports.
+    #[test]
+    fn joiner_waits_for_lane_jobs_to_drain() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        for i in 0..8u32 {
+            tcdm.array_mut().store_u64(BASE + i * 8, u64::from(i) + 700);
+        }
+        place_join_workload(&mut tcdm, &[3, 5], &[5]);
+        let mut s = Streamer::sssr_config();
+        // An affine job on lane 0 first.
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 0), 7));
+        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 0), 8));
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE));
+        // Then the joiner job; it must wait for the affine stream.
+        assert!(configure_join(&mut s, JoinerMode::GatherA, 2, 1));
+        s.set_enabled(true);
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        let mut lane0 = Vec::new();
+        let mut lane1 = Vec::new();
+        for now in 0..4000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            while s.lane(0).can_pop() {
+                lane0.push(s.lane_mut(0).pop());
+            }
+            while s.lane(1).can_pop() {
+                lane1.push(s.lane_mut(1).pop());
+            }
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        // Affine stream first, then the joiner's A side.
+        assert_eq!(lane0, [700, 701, 702, 703, 704, 705, 706, 707, 1000, 1001]);
+        // B side: index 3 absent (zero-fill), index 5 at B position 0.
+        assert_eq!(lane1, [0, 2000]);
     }
 }

@@ -83,15 +83,9 @@ mod tests {
 
     #[test]
     fn round_trip_named() {
-        for csr in [
-            Csr::MHartId,
-            Csr::MCycle,
-            Csr::MInstret,
-            Csr::Ssr,
-            Csr::FMode,
-            Csr::Roi,
-            Csr::Barrier,
-        ] {
+        for csr in
+            [Csr::MHartId, Csr::MCycle, Csr::MInstret, Csr::Ssr, Csr::FMode, Csr::Roi, Csr::Barrier]
+        {
             assert_eq!(Csr::from_addr(csr.addr()), csr);
         }
     }

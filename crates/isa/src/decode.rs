@@ -186,13 +186,7 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 OPC_NMSUB => FpOp3::FnmsubD,
                 _ => FpOp3::FnmaddD,
             };
-            Instr::FpuOp3 {
-                op,
-                rd: fp(rd(w)),
-                rs1: fp(rs1(w)),
-                rs2: fp(rs2(w)),
-                rs3: fp(rs3(w)),
-            }
+            Instr::FpuOp3 { op, rd: fp(rd(w)), rs1: fp(rs1(w)), rs2: fp(rs2(w)), rs3: fp(rs3(w)) }
         }
         OPC_OP_FP => match funct7(w) {
             0x01 => fp2(w, FpOp2::FaddD)?,
@@ -251,11 +245,9 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             0b001 => Instr::DmDst { rs1: int(rs1(w)), rs2: int(rs2(w)) },
             0b010 => Instr::DmStr { rs1: int(rs1(w)), rs2: int(rs2(w)) },
             0b011 => Instr::DmRep { rs1: int(rs1(w)) },
-            0b100 => Instr::DmCpyI {
-                rd: int(rd(w)),
-                rs1: int(rs1(w)),
-                cfg: (imm_i(w) & 0xFF) as u8,
-            },
+            0b100 => {
+                Instr::DmCpyI { rd: int(rd(w)), rs1: int(rs1(w)), cfg: (imm_i(w) & 0xFF) as u8 }
+            }
             0b101 => Instr::DmStatI { rd: int(rd(w)), which: (imm_i(w) & 0xFF) as u8 },
             _ => return err,
         },
@@ -296,16 +288,9 @@ mod tests {
         let mv = Instr::FmvD { rd: FpReg::FT3, rs1: FpReg::FT4 };
         assert_eq!(decode(encode(&mv)).unwrap(), mv);
         // fsgnj.d with equal sources decodes as the move alias.
-        let sgnj = Instr::FpuOp2 {
-            op: FpOp2::FsgnjD,
-            rd: FpReg::FT3,
-            rs1: FpReg::FT4,
-            rs2: FpReg::FT4,
-        };
-        assert_eq!(
-            decode(encode(&sgnj)).unwrap(),
-            Instr::FmvD { rd: FpReg::FT3, rs1: FpReg::FT4 }
-        );
+        let sgnj =
+            Instr::FpuOp2 { op: FpOp2::FsgnjD, rd: FpReg::FT3, rs1: FpReg::FT4, rs2: FpReg::FT4 };
+        assert_eq!(decode(encode(&sgnj)).unwrap(), Instr::FmvD { rd: FpReg::FT3, rs1: FpReg::FT4 });
     }
 
     #[test]
@@ -320,19 +305,9 @@ mod tests {
             assert_eq!(decode(encode(&b)).unwrap(), b, "offset {offset}");
         }
         for offset in [-2048, -8, 0, 8, 2047] {
-            let l = Instr::Load {
-                width: LoadWidth::W,
-                rd: IntReg::T1,
-                rs1: IntReg::SP,
-                offset,
-            };
+            let l = Instr::Load { width: LoadWidth::W, rd: IntReg::T1, rs1: IntReg::SP, offset };
             assert_eq!(decode(encode(&l)).unwrap(), l);
-            let s = Instr::Store {
-                width: StoreWidth::H,
-                rs2: IntReg::T1,
-                rs1: IntReg::SP,
-                offset,
-            };
+            let s = Instr::Store { width: StoreWidth::H, rs2: IntReg::T1, rs1: IntReg::SP, offset };
             assert_eq!(decode(encode(&s)).unwrap(), s);
         }
     }

@@ -192,9 +192,7 @@ pub fn encode(instr: &Instr) -> u32 {
             AluImmOp::Andi => i_type(OPC_OP_IMM, ir(rd), 0b111, ir(rs1), imm),
             AluImmOp::Slli => r_type(OPC_OP_IMM, ir(rd), 0b001, ir(rs1), (imm & 0x1F) as u8, 0),
             AluImmOp::Srli => r_type(OPC_OP_IMM, ir(rd), 0b101, ir(rs1), (imm & 0x1F) as u8, 0),
-            AluImmOp::Srai => {
-                r_type(OPC_OP_IMM, ir(rd), 0b101, ir(rs1), (imm & 0x1F) as u8, 0x20)
-            }
+            AluImmOp::Srai => r_type(OPC_OP_IMM, ir(rd), 0b101, ir(rs1), (imm & 0x1F) as u8, 0x20),
         },
         Instr::Op { op, rd, rs1, rs2 } => {
             let (funct3, funct7) = match op {
@@ -236,9 +234,7 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::Ecall => OPC_SYSTEM,
         Instr::Fence => OPC_FENCE,
         Instr::Fld { rd, rs1, offset } => i_type(OPC_LOAD_FP, fr(rd), 0b011, ir(rs1), offset),
-        Instr::Fsd { rs2, rs1, offset } => {
-            s_type(OPC_STORE_FP, 0b011, ir(rs1), fr(rs2), offset)
-        }
+        Instr::Fsd { rs2, rs1, offset } => s_type(OPC_STORE_FP, 0b011, ir(rs1), fr(rs2), offset),
         Instr::FpuOp2 { op, rd, rs1, rs2 } => {
             let (funct7, funct3) = match op {
                 FpOp2::FaddD => (0x01, 0b111),
@@ -302,9 +298,7 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::DmCpyI { rd, rs1, cfg } => {
             i_type(OPC_CUSTOM0, ir(rd), 0b100, ir(rs1), i32::from(cfg))
         }
-        Instr::DmStatI { rd, which } => {
-            i_type(OPC_CUSTOM0, ir(rd), 0b101, 0, i32::from(which))
-        }
+        Instr::DmStatI { rd, which } => i_type(OPC_CUSTOM0, ir(rd), 0b101, 0, i32::from(which)),
         // Simulator control: custom-2, funct3 = 7.
         Instr::Halt => i_type(OPC_CUSTOM2, 0, 0b111, 0, 0),
     }
@@ -329,16 +323,16 @@ mod tests {
             0x0010_0293
         );
         assert_eq!(
-            encode(&Instr::Op {
-                op: AluOp::Add,
-                rd: IntReg::A0,
-                rs1: IntReg::A1,
-                rs2: IntReg::A2
-            }),
+            encode(&Instr::Op { op: AluOp::Add, rd: IntReg::A0, rs1: IntReg::A1, rs2: IntReg::A2 }),
             0x00C5_8533
         );
         assert_eq!(
-            encode(&Instr::Load { width: LoadWidth::W, rd: IntReg::T0, rs1: IntReg::A0, offset: 8 }),
+            encode(&Instr::Load {
+                width: LoadWidth::W,
+                rd: IntReg::T0,
+                rs1: IntReg::A0,
+                offset: 8
+            }),
             0x0085_2283
         );
         assert_eq!(

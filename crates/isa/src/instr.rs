@@ -454,11 +454,7 @@ impl fmt::Display for Instr {
                     FrepKind::Outer => "frep.o",
                     FrepKind::Inner => "frep.i",
                 };
-                write!(
-                    f,
-                    "{name} {max_rpt}, {n_insns}, {}, {:#06b}",
-                    stagger.count, stagger.mask
-                )
+                write!(f, "{name} {max_rpt}, {n_insns}, {}, {:#06b}", stagger.count, stagger.mask)
             }
             Instr::DmSrc { rs1, rs2 } => write!(f, "dmsrc {rs1}, {rs2}"),
             Instr::DmDst { rs1, rs2 } => write!(f, "dmdst {rs1}, {rs2}"),
@@ -506,24 +502,15 @@ mod tests {
         };
         assert!(fmadd.is_fp());
         assert!(!fmadd.is_control_flow());
-        let bne = Instr::Branch {
-            cond: BranchCond::Ne,
-            rs1: IntReg::T0,
-            rs2: IntReg::T1,
-            offset: -4,
-        };
+        let bne =
+            Instr::Branch { cond: BranchCond::Ne, rs1: IntReg::T0, rs2: IntReg::T1, offset: -4 };
         assert!(bne.is_control_flow());
         assert!(!bne.is_fp());
     }
 
     #[test]
     fn display_smoke() {
-        let i = Instr::Load {
-            width: LoadWidth::W,
-            rd: IntReg::T0,
-            rs1: IntReg::A0,
-            offset: 8,
-        };
+        let i = Instr::Load { width: LoadWidth::W, rd: IntReg::T0, rs1: IntReg::A0, offset: 8 };
         assert_eq!(i.to_string(), "lw t0, 8(a0)");
         let f = Instr::Frep {
             kind: FrepKind::Outer,

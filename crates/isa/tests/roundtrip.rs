@@ -142,8 +142,11 @@ fn instr() -> impl Strategy<Value = Instr> {
         (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xFFFF_F000 }),
         (int_reg(), any::<u32>()).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v & 0xFFFF_F000 }),
         (int_reg(), jal_offset()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (int_reg(), int_reg(), imm12())
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (int_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (branch_cond(), int_reg(), int_reg(), branch_offset())
             .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset }),
         (load_width(), int_reg(), int_reg(), imm12())
@@ -158,23 +161,46 @@ fn instr() -> impl Strategy<Value = Instr> {
             };
             Instr::OpImm { op, rd, rs1, imm }
         }),
-        (alu_op(), int_reg(), int_reg(), int_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (csr_op(), int_reg(), int_reg(), csr())
-            .prop_map(|(op, rd, rs1, csr)| Instr::CsrR { op, rd, rs1, csr }),
-        (csr_op(), int_reg(), 0u8..32, csr())
-            .prop_map(|(op, rd, uimm, csr)| Instr::CsrI { op, rd, uimm, csr }),
+        (alu_op(), int_reg(), int_reg(), int_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (csr_op(), int_reg(), int_reg(), csr()).prop_map(|(op, rd, rs1, csr)| Instr::CsrR {
+            op,
+            rd,
+            rs1,
+            csr
+        }),
+        (csr_op(), int_reg(), 0u8..32, csr()).prop_map(|(op, rd, uimm, csr)| Instr::CsrI {
+            op,
+            rd,
+            uimm,
+            csr
+        }),
         Just(Instr::Ecall),
         Just(Instr::Fence),
         (fp_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Instr::Fld { rd, rs1, offset }),
-        (fp_reg(), int_reg(), imm12())
-            .prop_map(|(rs2, rs1, offset)| Instr::Fsd { rs2, rs1, offset }),
-        (fp_op2(), fp_reg(), fp_reg(), fp_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FpuOp2 { op, rd, rs1, rs2 }),
+        (fp_reg(), int_reg(), imm12()).prop_map(|(rs2, rs1, offset)| Instr::Fsd {
+            rs2,
+            rs1,
+            offset
+        }),
+        (fp_op2(), fp_reg(), fp_reg(), fp_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::FpuOp2 {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (fp_op3(), fp_reg(), fp_reg(), fp_reg(), fp_reg())
             .prop_map(|(op, rd, rs1, rs2, rs3)| Instr::FpuOp3 { op, rd, rs1, rs2, rs3 }),
-        (fp_cmp(), int_reg(), fp_reg(), fp_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::FpuCmp { op, rd, rs1, rs2 }),
+        (fp_cmp(), int_reg(), fp_reg(), fp_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::FpuCmp {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (fp_reg(), int_reg()).prop_map(|(rd, rs1)| Instr::FcvtDW { rd, rs1 }),
         (int_reg(), fp_reg()).prop_map(|(rd, rs1)| Instr::FcvtWD { rd, rs1 }),
         (fp_reg(), fp_reg()).prop_map(|(rd, rs1)| Instr::FmvD { rd, rs1 }),

@@ -105,7 +105,7 @@ impl ClusterCsrmvPlan {
                 vals_len: (nnz_count * 8).max(8),
                 idcs_src: 0,
                 idcs_len: 0,
-                });
+            });
             row = end;
         }
         // Main-memory layout: vals | idcs | meta [x | ptr | desc] | y.
@@ -202,10 +202,7 @@ impl ClusterCsrmvPlan {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmvPlan) -> Program {
-    assert!(
-        plan.n_workers.is_power_of_two(),
-        "the static row split shifts by log2(workers)"
-    );
+    assert!(plan.n_workers.is_power_of_two(), "the static row split shifts by log2(workers)");
     assert!(
         matches!(variant, Variant::Base | Variant::Issr),
         "cluster CsrMV is evaluated for BASE and ISSR (paper Fig. 4c)"
@@ -266,7 +263,7 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
     asm.lw(R::A0, R::T4, 0); // row_start
     asm.lw(R::A1, R::T4, 4); // row_count
     asm.lw(R::A2, R::T4, 8); // nnz_start
-    // My row slice: rpw = ceil(row_count / workers); my_off = h * rpw.
+                             // My row slice: rpw = ceil(row_count / workers); my_off = h * rpw.
     asm.addi(R::T5, R::A1, i32::try_from(plan.n_workers - 1).expect("small"));
     asm.srli(R::T5, R::T5, plan.n_workers.trailing_zeros() as i32);
     asm.mul(R::T6, R::T5, R::A7);
@@ -278,7 +275,7 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
     asm.mv(R::T5, R::A3); // my_count = min(rpw, remaining)
     asm.bind(clamp_ok);
     asm.add(R::A4, R::A0, R::T6); // my_start
-    // Row-pointer window: s3 = ptr[my_start]; s0 = &ptr[my_start + 1].
+                                  // Row-pointer window: s3 = ptr[my_start]; s0 = &ptr[my_start + 1].
     asm.slli(R::T0, R::A4, 2);
     asm.li_addr(R::T1, plan.tcdm_ptr);
     asm.add(R::T0, R::T0, R::T1);
@@ -288,12 +285,12 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
     asm.add(R::T2, R::T2, R::T0);
     asm.lw(R::T2, R::T2, 0); // ptr[my_end]
     asm.mv(R::S2, R::T5); // row count for the row loop
-    // y cursor.
+                          // y cursor.
     asm.slli(R::T0, R::A4, 3);
     asm.li_addr(R::T1, plan.tcdm_y);
     asm.add(R::S1, R::T0, R::T1);
     asm.sub(R::A5, R::T2, R::S3); // my element count
-    // Buffer bases for this block.
+                                  // Buffer bases for this block.
     asm.andi(R::T0, R::S10, 1);
     asm.slli(R::T0, R::T0, 16);
     asm.li_addr(R::T1, BUF_A);
@@ -302,7 +299,7 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
         Variant::Issr => {
             let launch_done = asm.new_label();
             asm.beqz(R::A5, launch_done); // nothing streams this block
-            // Launch SSR over my values.
+                                          // Launch SSR over my values.
             asm.addi(R::T1, R::A5, -1);
             asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 0));
             asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 1));
@@ -330,7 +327,7 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
             asm.sub(R::S7, R::T0, R::T1);
             asm.slli(R::T1, R::S3, 3);
             asm.add(R::S5, R::S7, R::T1); // vals cursor at ptr[my_start]
-            // Virtual index base: buf_idcs - align8(W * nnz_start).
+                                          // Virtual index base: buf_idcs - align8(W * nnz_start).
             asm.slli(R::T1, R::A2, log_w);
             asm.andi(R::T1, R::T1, -8);
             asm.li(R::T2, i64::from(VALS_CAP));
@@ -340,10 +337,11 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
             asm.add(R::S4, R::T2, R::T1); // idx cursor
             asm.li_addr(R::S6, plan.tcdm_x);
             // emit_sw_row_loop(BASE) computes row ends against s7.
-            emit_sw_row_loop::<I>(&mut asm, Variant::Base, &RowLoopCtx {
-                idx_shift: 3,
-                restore_cursors: false,
-            });
+            emit_sw_row_loop::<I>(
+                &mut asm,
+                Variant::Base,
+                &RowLoopCtx { idx_shift: 3, restore_cursors: false },
+            );
         }
     }
     asm.bind(signal_done);
@@ -404,7 +402,7 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
     asm.lw(R::A1, R::T4, 20); // vals_len
     asm.lw(R::A2, R::T4, 24); // idcs_src
     asm.lw(R::A3, R::T4, 28); // idcs_len
-    // Destination buffer.
+                              // Destination buffer.
     asm.andi(R::T0, R::S10, 1);
     asm.slli(R::T0, R::T0, 16);
     asm.li_addr(R::T1, BUF_A);
@@ -582,7 +580,13 @@ mod probe {
         for row_nnz in [1usize, 4, 16, 64, 128] {
             let mut rng = gen::rng(99);
             let nrows = 512;
-            let m = gen::csr_clustered::<u16>(&mut rng, nrows, 1024, row_nnz, (row_nnz * 4).clamp(16, 1024));
+            let m = gen::csr_clustered::<u16>(
+                &mut rng,
+                nrows,
+                1024,
+                row_nnz,
+                (row_nnz * 4).clamp(16, 1024),
+            );
             let x = gen::dense_vector(&mut rng, 1024);
             let base = run_cluster_csrmv(Variant::Base, &m, &x).unwrap();
             let issr = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();

@@ -1,7 +1,7 @@
 //! Shared assembly idioms: streamer job setup and reduction trees.
 
 use crate::variant::KernelIndex;
-use issr_core::cfg::{cfg_addr, idx_cfg_word, reg as sreg};
+use issr_core::cfg::{cfg_addr, idx_cfg_word, join_cfg_word, reg as sreg, JoinerMode};
 use issr_isa::asm::Assembler;
 use issr_isa::reg::{FpReg, IntReg};
 
@@ -72,6 +72,38 @@ pub fn emit_indirect_write<I: KernelIndex>(
     asm.scfgwi(t, cfg_addr(sreg::DATA_BASE, lane));
     asm.li_addr(t, idx_base);
     asm.scfgwi(t, cfg_addr(sreg::WPTR[0], lane));
+}
+
+/// Emits the configuration and launch of an index-joiner job (lanes 0
+/// and 1): stream A's `nnz_a` indices at `idx_a` select values at
+/// `vals_a`, stream B likewise, matched under `mode`. Counts may be
+/// zero. Clobbers [`SETUP_SCRATCH`].
+#[allow(clippy::too_many_arguments)]
+pub fn emit_joiner_read<I: KernelIndex>(
+    asm: &mut Assembler,
+    mode: JoinerMode,
+    idx_a: u32,
+    vals_a: u32,
+    nnz_a: u32,
+    idx_b: u32,
+    vals_b: u32,
+    nnz_b: u32,
+) {
+    let t = SETUP_SCRATCH;
+    asm.li(t, i64::from(join_cfg_word(mode, I::IDX_SIZE)));
+    asm.scfgwi(t, cfg_addr(sreg::JOIN_CFG, 0));
+    asm.li_addr(t, vals_a);
+    asm.scfgwi(t, cfg_addr(sreg::DATA_BASE, 0));
+    asm.li_addr(t, idx_b);
+    asm.scfgwi(t, cfg_addr(sreg::JOIN_IDX_B, 0));
+    asm.li_addr(t, vals_b);
+    asm.scfgwi(t, cfg_addr(sreg::JOIN_DATA_B, 0));
+    asm.li(t, i64::from(nnz_a));
+    asm.scfgwi(t, cfg_addr(sreg::JOIN_NNZ_A, 0));
+    asm.li(t, i64::from(nnz_b));
+    asm.scfgwi(t, cfg_addr(sreg::JOIN_NNZ_B, 0));
+    asm.li_addr(t, idx_a);
+    asm.scfgwi(t, cfg_addr(sreg::RPTR[0], 0));
 }
 
 /// Emits an affine *write* job on `lane` (unit-stride store stream).

@@ -61,20 +61,15 @@ pub fn run_csf_ttv<I: KernelIndex>(
     if n_rows == 0 {
         return Ok(CsfTtvRun { y, mv_cycles: 0, scatter_cycles: 0 });
     }
-    let leaf_matrix = CsrMatrix::new(
-        n_rows,
-        dims[2],
-        ptr,
-        t.leaf_idcs().to_vec(),
-        t.vals().to_vec(),
-    )
-    .expect("CSF leaf level is a valid CSR");
+    let leaf_matrix =
+        CsrMatrix::new(n_rows, dims[2], ptr, t.leaf_idcs().to_vec(), t.vals().to_vec())
+            .expect("CSF leaf level is a valid CSR");
     let mv = run_csrmv(variant, &leaf_matrix, x)?;
     // Pass 2: scatter the per-fiber partials to their (i, j) slots.
     let scatter = run_scatter(dims[0] * dims[1], &out_coord, &mv.y)?;
-    for i in 0..dims[0] {
-        for j in 0..dims[1] {
-            y[i][j] = scatter.out[i * dims[1] + j];
+    for (i, row) in y.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = scatter.out[i * dims[1] + j];
         }
     }
     Ok(CsfTtvRun {
@@ -115,12 +110,9 @@ mod tests {
         let x = gen::dense_vector(&mut rng, dims[2]);
         let run = run_csf_ttv(Variant::Issr, &t, &x).unwrap();
         let expect = t.ttv(&x);
-        for i in 0..dims[0] {
-            for j in 0..dims[1] {
-                assert!(
-                    (run.y[i][j] - expect[i][j]).abs() < 1e-9,
-                    "mismatch at ({i},{j})"
-                );
+        for (i, (run_row, exp_row)) in run.y.iter().zip(&expect).enumerate() {
+            for (j, (got, want)) in run_row.iter().zip(exp_row).enumerate() {
+                assert!((got - want).abs() < 1e-9, "mismatch at ({i},{j})");
             }
         }
     }

@@ -55,10 +55,13 @@ pub fn build_csrmm<I: KernelIndex>(variant: Variant, addrs: CsrmmAddrs) -> Progr
     asm.li_addr(R::A5, addrs.a.ptr + 4);
     asm.li(R::A6, i64::from(addrs.a.nrows));
     asm.li(R::S8, i64::from(addrs.y_stride) * 8);
-    asm.li_addr(R::S7, match variant {
-        Variant::Base => addrs.a.vals,
-        _ => addrs.a.idcs,
-    });
+    asm.li_addr(
+        R::S7,
+        match variant {
+            Variant::Base => addrs.a.vals,
+            _ => addrs.a.idcs,
+        },
+    );
     asm.roi_begin();
     let end = asm.new_label();
     if addrs.a.nrows == 0 || addrs.b_cols == 0 {
@@ -238,8 +241,8 @@ mod tests {
         let m = gen::csr_uniform::<u16>(&mut rng, 16, 32, 120);
         let x = gen::dense_vector(&mut rng, 32);
         let mut b = DenseMatrix::with_pow2_stride(32, 1);
-        for r in 0..32 {
-            b.set(r, 0, x[r]);
+        for (r, &v) in x.iter().enumerate() {
+            b.set(r, 0, v);
         }
         let mm = run_csrmm(Variant::Issr, &m, &b).unwrap();
         let mv = crate::csrmv::run_csrmv(Variant::Issr, &m, &x).unwrap();

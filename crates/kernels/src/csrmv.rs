@@ -94,17 +94,28 @@ pub fn build_csrmv<I: KernelIndex>(variant: Variant, addrs: CsrmvAddrs) -> Progr
                 }
                 asm.csrsi(issr_isa::Csr::Ssr, 1);
                 asm.fcvt_d_w(FZ, R::ZERO);
-                emit_issr_row_loop::<I>(&mut asm, &RowLoopCtx { idx_shift: 3, restore_cursors: false });
+                emit_issr_row_loop::<I>(
+                    &mut asm,
+                    &RowLoopCtx { idx_shift: 3, restore_cursors: false },
+                );
             }
             Variant::Ssr => {
                 if addrs.a.nnz > 0 {
                     crate::common::emit_affine_read(&mut asm, 0, addrs.a.vals, addrs.a.nnz, 8);
                 }
                 asm.csrsi(issr_isa::Csr::Ssr, 1);
-                emit_sw_row_loop::<I>(&mut asm, variant, &RowLoopCtx { idx_shift: 3, restore_cursors: false });
+                emit_sw_row_loop::<I>(
+                    &mut asm,
+                    variant,
+                    &RowLoopCtx { idx_shift: 3, restore_cursors: false },
+                );
             }
             Variant::Base => {
-                emit_sw_row_loop::<I>(&mut asm, variant, &RowLoopCtx { idx_shift: 3, restore_cursors: false });
+                emit_sw_row_loop::<I>(
+                    &mut asm,
+                    variant,
+                    &RowLoopCtx { idx_shift: 3, restore_cursors: false },
+                );
             }
         }
     }
@@ -188,7 +199,7 @@ pub(crate) fn emit_issr_row_loop<I: KernelIndex>(asm: &mut Assembler, ctx: &RowL
     asm.beqz(R::T1, zero_row);
     asm.addi(R::T2, R::T1, -i32::from(n_acc));
     asm.blt(R::T2, R::ZERO, ladder); // count < n_acc → short-row ladder
-    // Long row: unrolled head fills every accumulator from fz.
+                                     // Long row: unrolled head fills every accumulator from fz.
     for k in 0..n_acc {
         asm.fmadd_d(ACC0.offset(k), FpReg::FT0, FpReg::FT1, FZ);
     }
@@ -268,10 +279,7 @@ pub fn run_csrmv<I: KernelIndex>(
     sim = fresh;
     let budget = 200_000 + 64 * u64::from(a.nnz) + 64 * u64::from(a.nrows);
     let summary = sim.run(budget)?;
-    Ok(CsrmvRun {
-        y: sim.mem.array().load_f64_slice(y, m.nrows()),
-        summary,
-    })
+    Ok(CsrmvRun { y: sim.mem.array().load_f64_slice(y, m.nrows()), summary })
 }
 
 #[cfg(test)]

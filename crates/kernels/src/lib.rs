@@ -2,8 +2,9 @@
 //!
 //! The paper's kernels (§III): SpVV, CsrMV and CsrMM in BASE / SSR /
 //! ISSR variants for 16- and 32-bit indices, the multicore cluster
-//! CsrMV, and the further indirection applications of §III-C
-//! (codebook decoding, scatter/gather streaming).
+//! CsrMV, the further indirection applications of §III-C (codebook
+//! decoding, scatter/gather streaming), and the sparse-sparse SpVV∩ /
+//! SpMSpV kernels on the index joiner ([`spmspv`]).
 
 #![forbid(unsafe_code)]
 
@@ -13,15 +14,22 @@ pub mod csf_ttv;
 pub mod csrmm;
 pub mod csrmv;
 pub mod layout;
+pub mod spmspv;
 pub mod spvv;
 pub mod stencil;
 pub mod streaming;
 pub mod variant;
 
-pub use cluster_csrmv::{build_cluster_csrmv, run_cluster_csrmv, ClusterCsrmvPlan, ClusterCsrmvRun};
+pub use cluster_csrmv::{
+    build_cluster_csrmv, run_cluster_csrmv, ClusterCsrmvPlan, ClusterCsrmvRun,
+};
 pub use csf_ttv::{run_csf_ttv, CsfTtvRun};
 pub use csrmm::{build_csrmm, run_csrmm, CsrmmAddrs, CsrmmRun};
 pub use csrmv::{build_csrmv, run_csrmv, CsrmvAddrs, CsrmvRun};
+pub use spmspv::{
+    build_spmspv, build_spvv_ss, run_spmspv, run_spvv_ss, SpmspvAddrs, SpmspvRun, SpvvSsAddrs,
+    SpvvSsRun,
+};
 pub use spvv::{build_spvv, run_spvv, SpvvAddrs, SpvvRun};
 pub use stencil::{run_stencil, SparseStencil, StencilRun};
 pub use streaming::{run_codebook_spvv, run_gather, run_scatter, StreamRun};

@@ -11,10 +11,8 @@
 //!   FREP, peaking at the arbitration limits 0.80 (16-bit) and
 //!   0.67 (32-bit).
 
-use crate::common::{
-    emit_indirect_read, emit_reduction_tree, emit_zero_accumulators, ACC0,
-};
-use crate::layout::{alloc_result, place_fiber, place_f64s, Arena, FiberAddrs};
+use crate::common::{emit_indirect_read, emit_reduction_tree, emit_zero_accumulators, ACC0};
+use crate::layout::{alloc_result, place_f64s, place_fiber, Arena, FiberAddrs};
 use crate::variant::{issr_accumulators, KernelIndex, Variant};
 use issr_isa::asm::{Assembler, Program};
 use issr_isa::instr::Stagger;

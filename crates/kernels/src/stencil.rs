@@ -55,11 +55,7 @@ impl SparseStencil {
         let out_len = x.len().saturating_sub(self.reach() as usize);
         (0..out_len)
             .map(|p| {
-                self.offsets
-                    .iter()
-                    .zip(&self.weights)
-                    .map(|(&o, &w)| w * x[p + o as usize])
-                    .sum()
+                self.offsets.iter().zip(&self.weights).map(|(&o, &w)| w * x[p + o as usize]).sum()
             })
             .collect()
     }
@@ -97,8 +93,7 @@ pub fn run_stencil<I: KernelIndex>(
     let w_addr = place_f64s(&mut arena, staged.mem.array_mut(), &stencil.weights);
     let idx_bytes = (taps * I::BYTES + 7) & !7;
     let off_addr = arena.alloc(idx_bytes, 8);
-    let offsets: Vec<I> =
-        stencil.offsets.iter().map(|&o| I::from_usize(o as usize)).collect();
+    let offsets: Vec<I> = stencil.offsets.iter().map(|&o| I::from_usize(o as usize)).collect();
     I::store_slice(staged.mem.array_mut(), off_addr, &offsets);
     let out = alloc_result(&mut arena, out_len.max(1));
 
@@ -147,10 +142,7 @@ pub fn run_stencil<I: KernelIndex>(
     let mut sim = SingleCcSim::new(asm.finish().expect("stencil assembles"));
     sim.mem = staged.mem;
     let summary = sim.run(200_000 + 64 * u64::from(out_len) * u64::from(taps))?;
-    Ok(StencilRun {
-        out: sim.mem.array().load_f64_slice(out, out_len as usize),
-        summary,
-    })
+    Ok(StencilRun { out: sim.mem.array().load_f64_slice(out, out_len as usize), summary })
 }
 
 #[cfg(test)]

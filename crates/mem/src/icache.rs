@@ -64,7 +64,7 @@ impl L0Buffer {
     /// hit.
     pub fn fetch(&mut self, pc: u32) -> bool {
         let line = self.line_of(pc);
-        if self.tags.iter().any(|t| *t == Some(line)) {
+        if self.tags.contains(&Some(line)) {
             self.hits += 1;
             return true;
         }

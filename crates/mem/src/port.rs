@@ -123,7 +123,7 @@ impl MemPort {
     /// master at `ready_cycle`.
     pub fn push_rsp(&mut self, ready_cycle: u64, rsp: MemRsp) {
         debug_assert!(
-            self.rsps.back().map_or(true, |&(t, _)| t <= ready_cycle),
+            self.rsps.back().is_none_or(|&(t, _)| t <= ready_cycle),
             "responses must stay in order"
         );
         self.rsps.push_back((ready_cycle, rsp));

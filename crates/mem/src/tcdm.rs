@@ -105,20 +105,19 @@ impl Tcdm {
                 let n = ports.len();
                 // For each bank, scan ports beginning at its round-robin
                 // pointer and grant the first contender.
-                for bank in 0..self.n_banks {
+                for (bank, rr_slot) in rr.iter_mut().enumerate() {
                     if dma_claimed.get(bank).copied().unwrap_or(false) {
                         continue;
                     }
-                    let start = rr[bank];
+                    let start = *rr_slot;
                     for k in 0..n {
                         let pi = (start + k) % n;
-                        let wants = ports[pi]
-                            .pending()
-                            .map_or(false, |req| self.bank_of(req.addr) == bank);
+                        let wants =
+                            ports[pi].pending().is_some_and(|req| self.bank_of(req.addr) == bank);
                         if wants {
                             let req = ports[pi].take_pending().expect("pending checked");
                             self.serve(now, req, ports[pi]);
-                            rr[bank] = (pi + 1) % n;
+                            *rr_slot = (pi + 1) % n;
                             break;
                         }
                     }
@@ -142,11 +141,7 @@ impl Tcdm {
 
     fn serve(&mut self, now: u64, req: crate::port::MemReq, port: &mut MemPort) {
         self.stats.grants += 1;
-        debug_assert!(
-            self.array.contains(req.addr),
-            "TCDM access {:#010x} out of range",
-            req.addr
-        );
+        debug_assert!(self.array.contains(req.addr), "TCDM access {:#010x} out of range", req.addr);
         match req.op {
             MemOp::Read => {
                 let data = self.array.read_word(req.addr);

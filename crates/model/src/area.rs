@@ -56,11 +56,7 @@ impl StreamerArea {
     /// Total streamer area (top-level blocks only).
     #[must_use]
     pub fn total_kge(&self) -> f64 {
-        self.blocks
-            .iter()
-            .filter(|b| !b.name.starts_with(' '))
-            .map(|b| b.kge)
-            .sum()
+        self.blocks.iter().filter(|b| !b.name.starts_with(' ')).map(|b| b.kge).sum()
     }
 
     /// ISSR-over-SSR relative growth (paper: 43 %).
@@ -116,12 +112,7 @@ mod tests {
     #[test]
     fn issr_subblocks_sum_to_lane() {
         let s = StreamerArea::paper_config();
-        let sub: f64 = s
-            .blocks
-            .iter()
-            .filter(|b| b.name.starts_with(' '))
-            .map(|b| b.kge)
-            .sum();
+        let sub: f64 = s.blocks.iter().filter(|b| b.name.starts_with(' ')).map(|b| b.kge).sum();
         assert!((sub - ISSR_KGE).abs() < 1e-9);
     }
 

@@ -60,11 +60,7 @@ impl PowerModel {
     /// Evaluates a cluster run.
     #[must_use]
     pub fn evaluate(&self, summary: &ClusterSummary) -> EnergyBreakdown {
-        let core_ops: u64 = summary
-            .worker_metrics
-            .iter()
-            .map(|m| m.instret)
-            .sum::<u64>()
+        let core_ops: u64 = summary.worker_metrics.iter().map(|m| m.instret).sum::<u64>()
             + summary.dmcc_metrics.instret;
         let fpu_ops: u64 = summary.worker_metrics.iter().map(|m| m.roi.fpu_ops).sum();
         let stream_elems: u64 = summary
@@ -129,12 +125,10 @@ mod tests {
         let big = gen::csr_fixed_row_nnz::<u16>(&mut rng, 64, 256, 64);
         let x = gen::dense_vector(&mut rng, 256);
         let model = PowerModel::default();
-        let e_small = model
-            .evaluate(&run_cluster_csrmv(Variant::Issr, &small, &x).unwrap().summary)
-            .total_nj;
-        let e_big = model
-            .evaluate(&run_cluster_csrmv(Variant::Issr, &big, &x).unwrap().summary)
-            .total_nj;
+        let e_small =
+            model.evaluate(&run_cluster_csrmv(Variant::Issr, &small, &x).unwrap().summary).total_nj;
+        let e_big =
+            model.evaluate(&run_cluster_csrmv(Variant::Issr, &big, &x).unwrap().summary).total_nj;
         assert!(e_big > 2.0 * e_small, "8x the nonzeros must cost much more energy");
     }
 }

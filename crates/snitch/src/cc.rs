@@ -7,6 +7,7 @@ use crate::fpu::FpuSubsystem;
 use crate::metrics::Metrics;
 use crate::params::CcParams;
 use crate::shared::SharedPort;
+use issr_core::joiner::JoinerStats;
 use issr_core::lane::LaneStats;
 use issr_core::streamer::Streamer;
 use issr_isa::asm::Program;
@@ -175,6 +176,8 @@ pub struct RunSummary {
     pub metrics: Metrics,
     /// Final per-lane streamer statistics.
     pub lane_stats: Vec<LaneStats>,
+    /// Index-joiner statistics (all zero without joiner hardware).
+    pub joiner_stats: JoinerStats,
     /// Memory statistics.
     pub tcdm_stats: TcdmStats,
 }
@@ -204,6 +207,19 @@ impl SingleCcSim {
     #[must_use]
     pub fn new(program: Program) -> Self {
         Self::with_params(program, CcParams::default())
+    }
+
+    /// Creates the harness around a CC whose streamer carries the
+    /// sparse-sparse index joiner (the SSSR configuration) — the setup
+    /// the SpVV∩ / SpMSpV kernels run on.
+    #[must_use]
+    pub fn with_joiner(program: Program) -> Self {
+        Self::with_cc(CoreComplex::with_streamer(
+            0,
+            program,
+            CcParams::default(),
+            Streamer::sssr_config(),
+        ))
     }
 
     /// Creates the harness with explicit core parameters.
@@ -248,6 +264,7 @@ impl SingleCcSim {
                     cycles: self.now,
                     metrics: self.cc.metrics,
                     lane_stats: self.cc.streamer.stats(),
+                    joiner_stats: self.cc.streamer.joiner_stats(),
                     tcdm_stats: self.mem.stats(),
                 });
             }
@@ -426,6 +443,69 @@ mod tests {
             fp_time
         );
         assert_eq!(sim.cc.core.reg(R::T2), 32);
+    }
+
+    /// The SSSR data flow: the joiner matches two sparse fibers and a
+    /// single staggered `fmadd` under FREP consumes the pairs — the
+    /// sparse-sparse dot product with a static trip count (gather-A).
+    #[test]
+    fn joiner_feeds_fmadd_loop() {
+        use issr_core::cfg::{cfg_addr, join_cfg_word, reg as sreg, JoinerMode};
+        use issr_core::serializer::IndexSize;
+        let idx_a = SINGLE_CC_ARENA;
+        let idx_b = SINGLE_CC_ARENA + 0x1000;
+        let vals_a = SINGLE_CC_ARENA + 0x2000;
+        let vals_b = SINGLE_CC_ARENA + 0x3000;
+        let out = SINGLE_CC_ARENA + 0x4000;
+        let a_idcs: [u16; 6] = [0, 3, 4, 9, 17, 30];
+        let b_idcs: [u16; 5] = [1, 3, 9, 17, 31];
+        let n_acc = 4u8;
+        let mut a = Assembler::new();
+        a.li(R::T0, i64::from(join_cfg_word(JoinerMode::GatherA, IndexSize::U16)));
+        a.scfgwi(R::T0, cfg_addr(sreg::JOIN_CFG, 0));
+        a.li_addr(R::T0, vals_a);
+        a.scfgwi(R::T0, cfg_addr(sreg::DATA_BASE, 0));
+        a.li_addr(R::T0, idx_b);
+        a.scfgwi(R::T0, cfg_addr(sreg::JOIN_IDX_B, 0));
+        a.li_addr(R::T0, vals_b);
+        a.scfgwi(R::T0, cfg_addr(sreg::JOIN_DATA_B, 0));
+        a.li(R::T0, a_idcs.len() as i64);
+        a.scfgwi(R::T0, cfg_addr(sreg::JOIN_NNZ_A, 0));
+        a.li(R::T0, b_idcs.len() as i64);
+        a.scfgwi(R::T0, cfg_addr(sreg::JOIN_NNZ_B, 0));
+        a.li_addr(R::T0, idx_a);
+        a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 0)); // launch
+        a.csrsi(issr_isa::Csr::Ssr, 1);
+        for k in 0..n_acc {
+            a.fcvt_d_w(F::FT2.offset(k), R::ZERO);
+        }
+        a.li(R::T1, a_idcs.len() as i64 - 1);
+        a.frep_outer(R::T1, 1, Stagger::accumulator(n_acc));
+        a.fmadd_d(F::FT2, F::FT0, F::FT1, F::FT2);
+        a.fadd_d(F::FT2, F::FT2, F::FT3);
+        a.fadd_d(F::FT4, F::FT4, F::FT5);
+        a.fadd_d(F::FT2, F::FT2, F::FT4);
+        a.csrci(issr_isa::Csr::Ssr, 1);
+        a.li_addr(R::A2, out);
+        a.fsd(F::FT2, R::A2, 0);
+        a.halt();
+        let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+        sim.mem.array_mut().store_u16_slice(idx_a, &a_idcs);
+        sim.mem.array_mut().store_u16_slice(idx_b, &b_idcs);
+        for j in 0..a_idcs.len() as u32 {
+            sim.mem.array_mut().store_f64(vals_a + j * 8, f64::from(j + 1));
+        }
+        for j in 0..b_idcs.len() as u32 {
+            sim.mem.array_mut().store_f64(vals_b + j * 8, f64::from(j + 1) * 10.0);
+        }
+        sim.run(100_000).unwrap();
+        // Matches: 3 (a pos 1, b pos 1), 9 (a pos 3, b pos 2), 17 (a pos
+        // 4, b pos 3): 2*20 + 4*30 + 5*40 = 360.
+        assert_eq!(sim.mem.array().load_f64(out), 360.0);
+        let stats = sim.cc.streamer.joiner_stats();
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.matches, 3);
+        assert_eq!(stats.emissions, a_idcs.len() as u64);
     }
 
     #[test]

@@ -263,12 +263,7 @@ impl SnitchCore {
                 let addr = self.read(rs1).wrapping_add(offset as u32);
                 let blocking = region_of(addr) == Region::Periph;
                 lsu.send(MemReq::read(addr));
-                self.lsu_tags.push_back(LsuTag {
-                    rd: rd.index(),
-                    width,
-                    byte: addr % 8,
-                    blocking,
-                });
+                self.lsu_tags.push_back(LsuTag { rd: rd.index(), width, byte: addr % 8, blocking });
                 if !rd.is_zero() {
                     self.busy[rd.index() as usize] = true;
                 }
@@ -293,9 +288,7 @@ impl SnitchCore {
                     StoreWidth::H => {
                         (u64::from(self.read(rs2) & 0xFFFF) << (byte * 8), 0x3u8 << byte)
                     }
-                    StoreWidth::W => {
-                        (u64::from(self.read(rs2)) << (byte * 8), 0xFu8 << byte)
-                    }
+                    StoreWidth::W => (u64::from(self.read(rs2)) << (byte * 8), 0xFu8 << byte),
                 };
                 lsu.send(MemReq { addr, op: MemOp::Write { data, strb } });
                 if metrics.roi_active {
@@ -340,12 +333,12 @@ impl SnitchCore {
                 );
                 let v = alu(op, a, b);
                 if multi {
-                    let latency = if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu)
-                    {
-                        3
-                    } else {
-                        20
-                    };
+                    let latency =
+                        if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu) {
+                            3
+                        } else {
+                            20
+                        };
                     if !rd.is_zero() {
                         self.busy[rd.index() as usize] = true;
                     }
@@ -388,9 +381,7 @@ impl SnitchCore {
                 }
                 fpu.offload(FpOp { instr, aux: self.read(max_rpt) });
             }
-            Instr::DmSrc { rs1, rs2 }
-            | Instr::DmDst { rs1, rs2 }
-            | Instr::DmStr { rs1, rs2 } => {
+            Instr::DmSrc { rs1, rs2 } | Instr::DmDst { rs1, rs2 } | Instr::DmStr { rs1, rs2 } => {
                 if !(self.ready(rs1) && self.ready(rs2)) {
                     return stall_raw(metrics);
                 }
@@ -574,13 +565,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
                 (a as i32).wrapping_div(b as i32) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a

@@ -46,8 +46,21 @@ pub struct IntWriteback {
 #[derive(Debug)]
 enum SeqState {
     Idle,
-    Capturing { remaining: u8, max_rpt: u32, stagger: Stagger, kind: FrepKind, buf: Vec<FpOp> },
-    Replaying { iter: u32, pos: usize, max_rpt: u32, stagger: Stagger, kind: FrepKind, buf: Vec<FpOp> },
+    Capturing {
+        remaining: u8,
+        max_rpt: u32,
+        stagger: Stagger,
+        kind: FrepKind,
+        buf: Vec<FpOp>,
+    },
+    Replaying {
+        iter: u32,
+        pos: usize,
+        max_rpt: u32,
+        stagger: Stagger,
+        kind: FrepKind,
+        buf: Vec<FpOp>,
+    },
 }
 
 /// Reason the FPU could not issue this cycle (for stall accounting).
@@ -194,8 +207,7 @@ impl FpuSubsystem {
             let op = buf[*pos];
             let offset = stagger.offset_at(*iter);
             let stagger = *stagger;
-            let (iter, pos, max_rpt, kind, buf_len) =
-                (*iter, *pos, *max_rpt, *kind, buf.len());
+            let (iter, pos, max_rpt, kind, buf_len) = (*iter, *pos, *max_rpt, *kind, buf.len());
             self.issue_op(op, offset, now, port, streamer, metrics)?;
             // Advance the sequencer.
             let (next_iter, next_pos) = match kind {
@@ -231,10 +243,7 @@ impl FpuSubsystem {
         loop {
             match self.queue.front() {
                 Some(FpOp { instr: Instr::Frep { kind, n_insns, stagger, .. }, aux }) => {
-                    assert!(
-                        matches!(self.seq, SeqState::Idle),
-                        "nested FREP is not supported"
-                    );
+                    assert!(matches!(self.seq, SeqState::Idle), "nested FREP is not supported");
                     assert!(
                         (*n_insns as usize) <= self.params.frep_buffer,
                         "FREP body exceeds sequencer buffer"
@@ -508,10 +517,7 @@ mod tests {
     use issr_isa::reg::FpReg as F;
 
     fn fp3(rd: F, rs1: F, rs2: F, rs3: F) -> FpOp {
-        FpOp {
-            instr: Instr::FpuOp3 { op: FpOp3::FmaddD, rd, rs1, rs2, rs3 },
-            aux: 0,
-        }
+        FpOp { instr: Instr::FpuOp3 { op: FpOp3::FmaddD, rd, rs1, rs2, rs3 }, aux: 0 }
     }
 
     fn tick_n(

@@ -68,8 +68,7 @@ impl<I: IndexValue> CsfTensor<I> {
                 t.row_ptr.push(*t.row_ptr.last().expect("non-empty"));
                 *t.slice_ptr.last_mut().expect("non-empty") += 1;
             }
-            let same_leaf =
-                same_row && t.leaf_idcs.last().map(|i| i.to_usize()) == Some(k);
+            let same_leaf = same_row && t.leaf_idcs.last().map(|i| i.to_usize()) == Some(k);
             if same_leaf {
                 *t.vals.last_mut().expect("non-empty") += v;
             } else {
@@ -101,9 +100,10 @@ impl<I: IndexValue> CsfTensor<I> {
 
     /// Iterates nonempty slices: `(slice_index, row_fiber_range)`.
     pub fn slices(&self) -> impl Iterator<Item = (usize, std::ops::Range<usize>)> + '_ {
-        self.slice_idcs.iter().enumerate().map(|(s, &i)| {
-            (i as usize, self.slice_ptr[s] as usize..self.slice_ptr[s + 1] as usize)
-        })
+        self.slice_idcs
+            .iter()
+            .enumerate()
+            .map(|(s, &i)| (i as usize, self.slice_ptr[s] as usize..self.slice_ptr[s + 1] as usize))
     }
 
     /// Row index and leaf range of compressed row `r`.
@@ -158,12 +158,7 @@ mod tests {
     fn sample() -> CsfTensor<u16> {
         CsfTensor::from_coords(
             [2, 2, 4],
-            &[
-                ([0, 0, 1], 1.0),
-                ([0, 0, 3], 2.0),
-                ([0, 1, 0], 3.0),
-                ([1, 1, 2], 4.0),
-            ],
+            &[([0, 0, 1], 1.0), ([0, 0, 3], 2.0), ([0, 1, 0], 3.0), ([1, 1, 2], 4.0)],
         )
     }
 
@@ -173,10 +168,7 @@ mod tests {
         assert_eq!(t.nnz(), 4);
         assert_eq!(t.n_slices(), 2);
         let entries: Vec<_> = t.iter().collect();
-        assert_eq!(
-            entries,
-            [(0, 0, 1, 1.0), (0, 0, 3, 2.0), (0, 1, 0, 3.0), (1, 1, 2, 4.0)]
-        );
+        assert_eq!(entries, [(0, 0, 1, 1.0), (0, 0, 3, 2.0), (0, 1, 0, 3.0), (1, 1, 2, 4.0)]);
     }
 
     #[test]

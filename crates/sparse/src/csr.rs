@@ -47,10 +47,7 @@ impl<I: IndexValue> CsrMatrix<I> {
             return Err(FormatError::PtrBounds { expected: nrows + 1, got: ptr.len() });
         }
         if ptr[0] != 0 || ptr[nrows] as usize != vals.len() {
-            return Err(FormatError::PtrBounds {
-                expected: vals.len(),
-                got: ptr[nrows] as usize,
-            });
+            return Err(FormatError::PtrBounds { expected: vals.len(), got: ptr[nrows] as usize });
         }
         for r in 0..nrows {
             if ptr[r] > ptr[r + 1] {
@@ -103,14 +100,8 @@ impl<I: IndexValue> CsrMatrix<I> {
     /// # Errors
     /// Returns the violated invariant.
     pub fn validate(&self) -> Result<(), FormatError> {
-        Self::new(
-            self.nrows,
-            self.ncols,
-            self.ptr.clone(),
-            self.idcs.clone(),
-            self.vals.clone(),
-        )
-        .map(|_| ())
+        Self::new(self.nrows, self.ncols, self.ptr.clone(), self.idcs.clone(), self.vals.clone())
+            .map(|_| ())
     }
 
     /// Number of rows.
@@ -168,31 +159,24 @@ impl<I: IndexValue> CsrMatrix<I> {
     /// Iterates `(col, value)` of row `r`.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.row_range(r);
-        self.idcs[range.clone()]
-            .iter()
-            .zip(&self.vals[range])
-            .map(|(&c, &v)| (c.to_usize(), v))
+        self.idcs[range.clone()].iter().zip(&self.vals[range]).map(|(&c, &v)| (c.to_usize(), v))
     }
 
     /// Extracts row `r` as a standalone fiber.
     #[must_use]
     pub fn row_fiber(&self, r: usize) -> SparseFiber<I> {
         let range = self.row_range(r);
-        SparseFiber::new(
-            self.ncols,
-            self.idcs[range.clone()].to_vec(),
-            self.vals[range].to_vec(),
-        )
-        .expect("row of a valid matrix is valid")
+        SparseFiber::new(self.ncols, self.idcs[range.clone()].to_vec(), self.vals[range].to_vec())
+            .expect("row of a valid matrix is valid")
     }
 
     /// Densifies (rows of columns).
     #[must_use]
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.ncols]; self.nrows];
-        for r in 0..self.nrows {
+        for (r, row_out) in out.iter_mut().enumerate() {
             for (c, v) in self.row(r) {
-                out[r][c] += v;
+                row_out[c] += v;
             }
         }
         out
@@ -279,11 +263,7 @@ mod tests {
         // [[1, 0, 2],
         //  [0, 0, 0],
         //  [3, 4, 0]]
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
-        )
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
     }
 
     #[test]

@@ -112,10 +112,7 @@ impl DenseMatrix {
 /// is not expected.
 #[must_use]
 pub fn allclose(a: &[f64], b: &[f64], rtol: f64, atol: f64) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
 }
 
 #[cfg(test)]
@@ -135,7 +132,8 @@ mod tests {
         let mut m = DenseMatrix::with_pow2_stride(2, 3);
         m.set(1, 2, 7.0);
         assert_eq!(m.get(1, 2), 7.0);
-        assert_eq!(m.data()[1 * 4 + 2], 7.0);
+        // Row 1 starts at stride 4: element (1, 2) lives at flat index 6.
+        assert_eq!(m.data()[4 + 2], 7.0);
         assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
     }
 

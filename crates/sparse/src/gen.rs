@@ -134,11 +134,7 @@ pub fn csr_clustered<I: IndexValue>(
 /// A banded CSR matrix (`bandwidth` diagonals each side), modelling the
 /// stencil/PDE matrices common in SuiteSparse.
 #[must_use]
-pub fn csr_banded<I: IndexValue>(
-    rng: &mut StdRng,
-    n: usize,
-    bandwidth: usize,
-) -> CsrMatrix<I> {
+pub fn csr_banded<I: IndexValue>(rng: &mut StdRng, n: usize, bandwidth: usize) -> CsrMatrix<I> {
     let mut triplets = Vec::new();
     for r in 0..n {
         let lo = r.saturating_sub(bandwidth);
@@ -150,6 +146,43 @@ pub fn csr_banded<I: IndexValue>(
     CsrMatrix::from_triplets(n, n, &triplets)
 }
 
+/// Two sparse vectors over the same axis with a controlled index
+/// overlap: `overlap` (0..=1) is the fraction of the smaller nonzero
+/// count shared between the two index sets — the knob the sparse-sparse
+/// joiner sweeps (match density drives its emission rate).
+///
+/// # Panics
+/// Panics if the requested counts do not fit the dimension or `overlap`
+/// is outside `[0, 1]`.
+#[must_use]
+pub fn overlapping_pair<I: IndexValue>(
+    rng: &mut StdRng,
+    dim: usize,
+    nnz_a: usize,
+    nnz_b: usize,
+    overlap: f64,
+) -> (SparseFiber<I>, SparseFiber<I>) {
+    assert!((0.0..=1.0).contains(&overlap), "overlap must be a fraction");
+    let a = sparse_vector::<I>(rng, dim, nnz_a);
+    let shared = (overlap * nnz_a.min(nnz_b) as f64).round() as usize;
+    let fresh = nnz_b - shared;
+    assert!(fresh <= dim - nnz_a, "cannot place {fresh} distinct B-only indices in {dim}");
+    // Shared part: a uniform sample of A's index set.
+    let mut from_a: Vec<usize> = a.idcs().iter().map(|&i| i.to_usize()).collect();
+    from_a.partial_shuffle(rng, shared);
+    let mut idcs: Vec<usize> = from_a[..shared].to_vec();
+    // Fresh part: a uniform sample of the complement.
+    let in_a: std::collections::HashSet<usize> = a.idcs().iter().map(|&i| i.to_usize()).collect();
+    let mut complement: Vec<usize> = (0..dim).filter(|i| !in_a.contains(i)).collect();
+    complement.partial_shuffle(rng, fresh);
+    idcs.extend_from_slice(&complement[..fresh]);
+    idcs.sort_unstable();
+    let vals = (0..idcs.len()).map(|_| normal(rng)).collect();
+    let b = SparseFiber::new(dim, idcs.into_iter().map(I::from_usize).collect(), vals)
+        .expect("generated fiber is valid");
+    (a, b)
+}
+
 /// A codebook-compressed vector: `codes[i]` selects one of
 /// `codebook.len()` shared values (§III-C, codebook decoding).
 #[must_use]
@@ -159,8 +192,7 @@ pub fn codebook_vector<I: IndexValue>(
     codebook_size: usize,
 ) -> (Vec<f64>, Vec<I>) {
     let codebook: Vec<f64> = (0..codebook_size).map(|_| normal(rng)).collect();
-    let codes: Vec<I> =
-        (0..len).map(|_| I::from_usize(rng.gen_range(0..codebook_size))).collect();
+    let codes: Vec<I> = (0..len).map(|_| I::from_usize(rng.gen_range(0..codebook_size))).collect();
     (codebook, codes)
 }
 
@@ -175,7 +207,7 @@ mod tests {
         assert_eq!(f.nnz(), 100);
         let mut prev = None;
         for (i, _) in f.iter() {
-            assert!(prev.map_or(true, |p| p < i), "indices must be strictly increasing");
+            assert!(prev.is_none_or(|p| p < i), "indices must be strictly increasing");
             prev = Some(i);
         }
     }
@@ -206,6 +238,25 @@ mod tests {
         // Tridiagonal: 3n - 2 nonzeros.
         assert_eq!(m.nnz(), 28);
         assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn overlapping_pair_hits_target_overlap() {
+        let mut r = rng(13);
+        for overlap in [0.0, 0.25, 0.5, 1.0] {
+            let (a, b) = overlapping_pair::<u16>(&mut r, 2000, 200, 150, overlap);
+            assert_eq!(a.nnz(), 200);
+            assert_eq!(b.nnz(), 150);
+            let a_set: std::collections::HashSet<usize> = a.iter().map(|(i, _)| i).collect();
+            let shared = b.iter().filter(|(i, _)| a_set.contains(i)).count();
+            let expect = (overlap * 150.0).round() as usize;
+            assert_eq!(shared, expect, "overlap {overlap}");
+            let mut prev = None;
+            for (i, _) in b.iter() {
+                assert!(prev.is_none_or(|p| p < i), "B indices sorted unique");
+                prev = Some(i);
+            }
+        }
     }
 
     #[test]

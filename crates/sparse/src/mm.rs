@@ -53,7 +53,10 @@ pub fn read_matrix_market<I: IndexValue, R: BufRead>(reader: R) -> Result<CsrMat
         .and_then(|(n, l)| Ok((n, l?)))?;
     let header_lower = header.to_lowercase();
     if !header_lower.starts_with("%%matrixmarket") {
-        return Err(MmError::Parse { line: ln + 1, reason: "missing %%MatrixMarket header".into() });
+        return Err(MmError::Parse {
+            line: ln + 1,
+            reason: "missing %%MatrixMarket header".into(),
+        });
     }
     if !header_lower.contains("coordinate") {
         return Err(MmError::Unsupported("non-coordinate (dense array) format".into()));
@@ -76,11 +79,12 @@ pub fn read_matrix_market<I: IndexValue, R: BufRead>(reader: R) -> Result<CsrMat
     }
     let (ln, size_line) =
         size_line.ok_or(MmError::Parse { line: 0, reason: "missing size line".into() })?;
-    let dims: Vec<usize> = size_line
-        .split_whitespace()
-        .map(str::parse)
-        .collect::<Result<_, _>>()
-        .map_err(|e| MmError::Parse { line: ln + 1, reason: format!("size line: {e}") })?;
+    let dims: Vec<usize> =
+        size_line
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|e| MmError::Parse { line: ln + 1, reason: format!("size line: {e}") })?;
     if dims.len() != 3 {
         return Err(MmError::Parse { line: ln + 1, reason: "size line needs 3 fields".into() });
     }
@@ -145,11 +149,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let m = CsrMatrix::<u32>::from_triplets(
-            3,
-            4,
-            &[(0, 1, 1.5), (2, 0, -2.0), (2, 3, 0.25)],
-        );
+        let m = CsrMatrix::<u32>::from_triplets(3, 4, &[(0, 1, 1.5), (2, 0, -2.0), (2, 3, 0.25)]);
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &m).unwrap();
         let back: CsrMatrix<u32> = read_matrix_market(Cursor::new(&buf)).unwrap();

@@ -23,9 +23,7 @@ pub fn spvv<I: IndexValue>(a: &SparseFiber<I>, b: &[f64]) -> f64 {
 #[must_use]
 pub fn csrmv<I: IndexValue>(a: &CsrMatrix<I>, x: &[f64]) -> Vec<f64> {
     assert!(x.len() >= a.ncols(), "dense vector shorter than matrix columns");
-    (0..a.nrows())
-        .map(|r| a.row(r).map(|(c, v)| v * x[c]).sum())
-        .collect()
+    (0..a.nrows()).map(|r| a.row(r).map(|(c, v)| v * x[c]).sum()).collect()
 }
 
 /// CSR matrix × dense row-major matrix, `Y = A·B` (CsrMM).
@@ -44,6 +42,29 @@ pub fn csrmm<I: IndexValue>(a: &CsrMatrix<I>, b: &DenseMatrix) -> DenseMatrix {
         }
     }
     y
+}
+
+/// Sparse-sparse dot product over two sparse fibers (SpVV∩): the sum of
+/// `a_vals[i] · b_vals[j]` over all index matches `a_idcs[i] == b_idcs[j]`.
+#[must_use]
+pub fn spvv_ss<I: IndexValue>(a: &SparseFiber<I>, b: &SparseFiber<I>) -> f64 {
+    let b_vals: std::collections::HashMap<usize, f64> = b.iter().collect();
+    a.iter().filter_map(|(i, v)| b_vals.get(&i).map(|bv| v * bv)).sum()
+}
+
+/// Sparse matrix × sparse vector, `y = A·x` with sparse `x` (SpMSpV).
+/// Each output element is the sparse-sparse dot of one matrix row with
+/// `x`; the result is returned densely (`nrows` elements).
+///
+/// # Panics
+/// Panics if `x.dim() < a.ncols()`.
+#[must_use]
+pub fn spmspv<I: IndexValue>(a: &CsrMatrix<I>, x: &SparseFiber<I>) -> Vec<f64> {
+    assert!(x.dim() >= a.ncols(), "sparse vector shorter than matrix columns");
+    let x_vals: std::collections::HashMap<usize, f64> = x.iter().collect();
+    (0..a.nrows())
+        .map(|r| a.row(r).filter_map(|(c, v)| x_vals.get(&c).map(|xv| v * xv)).sum())
+        .collect()
 }
 
 /// Gather: `out[j] = data[idcs[j]]`.
@@ -82,11 +103,7 @@ pub fn codebook_spvv<I: IndexValue>(
     idcs: &[I],
     dense: &[f64],
 ) -> f64 {
-    codes
-        .iter()
-        .zip(idcs)
-        .map(|(&c, &i)| codebook[c.to_usize()] * dense[i.to_usize()])
-        .sum()
+    codes.iter().zip(idcs).map(|(&c, &i)| codebook[c.to_usize()] * dense[i.to_usize()]).sum()
 }
 
 #[cfg(test)]
@@ -99,6 +116,28 @@ mod tests {
         let a = SparseFiber::<u16>::new(4, vec![1, 3], vec![2.0, -1.0]).unwrap();
         let b = [10.0, 20.0, 30.0, 40.0];
         assert_eq!(spvv(&a, &b), 2.0 * 20.0 - 40.0);
+    }
+
+    #[test]
+    fn spvv_ss_counts_only_matches() {
+        let a = SparseFiber::<u16>::new(10, vec![1, 3, 7], vec![2.0, 4.0, 8.0]).unwrap();
+        let b = SparseFiber::<u16>::new(10, vec![0, 3, 7, 9], vec![1.0, 10.0, 100.0, 5.0]).unwrap();
+        assert_eq!(spvv_ss(&a, &b), 4.0 * 10.0 + 8.0 * 100.0);
+        let empty = SparseFiber::<u16>::new(10, vec![], vec![]).unwrap();
+        assert_eq!(spvv_ss(&a, &empty), 0.0);
+        assert_eq!(spvv_ss(&empty, &b), 0.0);
+    }
+
+    #[test]
+    fn spmspv_matches_densified_csrmv() {
+        let mut rng = gen::rng(31);
+        let m = gen::csr_uniform::<u16>(&mut rng, 20, 40, 120);
+        let x = gen::sparse_vector::<u16>(&mut rng, 40, 11);
+        let y = spmspv(&m, &x);
+        let dense = csrmv(&m, &x.to_dense());
+        for (a, b) in y.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
     }
 
     #[test]
@@ -127,8 +166,8 @@ mod tests {
         let y = csrmm(&a, &b);
         for c in 0..3 {
             let yc = csrmv(&a, &b.col(c));
-            for r in 0..10 {
-                assert!((y.get(r, c) - yc[r]).abs() < 1e-12);
+            for (r, &ycr) in yc.iter().enumerate() {
+                assert!((y.get(r, c) - ycr).abs() < 1e-12);
             }
         }
     }

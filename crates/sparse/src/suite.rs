@@ -212,6 +212,8 @@ mod tests {
 
     #[test]
     fn g7_is_denser_than_g11() {
-        assert!(by_name("g7").unwrap().avg_row_nnz() > 10.0 * by_name("g11").unwrap().avg_row_nnz());
+        assert!(
+            by_name("g7").unwrap().avg_row_nnz() > 10.0 * by_name("g11").unwrap().avg_row_nnz()
+        );
     }
 }

@@ -20,11 +20,7 @@ fn main() {
     let entries: Vec<([usize; 3], f64)> = (0..nnz)
         .map(|_| {
             (
-                [
-                    rng.gen_range(0..dims[0]),
-                    rng.gen_range(0..dims[1]),
-                    rng.gen_range(0..dims[2]),
-                ],
+                [rng.gen_range(0..dims[0]), rng.gen_range(0..dims[1]), rng.gen_range(0..dims[2])],
                 rng.gen_range(-1.0..1.0),
             )
         })
@@ -33,15 +29,19 @@ fn main() {
     let x = gen::dense_vector(&mut rng, dims[2]);
     println!(
         "TTV: {}x{}x{} CSF tensor, {} nonzeros in {} slices\n",
-        dims[0], dims[1], dims[2], t.nnz(), t.n_slices(),
+        dims[0],
+        dims[1],
+        dims[2],
+        t.nnz(),
+        t.n_slices(),
     );
     let expect = t.ttv(&x);
     for variant in [Variant::Base, Variant::Issr] {
         let run = run_csf_ttv(variant, &t, &x).expect("ttv finishes");
         let mut worst = 0.0f64;
-        for i in 0..dims[0] {
-            for j in 0..dims[1] {
-                worst = worst.max((run.y[i][j] - expect[i][j]).abs());
+        for (run_row, exp_row) in run.y.iter().zip(&expect) {
+            for (got, want) in run_row.iter().zip(exp_row) {
+                worst = worst.max((got - want).abs());
             }
         }
         assert!(worst < 1e-9, "max abs error {worst}");

@@ -22,7 +22,12 @@ fn main() {
     }
     println!(
         "CsrMM: {}x{} sparse ({} nnz) times {}x{} dense (stride {})\n",
-        m.nrows(), m.ncols(), m.nnz(), b.rows(), b.cols(), b.stride(),
+        m.nrows(),
+        m.ncols(),
+        m.nnz(),
+        b.rows(),
+        b.cols(),
+        b.stride(),
     );
     let expect = reference::csrmm(&m, &b);
     for variant in Variant::ALL {

@@ -9,6 +9,11 @@
 //! cluster), [`sparse`] (formats and workload generators), and the
 //! `issr-bench` binaries that regenerate the paper's figures.
 //!
+//! Beyond the paper, the streamer carries the SSSR-style sparse-sparse
+//! **index joiner** (arXiv:2305.05559): see [`core::joiner`] and the
+//! SpVV∩ / SpMSpV kernels in `kernels::spmspv` (`examples/spmspv.rs`
+//! walks through it; `issr-bench --bin joiner` sweeps it).
+//!
 //! # Examples
 //! ```
 //! use issr::kernels::spvv::run_spvv;

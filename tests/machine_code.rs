@@ -4,8 +4,9 @@
 
 use issr::isa::asm::Program;
 use issr::isa::{decode_all, encode_all};
+use issr::kernels::layout::{alloc_result, place_f64s, place_fiber, Arena};
+use issr::kernels::spmspv::{build_spvv_ss, SpvvSsAddrs};
 use issr::kernels::spvv::{build_spvv, SpvvAddrs};
-use issr::kernels::layout::{alloc_result, place_fiber, place_f64s, Arena};
 use issr::kernels::variant::Variant;
 use issr::snitch::cc::{SingleCcSim, SINGLE_CC_ARENA};
 use issr::sparse::gen;
@@ -54,4 +55,44 @@ fn encoded_kernel_executes_identically() {
     let (c2, r2) = run(decoded);
     assert_eq!(c1, c2, "cycle-exact equivalence");
     assert_eq!(r1.to_bits(), r2.to_bits(), "bit-exact result");
+}
+
+/// The joiner configuration (JOIN_* scfgwi writes, launch pointer)
+/// survives the binary encoding: the sparse-sparse kernel decoded from
+/// machine words runs cycle- and bit-identically.
+#[test]
+fn encoded_joiner_kernel_executes_identically() {
+    let mut rng = gen::rng(8888);
+    let (a, b) = gen::overlapping_pair::<u16>(&mut rng, 1024, 96, 96, 0.5);
+
+    let stage = || {
+        let mut arena = Arena::new(SINGLE_CC_ARENA, SingleCcSim::DEFAULT_MEM_BYTES / 2);
+        let mut staged = SingleCcSim::with_joiner(Program::default());
+        let a_addrs = place_fiber(&mut arena, staged.mem.array_mut(), &a);
+        let b_addrs = place_fiber(&mut arena, staged.mem.array_mut(), &b);
+        let out = alloc_result(&mut arena, 1);
+        (staged, SpvvSsAddrs { a: a_addrs, b: b_addrs, out })
+    };
+    let (_, addrs) = stage();
+    let typed = build_spvv_ss::<u16>(Variant::Issr, addrs);
+    let words = encode_all(typed.instrs());
+    let decoded = decode_all(&words).expect("every word decodes");
+    assert_eq!(decoded, typed.instrs(), "decode is the inverse of encode");
+
+    let run = |instrs: Vec<issr::isa::Instr>| {
+        let mut asm = issr::isa::Assembler::new();
+        for i in instrs {
+            asm.push(i);
+        }
+        let mut sim = SingleCcSim::with_joiner(asm.finish().expect("no labels left"));
+        sim.mem = stage().0.mem;
+        let summary = sim.run(100_000).expect("finishes");
+        (summary.cycles, sim.mem.array().load_f64(addrs.out))
+    };
+    let (c1, r1) = run(typed.instrs().to_vec());
+    let (c2, r2) = run(decoded);
+    assert_eq!(c1, c2, "cycle-exact equivalence");
+    assert_eq!(r1.to_bits(), r2.to_bits(), "bit-exact result");
+    let expect = issr::sparse::reference::spvv_ss(&a, &b);
+    assert!((r1 - expect).abs() < 1e-9 * expect.abs().max(1.0));
 }

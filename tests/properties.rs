@@ -47,6 +47,24 @@ proptest! {
     }
 
     #[test]
+    fn issr_spvv_ss_matches_reference(
+        a in fiber_strategy(256, 60),
+        b in fiber_strategy(256, 60),
+    ) {
+        let run = issr::kernels::spmspv::run_spvv_ss(Variant::Issr, &a, &b)
+            .expect("finishes");
+        let expect = reference::spvv_ss(&a, &b);
+        prop_assert!((run.result - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn issr_spmspv_matches_reference(m in csr_strategy(), x in fiber_strategy(48, 30)) {
+        let run = issr::kernels::spmspv::run_spmspv(Variant::Issr, &m, &x)
+            .expect("finishes");
+        prop_assert!(allclose(&run.y, &reference::spmspv(&m, &x), 1e-10, 1e-10));
+    }
+
+    #[test]
     fn scatter_then_gather_round_trips(fiber in fiber_strategy(128, 40)) {
         let scattered = run_scatter(128, fiber.idcs(), fiber.vals()).expect("finishes");
         prop_assert_eq!(
