@@ -1,0 +1,112 @@
+//! Reports the sparse-output subsystem: row-wise Gustavson SpGEMM,
+//! SpAcc hardware expansion vs. the software merge, across sparsity
+//! regimes, plus per-unit SpAcc activity and the cluster version.
+//!
+//! Pass `--smoke` for the scaled-down CI sweep. Either way the run
+//! asserts ISSR ≥ 3x over BASE on every regime, so a performance
+//! regression fails the process (the CI gate), not just the tables.
+
+use issr_bench::figures::{
+    cluster_spgemm_report, default_spgemm_regimes, smoke_spgemm_regimes, spgemm_sweep,
+};
+use issr_bench::report::markdown_table;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let regimes = if smoke { smoke_spgemm_regimes() } else { default_spgemm_regimes() };
+
+    let rows = spgemm_sweep(&regimes);
+    for r in &rows {
+        assert!(
+            r.speedup16() > 3.0 && r.speedup32() > 3.0,
+            "{}: SpGEMM speedup regression (16-bit {:.2}x, 32-bit {:.2}x; floor 3x)",
+            r.regime.label,
+            r.speedup16(),
+            r.speedup32(),
+        );
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.label.to_owned(),
+                format!("{}x{}x{}", r.regime.nrows, r.regime.inner, r.regime.ncols),
+                format!("{}/{}", r.regime.a_row_nnz, r.regime.b_row_nnz),
+                r.base16.to_string(),
+                r.issr16.to_string(),
+                format!("{:.2}x", r.speedup16()),
+                r.base32.to_string(),
+                r.issr32.to_string(),
+                format!("{:.2}x", r.speedup32()),
+            ]
+        })
+        .collect();
+    println!("SpGEMM — row-wise Gustavson, SpAcc subsystem vs software merge\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "regime", "shape", "nnz/row", "BASE-16", "ISSR-16", "speedup", "BASE-32",
+                "ISSR-32", "speedup"
+            ],
+            &table
+        )
+    );
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.label.to_owned(),
+                r.spacc.feeds.to_string(),
+                r.spacc.pairs_in.to_string(),
+                r.spacc.merges.to_string(),
+                r.spacc.steps.to_string(),
+                r.spacc.drains.to_string(),
+                r.spacc.out_words.to_string(),
+                r.spacc.peak_nnz.to_string(),
+            ]
+        })
+        .collect();
+    println!("SpAcc unit activity (ISSR-16 runs)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["regime", "feeds", "pairs", "merges", "steps", "drains", "out words", "peak nnz"],
+            &table
+        )
+    );
+
+    let cluster = cluster_spgemm_report(regimes[regimes.len() - 1]);
+    println!(
+        "cluster SpGEMM ({}): BASE {} cycles, ISSR {} cycles ({:.2}x)\n",
+        cluster.regime.label,
+        cluster.base_cycles,
+        cluster.issr_cycles,
+        cluster.base_cycles as f64 / cluster.issr_cycles as f64,
+    );
+    let table: Vec<Vec<String>> = cluster
+        .spacc
+        .iter()
+        .enumerate()
+        .map(|(h, s)| {
+            vec![
+                h.to_string(),
+                s.feeds.to_string(),
+                s.pairs_in.to_string(),
+                s.merges.to_string(),
+                s.drains.to_string(),
+                s.out_words.to_string(),
+                s.peak_nnz.to_string(),
+            ]
+        })
+        .collect();
+    println!("per-worker SpAcc units (cluster ISSR run)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["worker", "feeds", "pairs", "merges", "drains", "out words", "peak nnz"],
+            &table
+        )
+    );
+}

@@ -1,8 +1,11 @@
 //! The per-figure experiment runners.
 
+use issr_core::spacc::SpAccStats;
 use issr_kernels::cluster_csrmv::run_cluster_csrmv;
+use issr_kernels::cluster_spgemm::run_cluster_spgemm;
 use issr_kernels::csrmm::run_csrmm;
 use issr_kernels::csrmv::run_csrmv;
+use issr_kernels::spgemm::run_spgemm;
 use issr_kernels::spmspv::{run_spmspv, run_spvv_ss};
 use issr_kernels::spvv::run_spvv;
 use issr_kernels::variant::Variant;
@@ -366,6 +369,187 @@ pub fn default_overlap_sweep() -> Vec<f64> {
     vec![0.0, 0.125, 0.25, 0.5, 0.75, 1.0]
 }
 
+/// One sparsity regime of the SpGEMM sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SpgemmRegime {
+    /// Display name.
+    pub label: &'static str,
+    /// Rows of A (= rows of C).
+    pub nrows: usize,
+    /// Inner dimension (columns of A, rows of B).
+    pub inner: usize,
+    /// Columns of B (= columns of C).
+    pub ncols: usize,
+    /// Nonzeros per A row.
+    pub a_row_nnz: usize,
+    /// Nonzeros per B row.
+    pub b_row_nnz: usize,
+}
+
+/// One row of the SpGEMM sweep: BASE vs. ISSR cycles per index width
+/// plus the ISSR-16 run's SpAcc unit activity.
+#[derive(Clone, Copy, Debug)]
+pub struct SpgemmRow {
+    /// The regime swept.
+    pub regime: SpgemmRegime,
+    /// BASE (software merge) ROI cycles, 16-bit indices.
+    pub base16: u64,
+    /// ISSR (SpAcc subsystem) ROI cycles, 16-bit indices.
+    pub issr16: u64,
+    /// BASE ROI cycles, 32-bit indices.
+    pub base32: u64,
+    /// ISSR ROI cycles, 32-bit indices.
+    pub issr32: u64,
+    /// SpAcc statistics of the ISSR-16 run.
+    pub spacc: SpAccStats,
+}
+
+impl SpgemmRow {
+    /// SpAcc-subsystem speedup over the software merge, 16-bit indices.
+    #[must_use]
+    pub fn speedup16(&self) -> f64 {
+        self.base16 as f64 / self.issr16 as f64
+    }
+
+    /// SpAcc-subsystem speedup over the software merge, 32-bit indices.
+    #[must_use]
+    pub fn speedup32(&self) -> f64 {
+        self.base32 as f64 / self.issr32 as f64
+    }
+}
+
+/// SpGEMM: SpAcc subsystem vs. software merge across sparsity regimes.
+#[must_use]
+pub fn spgemm_sweep(regimes: &[SpgemmRegime]) -> Vec<SpgemmRow> {
+    regimes
+        .iter()
+        .map(|&regime| {
+            let mut rng = gen::rng(0x000F_1650 + regime.b_row_nnz as u64);
+            let a32 = gen::csr_fixed_row_nnz::<u32>(
+                &mut rng,
+                regime.nrows,
+                regime.inner,
+                regime.a_row_nnz,
+            );
+            let b32 = gen::csr_fixed_row_nnz::<u32>(
+                &mut rng,
+                regime.inner,
+                regime.ncols,
+                regime.b_row_nnz,
+            );
+            let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+            let base16 = run_spgemm(Variant::Base, &a16, &b16).expect("base16 run");
+            let issr16 = run_spgemm(Variant::Issr, &a16, &b16).expect("issr16 run");
+            let base32 = run_spgemm(Variant::Base, &a32, &b32).expect("base32 run");
+            let issr32 = run_spgemm(Variant::Issr, &a32, &b32).expect("issr32 run");
+            SpgemmRow {
+                regime,
+                base16: base16.summary.metrics.roi.cycles,
+                issr16: issr16.summary.metrics.roi.cycles,
+                base32: base32.summary.metrics.roi.cycles,
+                issr32: issr32.summary.metrics.roi.cycles,
+                spacc: issr16.summary.spacc_stats,
+            }
+        })
+        .collect()
+}
+
+/// Per-worker SpAcc activity of one cluster SpGEMM run (ISSR variant)
+/// on the given regime, plus the BASE/ISSR cluster cycle counts.
+#[derive(Clone, Debug)]
+pub struct ClusterSpgemmReport {
+    /// The regime run.
+    pub regime: SpgemmRegime,
+    /// BASE cluster cycles.
+    pub base_cycles: u64,
+    /// ISSR cluster cycles.
+    pub issr_cycles: u64,
+    /// Per-worker SpAcc statistics of the ISSR run.
+    pub spacc: Vec<SpAccStats>,
+}
+
+/// Runs cluster SpGEMM (both variants) on one regime.
+#[must_use]
+pub fn cluster_spgemm_report(regime: SpgemmRegime) -> ClusterSpgemmReport {
+    let mut rng = gen::rng(0x000F_1651);
+    let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, regime.nrows, regime.inner, regime.a_row_nnz);
+    let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, regime.inner, regime.ncols, regime.b_row_nnz);
+    let base = run_cluster_spgemm(Variant::Base, &a, &b).expect("base cluster run");
+    let issr = run_cluster_spgemm(Variant::Issr, &a, &b).expect("issr cluster run");
+    ClusterSpgemmReport {
+        regime,
+        base_cycles: base.summary.cycles,
+        issr_cycles: issr.summary.cycles,
+        spacc: issr.summary.spacc_stats,
+    }
+}
+
+/// The three sparsity regimes the SpGEMM binary sweeps: hypersparse
+/// (tiny expansions, fixed overheads dominate), moderate (typical
+/// graph/FEM-like fill), and dense-row (long accumulations, steady-state
+/// merge throughput).
+#[must_use]
+pub fn default_spgemm_regimes() -> Vec<SpgemmRegime> {
+    vec![
+        SpgemmRegime {
+            label: "hypersparse",
+            nrows: 32,
+            inner: 64,
+            ncols: 96,
+            a_row_nnz: 4,
+            b_row_nnz: 4,
+        },
+        SpgemmRegime {
+            label: "moderate",
+            nrows: 24,
+            inner: 64,
+            ncols: 256,
+            a_row_nnz: 4,
+            b_row_nnz: 24,
+        },
+        SpgemmRegime {
+            label: "dense-rows",
+            nrows: 16,
+            inner: 64,
+            ncols: 512,
+            a_row_nnz: 8,
+            b_row_nnz: 48,
+        },
+    ]
+}
+
+/// Smaller regimes for the CI smoke run (same three shapes, scaled
+/// down so the sweep finishes in seconds).
+#[must_use]
+pub fn smoke_spgemm_regimes() -> Vec<SpgemmRegime> {
+    vec![
+        SpgemmRegime {
+            label: "hypersparse",
+            nrows: 12,
+            inner: 24,
+            ncols: 32,
+            a_row_nnz: 2,
+            b_row_nnz: 3,
+        },
+        SpgemmRegime {
+            label: "moderate",
+            nrows: 10,
+            inner: 24,
+            ncols: 64,
+            a_row_nnz: 3,
+            b_row_nnz: 10,
+        },
+        SpgemmRegime {
+            label: "dense-rows",
+            nrows: 8,
+            inner: 24,
+            ncols: 128,
+            a_row_nnz: 4,
+            b_row_nnz: 20,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +575,27 @@ mod tests {
     fn csrmm_check_small_delta() {
         let row = csrmm_check("ragusa18", 2);
         assert!(row.delta < 0.02, "delta {}", row.delta);
+    }
+
+    /// The acceptance bar of the sparse-output subsystem: ISSR SpGEMM
+    /// at least 3x over the software merge on every default regime.
+    #[test]
+    fn spgemm_issr_beats_base_on_every_regime() {
+        for row in spgemm_sweep(&smoke_spgemm_regimes()) {
+            assert!(
+                row.speedup16() > 3.0,
+                "{}: SpGEMM-16 speedup {:.2}",
+                row.regime.label,
+                row.speedup16()
+            );
+            assert!(
+                row.speedup32() > 3.0,
+                "{}: SpGEMM-32 speedup {:.2}",
+                row.regime.label,
+                row.speedup32()
+            );
+            assert!(row.spacc.pairs_in > 0, "SpAcc must carry the expansion");
+        }
     }
 
     #[test]

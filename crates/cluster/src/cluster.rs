@@ -1,6 +1,7 @@
 //! The cluster model and its run harness.
 
 use issr_core::lane::LaneStats;
+use issr_core::spacc::SpAccStats;
 use issr_isa::asm::Program;
 use issr_mem::dma::{Dma, DmaStats};
 use issr_mem::icache::{ICacheParams, L0Buffer, L1ICache};
@@ -9,6 +10,7 @@ use issr_mem::map::{region_of, Region, MAIN_BASE, MAIN_SIZE, TCDM_BANKS, TCDM_BA
 use issr_mem::port::MemPort;
 use issr_mem::tcdm::{Tcdm, TcdmStats};
 use issr_snitch::cc::{CoreComplex, SimTimeout};
+use issr_snitch::core::Trap;
 use issr_snitch::metrics::Metrics;
 use issr_snitch::params::CcParams;
 
@@ -22,11 +24,15 @@ pub struct ClusterParams {
     /// Model instruction caches (L0 + per-hive shared L1); when false,
     /// instruction fetch is ideal.
     pub icache: bool,
+    /// Give every worker the sparse-sparse streamer (index joiner +
+    /// SpAcc) instead of the paper's plain SSR + ISSR pair — the
+    /// configuration the cluster SpMSpV/SpGEMM kernels run on.
+    pub sssr: bool,
 }
 
 impl Default for ClusterParams {
     fn default() -> Self {
-        Self { n_workers: 8, cc: CcParams::default(), icache: true }
+        Self { n_workers: 8, cc: CcParams::default(), icache: true, sssr: false }
     }
 }
 
@@ -41,10 +47,16 @@ pub struct ClusterSummary {
     pub dmcc_metrics: Metrics,
     /// Per-worker streamer lane statistics.
     pub lane_stats: Vec<Vec<LaneStats>>,
+    /// Per-worker sparse-accumulator statistics (all zero without SpAcc
+    /// hardware).
+    pub spacc_stats: Vec<SpAccStats>,
     /// TCDM statistics (grants, conflicts).
     pub tcdm_stats: TcdmStats,
     /// DMA statistics.
     pub dma_stats: DmaStats,
+    /// Decode/fetch traps that parked cores (workers and DMCC alike);
+    /// empty on a clean run.
+    pub traps: Vec<Trap>,
 }
 
 impl ClusterSummary {
@@ -98,7 +110,13 @@ impl Cluster {
         let icache_params = ICacheParams::default();
         let mut workers = Vec::with_capacity(params.n_workers);
         for hart in 0..params.n_workers {
-            let mut cc = CoreComplex::new(hart as u32, program.clone(), params.cc);
+            let streamer = if params.sssr {
+                issr_core::streamer::Streamer::sssr_config()
+            } else {
+                issr_core::streamer::Streamer::paper_config()
+            };
+            let mut cc =
+                CoreComplex::with_streamer(hart as u32, program.clone(), params.cc, streamer);
             if params.icache {
                 cc.set_l0(L0Buffer::new(icache_params));
             }
@@ -224,8 +242,15 @@ impl Cluster {
             worker_metrics: self.workers.iter().map(|cc| cc.metrics).collect(),
             dmcc_metrics: self.dmcc.metrics,
             lane_stats: self.workers.iter().map(|cc| cc.streamer.stats()).collect(),
+            spacc_stats: self.workers.iter().map(|cc| cc.streamer.spacc_stats()).collect(),
             tcdm_stats: self.tcdm.stats(),
             dma_stats: self.dma.stats(),
+            traps: self
+                .workers
+                .iter()
+                .chain(std::iter::once(&self.dmcc))
+                .filter_map(|cc| cc.core.trap())
+                .collect(),
         }
     }
 }

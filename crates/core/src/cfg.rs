@@ -46,6 +46,25 @@ pub mod reg {
     /// Joiner status: pairs emitted by the most recent joiner job
     /// (streamer-level, read-only).
     pub const JOIN_COUNT: u16 = 29;
+    /// Sparse-accumulator configuration: bit 0 index size (0 = 16-bit,
+    /// 1 = 32-bit).
+    pub const ACC_CFG: u16 = 30;
+    /// Element count of the next SpAcc feed job.
+    pub const ACC_COUNT: u16 = 31;
+    /// SpAcc feed launch: writing the input index-array address starts a
+    /// feed job pairing those indices with values pushed to the write
+    /// stream of the SpAcc's lane.
+    pub const ACC_FEED: u16 = 32;
+    /// Value output base address for the next SpAcc drain (8-aligned).
+    pub const ACC_VAL_OUT: u16 = 33;
+    /// SpAcc drain launch: writing the output index-array address drains
+    /// the accumulated row as (idcs[], vals[]) and clears the buffer.
+    pub const ACC_DRAIN: u16 = 34;
+    /// SpAcc row occupancy (read-only; stable only while the unit is
+    /// idle — poll [`ACC_STATUS`] first).
+    pub const ACC_NNZ: u16 = 35;
+    /// SpAcc status word: bit 0 = done/idle, bit 1 = busy (read-only).
+    pub const ACC_STATUS: u16 = 36;
 }
 
 /// Builds an `scfgwi`/`scfgri` address from a register and lane index.
@@ -83,6 +102,12 @@ pub struct CfgShadow {
     pub join_nnz_a: u32,
     /// B-side element count for joiner jobs.
     pub join_nnz_b: u32,
+    /// Raw sparse-accumulator configuration word.
+    pub acc_cfg: u32,
+    /// Element count of the next SpAcc feed job.
+    pub acc_count: u32,
+    /// Value output base of the next SpAcc drain.
+    pub acc_val_out: u32,
 }
 
 impl CfgShadow {
@@ -134,6 +159,25 @@ impl CfgShadow {
         }
     }
 
+    /// Whether the joiner runs in count-only mode: the merge executes
+    /// without fetching or emitting values, leaving the emission count
+    /// in `JOIN_COUNT` (the length-prefix handshake for data-dependent
+    /// trip counts).
+    #[must_use]
+    pub fn join_count_only(&self) -> bool {
+        self.join_cfg & 0x10 != 0
+    }
+
+    /// Configured sparse-accumulator index width.
+    #[must_use]
+    pub fn acc_index_size(&self) -> IndexSize {
+        if self.acc_cfg & 1 != 0 {
+            IndexSize::U32
+        } else {
+            IndexSize::U16
+        }
+    }
+
     /// Reads a shadow register (the value `scfgri` returns).
     #[must_use]
     pub fn read(&self, register: u16) -> u32 {
@@ -148,6 +192,9 @@ impl CfgShadow {
             reg::JOIN_DATA_B => self.join_data_b,
             reg::JOIN_NNZ_A => self.join_nnz_a,
             reg::JOIN_NNZ_B => self.join_nnz_b,
+            reg::ACC_CFG => self.acc_cfg,
+            reg::ACC_COUNT => self.acc_count,
+            reg::ACC_VAL_OUT => self.acc_val_out,
             _ => 0,
         }
     }
@@ -170,6 +217,9 @@ impl CfgShadow {
             reg::JOIN_DATA_B => self.join_data_b = value,
             reg::JOIN_NNZ_A => self.join_nnz_a = value,
             reg::JOIN_NNZ_B => self.join_nnz_b = value,
+            reg::ACC_CFG => self.acc_cfg = value,
+            reg::ACC_COUNT => self.acc_count = value,
+            reg::ACC_VAL_OUT => self.acc_val_out = value,
             _ => {}
         }
     }
@@ -305,6 +355,9 @@ pub struct JoinerSpec {
     pub mode: JoinerMode,
     /// Index width shared by both streams.
     pub idx_size: IndexSize,
+    /// Count-only mode: run the merge without value traffic, leaving the
+    /// emission count in `JOIN_COUNT`.
+    pub count_only: bool,
     /// A-side index array byte address.
     pub idx_a: u32,
     /// A-side value array base address.
@@ -326,6 +379,7 @@ impl JoinerSpec {
         Self {
             mode: shadow.join_mode(),
             idx_size: shadow.join_index_size(),
+            count_only: shadow.join_count_only(),
             idx_a,
             vals_a: shadow.data_base,
             count_a: u64::from(shadow.join_nnz_a),
@@ -333,6 +387,49 @@ impl JoinerSpec {
             vals_b: shadow.join_data_b,
             count_b: u64::from(shadow.join_nnz_b),
         }
+    }
+}
+
+/// A fully-specified SpAcc *feed* job, decoded from the shadow registers
+/// at `ACC_FEED` write time (the pointer carries the input index array).
+/// The job consumes `count` indices from memory and pairs them, in
+/// order, with `count` values pushed into the SpAcc lane's write stream.
+#[derive(Clone, Copy, Debug)]
+pub struct AccFeedSpec {
+    /// Input index array byte address (element aligned).
+    pub idx_base: u32,
+    /// Number of (index, value) pairs to merge (may be zero).
+    pub count: u64,
+    /// Index width.
+    pub idx_size: IndexSize,
+}
+
+impl AccFeedSpec {
+    /// Decodes a feed job from the shadow state and the pointer write.
+    #[must_use]
+    pub fn from_shadow(shadow: &CfgShadow, idx_base: u32) -> Self {
+        Self { idx_base, count: u64::from(shadow.acc_count), idx_size: shadow.acc_index_size() }
+    }
+}
+
+/// A fully-specified SpAcc *drain* job, decoded at `ACC_DRAIN` write
+/// time (the pointer carries the output index array address).
+#[derive(Clone, Copy, Debug)]
+pub struct AccDrainSpec {
+    /// Output index array byte address (element aligned; word alignment
+    /// not required — partial words are written with byte strobes).
+    pub idx_out: u32,
+    /// Output value array base address (8-aligned).
+    pub val_out: u32,
+    /// Index width.
+    pub idx_size: IndexSize,
+}
+
+impl AccDrainSpec {
+    /// Decodes a drain job from the shadow state and the pointer write.
+    #[must_use]
+    pub fn from_shadow(shadow: &CfgShadow, idx_out: u32) -> Self {
+        Self { idx_out, val_out: shadow.acc_val_out, idx_size: shadow.acc_index_size() }
     }
 }
 
@@ -349,6 +446,24 @@ pub fn join_cfg_word(mode: JoinerMode, size: IndexSize) -> u32 {
         IndexSize::U32 => 8,
     };
     1 | (mode_bits << 1) | size_bit
+}
+
+/// Encodes the `JOIN_CFG` register value for a count-only job: the
+/// merge runs without value traffic and `JOIN_COUNT` reports how many
+/// pairs a real job would emit — the length-prefix handshake that turns
+/// `Intersect`'s data-dependent output into a static FREP trip count.
+#[must_use]
+pub fn join_count_cfg_word(mode: JoinerMode, size: IndexSize) -> u32 {
+    join_cfg_word(mode, size) | 0x10
+}
+
+/// Encodes the `ACC_CFG` register value.
+#[must_use]
+pub fn acc_cfg_word(size: IndexSize) -> u32 {
+    match size {
+        IndexSize::U16 => 0,
+        IndexSize::U32 => 1,
+    }
 }
 
 /// Encodes the `IDX_CFG` register value.
@@ -462,6 +577,39 @@ mod tests {
         assert_eq!(spec.idx_b, 0x0010_2000);
         assert_eq!(spec.vals_b, 0x0010_3000);
         assert_eq!(spec.count_b, 0);
+    }
+
+    #[test]
+    fn count_only_joiner_cfg_round_trips() {
+        let mut s = CfgShadow::default();
+        s.write(reg::JOIN_CFG, join_count_cfg_word(JoinerMode::Intersect, IndexSize::U32));
+        assert!(s.join_enabled());
+        assert!(s.join_count_only());
+        assert_eq!(s.join_mode(), JoinerMode::Intersect);
+        assert_eq!(s.join_index_size(), IndexSize::U32);
+        let spec = JoinerSpec::from_shadow(&s, 0);
+        assert!(spec.count_only);
+        s.write(reg::JOIN_CFG, join_cfg_word(JoinerMode::Intersect, IndexSize::U32));
+        assert!(!s.join_count_only());
+    }
+
+    #[test]
+    fn spacc_job_decode() {
+        let mut s = CfgShadow::default();
+        s.write(reg::ACC_CFG, acc_cfg_word(IndexSize::U32));
+        s.write(reg::ACC_COUNT, 17);
+        s.write(reg::ACC_VAL_OUT, 0x0030_8000);
+        assert_eq!(s.read(reg::ACC_COUNT), 17);
+        assert_eq!(s.acc_index_size(), IndexSize::U32);
+        let feed = AccFeedSpec::from_shadow(&s, 0x0030_1004);
+        assert_eq!(feed.idx_base, 0x0030_1004);
+        assert_eq!(feed.count, 17);
+        assert_eq!(feed.idx_size, IndexSize::U32);
+        let drain = AccDrainSpec::from_shadow(&s, 0x0030_4002);
+        assert_eq!(drain.idx_out, 0x0030_4002);
+        assert_eq!(drain.val_out, 0x0030_8000);
+        assert_eq!(drain.idx_size, IndexSize::U32);
+        assert_eq!(CfgShadow::default().acc_index_size(), IndexSize::U16);
     }
 
     #[test]

@@ -267,6 +267,9 @@ impl Side {
 #[derive(Debug)]
 pub struct IndexJoiner {
     mode: JoinerMode,
+    /// Count-only job: merge without value traffic (length-prefix
+    /// handshake — the emission count lands in `JOIN_COUNT`).
+    count_only: bool,
     a: Side,
     b: Side,
     /// Set once the merge has reached its terminal condition; remaining
@@ -281,6 +284,7 @@ impl IndexJoiner {
     pub fn new(spec: &JoinerSpec) -> Self {
         Self {
             mode: spec.mode,
+            count_only: spec.count_only,
             a: Side::new(spec.idx_a, spec.vals_a, spec.count_a, spec.idx_size),
             b: Side::new(spec.idx_b, spec.vals_b, spec.count_b, spec.idx_size),
             done_stepping: false,
@@ -352,7 +356,8 @@ impl IndexJoiner {
             return;
         }
         let (a_head, b_head) = (self.a.head, self.b.head);
-        let pair_slots = self.a.can_emit() && self.b.can_emit();
+        // Count-only jobs emit nothing, so slots are never the limit.
+        let pair_slots = self.count_only || (self.a.can_emit() && self.b.can_emit());
         match self.mode {
             JoinerMode::Intersect => match (a_head, b_head) {
                 _ if self.a.exhausted() || self.b.exhausted() => {
@@ -435,8 +440,13 @@ impl IndexJoiner {
     }
 
     /// Emits one output pair; a side fetches its value at the current
-    /// head position when selected, and zero-fills otherwise.
+    /// head position when selected, and zero-fills otherwise. Count-only
+    /// jobs only tally the emission.
     fn emit_pair(&mut self, a_selected: bool, b_selected: bool) {
+        if self.count_only {
+            self.stats.emissions += 1;
+            return;
+        }
         if a_selected {
             let pos = self.a.head_pos();
             self.a.emit_fetch(pos);
@@ -494,6 +504,7 @@ mod tests {
             tcdm.array_mut().store_u64(VALS_B + j * 8, 2000 + u64::from(j));
         }
         let spec = JoinerSpec {
+            count_only: false,
             mode,
             idx_size: size,
             idx_a: IDX_A,
@@ -653,6 +664,7 @@ mod tests {
             tcdm.array_mut().store_u64(VALS_B + j * 8, 200 + u64::from(j));
         }
         let spec = JoinerSpec {
+            count_only: false,
             mode: JoinerMode::Intersect,
             idx_size: IndexSize::U16,
             idx_a: IDX_A + 6,
@@ -697,6 +709,7 @@ mod tests {
             tcdm.array_mut().store_u64(VALS_B + j * 8, 2000 + u64::from(j));
         }
         let spec = JoinerSpec {
+            count_only: false,
             mode: JoinerMode::Intersect,
             idx_size: IndexSize::U16,
             idx_a: IDX_A,

@@ -321,6 +321,15 @@ impl Lane {
         self.data_fifo.push((value, 0));
     }
 
+    /// Consumes one value from the *write* stream on the streamer side —
+    /// the path the sparse accumulator uses to pair FPU results with its
+    /// index stream while the lane itself runs no job. Returns `None`
+    /// when the FIFO is empty.
+    pub fn take_write(&mut self) -> Option<u64> {
+        debug_assert!(self.job.is_none(), "write-stream takeover while a lane job is running");
+        self.data_fifo.pop().map(|(value, _)| value)
+    }
+
     // ---- cycle behaviour ----
 
     /// Advances the lane by one cycle against its memory port.

@@ -20,6 +20,10 @@
 //!   (arXiv:2305.05559): an index comparator that intersects, unions or
 //!   left-joins two sparse index streams and feeds matched value pairs
 //!   to the register file ([`joiner`]),
+//! * the **sparse accumulator** (SpAcc): the symmetric write-stream
+//!   unit, a union-merging sparse output builder that turns a lane's
+//!   write stream into compressed (idcs[], vals[]) rows — the builder
+//!   row-wise SpGEMM needs ([`spacc`]),
 //! * the lane bundle mapped onto the FP register file ([`streamer`]).
 //!
 //! The streamer is platform-agnostic, exactly as the paper argues: it
@@ -35,15 +39,17 @@ pub mod fifo;
 pub mod joiner;
 pub mod lane;
 pub mod serializer;
+pub mod spacc;
 pub mod streamer;
 
 pub use affine::{AffineIterator, MAX_DIMS};
 pub use cfg::{
-    cfg_addr, idx_cfg_word, join_cfg_word, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec,
-    Pattern,
+    acc_cfg_word, cfg_addr, idx_cfg_word, join_cfg_word, join_count_cfg_word, AccDrainSpec,
+    AccFeedSpec, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec, Pattern,
 };
 pub use fifo::Fifo;
 pub use joiner::{IndexJoiner, JoinerStats, JOIN_OUT_DEPTH};
 pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};
 pub use serializer::{IndexSerializer, IndexSize};
+pub use spacc::{SpAcc, SpAccStats, SPACC_LANE};
 pub use streamer::Streamer;

@@ -1,0 +1,602 @@
+//! The sparse accumulator (SpAcc): the write-stream side of the
+//! sparse-sparse subsystem.
+//!
+//! Where the [`crate::joiner`] makes the *read* side of a lane pair
+//! stream-semantic over two sparse operands, the SpAcc does the same for
+//! the *write* side: it turns a lane's write stream into a **sparse
+//! output builder**, the missing piece between the joiner's merge
+//! primitives and row-wise Gustavson SpGEMM (cf. SparseZipper,
+//! arXiv:2502.11353, and the symmetric write streamer of the SSSR
+//! follow-up, arXiv:2305.05559). Two job kinds, launched through the
+//! `ACC_*` shadow registers and sequenced in order through the familiar
+//! one-deep shadow queue:
+//!
+//! * a **feed** job pairs `count` indices — fetched from memory over the
+//!   lane port with the lane's own word-fetch / decoupling-FIFO /
+//!   [`IndexSerializer`] machinery — with `count` values arriving
+//!   through the mapped write-stream register, and merges the resulting
+//!   (index, value) stream into an internal *row buffer*. The merge is
+//!   the joiner's `Union` datapath pointed at the buffer: one comparator
+//!   step per cycle walks the (sorted) buffer and the (sorted) incoming
+//!   stream together, adding values on index matches and inserting
+//!   otherwise, so duplicate indices merge **on the fly** and the buffer
+//!   stays sorted and duplicate-free. Back-pressure is natural: a stalled
+//!   merge stops popping the write FIFO, which stalls the FPU's stream
+//!   writes exactly like a busy write job;
+//! * a **drain** job streams the buffer out as a compressed row —
+//!   `idcs[]` packed into 64-bit words (byte strobes cover partial words
+//!   at unaligned row boundaries) followed by `vals[]` — at one memory
+//!   word per cycle through the same port, then clears the buffer for
+//!   the next row. The row length is read back through `ACC_NNZ`, giving
+//!   kernels the data-dependent nonzero count they need to build CSR row
+//!   pointers (grow-and-pack).
+//!
+//! Feed input must be sorted (non-decreasing) *within* one job, as every
+//! CSR row expansion naturally is; separate feed jobs may overlap
+//! arbitrarily — that is exactly the accumulation case the merge exists
+//! for.
+
+use crate::affine::AffineIterator;
+use crate::cfg::{AccDrainSpec, AccFeedSpec};
+use crate::fifo::Fifo;
+use crate::lane::{Lane, IDX_FIFO_DEPTH};
+use crate::serializer::{IndexSerializer, IndexSize};
+use issr_mem::port::{MemPort, MemReq};
+use std::collections::VecDeque;
+
+/// The streamer lane whose port and write stream the SpAcc borrows
+/// (lane 1, mirroring the joiner's span over lanes 0/1: reads arrive on
+/// the pair, the compressed row leaves through the indirection lane).
+pub const SPACC_LANE: usize = 1;
+
+/// Activity counters of the sparse accumulator, for verification and
+/// the benchmark reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpAccStats {
+    /// Feed jobs completed.
+    pub feeds: u64,
+    /// Drain jobs completed.
+    pub drains: u64,
+    /// (index, value) pairs consumed from the input streams.
+    pub pairs_in: u64,
+    /// Pairs whose index hit an existing entry (merged with an add).
+    pub merges: u64,
+    /// Comparator merge steps (pair consumption and buffer walks).
+    pub steps: u64,
+    /// Index words fetched for feed jobs.
+    pub idx_words: u64,
+    /// Memory words written by drain jobs.
+    pub out_words: u64,
+    /// High-water row-buffer occupancy.
+    pub peak_nnz: u64,
+}
+
+/// A queued SpAcc job.
+#[derive(Clone, Copy, Debug)]
+enum AccJob {
+    Feed(AccFeedSpec),
+    Drain(AccDrainSpec),
+}
+
+/// An in-flight feed job: index fetch state plus the two-cursor merge.
+#[derive(Debug)]
+struct FeedRun {
+    word_it: AffineIterator,
+    idx_fifo: Fifo<u64>,
+    serializer: IndexSerializer,
+    outstanding_idx: usize,
+    idx_size: IndexSize,
+    /// Head of the incoming index stream, if pulled.
+    head: Option<u32>,
+    /// Head of the incoming value stream, if pulled from the lane FIFO.
+    val_head: Option<f64>,
+    /// Indices taken from the serializer (head included).
+    taken: u64,
+    /// Pairs fully consumed by the merge.
+    consumed: u64,
+    count: u64,
+    /// The pre-feed row buffer being merged against.
+    old: Vec<(u32, f64)>,
+    /// Merge cursor into `old`.
+    pos: usize,
+    /// The merged row being built (becomes the row buffer at retire).
+    new: Vec<(u32, f64)>,
+}
+
+impl FeedRun {
+    fn new(spec: &AccFeedSpec, old: Vec<(u32, f64)>) -> Self {
+        let words = IndexSerializer::words_needed(spec.idx_size, spec.idx_base, spec.count);
+        let mut word_it = AffineIterator::linear(spec.idx_base & !7, words.max(1) as u32, 8);
+        if words == 0 {
+            while word_it.next_addr().is_some() {}
+        }
+        Self {
+            word_it,
+            idx_fifo: Fifo::new(IDX_FIFO_DEPTH),
+            serializer: IndexSerializer::new(spec.idx_size, spec.idx_base, spec.count),
+            outstanding_idx: 0,
+            idx_size: spec.idx_size,
+            head: None,
+            val_head: None,
+            taken: 0,
+            consumed: 0,
+            count: spec.count,
+            old,
+            pos: 0,
+            new: Vec::new(),
+        }
+    }
+
+    /// The lane's just-in-time index fetch policy (see [`crate::lane`]).
+    fn idx_wants(&self) -> bool {
+        let per_word = u64::from(self.idx_size.per_word());
+        let headroom = u64::from(self.head.is_some())
+            + self.serializer.buffered()
+            + (self.idx_fifo.len() as u64 + self.outstanding_idx as u64) * per_word;
+        !self.word_it.is_done()
+            && self.idx_fifo.free() > self.outstanding_idx
+            && headroom <= per_word
+    }
+}
+
+/// An in-flight drain job: the precomputed word-write sequence.
+#[derive(Debug)]
+struct DrainRun {
+    reqs: VecDeque<MemReq>,
+}
+
+impl DrainRun {
+    /// Plans the compressed-row writes: indices packed into 64-bit words
+    /// (strobed at partial boundary words), then one word per value.
+    ///
+    /// # Panics
+    /// Panics if the output bases violate the unit's alignment rules.
+    fn new(spec: &AccDrainSpec, row: &[(u32, f64)]) -> Self {
+        let ib = spec.idx_size.bytes();
+        assert_eq!(spec.idx_out % ib, 0, "index output base must be element aligned");
+        assert_eq!(spec.val_out % 8, 0, "value output base must be word aligned");
+        let mut reqs = VecDeque::new();
+        let mut word: Option<(u32, u64, u8)> = None;
+        for (j, &(idx, _)) in row.iter().enumerate() {
+            for b in 0..ib {
+                let a = spec.idx_out + j as u32 * ib + b;
+                let aligned = a & !7;
+                match &mut word {
+                    Some((w, data, strb)) if *w == aligned => {
+                        *data |= u64::from((idx >> (8 * b)) & 0xFF) << ((a % 8) * 8);
+                        *strb |= 1 << (a % 8);
+                    }
+                    current => {
+                        if let Some((w, data, strb)) = current.take() {
+                            reqs.push_back(MemReq::write_strb(w, data, strb));
+                        }
+                        *current = Some((
+                            aligned,
+                            u64::from((idx >> (8 * b)) & 0xFF) << ((a % 8) * 8),
+                            1 << (a % 8),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some((w, data, strb)) = word {
+            reqs.push_back(MemReq::write_strb(w, data, strb));
+        }
+        for (j, &(_, v)) in row.iter().enumerate() {
+            reqs.push_back(MemReq::write(spec.val_out + j as u32 * 8, v.to_bits()));
+        }
+        Self { reqs }
+    }
+}
+
+#[derive(Debug)]
+enum ActiveJob {
+    /// Boxed: a feed carries the whole fetch/merge state, a drain only
+    /// its write queue.
+    Feed(Box<FeedRun>),
+    Drain(DrainRun),
+}
+
+/// The sparse accumulator unit of one streamer.
+#[derive(Debug, Default)]
+pub struct SpAcc {
+    /// The accumulated row: sorted, duplicate-free (index, value) pairs.
+    row: Vec<(u32, f64)>,
+    active: Option<ActiveJob>,
+    /// One-deep shadow queue (like a lane's pending slot).
+    pending: Option<AccJob>,
+    stats: SpAccStats,
+}
+
+impl SpAcc {
+    /// Creates an idle unit with an empty row buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> SpAccStats {
+        self.stats
+    }
+
+    /// Current row-buffer occupancy (the `ACC_NNZ` readback). Stable
+    /// only while the unit is idle.
+    #[must_use]
+    pub fn nnz(&self) -> u64 {
+        self.row.len() as u64
+    }
+
+    /// Whether a job is running or queued.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.active.is_some() || self.pending.is_some()
+    }
+
+    /// Whether the unit has fully drained (no job running or queued).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        !self.busy()
+    }
+
+    /// Queues a feed job; returns `false` if the shadow slot is full
+    /// (the core retries the launch write).
+    pub fn launch_feed(&mut self, spec: AccFeedSpec) -> bool {
+        self.launch(AccJob::Feed(spec))
+    }
+
+    /// Queues a drain job; returns `false` if the shadow slot is full.
+    pub fn launch_drain(&mut self, spec: AccDrainSpec) -> bool {
+        self.launch(AccJob::Drain(spec))
+    }
+
+    fn launch(&mut self, job: AccJob) -> bool {
+        if self.pending.is_some() {
+            return false;
+        }
+        self.pending = Some(job);
+        self.promote();
+        true
+    }
+
+    /// Starts the queued job once the previous one retired. Jobs consume
+    /// the row buffer at promotion time, so a drain queued behind feeds
+    /// sees the fully merged row.
+    fn promote(&mut self) {
+        if self.active.is_some() || self.pending.is_none() {
+            return;
+        }
+        match self.pending.take().expect("checked above") {
+            AccJob::Feed(spec) if spec.count == 0 => {
+                // Zero-length feeds retire instantly (nothing to merge).
+                self.stats.feeds += 1;
+                self.promote();
+            }
+            AccJob::Feed(spec) => {
+                let old = std::mem::take(&mut self.row);
+                self.active = Some(ActiveJob::Feed(Box::new(FeedRun::new(&spec, old))));
+            }
+            AccJob::Drain(spec) => {
+                self.active = Some(ActiveJob::Drain(DrainRun::new(&spec, &self.row)));
+                self.row.clear();
+            }
+        }
+    }
+
+    /// Advances one cycle against the borrowed lane: `port` carries the
+    /// index fetches and drain writes, `lane`'s write FIFO supplies the
+    /// feed values.
+    pub fn tick(&mut self, now: u64, port: &mut MemPort, lane: &mut Lane) {
+        self.promote();
+        let done = match &mut self.active {
+            None => return,
+            Some(ActiveJob::Feed(run)) => {
+                Self::tick_feed(run, now, port, lane, &mut self.stats, &mut self.row)
+            }
+            Some(ActiveJob::Drain(run)) => {
+                if let Some(&req) = run.reqs.front() {
+                    if port.can_send() {
+                        port.send(req);
+                        run.reqs.pop_front();
+                        self.stats.out_words += 1;
+                    }
+                }
+                run.reqs.is_empty()
+            }
+        };
+        if done {
+            if matches!(self.active, Some(ActiveJob::Drain(_))) {
+                self.stats.drains += 1;
+            }
+            self.active = None;
+            self.promote();
+        }
+    }
+
+    /// One feed cycle: drain index-word responses, pull the stream
+    /// heads, perform one merge step, issue one index fetch. Returns
+    /// `true` when the job retired (row buffer swapped in).
+    fn tick_feed(
+        run: &mut FeedRun,
+        now: u64,
+        port: &mut MemPort,
+        lane: &mut Lane,
+        stats: &mut SpAccStats,
+        row: &mut Vec<(u32, f64)>,
+    ) -> bool {
+        while let Some(rsp) = port.take_rsp(now) {
+            run.outstanding_idx -= 1;
+            run.idx_fifo.push(rsp.data);
+        }
+        if run.head.is_none() && run.taken < run.count {
+            if run.serializer.wants_word() {
+                if let Some(word) = run.idx_fifo.pop() {
+                    run.serializer.load_word(word);
+                }
+            }
+            if let Some(idx) = run.serializer.next_index() {
+                run.head = Some(idx);
+                run.taken += 1;
+            }
+        }
+        // Pull a value only while pairs remain — values beyond `count`
+        // belong to the next queued feed job.
+        if run.val_head.is_none() && run.consumed < run.count {
+            if let Some(bits) = lane.take_write() {
+                run.val_head = Some(f64::from_bits(bits));
+            }
+        }
+        // One comparator step per cycle (the joiner-Union datapath).
+        if run.consumed == run.count {
+            if run.pos < run.old.len() {
+                run.new.push(run.old[run.pos]);
+                run.pos += 1;
+                stats.steps += 1;
+            } else if run.outstanding_idx == 0 {
+                *row = std::mem::take(&mut run.new);
+                stats.feeds += 1;
+                stats.peak_nnz = stats.peak_nnz.max(row.len() as u64);
+                return true;
+            }
+        } else if let (Some(idx), Some(val)) = (run.head, run.val_head) {
+            stats.steps += 1;
+            if run.pos < run.old.len() && run.old[run.pos].0 < idx {
+                run.new.push(run.old[run.pos]);
+                run.pos += 1;
+            } else {
+                if run.pos < run.old.len() && run.old[run.pos].0 == idx {
+                    run.new.push((idx, run.old[run.pos].1 + val));
+                    run.pos += 1;
+                    stats.merges += 1;
+                } else {
+                    match run.new.last_mut() {
+                        Some(last) if last.0 == idx => {
+                            last.1 += val;
+                            stats.merges += 1;
+                        }
+                        Some(last) => {
+                            assert!(
+                                last.0 < idx,
+                                "SpAcc feed requires non-decreasing indices within one job \
+                                 ({} after {})",
+                                idx,
+                                last.0
+                            );
+                            run.new.push((idx, val));
+                        }
+                        None => run.new.push((idx, val)),
+                    }
+                }
+                run.head = None;
+                run.val_head = None;
+                run.consumed += 1;
+                stats.pairs_in += 1;
+            }
+        }
+        if port.can_send() && run.idx_wants() {
+            let addr = run.word_it.next_addr().expect("idx_wants checked");
+            port.send(MemReq::read(addr));
+            run.outstanding_idx += 1;
+            stats.idx_words += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_mem::tcdm::Tcdm;
+
+    const BASE: u32 = 0x0010_0000;
+    const IDX_IN: u32 = BASE + 0x1000;
+    const IDX_OUT: u32 = BASE + 0x4000;
+    const VAL_OUT: u32 = BASE + 0x8000;
+
+    fn feed_spec(idx_base: u32, count: u64) -> AccFeedSpec {
+        AccFeedSpec { idx_base, count, idx_size: IndexSize::U16 }
+    }
+
+    fn drain_spec(idx_out: u32) -> AccDrainSpec {
+        AccDrainSpec { idx_out, val_out: VAL_OUT, idx_size: IndexSize::U16 }
+    }
+
+    /// Runs the unit to idle, pushing `vals` into the lane write FIFO as
+    /// capacity allows (the FPU's behaviour).
+    fn run_to_idle(spacc: &mut SpAcc, tcdm: &mut Tcdm, lane: &mut Lane, vals: &[f64]) -> u64 {
+        let mut port = MemPort::new();
+        let mut next = 0;
+        for now in 0..100_000u64 {
+            if next < vals.len() && lane.can_push() {
+                lane.push(vals[next].to_bits());
+                next += 1;
+            }
+            spacc.tick(now, &mut port, lane);
+            tcdm.tick(now, &mut [&mut port], &[]);
+            if spacc.is_idle() && next == vals.len() {
+                return now + 1;
+            }
+        }
+        panic!("SpAcc failed to drain");
+    }
+
+    /// Feeds one sorted (idcs, vals) stream as a single job.
+    fn feed_stream(spacc: &mut SpAcc, tcdm: &mut Tcdm, idcs: &[u16], vals: &[f64]) {
+        assert_eq!(idcs.len(), vals.len());
+        tcdm.array_mut().store_u16_slice(IDX_IN, idcs);
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN, idcs.len() as u64)));
+        run_to_idle(spacc, tcdm, &mut lane, vals);
+    }
+
+    #[test]
+    fn feed_merges_duplicates_on_the_fly() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        // Duplicates both within the stream (4, 4) and across entries.
+        feed_stream(&mut spacc, &mut tcdm, &[1, 4, 4, 9], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(spacc.nnz(), 3);
+        assert_eq!(spacc.row, [(1, 1.0), (4, 5.0), (9, 4.0)]);
+        let stats = spacc.stats();
+        assert_eq!(stats.feeds, 1);
+        assert_eq!(stats.pairs_in, 4);
+        assert_eq!(stats.merges, 1);
+    }
+
+    #[test]
+    fn feeds_accumulate_across_jobs_union_style() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        feed_stream(&mut spacc, &mut tcdm, &[2, 5, 8], &[1.0, 2.0, 3.0]);
+        feed_stream(&mut spacc, &mut tcdm, &[0, 5, 9], &[10.0, 20.0, 30.0]);
+        feed_stream(&mut spacc, &mut tcdm, &[8], &[100.0]);
+        assert_eq!(spacc.row, [(0, 10.0), (2, 1.0), (5, 22.0), (8, 103.0), (9, 30.0)]);
+        assert_eq!(spacc.stats().merges, 2);
+        assert_eq!(spacc.stats().peak_nnz, 5);
+    }
+
+    #[test]
+    fn drain_packs_row_and_clears_buffer() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        feed_stream(&mut spacc, &mut tcdm, &[3, 7, 12, 40], &[0.5, 1.5, 2.5, 3.5]);
+        // Unaligned output base: the row starts mid-word.
+        let out = IDX_OUT + 6;
+        tcdm.array_mut().store_u16(IDX_OUT + 4, 0xAAAA); // must survive
+        assert!(spacc.launch_drain(drain_spec(out)));
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[]);
+        assert_eq!(spacc.nnz(), 0, "flush on row end clears the buffer");
+        for (j, &idx) in [3u16, 7, 12, 40].iter().enumerate() {
+            assert_eq!(tcdm.array().load_u16(out + 2 * j as u32), idx);
+        }
+        for (j, &v) in [0.5, 1.5, 2.5, 3.5].iter().enumerate() {
+            assert_eq!(tcdm.array().load_f64(VAL_OUT + 8 * j as u32), v);
+        }
+        // Strobed partial-word writes must not clobber neighbours.
+        assert_eq!(tcdm.array().load_u16(IDX_OUT + 4), 0xAAAA);
+        assert_eq!(spacc.stats().drains, 1);
+        // 4 u16 indices from +6 span 2 words; 4 value words.
+        assert_eq!(spacc.stats().out_words, 6);
+    }
+
+    #[test]
+    fn drain_of_empty_row_is_a_cheap_no_op() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        assert!(spacc.launch_drain(drain_spec(IDX_OUT)));
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[]);
+        assert_eq!(spacc.stats().out_words, 0);
+        assert_eq!(spacc.stats().drains, 1);
+    }
+
+    /// A feed stalled on values must backpressure: the merge stops, the
+    /// lane FIFO fills, and everything resumes when values arrive late.
+    #[test]
+    fn feed_backpressures_on_slow_values() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let n = 40u64;
+        let idcs: Vec<u16> = (0..n as u16).map(|i| i * 2).collect();
+        tcdm.array_mut().store_u16_slice(IDX_IN, &idcs);
+        let mut spacc = SpAcc::new();
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN, n)));
+        let mut port = MemPort::new();
+        let mut pushed = 0u64;
+        let mut cycles = 0;
+        for now in 0..100_000u64 {
+            // One value every 7 cycles: far slower than the merge.
+            if now % 7 == 0 && pushed < n && lane.can_push() {
+                lane.push((pushed as f64).to_bits());
+                pushed += 1;
+            }
+            spacc.tick(now, &mut port, &mut lane);
+            tcdm.tick(now, &mut [&mut port], &[]);
+            cycles = now + 1;
+            if spacc.is_idle() && pushed == n {
+                break;
+            }
+        }
+        assert!(spacc.is_idle(), "feed must complete once values arrive");
+        assert_eq!(spacc.nnz(), n);
+        assert_eq!(spacc.row.iter().map(|&(_, v)| v).sum::<f64>(), (0..n).sum::<u64>() as f64);
+        assert!(cycles >= 7 * (n - 1), "consumption cannot outrun the value stream");
+    }
+
+    /// Back-to-back jobs queue one deep; a third launch is refused until
+    /// the slot frees, and a drain queued behind a feed sees its result.
+    #[test]
+    fn job_queue_is_one_deep_and_ordered() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        tcdm.array_mut().store_u16_slice(IDX_IN, &[1, 2, 3]);
+        let mut spacc = SpAcc::new();
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN, 3)));
+        assert!(spacc.launch_drain(drain_spec(IDX_OUT)));
+        assert!(!spacc.launch_feed(feed_spec(IDX_IN, 3)), "queue is one deep");
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[5.0, 6.0, 7.0]);
+        assert_eq!(tcdm.array().load_u16(IDX_OUT + 2), 2);
+        assert_eq!(tcdm.array().load_f64(VAL_OUT + 16), 7.0);
+        assert_eq!(spacc.nnz(), 0);
+    }
+
+    #[test]
+    fn zero_count_feed_retires_without_traffic() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        feed_stream(&mut spacc, &mut tcdm, &[5], &[1.0]);
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN, 0)));
+        assert!(spacc.is_idle(), "zero-length feeds retire at launch");
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[]);
+        assert_eq!(spacc.row, [(5, 1.0)]);
+        assert_eq!(spacc.stats().feeds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_feed_panics() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        feed_stream(&mut spacc, &mut tcdm, &[9, 3], &[1.0, 2.0]);
+    }
+
+    /// The merge sustains one incoming pair per cycle against an empty
+    /// buffer (steady state of a first expansion), 16-bit indices.
+    #[test]
+    fn feed_sustains_near_one_pair_per_cycle() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let n = 256u64;
+        let idcs: Vec<u16> = (0..n as u16).collect();
+        tcdm.array_mut().store_u16_slice(IDX_IN, &idcs);
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut spacc = SpAcc::new();
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN, n)));
+        let cycles = run_to_idle(&mut spacc, &mut tcdm, &mut lane, &vals);
+        let rate = n as f64 / cycles as f64;
+        assert!(rate > 0.9, "feed rate {rate:.3} over {cycles} cycles");
+    }
+}

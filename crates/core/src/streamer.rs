@@ -19,9 +19,10 @@
 //! array; while it runs it owns the memory ports of lanes 0 and 1 and
 //! delivers matched value pairs through those two registers.
 
-use crate::cfg::{reg, JoinerSpec};
+use crate::cfg::{reg, AccDrainSpec, AccFeedSpec, JoinerSpec};
 use crate::joiner::{IndexJoiner, JoinerStats};
 use crate::lane::{Lane, LaneKind, LaneStats};
+use crate::spacc::{SpAcc, SpAccStats, SPACC_LANE};
 use issr_mem::port::MemPort;
 
 /// The lane bundle attached to one core's FPU subsystem.
@@ -37,6 +38,9 @@ pub struct Streamer {
     joiner_stats: JoinerStats,
     /// Pairs emitted by the most recent completed joiner job.
     join_count_last: u32,
+    /// Whether the hardware includes the sparse accumulator.
+    has_spacc: bool,
+    spacc: SpAcc,
 }
 
 impl Streamer {
@@ -61,6 +65,8 @@ impl Streamer {
             pending_join: None,
             joiner_stats: JoinerStats::default(),
             join_count_last: 0,
+            has_spacc: false,
+            spacc: SpAcc::new(),
         }
     }
 
@@ -85,17 +91,39 @@ impl Streamer {
         Self::new(&[LaneKind::Ssr, LaneKind::Issr])
     }
 
+    /// Creates a streamer that also carries the sparse accumulator (the
+    /// write-stream side), which borrows lane 1's port and write stream.
+    ///
+    /// # Panics
+    /// Panics if fewer than two lanes are given or more than 8.
+    #[must_use]
+    pub fn with_spacc(kinds: &[LaneKind]) -> Self {
+        assert!(kinds.len() > SPACC_LANE, "the sparse accumulator sits on lane 1");
+        let mut s = Self::new(kinds);
+        s.has_spacc = true;
+        s
+    }
+
     /// The sparse-sparse configuration: the paper's two lanes plus the
-    /// SSSR-style index joiner across them.
+    /// SSSR-style index joiner across them and the SpAcc write-stream
+    /// sparse accumulator on lane 1 — sparse reads *and* sparse writes.
     #[must_use]
     pub fn sssr_config() -> Self {
-        Self::with_joiner(&[LaneKind::Ssr, LaneKind::Issr])
+        let mut s = Self::with_spacc(&[LaneKind::Ssr, LaneKind::Issr]);
+        s.has_joiner = true;
+        s
     }
 
     /// Whether the hardware includes the index joiner.
     #[must_use]
     pub fn has_joiner(&self) -> bool {
         self.has_joiner
+    }
+
+    /// Whether the hardware includes the sparse accumulator.
+    #[must_use]
+    pub fn has_spacc(&self) -> bool {
+        self.has_spacc
     }
 
     /// Number of lanes.
@@ -159,6 +187,22 @@ impl Streamer {
             self.promote_join();
             return true;
         }
+        if lane == 0 && register == reg::ACC_FEED {
+            assert!(
+                self.has_spacc,
+                "SpAcc job launched on a streamer without a sparse accumulator"
+            );
+            return self.spacc.launch_feed(AccFeedSpec::from_shadow(self.lanes[0].shadow(), value));
+        }
+        if lane == 0 && register == reg::ACC_DRAIN {
+            assert!(
+                self.has_spacc,
+                "SpAcc job launched on a streamer without a sparse accumulator"
+            );
+            return self
+                .spacc
+                .launch_drain(AccDrainSpec::from_shadow(self.lanes[0].shadow(), value));
+        }
         self.lanes[lane].cfg_write(register, value)
     }
 
@@ -170,6 +214,13 @@ impl Streamer {
         assert!(lane < self.lanes.len(), "scfgri to nonexistent lane {lane}");
         if lane == 0 && register == reg::JOIN_COUNT {
             return self.join_count_last;
+        }
+        if lane == 0 && register == reg::ACC_NNZ {
+            return u32::try_from(self.spacc.nnz()).expect("row buffer exceeds u32");
+        }
+        if lane == 0 && register == reg::ACC_STATUS {
+            let done = self.spacc.is_idle();
+            return u32::from(done) | (u32::from(!done) << 1);
         }
         if lane == 0 && register == reg::STATUS {
             let done =
@@ -194,14 +245,24 @@ impl Streamer {
 
     /// Advances all lanes one cycle; `ports[i]` is lane *i*'s private
     /// memory port. An active joiner job runs on the ports of lanes 0
-    /// and 1 and delivers matched pairs into those lanes' FIFOs.
+    /// and 1 and delivers matched pairs into those lanes' FIFOs; an
+    /// active SpAcc job runs on lane 1's port and consumes its write
+    /// stream.
     ///
     /// # Panics
-    /// Panics if the port count does not match the lane count, or if a
+    /// Panics if the port count does not match the lane count, if a
     /// lane job was launched on lanes 0/1 while the joiner owns their
-    /// ports.
+    /// ports, or if the joiner and the SpAcc contend for lane 1.
     pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort]) {
         assert_eq!(ports.len(), self.lanes.len(), "one port per lane");
+        if self.spacc.busy() {
+            assert!(self.joiner.is_none(), "joiner and SpAcc cannot both own lane 1's port");
+            assert!(
+                !self.lanes[SPACC_LANE].is_streaming(),
+                "lane job on lane 1 while the SpAcc owns its port"
+            );
+            self.spacc.tick(now, ports[SPACC_LANE], &mut self.lanes[SPACC_LANE]);
+        }
         self.promote_join();
         if let Some(joiner) = &mut self.joiner {
             assert!(
@@ -232,11 +293,14 @@ impl Streamer {
         }
     }
 
-    /// Whether every lane has fully drained and no joiner job is active
-    /// or queued.
+    /// Whether every lane has fully drained and no joiner or SpAcc job
+    /// is active or queued.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.lanes.iter().all(Lane::is_idle) && self.joiner.is_none() && self.pending_join.is_none()
+        self.lanes.iter().all(Lane::is_idle)
+            && self.joiner.is_none()
+            && self.pending_join.is_none()
+            && self.spacc.is_idle()
     }
 
     /// Per-lane statistics.
@@ -249,6 +313,12 @@ impl Streamer {
     #[must_use]
     pub fn joiner_stats(&self) -> JoinerStats {
         self.joiner_stats
+    }
+
+    /// Accumulated sparse-accumulator statistics.
+    #[must_use]
+    pub fn spacc_stats(&self) -> SpAccStats {
+        self.spacc.stats()
     }
 }
 
@@ -437,6 +507,101 @@ mod tests {
         }
         assert_eq!(pairs, 8, "both queued jobs must run");
         assert_eq!(s.joiner_stats().jobs, 2);
+    }
+
+    /// A count-only joiner job reports its would-be emission count via
+    /// `JOIN_COUNT` without delivering (or fetching) any values — the
+    /// length-prefix handshake for data-dependent trip counts.
+    #[test]
+    fn count_only_joiner_reports_intersection_size() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        place_join_workload(&mut tcdm, &[1, 4, 9, 11], &[0, 4, 9, 12]);
+        let mut s = Streamer::sssr_config();
+        assert!(s.cfg_write(
+            cfg_addr(reg::JOIN_CFG, 0),
+            crate::cfg::join_count_cfg_word(JoinerMode::Intersect, IndexSize::U16)
+        ));
+        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 0), BASE + 0x4000));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_IDX_B, 0), BASE + 0x2000));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_DATA_B, 0), BASE + 0x8000));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_A, 0), 4));
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_B, 0), 4));
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000));
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        for now in 0..2000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            assert!(!s.lane(0).can_pop() && !s.lane(1).can_pop(), "no values may be delivered");
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)), 2); // matches at 4 and 9
+        assert_eq!(s.joiner_stats().val_reads, 0, "count-only fetches no values");
+    }
+
+    /// The SpAcc end to end over the configuration interface: two feed
+    /// jobs merge through the write stream, `ACC_NNZ` reports the merged
+    /// row length, and a drain packs it to memory.
+    #[test]
+    fn spacc_feed_and_drain_over_cfg_interface() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        tcdm.array_mut().store_u16_slice(BASE + 0x1000, &[2, 7]);
+        tcdm.array_mut().store_u16_slice(BASE + 0x1100, &[2, 9]);
+        let mut s = Streamer::sssr_config();
+        assert!(s.has_spacc());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_cfg_word(IndexSize::U16)));
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 2));
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1000));
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100));
+        assert!(!s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100), "queue is one deep");
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        let vals = [1.0f64, 2.0, 10.0, 20.0];
+        let mut next = 0;
+        for now in 0..2000u64 {
+            if next < vals.len() && s.lane(1).can_push() {
+                s.lane_mut(1).push(vals[next].to_bits());
+                next += 1;
+            }
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.is_idle() && next == vals.len() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)), 1);
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)), 3); // {2, 7, 9}
+        assert!(s.cfg_write(cfg_addr(reg::ACC_VAL_OUT, 0), BASE + 0x8000));
+        assert!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x4000));
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)) & 2, 2, "drain busy");
+        for now in 2000..4000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(tcdm.array().load_u16(BASE + 0x4000), 2);
+        assert_eq!(tcdm.array().load_u16(BASE + 0x4002), 7);
+        assert_eq!(tcdm.array().load_u16(BASE + 0x4004), 9);
+        assert_eq!(tcdm.array().load_f64(BASE + 0x8000), 11.0); // 1 + 10
+        assert_eq!(tcdm.array().load_f64(BASE + 0x8008), 2.0);
+        assert_eq!(tcdm.array().load_f64(BASE + 0x8010), 20.0);
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)), 0, "drain clears the row");
+        assert_eq!(s.spacc_stats().feeds, 2);
+        assert_eq!(s.spacc_stats().drains, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a sparse accumulator")]
+    fn spacc_launch_without_hardware_panics() {
+        let mut s = Streamer::paper_config();
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 1));
+        let _ = s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE);
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn run_joiner(
         tcdm.array_mut().store_u64(VALS_B + j * 8, 2000 + u64::from(j));
     }
     let spec = JoinerSpec {
+        count_only: false,
         mode,
         idx_size: size,
         idx_a,

@@ -493,6 +493,7 @@ pub fn run_cluster_csrmv_with<I: KernelIndex>(
     plan.marshal(&mut cluster, m, x);
     let budget = 1_000_000 + 32 * m.nnz() as u64 + 512 * m.nrows() as u64;
     let summary = cluster.run(budget)?;
+    assert!(summary.traps.is_empty(), "cluster cores trapped: {:?}", summary.traps);
     Ok(ClusterCsrmvRun { y: plan.read_y(&cluster), summary })
 }
 

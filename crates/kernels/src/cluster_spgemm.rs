@@ -1,0 +1,392 @@
+//! Multicore cluster SpGEMM: `C = A·B` with all three matrices sparse,
+//! row-striped over the sparse-output streamer cluster.
+//!
+//! Row-wise Gustavson parallelizes embarrassingly over C rows — worker
+//! *h* owns the contiguous stripe of `⌈nrows / workers⌉` rows, exactly
+//! [`crate::cluster_csrmv`]'s static split. What does *not* parallelize
+//! trivially is the packed output: row offsets depend on every earlier
+//! row's data-dependent length. The plan therefore runs the host-side
+//! **symbolic phase** ([`issr_sparse::reference::spgemm_ptr`]) and
+//! places the finished row pointer in the TCDM (the two-pass/alloc side
+//! of the output builder); workers read `c.ptr[r]` and write their rows
+//! straight into the exact packed slots. Adjacent rows from different
+//! workers may share a 64-bit index word at their boundary — both the
+//! SpAcc drain (ISSR) and the core's halfword stores (BASE) write with
+//! byte strobes, so the races compose.
+//!
+//! Per row the worker body is the single-core kernel's
+//! ([`crate::spgemm`]): BASE software union-merge through per-worker
+//! ping-pong scratch; ISSR the SSR + FREP `fmul` expansion feeding the
+//! SpAcc, drained per row. The in-order SpAcc job queue sequences each
+//! row's feeds before its drain without any polling.
+
+use crate::common::{emit_spacc_cfg, SETUP_SCRATCH};
+use crate::layout::{csr_addrs, store_csr, Arena, CsrAddrs};
+use crate::spgemm::{emit_base_k_merge, emit_base_row_copy, emit_issr_k_expand, expansion_volume};
+use crate::variant::{log_width, KernelIndex, Variant};
+use issr_cluster::cluster::{Cluster, ClusterParams, ClusterSummary};
+use issr_core::cfg::{cfg_addr, reg as sreg};
+use issr_isa::asm::{Assembler, Program};
+use issr_isa::reg::IntReg as R;
+use issr_isa::Csr;
+use issr_mem::map::TCDM_BASE;
+use issr_snitch::cc::SimTimeout;
+use issr_sparse::csr::CsrMatrix;
+use issr_sparse::reference::spgemm_ptr;
+
+const DATA_BASE: u32 = TCDM_BASE + 0x100;
+const DATA_SIZE: u32 = issr_mem::map::TCDM_SIZE - 0x100;
+
+/// The planned layout of one cluster SpGEMM run.
+#[derive(Clone, Debug)]
+pub struct ClusterSpgemmPlan {
+    a: CsrAddrs,
+    b: CsrAddrs,
+    /// C region; `nnz` comes from the symbolic phase.
+    c: CsrAddrs,
+    /// Host-computed row pointer (stored resident for the workers).
+    c_ptr: Vec<u32>,
+    /// Per-worker BASE scratch block base (see `scratch` layout below).
+    scratch_base: u32,
+    /// One worker's scratch block size in bytes.
+    scratch_stride: u32,
+    /// Bytes of one scratch index array within a block.
+    scratch_idx_bytes: u32,
+    /// Row capacity of one scratch array (elements).
+    row_cap: u32,
+    nrows: u32,
+    ncols: u32,
+    rows_per_worker: u32,
+    n_workers: u32,
+}
+
+impl ClusterSpgemmPlan {
+    /// Plans the TCDM-resident layout: operands, the exact packed output
+    /// (sized by the symbolic pass), and per-worker merge scratch.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree or the workload does not
+    /// fit the TCDM.
+    #[must_use]
+    pub fn new<I: KernelIndex>(a: &CsrMatrix<I>, b: &CsrMatrix<I>, n_workers: u32) -> Self {
+        assert_eq!(b.nrows(), a.ncols(), "inner dimensions must agree");
+        let c_ptr = spgemm_ptr(a, b);
+        let c_nnz = *c_ptr.last().expect("symbolic phase yields nrows + 1 entries");
+        let mut arena = Arena::new(DATA_BASE, DATA_SIZE);
+        let a_addrs = csr_addrs::<I>(&mut arena, a.nrows() as u32, a.nnz() as u32);
+        let b_addrs = csr_addrs::<I>(&mut arena, b.nrows() as u32, b.nnz() as u32);
+        let c_addrs = csr_addrs::<I>(&mut arena, a.nrows() as u32, c_nnz);
+        // Per-worker ping-pong merge scratch (BASE only, always planned):
+        // [idx0 | idx1 | val0 | val1], each row_cap elements.
+        let row_cap = (b.ncols() as u32).max(1);
+        let scratch_idx_bytes = (row_cap * I::BYTES + 7) & !7;
+        let scratch_stride = 2 * scratch_idx_bytes + 2 * row_cap * 8;
+        let scratch_base = arena.alloc(n_workers * scratch_stride, 8);
+        Self {
+            a: a_addrs,
+            b: b_addrs,
+            c: c_addrs,
+            c_ptr,
+            scratch_base,
+            scratch_stride,
+            scratch_idx_bytes,
+            row_cap,
+            nrows: a.nrows() as u32,
+            ncols: b.ncols() as u32,
+            rows_per_worker: (a.nrows() as u32).div_ceil(n_workers.max(1)),
+            n_workers,
+        }
+    }
+
+    /// Number of output nonzeros the symbolic phase predicts.
+    #[must_use]
+    pub fn c_nnz(&self) -> u32 {
+        *self.c_ptr.last().expect("non-empty")
+    }
+
+    /// Writes the operands and the symbolic row pointer into the TCDM.
+    pub fn marshal<I: KernelIndex>(
+        &self,
+        cluster: &mut Cluster,
+        a: &CsrMatrix<I>,
+        b: &CsrMatrix<I>,
+    ) {
+        let mem = cluster.tcdm.array_mut();
+        store_csr(mem, self.a, a);
+        store_csr(mem, self.b, b);
+        mem.store_u32_slice(self.c.ptr, &self.c_ptr);
+    }
+
+    /// Reads the product back from the TCDM (row pointer included, so a
+    /// worker bug that skips rows shows up as garbage values, not a
+    /// silently reused host pointer).
+    ///
+    /// # Panics
+    /// Panics if the stored structure is not a valid CSR matrix.
+    #[must_use]
+    pub fn read_c<I: KernelIndex>(&self, cluster: &Cluster) -> CsrMatrix<I> {
+        crate::layout::read_csr_out::<I>(
+            cluster.tcdm.array(),
+            crate::layout::CsrOutAddrs {
+                ptr: self.c.ptr,
+                idcs: self.c.idcs,
+                vals: self.c.vals,
+                nnz_cap: self.c.nnz,
+            },
+            self.nrows as usize,
+            self.ncols as usize,
+        )
+    }
+}
+
+/// Builds the SPMD cluster program (workers `0..n`; the DMCC, hart `n`,
+/// halts immediately — the workload is resident).
+///
+/// # Panics
+/// Panics for [`Variant::Ssr`] (see [`crate::spgemm::build_spgemm`]).
+#[must_use]
+pub fn build_cluster_spgemm<I: KernelIndex>(variant: Variant, plan: &ClusterSpgemmPlan) -> Program {
+    assert!(
+        matches!(variant, Variant::Base | Variant::Issr),
+        "cluster SpGEMM defines BASE and ISSR variants only"
+    );
+    let mut asm = Assembler::new();
+    asm.csrr(R::A7, Csr::MHartId);
+    let worker = asm.new_label();
+    asm.li(R::T0, i64::from(plan.n_workers));
+    asm.blt(R::A7, R::T0, worker);
+    asm.halt(); // the DMCC has nothing to move
+    asm.bind(worker);
+    asm.symbol("worker");
+    // Stripe + A cursors; s1 lands on the resident &c.ptr[start].
+    crate::cluster_spmspv::emit_stripe_prologue::<I>(
+        &mut asm,
+        plan.rows_per_worker,
+        plan.nrows,
+        plan.a,
+        plan.c.ptr,
+        2,
+    );
+    match variant {
+        Variant::Issr => emit_issr_worker::<I>(&mut asm, plan),
+        _ => emit_base_worker::<I>(&mut asm, plan),
+    }
+    asm.halt();
+    asm.finish().expect("cluster SpGEMM program assembles")
+}
+
+/// ISSR worker row loop: SSR + FREP expansion into the SpAcc, one drain
+/// per row at the host-planned packed offsets.
+///
+/// Register roles: `s0` `&a.ptr[r+1]`, `s1` `&c.ptr[r]`, `s2` rows
+/// remaining, `s4`/`s5` A cursors, `s6` `b.ptr`, `s7` `b.idcs`, `s8`
+/// `b.vals`, `s9` A-row end, `a2`/`a3` C output cursors for the row.
+fn emit_issr_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
+    let log_w = log_width::<I>();
+    asm.li_addr(R::S6, plan.b.ptr);
+    asm.li_addr(R::S7, plan.b.idcs);
+    asm.li_addr(R::S8, plan.b.vals);
+    asm.li(SETUP_SCRATCH, 8);
+    asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::STRIDES[0], 0));
+    emit_spacc_cfg::<I>(asm);
+    asm.csrsi(Csr::Ssr, 1);
+    asm.roi_begin();
+    let row = asm.bind_label();
+    asm.symbol("issr_row");
+    let flush = asm.new_label();
+    asm.lw(R::T5, R::S0, 0); // a.ptr[r+1]
+    asm.addi(R::S0, R::S0, 4);
+    asm.slli(R::S9, R::T5, log_w);
+    asm.li_addr(R::T6, plan.a.idcs);
+    asm.add(R::S9, R::S9, R::T6); // A-row end address
+                                  // Packed output cursors from the resident symbolic pointer.
+    asm.lw(R::A4, R::S1, 0); //     c.ptr[r]
+    asm.addi(R::S1, R::S1, 4);
+    asm.slli(R::A2, R::A4, log_w);
+    asm.li_addr(R::T6, plan.c.idcs);
+    asm.add(R::A2, R::A2, R::T6);
+    asm.slli(R::A3, R::A4, 3);
+    asm.li_addr(R::T6, plan.c.vals);
+    asm.add(R::A3, R::A3, R::T6);
+    emit_issr_k_expand::<I>(asm, flush);
+    asm.bind(flush);
+    asm.symbol("issr_flush");
+    // The in-order job queue sequences the drain after this row's feeds.
+    asm.scfgwi(R::A3, cfg_addr(sreg::ACC_VAL_OUT, 0));
+    asm.scfgwi(R::A2, cfg_addr(sreg::ACC_DRAIN, 0)); // drain launch (retries)
+    asm.addi(R::S2, R::S2, -1);
+    asm.bnez(R::S2, row);
+    // Let the last drain retire inside the measured region.
+    let fin = asm.bind_label();
+    asm.scfgri(R::T0, cfg_addr(sreg::ACC_STATUS, 0));
+    asm.andi(R::T0, R::T0, 1);
+    asm.beqz(R::T0, fin);
+    asm.roi_end();
+    asm.csrci(Csr::Ssr, 1);
+}
+
+/// BASE worker row loop: the single-core software union-merge through
+/// this worker's private ping-pong scratch, packed out at `c.ptr[r]`.
+///
+/// Register roles as in [`crate::spgemm`]'s BASE emitter, plus `s1`
+/// `&c.ptr[r]` and `a4` the row's packed element offset; `s11` `b.ptr`.
+fn emit_base_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
+    let log_w = log_width::<I>();
+    // Per-worker scratch block: base + hart * stride.
+    asm.li(R::T0, i64::from(plan.scratch_stride));
+    asm.mul(R::T0, R::T0, R::A7);
+    asm.li_addr(R::T1, plan.scratch_base);
+    asm.add(R::S6, R::T0, R::T1); // idx0
+    asm.li(R::T2, i64::from(plan.scratch_idx_bytes));
+    asm.add(R::S8, R::S6, R::T2); // idx1
+    asm.add(R::S7, R::S8, R::T2); // val0
+    asm.li(R::T2, i64::from(plan.row_cap) * 8);
+    asm.add(R::S9, R::S7, R::T2); // val1
+    asm.li_addr(R::S11, plan.b.ptr);
+    asm.roi_begin();
+    let row = asm.bind_label();
+    asm.symbol("base_row");
+    let flush = asm.new_label();
+    asm.li(R::S10, 0);
+    asm.lw(R::T5, R::S0, 0); // a.ptr[r+1]
+    asm.addi(R::S0, R::S0, 4);
+    asm.slli(R::A6, R::T5, log_w);
+    asm.li_addr(R::T6, plan.a.idcs);
+    asm.add(R::A6, R::A6, R::T6);
+    asm.lw(R::A4, R::S1, 0); // c.ptr[r]
+    asm.addi(R::S1, R::S1, 4);
+    emit_base_k_merge::<I>(asm, plan.b.idcs, plan.b.vals, flush);
+    // Row finished: pack the accumulator at the host-planned offsets.
+    asm.bind(flush);
+    asm.symbol("base_flush");
+    asm.slli(R::T0, R::A4, log_w);
+    asm.li_addr(R::T6, plan.c.idcs);
+    asm.add(R::T0, R::T0, R::T6); // C index cursor
+    asm.slli(R::T1, R::A4, 3);
+    asm.li_addr(R::T6, plan.c.vals);
+    asm.add(R::T1, R::T1, R::T6); // C value cursor
+    emit_base_row_copy::<I>(asm);
+    asm.addi(R::S2, R::S2, -1);
+    asm.bnez(R::S2, row);
+    asm.roi_end();
+}
+
+/// Result of one cluster SpGEMM run.
+#[derive(Clone, Debug)]
+pub struct ClusterSpgemmRun {
+    /// The computed sparse product, read back and format-validated.
+    pub c: CsrMatrix<u32>,
+    /// Cluster-wide summary (per-worker SpAcc statistics included).
+    pub summary: ClusterSummary,
+}
+
+/// Runs cluster SpGEMM end to end (symbolic plan → marshal → simulate →
+/// read back) on the sparse-output streamer cluster.
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the cluster deadlocks or exceeds its cycle
+/// budget (a bug).
+///
+/// # Panics
+/// Panics if the inner dimensions disagree, on [`Variant::Ssr`], or if
+/// the workers build a malformed output (the readback validates).
+pub fn run_cluster_spgemm<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+) -> Result<ClusterSpgemmRun, SimTimeout> {
+    let params = ClusterParams { sssr: true, ..ClusterParams::default() };
+    let plan = ClusterSpgemmPlan::new(a, b, params.n_workers as u32);
+    let program = build_cluster_spgemm::<I>(variant, &plan);
+    let mut cluster = Cluster::new(program, params);
+    plan.marshal(&mut cluster, a, b);
+    let volume = expansion_volume(a, b);
+    let budget = 2_000_000 + 512 * (volume + u64::from(plan.c_nnz()) + a.nrows() as u64);
+    let summary = cluster.run(budget)?;
+    assert!(summary.traps.is_empty(), "cluster cores trapped: {:?}", summary.traps);
+    let c = plan.read_c::<I>(&cluster).with_index_width::<u32>();
+    Ok(ClusterSpgemmRun { c, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issr_sparse::{gen, reference};
+
+    fn check<I: KernelIndex>(
+        variant: Variant,
+        nrows: usize,
+        inner: usize,
+        ncols: usize,
+        nnz_a: usize,
+        nnz_b: usize,
+        seed: u64,
+    ) {
+        let mut rng = gen::rng(seed);
+        let a = gen::csr_uniform::<I>(&mut rng, nrows, inner, nnz_a);
+        let b = gen::csr_uniform::<I>(&mut rng, inner, ncols, nnz_b);
+        let run = run_cluster_spgemm(variant, &a, &b).expect("cluster run finishes");
+        assert!(run.summary.traps.is_empty(), "unexpected traps: {:?}", run.summary.traps);
+        let expect = reference::spgemm(&a, &b).with_index_width::<u32>();
+        assert_eq!(run.c.ptr(), expect.ptr(), "{variant} {nrows}x{inner}x{ncols} row pointers");
+        assert_eq!(run.c.idcs(), expect.idcs(), "{variant} column indices");
+        for (got, want) in run.c.vals().iter().zip(expect.vals()) {
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "{variant} {nrows}x{inner}x{ncols}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn base_cluster_spgemm_matches_reference() {
+        check::<u16>(Variant::Base, 24, 32, 48, 120, 160, 400);
+        check::<u32>(Variant::Base, 24, 32, 48, 120, 160, 401);
+        check::<u16>(Variant::Base, 5, 16, 16, 20, 40, 402); // fewer rows than workers
+    }
+
+    #[test]
+    fn issr_cluster_spgemm_matches_reference() {
+        check::<u16>(Variant::Issr, 24, 32, 48, 120, 160, 410);
+        check::<u32>(Variant::Issr, 24, 32, 48, 120, 160, 411);
+        check::<u16>(Variant::Issr, 5, 16, 16, 20, 40, 412); // fewer rows than workers
+        check::<u16>(Variant::Issr, 16, 16, 16, 0, 40, 413); // empty A
+        check::<u32>(Variant::Issr, 16, 16, 16, 40, 0, 414); // empty B
+    }
+
+    /// Odd row lengths at worker stripe boundaries exercise the strobed
+    /// shared-word writes between adjacent workers (16-bit indices).
+    #[test]
+    fn issr_cluster_spgemm_odd_worker_boundaries() {
+        let mut triplets = Vec::new();
+        for r in 0..17usize {
+            for j in 0..=(r % 3) {
+                triplets.push((r, (j * 5 + r) % 24, 1.0 + (r + j) as f64 * 0.25));
+            }
+        }
+        let a = CsrMatrix::<u16>::from_triplets(17, 24, &triplets);
+        let b_triplets: Vec<(usize, usize, f64)> = (0..24)
+            .flat_map(|k| (0..5).map(move |j| (k, (k * 3 + j * 7) % 13, 0.5 * (k + j + 1) as f64)))
+            .collect();
+        let b = CsrMatrix::<u16>::from_triplets(24, 13, &b_triplets);
+        let run = run_cluster_spgemm(Variant::Issr, &a, &b).unwrap();
+        let expect = reference::spgemm(&a, &b).with_index_width::<u32>();
+        assert_eq!(run.c.ptr(), expect.ptr());
+        assert_eq!(run.c.idcs(), expect.idcs());
+        // Every worker with rows must have drained through its SpAcc.
+        let active = run.summary.spacc_stats.iter().filter(|s| s.drains > 0).count();
+        assert!(active >= 2, "row striping must engage multiple SpAcc units");
+    }
+
+    /// The hardware cluster beats the software-merge cluster.
+    #[test]
+    fn cluster_spgemm_issr_beats_base() {
+        let mut rng = gen::rng(420);
+        let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, 32, 48, 4);
+        let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, 48, 160, 20);
+        let base = run_cluster_spgemm(Variant::Base, &a, &b).unwrap();
+        let issr = run_cluster_spgemm(Variant::Issr, &a, &b).unwrap();
+        let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+        assert!(speedup > 2.0, "cluster SpGEMM speedup {speedup:.2}");
+    }
+}

@@ -1,12 +1,31 @@
-//! Shared assembly idioms: streamer job setup and reduction trees.
+//! Shared assembly idioms: streamer job setup, reduction trees, and the
+//! marshal-then-reprogram harness helpers.
 
 use crate::variant::KernelIndex;
 use issr_core::cfg::{cfg_addr, idx_cfg_word, join_cfg_word, reg as sreg, JoinerMode};
-use issr_isa::asm::Assembler;
+use issr_isa::asm::{Assembler, Program};
 use issr_isa::reg::{FpReg, IntReg};
+use issr_snitch::cc::SingleCcSim;
 
 /// Scratch register used by the setup emitters (clobbered).
 pub const SETUP_SCRATCH: IntReg = IntReg::T0;
+
+/// Rebuilds the single-CC harness (paper streamer) around a new
+/// program, keeping memory — the marshal-first-then-bake-addresses
+/// idiom every kernel harness uses.
+pub(crate) fn reprogram(sim: SingleCcSim, program: Program) -> SingleCcSim {
+    let mut fresh = SingleCcSim::new(program);
+    fresh.mem = sim.mem;
+    fresh
+}
+
+/// [`reprogram`] for the sparse-sparse harness (joiner + SpAcc
+/// streamer).
+pub(crate) fn reprogram_joiner(sim: SingleCcSim, program: Program) -> SingleCcSim {
+    let mut fresh = SingleCcSim::with_joiner(program);
+    fresh.mem = sim.mem;
+    fresh
+}
 
 /// The constant-zero FP register kernels keep (`fz`), used to seed
 /// accumulators without explicit zeroing (the CsrMV head unrolling).
@@ -89,8 +108,34 @@ pub fn emit_joiner_read<I: KernelIndex>(
     vals_b: u32,
     nnz_b: u32,
 ) {
+    emit_joiner_job(
+        asm,
+        join_cfg_word(mode, I::IDX_SIZE),
+        idx_a,
+        vals_a,
+        nnz_a,
+        idx_b,
+        vals_b,
+        nnz_b,
+    );
+}
+
+/// Emits an index-joiner job launch with an explicit `JOIN_CFG` word —
+/// count-only pre-passes pass [`issr_core::cfg::join_count_cfg_word`].
+/// Clobbers [`SETUP_SCRATCH`].
+#[allow(clippy::too_many_arguments)]
+pub fn emit_joiner_job(
+    asm: &mut Assembler,
+    cfg_word: u32,
+    idx_a: u32,
+    vals_a: u32,
+    nnz_a: u32,
+    idx_b: u32,
+    vals_b: u32,
+    nnz_b: u32,
+) {
     let t = SETUP_SCRATCH;
-    asm.li(t, i64::from(join_cfg_word(mode, I::IDX_SIZE)));
+    asm.li(t, i64::from(cfg_word));
     asm.scfgwi(t, cfg_addr(sreg::JOIN_CFG, 0));
     asm.li_addr(t, vals_a);
     asm.scfgwi(t, cfg_addr(sreg::DATA_BASE, 0));
@@ -104,6 +149,15 @@ pub fn emit_joiner_read<I: KernelIndex>(
     asm.scfgwi(t, cfg_addr(sreg::JOIN_NNZ_B, 0));
     asm.li_addr(t, idx_a);
     asm.scfgwi(t, cfg_addr(sreg::RPTR[0], 0));
+}
+
+/// Emits the static sparse-accumulator configuration (index width).
+/// Feed/drain launches are register-driven and stay in the kernels.
+/// Clobbers [`SETUP_SCRATCH`].
+pub fn emit_spacc_cfg<I: KernelIndex>(asm: &mut Assembler) {
+    let t = SETUP_SCRATCH;
+    asm.li(t, i64::from(issr_core::cfg::acc_cfg_word(I::IDX_SIZE)));
+    asm.scfgwi(t, cfg_addr(sreg::ACC_CFG, 0));
 }
 
 /// Emits an affine *write* job on `lane` (unit-stride store stream).

@@ -182,7 +182,7 @@ pub fn run_csrmm<I: KernelIndex>(
     sim = fresh;
     let budget =
         200_000 + 64 * u64::from(a.nnz) * u64::from(addrs.b_cols).max(1) + 64 * u64::from(a.nrows);
-    let summary = sim.run(budget)?;
+    let summary = sim.run(budget)?.expect_clean();
     let mut out = DenseMatrix::zeros(m.nrows(), b.cols());
     for r in 0..m.nrows() {
         for c in 0..b.cols() {

@@ -278,7 +278,7 @@ pub fn run_csrmv<I: KernelIndex>(
     fresh.mem = sim.mem;
     sim = fresh;
     let budget = 200_000 + 64 * u64::from(a.nnz) + 64 * u64::from(a.nrows);
-    let summary = sim.run(budget)?;
+    let summary = sim.run(budget)?.expect_clean();
     Ok(CsrmvRun { y: sim.mem.array().load_f64_slice(y, m.nrows()), summary })
 }
 

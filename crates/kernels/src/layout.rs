@@ -65,20 +65,31 @@ pub struct FiberAddrs {
     pub nnz: u32,
 }
 
-/// Places a fiber's arrays; index storage is padded to whole words so
-/// DMA transfers stay word-aligned.
+/// Allocates a fiber's arrays without storing data (cluster plans
+/// compute addresses before the target memory exists); index storage is
+/// padded to whole words so DMA transfers stay word-aligned.
+pub fn fiber_addrs<I: KernelIndex>(arena: &mut Arena, nnz: u32) -> FiberAddrs {
+    let vals = arena.alloc(nnz.max(1) * 8, 8);
+    let idx_bytes = (nnz.max(1) * I::BYTES + 7) & !7;
+    let idcs = arena.alloc(idx_bytes, 8);
+    FiberAddrs { vals, idcs, nnz }
+}
+
+/// Stores a fiber at previously planned addresses.
+pub fn store_fiber<I: KernelIndex>(mem: &mut MemArray, addrs: FiberAddrs, fiber: &SparseFiber<I>) {
+    mem.store_f64_slice(addrs.vals, fiber.vals());
+    I::store_slice(mem, addrs.idcs, fiber.idcs());
+}
+
+/// Places a fiber's arrays (allocate + store).
 pub fn place_fiber<I: KernelIndex>(
     arena: &mut Arena,
     mem: &mut MemArray,
     fiber: &SparseFiber<I>,
 ) -> FiberAddrs {
-    let nnz = fiber.nnz() as u32;
-    let vals = arena.alloc(nnz.max(1) * 8, 8);
-    let idx_bytes = (nnz.max(1) * I::BYTES + 7) & !7;
-    let idcs = arena.alloc(idx_bytes, 8);
-    mem.store_f64_slice(vals, fiber.vals());
-    I::store_slice(mem, idcs, fiber.idcs());
-    FiberAddrs { vals, idcs, nnz }
+    let addrs = fiber_addrs::<I>(arena, fiber.nnz() as u32);
+    store_fiber(mem, addrs, fiber);
+    addrs
 }
 
 /// Addresses of a placed CSR matrix.
@@ -96,21 +107,84 @@ pub struct CsrAddrs {
     pub nnz: u32,
 }
 
-/// Places a CSR matrix.
+/// Allocates a CSR matrix's arrays without storing data.
+pub fn csr_addrs<I: KernelIndex>(arena: &mut Arena, nrows: u32, nnz: u32) -> CsrAddrs {
+    let ptr = arena.alloc(((nrows + 1) * 4 + 7) & !7, 8);
+    let vals = arena.alloc(nnz.max(1) * 8, 8);
+    let idx_bytes = (nnz.max(1) * I::BYTES + 7) & !7;
+    let idcs = arena.alloc(idx_bytes, 8);
+    CsrAddrs { ptr, idcs, vals, nrows, nnz }
+}
+
+/// Stores a CSR matrix at previously planned addresses.
+pub fn store_csr<I: KernelIndex>(mem: &mut MemArray, addrs: CsrAddrs, m: &CsrMatrix<I>) {
+    mem.store_u32_slice(addrs.ptr, m.ptr());
+    mem.store_f64_slice(addrs.vals, m.vals());
+    I::store_slice(mem, addrs.idcs, m.idcs());
+}
+
+/// Places a CSR matrix (allocate + store).
 pub fn place_csr<I: KernelIndex>(
     arena: &mut Arena,
     mem: &mut MemArray,
     m: &CsrMatrix<I>,
 ) -> CsrAddrs {
-    let ptr = arena.alloc(((m.nrows() as u32 + 1) * 4 + 7) & !7, 8);
-    mem.store_u32_slice(ptr, m.ptr());
-    let nnz = m.nnz() as u32;
-    let vals = arena.alloc(nnz.max(1) * 8, 8);
-    mem.store_f64_slice(vals, m.vals());
-    let idx_bytes = (nnz.max(1) * I::BYTES + 7) & !7;
-    let idcs = arena.alloc(idx_bytes, 8);
-    I::store_slice(mem, idcs, m.idcs());
-    CsrAddrs { ptr, idcs, vals, nrows: m.nrows() as u32, nnz }
+    let addrs = csr_addrs::<I>(arena, m.nrows() as u32, m.nnz() as u32);
+    store_csr(mem, addrs, m);
+    addrs
+}
+
+/// Addresses of a CSR *output* region (a sparse result a kernel builds
+/// row by row — the SpGEMM product).
+#[derive(Clone, Copy, Debug)]
+pub struct CsrOutAddrs {
+    /// Row pointer array (32-bit entries; `ptr[0]` pre-set to 0).
+    pub ptr: u32,
+    /// Column index array (capacity `nnz_cap` entries, tightly packed).
+    pub idcs: u32,
+    /// Value array (capacity `nnz_cap` doubles).
+    pub vals: u32,
+    /// Allocated nonzero capacity.
+    pub nnz_cap: u32,
+}
+
+/// Allocates a CSR output region for `nrows` rows and up to `nnz_cap`
+/// nonzeros and zeroes `ptr[0]` (the two-pass/alloc side of the sparse
+/// output builder: the caller sizes `nnz_cap` from a symbolic pass or an
+/// expansion upper bound, the kernel grow-and-packs rows into it).
+pub fn alloc_csr_out<I: KernelIndex>(
+    arena: &mut Arena,
+    mem: &mut MemArray,
+    nrows: u32,
+    nnz_cap: u32,
+) -> CsrOutAddrs {
+    let ptr = arena.alloc(((nrows + 1) * 4 + 7) & !7, 8);
+    mem.store_u32(ptr, 0);
+    let vals = arena.alloc(nnz_cap.max(1) * 8, 8);
+    let idcs = arena.alloc((nnz_cap.max(1) * I::BYTES + 7) & !7, 8);
+    CsrOutAddrs { ptr, idcs, vals, nnz_cap }
+}
+
+/// Reads a kernel-built CSR output back into a host matrix, validating
+/// the format invariants on the way.
+///
+/// # Panics
+/// Panics if the stored structure is not a valid CSR matrix or exceeds
+/// the allocated capacity.
+#[must_use]
+pub fn read_csr_out<I: KernelIndex>(
+    mem: &MemArray,
+    addrs: CsrOutAddrs,
+    nrows: usize,
+    ncols: usize,
+) -> issr_sparse::csr::CsrMatrix<I> {
+    let ptr = mem.load_u32_slice(addrs.ptr, nrows + 1);
+    let nnz = *ptr.last().expect("ptr has nrows + 1 entries") as usize;
+    assert!(nnz <= addrs.nnz_cap as usize, "kernel overflowed the output capacity");
+    let idcs = I::load_slice(mem, addrs.idcs, nnz);
+    let vals = mem.load_f64_slice(addrs.vals, nnz);
+    issr_sparse::csr::CsrMatrix::new(nrows, ncols, ptr, idcs, vals)
+        .expect("kernel-built CSR output is well formed")
 }
 
 /// Places a dense f64 slice (8-byte aligned).

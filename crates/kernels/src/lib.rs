@@ -3,17 +3,22 @@
 //! The paper's kernels (§III): SpVV, CsrMV and CsrMM in BASE / SSR /
 //! ISSR variants for 16- and 32-bit indices, the multicore cluster
 //! CsrMV, the further indirection applications of §III-C (codebook
-//! decoding, scatter/gather streaming), and the sparse-sparse SpVV∩ /
-//! SpMSpV kernels on the index joiner ([`spmspv`]).
+//! decoding, scatter/gather streaming), the sparse-sparse SpVV∩ /
+//! SpMSpV kernels on the index joiner ([`spmspv`]), row-wise Gustavson
+//! SpGEMM on the sparse-output subsystem ([`spgemm`]), and their
+//! multicore cluster versions ([`cluster_spmspv`], [`cluster_spgemm`]).
 
 #![forbid(unsafe_code)]
 
 pub mod cluster_csrmv;
+pub mod cluster_spgemm;
+pub mod cluster_spmspv;
 pub mod common;
 pub mod csf_ttv;
 pub mod csrmm;
 pub mod csrmv;
 pub mod layout;
+pub mod spgemm;
 pub mod spmspv;
 pub mod spvv;
 pub mod stencil;
@@ -23,12 +28,19 @@ pub mod variant;
 pub use cluster_csrmv::{
     build_cluster_csrmv, run_cluster_csrmv, ClusterCsrmvPlan, ClusterCsrmvRun,
 };
+pub use cluster_spgemm::{
+    build_cluster_spgemm, run_cluster_spgemm, ClusterSpgemmPlan, ClusterSpgemmRun,
+};
+pub use cluster_spmspv::{
+    build_cluster_spmspv, run_cluster_spmspv, ClusterSpmspvPlan, ClusterSpmspvRun,
+};
 pub use csf_ttv::{run_csf_ttv, CsfTtvRun};
 pub use csrmm::{build_csrmm, run_csrmm, CsrmmAddrs, CsrmmRun};
 pub use csrmv::{build_csrmv, run_csrmv, CsrmvAddrs, CsrmvRun};
+pub use spgemm::{build_spgemm, run_spgemm, SpgemmAddrs, SpgemmRun};
 pub use spmspv::{
-    build_spmspv, build_spvv_ss, run_spmspv, run_spvv_ss, SpmspvAddrs, SpmspvRun, SpvvSsAddrs,
-    SpvvSsRun,
+    build_spmspv, build_spvv_ss, build_spvv_ss_dyn, run_spmspv, run_spvv_ss, run_spvv_ss_dyn,
+    SpmspvAddrs, SpmspvRun, SpvvSsAddrs, SpvvSsRun,
 };
 pub use spvv::{build_spvv, run_spvv, SpvvAddrs, SpvvRun};
 pub use stencil::{run_stencil, SparseStencil, StencilRun};

@@ -15,10 +15,13 @@
 //! joiner per row through the one-deep shadow queue, overlapping the
 //! next row's setup with the current row's drain.
 
-use crate::common::{emit_joiner_read, emit_reduction_tree, emit_zero_accumulators, ACC0, FZ};
+use crate::common::{
+    emit_joiner_job, emit_joiner_read, emit_reduction_tree, emit_zero_accumulators,
+    reprogram_joiner, ACC0, FZ,
+};
 use crate::layout::{alloc_result, place_csr, place_fiber, Arena, CsrAddrs, FiberAddrs};
-use crate::variant::{issr_accumulators, KernelIndex, Variant};
-use issr_core::cfg::{cfg_addr, join_cfg_word, reg as sreg, JoinerMode};
+use crate::variant::{issr_accumulators, log_width, KernelIndex, Variant};
+use issr_core::cfg::{cfg_addr, join_cfg_word, join_count_cfg_word, reg as sreg, JoinerMode};
 use issr_isa::asm::{Assembler, Program};
 use issr_isa::instr::Stagger;
 use issr_isa::reg::{FpReg, IntReg as R};
@@ -135,6 +138,93 @@ fn emit_issr_spvv_ss<I: KernelIndex>(asm: &mut Assembler, addrs: SpvvSsAddrs) {
     asm.csrci(issr_isa::Csr::Ssr, 1);
 }
 
+/// Builds the *dynamic-trip* ISSR SpVV∩: true `Intersect` streaming via
+/// the `JOIN_COUNT` length-prefix handshake. A **count-only** intersect
+/// pre-pass runs the comparator without any value traffic and leaves the
+/// match count in `JOIN_COUNT`; the core reads it back and uses it as
+/// the FREP trip count of a second, real `Intersect` job — so the
+/// compute loop executes exactly one `fmadd` per *match*, with no
+/// gather-A zero-fill padding. Worthwhile when matches are much rarer
+/// than A-side elements; the price is walking both index streams twice.
+#[must_use]
+pub fn build_spvv_ss_dyn<I: KernelIndex>(addrs: SpvvSsAddrs) -> Program {
+    let n_acc = issr_accumulators(I::IDX_SIZE);
+    let mut asm = Assembler::new();
+    asm.li_addr(R::A2, addrs.out);
+    asm.roi_begin();
+    if addrs.a.nnz == 0 || addrs.b.nnz == 0 {
+        asm.fcvt_d_w(ACC0, R::ZERO);
+        asm.fsd(ACC0, R::A2, 0);
+        asm.roi_end();
+        asm.halt();
+        return asm.finish().expect("dynamic SpVV∩ program assembles");
+    }
+    let launch = |asm: &mut Assembler, cfg_word: u32| {
+        emit_joiner_job(
+            asm,
+            cfg_word,
+            addrs.a.idcs,
+            addrs.a.vals,
+            addrs.a.nnz,
+            addrs.b.idcs,
+            addrs.b.vals,
+            addrs.b.nnz,
+        );
+    };
+    // Pre-pass: count-only intersect, then poll lane 0 until it retires.
+    launch(&mut asm, join_count_cfg_word(JoinerMode::Intersect, I::IDX_SIZE));
+    let spin = asm.bind_label();
+    asm.symbol("count_spin");
+    asm.scfgri(R::T1, cfg_addr(sreg::STATUS, 0));
+    asm.andi(R::T1, R::T1, 1);
+    asm.beqz(R::T1, spin);
+    asm.scfgri(R::T2, cfg_addr(sreg::JOIN_COUNT, 0));
+    let compute = asm.new_label();
+    let end = asm.new_label();
+    asm.bnez(R::T2, compute);
+    asm.fcvt_d_w(ACC0, R::ZERO);
+    asm.fsd(ACC0, R::A2, 0);
+    asm.roi_end();
+    asm.j(end);
+    // Real pass: the matched-pair count is now a static trip count.
+    asm.bind(compute);
+    asm.symbol("dyn_intersect");
+    launch(&mut asm, join_cfg_word(JoinerMode::Intersect, I::IDX_SIZE));
+    asm.csrsi(issr_isa::Csr::Ssr, 1);
+    emit_zero_accumulators(&mut asm, ACC0, n_acc);
+    asm.addi(R::T2, R::T2, -1);
+    asm.frep_outer(R::T2, 1, Stagger::accumulator(n_acc));
+    asm.fmadd_d(ACC0, FpReg::FT0, FpReg::FT1, ACC0);
+    emit_reduction_tree(&mut asm, ACC0, n_acc);
+    asm.fsd(ACC0, R::A2, 0);
+    asm.roi_end();
+    asm.csrci(issr_isa::Csr::Ssr, 1);
+    asm.bind(end);
+    asm.halt();
+    asm.finish().expect("dynamic SpVV∩ program assembles")
+}
+
+/// Marshals the two fibers and runs the dynamic-trip (JOIN_COUNT
+/// handshake) SpVV∩ on the joiner hardware.
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the kernel fails to finish (a bug).
+pub fn run_spvv_ss_dyn<I: KernelIndex>(
+    a: &SparseFiber<I>,
+    b: &SparseFiber<I>,
+) -> Result<SpvvSsRun, SimTimeout> {
+    let mut arena = Arena::new(SINGLE_CC_ARENA, SingleCcSim::DEFAULT_MEM_BYTES / 2);
+    let mut sim = SingleCcSim::with_joiner(Program::default());
+    let a_addrs = place_fiber(&mut arena, sim.mem.array_mut(), a);
+    let b_addrs = place_fiber(&mut arena, sim.mem.array_mut(), b);
+    let out = alloc_result(&mut arena, 1);
+    let program = build_spvv_ss_dyn::<I>(SpvvSsAddrs { a: a_addrs, b: b_addrs, out });
+    sim = reprogram_joiner(sim, program);
+    let budget = 100_000 + 128 * u64::from(a_addrs.nnz + b_addrs.nnz);
+    let summary = sim.run(budget)?.expect_clean();
+    Ok(SpvvSsRun { result: sim.mem.array().load_f64(out), summary })
+}
+
 /// Addresses the SpMSpV builders bake into the program.
 #[derive(Clone, Copy, Debug)]
 pub struct SpmspvAddrs {
@@ -160,15 +250,6 @@ pub fn build_spmspv<I: KernelIndex>(variant: Variant, addrs: SpmspvAddrs) -> Pro
     }
     asm.halt();
     asm.finish().expect("SpMSpV program assembles")
-}
-
-/// Log2 of the index width in bytes (row-pointer to byte-offset shifts).
-fn log_width<I: KernelIndex>() -> i32 {
-    if I::BYTES == 2 {
-        1
-    } else {
-        2
-    }
 }
 
 /// BASE: the two-pointer merge of each row against `x`, re-scanned per
@@ -329,9 +410,9 @@ pub fn run_spvv_ss<I: KernelIndex>(
     let b_addrs = place_fiber(&mut arena, sim.mem.array_mut(), b);
     let out = alloc_result(&mut arena, 1);
     let program = build_spvv_ss::<I>(variant, SpvvSsAddrs { a: a_addrs, b: b_addrs, out });
-    sim = reprogram(sim, program);
+    sim = reprogram_joiner(sim, program);
     let budget = 100_000 + 64 * u64::from(a_addrs.nnz + b_addrs.nnz);
-    let summary = sim.run(budget)?;
+    let summary = sim.run(budget)?.expect_clean();
     Ok(SpvvSsRun { result: sim.mem.array().load_f64(out), summary })
 }
 
@@ -359,18 +440,11 @@ pub fn run_spmspv<I: KernelIndex>(
     let x_addrs = place_fiber(&mut arena, sim.mem.array_mut(), x);
     let y = alloc_result(&mut arena, a.nrows.max(1));
     let program = build_spmspv::<I>(variant, SpmspvAddrs { a, x: x_addrs, y });
-    sim = reprogram(sim, program);
+    sim = reprogram_joiner(sim, program);
     // BASE re-scans x once per row; size the budget to the merge volume.
     let merge_steps = u64::from(a.nnz) + u64::from(a.nrows) * u64::from(x_addrs.nnz + 4);
-    let summary = sim.run(200_000 + 64 * merge_steps)?;
+    let summary = sim.run(200_000 + 64 * merge_steps)?.expect_clean();
     Ok(SpmspvRun { y: sim.mem.array().load_f64_slice(y, m.nrows()), summary })
-}
-
-/// Rebuilds the joiner harness around a new program, keeping memory.
-fn reprogram(sim: SingleCcSim, program: Program) -> SingleCcSim {
-    let mut fresh = SingleCcSim::with_joiner(program);
-    fresh.mem = sim.mem;
-    fresh
 }
 
 #[cfg(test)]
@@ -499,6 +573,61 @@ mod tests {
         let issr = run_spvv_ss(Variant::Issr, &a, &b).unwrap().summary.metrics.roi.cycles;
         let speedup = base as f64 / issr as f64;
         assert!(speedup > 3.0, "SpVV∩ joiner speedup {speedup:.2} (base {base}, issr {issr})");
+    }
+
+    /// The dynamic-trip (JOIN_COUNT handshake) variant matches the
+    /// oracle across overlaps, widths and empty operands.
+    #[test]
+    fn dyn_spvv_ss_matches_reference() {
+        for (nnz_a, nnz_b, overlap) in
+            [(1, 1, 1.0), (2, 7, 0.0), (33, 200, 0.5), (100, 100, 0.25), (256, 64, 1.0)]
+        {
+            for wide in [false, true] {
+                let mut rng = gen::rng(140 + nnz_a as u64 + u64::from(wide));
+                let (a32, b32) =
+                    gen::overlapping_pair::<u32>(&mut rng, 1024, nnz_a, nnz_b, overlap);
+                let (run, expect) = if wide {
+                    (
+                        run_spvv_ss_dyn(&a32, &b32).expect("kernel finishes"),
+                        reference::spvv_ss(&a32, &b32),
+                    )
+                } else {
+                    let (a, b) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+                    (run_spvv_ss_dyn(&a, &b).expect("kernel finishes"), reference::spvv_ss(&a, &b))
+                };
+                let tol = 1e-12 * expect.abs().max(1.0);
+                assert!(
+                    (run.result - expect).abs() <= tol,
+                    "dyn nnz=({nnz_a},{nnz_b}) overlap={overlap} wide={wide}: \
+                     got {} expected {expect}",
+                    run.result
+                );
+            }
+        }
+        let empty = SparseFiber::<u16>::new(64, vec![], vec![]).unwrap();
+        let some = SparseFiber::<u16>::new(64, vec![3, 9], vec![2.0, -1.0]).unwrap();
+        for (a, b) in [(&empty, &some), (&some, &empty), (&empty, &empty)] {
+            assert_eq!(run_spvv_ss_dyn(a, b).unwrap().result, 0.0);
+        }
+    }
+
+    /// The handshake runs two joiner jobs (count pass + real pass) when
+    /// matches exist, and the compute loop sees exactly the match count.
+    #[test]
+    fn dyn_spvv_ss_uses_count_prepass() {
+        let mut rng = gen::rng(145);
+        let (a, b) = gen::overlapping_pair::<u16>(&mut rng, 512, 64, 64, 0.25);
+        let run = run_spvv_ss_dyn(&a, &b).unwrap();
+        let stats = run.summary.joiner_stats;
+        assert_eq!(stats.jobs, 2, "count-only pre-pass plus real pass");
+        assert_eq!(stats.emissions, 32, "16 counted + 16 emitted");
+        assert_eq!(run.summary.metrics.roi.fmadds, 16, "one fmadd per match");
+        // Disjoint operands: the real pass is skipped entirely.
+        let (a, b) = gen::overlapping_pair::<u16>(&mut rng, 512, 32, 32, 0.0);
+        let run = run_spvv_ss_dyn(&a, &b).unwrap();
+        assert_eq!(run.summary.joiner_stats.jobs, 1);
+        assert_eq!(run.summary.joiner_stats.val_reads, 0);
+        assert_eq!(run.result, 0.0);
     }
 
     /// Joiner activity is reported through the run summary.

@@ -11,7 +11,9 @@
 //!   FREP, peaking at the arbitration limits 0.80 (16-bit) and
 //!   0.67 (32-bit).
 
-use crate::common::{emit_indirect_read, emit_reduction_tree, emit_zero_accumulators, ACC0};
+use crate::common::{
+    emit_indirect_read, emit_reduction_tree, emit_zero_accumulators, reprogram, ACC0,
+};
 use crate::layout::{alloc_result, place_f64s, place_fiber, Arena, FiberAddrs};
 use crate::variant::{issr_accumulators, KernelIndex, Variant};
 use issr_isa::asm::{Assembler, Program};
@@ -167,15 +169,8 @@ pub fn run_spvv<I: KernelIndex>(
     let addrs = SpvvAddrs { a: fiber_addrs, b: b_addr, out };
     let program = build_spvv::<I>(variant, addrs);
     sim = reprogram(sim, program);
-    let summary = sim.run(100_000 + 64 * u64::from(addrs.a.nnz))?;
+    let summary = sim.run(100_000 + 64 * u64::from(addrs.a.nnz))?.expect_clean();
     Ok(SpvvRun { result: sim.mem.array().load_f64(out), summary })
-}
-
-/// Rebuilds the harness around a new program, keeping memory contents.
-fn reprogram(sim: SingleCcSim, program: Program) -> SingleCcSim {
-    let mut fresh = SingleCcSim::new(program);
-    fresh.mem = sim.mem;
-    fresh
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub fn run_gather<I: KernelIndex>(data: &[f64], idcs: &[I]) -> Result<StreamRun,
     asm.halt();
     let mut sim = SingleCcSim::new(asm.finish().expect("gather assembles"));
     sim.mem = staged.mem;
-    let summary = sim.run(100_000 + 16 * u64::from(n))?;
+    let summary = sim.run(100_000 + 16 * u64::from(n))?.expect_clean();
     Ok(StreamRun { out: sim.mem.array().load_f64_slice(out, idcs.len()), summary })
 }
 
@@ -112,7 +112,7 @@ pub fn run_scatter<I: KernelIndex>(
     asm.halt();
     let mut sim = SingleCcSim::new(asm.finish().expect("scatter assembles"));
     sim.mem = staged.mem;
-    let summary = sim.run(100_000 + 16 * u64::from(n))?;
+    let summary = sim.run(100_000 + 16 * u64::from(n))?.expect_clean();
     Ok(StreamRun { out: sim.mem.array().load_f64_slice(out, dim), summary })
 }
 
@@ -174,7 +174,7 @@ pub fn run_codebook_spvv<I: KernelIndex>(
     asm.halt();
     let mut sim = SingleCcSim::with_cc(make_cc(asm.finish().expect("codebook spvv assembles")));
     sim.mem = staged.mem;
-    let summary = sim.run(100_000 + 64 * u64::from(n))?;
+    let summary = sim.run(100_000 + 64 * u64::from(n))?.expect_clean();
     Ok((sim.mem.array().load_f64(out), summary))
 }
 

@@ -48,8 +48,14 @@ pub trait KernelIndex: IndexValue {
     /// Emits the zero-extending load of one index: `rd = [rs1 + offset]`.
     fn emit_index_load(asm: &mut Assembler, rd: IntReg, rs1: IntReg, offset: i32);
 
+    /// Emits the store of one index: `[rs1 + offset] = rs2` (`sh`/`sw`).
+    fn emit_index_store(asm: &mut Assembler, rs2: IntReg, rs1: IntReg, offset: i32);
+
     /// Stores an index slice into simulated memory.
     fn store_slice(mem: &mut MemArray, addr: u32, idcs: &[Self]);
+
+    /// Reads an index slice back from simulated memory.
+    fn load_slice(mem: &MemArray, addr: u32, len: usize) -> Vec<Self>;
 }
 
 impl KernelIndex for u16 {
@@ -59,8 +65,16 @@ impl KernelIndex for u16 {
         asm.lhu(rd, rs1, offset);
     }
 
+    fn emit_index_store(asm: &mut Assembler, rs2: IntReg, rs1: IntReg, offset: i32) {
+        asm.sh(rs2, rs1, offset);
+    }
+
     fn store_slice(mem: &mut MemArray, addr: u32, idcs: &[Self]) {
         mem.store_u16_slice(addr, idcs);
+    }
+
+    fn load_slice(mem: &MemArray, addr: u32, len: usize) -> Vec<Self> {
+        mem.load_u16_slice(addr, len)
     }
 }
 
@@ -71,8 +85,27 @@ impl KernelIndex for u32 {
         asm.lw(rd, rs1, offset);
     }
 
+    fn emit_index_store(asm: &mut Assembler, rs2: IntReg, rs1: IntReg, offset: i32) {
+        asm.sw(rs2, rs1, offset);
+    }
+
     fn store_slice(mem: &mut MemArray, addr: u32, idcs: &[Self]) {
         mem.store_u32_slice(addr, idcs);
+    }
+
+    fn load_slice(mem: &MemArray, addr: u32, len: usize) -> Vec<Self> {
+        mem.load_u32_slice(addr, len)
+    }
+}
+
+/// Log2 of the index width in bytes (row-pointer to byte-offset shifts
+/// in the generated kernels).
+#[must_use]
+pub fn log_width<I: KernelIndex>() -> i32 {
+    if I::BYTES == 2 {
+        1
+    } else {
+        2
     }
 }
 

@@ -142,6 +142,18 @@ impl MemArray {
         (0..len).map(|i| self.load_f64(addr + (i as u32) * 8)).collect()
     }
 
+    /// Reads `len` `u32` values starting at `addr`.
+    #[must_use]
+    pub fn load_u32_slice(&self, addr: u32, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.load_u32(addr + i as u32 * 4)).collect()
+    }
+
+    /// Reads `len` `u16` values starting at `addr`.
+    #[must_use]
+    pub fn load_u16_slice(&self, addr: u32, len: usize) -> Vec<u16> {
+        (0..len).map(|i| self.load_u16(addr + i as u32 * 2)).collect()
+    }
+
     /// Copies a slice of `u32` into memory starting at `addr`.
     pub fn store_u32_slice(&mut self, addr: u32, values: &[u32]) {
         for (i, &v) in values.iter().enumerate() {

@@ -2,13 +2,14 @@
 //! wired to the memory system — and the single-CC evaluation harness
 //! of §IV-A.
 
-use crate::core::SnitchCore;
+use crate::core::{SnitchCore, Trap};
 use crate::fpu::FpuSubsystem;
 use crate::metrics::Metrics;
 use crate::params::CcParams;
 use crate::shared::SharedPort;
 use issr_core::joiner::JoinerStats;
 use issr_core::lane::LaneStats;
+use issr_core::spacc::SpAccStats;
 use issr_core::streamer::Streamer;
 use issr_isa::asm::Program;
 use issr_mem::dma::Dma;
@@ -178,8 +179,34 @@ pub struct RunSummary {
     pub lane_stats: Vec<LaneStats>,
     /// Index-joiner statistics (all zero without joiner hardware).
     pub joiner_stats: JoinerStats,
+    /// Sparse-accumulator statistics (all zero without SpAcc hardware).
+    pub spacc_stats: SpAccStats,
     /// Memory statistics.
     pub tcdm_stats: TcdmStats,
+    /// Decode/fetch trap that parked the core, if any. A trapped run
+    /// still drains and returns `Ok` — callers inspect this field to
+    /// distinguish a clean `halt` from a structured error.
+    pub trap: Option<Trap>,
+}
+
+impl RunSummary {
+    /// Returns the summary, panicking with the trap's diagnostics if the
+    /// run ended on a decode/fetch trap instead of a clean `halt`. The
+    /// kernel harnesses call this so a builder bug that used to abort
+    /// the whole simulator still fails loudly — at the harness level —
+    /// while embedders of [`SingleCcSim`] remain free to inspect
+    /// [`RunSummary::trap`] themselves.
+    ///
+    /// # Panics
+    /// Panics if the run trapped.
+    #[must_use]
+    #[track_caller]
+    pub fn expect_clean(self) -> Self {
+        if let Some(trap) = self.trap {
+            panic!("simulated core trapped: {trap}");
+        }
+        self
+    }
 }
 
 /// Base address of the data arena used by single-CC workloads (above the
@@ -265,7 +292,9 @@ impl SingleCcSim {
                     metrics: self.cc.metrics,
                     lane_stats: self.cc.streamer.stats(),
                     joiner_stats: self.cc.streamer.joiner_stats(),
+                    spacc_stats: self.cc.streamer.spacc_stats(),
                     tcdm_stats: self.mem.stats(),
+                    trap: self.cc.core.trap(),
                 });
             }
         }
@@ -524,6 +553,37 @@ mod tests {
         let c1 = s1.run(10_000).unwrap().cycles;
         let c2 = s2.run(10_000).unwrap().cycles;
         assert_eq!(c1, c2);
+    }
+
+    /// A program that runs off the end of its instruction memory parks
+    /// the core with a structured trap instead of aborting the process.
+    #[test]
+    fn missing_halt_traps_instead_of_panicking() {
+        let mut a = Assembler::new();
+        a.li(R::T0, 3);
+        a.addi(R::T0, R::T0, 1);
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let summary = sim.run(1000).unwrap();
+        let trap = summary.trap.expect("run must surface the fetch trap");
+        assert_eq!(trap.cause, crate::core::TrapCause::PcOutOfRange);
+        assert_eq!(trap.hartid, 0);
+        assert!(trap.to_string().contains("past end"), "{trap}");
+        // The core still drained: registers reflect the executed prefix.
+        assert_eq!(sim.cc.core.reg(R::T0), 4);
+        // A clean run reports no trap.
+        let mut b = Assembler::new();
+        b.halt();
+        let mut sim = SingleCcSim::new(b.finish().unwrap());
+        assert!(sim.run(100).unwrap().trap.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated core trapped")]
+    fn expect_clean_panics_on_trap() {
+        let mut a = Assembler::new();
+        a.nop(); // no halt: runs off the end
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let _ = sim.run(100).unwrap().expect_clean();
     }
 
     #[test]

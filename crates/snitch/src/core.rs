@@ -32,6 +32,48 @@ struct LsuTag {
     blocking: bool,
 }
 
+/// Why a core stopped issuing without executing `halt`.
+///
+/// Decode and fetch failures park the core (it reads as halted so the
+/// simulation drains and terminates) and are surfaced through the run
+/// summaries instead of aborting the whole simulator — the harness and
+/// its caller decide how fatal the condition is.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TrapCause {
+    /// The decoded instruction has no implementation in this model.
+    UnimplementedInstr(Instr),
+    /// The PC ran past the end of the loaded program (missing `halt`).
+    PcOutOfRange,
+}
+
+/// A structured decode/fetch trap: which core stopped, where, and why.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Trap {
+    /// Hart that trapped.
+    pub hartid: u32,
+    /// PC of the faulting fetch.
+    pub pc: u32,
+    /// The condition.
+    pub cause: TrapCause,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cause {
+            TrapCause::UnimplementedInstr(instr) => {
+                write!(
+                    f,
+                    "hart {}: unimplemented instruction `{instr}` at {:#010x}",
+                    self.hartid, self.pc
+                )
+            }
+            TrapCause::PcOutOfRange => {
+                write!(f, "hart {}: PC {:#010x} past end of program", self.hartid, self.pc)
+            }
+        }
+    }
+}
+
 /// The integer pipeline of one core complex.
 #[derive(Debug)]
 pub struct SnitchCore {
@@ -45,6 +87,8 @@ pub struct SnitchCore {
     alu_wb: Vec<(u64, u8, u32)>,
     /// Set while a peripheral (barrier) load blocks all issue.
     blocked_on_periph: bool,
+    /// Latched decode/fetch trap (the core reads as halted once set).
+    trap: Option<Trap>,
     /// Set while the core waits at the hardware barrier (CSR read).
     barrier_waiting: bool,
     /// One-shot release latched by the cluster barrier.
@@ -66,6 +110,7 @@ impl SnitchCore {
             lsu_tags: VecDeque::new(),
             alu_wb: Vec::new(),
             blocked_on_periph: false,
+            trap: None,
             barrier_waiting: false,
             barrier_clear: false,
             fetch_stall: 0,
@@ -84,10 +129,24 @@ impl SnitchCore {
         self.pc
     }
 
-    /// Whether the core has executed `halt`.
+    /// Whether the core has executed `halt` (or trapped; see
+    /// [`Self::trap`]).
     #[must_use]
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The latched decode/fetch trap, if the core stopped on one.
+    #[must_use]
+    pub fn trap(&self) -> Option<Trap> {
+        self.trap
+    }
+
+    /// Parks the core on `cause`: it stops issuing and reads as halted
+    /// so the surrounding simulation drains instead of aborting.
+    fn take_trap(&mut self, cause: TrapCause) {
+        self.trap = Some(Trap { hartid: self.hartid, pc: self.pc, cause });
+        self.halted = true;
     }
 
     /// Reads an integer register (tests and harnesses).
@@ -203,7 +262,8 @@ impl SnitchCore {
         }
         let index = (self.pc / 4) as usize;
         let Some(&instr) = program.instrs().get(index) else {
-            panic!("PC {:#010x} past end of program (hart {})", self.pc, self.hartid);
+            self.take_trap(TrapCause::PcOutOfRange);
+            return;
         };
         let stall_raw = |m: &mut Metrics| {
             if m.roi_active {
@@ -461,7 +521,10 @@ impl SnitchCore {
                 }
                 fpu.offload(FpOp { instr: fp, aux });
             }
-            other => panic!("unimplemented instruction {other}"),
+            other => {
+                self.take_trap(TrapCause::UnimplementedInstr(other));
+                return;
+            }
         }
         self.pc = next_pc;
         metrics.instret += 1;

@@ -20,7 +20,7 @@ pub mod params;
 pub mod shared;
 
 pub use cc::{CoreComplex, RunSummary, SimTimeout, SingleCcSim, SINGLE_CC_ARENA};
-pub use core::SnitchCore;
+pub use core::{SnitchCore, Trap, TrapCause};
 pub use fpu::{FpOp, FpuSubsystem, IntWriteback};
 pub use metrics::{Metrics, RoiCounters};
 pub use params::CcParams;

@@ -67,6 +67,63 @@ pub fn spmspv<I: IndexValue>(a: &CsrMatrix<I>, x: &SparseFiber<I>) -> Vec<f64> {
         .collect()
 }
 
+/// Row pointers of the sparse product `C = A·B` (the *symbolic* phase
+/// of SpGEMM): `ptr[i+1] - ptr[i]` is the number of distinct columns
+/// reached by row `i`'s Gustavson expansion. Kernel harnesses use this
+/// to size (two-pass allocate) the output arrays before simulation.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn spgemm_ptr<I: IndexValue>(a: &CsrMatrix<I>, b: &CsrMatrix<I>) -> Vec<u32> {
+    assert_eq!(b.nrows(), a.ncols(), "inner dimensions must agree");
+    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    ptr.push(0u32);
+    let mut cols = std::collections::BTreeSet::new();
+    for r in 0..a.nrows() {
+        cols.clear();
+        for (k, _) in a.row(r) {
+            for (c, _) in b.row(k) {
+                cols.insert(c);
+            }
+        }
+        ptr.push(ptr[r] + cols.len() as u32);
+    }
+    ptr
+}
+
+/// Sparse matrix × sparse matrix, `C = A·B`, row-wise Gustavson
+/// (SpGEMM): `C[i,:] = Σ_k A[i,k] · B[k,:]`. The output is a valid CSR
+/// matrix with sorted, duplicate-free column indices per row; exact
+/// zeros produced by cancellation are kept (the structure is the union
+/// of the expanded rows, as the hardware builder produces).
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn spgemm<I: IndexValue>(a: &CsrMatrix<I>, b: &CsrMatrix<I>) -> CsrMatrix<I> {
+    assert_eq!(b.nrows(), a.ncols(), "inner dimensions must agree");
+    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    ptr.push(0u32);
+    let mut idcs = Vec::new();
+    let mut vals = Vec::new();
+    let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+    for r in 0..a.nrows() {
+        acc.clear();
+        for (k, av) in a.row(r) {
+            for (c, bv) in b.row(k) {
+                *acc.entry(c).or_insert(0.0) += av * bv;
+            }
+        }
+        for (&c, &v) in &acc {
+            idcs.push(I::from_usize(c));
+            vals.push(v);
+        }
+        ptr.push(idcs.len() as u32);
+    }
+    CsrMatrix::new(a.nrows(), b.ncols(), ptr, idcs, vals).expect("reference SpGEMM output is valid")
+}
+
 /// Gather: `out[j] = data[idcs[j]]`.
 #[must_use]
 pub fn gather<I: IndexValue>(data: &[f64], idcs: &[I]) -> Vec<f64> {
@@ -138,6 +195,37 @@ mod tests {
         for (a, b) in y.iter().zip(&dense) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn spgemm_matches_dense_matmul() {
+        let mut rng = gen::rng(37);
+        let a = gen::csr_uniform::<u16>(&mut rng, 12, 20, 60);
+        let b = gen::csr_uniform::<u16>(&mut rng, 20, 16, 80);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nrows(), 12);
+        assert_eq!(c.ncols(), 16);
+        let (da, db, dc) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for r in 0..12 {
+            for j in 0..16 {
+                let expect: f64 = (0..20).map(|k| da[r][k] * db[k][j]).sum();
+                assert!((dc[r][j] - expect).abs() < 1e-9, "C[{r}][{j}]");
+            }
+        }
+        assert_eq!(spgemm_ptr(&a, &b), c.ptr());
+    }
+
+    #[test]
+    fn spgemm_handles_empty_operands() {
+        let a = CsrMatrix::<u16>::from_triplets(3, 4, &[(1, 2, 5.0)]);
+        let empty = CsrMatrix::<u16>::from_triplets(4, 5, &[]);
+        let c = spgemm(&a, &empty);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.ptr(), &[0, 0, 0, 0]);
+        let b = CsrMatrix::<u16>::from_triplets(4, 5, &[(2, 0, 1.0), (2, 4, -1.0)]);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.ptr(), &[0, 0, 2, 2]);
+        assert_eq!(c.row(1).collect::<Vec<_>>(), vec![(0, 5.0), (4, -5.0)]);
     }
 
     #[test]

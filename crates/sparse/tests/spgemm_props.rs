@@ -1,0 +1,121 @@
+//! Property tests on the SpGEMM oracle: for random CSR operands the
+//! product must agree with the dense matrix product, produce sorted
+//! duplicate-free rows, handle empty rows, and be independent of the
+//! index width.
+
+use issr_sparse::csr::CsrMatrix;
+use issr_sparse::reference::{csrmv, spgemm, spgemm_ptr};
+use issr_sparse::{gen, index::IndexValue};
+use proptest::prelude::*;
+
+/// Generates a random CSR matrix shape: `(nrows, ncols, nnz)` triplets
+/// drawn from the strategy parameters are materialized by the seeded
+/// generator so each case is reproducible.
+fn random_pair(
+    seed: u64,
+    nrows: usize,
+    inner: usize,
+    ncols: usize,
+    nnz_a: usize,
+    nnz_b: usize,
+) -> (CsrMatrix<u32>, CsrMatrix<u32>) {
+    let mut rng = gen::rng(seed);
+    let a = gen::csr_uniform::<u32>(&mut rng, nrows, inner, nnz_a.min(nrows * inner));
+    let b = gen::csr_uniform::<u32>(&mut rng, inner, ncols, nnz_b.min(inner * ncols));
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `spgemm(A, B)` densified equals the dense matrix product.
+    #[test]
+    fn spgemm_matches_dense_matmul(
+        seed in 0u64..1_000_000,
+        nrows in 1usize..24,
+        inner in 1usize..24,
+        ncols in 1usize..24,
+        nnz_a in 0usize..120,
+        nnz_b in 0usize..120,
+    ) {
+        let (a, b) = random_pair(seed, nrows, inner, ncols, nnz_a, nnz_b);
+        let c = spgemm(&a, &b);
+        prop_assert!(c.validate().is_ok());
+        let (da, db, dc) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for r in 0..nrows {
+            for j in 0..ncols {
+                let expect: f64 = (0..inner).map(|k| da[r][k] * db[k][j]).sum();
+                prop_assert!((dc[r][j] - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Row structure: sorted, duplicate-free column indices, row
+    /// pointers matching the symbolic phase, and empty A rows producing
+    /// empty C rows.
+    #[test]
+    fn spgemm_rows_sorted_and_duplicate_free(
+        seed in 0u64..1_000_000,
+        nrows in 1usize..20,
+        inner in 1usize..20,
+        ncols in 1usize..20,
+        nnz_a in 0usize..80,
+        nnz_b in 0usize..80,
+    ) {
+        let (a, b) = random_pair(seed, nrows, inner, ncols, nnz_a, nnz_b);
+        let c = spgemm(&a, &b);
+        prop_assert_eq!(spgemm_ptr(&a, &b), c.ptr().to_vec());
+        for r in 0..nrows {
+            let cols: Vec<usize> = c.row(r).map(|(j, _)| j).collect();
+            for w in cols.windows(2) {
+                prop_assert!(w[0] < w[1], "row {} not strictly sorted", r);
+            }
+            if a.row(r).count() == 0 {
+                prop_assert_eq!(cols.len(), 0, "empty A row {} must stay empty", r);
+            }
+        }
+    }
+
+    /// The product is index-width independent: computing in 32-bit and
+    /// narrowing equals computing in 16-bit directly.
+    #[test]
+    fn spgemm_index_width_independent(
+        seed in 0u64..1_000_000,
+        n in 1usize..16,
+        nnz in 0usize..60,
+    ) {
+        let (a32, b32) = random_pair(seed, n, n, n, nnz, nnz);
+        let c32 = spgemm(&a32, &b32);
+        let c16 = spgemm(&a32.with_index_width::<u16>(), &b32.with_index_width::<u16>());
+        prop_assert_eq!(c32.ptr().to_vec(), c16.ptr().to_vec());
+        let narrow: Vec<u16> = c32.idcs().iter().map(|&i| u16::from_usize(i.to_usize())).collect();
+        prop_assert_eq!(narrow, c16.idcs().to_vec());
+        prop_assert_eq!(c32.vals().to_vec(), c16.vals().to_vec());
+    }
+
+    /// SpGEMM against a one-column B degenerates to CsrMV on the
+    /// densified column.
+    #[test]
+    fn spgemm_single_column_matches_csrmv(
+        seed in 0u64..1_000_000,
+        nrows in 1usize..20,
+        inner in 1usize..20,
+        nnz_a in 0usize..60,
+        x_nnz in 0usize..20,
+    ) {
+        let mut rng = gen::rng(seed);
+        let a = gen::csr_uniform::<u32>(&mut rng, nrows, inner, nnz_a.min(nrows * inner));
+        let x = gen::sparse_vector::<u32>(&mut rng, inner, x_nnz.min(inner));
+        let b = CsrMatrix::<u32>::from_triplets(
+            inner,
+            1,
+            &x.iter().map(|(i, v)| (i, 0, v)).collect::<Vec<_>>(),
+        );
+        let c = spgemm(&a, &b);
+        let y = csrmv(&a, &x.to_dense());
+        let dense_c = c.to_dense();
+        for (r, &yr) in y.iter().enumerate() {
+            prop_assert!((dense_c[r][0] - yr).abs() <= 1e-9 * yr.abs().max(1.0));
+        }
+    }
+}

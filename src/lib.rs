@@ -12,7 +12,13 @@
 //! Beyond the paper, the streamer carries the SSSR-style sparse-sparse
 //! **index joiner** (arXiv:2305.05559): see [`core::joiner`] and the
 //! SpVV∩ / SpMSpV kernels in `kernels::spmspv` (`examples/spmspv.rs`
-//! walks through it; `issr-bench --bin joiner` sweeps it).
+//! walks through it; `issr-bench --bin joiner` sweeps it) — and its
+//! write-side counterpart, the **SpAcc** sparse accumulator
+//! ([`core::spacc`]), which turns a lane's write stream into compressed
+//! CSR rows and powers row-wise SpGEMM in `kernels::spgemm` plus the
+//! cluster versions in `kernels::cluster_spmspv` /
+//! `kernels::cluster_spgemm` (`examples/spgemm.rs`; `issr-bench --bin
+//! spgemm`).
 //!
 //! # Examples
 //! ```
