@@ -24,7 +24,18 @@ fn main() {
             r.speedup16(),
             r.speedup32(),
         );
+        assert!(
+            r.issr16 <= r.issr16_single,
+            "{}: double-buffered SpAcc regression ({} vs single-buffered {})",
+            r.regime.label,
+            r.issr16,
+            r.issr16_single,
+        );
     }
+    assert!(
+        rows.iter().any(|r| r.double_buffer_gain() > 0),
+        "double-buffered SpAcc shows no cycle reduction on any regime",
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -73,6 +84,31 @@ fn main() {
         "{}",
         markdown_table(
             &["regime", "feeds", "pairs", "merges", "steps", "drains", "out words", "peak nnz"],
+            &table
+        )
+    );
+
+    // Double-buffered row storage: a row's drain overlaps the next
+    // row's first feed. Report the measured delta per regime.
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regime.label.to_owned(),
+                r.issr16_single.to_string(),
+                r.issr16.to_string(),
+                r.double_buffer_gain().to_string(),
+                format!("{:.1}%", 100.0 * r.double_buffer_gain() as f64 / r.issr16_single as f64),
+                r.spacc.overlap_cycles.to_string(),
+                r.spacc.port_shared.to_string(),
+            ]
+        })
+        .collect();
+    println!("SpAcc double-buffered drains (ISSR-16: single vs double buffer)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["regime", "single", "double", "saved", "gain", "overlap cyc", "port shared"],
             &table
         )
     );

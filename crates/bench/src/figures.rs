@@ -5,7 +5,7 @@ use issr_kernels::cluster_csrmv::run_cluster_csrmv;
 use issr_kernels::cluster_spgemm::run_cluster_spgemm;
 use issr_kernels::csrmm::run_csrmm;
 use issr_kernels::csrmv::run_csrmv;
-use issr_kernels::spgemm::run_spgemm;
+use issr_kernels::spgemm::{run_spgemm, run_spgemm_buffered};
 use issr_kernels::spmspv::{run_spmspv, run_spvv_ss};
 use issr_kernels::spvv::run_spvv;
 use issr_kernels::variant::Variant;
@@ -386,8 +386,9 @@ pub struct SpgemmRegime {
     pub b_row_nnz: usize,
 }
 
-/// One row of the SpGEMM sweep: BASE vs. ISSR cycles per index width
-/// plus the ISSR-16 run's SpAcc unit activity.
+/// One row of the SpGEMM sweep: BASE vs. ISSR cycles per index width,
+/// the ISSR-16 run's SpAcc unit activity, and the single-buffered
+/// ISSR-16 cycles (double-buffer delta).
 #[derive(Clone, Copy, Debug)]
 pub struct SpgemmRow {
     /// The regime swept.
@@ -396,11 +397,14 @@ pub struct SpgemmRow {
     pub base16: u64,
     /// ISSR (SpAcc subsystem) ROI cycles, 16-bit indices.
     pub issr16: u64,
+    /// ISSR-16 ROI cycles with single-buffered SpAcc row storage (the
+    /// drain blocks the next row's feeds) — the double-buffer baseline.
+    pub issr16_single: u64,
     /// BASE ROI cycles, 32-bit indices.
     pub base32: u64,
     /// ISSR ROI cycles, 32-bit indices.
     pub issr32: u64,
-    /// SpAcc statistics of the ISSR-16 run.
+    /// SpAcc statistics of the (double-buffered) ISSR-16 run.
     pub spacc: SpAccStats,
 }
 
@@ -415,6 +419,13 @@ impl SpgemmRow {
     #[must_use]
     pub fn speedup32(&self) -> f64 {
         self.base32 as f64 / self.issr32 as f64
+    }
+
+    /// Cycles the double-buffered SpAcc saves over the single-buffered
+    /// unit (drain/feed overlap), ISSR-16.
+    #[must_use]
+    pub fn double_buffer_gain(&self) -> u64 {
+        self.issr16_single.saturating_sub(self.issr16)
     }
 }
 
@@ -440,12 +451,15 @@ pub fn spgemm_sweep(regimes: &[SpgemmRegime]) -> Vec<SpgemmRow> {
             let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
             let base16 = run_spgemm(Variant::Base, &a16, &b16).expect("base16 run");
             let issr16 = run_spgemm(Variant::Issr, &a16, &b16).expect("issr16 run");
+            let issr16_single = run_spgemm_buffered(Variant::Issr, &a16, &b16, false)
+                .expect("issr16 single-buffer run");
             let base32 = run_spgemm(Variant::Base, &a32, &b32).expect("base32 run");
             let issr32 = run_spgemm(Variant::Issr, &a32, &b32).expect("issr32 run");
             SpgemmRow {
                 regime,
                 base16: base16.summary.metrics.roi.cycles,
                 issr16: issr16.summary.metrics.roi.cycles,
+                issr16_single: issr16_single.summary.metrics.roi.cycles,
                 base32: base32.summary.metrics.roi.cycles,
                 issr32: issr32.summary.metrics.roi.cycles,
                 spacc: issr16.summary.spacc_stats,
@@ -581,7 +595,8 @@ mod tests {
     /// at least 3x over the software merge on every default regime.
     #[test]
     fn spgemm_issr_beats_base_on_every_regime() {
-        for row in spgemm_sweep(&smoke_spgemm_regimes()) {
+        let rows = spgemm_sweep(&smoke_spgemm_regimes());
+        for row in &rows {
             assert!(
                 row.speedup16() > 3.0,
                 "{}: SpGEMM-16 speedup {:.2}",
@@ -595,7 +610,19 @@ mod tests {
                 row.speedup32()
             );
             assert!(row.spacc.pairs_in > 0, "SpAcc must carry the expansion");
+            assert!(
+                row.issr16 <= row.issr16_single,
+                "{}: double buffering regressed ({} vs {})",
+                row.regime.label,
+                row.issr16,
+                row.issr16_single
+            );
         }
+        // Regimes with long rows must actually win overlap cycles.
+        assert!(
+            rows.iter().any(|r| r.spacc.overlap_cycles > 0 && r.double_buffer_gain() > 0),
+            "double-buffered drains must overlap feeds somewhere in the sweep"
+        );
     }
 
     #[test]

@@ -28,11 +28,21 @@ pub struct ClusterParams {
     /// SpAcc) instead of the paper's plain SSR + ISSR pair — the
     /// configuration the cluster SpMSpV/SpGEMM kernels run on.
     pub sssr: bool,
+    /// Double-buffered SpAcc row storage (a row's drain overlaps the
+    /// next row's first feed). On by default; the benchmark disables it
+    /// to report the overlap delta.
+    pub spacc_double_buffer: bool,
 }
 
 impl Default for ClusterParams {
     fn default() -> Self {
-        Self { n_workers: 8, cc: CcParams::default(), icache: true, sssr: false }
+        Self {
+            n_workers: 8,
+            cc: CcParams::default(),
+            icache: true,
+            sssr: false,
+            spacc_double_buffer: true,
+        }
     }
 }
 
@@ -111,7 +121,9 @@ impl Cluster {
         let mut workers = Vec::with_capacity(params.n_workers);
         for hart in 0..params.n_workers {
             let streamer = if params.sssr {
-                issr_core::streamer::Streamer::sssr_config()
+                let mut s = issr_core::streamer::Streamer::sssr_config();
+                s.set_spacc_double_buffered(params.spacc_double_buffer);
+                s
             } else {
                 issr_core::streamer::Streamer::paper_config()
             };
@@ -160,8 +172,15 @@ impl Cluster {
     }
 
     fn release_barrier_if_all_arrived(&mut self) {
-        let all = self.workers.iter().all(|cc| cc.core.at_barrier()) && self.dmcc.core.at_barrier();
-        if all {
+        // Halted cores count as arrived: the hardware barrier masks out
+        // inactive harts, so a worker whose stripe is empty (or the
+        // DMCC sitting out a resident workload) cannot deadlock the
+        // cores that still synchronize — the property the device-owned
+        // prefix-sum phases rely on.
+        let arrived = |cc: &CoreComplex| cc.core.at_barrier() || cc.core.halted();
+        let any = self.workers.iter().any(|cc| cc.core.at_barrier()) || self.dmcc.core.at_barrier();
+        let all = self.workers.iter().all(arrived) && arrived(&self.dmcc);
+        if any && all {
             for cc in &mut self.workers {
                 cc.core.release_barrier();
             }

@@ -14,5 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod scan;
 
 pub use cluster::{Cluster, ClusterParams, ClusterSummary};
+pub use scan::{emit_exclusive_prefix, scan_array_bytes};

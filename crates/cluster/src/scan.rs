@@ -1,0 +1,126 @@
+//! The cluster prefix-sum barrier: a log-tree (Hillis–Steele) scan over
+//! per-worker totals, built from the hardware barrier.
+//!
+//! Device-owned two-pass allocation needs packed output offsets whose
+//! prefix sums span *all* workers' data-dependent row counts. Each
+//! worker publishes its stripe total, then `⌈log2 n⌉` barrier-separated
+//! rounds fold lower-indexed totals in, yielding the inclusive scan;
+//! subtracting the local total gives each worker its exclusive packed
+//! base. The two scratch arrays ping-pong between rounds so reads of
+//! round *r−1* never race writes of round *r* (the barrier separates
+//! them), and workers whose stripe is empty may simply have halted —
+//! the barrier masks halted harts out and the host zero-fills their
+//! slots.
+
+use issr_isa::asm::Assembler;
+use issr_isa::reg::IntReg as R;
+use issr_isa::Csr;
+
+/// Bytes of scratch one scan array needs for `n_workers` workers
+/// (u32 slots, padded to whole 64-bit words for host zero-fill).
+#[must_use]
+pub fn scan_array_bytes(n_workers: u32) -> u32 {
+    (n_workers.max(1) * 4 + 7) & !7
+}
+
+/// Emits the barrier-synchronized inclusive scan and converts it to an
+/// exclusive offset.
+///
+/// Register contract: on entry `a7` holds the worker index and `s10`
+/// the worker's local total; on exit `s3` holds the exclusive prefix
+/// (the sum of all lower-indexed workers' totals). Clobbers `t0`–`t4`.
+/// `totals` are the two host-zeroed ping-pong scratch arrays
+/// ([`scan_array_bytes`] each); every participating worker must execute
+/// this emission (halted workers are masked out by the barrier and
+/// contribute their zero-filled slots).
+pub fn emit_exclusive_prefix(asm: &mut Assembler, n_workers: u32, totals: [u32; 2]) {
+    // Publish the local total into slot h of the first array.
+    asm.slli(R::T0, R::A7, 2);
+    asm.li_addr(R::T1, totals[0]);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.sw(R::S10, R::T0, 0);
+    asm.csrr(R::ZERO, Csr::Barrier);
+    // ⌈log2 n⌉ fold rounds, ping-ponging between the two arrays.
+    let mut src = 0usize;
+    let mut d = 1u32;
+    while d < n_workers {
+        let skip = asm.new_label();
+        asm.slli(R::T0, R::A7, 2);
+        asm.li_addr(R::T1, totals[src]);
+        asm.add(R::T0, R::T0, R::T1);
+        asm.lw(R::T2, R::T0, 0); //     src[h]
+        asm.li(R::T3, i64::from(d));
+        asm.blt(R::A7, R::T3, skip);
+        asm.lw(R::T4, R::T0, -((d * 4) as i32)); // src[h - d]
+        asm.add(R::T2, R::T2, R::T4);
+        asm.bind(skip);
+        asm.slli(R::T0, R::A7, 2);
+        asm.li_addr(R::T1, totals[1 - src]);
+        asm.add(R::T0, R::T0, R::T1);
+        asm.sw(R::T2, R::T0, 0); //     dst[h]
+        asm.csrr(R::ZERO, Csr::Barrier);
+        src = 1 - src;
+        d *= 2;
+    }
+    // Inclusive scan of worker h sits in its own final slot (its own
+    // last-round write, so no further barrier is needed to read it);
+    // subtract the local total for the exclusive packed base.
+    asm.slli(R::T0, R::A7, 2);
+    asm.li_addr(R::T1, totals[src]);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.lw(R::T2, R::T0, 0);
+    asm.sub(R::S3, R::T2, R::S10);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterParams};
+    use issr_mem::map::TCDM_BASE;
+
+    /// Every worker computes its exclusive prefix over data-dependent
+    /// totals and stores it; the result must equal the host scan. Also
+    /// exercises the halted-worker barrier masking (workers past
+    /// `active` halt before the scan).
+    #[test]
+    fn scan_matches_host_prefix_sum() {
+        for active in [1u32, 3, 5, 8] {
+            let totals = [TCDM_BASE + 0x100, TCDM_BASE + 0x100 + scan_array_bytes(8)];
+            let out = TCDM_BASE + 0x200;
+            let mut a = Assembler::new();
+            a.csrr(R::A7, Csr::MHartId);
+            let work = a.new_label();
+            a.li(R::T0, i64::from(active));
+            a.blt(R::A7, R::T0, work);
+            a.halt(); // DMCC and inactive workers sit the scan out
+            a.bind(work);
+            // Local total: h * h + 1 (data-dependent stand-in).
+            a.mul(R::S10, R::A7, R::A7);
+            a.addi(R::S10, R::S10, 1);
+            emit_exclusive_prefix(&mut a, 8, totals);
+            a.slli(R::T0, R::A7, 2);
+            a.li_addr(R::T1, out);
+            a.add(R::T0, R::T0, R::T1);
+            a.sw(R::S3, R::T0, 0);
+            a.halt();
+            let mut cluster = Cluster::new(a.finish().unwrap(), ClusterParams::default());
+            // Host zero-fills the scratch arrays (inactive slots stay 0).
+            for addr in totals {
+                for j in 0..8u32 {
+                    cluster.tcdm.array_mut().store_u32(addr + j * 4, 0);
+                }
+            }
+            let summary = cluster.run(100_000).unwrap();
+            assert!(summary.traps.is_empty(), "{:?}", summary.traps);
+            let mut expect = 0u32;
+            for h in 0..active {
+                assert_eq!(
+                    cluster.tcdm.array().load_u32(out + h * 4),
+                    expect,
+                    "worker {h} of {active}"
+                );
+                expect += h * h + 1;
+            }
+        }
+    }
+}

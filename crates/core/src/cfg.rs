@@ -47,7 +47,9 @@ pub mod reg {
     /// (streamer-level, read-only).
     pub const JOIN_COUNT: u16 = 29;
     /// Sparse-accumulator configuration: bit 0 index size (0 = 16-bit,
-    /// 1 = 32-bit).
+    /// 1 = 32-bit), bit 1 count-only mode (feeds merge indices without
+    /// consuming the write stream — the symbolic-phase handshake
+    /// mirroring the joiner's `JOIN_COUNT` mode).
     pub const ACC_CFG: u16 = 30;
     /// Element count of the next SpAcc feed job.
     pub const ACC_COUNT: u16 = 31;
@@ -63,9 +65,25 @@ pub mod reg {
     /// SpAcc row occupancy (read-only; stable only while the unit is
     /// idle — poll [`ACC_STATUS`] first).
     pub const ACC_NNZ: u16 = 35;
-    /// SpAcc status word: bit 0 = done/idle, bit 1 = busy (read-only).
+    /// SpAcc status word: bit 0 = done/idle, bit 1 = busy, bit 2 = all
+    /// feed jobs retired (read-only). With double-buffered row storage a
+    /// drain may still be writing while bit 2 is already set — kernels
+    /// poll bit 2 before reading [`ACC_NNZ`] so the next row's feeds
+    /// overlap the previous row's drain.
     pub const ACC_STATUS: u16 = 36;
+    /// SpAcc row-buffer clear: writing any value discards the
+    /// accumulated row (the symbolic phase's per-row reset — count-only
+    /// rows are never drained). Retries while the unit is busy.
+    pub const ACC_CLEAR: u16 = 37;
+    /// SpAcc row-buffer capacity in elements (hardware sizing; resets to
+    /// [`super::SPACC_ROW_CAP_RESET`]). Launching a feed with capacity
+    /// zero is a configuration fault that traps the core.
+    pub const ACC_BUF_CAP: u16 = 38;
 }
+
+/// Reset value of the SpAcc row-buffer capacity register
+/// ([`reg::ACC_BUF_CAP`]), in elements.
+pub const SPACC_ROW_CAP_RESET: u32 = 4096;
 
 /// Builds an `scfgwi`/`scfgri` address from a register and lane index.
 #[must_use]
@@ -80,7 +98,7 @@ pub fn split_addr(addr: u16) -> (u16, u8) {
 }
 
 /// The shadow configuration a core writes before launching a job.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct CfgShadow {
     /// Element repetition count.
     pub repeat: u32,
@@ -108,6 +126,29 @@ pub struct CfgShadow {
     pub acc_count: u32,
     /// Value output base of the next SpAcc drain.
     pub acc_val_out: u32,
+    /// SpAcc row-buffer capacity in elements.
+    pub acc_buf_cap: u32,
+}
+
+impl Default for CfgShadow {
+    fn default() -> Self {
+        Self {
+            repeat: 0,
+            bounds: [0; MAX_DIMS],
+            strides: [0; MAX_DIMS],
+            idx_cfg: 0,
+            data_base: 0,
+            join_cfg: 0,
+            join_idx_b: 0,
+            join_data_b: 0,
+            join_nnz_a: 0,
+            join_nnz_b: 0,
+            acc_cfg: 0,
+            acc_count: 0,
+            acc_val_out: 0,
+            acc_buf_cap: SPACC_ROW_CAP_RESET,
+        }
+    }
 }
 
 impl CfgShadow {
@@ -178,6 +219,15 @@ impl CfgShadow {
         }
     }
 
+    /// Whether the sparse accumulator runs in count-only mode: feeds
+    /// merge their index stream into the row buffer without consuming
+    /// the write stream, so `ACC_NNZ` reports the row's nonzero count
+    /// without materializing values — the on-device symbolic phase.
+    #[must_use]
+    pub fn acc_count_only(&self) -> bool {
+        self.acc_cfg & 2 != 0
+    }
+
     /// Reads a shadow register (the value `scfgri` returns).
     #[must_use]
     pub fn read(&self, register: u16) -> u32 {
@@ -195,6 +245,7 @@ impl CfgShadow {
             reg::ACC_CFG => self.acc_cfg,
             reg::ACC_COUNT => self.acc_count,
             reg::ACC_VAL_OUT => self.acc_val_out,
+            reg::ACC_BUF_CAP => self.acc_buf_cap,
             _ => 0,
         }
     }
@@ -220,6 +271,7 @@ impl CfgShadow {
             reg::ACC_CFG => self.acc_cfg = value,
             reg::ACC_COUNT => self.acc_count = value,
             reg::ACC_VAL_OUT => self.acc_val_out = value,
+            reg::ACC_BUF_CAP => self.acc_buf_cap = value,
             _ => {}
         }
     }
@@ -402,13 +454,25 @@ pub struct AccFeedSpec {
     pub count: u64,
     /// Index width.
     pub idx_size: IndexSize,
+    /// Count-only (symbolic) feed: indices merge into the row buffer but
+    /// no values are consumed from the write stream.
+    pub count_only: bool,
+    /// Row-buffer capacity in elements (nonzero; the streamer faults
+    /// zero-capacity launches before they reach the unit).
+    pub cap: u32,
 }
 
 impl AccFeedSpec {
     /// Decodes a feed job from the shadow state and the pointer write.
     #[must_use]
     pub fn from_shadow(shadow: &CfgShadow, idx_base: u32) -> Self {
-        Self { idx_base, count: u64::from(shadow.acc_count), idx_size: shadow.acc_index_size() }
+        Self {
+            idx_base,
+            count: u64::from(shadow.acc_count),
+            idx_size: shadow.acc_index_size(),
+            count_only: shadow.acc_count_only(),
+            cap: shadow.acc_buf_cap,
+        }
     }
 }
 
@@ -464,6 +528,16 @@ pub fn acc_cfg_word(size: IndexSize) -> u32 {
         IndexSize::U16 => 0,
         IndexSize::U32 => 1,
     }
+}
+
+/// Encodes the `ACC_CFG` register value for count-only (symbolic) feeds:
+/// the merge runs over the index stream alone and `ACC_NNZ` reports the
+/// data-dependent row length without any value traffic — the SpAcc's
+/// mirror of [`join_count_cfg_word`]. Launching a drain in this mode is
+/// a configuration fault.
+#[must_use]
+pub fn acc_count_cfg_word(size: IndexSize) -> u32 {
+    acc_cfg_word(size) | 2
 }
 
 /// Encodes the `IDX_CFG` register value.
@@ -605,11 +679,30 @@ mod tests {
         assert_eq!(feed.idx_base, 0x0030_1004);
         assert_eq!(feed.count, 17);
         assert_eq!(feed.idx_size, IndexSize::U32);
+        assert!(!feed.count_only);
+        assert_eq!(feed.cap, SPACC_ROW_CAP_RESET);
         let drain = AccDrainSpec::from_shadow(&s, 0x0030_4002);
         assert_eq!(drain.idx_out, 0x0030_4002);
         assert_eq!(drain.val_out, 0x0030_8000);
         assert_eq!(drain.idx_size, IndexSize::U32);
         assert_eq!(CfgShadow::default().acc_index_size(), IndexSize::U16);
+    }
+
+    #[test]
+    fn count_only_acc_cfg_round_trips() {
+        let mut s = CfgShadow::default();
+        assert!(!s.acc_count_only());
+        s.write(reg::ACC_CFG, acc_count_cfg_word(IndexSize::U32));
+        assert!(s.acc_count_only());
+        assert_eq!(s.acc_index_size(), IndexSize::U32);
+        let feed = AccFeedSpec::from_shadow(&s, 0);
+        assert!(feed.count_only);
+        s.write(reg::ACC_CFG, acc_cfg_word(IndexSize::U32));
+        assert!(!s.acc_count_only());
+        // The capacity register resets nonzero and round-trips.
+        assert_eq!(s.read(reg::ACC_BUF_CAP), SPACC_ROW_CAP_RESET);
+        s.write(reg::ACC_BUF_CAP, 9);
+        assert_eq!(AccFeedSpec::from_shadow(&s, 0).cap, 9);
     }
 
     #[test]

@@ -217,6 +217,21 @@ impl Lane {
         &self.shadow
     }
 
+    /// Whether this lane's *read* stream has fully terminated: no read
+    /// job running or queued, no responses in flight, and every
+    /// delivered value consumed. The streamer folds this into the
+    /// stream-terminate signal for `frep.s` loops.
+    #[must_use]
+    pub fn read_stream_done(&self) -> bool {
+        let job_read = self.job.as_ref().is_some_and(|j| j.kind == JobKind::Read);
+        let pending_read = self.pending.as_ref().is_some_and(|s| s.kind == JobKind::Read);
+        !job_read
+            && !pending_read
+            && self.outstanding_data == 0
+            && self.rsp_tags.is_empty()
+            && self.data_fifo.is_empty()
+    }
+
     // ---- configuration interface (core side) ----
 
     /// Writes configuration register `register`. Pointer registers launch

@@ -44,12 +44,13 @@ pub mod streamer;
 
 pub use affine::{AffineIterator, MAX_DIMS};
 pub use cfg::{
-    acc_cfg_word, cfg_addr, idx_cfg_word, join_cfg_word, join_count_cfg_word, AccDrainSpec,
-    AccFeedSpec, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec, Pattern,
+    acc_cfg_word, acc_count_cfg_word, cfg_addr, idx_cfg_word, join_cfg_word, join_count_cfg_word,
+    AccDrainSpec, AccFeedSpec, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec, Pattern,
+    SPACC_ROW_CAP_RESET,
 };
 pub use fifo::Fifo;
 pub use joiner::{IndexJoiner, JoinerStats, JOIN_OUT_DEPTH};
 pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};
 pub use serializer::{IndexSerializer, IndexSize};
 pub use spacc::{SpAcc, SpAccStats, SPACC_LANE};
-pub use streamer::Streamer;
+pub use streamer::{CfgFault, Streamer};

@@ -35,6 +35,19 @@
 //! CSR row expansion naturally is; separate feed jobs may overlap
 //! arbitrarily — that is exactly the accumulation case the merge exists
 //! for.
+//!
+//! Two later extensions round the unit out:
+//!
+//! * **count-only feeds** (`ACC_CFG` bit 1) run the same merge over the
+//!   index stream alone — no write-stream traffic — so `ACC_NNZ` yields
+//!   a row's data-dependent nonzero count without materializing values:
+//!   the on-device *symbolic phase* of two-pass SpGEMM (cleared per row
+//!   with `ACC_CLEAR`; draining in this mode is a configuration fault);
+//! * **double-buffered row storage**: a drain snapshots the merged row
+//!   at promotion, so the next row's first feed merges into the freed
+//!   buffer while the drain still writes — the two jobs share the lane
+//!   port round-robin, and [`SpAccStats::overlap_cycles`] counts the
+//!   won overlap.
 
 use crate::affine::AffineIterator;
 use crate::cfg::{AccDrainSpec, AccFeedSpec};
@@ -55,6 +68,8 @@ pub const SPACC_LANE: usize = 1;
 pub struct SpAccStats {
     /// Feed jobs completed.
     pub feeds: u64,
+    /// Count-only (symbolic) feed jobs among [`Self::feeds`].
+    pub count_feeds: u64,
     /// Drain jobs completed.
     pub drains: u64,
     /// (index, value) pairs consumed from the input streams.
@@ -69,6 +84,12 @@ pub struct SpAccStats {
     pub out_words: u64,
     /// High-water row-buffer occupancy.
     pub peak_nnz: u64,
+    /// Cycles where a drain and a feed were both in flight (the
+    /// double-buffer overlap the second row buffer buys).
+    pub overlap_cycles: u64,
+    /// Cycles a granted drain write was deferred to a feed index fetch
+    /// by the shared-port round-robin (contended overlap cycles).
+    pub port_shared: u64,
 }
 
 /// A queued SpAcc job.
@@ -95,6 +116,10 @@ struct FeedRun {
     /// Pairs fully consumed by the merge.
     consumed: u64,
     count: u64,
+    /// Count-only (symbolic) feed: no value stream is consumed.
+    count_only: bool,
+    /// Row-buffer capacity in elements (checked at retire).
+    cap: u32,
     /// The pre-feed row buffer being merged against.
     old: Vec<(u32, f64)>,
     /// Merge cursor into `old`.
@@ -121,6 +146,8 @@ impl FeedRun {
             taken: 0,
             consumed: 0,
             count: spec.count,
+            count_only: spec.count_only,
+            cap: spec.cap,
             old,
             pos: 0,
             new: Vec::new(),
@@ -189,30 +216,58 @@ impl DrainRun {
     }
 }
 
-#[derive(Debug)]
-enum ActiveJob {
-    /// Boxed: a feed carries the whole fetch/merge state, a drain only
-    /// its write queue.
-    Feed(Box<FeedRun>),
-    Drain(DrainRun),
-}
-
 /// The sparse accumulator unit of one streamer.
-#[derive(Debug, Default)]
+///
+/// Row storage is **double-buffered**: a drain snapshots the merged row
+/// into its own write queue at promotion, freeing the live buffer so the
+/// next row's first feed starts merging while the drain is still writing
+/// the previous row out (the two jobs arbitrate the shared lane port
+/// round-robin). [`SpAcc::set_double_buffered`] reverts to the
+/// single-buffer behaviour (feed waits for the drain), which the
+/// benchmark uses to report the overlap gain.
+#[derive(Debug)]
 pub struct SpAcc {
     /// The accumulated row: sorted, duplicate-free (index, value) pairs.
     row: Vec<(u32, f64)>,
-    active: Option<ActiveJob>,
+    /// In-flight feed (fetch/merge state; boxed — it is large).
+    feed: Option<Box<FeedRun>>,
+    /// In-flight drain (its snapshot write queue).
+    drain: Option<DrainRun>,
     /// One-deep shadow queue (like a lane's pending slot).
     pending: Option<AccJob>,
+    /// Whether a feed may start while a drain is still writing.
+    double_buffered: bool,
+    /// Round-robin marker for the shared port: `true` if the drain won
+    /// the last contended cycle.
+    drain_won_last: bool,
     stats: SpAccStats,
 }
 
+impl Default for SpAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl SpAcc {
-    /// Creates an idle unit with an empty row buffer.
+    /// Creates an idle, double-buffered unit with an empty row buffer.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            row: Vec::new(),
+            feed: None,
+            drain: None,
+            pending: None,
+            double_buffered: true,
+            drain_won_last: false,
+            stats: SpAccStats::default(),
+        }
+    }
+
+    /// Selects single- or double-buffered row storage (hardware knob;
+    /// the benchmark sweeps both to report the overlap delta).
+    pub fn set_double_buffered(&mut self, enabled: bool) {
+        self.double_buffered = enabled;
     }
 
     /// Accumulated statistics.
@@ -222,7 +277,8 @@ impl SpAcc {
     }
 
     /// Current row-buffer occupancy (the `ACC_NNZ` readback). Stable
-    /// only while the unit is idle.
+    /// once all feeds retired ([`Self::feeds_idle`]) — an in-flight
+    /// drain holds its own snapshot and does not disturb it.
     #[must_use]
     pub fn nnz(&self) -> u64 {
         self.row.len() as u64
@@ -231,13 +287,20 @@ impl SpAcc {
     /// Whether a job is running or queued.
     #[must_use]
     pub fn busy(&self) -> bool {
-        self.active.is_some() || self.pending.is_some()
+        self.feed.is_some() || self.drain.is_some() || self.pending.is_some()
     }
 
     /// Whether the unit has fully drained (no job running or queued).
     #[must_use]
     pub fn is_idle(&self) -> bool {
         !self.busy()
+    }
+
+    /// Whether every feed job has retired (drains may still be writing).
+    /// The `ACC_STATUS` feed-done bit kernels poll before `ACC_NNZ`.
+    #[must_use]
+    pub fn feeds_idle(&self) -> bool {
+        self.feed.is_none() && !matches!(self.pending, Some(AccJob::Feed(_)))
     }
 
     /// Queues a feed job; returns `false` if the shadow slot is full
@@ -251,6 +314,17 @@ impl SpAcc {
         self.launch(AccJob::Drain(spec))
     }
 
+    /// Discards the accumulated row (the `ACC_CLEAR` write — symbolic
+    /// rows are counted, not drained). Returns `false` while the unit is
+    /// busy (the core retries).
+    pub fn clear(&mut self) -> bool {
+        if self.busy() {
+            return false;
+        }
+        self.row.clear();
+        true
+    }
+
     fn launch(&mut self, job: AccJob) -> bool {
         if self.pending.is_some() {
             return false;
@@ -260,63 +334,96 @@ impl SpAcc {
         true
     }
 
-    /// Starts the queued job once the previous one retired. Jobs consume
+    /// Starts the queued job once its buffer slot frees. Jobs consume
     /// the row buffer at promotion time, so a drain queued behind feeds
-    /// sees the fully merged row.
+    /// sees the fully merged row — and, double-buffered, a feed queued
+    /// behind a drain starts on the fresh buffer while the drain's
+    /// snapshot is still being written.
     fn promote(&mut self) {
-        if self.active.is_some() || self.pending.is_none() {
-            return;
-        }
-        match self.pending.take().expect("checked above") {
-            AccJob::Feed(spec) if spec.count == 0 => {
-                // Zero-length feeds retire instantly (nothing to merge).
-                self.stats.feeds += 1;
-                self.promote();
-            }
-            AccJob::Feed(spec) => {
+        match self.pending {
+            Some(AccJob::Feed(spec)) => {
+                if self.feed.is_some() || (!self.double_buffered && self.drain.is_some()) {
+                    return;
+                }
+                self.pending = None;
+                if spec.count == 0 {
+                    // Zero-length feeds retire instantly (nothing to merge).
+                    self.stats.feeds += 1;
+                    if spec.count_only {
+                        self.stats.count_feeds += 1;
+                    }
+                    return;
+                }
                 let old = std::mem::take(&mut self.row);
-                self.active = Some(ActiveJob::Feed(Box::new(FeedRun::new(&spec, old))));
+                self.feed = Some(Box::new(FeedRun::new(&spec, old)));
             }
-            AccJob::Drain(spec) => {
-                self.active = Some(ActiveJob::Drain(DrainRun::new(&spec, &self.row)));
+            Some(AccJob::Drain(spec)) => {
+                if self.drain.is_some() || self.feed.is_some() {
+                    return;
+                }
+                self.pending = None;
+                self.drain = Some(DrainRun::new(&spec, &self.row));
                 self.row.clear();
             }
+            None => {}
         }
     }
 
     /// Advances one cycle against the borrowed lane: `port` carries the
-    /// index fetches and drain writes, `lane`'s write FIFO supplies the
-    /// feed values.
+    /// index fetches and drain writes (round-robin when both jobs are in
+    /// flight), `lane`'s write FIFO supplies the feed values.
     pub fn tick(&mut self, now: u64, port: &mut MemPort, lane: &mut Lane) {
         self.promote();
-        let done = match &mut self.active {
-            None => return,
-            Some(ActiveJob::Feed(run)) => {
-                Self::tick_feed(run, now, port, lane, &mut self.stats, &mut self.row)
-            }
-            Some(ActiveJob::Drain(run)) => {
-                if let Some(&req) = run.reqs.front() {
-                    if port.can_send() {
-                        port.send(req);
-                        run.reqs.pop_front();
-                        self.stats.out_words += 1;
-                    }
-                }
-                run.reqs.is_empty()
-            }
-        };
-        if done {
-            if matches!(self.active, Some(ActiveJob::Drain(_))) {
-                self.stats.drains += 1;
-            }
-            self.active = None;
-            self.promote();
+        if self.feed.is_some() && self.drain.is_some() {
+            self.stats.overlap_cycles += 1;
         }
+        // Feed datapath: responses, stream heads, one merge step.
+        let feed_done = match &mut self.feed {
+            Some(run) => Self::tick_feed(run, now, port, lane, &mut self.stats, &mut self.row),
+            None => false,
+        };
+        // One request on the shared port: drain write vs. feed index
+        // fetch, arbitrated round-robin like the lane's fetchers.
+        if port.can_send() {
+            let feed_wants = self.feed.as_ref().is_some_and(|run| run.idx_wants());
+            let drain_wants = self.drain.as_ref().is_some_and(|run| !run.reqs.is_empty());
+            let grant_drain = match (drain_wants, feed_wants) {
+                (true, false) => true,
+                (true, true) => {
+                    self.stats.port_shared += 1;
+                    !self.drain_won_last
+                }
+                (false, _) => false,
+            };
+            if grant_drain {
+                let run = self.drain.as_mut().expect("drain_wants checked");
+                let req = run.reqs.pop_front().expect("drain_wants checked");
+                port.send(req);
+                self.stats.out_words += 1;
+                self.drain_won_last = true;
+            } else if feed_wants {
+                let run = self.feed.as_mut().expect("feed_wants checked");
+                let addr = run.word_it.next_addr().expect("idx_wants checked");
+                port.send(MemReq::read(addr));
+                run.outstanding_idx += 1;
+                self.stats.idx_words += 1;
+                self.drain_won_last = false;
+            }
+        }
+        if feed_done {
+            self.feed = None;
+        }
+        if self.drain.as_ref().is_some_and(|run| run.reqs.is_empty()) {
+            self.drain = None;
+            self.stats.drains += 1;
+        }
+        self.promote();
     }
 
     /// One feed cycle: drain index-word responses, pull the stream
-    /// heads, perform one merge step, issue one index fetch. Returns
-    /// `true` when the job retired (row buffer swapped in).
+    /// heads, perform one merge step (the index fetch issues from
+    /// [`Self::tick`]'s shared-port arbiter). Returns `true` when the
+    /// job retired (row buffer swapped in).
     fn tick_feed(
         run: &mut FeedRun,
         now: u64,
@@ -341,8 +448,9 @@ impl SpAcc {
             }
         }
         // Pull a value only while pairs remain — values beyond `count`
-        // belong to the next queued feed job.
-        if run.val_head.is_none() && run.consumed < run.count {
+        // belong to the next queued feed job. Count-only feeds never
+        // touch the write stream.
+        if !run.count_only && run.val_head.is_none() && run.consumed < run.count {
             if let Some(bits) = lane.take_write() {
                 run.val_head = Some(f64::from_bits(bits));
             }
@@ -355,11 +463,22 @@ impl SpAcc {
                 stats.steps += 1;
             } else if run.outstanding_idx == 0 {
                 *row = std::mem::take(&mut run.new);
+                assert!(
+                    row.len() <= run.cap as usize,
+                    "SpAcc row buffer overflow: {} entries exceed the configured \
+                     capacity of {}",
+                    row.len(),
+                    run.cap
+                );
                 stats.feeds += 1;
+                if run.count_only {
+                    stats.count_feeds += 1;
+                }
                 stats.peak_nnz = stats.peak_nnz.max(row.len() as u64);
                 return true;
             }
-        } else if let (Some(idx), Some(val)) = (run.head, run.val_head) {
+        } else if let (Some(idx), true) = (run.head, run.count_only || run.val_head.is_some()) {
+            let val = run.val_head.unwrap_or(0.0);
             stats.steps += 1;
             if run.pos < run.old.len() && run.old[run.pos].0 < idx {
                 run.new.push(run.old[run.pos]);
@@ -394,12 +513,6 @@ impl SpAcc {
                 stats.pairs_in += 1;
             }
         }
-        if port.can_send() && run.idx_wants() {
-            let addr = run.word_it.next_addr().expect("idx_wants checked");
-            port.send(MemReq::read(addr));
-            run.outstanding_idx += 1;
-            stats.idx_words += 1;
-        }
         false
     }
 }
@@ -415,7 +528,13 @@ mod tests {
     const VAL_OUT: u32 = BASE + 0x8000;
 
     fn feed_spec(idx_base: u32, count: u64) -> AccFeedSpec {
-        AccFeedSpec { idx_base, count, idx_size: IndexSize::U16 }
+        AccFeedSpec {
+            idx_base,
+            count,
+            idx_size: IndexSize::U16,
+            count_only: false,
+            cap: crate::cfg::SPACC_ROW_CAP_RESET,
+        }
     }
 
     fn drain_spec(idx_out: u32) -> AccDrainSpec {
@@ -581,6 +700,133 @@ mod tests {
         let mut tcdm = Tcdm::ideal(BASE, 0x10000);
         let mut spacc = SpAcc::new();
         feed_stream(&mut spacc, &mut tcdm, &[9, 3], &[1.0, 2.0]);
+    }
+
+    fn feed_spec_cap(idx_base: u32, count: u64, cap: u32) -> AccFeedSpec {
+        AccFeedSpec { cap, ..feed_spec(idx_base, count) }
+    }
+
+    /// Duplicate-index add chains right at the buffer capacity: a
+    /// stream of 2x duplicates over `cap` distinct indices merges to
+    /// exactly `cap` entries — full, but legal.
+    #[test]
+    fn duplicate_chains_at_buffer_capacity() {
+        let cap = 8u32;
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let idcs: Vec<u16> = (0..cap as u16).flat_map(|i| [i, i]).collect();
+        let vals: Vec<f64> = (0..2 * cap).map(|i| f64::from(i) + 1.0).collect();
+        tcdm.array_mut().store_u16_slice(IDX_IN, &idcs);
+        let mut spacc = SpAcc::new();
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec_cap(IDX_IN, idcs.len() as u64, cap)));
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &vals);
+        assert_eq!(spacc.nnz(), u64::from(cap));
+        assert_eq!(spacc.stats().merges, u64::from(cap), "every second pair merges");
+        // Each entry is the sum of its duplicate chain.
+        for (j, &(idx, v)) in spacc.row.iter().enumerate() {
+            assert_eq!(idx, j as u32);
+            assert_eq!(v, vals[2 * j] + vals[2 * j + 1]);
+        }
+        assert_eq!(spacc.stats().peak_nnz, u64::from(cap));
+    }
+
+    /// One distinct index past the capacity overflows the row buffer —
+    /// a model bug, reported loudly.
+    #[test]
+    #[should_panic(expected = "row buffer overflow")]
+    fn over_capacity_feed_panics() {
+        let cap = 8u32;
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let idcs: Vec<u16> = (0..=cap as u16).collect(); // cap + 1 distinct
+        let vals: Vec<f64> = (0..=cap).map(f64::from).collect();
+        tcdm.array_mut().store_u16_slice(IDX_IN, &idcs);
+        let mut spacc = SpAcc::new();
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec_cap(IDX_IN, idcs.len() as u64, cap)));
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &vals);
+    }
+
+    /// Two drains packing adjacent rows that share a 64-bit index word
+    /// at their boundary (the cluster's worker-boundary case): the
+    /// strobed partial-word writes must compose without clobbering.
+    #[test]
+    fn strobed_drains_compose_at_boundary_words() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        // Row 1: three u16 indices at the word base; row 2: two more
+        // continuing mid-word — indices 3..5 of the same packed array.
+        feed_stream(&mut spacc, &mut tcdm, &[10, 11, 12], &[1.0, 2.0, 3.0]);
+        assert!(spacc.launch_drain(AccDrainSpec {
+            idx_out: IDX_OUT,
+            val_out: VAL_OUT,
+            idx_size: IndexSize::U16,
+        }));
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[]);
+        feed_stream(&mut spacc, &mut tcdm, &[20, 21], &[4.0, 5.0]);
+        assert!(spacc.launch_drain(AccDrainSpec {
+            idx_out: IDX_OUT + 6, // continues inside row 1's last word
+            val_out: VAL_OUT + 24,
+            idx_size: IndexSize::U16,
+        }));
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[]);
+        for (j, want) in [10u16, 11, 12, 20, 21].iter().enumerate() {
+            assert_eq!(tcdm.array().load_u16(IDX_OUT + 2 * j as u32), *want, "index {j}");
+        }
+        for (j, want) in [1.0f64, 2.0, 3.0, 4.0, 5.0].iter().enumerate() {
+            assert_eq!(tcdm.array().load_f64(VAL_OUT + 8 * j as u32), *want, "value {j}");
+        }
+    }
+
+    /// The double-buffer swap with an in-flight drain: a feed queued
+    /// behind a drain starts merging into the fresh buffer while the
+    /// drain is still writing its snapshot — overlap cycles accrue and
+    /// neither row corrupts the other.
+    #[test]
+    fn double_buffer_swap_with_inflight_drain() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        // Row 1 (large enough that its drain is still writing when the
+        // next feed starts).
+        let idcs1: Vec<u16> = (0..24u16).map(|i| i * 3).collect();
+        let vals1: Vec<f64> = (0..24).map(|i| f64::from(i) + 0.5).collect();
+        feed_stream(&mut spacc, &mut tcdm, &idcs1, &vals1);
+        // Row 2's indices, placed elsewhere.
+        let idcs2: Vec<u16> = (0..16u16).map(|i| i * 2 + 1).collect();
+        let vals2: Vec<f64> = (0..16).map(|i| -f64::from(i)).collect();
+        tcdm.array_mut().store_u16_slice(IDX_IN + 0x200, &idcs2);
+        // Queue drain(row 1) then feed(row 2) back to back.
+        assert!(spacc.launch_drain(drain_spec(IDX_OUT)));
+        assert!(spacc.launch_feed(feed_spec(IDX_IN + 0x200, idcs2.len() as u64)));
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &vals2);
+        // The drain snapshot holds row 1 untouched by the overlapping feed.
+        for (j, &idx) in idcs1.iter().enumerate() {
+            assert_eq!(tcdm.array().load_u16(IDX_OUT + 2 * j as u32), idx);
+            assert_eq!(tcdm.array().load_f64(VAL_OUT + 8 * j as u32), vals1[j]);
+        }
+        // The live buffer holds row 2.
+        assert_eq!(spacc.nnz(), idcs2.len() as u64);
+        assert_eq!(spacc.row.iter().map(|&(i, _)| i as u16).collect::<Vec<_>>(), idcs2);
+        assert!(spacc.stats().overlap_cycles > 0, "feed must overlap the in-flight drain");
+    }
+
+    /// Single-buffer mode (the benchmark's baseline knob) serializes the
+    /// same sequence: zero overlap cycles, identical results.
+    #[test]
+    fn single_buffer_mode_serializes_drain_and_feed() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let mut spacc = SpAcc::new();
+        spacc.set_double_buffered(false);
+        feed_stream(&mut spacc, &mut tcdm, &[1, 5, 7], &[1.0, 2.0, 3.0]);
+        tcdm.array_mut().store_u16_slice(IDX_IN + 0x200, &[2, 4]);
+        assert!(spacc.launch_drain(drain_spec(IDX_OUT)));
+        assert!(spacc.launch_feed(feed_spec(IDX_IN + 0x200, 2)));
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[9.0, 8.0]);
+        assert_eq!(spacc.stats().overlap_cycles, 0);
+        assert_eq!(tcdm.array().load_u16(IDX_OUT + 2), 5);
+        assert_eq!(spacc.row, [(2, 9.0), (4, 8.0)]);
     }
 
     /// The merge sustains one incoming pair per cycle against an empty

@@ -25,6 +25,49 @@ use crate::lane::{Lane, LaneKind, LaneStats};
 use crate::spacc::{SpAcc, SpAccStats, SPACC_LANE};
 use issr_mem::port::MemPort;
 
+/// A malformed streamer configuration access: the hardware cannot
+/// execute it and raises a fault the core latches as a trap (surfaced
+/// through the run summaries) instead of aborting the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CfgFault {
+    /// `scfgwi`/`scfgri` addressed a lane this streamer does not have.
+    BadLane {
+        /// The addressed lane index.
+        lane: u8,
+    },
+    /// A joiner job was launched on a streamer without joiner hardware.
+    NoJoiner,
+    /// A SpAcc job was launched on a streamer without a sparse
+    /// accumulator.
+    NoSpAcc,
+    /// A SpAcc feed was launched with a zero-capacity row buffer
+    /// (`ACC_BUF_CAP` written to 0).
+    ZeroCapacity,
+    /// A SpAcc drain was launched while `ACC_CFG` selects count-only
+    /// (symbolic) mode — there are no values to drain.
+    CountModeDrain,
+}
+
+impl std::fmt::Display for CfgFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgFault::BadLane { lane } => write!(f, "scfg access to nonexistent lane {lane}"),
+            CfgFault::NoJoiner => {
+                f.write_str("joiner job launched on a streamer without an index joiner")
+            }
+            CfgFault::NoSpAcc => {
+                f.write_str("SpAcc job launched on a streamer without a sparse accumulator")
+            }
+            CfgFault::ZeroCapacity => {
+                f.write_str("SpAcc feed launched with a zero-capacity row buffer")
+            }
+            CfgFault::CountModeDrain => {
+                f.write_str("SpAcc drain launched in count-only (symbolic) mode")
+            }
+        }
+    }
+}
+
 /// The lane bundle attached to one core's FPU subsystem.
 #[derive(Debug)]
 pub struct Streamer {
@@ -126,6 +169,27 @@ impl Streamer {
         self.has_spacc
     }
 
+    /// Selects single- or double-buffered SpAcc row storage (see
+    /// [`SpAcc::set_double_buffered`]).
+    pub fn set_spacc_double_buffered(&mut self, enabled: bool) {
+        self.spacc.set_double_buffered(enabled);
+    }
+
+    /// Whether `lane`'s *read* stream has terminated: no read job is
+    /// running or queued, nothing is in flight, every delivered value
+    /// has been consumed, and — for lanes 0/1 — no joiner job is active
+    /// or pending (the joiner injects into those lanes). This is the
+    /// `done` signal the FREP sequencer's stream-terminated loops
+    /// (`frep.s`) poll to end a data-dependent loop without a
+    /// pre-counted trip.
+    #[must_use]
+    pub fn read_stream_terminated(&self, lane: usize) -> bool {
+        if lane <= 1 && (self.joiner.is_some() || self.pending_join.is_some()) {
+            return false;
+        }
+        self.lanes[lane].read_stream_done()
+    }
+
     /// Number of lanes.
     #[must_use]
     pub fn n_lanes(&self) -> usize {
@@ -165,69 +229,104 @@ impl Streamer {
     }
 
     /// Configuration write from the core (`scfgwi`); the 12-bit address is
-    /// `reg << 5 | lane`. Returns `false` if the lane cannot accept the
-    /// write this cycle (job queue full — the core retries).
+    /// `reg << 5 | lane`. Returns `Ok(false)` if the lane cannot accept
+    /// the write this cycle (job queue full — the core retries) and
+    /// `Err` for a malformed access the core latches as a trap.
     ///
     /// A read-pointer write to lane 0 with `JOIN_CFG` enabled launches a
     /// **joiner job** across lanes 0 and 1 instead of a lane job.
     ///
-    /// # Panics
-    /// Panics if a joiner job is launched on a streamer without joiner
-    /// hardware.
-    pub fn cfg_write(&mut self, addr: u16, value: u32) -> bool {
+    /// # Errors
+    /// Returns a [`CfgFault`] for accesses the hardware cannot execute:
+    /// a nonexistent lane, a joiner/SpAcc launch without that hardware,
+    /// a zero-capacity feed, or a drain in count-only mode.
+    pub fn cfg_write(&mut self, addr: u16, value: u32) -> Result<bool, CfgFault> {
         let (register, lane) = crate::cfg::split_addr(addr);
+        if lane as usize >= self.lanes.len() {
+            return Err(CfgFault::BadLane { lane });
+        }
         let lane = lane as usize;
-        assert!(lane < self.lanes.len(), "scfgwi to nonexistent lane {lane}");
         if lane == 0 && register == reg::RPTR[0] && self.lanes[0].shadow().join_enabled() {
-            assert!(self.has_joiner, "joiner job launched on a streamer without an index joiner");
+            if !self.has_joiner {
+                return Err(CfgFault::NoJoiner);
+            }
             if self.pending_join.is_some() {
-                return false;
+                return Ok(false);
             }
             self.pending_join = Some(JoinerSpec::from_shadow(self.lanes[0].shadow(), value));
             self.promote_join();
-            return true;
+            return Ok(true);
         }
         if lane == 0 && register == reg::ACC_FEED {
-            assert!(
-                self.has_spacc,
-                "SpAcc job launched on a streamer without a sparse accumulator"
-            );
-            return self.spacc.launch_feed(AccFeedSpec::from_shadow(self.lanes[0].shadow(), value));
+            if !self.has_spacc {
+                return Err(CfgFault::NoSpAcc);
+            }
+            let spec = AccFeedSpec::from_shadow(self.lanes[0].shadow(), value);
+            if spec.cap == 0 {
+                return Err(CfgFault::ZeroCapacity);
+            }
+            return Ok(self.spacc.launch_feed(spec));
         }
         if lane == 0 && register == reg::ACC_DRAIN {
-            assert!(
-                self.has_spacc,
-                "SpAcc job launched on a streamer without a sparse accumulator"
-            );
-            return self
+            if !self.has_spacc {
+                return Err(CfgFault::NoSpAcc);
+            }
+            if self.lanes[0].shadow().acc_count_only() {
+                return Err(CfgFault::CountModeDrain);
+            }
+            return Ok(self
                 .spacc
-                .launch_drain(AccDrainSpec::from_shadow(self.lanes[0].shadow(), value));
+                .launch_drain(AccDrainSpec::from_shadow(self.lanes[0].shadow(), value)));
         }
-        self.lanes[lane].cfg_write(register, value)
+        if lane == 0 && register == reg::ACC_CLEAR {
+            if !self.has_spacc {
+                return Err(CfgFault::NoSpAcc);
+            }
+            return Ok(self.spacc.clear());
+        }
+        Ok(self.lanes[lane].cfg_write(register, value))
     }
 
     /// Configuration read from the core (`scfgri`).
-    #[must_use]
-    pub fn cfg_read(&self, addr: u16) -> u32 {
+    ///
+    /// # Errors
+    /// Returns [`CfgFault::BadLane`] for a nonexistent lane, and
+    /// [`CfgFault::NoJoiner`]/[`CfgFault::NoSpAcc`] for joiner/SpAcc
+    /// readbacks on a streamer without that hardware — a kernel
+    /// mis-targeted at a plain core faults instead of spinning on
+    /// absent status bits.
+    pub fn cfg_read(&self, addr: u16) -> Result<u32, CfgFault> {
         let (register, lane) = crate::cfg::split_addr(addr);
+        if lane as usize >= self.lanes.len() {
+            return Err(CfgFault::BadLane { lane });
+        }
         let lane = lane as usize;
-        assert!(lane < self.lanes.len(), "scfgri to nonexistent lane {lane}");
         if lane == 0 && register == reg::JOIN_COUNT {
-            return self.join_count_last;
+            if !self.has_joiner {
+                return Err(CfgFault::NoJoiner);
+            }
+            return Ok(self.join_count_last);
         }
         if lane == 0 && register == reg::ACC_NNZ {
-            return u32::try_from(self.spacc.nnz()).expect("row buffer exceeds u32");
+            if !self.has_spacc {
+                return Err(CfgFault::NoSpAcc);
+            }
+            return Ok(u32::try_from(self.spacc.nnz()).expect("row buffer exceeds u32"));
         }
         if lane == 0 && register == reg::ACC_STATUS {
+            if !self.has_spacc {
+                return Err(CfgFault::NoSpAcc);
+            }
             let done = self.spacc.is_idle();
-            return u32::from(done) | (u32::from(!done) << 1);
+            let feeds_done = self.spacc.feeds_idle();
+            return Ok(u32::from(done) | (u32::from(!done) << 1) | (u32::from(feeds_done) << 2));
         }
         if lane == 0 && register == reg::STATUS {
             let done =
                 self.lanes[0].is_idle() && self.joiner.is_none() && self.pending_join.is_none();
-            return u32::from(done) | (u32::from(!done) << 1);
+            return Ok(u32::from(done) | (u32::from(!done) << 1));
         }
-        self.lanes[lane].cfg_read(register)
+        Ok(self.lanes[lane].cfg_read(register))
     }
 
     /// Starts the queued joiner job once the previous one retired and
@@ -370,14 +469,14 @@ mod tests {
 
         let mut s = Streamer::paper_config();
         // ft0: affine over a_vals.
-        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 0), nnz - 1));
-        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 0), 8));
-        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), a_vals));
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 0), nnz - 1).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 0), 8).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), a_vals).unwrap());
         // ft1: indirect over b at a_idcs.
-        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 1), nnz - 1));
-        assert!(s.cfg_write(cfg_addr(reg::IDX_CFG, 1), idx_cfg_word(IndexSize::U16, 0)));
-        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 1), b));
-        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 1), a_idcs));
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 1), nnz - 1).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::IDX_CFG, 1), idx_cfg_word(IndexSize::U16, 0)).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 1), b).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 1), a_idcs).unwrap());
         s.set_enabled(true);
 
         let mut p0 = MemPort::new();
@@ -411,15 +510,15 @@ mod tests {
     #[test]
     fn status_readable_over_cfg_interface() {
         let s = Streamer::paper_config();
-        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 0)), 1);
-        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 1)), 1);
+        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 0)).unwrap(), 1);
+        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 1)).unwrap(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "nonexistent lane")]
-    fn cfg_write_to_missing_lane_panics() {
+    fn cfg_access_to_missing_lane_faults() {
         let mut s = Streamer::paper_config();
-        let _ = s.cfg_write(cfg_addr(reg::STATUS, 5), 0);
+        assert_eq!(s.cfg_write(cfg_addr(reg::STATUS, 5), 0), Err(CfgFault::BadLane { lane: 5 }));
+        assert_eq!(s.cfg_read(cfg_addr(reg::STATUS, 5)), Err(CfgFault::BadLane { lane: 5 }));
     }
 
     /// Stores the standard sparse-sparse workload used by the joiner
@@ -436,16 +535,15 @@ mod tests {
     }
 
     fn configure_join(s: &mut Streamer, mode: JoinerMode, nnz_a: u32, nnz_b: u32) -> bool {
-        assert!(s.cfg_write(
-            cfg_addr(reg::JOIN_CFG, 0),
-            crate::cfg::join_cfg_word(mode, IndexSize::U16)
-        ));
-        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 0), BASE + 0x4000));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_IDX_B, 0), BASE + 0x2000));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_DATA_B, 0), BASE + 0x8000));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_A, 0), nnz_a));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_B, 0), nnz_b));
-        s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000)
+        assert!(s
+            .cfg_write(cfg_addr(reg::JOIN_CFG, 0), crate::cfg::join_cfg_word(mode, IndexSize::U16))
+            .unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 0), BASE + 0x4000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_IDX_B, 0), BASE + 0x2000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_DATA_B, 0), BASE + 0x8000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_A, 0), nnz_a).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_B, 0), nnz_b).unwrap());
+        s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000).unwrap()
     }
 
     /// A joiner job launched over the configuration interface delivers
@@ -473,7 +571,7 @@ mod tests {
         // Matches at indices 4 and 9: A positions 1, 2; B positions 1, 2.
         assert_eq!(pairs, [(1001, 2001), (1002, 2002)]);
         assert!(s.is_idle());
-        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)), 2);
+        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)).unwrap(), 2);
         assert_eq!(s.joiner_stats().jobs, 1);
         assert_eq!(s.joiner_stats().matches, 2);
     }
@@ -487,8 +585,8 @@ mod tests {
         let mut s = Streamer::sssr_config();
         assert!(configure_join(&mut s, JoinerMode::GatherA, 4, 4));
         // Queue a second job (same shadow) and verify a third is refused.
-        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000));
-        assert!(!s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000));
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000).unwrap());
+        assert!(!s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000).unwrap());
         s.set_enabled(true);
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
@@ -517,16 +615,18 @@ mod tests {
         let mut tcdm = Tcdm::ideal(BASE, 0x10000);
         place_join_workload(&mut tcdm, &[1, 4, 9, 11], &[0, 4, 9, 12]);
         let mut s = Streamer::sssr_config();
-        assert!(s.cfg_write(
-            cfg_addr(reg::JOIN_CFG, 0),
-            crate::cfg::join_count_cfg_word(JoinerMode::Intersect, IndexSize::U16)
-        ));
-        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 0), BASE + 0x4000));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_IDX_B, 0), BASE + 0x2000));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_DATA_B, 0), BASE + 0x8000));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_A, 0), 4));
-        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_B, 0), 4));
-        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000));
+        assert!(s
+            .cfg_write(
+                cfg_addr(reg::JOIN_CFG, 0),
+                crate::cfg::join_count_cfg_word(JoinerMode::Intersect, IndexSize::U16)
+            )
+            .unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::DATA_BASE, 0), BASE + 0x4000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_IDX_B, 0), BASE + 0x2000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_DATA_B, 0), BASE + 0x8000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_A, 0), 4).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::JOIN_NNZ_B, 0), 4).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE + 0x1000).unwrap());
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
         for now in 0..2000u64 {
@@ -538,7 +638,7 @@ mod tests {
             }
         }
         assert!(s.is_idle());
-        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)), 2); // matches at 4 and 9
+        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)).unwrap(), 2); // matches at 4 and 9
         assert_eq!(s.joiner_stats().val_reads, 0, "count-only fetches no values");
     }
 
@@ -552,11 +652,16 @@ mod tests {
         tcdm.array_mut().store_u16_slice(BASE + 0x1100, &[2, 9]);
         let mut s = Streamer::sssr_config();
         assert!(s.has_spacc());
-        assert!(s.cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_cfg_word(IndexSize::U16)));
-        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 2));
-        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1000));
-        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100));
-        assert!(!s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100), "queue is one deep");
+        assert!(s
+            .cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_cfg_word(IndexSize::U16))
+            .unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 2).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100).unwrap());
+        assert!(
+            !s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100).unwrap(),
+            "queue is one deep"
+        );
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
         let vals = [1.0f64, 2.0, 10.0, 20.0];
@@ -573,11 +678,12 @@ mod tests {
             }
         }
         assert!(s.is_idle());
-        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)), 1);
-        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)), 3); // {2, 7, 9}
-        assert!(s.cfg_write(cfg_addr(reg::ACC_VAL_OUT, 0), BASE + 0x8000));
-        assert!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x4000));
-        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)) & 2, 2, "drain busy");
+        // Idle: done bit and feed-done bit both set.
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)).unwrap(), 0b101);
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)).unwrap(), 3); // {2, 7, 9}
+        assert!(s.cfg_write(cfg_addr(reg::ACC_VAL_OUT, 0), BASE + 0x8000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x4000).unwrap());
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)).unwrap() & 2, 2, "drain busy");
         for now in 2000..4000u64 {
             s.tick(now, &mut [&mut p0, &mut p1]);
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
@@ -591,28 +697,90 @@ mod tests {
         assert_eq!(tcdm.array().load_f64(BASE + 0x8000), 11.0); // 1 + 10
         assert_eq!(tcdm.array().load_f64(BASE + 0x8008), 2.0);
         assert_eq!(tcdm.array().load_f64(BASE + 0x8010), 20.0);
-        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)), 0, "drain clears the row");
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)).unwrap(), 0, "drain clears the row");
         assert_eq!(s.spacc_stats().feeds, 2);
         assert_eq!(s.spacc_stats().drains, 1);
     }
 
     #[test]
-    #[should_panic(expected = "without a sparse accumulator")]
-    fn spacc_launch_without_hardware_panics() {
+    fn spacc_launch_without_hardware_faults() {
         let mut s = Streamer::paper_config();
-        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 1));
-        let _ = s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE);
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 1).unwrap());
+        assert_eq!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE), Err(CfgFault::NoSpAcc));
+        assert_eq!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE), Err(CfgFault::NoSpAcc));
+        assert_eq!(s.cfg_write(cfg_addr(reg::ACC_CLEAR, 0), 0), Err(CfgFault::NoSpAcc));
+        // Readbacks fault too: a mis-targeted kernel must not spin on
+        // status bits the hardware does not have.
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)), Err(CfgFault::NoSpAcc));
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)), Err(CfgFault::NoSpAcc));
+        assert_eq!(s.cfg_read(cfg_addr(reg::JOIN_COUNT, 0)), Err(CfgFault::NoJoiner));
     }
 
     #[test]
-    #[should_panic(expected = "without an index joiner")]
-    fn joiner_launch_without_hardware_panics() {
+    fn joiner_launch_without_hardware_faults() {
         let mut s = Streamer::paper_config();
-        assert!(s.cfg_write(
-            cfg_addr(reg::JOIN_CFG, 0),
-            crate::cfg::join_cfg_word(JoinerMode::Intersect, IndexSize::U16)
-        ));
-        let _ = s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE);
+        assert!(s
+            .cfg_write(
+                cfg_addr(reg::JOIN_CFG, 0),
+                crate::cfg::join_cfg_word(JoinerMode::Intersect, IndexSize::U16)
+            )
+            .unwrap());
+        assert_eq!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE), Err(CfgFault::NoJoiner));
+    }
+
+    /// The launch-time configuration faults of the SpAcc: a
+    /// zero-capacity row buffer and a drain in count-only mode.
+    #[test]
+    fn spacc_malformed_cfg_words_fault() {
+        let mut s = Streamer::sssr_config();
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 1).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_BUF_CAP, 0), 0).unwrap());
+        assert_eq!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE), Err(CfgFault::ZeroCapacity));
+        assert!(s.cfg_write(cfg_addr(reg::ACC_BUF_CAP, 0), 64).unwrap());
+        assert!(s
+            .cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_count_cfg_word(IndexSize::U16))
+            .unwrap());
+        assert_eq!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE), Err(CfgFault::CountModeDrain));
+        // Back in normal mode the same drain launch is accepted.
+        assert!(s
+            .cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_cfg_word(IndexSize::U16))
+            .unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE).unwrap());
+    }
+
+    /// Count-only feeds report the merged row length through `ACC_NNZ`
+    /// without any value traffic, and `ACC_CLEAR` resets the row — the
+    /// symbolic-phase handshake.
+    #[test]
+    fn count_only_feeds_report_row_nnz_without_values() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        tcdm.array_mut().store_u16_slice(BASE + 0x1000, &[2, 7, 9]);
+        tcdm.array_mut().store_u16_slice(BASE + 0x1100, &[2, 11]);
+        let mut s = Streamer::sssr_config();
+        assert!(s
+            .cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_count_cfg_word(IndexSize::U16))
+            .unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 3).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1000).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 2).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1100).unwrap());
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        for now in 0..2000u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle(), "count-only feeds retire without any write-stream values");
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)).unwrap(), 4); // {2, 7, 9, 11}
+        assert_eq!(s.spacc_stats().count_feeds, 2);
+        assert_eq!(s.spacc_stats().merges, 1, "duplicate index 2 merged");
+        assert_eq!(s.lane(1).stats().fpu_writes, 0, "no value traffic");
+        // ACC_CLEAR resets the row for the next symbolic row.
+        assert!(s.cfg_write(cfg_addr(reg::ACC_CLEAR, 0), 0).unwrap());
+        assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)).unwrap(), 0);
     }
 
     /// Lane jobs launched before the joiner defer it: the joiner waits
@@ -626,9 +794,9 @@ mod tests {
         place_join_workload(&mut tcdm, &[3, 5], &[5]);
         let mut s = Streamer::sssr_config();
         // An affine job on lane 0 first.
-        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 0), 7));
-        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 0), 8));
-        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE));
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 0), 7).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 0), 8).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 0), BASE).unwrap());
         // Then the joiner job; it must wait for the affine stream.
         assert!(configure_join(&mut s, JoinerMode::GatherA, 2, 1));
         s.set_enabled(true);

@@ -450,6 +450,12 @@ impl Assembler {
     pub fn frep_inner(&mut self, max_rpt: IntReg, n_insns: u8, stagger: Stagger) {
         self.push(Instr::Frep { kind: FrepKind::Inner, max_rpt, n_insns, stagger });
     }
+    /// `frep.s n_insns, stagger` — stream-terminated hardware loop: the
+    /// body replays until every stream it reads has raised its terminate
+    /// flag and drained (data-dependent trip count, no `max_rpt`).
+    pub fn frep_stream(&mut self, n_insns: u8, stagger: Stagger) {
+        self.push(Instr::Frep { kind: FrepKind::Stream, max_rpt: IntReg::ZERO, n_insns, stagger });
+    }
 
     pub fn dmsrc(&mut self, rs1: IntReg, rs2: IntReg) {
         self.push(Instr::DmSrc { rs1, rs2 });

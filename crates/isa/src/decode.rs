@@ -224,9 +224,13 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             _ => return err,
         },
         OPC_CUSTOM2 => match funct3(w) {
-            0b000 | 0b001 => {
+            0b000..=0b010 => {
                 let imm = imm_i(w) as u32;
-                let kind = if funct3(w) == 0 { FrepKind::Outer } else { FrepKind::Inner };
+                let kind = match funct3(w) {
+                    0b000 => FrepKind::Outer,
+                    0b001 => FrepKind::Inner,
+                    _ => FrepKind::Stream,
+                };
                 Instr::Frep {
                     kind,
                     max_rpt: int(rs1(w)),

@@ -284,6 +284,7 @@ pub fn encode(instr: &Instr) -> u32 {
             let funct3 = match kind {
                 FrepKind::Outer => 0b000,
                 FrepKind::Inner => 0b001,
+                FrepKind::Stream => 0b010,
             };
             let imm = (u32::from(stagger.mask & 0xF) << 8)
                 | (u32::from(stagger.count & 0xF) << 4)

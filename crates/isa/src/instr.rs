@@ -160,11 +160,18 @@ pub enum CsrOp {
 }
 
 /// Which FREP loop flavour: `frep.o` repeats the whole body sequentially,
-/// `frep.i` repeats each instruction of the body in place.
+/// `frep.i` repeats each instruction of the body in place, and `frep.s`
+/// repeats the body until the streams it reads raise their terminate
+/// flag (data-dependent trip count, no `max_rpt` operand).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FrepKind {
     Outer,
     Inner,
+    /// Stream-terminated outer loop: the sequencer replays the body while
+    /// any stream source of the body is still live, and retires the loop
+    /// once every such stream has raised `done` and drained. The
+    /// `max_rpt` operand is ignored (assemblers pass `zero`).
+    Stream,
 }
 
 /// Register-stagger configuration of an FREP loop.
@@ -270,7 +277,8 @@ pub enum Instr {
 
     // ---- Xfrep ----
     /// Floating-point repetition loop over the next `n_insns` FP
-    /// instructions, executed `rs1 + 1` times.
+    /// instructions, executed `rs1 + 1` times (`frep.o`/`frep.i`) or
+    /// until stream termination (`frep.s`, `rs1` ignored).
     Frep { kind: FrepKind, max_rpt: IntReg, n_insns: u8, stagger: Stagger },
 
     // ---- Xdma ----
@@ -453,6 +461,7 @@ impl fmt::Display for Instr {
                 let name = match kind {
                     FrepKind::Outer => "frep.o",
                     FrepKind::Inner => "frep.i",
+                    FrepKind::Stream => "frep.s",
                 };
                 write!(f, "{name} {max_rpt}, {n_insns}, {}, {:#06b}", stagger.count, stagger.mask)
             }

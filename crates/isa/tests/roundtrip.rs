@@ -218,6 +218,12 @@ fn instr() -> impl Strategy<Value = Instr> {
             n_insns,
             stagger
         }),
+        (int_reg(), 0u8..16, stagger()).prop_map(|(max_rpt, n_insns, stagger)| Instr::Frep {
+            kind: FrepKind::Stream,
+            max_rpt,
+            n_insns,
+            stagger
+        }),
         (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Instr::DmSrc { rs1, rs2 }),
         (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Instr::DmDst { rs1, rs2 }),
         (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Instr::DmStr { rs1, rs2 }),

@@ -5,34 +5,57 @@
 //! *h* owns the contiguous stripe of `⌈nrows / workers⌉` rows, exactly
 //! [`crate::cluster_csrmv`]'s static split. What does *not* parallelize
 //! trivially is the packed output: row offsets depend on every earlier
-//! row's data-dependent length. The plan therefore runs the host-side
-//! **symbolic phase** ([`issr_sparse::reference::spgemm_ptr`]) and
-//! places the finished row pointer in the TCDM (the two-pass/alloc side
-//! of the output builder); workers read `c.ptr[r]` and write their rows
-//! straight into the exact packed slots. Adjacent rows from different
-//! workers may share a 64-bit index word at their boundary — both the
-//! SpAcc drain (ISSR) and the core's halfword stores (BASE) write with
-//! byte strobes, so the races compose.
+//! row's data-dependent length.
 //!
-//! Per row the worker body is the single-core kernel's
+//! # Device-owned allocation
+//!
+//! The device owns the two-pass allocation end to end — the host only
+//! provides a capacity upper bound (the Gustavson expansion volume) for
+//! the output region; every packed offset is computed on-device:
+//!
+//! 1. **Symbolic phase** — each worker walks its stripe once and counts
+//!    every row's output nonzeros. The ISSR variant runs **count-only
+//!    SpAcc feeds** ([`issr_core::cfg::acc_count_cfg_word`]): the unit
+//!    union-merges each `B[k,:]` column-index stream into its row
+//!    buffer with *no value traffic at all* — no SSR job, no FREP, no
+//!    FPU — then the worker reads `ACC_NNZ` and resets the buffer with
+//!    `ACC_CLEAR`. The BASE variant runs its software union-merge and
+//!    takes the accumulator length. Either way the worker stores the
+//!    *stripe-local inclusive prefix* into `c.ptr[r+1]` as it goes.
+//! 2. **Prefix-sum barrier** — the cluster-wide packed offsets come
+//!    from [`issr_cluster::scan::emit_exclusive_prefix`]: a log-tree
+//!    (Hillis–Steele) scan over the per-worker stripe totals, built
+//!    from the hardware barrier, after which each worker adds its
+//!    exclusive base to its stripe's `c.ptr` entries. One more barrier
+//!    publishes the finished row pointer.
+//! 3. **Numeric phase** — the original row loop, reading the now
+//!    device-resident `c.ptr[r]` and writing rows straight into their
+//!    exact packed slots. Adjacent rows from different workers may
+//!    share a 64-bit index word at their boundary — both the SpAcc
+//!    drain (ISSR) and the core's halfword stores (BASE) write with
+//!    byte strobes, so the races compose.
+//!
+//! Per row the numeric body is the single-core kernel's
 //! ([`crate::spgemm`]): BASE software union-merge through per-worker
 //! ping-pong scratch; ISSR the SSR + FREP `fmul` expansion feeding the
 //! SpAcc, drained per row. The in-order SpAcc job queue sequences each
-//! row's feeds before its drain without any polling.
+//! row's feeds before its drain without any polling, and the
+//! double-buffered row storage overlaps a row's drain with the next
+//! row's first feed.
 
 use crate::common::{emit_spacc_cfg, SETUP_SCRATCH};
 use crate::layout::{csr_addrs, store_csr, Arena, CsrAddrs};
 use crate::spgemm::{emit_base_k_merge, emit_base_row_copy, emit_issr_k_expand, expansion_volume};
 use crate::variant::{log_width, KernelIndex, Variant};
 use issr_cluster::cluster::{Cluster, ClusterParams, ClusterSummary};
-use issr_core::cfg::{cfg_addr, reg as sreg};
+use issr_cluster::scan::{emit_exclusive_prefix, scan_array_bytes};
+use issr_core::cfg::{acc_count_cfg_word, cfg_addr, reg as sreg};
 use issr_isa::asm::{Assembler, Program};
 use issr_isa::reg::IntReg as R;
 use issr_isa::Csr;
 use issr_mem::map::TCDM_BASE;
 use issr_snitch::cc::SimTimeout;
 use issr_sparse::csr::CsrMatrix;
-use issr_sparse::reference::spgemm_ptr;
 
 const DATA_BASE: u32 = TCDM_BASE + 0x100;
 const DATA_SIZE: u32 = issr_mem::map::TCDM_SIZE - 0x100;
@@ -42,10 +65,11 @@ const DATA_SIZE: u32 = issr_mem::map::TCDM_SIZE - 0x100;
 pub struct ClusterSpgemmPlan {
     a: CsrAddrs,
     b: CsrAddrs,
-    /// C region; `nnz` comes from the symbolic phase.
+    /// C region; `nnz` is a *capacity upper bound* (expansion volume) —
+    /// the exact packed offsets are computed on-device.
     c: CsrAddrs,
-    /// Host-computed row pointer (stored resident for the workers).
-    c_ptr: Vec<u32>,
+    /// Ping-pong scratch of the prefix-sum barrier (host-zeroed).
+    totals: [u32; 2],
     /// Per-worker BASE scratch block base (see `scratch` layout below).
     scratch_base: u32,
     /// One worker's scratch block size in bytes.
@@ -61,8 +85,9 @@ pub struct ClusterSpgemmPlan {
 }
 
 impl ClusterSpgemmPlan {
-    /// Plans the TCDM-resident layout: operands, the exact packed output
-    /// (sized by the symbolic pass), and per-worker merge scratch.
+    /// Plans the TCDM-resident layout: operands, the output region
+    /// (sized by the expansion-volume upper bound — no host symbolic
+    /// pass), prefix-scan scratch, and per-worker merge scratch.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree or the workload does not
@@ -70,12 +95,16 @@ impl ClusterSpgemmPlan {
     #[must_use]
     pub fn new<I: KernelIndex>(a: &CsrMatrix<I>, b: &CsrMatrix<I>, n_workers: u32) -> Self {
         assert_eq!(b.nrows(), a.ncols(), "inner dimensions must agree");
-        let c_ptr = spgemm_ptr(a, b);
-        let c_nnz = *c_ptr.last().expect("symbolic phase yields nrows + 1 entries");
+        let cap = expansion_volume(a, b).min(a.nrows() as u64 * b.ncols() as u64);
+        let cap = u32::try_from(cap).expect("expansion volume fits u32");
         let mut arena = Arena::new(DATA_BASE, DATA_SIZE);
         let a_addrs = csr_addrs::<I>(&mut arena, a.nrows() as u32, a.nnz() as u32);
         let b_addrs = csr_addrs::<I>(&mut arena, b.nrows() as u32, b.nnz() as u32);
-        let c_addrs = csr_addrs::<I>(&mut arena, a.nrows() as u32, c_nnz);
+        let c_addrs = csr_addrs::<I>(&mut arena, a.nrows() as u32, cap);
+        let totals = [
+            arena.alloc(scan_array_bytes(n_workers), 8),
+            arena.alloc(scan_array_bytes(n_workers), 8),
+        ];
         // Per-worker ping-pong merge scratch (BASE only, always planned):
         // [idx0 | idx1 | val0 | val1], each row_cap elements.
         let row_cap = (b.ncols() as u32).max(1);
@@ -86,7 +115,7 @@ impl ClusterSpgemmPlan {
             a: a_addrs,
             b: b_addrs,
             c: c_addrs,
-            c_ptr,
+            totals,
             scratch_base,
             scratch_stride,
             scratch_idx_bytes,
@@ -98,13 +127,15 @@ impl ClusterSpgemmPlan {
         }
     }
 
-    /// Number of output nonzeros the symbolic phase predicts.
+    /// Allocated output capacity (the expansion-volume upper bound).
     #[must_use]
-    pub fn c_nnz(&self) -> u32 {
-        *self.c_ptr.last().expect("non-empty")
+    pub fn c_cap(&self) -> u32 {
+        self.c.nnz
     }
 
-    /// Writes the operands and the symbolic row pointer into the TCDM.
+    /// Writes the operands into the TCDM and zeroes the device-computed
+    /// row pointer's anchor and the prefix-scan scratch. Nothing
+    /// data-dependent about C crosses the host/device boundary.
     pub fn marshal<I: KernelIndex>(
         &self,
         cluster: &mut Cluster,
@@ -114,12 +145,17 @@ impl ClusterSpgemmPlan {
         let mem = cluster.tcdm.array_mut();
         store_csr(mem, self.a, a);
         store_csr(mem, self.b, b);
-        mem.store_u32_slice(self.c.ptr, &self.c_ptr);
+        mem.store_u32(self.c.ptr, 0);
+        for base in self.totals {
+            for j in 0..scan_array_bytes(self.n_workers) / 4 {
+                mem.store_u32(base + j * 4, 0);
+            }
+        }
     }
 
-    /// Reads the product back from the TCDM (row pointer included, so a
-    /// worker bug that skips rows shows up as garbage values, not a
-    /// silently reused host pointer).
+    /// Reads the product back from the TCDM — row pointer included, so
+    /// the device-computed counts, scan offsets and packed rows are all
+    /// validated by the CSR readback.
     ///
     /// # Panics
     /// Panics if the stored structure is not a valid CSR matrix.
@@ -158,15 +194,6 @@ pub fn build_cluster_spgemm<I: KernelIndex>(variant: Variant, plan: &ClusterSpge
     asm.halt(); // the DMCC has nothing to move
     asm.bind(worker);
     asm.symbol("worker");
-    // Stripe + A cursors; s1 lands on the resident &c.ptr[start].
-    crate::cluster_spmspv::emit_stripe_prologue::<I>(
-        &mut asm,
-        plan.rows_per_worker,
-        plan.nrows,
-        plan.a,
-        plan.c.ptr,
-        2,
-    );
     match variant {
         Variant::Issr => emit_issr_worker::<I>(&mut asm, plan),
         _ => emit_base_worker::<I>(&mut asm, plan),
@@ -175,22 +202,120 @@ pub fn build_cluster_spgemm<I: KernelIndex>(variant: Variant, plan: &ClusterSpge
     asm.finish().expect("cluster SpGEMM program assembles")
 }
 
-/// ISSR worker row loop: SSR + FREP expansion into the SpAcc, one drain
-/// per row at the host-planned packed offsets.
+/// Emits the shared symbolic epilogue: local stripe total in `s10` →
+/// log-tree scan → add the exclusive base `s3` to this stripe's
+/// `c.ptr[r+1]` entries → barrier publishing the finished row pointer.
+/// Clobbers `t0`–`t6` and `a7` (re-read from `mhartid`).
+fn emit_scan_and_apply(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
+    asm.symbol("scan");
+    asm.csrr(R::A7, Csr::MHartId); // BASE's merge clobbers a7
+    emit_exclusive_prefix(asm, plan.n_workers, plan.totals);
+    // Re-derive the stripe bounds and add the packed base.
+    asm.symbol("apply_offsets");
+    asm.li(R::T0, i64::from(plan.rows_per_worker));
+    asm.mul(R::T1, R::A7, R::T0); // start row
+    asm.li(R::T2, i64::from(plan.nrows));
+    asm.sub(R::T3, R::T2, R::T1); // rows remaining after start
+    let clamped = asm.new_label();
+    asm.blt(R::T3, R::T0, clamped);
+    asm.mv(R::T3, R::T0);
+    asm.bind(clamped);
+    asm.slli(R::T4, R::T1, 2);
+    asm.li_addr(R::T5, plan.c.ptr + 4);
+    asm.add(R::T4, R::T4, R::T5); // &c.ptr[start + 1]
+    let head = asm.bind_label();
+    asm.lw(R::T6, R::T4, 0);
+    asm.add(R::T6, R::T6, R::S3);
+    asm.sw(R::T6, R::T4, 0);
+    asm.addi(R::T4, R::T4, 4);
+    asm.addi(R::T3, R::T3, -1);
+    asm.bnez(R::T3, head);
+    // Publish: the numeric phase reads c.ptr[start], which the
+    // *previous* worker's apply loop wrote.
+    asm.csrr(R::ZERO, Csr::Barrier);
+}
+
+/// ISSR worker: count-only symbolic pass, prefix-sum barrier, then the
+/// SSR + FREP expansion into the SpAcc with one drain per row at the
+/// device-computed packed offsets.
 ///
-/// Register roles: `s0` `&a.ptr[r+1]`, `s1` `&c.ptr[r]`, `s2` rows
-/// remaining, `s4`/`s5` A cursors, `s6` `b.ptr`, `s7` `b.idcs`, `s8`
-/// `b.vals`, `s9` A-row end, `a2`/`a3` C output cursors for the row.
+/// Register roles (both phases): `s0` `&a.ptr[r+1]`, `s1` c.ptr cursor,
+/// `s2` rows remaining, `s4`/`s5` A cursors, `s6` `b.ptr`, `s7`
+/// `b.idcs`, `s8` `b.vals`, `s9` A-row end, `s10` local prefix, `s3`
+/// scan base; numeric adds `a2`/`a3` C output cursors.
+#[allow(clippy::too_many_lines)]
 fn emit_issr_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
     let log_w = log_width::<I>();
+    let ib = I::BYTES as i32;
+    // Stripe + A cursors; s1 lands on &c.ptr[start] (halts empty harts).
+    crate::cluster_spmspv::emit_stripe_prologue::<I>(
+        asm,
+        plan.rows_per_worker,
+        plan.nrows,
+        plan.a,
+        plan.c.ptr,
+        2,
+    );
     asm.li_addr(R::S6, plan.b.ptr);
     asm.li_addr(R::S7, plan.b.idcs);
     asm.li_addr(R::S8, plan.b.vals);
     asm.li(SETUP_SCRATCH, 8);
     asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::STRIDES[0], 0));
+    asm.roi_begin();
+    // --- symbolic: count-only SpAcc feeds, no value traffic ---
+    asm.li(SETUP_SCRATCH, i64::from(acc_count_cfg_word(I::IDX_SIZE)));
+    asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::ACC_CFG, 0));
+    asm.li(R::S10, 0);
+    let sym_row = asm.bind_label();
+    asm.symbol("issr_sym_row");
+    let sym_row_end = asm.new_label();
+    asm.lw(R::T5, R::S0, 0); // a.ptr[r+1]
+    asm.addi(R::S0, R::S0, 4);
+    asm.slli(R::S9, R::T5, log_w);
+    asm.li_addr(R::T6, plan.a.idcs);
+    asm.add(R::S9, R::S9, R::T6); // A-row end address
+    let sym_k = asm.bind_label();
+    asm.symbol("issr_sym_k");
+    asm.beq(R::S4, R::S9, sym_row_end);
+    I::emit_index_load(asm, R::T0, R::S4, 0); // column k
+    asm.addi(R::S4, R::S4, ib);
+    asm.slli(R::T1, R::T0, 2);
+    asm.add(R::T1, R::T1, R::S6);
+    asm.lw(R::T2, R::T1, 0); //  b.ptr[k]
+    asm.lw(R::T3, R::T1, 4); //  b.ptr[k+1]
+    asm.sub(R::T4, R::T3, R::T2); // nnz(B[k,:])
+    asm.beqz(R::T4, sym_k);
+    asm.scfgwi(R::T4, cfg_addr(sreg::ACC_COUNT, 0));
+    asm.slli(R::T6, R::T2, log_w);
+    asm.add(R::T6, R::T6, R::S7);
+    asm.scfgwi(R::T6, cfg_addr(sreg::ACC_FEED, 0)); // launch (retries)
+    asm.j(sym_k);
+    asm.bind(sym_row_end);
+    // Wait for the row's feeds, read the count, reset the buffer.
+    let spin = asm.bind_label();
+    asm.scfgri(R::T0, cfg_addr(sreg::ACC_STATUS, 0));
+    asm.andi(R::T0, R::T0, 1);
+    asm.beqz(R::T0, spin);
+    asm.scfgri(R::T1, cfg_addr(sreg::ACC_NNZ, 0));
+    asm.add(R::S10, R::S10, R::T1);
+    asm.sw(R::S10, R::S1, 4); // c.ptr[r+1] = stripe-local prefix
+    asm.addi(R::S1, R::S1, 4);
+    asm.scfgwi(R::ZERO, cfg_addr(sreg::ACC_CLEAR, 0));
+    asm.addi(R::S2, R::S2, -1);
+    asm.bnez(R::S2, sym_row);
+    // --- prefix-sum barrier + offset apply ---
+    emit_scan_and_apply(asm, plan);
+    // --- numeric: re-seed the cursors, restore value mode ---
+    crate::cluster_spmspv::emit_stripe_prologue::<I>(
+        asm,
+        plan.rows_per_worker,
+        plan.nrows,
+        plan.a,
+        plan.c.ptr,
+        2,
+    );
     emit_spacc_cfg::<I>(asm);
     asm.csrsi(Csr::Ssr, 1);
-    asm.roi_begin();
     let row = asm.bind_label();
     asm.symbol("issr_row");
     let flush = asm.new_label();
@@ -199,7 +324,7 @@ fn emit_issr_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPla
     asm.slli(R::S9, R::T5, log_w);
     asm.li_addr(R::T6, plan.a.idcs);
     asm.add(R::S9, R::S9, R::T6); // A-row end address
-                                  // Packed output cursors from the resident symbolic pointer.
+                                  // Packed output cursors from the device-computed row pointer.
     asm.lw(R::A4, R::S1, 0); //     c.ptr[r]
     asm.addi(R::S1, R::S1, 4);
     asm.slli(R::A2, R::A4, log_w);
@@ -211,7 +336,8 @@ fn emit_issr_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPla
     emit_issr_k_expand::<I>(asm, flush);
     asm.bind(flush);
     asm.symbol("issr_flush");
-    // The in-order job queue sequences the drain after this row's feeds.
+    // The in-order job queue sequences the drain after this row's feeds
+    // — and the double-buffered SpAcc overlaps it with the next row.
     asm.scfgwi(R::A3, cfg_addr(sreg::ACC_VAL_OUT, 0));
     asm.scfgwi(R::A2, cfg_addr(sreg::ACC_DRAIN, 0)); // drain launch (retries)
     asm.addi(R::S2, R::S2, -1);
@@ -225,14 +351,9 @@ fn emit_issr_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPla
     asm.csrci(Csr::Ssr, 1);
 }
 
-/// BASE worker row loop: the single-core software union-merge through
-/// this worker's private ping-pong scratch, packed out at `c.ptr[r]`.
-///
-/// Register roles as in [`crate::spgemm`]'s BASE emitter, plus `s1`
-/// `&c.ptr[r]` and `a4` the row's packed element offset; `s11` `b.ptr`.
-fn emit_base_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
-    let log_w = log_width::<I>();
-    // Per-worker scratch block: base + hart * stride.
+/// Emits the BASE per-worker scratch-pointer setup (`s6`–`s9` ping-pong
+/// buffers from the hart id, `s11` = `b.ptr`). Clobbers `t0`–`t2`.
+fn emit_base_scratch_setup(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
     asm.li(R::T0, i64::from(plan.scratch_stride));
     asm.mul(R::T0, R::T0, R::A7);
     asm.li_addr(R::T1, plan.scratch_base);
@@ -243,7 +364,59 @@ fn emit_base_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPla
     asm.li(R::T2, i64::from(plan.row_cap) * 8);
     asm.add(R::S9, R::S7, R::T2); // val1
     asm.li_addr(R::S11, plan.b.ptr);
+}
+
+/// BASE worker: the software union-merge runs twice — a counting pass
+/// (accumulator length only) feeding the prefix-sum barrier, then the
+/// numeric pass packing rows at the device-computed offsets.
+///
+/// Register roles as in [`crate::spgemm`]'s BASE emitter, plus `s1` the
+/// c.ptr cursor, `a5` the symbolic pass's running local prefix and `a4`
+/// the numeric row's packed element offset; `s11` `b.ptr`.
+fn emit_base_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPlan) {
+    let log_w = log_width::<I>();
+    crate::cluster_spmspv::emit_stripe_prologue::<I>(
+        asm,
+        plan.rows_per_worker,
+        plan.nrows,
+        plan.a,
+        plan.c.ptr,
+        2,
+    );
+    emit_base_scratch_setup(asm, plan);
     asm.roi_begin();
+    // --- symbolic: merge each row, keep only the length ---
+    asm.li(R::A5, 0);
+    let sym_row = asm.bind_label();
+    asm.symbol("base_sym_row");
+    let sym_flush = asm.new_label();
+    asm.li(R::S10, 0);
+    asm.lw(R::T5, R::S0, 0); // a.ptr[r+1]
+    asm.addi(R::S0, R::S0, 4);
+    asm.slli(R::A6, R::T5, log_w);
+    asm.li_addr(R::T6, plan.a.idcs);
+    asm.add(R::A6, R::A6, R::T6);
+    emit_base_k_merge::<I>(asm, plan.b.idcs, plan.b.vals, sym_flush);
+    asm.bind(sym_flush);
+    asm.symbol("base_sym_flush");
+    asm.add(R::A5, R::A5, R::S10);
+    asm.sw(R::A5, R::S1, 4); // c.ptr[r+1] = stripe-local prefix
+    asm.addi(R::S1, R::S1, 4);
+    asm.addi(R::S2, R::S2, -1);
+    asm.bnez(R::S2, sym_row);
+    asm.mv(R::S10, R::A5); // the scan takes the local total in s10
+                           // --- prefix-sum barrier + offset apply ---
+    emit_scan_and_apply(asm, plan);
+    // --- numeric: re-seed cursors (scratch pointers stay valid; the
+    // ping-pong swaps leave them pointing at the two buffers) ---
+    crate::cluster_spmspv::emit_stripe_prologue::<I>(
+        asm,
+        plan.rows_per_worker,
+        plan.nrows,
+        plan.a,
+        plan.c.ptr,
+        2,
+    );
     let row = asm.bind_label();
     asm.symbol("base_row");
     let flush = asm.new_label();
@@ -253,10 +426,10 @@ fn emit_base_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPla
     asm.slli(R::A6, R::T5, log_w);
     asm.li_addr(R::T6, plan.a.idcs);
     asm.add(R::A6, R::A6, R::T6);
-    asm.lw(R::A4, R::S1, 0); // c.ptr[r]
+    asm.lw(R::A4, R::S1, 0); // c.ptr[r] (device-computed)
     asm.addi(R::S1, R::S1, 4);
     emit_base_k_merge::<I>(asm, plan.b.idcs, plan.b.vals, flush);
-    // Row finished: pack the accumulator at the host-planned offsets.
+    // Row finished: pack the accumulator at the device-owned offsets.
     asm.bind(flush);
     asm.symbol("base_flush");
     asm.slli(R::T0, R::A4, log_w);
@@ -280,8 +453,9 @@ pub struct ClusterSpgemmRun {
     pub summary: ClusterSummary,
 }
 
-/// Runs cluster SpGEMM end to end (symbolic plan → marshal → simulate →
-/// read back) on the sparse-output streamer cluster.
+/// Runs cluster SpGEMM end to end on the default eight-worker,
+/// double-buffered cluster (plan → marshal → simulate → read back).
+/// Both passes of the two-pass allocation run on-device.
 ///
 /// # Errors
 /// Returns [`SimTimeout`] if the cluster deadlocks or exceeds its cycle
@@ -295,13 +469,40 @@ pub fn run_cluster_spgemm<I: KernelIndex>(
     a: &CsrMatrix<I>,
     b: &CsrMatrix<I>,
 ) -> Result<ClusterSpgemmRun, SimTimeout> {
-    let params = ClusterParams { sssr: true, ..ClusterParams::default() };
+    run_cluster_spgemm_on(variant, a, b, ClusterParams::default().n_workers, true)
+}
+
+/// [`run_cluster_spgemm`] with an explicit worker count and SpAcc
+/// buffer mode (the property suite sweeps 1/2/4/8 workers; the
+/// benchmark compares single- vs. double-buffered drains).
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the cluster deadlocks or exceeds its cycle
+/// budget (a bug).
+///
+/// # Panics
+/// As [`run_cluster_spgemm`].
+pub fn run_cluster_spgemm_on<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    n_workers: usize,
+    double_buffer: bool,
+) -> Result<ClusterSpgemmRun, SimTimeout> {
+    let params = ClusterParams {
+        sssr: true,
+        n_workers,
+        spacc_double_buffer: double_buffer,
+        ..ClusterParams::default()
+    };
     let plan = ClusterSpgemmPlan::new(a, b, params.n_workers as u32);
     let program = build_cluster_spgemm::<I>(variant, &plan);
     let mut cluster = Cluster::new(program, params);
     plan.marshal(&mut cluster, a, b);
+    // Both passes walk the expansion; budget the symbolic pass like a
+    // second numeric one.
     let volume = expansion_volume(a, b);
-    let budget = 2_000_000 + 512 * (volume + u64::from(plan.c_nnz()) + a.nrows() as u64);
+    let budget = 4_000_000 + 1024 * (2 * volume + u64::from(plan.c_cap()) + a.nrows() as u64);
     let summary = cluster.run(budget)?;
     assert!(summary.traps.is_empty(), "cluster cores trapped: {:?}", summary.traps);
     let c = plan.read_c::<I>(&cluster).with_index_width::<u32>();
@@ -378,7 +579,27 @@ mod tests {
         assert!(active >= 2, "row striping must engage multiple SpAcc units");
     }
 
-    /// The hardware cluster beats the software-merge cluster.
+    /// The symbolic phase runs on the workers: count-only feeds show up
+    /// in the SpAcc statistics, no host row pointer exists, and the
+    /// device-computed one matches the oracle.
+    #[test]
+    fn symbolic_phase_is_device_owned() {
+        let mut rng = gen::rng(430);
+        let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, 16, 24, 3);
+        let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, 24, 40, 6);
+        let run = run_cluster_spgemm(Variant::Issr, &a, &b).unwrap();
+        let expect = reference::spgemm(&a, &b).with_index_width::<u32>();
+        assert_eq!(run.c.ptr(), expect.ptr(), "device-owned row pointer");
+        let count_feeds: u64 = run.summary.spacc_stats.iter().map(|s| s.count_feeds).sum();
+        let feeds: u64 = run.summary.spacc_stats.iter().map(|s| s.feeds).sum();
+        // One count-only feed and one numeric feed per A nonzero with a
+        // nonempty B row (every B row has 6 nonzeros here).
+        assert_eq!(count_feeds, a.nnz() as u64, "one symbolic feed per expansion");
+        assert_eq!(feeds, 2 * a.nnz() as u64, "symbolic + numeric passes");
+    }
+
+    /// The hardware cluster beats the software-merge cluster, both
+    /// running the fully device-owned two-pass flow.
     #[test]
     fn cluster_spgemm_issr_beats_base() {
         let mut rng = gen::rng(420);
@@ -388,5 +609,28 @@ mod tests {
         let issr = run_cluster_spgemm(Variant::Issr, &a, &b).unwrap();
         let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
         assert!(speedup > 2.0, "cluster SpGEMM speedup {speedup:.2}");
+    }
+
+    /// Double-buffered SpAcc drains overlap the next row's feeds: the
+    /// overlap counter moves and the cluster does not get slower.
+    #[test]
+    fn double_buffering_overlaps_drains() {
+        let mut rng = gen::rng(421);
+        let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, 16, 32, 4);
+        let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, 32, 96, 16);
+        let double = run_cluster_spgemm_on(Variant::Issr, &a, &b, 8, true).unwrap();
+        let single = run_cluster_spgemm_on(Variant::Issr, &a, &b, 8, false).unwrap();
+        assert_eq!(double.c.ptr(), single.c.ptr(), "buffer mode cannot change the result");
+        assert_eq!(double.c.idcs(), single.c.idcs());
+        let overlap: u64 = double.summary.spacc_stats.iter().map(|s| s.overlap_cycles).sum();
+        assert!(overlap > 0, "double buffering must win overlap cycles");
+        let single_overlap: u64 = single.summary.spacc_stats.iter().map(|s| s.overlap_cycles).sum();
+        assert_eq!(single_overlap, 0, "single-buffer mode serializes drain and feed");
+        assert!(
+            double.summary.cycles <= single.summary.cycles,
+            "double buffering must not slow the cluster ({} vs {})",
+            double.summary.cycles,
+            single.summary.cycles
+        );
     }
 }

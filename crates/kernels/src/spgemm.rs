@@ -317,12 +317,14 @@ fn emit_issr_spgemm<I: KernelIndex>(asm: &mut Assembler, nrows: u32, addrs: Spge
         asm.li_addr(R::T6, addrs.a.idcs);
         asm.add(R::S9, R::S9, R::T6);
         emit_issr_k_expand::<I>(asm, flush);
-        // Row finished: sync, read the data-dependent length, drain.
+        // Row finished: wait for the *feeds* only (bit 2) — a previous
+        // row's drain may still be writing out of the second buffer —
+        // then read the data-dependent length and drain.
         asm.bind(flush);
         asm.symbol("issr_flush");
         let spin = asm.bind_label();
         asm.scfgri(R::T0, cfg_addr(sreg::ACC_STATUS, 0));
-        asm.andi(R::T0, R::T0, 1);
+        asm.andi(R::T0, R::T0, 4);
         asm.beqz(R::T0, spin);
         asm.scfgri(R::T1, cfg_addr(sreg::ACC_NNZ, 0));
         let row_done = asm.new_label();
@@ -419,6 +421,25 @@ pub fn run_spgemm<I: KernelIndex>(
     a: &CsrMatrix<I>,
     b: &CsrMatrix<I>,
 ) -> Result<SpgemmRun, SimTimeout> {
+    run_spgemm_buffered(variant, a, b, true)
+}
+
+/// [`run_spgemm`] with an explicit SpAcc row-buffer mode:
+/// `double_buffer = false` reverts to the single-buffer unit (a row's
+/// drain blocks the next row's first feed), which the benchmark runs to
+/// report the overlap delta.
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the kernel fails to finish (a bug).
+///
+/// # Panics
+/// As [`run_spgemm`].
+pub fn run_spgemm_buffered<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    double_buffer: bool,
+) -> Result<SpgemmRun, SimTimeout> {
     assert_eq!(b.nrows(), a.ncols(), "inner dimensions must agree");
     let mut arena = Arena::new(SINGLE_CC_ARENA, SingleCcSim::DEFAULT_MEM_BYTES / 2);
     let mut sim = SingleCcSim::with_joiner(Program::default());
@@ -435,6 +456,7 @@ pub fn run_spgemm<I: KernelIndex>(
     let addrs = SpgemmAddrs { a: a_addrs, b: b_addrs, c, scratch_idx, scratch_vals };
     let program = build_spgemm::<I>(variant, a.nrows() as u32, addrs);
     sim = reprogram_joiner(sim, program);
+    sim.cc.streamer.set_spacc_double_buffered(double_buffer);
     let volume = expansion_volume(a, b) + u64::from(nnz_cap) + a.nnz() as u64;
     let budget = 300_000 + 256 * (volume + a.nrows() as u64);
     let summary = sim.run(budget)?.expect_clean();

@@ -14,6 +14,14 @@
 //! sparse vector: BASE re-scans `x` in software; ISSR relaunches the
 //! joiner per row through the one-deep shadow queue, overlapping the
 //! next row's setup with the current row's drain.
+//!
+//! True `Intersect` streaming (data-dependent emission count) comes in
+//! two flavours: the two-pass `JOIN_COUNT` length-prefix handshake
+//! ([`build_spvv_ss_dyn`], walks both index streams twice) and the
+//! single-pass **stream-terminate** loop ([`build_spvv_ss_term`],
+//! `frep.s`): the joiner raises `done` into the FREP sequencer, so the
+//! loop ends when the matched-pair stream dries up — one walk, zero
+//! pre-passes.
 
 use crate::common::{
     emit_joiner_job, emit_joiner_read, emit_reduction_tree, emit_zero_accumulators,
@@ -202,6 +210,66 @@ pub fn build_spvv_ss_dyn<I: KernelIndex>(addrs: SpvvSsAddrs) -> Program {
     asm.bind(end);
     asm.halt();
     asm.finish().expect("dynamic SpVV∩ program assembles")
+}
+
+/// Builds the *single-pass* dynamic SpVV∩: a true `Intersect` job with
+/// the **stream-terminate flag** instead of the two-pass `JOIN_COUNT`
+/// handshake. The joiner streams matched pairs of data-dependent count
+/// and raises `done` into the FREP sequencer; the compute loop is one
+/// staggered `fmadd` under `frep.s`, which replays until the streams
+/// terminate — each index stream is walked **once**, and the loop runs
+/// exactly one `fmadd` per match (zero for disjoint operands) without
+/// any pre-counted trip.
+#[must_use]
+pub fn build_spvv_ss_term<I: KernelIndex>(addrs: SpvvSsAddrs) -> Program {
+    let n_acc = issr_accumulators(I::IDX_SIZE);
+    let mut asm = Assembler::new();
+    asm.li_addr(R::A2, addrs.out);
+    asm.roi_begin();
+    // No zero-operand special case: an empty side terminates the joiner
+    // immediately and the frep.s body runs zero times.
+    emit_joiner_read::<I>(
+        &mut asm,
+        JoinerMode::Intersect,
+        addrs.a.idcs,
+        addrs.a.vals,
+        addrs.a.nnz,
+        addrs.b.idcs,
+        addrs.b.vals,
+        addrs.b.nnz,
+    );
+    asm.csrsi(issr_isa::Csr::Ssr, 1);
+    emit_zero_accumulators(&mut asm, ACC0, n_acc);
+    asm.frep_stream(1, Stagger::accumulator(n_acc));
+    asm.symbol("issr_term_body");
+    asm.fmadd_d(ACC0, FpReg::FT0, FpReg::FT1, ACC0);
+    emit_reduction_tree(&mut asm, ACC0, n_acc);
+    asm.fsd(ACC0, R::A2, 0);
+    asm.roi_end();
+    asm.csrci(issr_isa::Csr::Ssr, 1);
+    asm.halt();
+    asm.finish().expect("stream-terminated SpVV∩ program assembles")
+}
+
+/// Marshals the two fibers and runs the single-pass stream-terminated
+/// SpVV∩ ([`build_spvv_ss_term`]) on the joiner hardware.
+///
+/// # Errors
+/// Returns [`SimTimeout`] if the kernel fails to finish (a bug).
+pub fn run_spvv_ss_term<I: KernelIndex>(
+    a: &SparseFiber<I>,
+    b: &SparseFiber<I>,
+) -> Result<SpvvSsRun, SimTimeout> {
+    let mut arena = Arena::new(SINGLE_CC_ARENA, SingleCcSim::DEFAULT_MEM_BYTES / 2);
+    let mut sim = SingleCcSim::with_joiner(Program::default());
+    let a_addrs = place_fiber(&mut arena, sim.mem.array_mut(), a);
+    let b_addrs = place_fiber(&mut arena, sim.mem.array_mut(), b);
+    let out = alloc_result(&mut arena, 1);
+    let program = build_spvv_ss_term::<I>(SpvvSsAddrs { a: a_addrs, b: b_addrs, out });
+    sim = reprogram_joiner(sim, program);
+    let budget = 100_000 + 64 * u64::from(a_addrs.nnz + b_addrs.nnz);
+    let summary = sim.run(budget)?.expect_clean();
+    Ok(SpvvSsRun { result: sim.mem.array().load_f64(out), summary })
 }
 
 /// Marshals the two fibers and runs the dynamic-trip (JOIN_COUNT
@@ -609,6 +677,76 @@ mod tests {
         for (a, b) in [(&empty, &some), (&some, &empty), (&empty, &empty)] {
             assert_eq!(run_spvv_ss_dyn(a, b).unwrap().result, 0.0);
         }
+    }
+
+    /// The single-pass stream-terminated (`frep.s`) variant matches the
+    /// oracle across overlaps, widths and empty operands — with ONE
+    /// joiner job and one `fmadd` per match.
+    #[test]
+    fn term_spvv_ss_matches_reference_single_pass() {
+        for (nnz_a, nnz_b, overlap) in
+            [(1, 1, 1.0), (2, 7, 0.0), (33, 200, 0.5), (100, 100, 0.25), (256, 64, 1.0)]
+        {
+            for wide in [false, true] {
+                let mut rng = gen::rng(150 + nnz_a as u64 + u64::from(wide));
+                let (a32, b32) =
+                    gen::overlapping_pair::<u32>(&mut rng, 1024, nnz_a, nnz_b, overlap);
+                let (run, expect) = if wide {
+                    (
+                        run_spvv_ss_term(&a32, &b32).expect("kernel finishes"),
+                        reference::spvv_ss(&a32, &b32),
+                    )
+                } else {
+                    let (a, b) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+                    (run_spvv_ss_term(&a, &b).expect("kernel finishes"), reference::spvv_ss(&a, &b))
+                };
+                let tol = 1e-12 * expect.abs().max(1.0);
+                assert!(
+                    (run.result - expect).abs() <= tol,
+                    "term nnz=({nnz_a},{nnz_b}) overlap={overlap} wide={wide}: \
+                     got {} expected {expect}",
+                    run.result
+                );
+                let stats = run.summary.joiner_stats;
+                assert_eq!(stats.jobs, 1, "single pass: exactly one joiner job");
+                assert_eq!(
+                    run.summary.metrics.roi.fmadds, stats.matches,
+                    "one fmadd per match, no zero-fill padding"
+                );
+            }
+        }
+        let empty = SparseFiber::<u16>::new(64, vec![], vec![]).unwrap();
+        let some = SparseFiber::<u16>::new(64, vec![3, 9], vec![2.0, -1.0]).unwrap();
+        for (a, b) in [(&empty, &some), (&some, &empty), (&empty, &empty)] {
+            let run = run_spvv_ss_term(a, b).unwrap();
+            assert_eq!(run.result, 0.0);
+            assert_eq!(run.summary.metrics.roi.fmadds, 0, "zero-trip stream loop");
+        }
+    }
+
+    /// The terminate flag halves the index traffic of the two-pass
+    /// handshake: same result, one walk instead of two.
+    #[test]
+    fn term_spvv_ss_walks_streams_once() {
+        let mut rng = gen::rng(155);
+        let (a, b) = gen::overlapping_pair::<u16>(&mut rng, 512, 64, 64, 0.25);
+        let dynamic = run_spvv_ss_dyn(&a, &b).unwrap();
+        let term = run_spvv_ss_term(&a, &b).unwrap();
+        assert_eq!(term.result, dynamic.result);
+        assert_eq!(term.summary.joiner_stats.jobs, 1);
+        assert_eq!(dynamic.summary.joiner_stats.jobs, 2);
+        assert!(
+            term.summary.joiner_stats.idx_words * 2 <= dynamic.summary.joiner_stats.idx_words + 2,
+            "single pass fetches about half the index words ({} vs {})",
+            term.summary.joiner_stats.idx_words,
+            dynamic.summary.joiner_stats.idx_words
+        );
+        assert!(
+            term.summary.metrics.roi.cycles < dynamic.summary.metrics.roi.cycles,
+            "single pass is faster ({} vs {})",
+            term.summary.metrics.roi.cycles,
+            dynamic.summary.metrics.roi.cycles
+        );
     }
 
     /// The handshake runs two joiner jobs (count pass + real pass) when

@@ -1,0 +1,150 @@
+//! Trap-path tests: malformed SpAcc/joiner configuration words must
+//! latch a structured [`Trap`]/[`TrapCause::CfgFault`] that surfaces
+//! through `RunSummary.trap` (single CC) and `ClusterSummary.traps`
+//! (cluster) — the simulator drains and reports instead of panicking.
+
+use issr_cluster::cluster::{Cluster, ClusterParams};
+use issr_core::cfg::{acc_count_cfg_word, cfg_addr, join_cfg_word, reg as sreg, JoinerMode};
+use issr_core::serializer::IndexSize;
+use issr_core::CfgFault;
+use issr_isa::asm::{Assembler, Program};
+use issr_isa::reg::IntReg as R;
+use issr_isa::Csr;
+use issr_mem::map::TCDM_BASE;
+use issr_snitch::cc::SingleCcSim;
+use issr_snitch::core::TrapCause;
+
+/// Runs `program` on the sparse-sparse single-CC setup and returns the
+/// latched trap cause (the run itself must complete — not panic).
+fn run_to_trap(program: Program) -> TrapCause {
+    let mut sim = SingleCcSim::with_joiner(program);
+    let summary = sim.run(10_000).expect("trapped runs drain and finish");
+    summary.trap.expect("malformed cfg word must latch a trap").cause
+}
+
+#[test]
+fn bad_lane_write_traps() {
+    let mut a = Assembler::new();
+    a.li(R::T0, 1);
+    a.scfgwi(R::T0, cfg_addr(sreg::BOUNDS[0], 7)); // lane 7 does not exist
+    a.halt();
+    assert_eq!(
+        run_to_trap(a.finish().unwrap()),
+        TrapCause::CfgFault(CfgFault::BadLane { lane: 7 })
+    );
+}
+
+#[test]
+fn bad_lane_read_traps() {
+    let mut a = Assembler::new();
+    a.scfgri(R::T0, cfg_addr(sreg::STATUS, 3));
+    a.halt();
+    assert_eq!(
+        run_to_trap(a.finish().unwrap()),
+        TrapCause::CfgFault(CfgFault::BadLane { lane: 3 })
+    );
+}
+
+#[test]
+fn zero_capacity_feed_traps() {
+    let mut a = Assembler::new();
+    a.li(R::T0, 4);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+    a.scfgwi(R::ZERO, cfg_addr(sreg::ACC_BUF_CAP, 0)); // zero-capacity buffer
+    a.li_addr(R::T0, TCDM_BASE + 0x1000);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0));
+    a.halt();
+    assert_eq!(run_to_trap(a.finish().unwrap()), TrapCause::CfgFault(CfgFault::ZeroCapacity));
+}
+
+#[test]
+fn count_mode_drain_traps() {
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(acc_count_cfg_word(IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_CFG, 0)); // symbolic mode
+    a.li_addr(R::T0, TCDM_BASE + 0x2000);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_VAL_OUT, 0));
+    a.li_addr(R::T0, TCDM_BASE + 0x1000);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_DRAIN, 0)); // nothing to drain
+    a.halt();
+    assert_eq!(run_to_trap(a.finish().unwrap()), TrapCause::CfgFault(CfgFault::CountModeDrain));
+}
+
+#[test]
+fn missing_hardware_launches_trap() {
+    // SpAcc feed on the paper streamer (no sparse accumulator).
+    let mut a = Assembler::new();
+    a.li(R::T0, 1);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0));
+    a.halt();
+    let mut sim = SingleCcSim::new(a.finish().unwrap());
+    let summary = sim.run(10_000).unwrap();
+    assert_eq!(summary.trap.unwrap().cause, TrapCause::CfgFault(CfgFault::NoSpAcc));
+    // Joiner launch on the paper streamer (no index joiner).
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(join_cfg_word(JoinerMode::Union, IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_CFG, 0));
+    a.scfgwi(R::ZERO, cfg_addr(sreg::RPTR[0], 0));
+    a.halt();
+    let mut sim = SingleCcSim::new(a.finish().unwrap());
+    let summary = sim.run(10_000).unwrap();
+    assert_eq!(summary.trap.unwrap().cause, TrapCause::CfgFault(CfgFault::NoJoiner));
+}
+
+/// The trap is *surfaced*, not fatal: the trapped core parks, the rest
+/// of the run's state stays inspectable, and instructions before the
+/// fault committed.
+#[test]
+fn trap_preserves_prior_state() {
+    let mut a = Assembler::new();
+    a.li(R::S0, 42);
+    a.li(R::T0, 5);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+    a.scfgwi(R::ZERO, cfg_addr(sreg::ACC_BUF_CAP, 0));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0)); // faults here
+    a.li(R::S0, 99); // must never execute
+    a.halt();
+    let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+    let summary = sim.run(10_000).unwrap();
+    let trap = summary.trap.expect("fault latched");
+    assert_eq!(trap.cause, TrapCause::CfgFault(CfgFault::ZeroCapacity));
+    assert_eq!(sim.cc.core.reg(R::S0), 42, "pre-fault state commits, post-fault does not");
+    // The Display form carries the fault for harness panic messages.
+    assert!(trap.to_string().contains("zero-capacity"), "{trap}");
+}
+
+/// On the cluster, one worker's malformed cfg word parks only that
+/// worker: the others finish their work and `ClusterSummary.traps`
+/// names the trapped hart.
+#[test]
+fn cluster_surfaces_per_worker_traps() {
+    let out = TCDM_BASE + 0x80;
+    let mut a = Assembler::new();
+    a.csrr(R::A7, Csr::MHartId);
+    let good = a.new_label();
+    a.bnez(R::A7, good);
+    // Hart 0: count-mode drain fault.
+    a.li(R::T0, i64::from(acc_count_cfg_word(IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_CFG, 0));
+    a.li_addr(R::T0, TCDM_BASE + 0x1000);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_DRAIN, 0));
+    a.halt();
+    // Everyone else: stamp a completion marker.
+    a.bind(good);
+    a.slli(R::T0, R::A7, 2);
+    a.li_addr(R::T1, out);
+    a.add(R::T0, R::T0, R::T1);
+    a.li(R::T2, 1);
+    a.sw(R::T2, R::T0, 0);
+    a.halt();
+    let params = ClusterParams { sssr: true, ..ClusterParams::default() };
+    let mut cluster = Cluster::new(a.finish().unwrap(), params);
+    let summary = cluster.run(100_000).expect("cluster drains despite the trap");
+    assert_eq!(summary.traps.len(), 1, "exactly the faulting worker traps");
+    assert_eq!(summary.traps[0].hartid, 0);
+    assert_eq!(summary.traps[0].cause, TrapCause::CfgFault(CfgFault::CountModeDrain));
+    for h in 1..8u32 {
+        assert_eq!(cluster.tcdm.array().load_u32(out + h * 4), 1, "hart {h} finished");
+    }
+}

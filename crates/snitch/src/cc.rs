@@ -203,7 +203,11 @@ impl RunSummary {
     #[track_caller]
     pub fn expect_clean(self) -> Self {
         if let Some(trap) = self.trap {
-            panic!("simulated core trapped: {trap}");
+            panic!(
+                "simulated core trapped: {trap} (cause: {:?}, faulting pc {:#010x}, \
+                 hart {})",
+                trap.cause, trap.pc, trap.hartid
+            );
         }
         self
     }
@@ -535,6 +539,123 @@ mod tests {
         assert_eq!(stats.jobs, 1);
         assert_eq!(stats.matches, 3);
         assert_eq!(stats.emissions, a_idcs.len() as u64);
+    }
+
+    /// `frep.s`: a stream-terminated fmadd loop consumes a joiner
+    /// intersect job of *data-dependent* length — no count pre-pass, no
+    /// pre-counted trip. The loop ends when the joiner raises `done`
+    /// and the lane FIFOs drain.
+    #[test]
+    fn frep_stream_terminates_on_joiner_done() {
+        use issr_core::cfg::{cfg_addr, join_cfg_word, reg as sreg, JoinerMode};
+        use issr_core::serializer::IndexSize;
+        let idx_a = SINGLE_CC_ARENA;
+        let idx_b = SINGLE_CC_ARENA + 0x1000;
+        let vals_a = SINGLE_CC_ARENA + 0x2000;
+        let vals_b = SINGLE_CC_ARENA + 0x3000;
+        let out = SINGLE_CC_ARENA + 0x4000;
+        let a_idcs: [u16; 4] = [0, 3, 5, 9];
+        let b_idcs: [u16; 5] = [3, 5, 7, 9, 11];
+        let run = |intersecting: bool| -> (f64, u64) {
+            let n_acc = 4u8;
+            let mut a = Assembler::new();
+            a.li(R::T0, i64::from(join_cfg_word(JoinerMode::Intersect, IndexSize::U16)));
+            a.scfgwi(R::T0, cfg_addr(sreg::JOIN_CFG, 0));
+            a.li_addr(R::T0, vals_a);
+            a.scfgwi(R::T0, cfg_addr(sreg::DATA_BASE, 0));
+            a.li_addr(R::T0, idx_b);
+            a.scfgwi(R::T0, cfg_addr(sreg::JOIN_IDX_B, 0));
+            a.li_addr(R::T0, vals_b);
+            a.scfgwi(R::T0, cfg_addr(sreg::JOIN_DATA_B, 0));
+            a.li(R::T0, a_idcs.len() as i64);
+            a.scfgwi(R::T0, cfg_addr(sreg::JOIN_NNZ_A, 0));
+            a.li(R::T0, if intersecting { b_idcs.len() as i64 } else { 0 });
+            a.scfgwi(R::T0, cfg_addr(sreg::JOIN_NNZ_B, 0));
+            a.li_addr(R::T0, idx_a);
+            a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 0)); // launch
+            a.csrsi(issr_isa::Csr::Ssr, 1);
+            for k in 0..n_acc {
+                a.fcvt_d_w(F::FT2.offset(k), R::ZERO);
+            }
+            a.roi_begin();
+            a.frep_stream(1, Stagger::accumulator(n_acc));
+            a.fmadd_d(F::FT2, F::FT0, F::FT1, F::FT2);
+            a.roi_end();
+            a.fadd_d(F::FT2, F::FT2, F::FT3);
+            a.fadd_d(F::FT4, F::FT4, F::FT5);
+            a.fadd_d(F::FT2, F::FT2, F::FT4);
+            a.csrci(issr_isa::Csr::Ssr, 1);
+            a.li_addr(R::A2, out);
+            a.fsd(F::FT2, R::A2, 0);
+            a.halt();
+            let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+            sim.mem.array_mut().store_u16_slice(idx_a, &a_idcs);
+            sim.mem.array_mut().store_u16_slice(idx_b, &b_idcs);
+            for j in 0..a_idcs.len() as u32 {
+                sim.mem.array_mut().store_f64(vals_a + j * 8, f64::from(j + 1));
+            }
+            for j in 0..b_idcs.len() as u32 {
+                sim.mem.array_mut().store_f64(vals_b + j * 8, f64::from(j + 1) * 10.0);
+            }
+            let summary = sim.run(100_000).unwrap().expect_clean();
+            (sim.mem.array().load_f64(out), summary.metrics.roi.fmadds)
+        };
+        // Matches at 3 (a1,b0), 5 (a2,b1), 9 (a3,b3): 2*10 + 3*20 + 4*40.
+        let (dot, _) = run(true);
+        assert_eq!(dot, 240.0);
+        // An empty B side intersects to nothing: the body runs ZERO
+        // times — the case a capture-and-execute FREP cannot express.
+        let (dot, fmadds) = run(false);
+        assert_eq!(dot, 0.0);
+        assert_eq!(fmadds, 0, "stream loop body must not execute on an empty stream");
+    }
+
+    /// A `frep.s` body with no stream-mapped source terminates
+    /// immediately (zero iterations) instead of spinning.
+    #[test]
+    fn frep_stream_without_stream_sources_is_a_no_op() {
+        let mut a = Assembler::new();
+        a.fcvt_d_w(F::FS0, R::ZERO);
+        a.fcvt_d_w(F::FS1, R::ZERO);
+        a.csrsi(issr_isa::Csr::Ssr, 1);
+        a.roi_begin();
+        a.frep_stream(1, Stagger::NONE);
+        a.fadd_d(F::FS0, F::FS0, F::FS1);
+        a.roi_end();
+        a.csrci(issr_isa::Csr::Ssr, 1);
+        a.halt();
+        let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+        let summary = sim.run(10_000).unwrap().expect_clean();
+        assert_eq!(summary.metrics.roi.fadds, 0);
+    }
+
+    /// Malformed streamer configuration accesses park the core with a
+    /// structured `CfgFault` trap instead of aborting the simulator.
+    #[test]
+    fn cfg_fault_latches_as_trap() {
+        use issr_core::cfg::{cfg_addr, reg as sreg};
+        use issr_core::CfgFault;
+        // scfgri to a lane the paper config does not have.
+        let mut a = Assembler::new();
+        a.scfgri(R::T0, cfg_addr(sreg::STATUS, 5));
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let summary = sim.run(1000).unwrap();
+        let trap = summary.trap.expect("bad-lane read must trap");
+        assert_eq!(trap.cause, crate::core::TrapCause::CfgFault(CfgFault::BadLane { lane: 5 }));
+        assert!(trap.to_string().contains("nonexistent lane"), "{trap}");
+        // A SpAcc feed launch without SpAcc hardware.
+        let mut a = Assembler::new();
+        a.li(R::T0, 1);
+        a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+        a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0));
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let summary = sim.run(1000).unwrap();
+        assert_eq!(
+            summary.trap.expect("launch must trap").cause,
+            crate::core::TrapCause::CfgFault(CfgFault::NoSpAcc)
+        );
     }
 
     #[test]

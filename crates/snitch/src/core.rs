@@ -44,6 +44,10 @@ pub enum TrapCause {
     UnimplementedInstr(Instr),
     /// The PC ran past the end of the loaded program (missing `halt`).
     PcOutOfRange,
+    /// A malformed streamer configuration access (`scfgwi`/`scfgri`):
+    /// nonexistent lane, joiner/SpAcc launch without that hardware, a
+    /// zero-capacity SpAcc feed, or a drain in count-only mode.
+    CfgFault(issr_core::CfgFault),
 }
 
 /// A structured decode/fetch trap: which core stopped, where, and why.
@@ -69,6 +73,9 @@ impl std::fmt::Display for Trap {
             }
             TrapCause::PcOutOfRange => {
                 write!(f, "hart {}: PC {:#010x} past end of program", self.hartid, self.pc)
+            }
+            TrapCause::CfgFault(fault) => {
+                write!(f, "hart {}: {fault} at {:#010x}", self.hartid, self.pc)
             }
         }
     }
@@ -425,13 +432,22 @@ impl SnitchCore {
                 if !self.ready(rs1) {
                     return stall_raw(metrics);
                 }
-                if !streamer.cfg_write(addr, self.read(rs1)) {
-                    return stall_struct(metrics);
+                match streamer.cfg_write(addr, self.read(rs1)) {
+                    Ok(true) => {}
+                    Ok(false) => return stall_struct(metrics),
+                    Err(fault) => {
+                        self.take_trap(TrapCause::CfgFault(fault));
+                        return;
+                    }
                 }
             }
-            Instr::Scfgri { rd, addr } => {
-                self.write(rd, streamer.cfg_read(addr));
-            }
+            Instr::Scfgri { rd, addr } => match streamer.cfg_read(addr) {
+                Ok(value) => self.write(rd, value),
+                Err(fault) => {
+                    self.take_trap(TrapCause::CfgFault(fault));
+                    return;
+                }
+            },
             Instr::Frep { max_rpt, .. } => {
                 if !self.ready(max_rpt) {
                     return stall_raw(metrics);

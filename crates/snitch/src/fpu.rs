@@ -51,6 +51,10 @@ enum SeqState {
         max_rpt: u32,
         stagger: Stagger,
         kind: FrepKind,
+        /// Whether the captured body executes as it streams by
+        /// (iteration 0 of `frep.o`/`frep.i`). Stream-terminated loops
+        /// buffer without executing — the body may run zero times.
+        execute: bool,
         buf: Vec<FpOp>,
     },
     Replaying {
@@ -202,6 +206,16 @@ impl FpuSubsystem {
         streamer: &mut Streamer,
         metrics: &mut Metrics,
     ) -> Result<(), Blocked> {
+        // A stream-terminated loop samples the terminate signal at each
+        // body start: once every stream the body reads has raised `done`
+        // and drained, the loop retires and the queue behind it resumes
+        // in the same cycle — the data-dependent trip count the joiner
+        // and SpAcc handshakes feed (`frep.s`).
+        if let SeqState::Replaying { kind: FrepKind::Stream, pos: 0, buf, .. } = &self.seq {
+            if Self::stream_sources_terminated(buf, streamer) {
+                self.seq = SeqState::Idle;
+            }
+        }
         // Replay takes priority: the queue is stalled behind the loop.
         if let SeqState::Replaying { iter, pos, max_rpt, stagger, kind, buf } = &self.seq {
             let op = buf[*pos];
@@ -211,7 +225,7 @@ impl FpuSubsystem {
             self.issue_op(op, offset, now, port, streamer, metrics)?;
             // Advance the sequencer.
             let (next_iter, next_pos) = match kind {
-                FrepKind::Outer => {
+                FrepKind::Outer | FrepKind::Stream => {
                     if pos + 1 < buf_len {
                         (iter, pos + 1)
                     } else {
@@ -229,6 +243,8 @@ impl FpuSubsystem {
             let done = match kind {
                 FrepKind::Outer => next_iter > max_rpt,
                 FrepKind::Inner => next_pos >= buf_len,
+                // Stream loops end only through the terminate check above.
+                FrepKind::Stream => false,
             };
             if done {
                 self.seq = SeqState::Idle;
@@ -254,6 +270,7 @@ impl FpuSubsystem {
                         max_rpt: *aux,
                         stagger: *stagger,
                         kind: *kind,
+                        execute: !matches!(kind, FrepKind::Stream),
                         buf: Vec::with_capacity(*n_insns as usize),
                     };
                     self.queue.pop_front();
@@ -262,12 +279,33 @@ impl FpuSubsystem {
                 None => return Err(Blocked::Empty),
             }
         }
+        // A stream-terminated body buffers without executing: the
+        // terminate signal may already be up, in which case the body
+        // must run zero times.
+        while let SeqState::Capturing { execute: false, remaining, stagger, kind, buf, .. } =
+            &mut self.seq
+        {
+            let Some(&op) = self.queue.front() else {
+                return Err(Blocked::Empty);
+            };
+            assert!(op.instr.is_fp(), "non-FP instruction inside an FREP body");
+            buf.push(op);
+            self.queue.pop_front();
+            *remaining -= 1;
+            if *remaining == 0 {
+                let (stagger, kind, buf) = (*stagger, *kind, std::mem::take(buf));
+                self.seq = SeqState::Replaying { iter: 0, pos: 0, max_rpt: 0, stagger, kind, buf };
+                // The first body pass issues next cycle, behind the
+                // terminate check.
+                return Ok(());
+            }
+        }
         let op = *self.queue.front().expect("checked non-empty");
         // Iteration 0 of a captured body executes as it streams by.
         let offset = 0;
         self.issue_op(op, offset, now, port, streamer, metrics)?;
         self.queue.pop_front();
-        if let SeqState::Capturing { remaining, max_rpt, stagger, kind, buf } = &mut self.seq {
+        if let SeqState::Capturing { remaining, max_rpt, stagger, kind, buf, .. } = &mut self.seq {
             buf.push(op);
             *remaining -= 1;
             if *remaining == 0 {
@@ -286,6 +324,42 @@ impl FpuSubsystem {
             }
         }
         Ok(())
+    }
+
+    /// Whether every stream lane the body *reads* has terminated: the
+    /// producer (lane job or joiner) raised `done` and every delivered
+    /// value has been consumed. Lanes the body only writes (e.g. the
+    /// SpAcc's write stream) do not gate termination. Stagger rotation
+    /// is ignored here — staggered operands are accumulators, not
+    /// stream-mapped registers.
+    fn stream_sources_terminated(buf: &[FpOp], streamer: &Streamer) -> bool {
+        let mut used = [false; 8];
+        {
+            let mut mark = |r: FpReg| {
+                if let Some(lane) = streamer.lane_of_reg(r.index()) {
+                    used[lane] = true;
+                }
+            };
+            for op in buf {
+                match op.instr {
+                    Instr::FpuOp3 { rs1, rs2, rs3, .. } => {
+                        mark(rs1);
+                        mark(rs2);
+                        mark(rs3);
+                    }
+                    Instr::FpuOp2 { rs1, rs2, .. } | Instr::FpuCmp { rs1, rs2, .. } => {
+                        mark(rs1);
+                        mark(rs2);
+                    }
+                    Instr::FmvD { rs1, .. } | Instr::FcvtWD { rs1, .. } => mark(rs1),
+                    Instr::Fsd { rs2, .. } => mark(rs2),
+                    _ => {}
+                }
+            }
+        }
+        used.iter()
+            .enumerate()
+            .all(|(lane, &reads)| !reads || streamer.read_stream_terminated(lane))
     }
 
     fn stagger_reg(reg: FpReg, mask_bit: u8, mask: u8, offset: u8) -> FpReg {

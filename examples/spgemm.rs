@@ -53,15 +53,23 @@ fn main() {
         }
     }
 
-    // The cluster version: rows striped over eight SpAcc-equipped workers
-    // into host-planned packed offsets (two-pass symbolic allocation).
+    // The cluster version with the fully DEVICE-OWNED two-pass
+    // allocation: each worker counts its rows with count-only SpAcc
+    // feeds (symbolic phase), the log-tree prefix-sum barrier turns the
+    // counts into packed offsets on-device, and the numeric phase
+    // drains rows into the exact slots — no host row pointer at all.
     let cluster = run_cluster_spgemm(Variant::Issr, &a, &b).expect("cluster finishes");
     assert!(cluster.summary.traps.is_empty());
-    assert_eq!(cluster.c.ptr(), expect.ptr());
+    assert_eq!(cluster.c.ptr(), expect.ptr(), "device-computed row pointer matches the oracle");
     assert_eq!(cluster.c.idcs(), expect.idcs());
     let active = cluster.summary.spacc_stats.iter().filter(|s| s.drains > 0).count();
+    let sym_feeds: u64 = cluster.summary.spacc_stats.iter().map(|s| s.count_feeds).sum();
+    let overlap: u64 = cluster.summary.spacc_stats.iter().map(|s| s.overlap_cycles).sum();
+    assert!(sym_feeds > 0, "the symbolic phase must run on-device");
     println!(
-        "\ncluster: {} cycles across 8 workers ({active} SpAcc units active)",
+        "\ncluster (device-owned alloc): {} cycles across 8 workers \
+         ({active} SpAcc units active, {sym_feeds} count-only symbolic feeds, \
+         {overlap} drain/feed overlap cycles)",
         cluster.summary.cycles
     );
     println!("\nall outputs agree with the host reference::spgemm oracle");
