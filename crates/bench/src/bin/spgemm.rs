@@ -1,18 +1,81 @@
 //! Reports the sparse-output subsystem: row-wise Gustavson SpGEMM,
 //! SpAcc hardware expansion vs. the software merge, across sparsity
-//! regimes, plus per-unit SpAcc activity and the cluster version.
+//! regimes, plus per-unit SpAcc activity, the cluster version, and the
+//! trap-driven overflow-recovery regime (optimistic `ACC_BUF_CAP`,
+//! grow-and-retry on `StreamFault::Overflow`).
 //!
 //! Pass `--smoke` for the scaled-down CI sweep. Either way the run
-//! asserts ISSR ≥ 3x over BASE on every regime, so a performance
-//! regression fails the process (the CI gate), not just the tables.
+//! asserts ISSR ≥ 3x over BASE on every regime and that the recovery
+//! regime actually traps and converges, so a regression fails the
+//! process (the CI gate), not just the tables.
+//!
+//! Pass `--suite` to instead sweep cluster SpGEMM (`C = M·M`) over
+//! TCDM-resident windows of the SuiteSparse stand-ins and report the
+//! power model's energy table for the sparse-output kernel.
 
 use issr_bench::figures::{
-    cluster_spgemm_report, default_spgemm_regimes, smoke_spgemm_regimes, spgemm_sweep,
+    cluster_spgemm_report, default_spgemm_regimes, smoke_spgemm_regimes, spgemm_recovery_report,
+    spgemm_suite_sweep, spgemm_sweep,
 };
 use issr_bench::report::markdown_table;
 
+fn suite_energy_table() {
+    let names: Vec<String> =
+        issr_sparse::suite::suite().into_iter().map(|e| e.name.to_owned()).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let rows = spgemm_suite_sweep(&name_refs);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{0}x{0}", r.window),
+                r.nnz.to_string(),
+                r.c_nnz.to_string(),
+                r.macs.to_string(),
+                format!("{:.1}", r.base_mw),
+                format!("{:.1}", r.issr_mw),
+                format!("{:.1}", r.base_pj_per_mac),
+                format!("{:.1}", r.issr_pj_per_mac),
+                format!("{:.2}x", r.gain),
+            ]
+        })
+        .collect();
+    println!("SpGEMM energy — SuiteSparse stand-ins (TCDM windows, cluster C = M·M)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "matrix",
+                "window",
+                "nnz",
+                "C nnz",
+                "macs",
+                "BASE mW",
+                "ISSR mW",
+                "BASE pJ/mac",
+                "ISSR pJ/mac",
+                "gain"
+            ],
+            &table
+        )
+    );
+    for r in &rows {
+        assert!(
+            r.gain > 1.0,
+            "{}: sparse-output energy efficiency regressed ({:.2}x)",
+            r.name,
+            r.gain
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--suite") {
+        suite_energy_table();
+        return;
+    }
     let regimes = if smoke { smoke_spgemm_regimes() } else { default_spgemm_regimes() };
 
     let rows = spgemm_sweep(&regimes);
@@ -112,6 +175,16 @@ fn main() {
             &table
         )
     );
+
+    // Overflow recovery: optimistic ACC_BUF_CAP, trap-driven
+    // grow-and-retry (validated against the oracle inside the runner).
+    let rec = spgemm_recovery_report();
+    println!(
+        "overflow recovery: ACC_BUF_CAP {} -> {} over {} overflow trap(s); clean run {} \
+         cycles, peak row nnz {}\n",
+        rec.initial_cap, rec.final_cap, rec.retries, rec.cycles, rec.peak_nnz,
+    );
+    assert!(rec.retries >= 1, "the overflow-recovery regime must trap and recover");
 
     let cluster = cluster_spgemm_report(regimes[regimes.len() - 1]);
     println!(

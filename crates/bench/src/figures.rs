@@ -5,13 +5,14 @@ use issr_kernels::cluster_csrmv::run_cluster_csrmv;
 use issr_kernels::cluster_spgemm::run_cluster_spgemm;
 use issr_kernels::csrmm::run_csrmm;
 use issr_kernels::csrmv::run_csrmv;
-use issr_kernels::spgemm::{run_spgemm, run_spgemm_buffered};
+use issr_kernels::spgemm::{run_spgemm, run_spgemm_buffered, run_spgemm_recover};
 use issr_kernels::spmspv::{run_spmspv, run_spvv_ss};
 use issr_kernels::spvv::run_spvv;
 use issr_kernels::variant::Variant;
 use issr_model::power::PowerModel;
+use issr_sparse::csr::CsrMatrix;
 use issr_sparse::dense::DenseMatrix;
-use issr_sparse::{gen, suite};
+use issr_sparse::{gen, reference, suite};
 
 /// One series point of Fig. 4a: SpVV FPU utilization against nnz.
 #[derive(Clone, Copy, Debug)]
@@ -498,6 +499,164 @@ pub fn cluster_spgemm_report(regime: SpgemmRegime) -> ClusterSpgemmReport {
     }
 }
 
+/// The overflow-recovery regime: SpGEMM with an *optimistic* SpAcc
+/// row-buffer capacity recovered through trap-driven grow-and-retry.
+#[derive(Clone, Copy, Debug)]
+pub struct SpgemmRecoveryRow {
+    /// The optimistic initial `ACC_BUF_CAP`.
+    pub initial_cap: u32,
+    /// The capacity the clean run converged to.
+    pub final_cap: u32,
+    /// Overflow traps taken before the capacity sufficed.
+    pub retries: u32,
+    /// Total cycles of the final clean run.
+    pub cycles: u64,
+    /// Peak row-buffer occupancy of the clean run.
+    pub peak_nnz: u64,
+}
+
+/// Runs the overflow-recovery regime: dense-ish B rows against a tiny
+/// initial capacity force several overflow traps, the harness grows
+/// `ACC_BUF_CAP` and replays, and the converged product is validated
+/// against the host oracle before reporting.
+///
+/// # Panics
+/// Panics if the run fails, never retries (the regime must actually
+/// trap), or diverges from the oracle.
+#[must_use]
+pub fn spgemm_recovery_report() -> SpgemmRecoveryRow {
+    let initial_cap = 4u32;
+    let mut rng = gen::rng(0x000F_1652);
+    let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, 8, 24, 4);
+    let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, 24, 64, 24);
+    let rec = run_spgemm_recover(Variant::Issr, &a, &b, initial_cap).expect("recovery run");
+    assert!(rec.retries >= 1, "the overflow-recovery regime must trap at least once");
+    let expect = reference::spgemm(&a, &b).with_index_width::<u32>();
+    assert_eq!(rec.run.c.ptr(), expect.ptr(), "recovered product row pointers");
+    assert_eq!(rec.run.c.idcs(), expect.idcs(), "recovered product column indices");
+    for (got, want) in rec.run.c.vals().iter().zip(expect.vals()) {
+        assert!(
+            (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+            "recovered product values: {got} vs {want}"
+        );
+    }
+    SpgemmRecoveryRow {
+        initial_cap,
+        final_cap: rec.final_cap,
+        retries: rec.retries,
+        cycles: rec.run.summary.cycles,
+        peak_nnz: rec.run.summary.spacc_stats.peak_nnz,
+    }
+}
+
+/// One row of the SuiteSparse stand-in SpGEMM energy sweep (`C = M·M`
+/// on the cluster, both variants, evaluated by the power model).
+#[derive(Clone, Debug)]
+pub struct SpgemmSuiteRow {
+    /// Suite entry name.
+    pub name: String,
+    /// Side length of the TCDM-resident principal window simulated.
+    pub window: usize,
+    /// Nonzeros of the windowed operand.
+    pub nnz: usize,
+    /// Nonzeros of the product.
+    pub c_nnz: usize,
+    /// Gustavson expansion volume (multiplies) of the window.
+    pub macs: u64,
+    /// BASE / ISSR cluster cycles.
+    pub base_cycles: u64,
+    /// ISSR cluster cycles.
+    pub issr_cycles: u64,
+    /// Average cluster power, BASE (mW).
+    pub base_mw: f64,
+    /// Average cluster power, ISSR (mW).
+    pub issr_mw: f64,
+    /// Energy per expansion multiply, BASE (pJ).
+    pub base_pj_per_mac: f64,
+    /// Energy per expansion multiply, ISSR (pJ).
+    pub issr_pj_per_mac: f64,
+    /// Energy-efficiency gain (BASE / ISSR pJ per multiply).
+    pub gain: f64,
+}
+
+/// Gustavson expansion volume of `m · m` (the multiply count — SpGEMM's
+/// useful-work denominator; the ISSR variant retires these as `fmul`,
+/// not `fmadd`, so the CsrMV figure's pJ/fmadd does not apply).
+fn spgemm_macs(m: &CsrMatrix<u16>) -> u64 {
+    (0..m.nrows()).map(|r| m.row(r).map(|(k, _)| m.row_range(k).len() as u64).sum::<u64>()).sum()
+}
+
+/// Largest leading principal window of `m` whose cluster SpGEMM plan
+/// (operands, expansion-volume output bound, per-worker merge scratch)
+/// fits the TCDM — the suite stand-ins themselves are sized for
+/// main-memory CsrMV, not for a TCDM-resident product.
+fn tcdm_window(m: &CsrMatrix<u16>) -> CsrMatrix<u16> {
+    let budget = u64::from(issr_mem::map::TCDM_SIZE) * 8 / 10;
+    let ladder = [m.nrows(), 384, 256, 192, 128, 96, 64, 48, 32, 16];
+    for &k in ladder.iter().filter(|&&k| k <= m.nrows()) {
+        let w = principal_window(m, k);
+        let nnz = w.nnz() as u64;
+        let n = k as u64;
+        let volume = spgemm_macs(&w);
+        let cap = volume.min(n * n);
+        // CSR bytes: 4-byte row pointers, 2-byte indices, 8-byte values
+        // (A and B alias the same matrix but are stored twice), plus the
+        // 8-worker BASE ping-pong scratch the plan always reserves.
+        let bytes = 2 * ((n + 1) * 4 + nnz * 10) + (n + 1) * 4 + cap * 10 + 8 * (n * 20 + 16);
+        if bytes <= budget {
+            return w;
+        }
+    }
+    principal_window(m, ladder[ladder.len() - 1].min(m.nrows()))
+}
+
+/// The leading `k`-by-`k` principal submatrix.
+fn principal_window(m: &CsrMatrix<u16>, k: usize) -> CsrMatrix<u16> {
+    let triplets: Vec<(usize, usize, f64)> = (0..k.min(m.nrows()))
+        .flat_map(|r| m.row(r).filter(|&(c, _)| c < k).map(move |(c, v)| (r, c, v)))
+        .collect();
+    CsrMatrix::from_triplets(k, k, &triplets)
+}
+
+/// Sweeps cluster SpGEMM (`C = M·M`, BASE vs. ISSR) over TCDM-resident
+/// windows of the named suite stand-ins and evaluates each run with the
+/// power model — the energy tables' first sparse-output kernel.
+///
+/// # Panics
+/// Panics if a named entry is missing or a cluster run fails.
+#[must_use]
+pub fn spgemm_suite_sweep(names: &[&str]) -> Vec<SpgemmSuiteRow> {
+    let model = PowerModel::default();
+    names
+        .iter()
+        .map(|&name| {
+            let entry = suite::by_name(name).expect("suite entry");
+            let m = tcdm_window(&entry.build::<u16>());
+            let base = run_cluster_spgemm(Variant::Base, &m, &m).expect("base cluster run");
+            let issr = run_cluster_spgemm(Variant::Issr, &m, &m).expect("issr cluster run");
+            let eb = model.evaluate(&base.summary);
+            let ei = model.evaluate(&issr.summary);
+            let macs = spgemm_macs(&m).max(1);
+            let base_pj = eb.total_nj * 1000.0 / macs as f64;
+            let issr_pj = ei.total_nj * 1000.0 / macs as f64;
+            SpgemmSuiteRow {
+                name: name.to_owned(),
+                window: m.nrows(),
+                nnz: m.nnz(),
+                c_nnz: issr.c.nnz(),
+                macs,
+                base_cycles: base.summary.cycles,
+                issr_cycles: issr.summary.cycles,
+                base_mw: eb.avg_power_mw,
+                issr_mw: ei.avg_power_mw,
+                base_pj_per_mac: base_pj,
+                issr_pj_per_mac: issr_pj,
+                gain: base_pj / issr_pj,
+            }
+        })
+        .collect()
+}
+
 /// The three sparsity regimes the SpGEMM binary sweeps: hypersparse
 /// (tiny expansions, fixed overheads dominate), moderate (typical
 /// graph/FEM-like fill), and dense-row (long accumulations, steady-state
@@ -623,6 +782,31 @@ mod tests {
             rows.iter().any(|r| r.spacc.overlap_cycles > 0 && r.double_buffer_gain() > 0),
             "double-buffered drains must overlap feeds somewhere in the sweep"
         );
+    }
+
+    /// The overflow-recovery regime traps at least once, converges to a
+    /// capacity no larger than the output width, and (inside the
+    /// runner) matches the oracle.
+    #[test]
+    fn spgemm_recovery_regime_traps_and_recovers() {
+        let row = spgemm_recovery_report();
+        assert!(row.retries >= 1);
+        assert!(row.final_cap > row.initial_cap);
+        assert!(row.final_cap <= 64);
+        assert!(row.peak_nnz <= u64::from(row.final_cap));
+    }
+
+    /// The suite energy sweep produces sane numbers for a small and a
+    /// mid-size stand-in: finite positive power, ISSR no less
+    /// energy-efficient per multiply than the software merge.
+    #[test]
+    fn spgemm_suite_energy_is_sane() {
+        for row in spgemm_suite_sweep(&["ragusa18", "tols2000"]) {
+            assert!(row.base_mw.is_finite() && row.base_mw > 0.0, "{row:?}");
+            assert!(row.issr_mw.is_finite() && row.issr_mw > 0.0, "{row:?}");
+            assert!(row.issr_cycles < row.base_cycles, "{row:?}");
+            assert!(row.gain > 1.0, "{row:?}");
+        }
     }
 
     #[test]

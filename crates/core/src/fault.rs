@@ -1,0 +1,129 @@
+//! Structured mid-stream fault descriptors.
+//!
+//! PR 3 latched *configuration-time* faults ([`crate::streamer::CfgFault`]):
+//! a malformed `scfg` access is rejected before any hardware state
+//! changes. This module covers the second half of the trap surface —
+//! faults that arise *while a stream job is already running*: a SpAcc
+//! row-buffer overflow, an unsorted feed, a stalled drain, or two units
+//! contending for one memory port. SSSR (arXiv:2305.05559) raises
+//! precise exceptions on malformed stream state for exactly this reason:
+//! a device model that serves untrusted workloads must latch and report,
+//! never abort.
+//!
+//! A [`StreamFault`] names the offending unit and the failure kind. The
+//! streamer latches the first fault, freezes every stream unit (in-flight
+//! memory responses still drain, so ports settle cleanly), and exposes
+//! the fault for the core to take as a trap. Some kinds are
+//! *recoverable* at the kernel layer: [`StreamFaultKind::Overflow`]
+//! carries the capacity that was exceeded, and the SpAcc restores its
+//! row buffer to the pre-feed checkpoint, so a host can grow
+//! `ACC_BUF_CAP` and replay (see [`crate::spacc`] for the protocol).
+
+/// The stream unit a mid-stream fault originated from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamUnit {
+    /// A streamer lane (SSR/ISSR), by index.
+    Lane(u8),
+    /// The sparse-sparse index joiner (lanes 0/1).
+    Joiner,
+    /// The sparse accumulator (lane 1's write stream).
+    SpAcc,
+}
+
+impl std::fmt::Display for StreamUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamUnit::Lane(lane) => write!(f, "lane {lane}"),
+            StreamUnit::Joiner => f.write_str("index joiner"),
+            StreamUnit::SpAcc => f.write_str("sparse accumulator"),
+        }
+    }
+}
+
+/// What went wrong mid-stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamFaultKind {
+    /// The SpAcc's merged row exceeded the configured `ACC_BUF_CAP`.
+    /// Recoverable: the row buffer is restored to its pre-feed
+    /// checkpoint, so growing the capacity and replaying the faulted
+    /// row's feeds reproduces the correct result (grow-and-retry).
+    Overflow {
+        /// The row-buffer capacity that was exceeded, in elements.
+        cap: u32,
+    },
+    /// A SpAcc feed delivered a decreasing index within one job (feed
+    /// input must be non-decreasing, as CSR row expansions are).
+    Unsorted {
+        /// The last in-order index.
+        prev: u32,
+        /// The offending (smaller) index that followed it.
+        next: u32,
+    },
+    /// The unit's progress watchdog expired: a job was in flight but
+    /// made no progress (no request, response, merge step, or delivery)
+    /// for the configured number of cycles — a drain stall or feed
+    /// underrun that would otherwise hang the simulation.
+    Stall {
+        /// Consecutive progress-free cycles when the watchdog fired.
+        cycles: u64,
+    },
+    /// Two masters contended for one lane port mid-stream (a lane job
+    /// launched on a port owned by the joiner or the SpAcc, or a joiner
+    /// job overlapping an active SpAcc job).
+    PortConflict,
+}
+
+/// A latched mid-stream fault: which unit, and why.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamFault {
+    /// The offending unit.
+    pub unit: StreamUnit,
+    /// The failure kind.
+    pub kind: StreamFaultKind,
+}
+
+impl std::fmt::Display for StreamFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            StreamFaultKind::Overflow { cap } => {
+                write!(f, "{}: row buffer overflow (capacity {cap})", self.unit)
+            }
+            StreamFaultKind::Unsorted { prev, next } => {
+                write!(f, "{}: unsorted feed index ({next} after {prev})", self.unit)
+            }
+            StreamFaultKind::Stall { cycles } => {
+                write!(f, "{}: stream stalled for {cycles} cycles", self.unit)
+            }
+            StreamFaultKind::PortConflict => {
+                write!(f, "{}: port conflict with an active stream job", self.unit)
+            }
+        }
+    }
+}
+
+/// Reset value of the stream-unit progress watchdogs, in cycles. Large
+/// enough that any legitimate backpressure (slow consumers, TCDM
+/// contention, barrier skew) resets the counter first; a unit that makes
+/// *zero* progress for this long is deadlocked and latches
+/// [`StreamFaultKind::Stall`] instead of hanging the simulation.
+pub const STREAM_WATCHDOG_RESET: u64 = 50_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_unit_and_kind() {
+        let f = StreamFault { unit: StreamUnit::SpAcc, kind: StreamFaultKind::Overflow { cap: 8 } };
+        let s = f.to_string();
+        assert!(s.contains("sparse accumulator") && s.contains("overflow"), "{s}");
+        let f = StreamFault {
+            unit: StreamUnit::Lane(1),
+            kind: StreamFaultKind::Unsorted { prev: 9, next: 3 },
+        };
+        assert!(f.to_string().contains("lane 1"), "{f}");
+        let f =
+            StreamFault { unit: StreamUnit::Joiner, kind: StreamFaultKind::Stall { cycles: 7 } };
+        assert!(f.to_string().contains("stalled"), "{f}");
+    }
+}

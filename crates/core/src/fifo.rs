@@ -84,6 +84,13 @@ impl<T> Fifo<T> {
     pub fn front(&self) -> Option<&T> {
         self.slots.front()
     }
+
+    /// Discards all buffered elements (the stream-fault squash path —
+    /// counted as pops so the push/pop statistics stay balanced).
+    pub fn clear(&mut self) {
+        self.pops += self.slots.len() as u64;
+        self.slots.clear();
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 
 use crate::affine::AffineIterator;
 use crate::cfg::{JoinerMode, JoinerSpec};
+use crate::fault::{StreamFaultKind, STREAM_WATCHDOG_RESET};
 use crate::fifo::Fifo;
 use crate::lane::IDX_FIFO_DEPTH;
 use crate::serializer::{IndexSerializer, IndexSize};
@@ -213,6 +214,21 @@ impl Side {
         }
     }
 
+    /// Frozen-mode drain: takes at most as many responses as this side
+    /// has outstanding, discarding the data — on a port-conflict fault
+    /// another master's responses may share the port, and those are left
+    /// for their owner's sink.
+    fn drain_discard_bounded(&mut self, now: u64, port: &mut MemPort) {
+        while !self.rsp_tags.is_empty() {
+            if port.take_rsp(now).is_none() {
+                break;
+            }
+            if self.rsp_tags.pop_front() == Some(SideTag::IdxWord) {
+                self.outstanding_idx -= 1;
+            }
+        }
+    }
+
     /// Issues at most one request, arbitrating index vs. value fetches
     /// round-robin exactly like the indirection lane. `quiesce` stops new
     /// index-word fetches (job finished early).
@@ -261,6 +277,12 @@ impl Side {
             && self.outstanding_idx == 0
             && self.rsp_tags.is_empty()
     }
+
+    /// Whether only the memory traffic has drained (a frozen job's
+    /// undelivered outputs are discarded, not waited for).
+    fn traffic_drained(&self) -> bool {
+        self.outstanding_idx == 0 && self.rsp_tags.is_empty()
+    }
 }
 
 /// One index-joiner job in flight.
@@ -275,6 +297,19 @@ pub struct IndexJoiner {
     /// Set once the merge has reached its terminal condition; remaining
     /// traffic only drains.
     done_stepping: bool,
+    /// Frozen by a stream fault: the merge stops, queued value fetches
+    /// are cancelled, in-flight responses drain, undelivered outputs
+    /// are discarded.
+    frozen: bool,
+    /// The latched mid-stream fault, if any ([`Self::fault`]).
+    fault: Option<StreamFaultKind>,
+    /// Progress-watchdog threshold in cycles ([`Self::set_watchdog`]).
+    watchdog: u64,
+    /// Consecutive cycles without progress while the job was live.
+    stall: u64,
+    /// Progress happened since the last watchdog check (merge step,
+    /// memory traffic, or a consumer pop).
+    progress: bool,
     stats: JoinerStats,
 }
 
@@ -288,8 +323,35 @@ impl IndexJoiner {
             a: Side::new(spec.idx_a, spec.vals_a, spec.count_a, spec.idx_size),
             b: Side::new(spec.idx_b, spec.vals_b, spec.count_b, spec.idx_size),
             done_stepping: false,
+            frozen: false,
+            fault: None,
+            watchdog: STREAM_WATCHDOG_RESET,
+            stall: 0,
+            progress: false,
             stats: JoinerStats::default(),
         }
+    }
+
+    /// The latched mid-stream fault, if the watchdog fired.
+    #[must_use]
+    pub fn fault(&self) -> Option<StreamFaultKind> {
+        self.fault
+    }
+
+    /// Sets the progress-watchdog threshold (cycles without progress
+    /// before a [`StreamFaultKind::Stall`] latches).
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog = cycles.max(1);
+    }
+
+    /// Freezes the job after a stream fault: the merge stops, queued
+    /// value fetches are cancelled, and once the in-flight responses
+    /// drain the job reads done with its undelivered outputs discarded.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+        self.done_stepping = true;
+        self.a.val_reqs.clear();
+        self.b.val_reqs.clear();
     }
 
     /// This job's matching mode.
@@ -321,6 +383,7 @@ impl IndexJoiner {
     /// # Panics
     /// Panics if no output is ready (check [`Self::a_ready`]).
     pub fn pop_a(&mut self) -> u64 {
+        self.progress = true;
         self.a.pop_out()
     }
 
@@ -329,18 +392,49 @@ impl IndexJoiner {
     /// # Panics
     /// Panics if no output is ready (check [`Self::b_ready`]).
     pub fn pop_b(&mut self) -> u64 {
+        self.progress = true;
         self.b.pop_out()
     }
 
     /// Whether the job has fully completed: merge finished, memory
-    /// drained, and every matched value delivered.
+    /// drained, and every matched value delivered. A frozen job is done
+    /// once its memory traffic settles — undelivered outputs are
+    /// discarded with it.
     #[must_use]
     pub fn is_done(&self) -> bool {
+        if self.frozen {
+            return self.a.traffic_drained() && self.b.traffic_drained();
+        }
         self.done_stepping && self.a.drained() && self.b.drained()
+    }
+
+    /// A cheap fingerprint of every observable advance: any change means
+    /// the job made progress this cycle.
+    #[allow(clippy::type_complexity)]
+    fn signature(&self) -> (u64, u64, u64, u64, u64, u64, usize, usize, usize, usize, bool) {
+        (
+            self.stats.steps,
+            self.stats.emissions,
+            self.stats.idx_words,
+            self.stats.val_reads,
+            self.a.taken,
+            self.b.taken,
+            self.a.rsp_tags.len(),
+            self.b.rsp_tags.len(),
+            self.a.out.len(),
+            self.b.out.len(),
+            self.done_stepping,
+        )
     }
 
     /// Advances one cycle against the two lane ports.
     pub fn tick(&mut self, now: u64, port_a: &mut MemPort, port_b: &mut MemPort) {
+        if self.frozen {
+            self.a.drain_discard_bounded(now, port_a);
+            self.b.drain_discard_bounded(now, port_b);
+            return;
+        }
+        let before = self.signature();
         self.a.drain_responses(now, port_a);
         self.b.drain_responses(now, port_b);
         self.a.refill_head();
@@ -348,6 +442,20 @@ impl IndexJoiner {
         self.step();
         self.a.issue(port_a, self.done_stepping, &mut self.stats);
         self.b.issue(port_b, self.done_stepping, &mut self.stats);
+        // Progress watchdog: a live job that neither steps, moves
+        // memory, nor gets consumed for `watchdog` cycles is deadlocked
+        // (a consumer that never reads its outputs) — latch a stall
+        // fault and freeze instead of hanging the simulation.
+        if self.signature() != before || self.progress {
+            self.stall = 0;
+        } else if !self.is_done() {
+            self.stall += 1;
+            if self.stall >= self.watchdog {
+                self.fault = Some(StreamFaultKind::Stall { cycles: self.stall });
+                self.freeze();
+            }
+        }
+        self.progress = false;
     }
 
     /// One comparator merge step, if inputs and output slots allow.
@@ -693,6 +801,44 @@ mod tests {
         }
         assert_eq!(out_a, [101, 102]); // positions 1, 2 of A
         assert_eq!(out_b, [201, 202]); // positions 1, 2 of B
+    }
+
+    /// A consumer that never pops trips the progress watchdog: the
+    /// stall fault latches, the frozen job drains its in-flight memory
+    /// traffic, and `is_done` reports it reclaimable — no hang.
+    #[test]
+    fn unconsumed_outputs_latch_stall_fault() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        let idcs: Vec<u16> = (0..32).collect();
+        tcdm.array_mut().store_u16_slice(IDX_A, &idcs);
+        tcdm.array_mut().store_u16_slice(IDX_B, &idcs);
+        let spec = JoinerSpec {
+            count_only: false,
+            mode: JoinerMode::Intersect,
+            idx_size: IndexSize::U16,
+            idx_a: IDX_A,
+            vals_a: VALS_A,
+            count_a: 32,
+            idx_b: IDX_B,
+            vals_b: VALS_B,
+            count_b: 32,
+        };
+        let mut joiner = IndexJoiner::new(&spec);
+        joiner.set_watchdog(64);
+        let mut pa = MemPort::new();
+        let mut pb = MemPort::new();
+        for now in 0..5000u64 {
+            joiner.tick(now, &mut pa, &mut pb);
+            tcdm.tick(now, &mut [&mut pa, &mut pb], &[]);
+            if joiner.fault().is_some() && joiner.is_done() {
+                break;
+            }
+        }
+        match joiner.fault() {
+            Some(crate::fault::StreamFaultKind::Stall { cycles }) => assert!(cycles >= 64),
+            other => panic!("expected stall fault, got {other:?}"),
+        }
+        assert!(joiner.is_done(), "frozen job must drain and read done");
     }
 
     /// A slow consumer must backpressure the comparator without losing

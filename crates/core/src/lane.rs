@@ -155,6 +155,10 @@ pub struct Lane {
     head_served: u32,
     outstanding_data: usize,
     rsp_tags: VecDeque<RspTag>,
+    /// Set by a streamer-level stream fault: the lane stops issuing,
+    /// drains its in-flight responses, then discards all job and buffer
+    /// state so the frozen streamer settles to idle.
+    frozen: bool,
     stats: LaneStats,
 }
 
@@ -171,8 +175,18 @@ impl Lane {
             head_served: 0,
             outstanding_data: 0,
             rsp_tags: VecDeque::new(),
+            frozen: false,
             stats: LaneStats::default(),
         }
+    }
+
+    /// Freezes the lane after a stream fault elsewhere in the streamer:
+    /// no new requests issue and, once the in-flight responses drain,
+    /// the running job, the queued job and all buffered data are
+    /// discarded ([`Self::tick`] finishes the drain).
+    pub(crate) fn freeze(&mut self) {
+        self.frozen = true;
+        self.pending = None;
     }
 
     /// The lane's capability class.
@@ -238,23 +252,23 @@ impl Lane {
     /// jobs; the write is rejected (returns `false`, core must retry)
     /// when the one-deep shadow job queue is full.
     ///
-    /// # Panics
-    /// Panics if an indirection job is launched on a plain SSR lane —
-    /// a programming error the RTL would also not support — or if the
-    /// shadow requests a joiner job, which only the streamer can launch
-    /// (it spans two lanes).
+    /// Malformed launches — an indirection job on a plain SSR lane, or
+    /// a joiner-enabled shadow (the joiner spans two lanes and launches
+    /// only through the streamer) — are gated by the streamer, which
+    /// latches a `CfgFault` before the write reaches the lane; the lane
+    /// itself only debug-asserts those invariants.
     pub fn cfg_write(&mut self, register: u16, value: u32) -> bool {
         let launch = |kind: JobKind, dims: usize, this: &mut Self, ptr: u32| -> bool {
             if this.pending.is_some() {
                 return false;
             }
-            assert!(
+            debug_assert!(
                 !this.shadow.join_enabled(),
                 "joiner jobs launch through the streamer, not a single lane"
             );
             let spec = JobSpec::from_shadow(&this.shadow, kind, dims, ptr);
             if matches!(spec.pattern, Pattern::Indirect { .. }) {
-                assert!(
+                debug_assert!(
                     this.kind == LaneKind::Issr,
                     "indirection job launched on a plain SSR lane"
                 );
@@ -350,6 +364,17 @@ impl Lane {
     /// Advances the lane by one cycle against its memory port.
     pub fn tick(&mut self, now: u64, port: &mut MemPort) {
         self.drain_responses(now, port);
+        if self.frozen {
+            // Drain-only: once every in-flight response has returned,
+            // drop all job and buffer state so the lane reads idle.
+            self.pending = None;
+            if self.rsp_tags.is_empty() {
+                self.job = None;
+                self.data_fifo.clear();
+                self.head_served = 0;
+            }
+            return;
+        }
         self.promote_pending();
         if port.can_send() {
             self.issue(port);

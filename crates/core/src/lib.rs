@@ -35,6 +35,7 @@
 
 pub mod affine;
 pub mod cfg;
+pub mod fault;
 pub mod fifo;
 pub mod joiner;
 pub mod lane;
@@ -48,6 +49,7 @@ pub use cfg::{
     AccDrainSpec, AccFeedSpec, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec, Pattern,
     SPACC_ROW_CAP_RESET,
 };
+pub use fault::{StreamFault, StreamFaultKind, StreamUnit, STREAM_WATCHDOG_RESET};
 pub use fifo::Fifo;
 pub use joiner::{IndexJoiner, JoinerStats, JOIN_OUT_DEPTH};
 pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};

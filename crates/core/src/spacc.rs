@@ -48,9 +48,49 @@
 //!   buffer while the drain still writes — the two jobs share the lane
 //!   port round-robin, and [`SpAccStats::overlap_cycles`] counts the
 //!   won overlap.
+//!
+//! # Mid-stream faults and the grow-and-retry protocol
+//!
+//! No input can panic the unit: every mid-stream failure latches a
+//! structured [`StreamFaultKind`] instead (surfaced by the streamer as a
+//! [`crate::fault::StreamFault`] with unit [`crate::fault::StreamUnit::SpAcc`],
+//! which the core takes as a trap):
+//!
+//! * [`StreamFaultKind::Overflow`] — the merged row's length exceeded
+//!   the configured `ACC_BUF_CAP` (the fault carries the capacity);
+//! * [`StreamFaultKind::Unsorted`] — a feed delivered a decreasing
+//!   index within one job;
+//! * [`StreamFaultKind::Stall`] — the progress watchdog expired: a job
+//!   was in flight but no request, response, merge step or retire
+//!   happened for [`crate::fault::STREAM_WATCHDOG_RESET`] cycles (a
+//!   value feed whose FPU writes never arrive, a drain that cannot
+//!   reach memory) — the deadlock becomes a latched fault, not a hang.
+//!
+//! On a fault the unit **freezes**: the in-flight feed aborts and the
+//! row buffer is restored to its **pre-feed checkpoint** (`FeedRun`
+//! keeps the old row untouched while the merge builds the new one), the
+//! queued job is dropped, in-flight index responses drain into a sink,
+//! and stray write-stream values are discarded so the FPU can drain.
+//! Launches are refused until [`SpAcc::clear_fault`] re-arms the unit.
+//!
+//! The checkpoint makes [`StreamFaultKind::Overflow`] *recoverable*:
+//!
+//! 1. size `ACC_BUF_CAP` optimistically (SparseZipper's strategy — no
+//!    worst-case expansion bound up front);
+//! 2. on an overflow trap, grow the capacity (the kernels double it,
+//!    clamped to the output width) — the row buffer still holds the
+//!    pre-feed state, so the faulted row's feeds can simply be
+//!    **replayed from their checkpointed cursor**;
+//! 3. re-run the faulted feeds; every other row's state is unaffected.
+//!
+//! `issr-kernels::spgemm::run_spgemm_recover` and
+//! `cluster_spgemm::run_cluster_spgemm_recover` drive exactly this loop
+//! from the host harness, and the unit tests below replay a faulted
+//! feed in place.
 
 use crate::affine::AffineIterator;
 use crate::cfg::{AccDrainSpec, AccFeedSpec};
+use crate::fault::{StreamFaultKind, STREAM_WATCHDOG_RESET};
 use crate::fifo::Fifo;
 use crate::lane::{Lane, IDX_FIFO_DEPTH};
 use crate::serializer::{IndexSerializer, IndexSize};
@@ -97,6 +137,17 @@ pub struct SpAccStats {
 enum AccJob {
     Feed(AccFeedSpec),
     Drain(AccDrainSpec),
+}
+
+/// Outcome of one feed cycle.
+#[derive(Clone, Copy, Debug)]
+enum FeedStep {
+    /// Still merging (or no feed in flight).
+    Busy,
+    /// The feed retired (row buffer swapped in).
+    Done,
+    /// A mid-stream fault (overflow, unsorted input) must latch.
+    Fault(StreamFaultKind),
 }
 
 /// An in-flight feed job: index fetch state plus the two-cursor merge.
@@ -175,13 +226,13 @@ struct DrainRun {
 impl DrainRun {
     /// Plans the compressed-row writes: indices packed into 64-bit words
     /// (strobed at partial boundary words), then one word per value.
-    ///
-    /// # Panics
-    /// Panics if the output bases violate the unit's alignment rules.
+    /// Alignment is guaranteed by the streamer, which latches a
+    /// `CfgFault` on misaligned drain launches before they reach the
+    /// unit.
     fn new(spec: &AccDrainSpec, row: &[(u32, f64)]) -> Self {
         let ib = spec.idx_size.bytes();
-        assert_eq!(spec.idx_out % ib, 0, "index output base must be element aligned");
-        assert_eq!(spec.val_out % 8, 0, "value output base must be word aligned");
+        debug_assert_eq!(spec.idx_out % ib, 0, "index output base must be element aligned");
+        debug_assert_eq!(spec.val_out % 8, 0, "value output base must be word aligned");
         let mut reqs = VecDeque::new();
         let mut word: Option<(u32, u64, u8)> = None;
         for (j, &(idx, _)) in row.iter().enumerate() {
@@ -240,6 +291,21 @@ pub struct SpAcc {
     /// Round-robin marker for the shared port: `true` if the drain won
     /// the last contended cycle.
     drain_won_last: bool,
+    /// The latched mid-stream fault, if any ([`Self::fault`]).
+    fault: Option<StreamFaultKind>,
+    /// Frozen (faulted here, or by a fault elsewhere in the streamer):
+    /// jobs aborted, launches refused, in-flight traffic sinks.
+    frozen: bool,
+    /// Progress-watchdog threshold in cycles ([`Self::set_watchdog`]).
+    watchdog: u64,
+    /// Consecutive busy cycles without progress.
+    stall: u64,
+    /// Progress happened this cycle (request, response, merge step,
+    /// promotion or retire) — resets the stall counter.
+    progress: bool,
+    /// Index-word responses still in flight for an aborted feed,
+    /// discarded as they arrive.
+    sink_rsps: usize,
     stats: SpAccStats,
 }
 
@@ -260,8 +326,59 @@ impl SpAcc {
             pending: None,
             double_buffered: true,
             drain_won_last: false,
+            fault: None,
+            frozen: false,
+            watchdog: STREAM_WATCHDOG_RESET,
+            stall: 0,
+            progress: false,
+            sink_rsps: 0,
             stats: SpAccStats::default(),
         }
+    }
+
+    /// The latched mid-stream fault, if the unit froze on one.
+    #[must_use]
+    pub fn fault(&self) -> Option<StreamFaultKind> {
+        self.fault
+    }
+
+    /// Re-arms a faulted unit: clears the fault and unfreezes, so a
+    /// corrected job (e.g. a replayed feed after growing the capacity)
+    /// can launch. The row buffer still holds the pre-fault checkpoint.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+        self.frozen = false;
+        self.stall = 0;
+    }
+
+    /// Sets the progress-watchdog threshold (cycles without progress
+    /// before a [`StreamFaultKind::Stall`] latches). Tests shrink it;
+    /// resets to [`STREAM_WATCHDOG_RESET`].
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog = cycles.max(1);
+    }
+
+    /// Freezes the unit (a fault here or elsewhere in the streamer):
+    /// the in-flight feed aborts and the row buffer is restored to its
+    /// pre-feed checkpoint, the in-flight drain and the queued job are
+    /// dropped, and subsequent launches are refused. In-flight index
+    /// responses drain into a sink over the following cycles.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+        self.pending = None;
+        if let Some(run) = self.feed.take() {
+            let run = *run;
+            self.row = run.old;
+            self.sink_rsps += run.outstanding_idx;
+        }
+        self.drain = None;
+    }
+
+    fn latch_fault(&mut self, kind: StreamFaultKind) {
+        if self.fault.is_none() {
+            self.fault = Some(kind);
+        }
+        self.freeze();
     }
 
     /// Selects single- or double-buffered row storage (hardware knob;
@@ -316,9 +433,9 @@ impl SpAcc {
 
     /// Discards the accumulated row (the `ACC_CLEAR` write — symbolic
     /// rows are counted, not drained). Returns `false` while the unit is
-    /// busy (the core retries).
+    /// busy or frozen (the core retries).
     pub fn clear(&mut self) -> bool {
-        if self.busy() {
+        if self.busy() || self.frozen {
             return false;
         }
         self.row.clear();
@@ -326,7 +443,7 @@ impl SpAcc {
     }
 
     fn launch(&mut self, job: AccJob) -> bool {
-        if self.pending.is_some() {
+        if self.pending.is_some() || self.frozen {
             return false;
         }
         self.pending = Some(job);
@@ -346,6 +463,7 @@ impl SpAcc {
                     return;
                 }
                 self.pending = None;
+                self.progress = true;
                 if spec.count == 0 {
                     // Zero-length feeds retire instantly (nothing to merge).
                     self.stats.feeds += 1;
@@ -362,6 +480,7 @@ impl SpAcc {
                     return;
                 }
                 self.pending = None;
+                self.progress = true;
                 self.drain = Some(DrainRun::new(&spec, &self.row));
                 self.row.clear();
             }
@@ -369,19 +488,59 @@ impl SpAcc {
         }
     }
 
+    /// Whether the unit is frozen (sinking traffic after a fault).
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Whether frozen traffic is still in flight (the streamer keeps
+    /// routing the lane port here until the sink drains).
+    #[must_use]
+    pub fn sink_pending(&self) -> bool {
+        self.frozen && self.sink_rsps > 0
+    }
+
+    /// A frozen cycle: discard in-flight index responses and stray
+    /// write-stream values so the port and the FPU can drain.
+    fn tick_frozen(&mut self, now: u64, port: &mut MemPort, lane: &mut Lane) {
+        while port.take_rsp(now).is_some() {
+            self.sink_rsps = self.sink_rsps.saturating_sub(1);
+        }
+        if !lane.is_streaming() {
+            while lane.take_write().is_some() {}
+        }
+    }
+
     /// Advances one cycle against the borrowed lane: `port` carries the
     /// index fetches and drain writes (round-robin when both jobs are in
     /// flight), `lane`'s write FIFO supplies the feed values.
     pub fn tick(&mut self, now: u64, port: &mut MemPort, lane: &mut Lane) {
+        if self.frozen {
+            self.tick_frozen(now, port, lane);
+            return;
+        }
         self.promote();
         if self.feed.is_some() && self.drain.is_some() {
             self.stats.overlap_cycles += 1;
         }
         // Feed datapath: responses, stream heads, one merge step.
-        let feed_done = match &mut self.feed {
-            Some(run) => Self::tick_feed(run, now, port, lane, &mut self.stats, &mut self.row),
-            None => false,
+        let feed_step = match &mut self.feed {
+            Some(run) => Self::tick_feed(
+                run,
+                now,
+                port,
+                lane,
+                &mut self.stats,
+                &mut self.row,
+                &mut self.progress,
+            ),
+            None => FeedStep::Busy,
         };
+        if let FeedStep::Fault(kind) = feed_step {
+            self.latch_fault(kind);
+            return;
+        }
         // One request on the shared port: drain write vs. feed index
         // fetch, arbitrated round-robin like the lane's fetchers.
         if port.can_send() {
@@ -401,6 +560,7 @@ impl SpAcc {
                 port.send(req);
                 self.stats.out_words += 1;
                 self.drain_won_last = true;
+                self.progress = true;
             } else if feed_wants {
                 let run = self.feed.as_mut().expect("feed_wants checked");
                 let addr = run.word_it.next_addr().expect("idx_wants checked");
@@ -408,22 +568,41 @@ impl SpAcc {
                 run.outstanding_idx += 1;
                 self.stats.idx_words += 1;
                 self.drain_won_last = false;
+                self.progress = true;
             }
         }
-        if feed_done {
+        if matches!(feed_step, FeedStep::Done) {
             self.feed = None;
+            self.progress = true;
         }
         if self.drain.as_ref().is_some_and(|run| run.reqs.is_empty()) {
             self.drain = None;
             self.stats.drains += 1;
+            self.progress = true;
         }
         self.promote();
+        // Progress watchdog: a busy unit that makes zero progress for
+        // `watchdog` cycles is deadlocked (values that never arrive, a
+        // port that never grants) — latch a stall fault instead of
+        // hanging the simulation.
+        if self.busy() && !self.progress {
+            self.stall += 1;
+            if self.stall >= self.watchdog {
+                self.latch_fault(StreamFaultKind::Stall { cycles: self.stall });
+            }
+        } else {
+            self.stall = 0;
+        }
+        self.progress = false;
     }
 
     /// One feed cycle: drain index-word responses, pull the stream
     /// heads, perform one merge step (the index fetch issues from
-    /// [`Self::tick`]'s shared-port arbiter). Returns `true` when the
-    /// job retired (row buffer swapped in).
+    /// [`Self::tick`]'s shared-port arbiter). Overflow and order
+    /// violations surface as [`FeedStep::Fault`] the cycle the merged
+    /// row first exceeds the capacity (or the bad index arrives) — the
+    /// pre-feed checkpoint in `run.old` is still intact at that point.
+    #[allow(clippy::too_many_arguments)]
     fn tick_feed(
         run: &mut FeedRun,
         now: u64,
@@ -431,10 +610,12 @@ impl SpAcc {
         lane: &mut Lane,
         stats: &mut SpAccStats,
         row: &mut Vec<(u32, f64)>,
-    ) -> bool {
+        progress: &mut bool,
+    ) -> FeedStep {
         while let Some(rsp) = port.take_rsp(now) {
             run.outstanding_idx -= 1;
             run.idx_fifo.push(rsp.data);
+            *progress = true;
         }
         if run.head.is_none() && run.taken < run.count {
             if run.serializer.wants_word() {
@@ -445,6 +626,7 @@ impl SpAcc {
             if let Some(idx) = run.serializer.next_index() {
                 run.head = Some(idx);
                 run.taken += 1;
+                *progress = true;
             }
         }
         // Pull a value only while pairs remain — values beyond `count`
@@ -453,33 +635,33 @@ impl SpAcc {
         if !run.count_only && run.val_head.is_none() && run.consumed < run.count {
             if let Some(bits) = lane.take_write() {
                 run.val_head = Some(f64::from_bits(bits));
+                *progress = true;
             }
         }
+        let cap = run.cap as usize;
         // One comparator step per cycle (the joiner-Union datapath).
         if run.consumed == run.count {
             if run.pos < run.old.len() {
                 run.new.push(run.old[run.pos]);
                 run.pos += 1;
                 stats.steps += 1;
+                *progress = true;
+                if run.new.len() > cap {
+                    return FeedStep::Fault(StreamFaultKind::Overflow { cap: run.cap });
+                }
             } else if run.outstanding_idx == 0 {
                 *row = std::mem::take(&mut run.new);
-                assert!(
-                    row.len() <= run.cap as usize,
-                    "SpAcc row buffer overflow: {} entries exceed the configured \
-                     capacity of {}",
-                    row.len(),
-                    run.cap
-                );
                 stats.feeds += 1;
                 if run.count_only {
                     stats.count_feeds += 1;
                 }
                 stats.peak_nnz = stats.peak_nnz.max(row.len() as u64);
-                return true;
+                return FeedStep::Done;
             }
         } else if let (Some(idx), true) = (run.head, run.count_only || run.val_head.is_some()) {
             let val = run.val_head.unwrap_or(0.0);
             stats.steps += 1;
+            *progress = true;
             if run.pos < run.old.len() && run.old[run.pos].0 < idx {
                 run.new.push(run.old[run.pos]);
                 run.pos += 1;
@@ -494,17 +676,13 @@ impl SpAcc {
                             last.1 += val;
                             stats.merges += 1;
                         }
-                        Some(last) => {
-                            assert!(
-                                last.0 < idx,
-                                "SpAcc feed requires non-decreasing indices within one job \
-                                 ({} after {})",
-                                idx,
-                                last.0
-                            );
-                            run.new.push((idx, val));
+                        Some(&mut (last, _)) if last > idx => {
+                            return FeedStep::Fault(StreamFaultKind::Unsorted {
+                                prev: last,
+                                next: idx,
+                            });
                         }
-                        None => run.new.push((idx, val)),
+                        _ => run.new.push((idx, val)),
                     }
                 }
                 run.head = None;
@@ -512,8 +690,11 @@ impl SpAcc {
                 run.consumed += 1;
                 stats.pairs_in += 1;
             }
+            if run.new.len() > cap {
+                return FeedStep::Fault(StreamFaultKind::Overflow { cap: run.cap });
+            }
         }
-        false
+        FeedStep::Busy
     }
 }
 
@@ -694,12 +875,21 @@ mod tests {
         assert_eq!(spacc.stats().feeds, 2);
     }
 
+    /// A decreasing index within one job latches `Unsorted` instead of
+    /// panicking; the row buffer is restored to the pre-feed checkpoint.
     #[test]
-    #[should_panic(expected = "non-decreasing")]
-    fn unsorted_feed_panics() {
+    fn unsorted_feed_latches_fault_and_restores_checkpoint() {
         let mut tcdm = Tcdm::ideal(BASE, 0x10000);
         let mut spacc = SpAcc::new();
-        feed_stream(&mut spacc, &mut tcdm, &[9, 3], &[1.0, 2.0]);
+        feed_stream(&mut spacc, &mut tcdm, &[2, 8], &[5.0, 6.0]); // checkpoint row
+        tcdm.array_mut().store_u16_slice(IDX_IN + 0x100, &[9, 3]);
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN + 0x100, 2)));
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[1.0, 2.0]);
+        assert_eq!(spacc.fault(), Some(StreamFaultKind::Unsorted { prev: 9, next: 3 }));
+        assert!(spacc.is_idle(), "the faulted unit aborts its jobs");
+        assert_eq!(spacc.row, [(2, 5.0), (8, 6.0)], "checkpoint restored");
+        assert!(!spacc.launch_feed(feed_spec(IDX_IN, 1)), "frozen unit refuses launches");
     }
 
     fn feed_spec_cap(idx_base: u32, count: u64, cap: u32) -> AccFeedSpec {
@@ -730,20 +920,60 @@ mod tests {
         assert_eq!(spacc.stats().peak_nnz, u64::from(cap));
     }
 
-    /// One distinct index past the capacity overflows the row buffer —
-    /// a model bug, reported loudly.
+    /// One distinct index past the capacity latches `Overflow` with the
+    /// row buffer restored to the pre-feed checkpoint — and replaying
+    /// the *same* feed after growing the capacity completes the merge
+    /// correctly: the unit-level grow-and-retry protocol.
     #[test]
-    #[should_panic(expected = "row buffer overflow")]
-    fn over_capacity_feed_panics() {
+    fn over_capacity_feed_faults_then_replays_after_growth() {
         let cap = 8u32;
         let mut tcdm = Tcdm::ideal(BASE, 0x10000);
-        let idcs: Vec<u16> = (0..=cap as u16).collect(); // cap + 1 distinct
-        let vals: Vec<f64> = (0..=cap).map(f64::from).collect();
-        tcdm.array_mut().store_u16_slice(IDX_IN, &idcs);
         let mut spacc = SpAcc::new();
+        // Seed the checkpoint row with two entries.
+        feed_stream(&mut spacc, &mut tcdm, &[1, 3], &[0.5, 0.25]);
+        // cap + 1 distinct indices: overflows an 8-entry buffer.
+        let idcs: Vec<u16> = (0..=cap as u16).map(|i| i * 2).collect();
+        let vals: Vec<f64> = (0..=cap).map(f64::from).collect();
+        tcdm.array_mut().store_u16_slice(IDX_IN + 0x200, &idcs);
         let mut lane = Lane::new(crate::lane::LaneKind::Issr);
-        assert!(spacc.launch_feed(feed_spec_cap(IDX_IN, idcs.len() as u64, cap)));
+        assert!(spacc.launch_feed(feed_spec_cap(IDX_IN + 0x200, idcs.len() as u64, cap)));
         run_to_idle(&mut spacc, &mut tcdm, &mut lane, &vals);
+        assert_eq!(spacc.fault(), Some(StreamFaultKind::Overflow { cap }));
+        assert_eq!(spacc.row, [(1, 0.5), (3, 0.25)], "pre-feed checkpoint restored");
+        assert!(!spacc.clear(), "frozen unit refuses ACC_CLEAR");
+        // Grow and replay the faulted feed from its checkpointed cursor
+        // (fresh lane: the streamer's freeze clears the write FIFO).
+        spacc.clear_fault();
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec_cap(IDX_IN + 0x200, idcs.len() as u64, 2 * cap)));
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &vals);
+        assert_eq!(spacc.fault(), None);
+        // The merged row: checkpoint {1, 3} unioned with {0, 2, .., 16}.
+        assert_eq!(spacc.nnz(), u64::from(cap) + 3);
+        assert_eq!(spacc.row[0], (0, 0.0));
+        assert_eq!(spacc.row[1], (1, 0.5));
+        assert_eq!(spacc.row[2], (2, 1.0));
+        assert_eq!(spacc.row[3], (3, 0.25));
+        assert_eq!(spacc.row.last().copied(), Some((16, 8.0)));
+    }
+
+    /// A value feed whose write stream never delivers trips the progress
+    /// watchdog: the deadlock latches a `Stall` fault and the unit
+    /// aborts instead of hanging its simulation.
+    #[test]
+    fn starved_feed_latches_stall_fault() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        tcdm.array_mut().store_u16_slice(IDX_IN, &[4, 7]);
+        let mut spacc = SpAcc::new();
+        spacc.set_watchdog(200);
+        let mut lane = Lane::new(crate::lane::LaneKind::Issr);
+        assert!(spacc.launch_feed(feed_spec(IDX_IN, 2)));
+        run_to_idle(&mut spacc, &mut tcdm, &mut lane, &[]); // no values, ever
+        match spacc.fault() {
+            Some(StreamFaultKind::Stall { cycles }) => assert!(cycles >= 200),
+            other => panic!("expected a stall fault, got {other:?}"),
+        }
+        assert!(spacc.is_idle());
     }
 
     /// Two drains packing adjacent rows that share a 64-bit index word

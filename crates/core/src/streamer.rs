@@ -20,6 +20,7 @@
 //! delivers matched value pairs through those two registers.
 
 use crate::cfg::{reg, AccDrainSpec, AccFeedSpec, JoinerSpec};
+use crate::fault::{StreamFault, StreamFaultKind, StreamUnit, STREAM_WATCHDOG_RESET};
 use crate::joiner::{IndexJoiner, JoinerStats};
 use crate::lane::{Lane, LaneKind, LaneStats};
 use crate::spacc::{SpAcc, SpAccStats, SPACC_LANE};
@@ -46,6 +47,28 @@ pub enum CfgFault {
     /// A SpAcc drain was launched while `ACC_CFG` selects count-only
     /// (symbolic) mode — there are no values to drain.
     CountModeDrain,
+    /// A pointer write would launch an indirection (ISSR) job on a
+    /// plain SSR lane, which has no indirection unit.
+    NoIndirection {
+        /// The addressed lane index.
+        lane: u8,
+    },
+    /// A pointer write with `JOIN_CFG` enabled outside the joiner's
+    /// launch register (lane 0's `RPTR[0]`) — the joiner spans lanes
+    /// 0/1 and launches only through that register.
+    BadJoinerLaunch {
+        /// The addressed lane index.
+        lane: u8,
+    },
+    /// A SpAcc drain was launched with a misaligned output base: the
+    /// index base must be element aligned, the value base word aligned
+    /// (byte strobes cover partial words, not arbitrary offsets).
+    MisalignedDrain {
+        /// The index output base of the faulting launch.
+        idx_out: u32,
+        /// The value output base of the faulting launch.
+        val_out: u32,
+    },
 }
 
 impl std::fmt::Display for CfgFault {
@@ -63,6 +86,19 @@ impl std::fmt::Display for CfgFault {
             }
             CfgFault::CountModeDrain => {
                 f.write_str("SpAcc drain launched in count-only (symbolic) mode")
+            }
+            CfgFault::NoIndirection { lane } => {
+                write!(f, "indirection job launched on plain SSR lane {lane}")
+            }
+            CfgFault::BadJoinerLaunch { lane } => {
+                write!(f, "joiner-enabled pointer write outside the launch register (lane {lane})")
+            }
+            CfgFault::MisalignedDrain { idx_out, val_out } => {
+                write!(
+                    f,
+                    "SpAcc drain launched with misaligned output bases \
+                     (idcs {idx_out:#010x}, vals {val_out:#010x})"
+                )
             }
         }
     }
@@ -84,6 +120,13 @@ pub struct Streamer {
     /// Whether the hardware includes the sparse accumulator.
     has_spacc: bool,
     spacc: SpAcc,
+    /// The latched mid-stream fault, if any: the first fault freezes
+    /// every stream unit; the core takes it as a trap once.
+    fault: Option<StreamFault>,
+    /// Whether the latched fault was already handed to the core.
+    fault_delivered: bool,
+    /// Watchdog threshold applied to newly promoted joiner jobs.
+    joiner_watchdog: u64,
 }
 
 impl Streamer {
@@ -92,14 +135,11 @@ impl Streamer {
     ///
     /// # Panics
     /// Panics if no lanes are given or more than 8 (the register-map
-    /// window).
+    /// window) — a host construction error, not simulator input.
     #[must_use]
     pub fn new(kinds: &[LaneKind]) -> Self {
-        assert!(
-            (1..=8).contains(&kinds.len()),
-            "streamer supports 1..=8 lanes, got {}",
-            kinds.len()
-        );
+        // Host construction precondition, not simulator input.
+        assert!((1..=8).contains(&kinds.len()), "streamer supports 1..=8 lanes"); // gate-allow
         Self {
             lanes: kinds.iter().map(|&k| Lane::new(k)).collect(),
             enabled: false,
@@ -110,6 +150,9 @@ impl Streamer {
             join_count_last: 0,
             has_spacc: false,
             spacc: SpAcc::new(),
+            fault: None,
+            fault_delivered: false,
+            joiner_watchdog: STREAM_WATCHDOG_RESET,
         }
     }
 
@@ -121,7 +164,8 @@ impl Streamer {
     /// ports) or more than 8.
     #[must_use]
     pub fn with_joiner(kinds: &[LaneKind]) -> Self {
-        assert!(kinds.len() >= 2, "the index joiner spans lanes 0 and 1");
+        // Host construction precondition, not simulator input.
+        assert!(kinds.len() >= 2, "the index joiner spans lanes 0 and 1"); // gate-allow
         let mut s = Self::new(kinds);
         s.has_joiner = true;
         s
@@ -141,7 +185,8 @@ impl Streamer {
     /// Panics if fewer than two lanes are given or more than 8.
     #[must_use]
     pub fn with_spacc(kinds: &[LaneKind]) -> Self {
-        assert!(kinds.len() > SPACC_LANE, "the sparse accumulator sits on lane 1");
+        // Host construction precondition, not simulator input.
+        assert!(kinds.len() > SPACC_LANE, "the sparse accumulator sits on lane 1"); // gate-allow
         let mut s = Self::new(kinds);
         s.has_spacc = true;
         s
@@ -173,6 +218,59 @@ impl Streamer {
     /// [`SpAcc::set_double_buffered`]).
     pub fn set_spacc_double_buffered(&mut self, enabled: bool) {
         self.spacc.set_double_buffered(enabled);
+    }
+
+    /// Sets the SpAcc progress-watchdog threshold (tests shrink it;
+    /// resets to [`STREAM_WATCHDOG_RESET`]).
+    pub fn set_spacc_watchdog(&mut self, cycles: u64) {
+        self.spacc.set_watchdog(cycles);
+    }
+
+    /// Sets the joiner progress-watchdog threshold, applied to the
+    /// running job and every job promoted after this call.
+    pub fn set_joiner_watchdog(&mut self, cycles: u64) {
+        self.joiner_watchdog = cycles.max(1);
+        if let Some(joiner) = &mut self.joiner {
+            joiner.set_watchdog(cycles);
+        }
+    }
+
+    /// The latched mid-stream fault, if any stream unit froze on one.
+    #[must_use]
+    pub fn stream_fault(&self) -> Option<StreamFault> {
+        self.fault
+    }
+
+    /// Hands the latched mid-stream fault to the core exactly once (the
+    /// core-complex delivery path: the core parks on the trap and the
+    /// FPU subsystem squashes). Later calls return `None`; the fault
+    /// itself stays latched and the streamer stays frozen.
+    pub fn take_stream_fault(&mut self) -> Option<StreamFault> {
+        if self.fault_delivered {
+            return None;
+        }
+        let fault = self.fault?;
+        self.fault_delivered = true;
+        Some(fault)
+    }
+
+    /// Latches the first mid-stream fault and freezes every stream
+    /// unit: lanes stop issuing and drain, the joiner's merge stops,
+    /// the SpAcc aborts to its row-buffer checkpoint. In-flight memory
+    /// responses drain over the following cycles so the ports settle.
+    fn latch_stream_fault(&mut self, unit: StreamUnit, kind: StreamFaultKind) {
+        if self.fault.is_some() {
+            return;
+        }
+        self.fault = Some(StreamFault { unit, kind });
+        for lane in &mut self.lanes {
+            lane.freeze();
+        }
+        if let Some(joiner) = &mut self.joiner {
+            joiner.freeze();
+        }
+        self.pending_join = None;
+        self.spacc.freeze();
     }
 
     /// Whether `lane`'s *read* stream has terminated: no read job is
@@ -274,15 +372,33 @@ impl Streamer {
             if self.lanes[0].shadow().acc_count_only() {
                 return Err(CfgFault::CountModeDrain);
             }
-            return Ok(self
-                .spacc
-                .launch_drain(AccDrainSpec::from_shadow(self.lanes[0].shadow(), value)));
+            let spec = AccDrainSpec::from_shadow(self.lanes[0].shadow(), value);
+            if spec.idx_out % spec.idx_size.bytes() != 0 || spec.val_out % 8 != 0 {
+                return Err(CfgFault::MisalignedDrain {
+                    idx_out: spec.idx_out,
+                    val_out: spec.val_out,
+                });
+            }
+            return Ok(self.spacc.launch_drain(spec));
         }
         if lane == 0 && register == reg::ACC_CLEAR {
             if !self.has_spacc {
                 return Err(CfgFault::NoSpAcc);
             }
             return Ok(self.spacc.clear());
+        }
+        // Launch-time capability checks: a pointer write decodes
+        // against the lane's shadow, and malformed combinations fault
+        // here (the lane itself only debug-asserts them).
+        if reg::RPTR.contains(&register) || reg::WPTR.contains(&register) {
+            let shadow = self.lanes[lane].shadow();
+            if shadow.join_enabled() {
+                // Lane 0's RPTR[0] joiner launch was handled above.
+                return Err(CfgFault::BadJoinerLaunch { lane: lane as u8 });
+            }
+            if shadow.indirect() && self.lanes[lane].kind() != LaneKind::Issr {
+                return Err(CfgFault::NoIndirection { lane: lane as u8 });
+            }
         }
         Ok(self.lanes[lane].cfg_write(register, value))
     }
@@ -339,7 +455,9 @@ impl Streamer {
             return;
         }
         let spec = self.pending_join.take().expect("checked above");
-        self.joiner = Some(IndexJoiner::new(&spec));
+        let mut joiner = IndexJoiner::new(&spec);
+        joiner.set_watchdog(self.joiner_watchdog);
+        self.joiner = Some(joiner);
     }
 
     /// Advances all lanes one cycle; `ports[i]` is lane *i*'s private
@@ -348,26 +466,30 @@ impl Streamer {
     /// active SpAcc job runs on lane 1's port and consumes its write
     /// stream.
     ///
-    /// # Panics
-    /// Panics if the port count does not match the lane count, if a
-    /// lane job was launched on lanes 0/1 while the joiner owns their
-    /// ports, or if the joiner and the SpAcc contend for lane 1.
+    /// Mid-stream failures — a lane job launched on a port the joiner
+    /// or SpAcc owns, a joiner overlapping an active SpAcc job, or a
+    /// fault latched inside a unit (overflow, unsorted feed, stall
+    /// watchdog) — latch a [`StreamFault`] and freeze the streamer
+    /// instead of panicking; the frozen units drain their in-flight
+    /// traffic and the streamer settles to idle.
     pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort]) {
-        assert_eq!(ports.len(), self.lanes.len(), "one port per lane");
+        debug_assert_eq!(ports.len(), self.lanes.len(), "one port per lane");
+        if self.fault.is_none() {
+            self.detect_port_conflicts();
+        }
+        if self.fault.is_some() {
+            self.tick_frozen(now, ports);
+            return;
+        }
         if self.spacc.busy() {
-            assert!(self.joiner.is_none(), "joiner and SpAcc cannot both own lane 1's port");
-            assert!(
-                !self.lanes[SPACC_LANE].is_streaming(),
-                "lane job on lane 1 while the SpAcc owns its port"
-            );
             self.spacc.tick(now, ports[SPACC_LANE], &mut self.lanes[SPACC_LANE]);
+            if let Some(kind) = self.spacc.fault() {
+                self.latch_stream_fault(StreamUnit::SpAcc, kind);
+                return;
+            }
         }
         self.promote_join();
         if let Some(joiner) = &mut self.joiner {
-            assert!(
-                !self.lanes[0].is_streaming() && !self.lanes[1].is_streaming(),
-                "lane job on lanes 0/1 while the joiner owns their ports"
-            );
             let (p0, rest) = ports.split_at_mut(1);
             joiner.tick(now, p0[0], rest[0]);
             while joiner.a_ready() && self.lanes[0].can_push() {
@@ -377,6 +499,10 @@ impl Streamer {
             while joiner.b_ready() && self.lanes[1].can_push() {
                 let value = joiner.pop_b();
                 self.lanes[1].inject(value);
+            }
+            if let Some(kind) = joiner.fault() {
+                self.latch_stream_fault(StreamUnit::Joiner, kind);
+                return;
             }
             if joiner.is_done() {
                 let stats = joiner.stats();
@@ -389,6 +515,53 @@ impl Streamer {
         }
         for (lane, port) in self.lanes.iter_mut().zip(ports.iter_mut()) {
             lane.tick(now, port);
+        }
+    }
+
+    /// Latches a [`StreamFaultKind::PortConflict`] when two masters
+    /// claim one lane port. Detection runs before any lane issues, so
+    /// the conflicting newcomer has no traffic in flight yet and the
+    /// freeze drains deterministically.
+    fn detect_port_conflicts(&mut self) {
+        if self.spacc.busy() && self.joiner.is_some() {
+            self.latch_stream_fault(StreamUnit::Joiner, StreamFaultKind::PortConflict);
+        } else if self.spacc.busy() && self.lanes[SPACC_LANE].is_streaming() {
+            self.latch_stream_fault(
+                StreamUnit::Lane(SPACC_LANE as u8),
+                StreamFaultKind::PortConflict,
+            );
+        } else if self.joiner.is_some()
+            && (self.lanes[0].is_streaming() || self.lanes[1].is_streaming())
+        {
+            let lane = u8::from(!self.lanes[0].is_streaming());
+            self.latch_stream_fault(StreamUnit::Lane(lane), StreamFaultKind::PortConflict);
+        }
+    }
+
+    /// A frozen cycle: every unit only drains. The joiner keeps lanes
+    /// 0/1's ports until its in-flight responses return; the SpAcc
+    /// sinks its aborted feed's index responses; lanes drop their jobs
+    /// and buffers once their own responses settle.
+    fn tick_frozen(&mut self, now: u64, ports: &mut [&mut MemPort]) {
+        if let Some(joiner) = &mut self.joiner {
+            let (p0, rest) = ports.split_at_mut(1);
+            joiner.tick(now, p0[0], rest[0]);
+            if joiner.is_done() {
+                self.joiner_stats.merge(&joiner.stats());
+                self.joiner = None;
+            }
+        }
+        let joiner_active = self.joiner.is_some();
+        let spacc = &mut self.spacc;
+        for (i, (lane, port)) in self.lanes.iter_mut().zip(ports.iter_mut()).enumerate() {
+            if joiner_active && i <= 1 {
+                continue;
+            }
+            if i == SPACC_LANE && spacc.sink_pending() {
+                spacc.tick(now, port, lane);
+            } else {
+                lane.tick(now, port);
+            }
         }
     }
 
@@ -781,6 +954,90 @@ mod tests {
         // ACC_CLEAR resets the row for the next symbolic row.
         assert!(s.cfg_write(cfg_addr(reg::ACC_CLEAR, 0), 0).unwrap());
         assert_eq!(s.cfg_read(cfg_addr(reg::ACC_NNZ, 0)).unwrap(), 0);
+    }
+
+    /// Misaligned drain output bases fault at launch (CfgFault), before
+    /// the unit plans any strobed write.
+    #[test]
+    fn misaligned_drain_launch_faults() {
+        let mut s = Streamer::sssr_config();
+        assert!(s
+            .cfg_write(cfg_addr(reg::ACC_CFG, 0), crate::cfg::acc_cfg_word(IndexSize::U16))
+            .unwrap());
+        // Value base not word aligned.
+        assert!(s.cfg_write(cfg_addr(reg::ACC_VAL_OUT, 0), BASE + 4).unwrap());
+        assert_eq!(
+            s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x100),
+            Err(CfgFault::MisalignedDrain { idx_out: BASE + 0x100, val_out: BASE + 4 })
+        );
+        // Index base not element aligned (u16 → odd byte address).
+        assert!(s.cfg_write(cfg_addr(reg::ACC_VAL_OUT, 0), BASE + 8).unwrap());
+        assert_eq!(
+            s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x101),
+            Err(CfgFault::MisalignedDrain { idx_out: BASE + 0x101, val_out: BASE + 8 })
+        );
+        // Aligned bases launch (element-aligned mid-word is fine).
+        assert!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x102).unwrap());
+    }
+
+    /// A lane job launched on lane 1 while the SpAcc owns its port is a
+    /// mid-stream port conflict: the streamer latches a `StreamFault`,
+    /// freezes, drains to idle, and delivers the fault exactly once.
+    #[test]
+    fn lane_job_on_spacc_port_latches_stream_fault() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        tcdm.array_mut().store_u16_slice(BASE + 0x1000, &[1, 2, 3, 4]);
+        let mut s = Streamer::sssr_config();
+        // A value-mode feed that stays busy (its values never arrive).
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 4).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x1000).unwrap());
+        // A plain affine read job on lane 1 — the port the SpAcc owns.
+        assert!(s.cfg_write(cfg_addr(reg::BOUNDS[0], 1), 3).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::STRIDES[0], 1), 8).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::RPTR[0], 1), BASE).unwrap());
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        for now in 0..200u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.stream_fault().is_some() && s.is_idle() {
+                break;
+            }
+        }
+        let fault = s.stream_fault().expect("conflict must latch");
+        assert_eq!(fault.unit, crate::fault::StreamUnit::Lane(1));
+        assert_eq!(fault.kind, crate::fault::StreamFaultKind::PortConflict);
+        assert!(s.is_idle(), "frozen streamer must drain to idle");
+        // Delivery is once-only; the latch itself stays visible.
+        assert!(s.take_stream_fault().is_some());
+        assert!(s.take_stream_fault().is_none());
+        assert!(s.stream_fault().is_some());
+    }
+
+    /// A joiner job overlapping an active SpAcc job latches a port
+    /// conflict on the joiner instead of panicking.
+    #[test]
+    fn joiner_overlapping_spacc_latches_stream_fault() {
+        let mut tcdm = Tcdm::ideal(BASE, 0x10000);
+        place_join_workload(&mut tcdm, &[1, 2], &[2, 3]);
+        tcdm.array_mut().store_u16_slice(BASE + 0x3000, &[1, 2, 3, 4]);
+        let mut s = Streamer::sssr_config();
+        assert!(s.cfg_write(cfg_addr(reg::ACC_COUNT, 0), 4).unwrap());
+        assert!(s.cfg_write(cfg_addr(reg::ACC_FEED, 0), BASE + 0x3000).unwrap());
+        assert!(configure_join(&mut s, JoinerMode::Intersect, 2, 2));
+        let mut p0 = MemPort::new();
+        let mut p1 = MemPort::new();
+        for now in 0..200u64 {
+            s.tick(now, &mut [&mut p0, &mut p1]);
+            tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
+            if s.stream_fault().is_some() && s.is_idle() {
+                break;
+            }
+        }
+        let fault = s.stream_fault().expect("overlap must latch");
+        assert_eq!(fault.unit, crate::fault::StreamUnit::Joiner);
+        assert_eq!(fault.kind, crate::fault::StreamFaultKind::PortConflict);
+        assert!(s.is_idle());
     }
 
     /// Lane jobs launched before the joiner defer it: the joiner waits

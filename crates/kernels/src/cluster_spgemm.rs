@@ -49,7 +49,7 @@ use crate::spgemm::{emit_base_k_merge, emit_base_row_copy, emit_issr_k_expand, e
 use crate::variant::{log_width, KernelIndex, Variant};
 use issr_cluster::cluster::{Cluster, ClusterParams, ClusterSummary};
 use issr_cluster::scan::{emit_exclusive_prefix, scan_array_bytes};
-use issr_core::cfg::{acc_count_cfg_word, cfg_addr, reg as sreg};
+use issr_core::cfg::{acc_count_cfg_word, cfg_addr, reg as sreg, SPACC_ROW_CAP_RESET};
 use issr_isa::asm::{Assembler, Program};
 use issr_isa::reg::IntReg as R;
 use issr_isa::Csr;
@@ -78,6 +78,10 @@ pub struct ClusterSpgemmPlan {
     scratch_idx_bytes: u32,
     /// Row capacity of one scratch array (elements).
     row_cap: u32,
+    /// SpAcc row-buffer capacity each ISSR worker programs
+    /// (`ACC_BUF_CAP`); the reset value by default, optimistic for the
+    /// grow-and-retry flow.
+    acc_cap: u32,
     nrows: u32,
     ncols: u32,
     rows_per_worker: u32,
@@ -120,6 +124,7 @@ impl ClusterSpgemmPlan {
             scratch_stride,
             scratch_idx_bytes,
             row_cap,
+            acc_cap: SPACC_ROW_CAP_RESET,
             nrows: a.nrows() as u32,
             ncols: b.ncols() as u32,
             rows_per_worker: (a.nrows() as u32).div_ceil(n_workers.max(1)),
@@ -131,6 +136,16 @@ impl ClusterSpgemmPlan {
     #[must_use]
     pub fn c_cap(&self) -> u32 {
         self.c.nnz
+    }
+
+    /// Overrides the SpAcc row-buffer capacity the ISSR workers
+    /// program. An optimistic capacity arms the overflow trap the
+    /// grow-and-retry harness ([`run_cluster_spgemm_recover`]) recovers
+    /// from.
+    #[must_use]
+    pub fn with_acc_cap(mut self, acc_cap: u32) -> Self {
+        self.acc_cap = acc_cap.max(1);
+        self
     }
 
     /// Writes the operands into the TCDM and zeroes the device-computed
@@ -261,6 +276,11 @@ fn emit_issr_worker<I: KernelIndex>(asm: &mut Assembler, plan: &ClusterSpgemmPla
     asm.li_addr(R::S8, plan.b.vals);
     asm.li(SETUP_SCRATCH, 8);
     asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::STRIDES[0], 0));
+    // Row-buffer capacity for both passes (count-only symbolic feeds
+    // merge into the same buffer, so an optimistic capacity traps
+    // there first — before any value traffic is wasted).
+    asm.li(SETUP_SCRATCH, i64::from(plan.acc_cap));
+    asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::ACC_BUF_CAP, 0));
     asm.roi_begin();
     // --- symbolic: count-only SpAcc feeds, no value traffic ---
     asm.li(SETUP_SCRATCH, i64::from(acc_count_cfg_word(I::IDX_SIZE)));
@@ -489,13 +509,30 @@ pub fn run_cluster_spgemm_on<I: KernelIndex>(
     n_workers: usize,
     double_buffer: bool,
 ) -> Result<ClusterSpgemmRun, SimTimeout> {
+    let (summary, c) =
+        cluster_spgemm_attempt(variant, a, b, n_workers, double_buffer, SPACC_ROW_CAP_RESET)?;
+    assert!(summary.traps.is_empty(), "cluster cores trapped: {:?}", summary.traps);
+    Ok(ClusterSpgemmRun { c: c.expect("clean run reads back"), summary })
+}
+
+/// One marshalled cluster run on a fresh cluster with an explicit SpAcc
+/// row-buffer capacity. A run with traps returns `None` for the product
+/// (faulted stripes leave the output region partially written).
+fn cluster_spgemm_attempt<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    n_workers: usize,
+    double_buffer: bool,
+    acc_cap: u32,
+) -> Result<(ClusterSummary, Option<CsrMatrix<u32>>), SimTimeout> {
     let params = ClusterParams {
         sssr: true,
         n_workers,
         spacc_double_buffer: double_buffer,
         ..ClusterParams::default()
     };
-    let plan = ClusterSpgemmPlan::new(a, b, params.n_workers as u32);
+    let plan = ClusterSpgemmPlan::new(a, b, params.n_workers as u32).with_acc_cap(acc_cap);
     let program = build_cluster_spgemm::<I>(variant, &plan);
     let mut cluster = Cluster::new(program, params);
     plan.marshal(&mut cluster, a, b);
@@ -504,9 +541,64 @@ pub fn run_cluster_spgemm_on<I: KernelIndex>(
     let volume = expansion_volume(a, b);
     let budget = 4_000_000 + 1024 * (2 * volume + u64::from(plan.c_cap()) + a.nrows() as u64);
     let summary = cluster.run(budget)?;
-    assert!(summary.traps.is_empty(), "cluster cores trapped: {:?}", summary.traps);
+    if !summary.traps.is_empty() {
+        return Ok((summary, None));
+    }
     let c = plan.read_c::<I>(&cluster).with_index_width::<u32>();
-    Ok(ClusterSpgemmRun { c, summary })
+    Ok((summary, Some(c)))
+}
+
+/// Result of a grow-and-retry cluster SpGEMM run
+/// ([`run_cluster_spgemm_recover`]).
+#[derive(Clone, Debug)]
+pub struct ClusterSpgemmRecovery {
+    /// The final, clean run (oracle-identical product).
+    pub run: ClusterSpgemmRun,
+    /// Attempts that trapped on SpAcc overflow before the capacity
+    /// sufficed (any worker trapping counts once).
+    pub retries: u32,
+    /// The capacity the clean run used.
+    pub final_cap: u32,
+}
+
+/// Cluster SpGEMM with an optimistic per-worker SpAcc capacity and
+/// trap-driven grow-and-retry: a worker whose stripe holds an
+/// overflowing row latches the overflow, parks, and is masked out of
+/// the barrier while its siblings drain; the harness doubles
+/// `ACC_BUF_CAP` (clamped to the output width) and replays. The
+/// symbolic (count-only) pass shares the row buffer, so oversized rows
+/// trap before any numeric value traffic is spent on them.
+///
+/// # Errors
+/// Returns [`SimTimeout`] if an attempt deadlocks (a bug).
+///
+/// # Panics
+/// Panics on zero `initial_cap`, on any non-overflow trap, or if
+/// overflow persists at the full row capacity (a model bug).
+pub fn run_cluster_spgemm_recover<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    n_workers: usize,
+    initial_cap: u32,
+) -> Result<ClusterSpgemmRecovery, SimTimeout> {
+    assert!(initial_cap > 0, "a zero-capacity row buffer is a configuration fault");
+    let max_cap = u32::try_from(b.ncols().max(1)).expect("ncols fits u32");
+    let mut cap = initial_cap.min(max_cap);
+    let mut retries = 0u32;
+    loop {
+        let (summary, c) = cluster_spgemm_attempt(variant, a, b, n_workers, true, cap)?;
+        if summary.traps.is_empty() {
+            let c = c.expect("clean run reads back");
+            return Ok(ClusterSpgemmRecovery {
+                run: ClusterSpgemmRun { c, summary },
+                retries,
+                final_cap: cap,
+            });
+        }
+        retries += 1;
+        cap = crate::spgemm::grow_after_overflow(&summary.traps, cap, max_cap);
+    }
 }
 
 #[cfg(test)]

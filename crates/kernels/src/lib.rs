@@ -29,7 +29,8 @@ pub use cluster_csrmv::{
     build_cluster_csrmv, run_cluster_csrmv, ClusterCsrmvPlan, ClusterCsrmvRun,
 };
 pub use cluster_spgemm::{
-    build_cluster_spgemm, run_cluster_spgemm, ClusterSpgemmPlan, ClusterSpgemmRun,
+    build_cluster_spgemm, run_cluster_spgemm, run_cluster_spgemm_recover, ClusterSpgemmPlan,
+    ClusterSpgemmRecovery, ClusterSpgemmRun,
 };
 pub use cluster_spmspv::{
     build_cluster_spmspv, run_cluster_spmspv, ClusterSpmspvPlan, ClusterSpmspvRun,
@@ -37,7 +38,10 @@ pub use cluster_spmspv::{
 pub use csf_ttv::{run_csf_ttv, CsfTtvRun};
 pub use csrmm::{build_csrmm, run_csrmm, CsrmmAddrs, CsrmmRun};
 pub use csrmv::{build_csrmv, run_csrmv, CsrmvAddrs, CsrmvRun};
-pub use spgemm::{build_spgemm, run_spgemm, SpgemmAddrs, SpgemmRun};
+pub use spgemm::{
+    build_spgemm, build_spgemm_capped, run_spgemm, run_spgemm_recover, SpgemmAddrs, SpgemmRecovery,
+    SpgemmRun,
+};
 pub use spmspv::{
     build_spmspv, build_spvv_ss, build_spvv_ss_dyn, run_spmspv, run_spvv_ss, run_spvv_ss_dyn,
     SpmspvAddrs, SpmspvRun, SpvvSsAddrs, SpvvSsRun,

@@ -29,11 +29,13 @@
 use crate::common::{emit_spacc_cfg, reprogram_joiner, SETUP_SCRATCH};
 use crate::layout::{alloc_csr_out, place_csr, read_csr_out, Arena, CsrAddrs, CsrOutAddrs};
 use crate::variant::{log_width, KernelIndex, Variant};
-use issr_core::cfg::{cfg_addr, reg as sreg};
+use issr_core::cfg::{cfg_addr, reg as sreg, SPACC_ROW_CAP_RESET};
+use issr_core::fault::StreamFaultKind;
 use issr_isa::asm::{Assembler, Label, Program};
 use issr_isa::instr::Stagger;
 use issr_isa::reg::{FpReg, IntReg as R};
 use issr_snitch::cc::{RunSummary, SimTimeout, SingleCcSim, SINGLE_CC_ARENA};
+use issr_snitch::core::TrapCause;
 use issr_sparse::csr::CsrMatrix;
 
 /// Addresses the SpGEMM builders bake into the program.
@@ -51,7 +53,8 @@ pub struct SpgemmAddrs {
     pub scratch_vals: [u32; 2],
 }
 
-/// Builds the SpGEMM program for `variant` with `I`-width indices.
+/// Builds the SpGEMM program for `variant` with `I`-width indices and
+/// the SpAcc row buffer at its reset capacity.
 ///
 /// # Panics
 /// Panics for [`Variant::Ssr`]: with sparse output there is no
@@ -59,10 +62,27 @@ pub struct SpgemmAddrs {
 /// vs. the full subsystem.
 #[must_use]
 pub fn build_spgemm<I: KernelIndex>(variant: Variant, nrows: u32, addrs: SpgemmAddrs) -> Program {
+    build_spgemm_capped::<I>(variant, nrows, addrs, SPACC_ROW_CAP_RESET)
+}
+
+/// [`build_spgemm`] with an explicit SpAcc row-buffer capacity baked
+/// into the program (`ACC_BUF_CAP`). An optimistic capacity arms the
+/// overflow trap the grow-and-retry harness recovers from; BASE ignores
+/// it (its merge scratch is sized by the output width).
+///
+/// # Panics
+/// As [`build_spgemm`].
+#[must_use]
+pub fn build_spgemm_capped<I: KernelIndex>(
+    variant: Variant,
+    nrows: u32,
+    addrs: SpgemmAddrs,
+    acc_cap: u32,
+) -> Program {
     let mut asm = Assembler::new();
     match variant {
         Variant::Base => emit_base_spgemm::<I>(&mut asm, nrows, addrs),
-        Variant::Issr => emit_issr_spgemm::<I>(&mut asm, nrows, addrs),
+        Variant::Issr => emit_issr_spgemm::<I>(&mut asm, nrows, addrs, acc_cap),
         Variant::Ssr => panic!("SpGEMM defines BASE and ISSR variants only"),
     }
     asm.halt();
@@ -288,7 +308,12 @@ pub(crate) fn emit_base_row_copy<I: KernelIndex>(asm: &mut Assembler) {
 /// remaining, `s3` output nnz so far, `s4`/`s5` A index/value cursors,
 /// `s6` `b.ptr`, `s7` `b.idcs`, `s8` `b.vals`, `s9` A-row end, `a2`/`a3`
 /// C index/value byte cursors; `t*` per-k scratch.
-fn emit_issr_spgemm<I: KernelIndex>(asm: &mut Assembler, nrows: u32, addrs: SpgemmAddrs) {
+fn emit_issr_spgemm<I: KernelIndex>(
+    asm: &mut Assembler,
+    nrows: u32,
+    addrs: SpgemmAddrs,
+    acc_cap: u32,
+) {
     let log_w = log_width::<I>();
     asm.li_addr(R::S0, addrs.a.ptr + 4);
     asm.li_addr(R::S1, addrs.c.ptr + 4);
@@ -301,10 +326,13 @@ fn emit_issr_spgemm<I: KernelIndex>(asm: &mut Assembler, nrows: u32, addrs: Spge
     asm.li_addr(R::S8, addrs.b.vals);
     asm.li_addr(R::A2, addrs.c.idcs);
     asm.li_addr(R::A3, addrs.c.vals);
-    // Static streamer state: SSR value stride, SpAcc index width.
+    // Static streamer state: SSR value stride, SpAcc index width and
+    // row-buffer capacity (optimistic caps arm the overflow trap).
     asm.li(SETUP_SCRATCH, 8);
     asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::STRIDES[0], 0));
     emit_spacc_cfg::<I>(asm);
+    asm.li(SETUP_SCRATCH, i64::from(acc_cap));
+    asm.scfgwi(SETUP_SCRATCH, cfg_addr(sreg::ACC_BUF_CAP, 0));
     asm.csrsi(issr_isa::Csr::Ssr, 1);
     asm.roi_begin();
     if nrows > 0 {
@@ -440,6 +468,21 @@ pub fn run_spgemm_buffered<I: KernelIndex>(
     b: &CsrMatrix<I>,
     double_buffer: bool,
 ) -> Result<SpgemmRun, SimTimeout> {
+    let (summary, c) = spgemm_attempt(variant, a, b, double_buffer, SPACC_ROW_CAP_RESET)?;
+    let summary = summary.expect_clean();
+    Ok(SpgemmRun { c: c.expect("clean run reads back"), summary })
+}
+
+/// One marshalled simulation on a fresh harness with an explicit SpAcc
+/// row-buffer capacity. A trapped run returns `None` for the product
+/// (the partially written output region is not a valid CSR matrix).
+fn spgemm_attempt<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    double_buffer: bool,
+    acc_cap: u32,
+) -> Result<(RunSummary, Option<CsrMatrix<u32>>), SimTimeout> {
     assert_eq!(b.nrows(), a.ncols(), "inner dimensions must agree");
     let mut arena = Arena::new(SINGLE_CC_ARENA, SingleCcSim::DEFAULT_MEM_BYTES / 2);
     let mut sim = SingleCcSim::with_joiner(Program::default());
@@ -454,15 +497,87 @@ pub fn run_spgemm_buffered<I: KernelIndex>(
     ];
     let scratch_vals = [arena.alloc(row_cap * 8, 8), arena.alloc(row_cap * 8, 8)];
     let addrs = SpgemmAddrs { a: a_addrs, b: b_addrs, c, scratch_idx, scratch_vals };
-    let program = build_spgemm::<I>(variant, a.nrows() as u32, addrs);
+    let program = build_spgemm_capped::<I>(variant, a.nrows() as u32, addrs, acc_cap);
     sim = reprogram_joiner(sim, program);
     sim.cc.streamer.set_spacc_double_buffered(double_buffer);
     let volume = expansion_volume(a, b) + u64::from(nnz_cap) + a.nnz() as u64;
     let budget = 300_000 + 256 * (volume + a.nrows() as u64);
-    let summary = sim.run(budget)?.expect_clean();
+    let summary = sim.run(budget)?;
+    if summary.trap.is_some() {
+        return Ok((summary, None));
+    }
     let c =
         read_csr_out::<I>(sim.mem.array(), addrs.c, a.nrows(), b.ncols()).with_index_width::<u32>();
-    Ok(SpgemmRun { c, summary })
+    Ok((summary, Some(c)))
+}
+
+/// The shared grow-and-retry policy of the SpGEMM harnesses: every
+/// trap of a faulted attempt must be a *recoverable* SpAcc overflow
+/// (anything else panics with the trap's diagnostics), the capacity
+/// must still have headroom, and the next attempt doubles it, clamped
+/// to `max_cap` (the output width, where overflow is impossible).
+pub(crate) fn grow_after_overflow<'a>(
+    traps: impl IntoIterator<Item = &'a issr_snitch::core::Trap>,
+    cap: u32,
+    max_cap: u32,
+) -> u32 {
+    for trap in traps {
+        let overflow = matches!(
+            trap.cause,
+            TrapCause::StreamFault(fault)
+                if matches!(fault.kind, StreamFaultKind::Overflow { .. })
+        );
+        assert!(overflow, "SpGEMM trapped on a non-recoverable fault: {trap}");
+        assert!(cap < max_cap, "overflow at the full row capacity: {trap}");
+    }
+    cap.saturating_mul(2).min(max_cap)
+}
+
+/// Result of a grow-and-retry SpGEMM run ([`run_spgemm_recover`]).
+#[derive(Clone, Debug)]
+pub struct SpgemmRecovery {
+    /// The final, clean run (oracle-identical product).
+    pub run: SpgemmRun,
+    /// Overflow traps taken before the capacity sufficed.
+    pub retries: u32,
+    /// The capacity the clean run used.
+    pub final_cap: u32,
+}
+
+/// Runs SpGEMM with an *optimistic* SpAcc row-buffer capacity and
+/// trap-driven recovery: a `StreamFault::Overflow` latched mid-stream
+/// restores the SpAcc's row-buffer checkpoint and parks the core; this
+/// harness doubles `ACC_BUF_CAP` (clamped to the output width, where
+/// overflow is impossible) and replays — SparseZipper's
+/// size-optimistically-recover-on-overflow strategy, so an adversarial
+/// row no longer needs a worst-case expansion bound up front.
+///
+/// # Errors
+/// Returns [`SimTimeout`] if an attempt fails to finish (a bug).
+///
+/// # Panics
+/// Panics on zero `initial_cap`, on a non-overflow trap (those are not
+/// recoverable), or if the kernel still misbehaves at the full row
+/// capacity (a model bug).
+pub fn run_spgemm_recover<I: KernelIndex>(
+    variant: Variant,
+    a: &CsrMatrix<I>,
+    b: &CsrMatrix<I>,
+    initial_cap: u32,
+) -> Result<SpgemmRecovery, SimTimeout> {
+    assert!(initial_cap > 0, "a zero-capacity row buffer is a configuration fault");
+    let max_cap = u32::try_from(b.ncols().max(1)).expect("ncols fits u32");
+    let mut cap = initial_cap.min(max_cap);
+    let mut retries = 0u32;
+    loop {
+        let (summary, c) = spgemm_attempt(variant, a, b, true, cap)?;
+        let Some(trap) = summary.trap else {
+            let c = c.expect("clean run reads back");
+            return Ok(SpgemmRecovery { run: SpgemmRun { c, summary }, retries, final_cap: cap });
+        };
+        retries += 1;
+        cap = grow_after_overflow(std::iter::once(&trap), cap, max_cap);
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,17 @@
 //! Trap-path tests: malformed SpAcc/joiner configuration words must
 //! latch a structured [`Trap`]/[`TrapCause::CfgFault`] that surfaces
 //! through `RunSummary.trap` (single CC) and `ClusterSummary.traps`
-//! (cluster) — the simulator drains and reports instead of panicking.
+//! (cluster) — and *mid-stream* failures (row-buffer overflow at the
+//! capacity boundary, unsorted feeds, drain stalls, port conflicts)
+//! must latch a [`TrapCause::StreamFault`] the same way: the simulator
+//! drains and reports instead of panicking, and sibling harts in a
+//! cluster finish bit-identically.
 
 use issr_cluster::cluster::{Cluster, ClusterParams};
-use issr_core::cfg::{acc_count_cfg_word, cfg_addr, join_cfg_word, reg as sreg, JoinerMode};
+use issr_core::cfg::{
+    acc_cfg_word, acc_count_cfg_word, cfg_addr, join_cfg_word, reg as sreg, JoinerMode,
+};
+use issr_core::fault::{StreamFaultKind, StreamUnit};
 use issr_core::serializer::IndexSize;
 use issr_core::CfgFault;
 use issr_isa::asm::{Assembler, Program};
@@ -112,6 +119,298 @@ fn trap_preserves_prior_state() {
     assert_eq!(sim.cc.core.reg(R::S0), 42, "pre-fault state commits, post-fault does not");
     // The Display form carries the fault for harness panic messages.
     assert!(trap.to_string().contains("zero-capacity"), "{trap}");
+}
+
+/// An indirection launch on the plain SSR lane (lane 0 of the paper /
+/// sparse-sparse configurations) faults instead of panicking.
+#[test]
+fn indirection_on_ssr_lane_traps() {
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(issr_core::cfg::idx_cfg_word(IndexSize::U16, 0)));
+    a.scfgwi(R::T0, cfg_addr(sreg::IDX_CFG, 0));
+    a.li(R::T0, 3);
+    a.scfgwi(R::T0, cfg_addr(sreg::BOUNDS[0], 0));
+    a.li_addr(R::T0, TCDM_BASE + 0x1000);
+    a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 0)); // lane 0 is a plain SSR
+    a.halt();
+    assert_eq!(
+        run_to_trap(a.finish().unwrap()),
+        TrapCause::CfgFault(CfgFault::NoIndirection { lane: 0 })
+    );
+}
+
+/// A joiner-enabled pointer write outside lane 0's launch register
+/// (here: lane 1) faults instead of tripping the lane's invariant.
+#[test]
+fn joiner_launch_outside_lane0_traps() {
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(join_cfg_word(JoinerMode::Intersect, IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_CFG, 1)); // lane 1's shadow
+    a.li_addr(R::T0, TCDM_BASE + 0x1000);
+    a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 1));
+    a.halt();
+    assert_eq!(
+        run_to_trap(a.finish().unwrap()),
+        TrapCause::CfgFault(CfgFault::BadJoinerLaunch { lane: 1 })
+    );
+}
+
+// ---- mid-stream structured faults ----
+
+/// A program running one count-only (symbolic) SpAcc feed of `count`
+/// distinct indices against an `ACC_BUF_CAP` of `cap`, then spinning on
+/// completion.
+fn symbolic_feed_program(cap: u32, count: u32, idx_base: u32) -> Program {
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(acc_count_cfg_word(IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_CFG, 0));
+    a.li(R::T0, i64::from(cap));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_BUF_CAP, 0));
+    a.li(R::T0, i64::from(count));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+    a.li_addr(R::T0, idx_base);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0));
+    let spin = a.bind_label();
+    a.scfgri(R::T1, cfg_addr(sreg::ACC_STATUS, 0));
+    a.andi(R::T1, R::T1, 1);
+    a.beqz(R::T1, spin);
+    a.halt();
+    a.finish().unwrap()
+}
+
+/// Overflow at the capacity boundary: `cap - 1` and `cap` distinct
+/// indices complete cleanly; `cap + 1` latches `Overflow { cap }` as a
+/// `StreamFault` trap — and in every case the run *finishes*.
+#[test]
+fn spacc_overflow_at_capacity_boundary() {
+    let cap = 8u32;
+    let idx_base = TCDM_BASE + 0x1000;
+    for count in [cap - 1, cap, cap + 1] {
+        let mut sim = SingleCcSim::with_joiner(symbolic_feed_program(cap, count, idx_base));
+        let idcs: Vec<u16> = (0..count as u16).map(|i| i * 3).collect();
+        sim.mem.array_mut().store_u16_slice(idx_base, &idcs);
+        let summary = sim.run(20_000).expect("boundary runs must finish");
+        if count <= cap {
+            assert!(summary.trap.is_none(), "count {count} fits capacity {cap}");
+        } else {
+            let trap = summary.trap.expect("over-capacity feed must trap");
+            match trap.cause {
+                TrapCause::StreamFault(fault) => {
+                    assert_eq!(fault.unit, StreamUnit::SpAcc);
+                    assert_eq!(fault.kind, StreamFaultKind::Overflow { cap });
+                }
+                other => panic!("expected a stream fault, got {other:?}"),
+            }
+            assert!(trap.to_string().contains("overflow"), "{trap}");
+        }
+    }
+}
+
+/// A decreasing index inside one feed latches `Unsorted` mid-stream.
+#[test]
+fn spacc_unsorted_feed_traps() {
+    let idx_base = TCDM_BASE + 0x1000;
+    let mut sim = SingleCcSim::with_joiner(symbolic_feed_program(64, 3, idx_base));
+    sim.mem.array_mut().store_u16_slice(idx_base, &[2, 9, 3]);
+    let summary = sim.run(20_000).expect("the faulted run still finishes");
+    let trap = summary.trap.expect("unsorted feed must trap");
+    assert_eq!(
+        trap.cause,
+        TrapCause::StreamFault(issr_core::StreamFault {
+            unit: StreamUnit::SpAcc,
+            kind: StreamFaultKind::Unsorted { prev: 9, next: 3 },
+        })
+    );
+}
+
+/// A value-mode feed whose write stream never delivers (the program
+/// drives no FPU writes at all) trips the SpAcc progress watchdog: the
+/// former hang becomes a latched `Stall` fault and the run finishes.
+#[test]
+fn spacc_drain_stall_latches_watchdog_fault() {
+    let idx_base = TCDM_BASE + 0x1000;
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(acc_cfg_word(IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_CFG, 0));
+    a.li(R::T0, 2);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+    a.li_addr(R::T0, idx_base);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0));
+    let spin = a.bind_label();
+    a.scfgri(R::T1, cfg_addr(sreg::ACC_STATUS, 0));
+    a.andi(R::T1, R::T1, 1);
+    a.beqz(R::T1, spin);
+    a.halt();
+    let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+    sim.cc.streamer.set_spacc_watchdog(300);
+    sim.mem.array_mut().store_u16_slice(idx_base, &[4, 7]);
+    let summary = sim.run(20_000).expect("the stall must not hang the simulation");
+    let trap = summary.trap.expect("starved feed must trap");
+    match trap.cause {
+        TrapCause::StreamFault(fault) => {
+            assert_eq!(fault.unit, StreamUnit::SpAcc);
+            assert!(matches!(fault.kind, StreamFaultKind::Stall { cycles } if cycles >= 300));
+        }
+        other => panic!("expected a stall stream fault, got {other:?}"),
+    }
+}
+
+/// A joiner job whose outputs are never consumed (the program launches
+/// it and halts) trips the joiner watchdog instead of hanging.
+#[test]
+fn joiner_feed_underrun_latches_watchdog_fault() {
+    let idx_a = TCDM_BASE + 0x1000;
+    let idx_b = TCDM_BASE + 0x2000;
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(join_cfg_word(JoinerMode::Intersect, IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_CFG, 0));
+    a.li_addr(R::T0, TCDM_BASE + 0x4000);
+    a.scfgwi(R::T0, cfg_addr(sreg::DATA_BASE, 0));
+    a.li_addr(R::T0, idx_b);
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_IDX_B, 0));
+    a.li_addr(R::T0, TCDM_BASE + 0x8000);
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_DATA_B, 0));
+    a.li(R::T0, 16);
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_NNZ_A, 0));
+    a.li(R::T0, 16);
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_NNZ_B, 0));
+    a.li_addr(R::T0, idx_a);
+    a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 0)); // launch, never consume
+    a.halt();
+    let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+    sim.cc.streamer.set_joiner_watchdog(200);
+    let idcs: Vec<u16> = (0..16).collect();
+    sim.mem.array_mut().store_u16_slice(idx_a, &idcs);
+    sim.mem.array_mut().store_u16_slice(idx_b, &idcs);
+    let summary = sim.run(20_000).expect("the abandoned joiner must not hang");
+    let trap = summary.trap.expect("unconsumed joiner must trap");
+    match trap.cause {
+        TrapCause::StreamFault(fault) => {
+            assert_eq!(fault.unit, StreamUnit::Joiner);
+            assert!(matches!(fault.kind, StreamFaultKind::Stall { .. }));
+        }
+        other => panic!("expected a joiner stall fault, got {other:?}"),
+    }
+}
+
+/// A plain lane job launched on lane 1 while the SpAcc owns its port
+/// is a mid-stream port conflict — latched, not panicked.
+#[test]
+fn lane_job_on_spacc_port_traps() {
+    let idx_base = TCDM_BASE + 0x1000;
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(acc_cfg_word(IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_CFG, 0));
+    a.li(R::T0, 4);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_COUNT, 0));
+    a.li_addr(R::T0, idx_base);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0)); // stays busy: no values
+    a.li(R::T0, 3);
+    a.scfgwi(R::T0, cfg_addr(sreg::BOUNDS[0], 1));
+    a.li(R::T0, 8);
+    a.scfgwi(R::T0, cfg_addr(sreg::STRIDES[0], 1));
+    a.li_addr(R::T0, TCDM_BASE + 0x4000);
+    a.scfgwi(R::T0, cfg_addr(sreg::RPTR[0], 1)); // lane 1: the SpAcc's port
+    a.halt();
+    let mut sim = SingleCcSim::with_joiner(a.finish().unwrap());
+    sim.mem.array_mut().store_u16_slice(idx_base, &[1, 2, 3, 4]);
+    let summary = sim.run(20_000).expect("the conflict drains, not deadlocks");
+    let trap = summary.trap.expect("port conflict must trap");
+    assert_eq!(
+        trap.cause,
+        TrapCause::StreamFault(issr_core::StreamFault {
+            unit: StreamUnit::Lane(1),
+            kind: StreamFaultKind::PortConflict,
+        })
+    );
+}
+
+/// On the cluster, a mid-stream overflow on one hart parks only that
+/// hart: the survivors' results are bit-identical to a run where no
+/// hart faults, and `ClusterSummary.traps` names exactly the faulting
+/// worker with the overflow cause.
+#[test]
+fn cluster_stream_fault_isolates_to_one_hart() {
+    let idx_base = TCDM_BASE + 0x1000;
+    let out = TCDM_BASE + 0x80;
+    let cap = 4u32;
+    // Every worker h runs a count-only feed of `count(h)` indices and
+    // stores its ACC_NNZ readback; hart 0 optionally exceeds the cap.
+    let build = |hart0_count: u32| {
+        let mut a = Assembler::new();
+        a.csrr(R::A7, Csr::MHartId);
+        let worker = a.new_label();
+        a.li(R::T0, 8);
+        a.blt(R::A7, R::T0, worker);
+        a.halt(); // the DMCC has no SpAcc
+        a.bind(worker);
+        a.li(R::T0, i64::from(acc_count_cfg_word(IndexSize::U16)));
+        a.scfgwi(R::T0, cfg_addr(sreg::ACC_CFG, 0));
+        a.li(R::T0, i64::from(cap));
+        a.scfgwi(R::T0, cfg_addr(sreg::ACC_BUF_CAP, 0));
+        // count = hart0_count for hart 0, 3 for everyone else.
+        let other = a.new_label();
+        a.li(R::T1, 3);
+        a.bnez(R::A7, other);
+        a.li(R::T1, i64::from(hart0_count));
+        a.bind(other);
+        a.scfgwi(R::T1, cfg_addr(sreg::ACC_COUNT, 0));
+        a.li_addr(R::T0, idx_base);
+        a.scfgwi(R::T0, cfg_addr(sreg::ACC_FEED, 0));
+        let spin = a.bind_label();
+        a.scfgri(R::T1, cfg_addr(sreg::ACC_STATUS, 0));
+        a.andi(R::T1, R::T1, 1);
+        a.beqz(R::T1, spin);
+        a.scfgri(R::T2, cfg_addr(sreg::ACC_NNZ, 0));
+        a.slli(R::T3, R::A7, 2);
+        a.li_addr(R::T4, out);
+        a.add(R::T3, R::T3, R::T4);
+        a.sw(R::T2, R::T3, 0);
+        a.halt();
+        a.finish().unwrap()
+    };
+    let run = |hart0_count: u32| {
+        let params = ClusterParams { sssr: true, ..ClusterParams::default() };
+        let mut cluster = Cluster::new(build(hart0_count), params);
+        let idcs: Vec<u16> = (0..8).map(|i| i * 5).collect();
+        cluster.tcdm.array_mut().store_u16_slice(idx_base, &idcs);
+        let summary = cluster.run(200_000).expect("cluster drains despite the fault");
+        let outs: Vec<u32> = (0..8).map(|h| cluster.tcdm.array().load_u32(out + h * 4)).collect();
+        (summary, outs)
+    };
+    let (clean_summary, clean_outs) = run(3); // everyone fits
+    assert!(clean_summary.traps.is_empty());
+    let (summary, outs) = run(cap + 1); // hart 0 overflows
+    assert_eq!(summary.traps.len(), 1, "exactly the faulting worker traps");
+    assert_eq!(summary.traps[0].hartid, 0);
+    match summary.traps[0].cause {
+        TrapCause::StreamFault(fault) => {
+            assert_eq!(fault.unit, StreamUnit::SpAcc);
+            assert_eq!(fault.kind, StreamFaultKind::Overflow { cap });
+        }
+        other => panic!("expected overflow, got {other:?}"),
+    }
+    assert_eq!(outs[0], 0, "the faulted hart never stores its marker");
+    assert_eq!(outs[1..], clean_outs[1..], "survivors are bit-identical to the clean run");
+}
+
+/// The misaligned-drain launch latches a `CfgFault` (like every other
+/// malformed cfg word), not an abort inside the unit.
+#[test]
+fn misaligned_drain_traps() {
+    let mut a = Assembler::new();
+    a.li_addr(R::T0, TCDM_BASE + 0x2004); // not word aligned
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_VAL_OUT, 0));
+    a.li_addr(R::T0, TCDM_BASE + 0x1000);
+    a.scfgwi(R::T0, cfg_addr(sreg::ACC_DRAIN, 0));
+    a.halt();
+    assert_eq!(
+        run_to_trap(a.finish().unwrap()),
+        TrapCause::CfgFault(CfgFault::MisalignedDrain {
+            idx_out: TCDM_BASE + 0x1000,
+            val_out: TCDM_BASE + 0x2004,
+        })
+    );
 }
 
 /// On the cluster, one worker's malformed cfg word parks only that

@@ -141,6 +141,15 @@ impl CoreComplex {
             }
             self.streamer.tick(now, &mut lane_ports);
         }
+        // 4b. Mid-stream fault delivery: the streamer latched a
+        // structured fault and froze — park the core on the trap and
+        // squash the FPU subsystem so the whole CC drains cleanly
+        // (sibling harts in a cluster are unaffected; the barrier masks
+        // halted cores).
+        if let Some(fault) = self.streamer.take_stream_fault() {
+            self.core.deliver_stream_fault(fault);
+            self.fpu.flush();
+        }
         // 5. Forward one combined request.
         self.shared.forward_requests(phys[0]);
         // 6. Account the cycle.

@@ -46,8 +46,16 @@ pub enum TrapCause {
     PcOutOfRange,
     /// A malformed streamer configuration access (`scfgwi`/`scfgri`):
     /// nonexistent lane, joiner/SpAcc launch without that hardware, a
-    /// zero-capacity SpAcc feed, or a drain in count-only mode.
+    /// zero-capacity SpAcc feed, a drain in count-only mode, or a
+    /// misaligned drain output base.
     CfgFault(issr_core::CfgFault),
+    /// A mid-stream fault latched by a stream unit while a job was
+    /// running: SpAcc row-buffer overflow or unsorted feed, a stalled
+    /// unit (progress-watchdog expiry), or a port conflict. The
+    /// streamer froze and drained; the core parks here. SpAcc overflow
+    /// is recoverable at the kernel layer (grow `ACC_BUF_CAP`, replay
+    /// the faulted row — see `issr_core::spacc`).
+    StreamFault(issr_core::StreamFault),
 }
 
 /// A structured decode/fetch trap: which core stopped, where, and why.
@@ -76,6 +84,9 @@ impl std::fmt::Display for Trap {
             }
             TrapCause::CfgFault(fault) => {
                 write!(f, "hart {}: {fault} at {:#010x}", self.hartid, self.pc)
+            }
+            TrapCause::StreamFault(fault) => {
+                write!(f, "hart {}: stream fault — {fault} (near {:#010x})", self.hartid, self.pc)
             }
         }
     }
@@ -153,6 +164,23 @@ impl SnitchCore {
     /// so the surrounding simulation drains instead of aborting.
     fn take_trap(&mut self, cause: TrapCause) {
         self.trap = Some(Trap { hartid: self.hartid, pc: self.pc, cause });
+        self.halted = true;
+    }
+
+    /// Delivers a mid-stream fault latched by the streamer: the core
+    /// parks exactly like a decode trap (the first trap wins — a core
+    /// that already trapped or halted keeps its state but stays
+    /// parked). The PC is the instruction the core had reached when the
+    /// fault latched; stream jobs run decoupled, so it is a vicinity,
+    /// not the faulting instruction itself.
+    pub fn deliver_stream_fault(&mut self, fault: issr_core::StreamFault) {
+        if self.trap.is_none() {
+            self.trap = Some(Trap {
+                hartid: self.hartid,
+                pc: self.pc,
+                cause: TrapCause::StreamFault(fault),
+            });
+        }
         self.halted = true;
     }
 

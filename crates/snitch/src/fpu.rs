@@ -126,6 +126,25 @@ impl FpuSubsystem {
         self.queue.push_back(op);
     }
 
+    /// Squashes every queued and in-flight operation that has not yet
+    /// touched memory — the stream-fault delivery path: the core is
+    /// parked on a trap, so replaying the captured FREP body or the
+    /// offload queue would block forever on frozen streams. Scheduled
+    /// FP write-backs apply immediately (the scoreboard clears),
+    /// pending integer write-backs are dropped (the core no longer
+    /// issues), and outstanding `fld` responses still drain through
+    /// [`Self::tick`].
+    pub fn flush(&mut self) {
+        self.queue.clear();
+        self.seq = SeqState::Idle;
+        for (_, reg, value) in self.wb_fp.drain(..) {
+            self.regs[reg as usize] = value;
+            self.busy[reg as usize] = false;
+        }
+        self.wb_int.clear();
+        self.stream_wr_outstanding.fill(0);
+    }
+
     /// Whether every offloaded instruction has fully completed.
     #[must_use]
     pub fn is_drained(&self) -> bool {
