@@ -8,6 +8,8 @@ use issr_kernels::csrmv::run_csrmv;
 use issr_kernels::spgemm::{run_spgemm, run_spgemm_buffered, run_spgemm_recover};
 use issr_kernels::spmspv::{run_spmspv, run_spvv_ss};
 use issr_kernels::spvv::run_spvv;
+use issr_kernels::system_csrmv::run_system_csrmv;
+use issr_kernels::system_spgemm::{run_system_spgemm_planned, SystemSpgemmPlan};
 use issr_kernels::variant::Variant;
 use issr_model::power::PowerModel;
 use issr_sparse::csr::CsrMatrix;
@@ -610,12 +612,10 @@ fn tcdm_window(m: &CsrMatrix<u16>) -> CsrMatrix<u16> {
     principal_window(m, ladder[ladder.len() - 1].min(m.nrows()))
 }
 
-/// The leading `k`-by-`k` principal submatrix.
+/// The leading `k`-by-`k` principal submatrix (the suite's windowed
+/// accessor).
 fn principal_window(m: &CsrMatrix<u16>, k: usize) -> CsrMatrix<u16> {
-    let triplets: Vec<(usize, usize, f64)> = (0..k.min(m.nrows()))
-        .flat_map(|r| m.row(r).filter(|&(c, _)| c < k).map(move |(c, v)| (r, c, v)))
-        .collect();
-    CsrMatrix::from_triplets(k, k, &triplets)
+    suite::principal_window(m, k)
 }
 
 /// Sweeps cluster SpGEMM (`C = M·M`, BASE vs. ISSR) over TCDM-resident
@@ -721,6 +721,165 @@ pub fn smoke_spgemm_regimes() -> Vec<SpgemmRegime> {
             b_row_nnz: 20,
         },
     ]
+}
+
+// ---------------------------------------------------------------------
+// Multi-cluster scaling (`--bin system`)
+// ---------------------------------------------------------------------
+
+/// One row of the multi-cluster scaling sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemScalingRow {
+    /// Clusters in the system.
+    pub n_clusters: usize,
+    /// System cycles to completion.
+    pub cycles: u64,
+    /// Strong-scaling speedup against the sweep's first row.
+    pub speedup: f64,
+    /// Denied fraction of shared-interface DMA word requests.
+    pub contention: f64,
+    /// Total DMA engine stall cycles on denied bandwidth.
+    pub dma_stalls: u64,
+    /// Cycles with DMA traffic and ROI compute in flight together.
+    pub overlap_cycles: u64,
+    /// Average system power from the power model (mW).
+    pub avg_power_mw: f64,
+    /// Total energy from the power model (nJ).
+    pub total_nj: f64,
+    /// Energy per retired multiply-accumulate (pJ; CsrMV sweeps only —
+    /// the SpGEMM expansion retires `fmul`, not `fmadd`).
+    pub pj_per_fmadd: f64,
+}
+
+/// Assembles one scaling-table row from a run's summary, its power
+/// evaluation, and the sweep's baseline cycle count.
+fn scaling_row(
+    n_clusters: usize,
+    summary: &issr_system::system::SystemSummary,
+    energy: issr_model::power::EnergyBreakdown,
+    base_cycles: u64,
+) -> SystemScalingRow {
+    SystemScalingRow {
+        n_clusters,
+        cycles: summary.cycles,
+        speedup: base_cycles as f64 / summary.cycles as f64,
+        contention: summary.contention_ratio(),
+        dma_stalls: summary.total_dma_stalls(),
+        overlap_cycles: summary.overlap_cycles,
+        avg_power_mw: energy.avg_power_mw,
+        total_nj: energy.total_nj,
+        pj_per_fmadd: energy.pj_per_fmadd,
+    }
+}
+
+/// Strong-scaling sweep of system CsrMV (ISSR) over `counts` clusters
+/// on one matrix. Every run is checked **bit-identical** against the
+/// single-cluster kernel ([`run_cluster_csrmv`]) — the correctness gate
+/// of the scale-out path.
+///
+/// # Panics
+/// Panics if a run fails, traps, or diverges from the single-cluster
+/// result by a single bit.
+#[must_use]
+pub fn system_csrmv_scaling(
+    m: &CsrMatrix<u16>,
+    x: &[f64],
+    counts: &[usize],
+) -> Vec<SystemScalingRow> {
+    let single = run_cluster_csrmv(Variant::Issr, m, x).expect("single-cluster run");
+    let reference: Vec<u64> = single.y.iter().map(|v| v.to_bits()).collect();
+    let model = PowerModel::default();
+    let mut rows: Vec<SystemScalingRow> = Vec::new();
+    for &n in counts {
+        let run = run_system_csrmv(Variant::Issr, m, x, n).expect("system run");
+        let got: Vec<u64> = run.y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, reference, "{n}-cluster CsrMV must be bit-identical");
+        let energy = model.evaluate_system(&run.summary);
+        let base = rows.first().map_or(run.summary.cycles, |r| r.cycles);
+        rows.push(scaling_row(n, &run.summary, energy, base));
+    }
+    rows
+}
+
+/// Strong-scaling sweep of system SpGEMM (ISSR) over `counts` clusters.
+/// Row pointers and indices are checked exactly against the host
+/// oracle, and values **bit-identical across cluster counts**; panel
+/// capacities can be clamped to force multi-panel runs on small inputs.
+///
+/// # Panics
+/// Panics if a run fails, traps, or results diverge.
+#[must_use]
+pub fn system_spgemm_scaling(
+    a: &CsrMatrix<u16>,
+    b: &CsrMatrix<u16>,
+    counts: &[usize],
+    panel_caps: Option<(u32, u32)>,
+) -> Vec<SystemScalingRow> {
+    use issr_system::system::SystemParams;
+    let expect = reference::spgemm(a, b).with_index_width::<u32>();
+    let model = PowerModel::default();
+    let n_workers = SystemParams::default().cluster.n_workers as u32;
+    let mut rows: Vec<SystemScalingRow> = Vec::new();
+    let mut reference_bits: Option<Vec<u64>> = None;
+    for &n in counts {
+        let plan = match panel_caps {
+            Some((a_cap, c_cap)) => {
+                SystemSpgemmPlan::with_panel_caps(Variant::Issr, a, b, n_workers, a_cap, c_cap)
+            }
+            None => SystemSpgemmPlan::new(Variant::Issr, a, b, n_workers),
+        };
+        let run = run_system_spgemm_planned(
+            Variant::Issr,
+            a,
+            b,
+            plan,
+            SystemParams { n_clusters: n, ..SystemParams::default() },
+        )
+        .expect("system run");
+        assert_eq!(run.c.ptr(), expect.ptr(), "{n}-cluster SpGEMM row pointers");
+        assert_eq!(run.c.idcs(), expect.idcs(), "{n}-cluster SpGEMM indices");
+        let bits: Vec<u64> = run.c.vals().iter().map(|v| v.to_bits()).collect();
+        match &reference_bits {
+            Some(r) => assert_eq!(&bits, r, "{n}-cluster SpGEMM values must be bit-identical"),
+            None => reference_bits = Some(bits),
+        }
+        let energy = model.evaluate_system(&run.summary);
+        let base = rows.first().map_or(run.summary.cycles, |r| r.cycles);
+        rows.push(scaling_row(n, &run.summary, energy, base));
+    }
+    rows
+}
+
+/// Weak-scaling sweep of system CsrMV (ISSR): per-cluster work held
+/// constant by growing the matrix with the cluster count; `speedup`
+/// reports the efficiency `T(1) / T(n)` (1.0 = perfect weak scaling).
+///
+/// # Panics
+/// Panics if a run fails or traps.
+#[must_use]
+pub fn system_csrmv_weak_scaling(
+    rows_per_cluster: usize,
+    ncols: usize,
+    nnz_per_cluster: usize,
+    counts: &[usize],
+) -> Vec<SystemScalingRow> {
+    let model = PowerModel::default();
+    let mut out: Vec<SystemScalingRow> = Vec::new();
+    for &n in counts {
+        let mut rng = gen::rng(7_700 + n as u64);
+        let m = gen::csr_uniform::<u16>(&mut rng, rows_per_cluster * n, ncols, nnz_per_cluster * n);
+        let x = gen::dense_vector(&mut rng, ncols);
+        let run = run_system_csrmv(Variant::Issr, &m, &x, n).expect("system run");
+        let expect = reference::csrmv(&m, &x);
+        assert!(
+            issr_sparse::dense::allclose(&run.y, &expect, 1e-12, 1e-12),
+            "weak-scaling {n}-cluster CsrMV diverged"
+        );
+        let energy = model.evaluate_system(&run.summary);
+        let base = out.first().map_or(run.summary.cycles, |r| r.cycles);
+        out.push(scaling_row(n, &run.summary, energy, base));
+    }
+    out
 }
 
 #[cfg(test)]

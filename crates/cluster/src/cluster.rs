@@ -93,6 +93,17 @@ impl ClusterSummary {
     }
 }
 
+/// Activity snapshot of one cluster tick. The system harness reads it
+/// to attribute DMA/compute overlap across clusters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickActivity {
+    /// Words the DMA engine moved across the main-memory interface
+    /// this cycle (local TCDM→TCDM copies excluded).
+    pub dma_words_moved: u64,
+    /// Whether any worker was inside its region of interest.
+    pub workers_in_roi: bool,
+}
+
 /// The eight-worker Snitch cluster plus DMCC.
 #[derive(Debug)]
 pub struct Cluster {
@@ -102,7 +113,10 @@ pub struct Cluster {
     pub dmcc: CoreComplex,
     /// Banked scratchpad.
     pub tcdm: Tcdm,
-    /// Main memory behind the crossbar.
+    /// Main memory behind the crossbar. A standalone cluster owns a
+    /// private one; clusters built with [`Cluster::new_for_system`]
+    /// keep an empty stub here and are ticked against the shared memory
+    /// via [`Cluster::tick_shared`].
     pub main: MainMemory,
     /// The 512-bit DMA engine.
     pub dma: Dma,
@@ -165,6 +179,16 @@ impl Cluster {
         }
     }
 
+    /// [`Cluster::new`] for a cluster embedded in a multi-cluster
+    /// system: the private main memory is an empty stub (the system
+    /// owns the shared one and drives [`Cluster::tick_shared`]).
+    #[must_use]
+    pub fn new_for_system(program: Program, params: ClusterParams) -> Self {
+        let mut cluster = Self::new(program, params);
+        cluster.main = MainMemory::new(MAIN_BASE, 0);
+        cluster
+    }
+
     /// Whether every core halted and all queues drained.
     #[must_use]
     pub fn quiescent(&self) -> bool {
@@ -188,8 +212,21 @@ impl Cluster {
         }
     }
 
-    /// Advances the whole cluster one cycle.
+    /// Advances the whole cluster one cycle against its private main
+    /// memory, resetting the memory's per-cycle DMA bandwidth budget.
     pub fn tick(&mut self) {
+        self.main.begin_dma_cycle();
+        let mut main = std::mem::replace(&mut self.main, MainMemory::new(MAIN_BASE, 0));
+        self.tick_shared(&mut main);
+        self.main = main;
+    }
+
+    /// Advances the whole cluster one cycle against an external
+    /// (possibly shared) main memory. The caller owns the memory's
+    /// per-cycle DMA budget: reset it once per system cycle with
+    /// [`MainMemory::begin_dma_cycle`] before ticking the clusters that
+    /// share it — their tick order is the bandwidth grant order.
+    pub fn tick_shared(&mut self, main: &mut MainMemory) -> TickActivity {
         let now = self.now;
         self.release_barrier_if_all_arrived();
         // 1. Cores.
@@ -215,13 +252,18 @@ impl Cluster {
             }
         }
         let yield_to_cores = now % 2 == 0;
+        // Attribute only words that crossed the main-memory interface
+        // (TCDM→TCDM local copies draw no shared bandwidth and say
+        // nothing about main-memory double buffering).
+        let moved_before = main.stats.wide_beats;
         self.dma.tick(
             self.tcdm.array_mut(),
-            &mut self.main,
+            main,
             &mut self.dma_claimed,
             &contested,
             yield_to_cores,
         );
+        let moved_after = main.stats.wide_beats;
         // 3. Route ports to their memories by pending-request region.
         let mut tcdm_ports: Vec<&mut MemPort> = Vec::new();
         let mut main_ports: Vec<&mut MemPort> = Vec::new();
@@ -233,8 +275,12 @@ impl Cluster {
             }
         }
         self.tcdm.tick(now, &mut tcdm_ports, &self.dma_claimed);
-        self.main.tick(now, &mut main_ports);
+        main.tick(now, &mut main_ports);
         self.now += 1;
+        TickActivity {
+            dma_words_moved: moved_after - moved_before,
+            workers_in_roi: self.workers.iter().any(|cc| cc.metrics.roi_active),
+        }
     }
 
     /// Runs to quiescence.

@@ -33,17 +33,17 @@ pub const VALS_CAP: u32 = 48 * 1024;
 /// Bytes of each buffer reserved for (word-aligned) index chunks.
 pub const IDX_CAP: u32 = BUF_BYTES - VALS_CAP;
 
-const FLAG_META: u32 = TCDM_BASE;
-const FLAG_READY: u32 = TCDM_BASE + 8;
-const FLAG_DONE: u32 = TCDM_BASE + 0x20;
+pub(crate) const FLAG_META: u32 = TCDM_BASE;
+pub(crate) const FLAG_READY: u32 = TCDM_BASE + 8;
+pub(crate) const FLAG_DONE: u32 = TCDM_BASE + 0x20;
 const DATA_LOW: u32 = TCDM_BASE + 0x100;
-const BUF_A: u32 = TCDM_BASE + TCDM_SIZE - 2 * BUF_BYTES;
+pub(crate) const BUF_A: u32 = TCDM_BASE + TCDM_SIZE - 2 * BUF_BYTES;
 
 /// One double-buffered block of rows.
 #[derive(Clone, Copy, Debug)]
-struct Block {
-    row_start: u32,
-    row_count: u32,
+pub(crate) struct Block {
+    pub(crate) row_start: u32,
+    pub(crate) row_count: u32,
     nnz_start: u32,
     vals_src: u32,
     vals_len: u32,
@@ -54,21 +54,24 @@ struct Block {
 /// The planned layout of one cluster CsrMV run.
 #[derive(Clone, Debug)]
 pub struct ClusterCsrmvPlan {
-    n_workers: u32,
-    nrows: u32,
+    pub(crate) n_workers: u32,
+    pub(crate) nrows: u32,
     ncols: u32,
-    blocks: Vec<Block>,
+    pub(crate) blocks: Vec<Block>,
     // Main memory.
     main_vals: u32,
     main_idcs: u32,
-    main_meta: u32,
-    main_y: u32,
-    meta_bytes: u32,
+    pub(crate) main_meta: u32,
+    pub(crate) main_y: u32,
+    pub(crate) meta_bytes: u32,
+    /// Hardware fetch-and-add ticket word of the multi-cluster work
+    /// queue (unused by the single-cluster kernel).
+    pub(crate) main_queue: u32,
     // TCDM.
-    tcdm_x: u32,
-    tcdm_ptr: u32,
-    tcdm_desc: u32,
-    tcdm_y: u32,
+    pub(crate) tcdm_x: u32,
+    pub(crate) tcdm_ptr: u32,
+    pub(crate) tcdm_desc: u32,
+    pub(crate) tcdm_y: u32,
 }
 
 impl ClusterCsrmvPlan {
@@ -119,6 +122,7 @@ impl ClusterCsrmvPlan {
         let meta_bytes = x_bytes + ptr_bytes + desc_bytes;
         let main_meta = main.alloc(meta_bytes, 8);
         let main_y = main.alloc(nrows.max(1) * 8, 8);
+        let main_queue = main.alloc(8, 8);
         // TCDM layout mirrors the meta block contiguously.
         let tcdm_x = DATA_LOW;
         let tcdm_ptr = tcdm_x + x_bytes;
@@ -149,6 +153,7 @@ impl ClusterCsrmvPlan {
             main_meta,
             main_y,
             meta_bytes,
+            main_queue,
             tcdm_x,
             tcdm_ptr,
             tcdm_desc,
@@ -164,7 +169,17 @@ impl ClusterCsrmvPlan {
 
     /// Writes the workload into cluster main memory.
     pub fn marshal<I: KernelIndex>(&self, cluster: &mut Cluster, m: &CsrMatrix<I>, x: &[f64]) {
-        let mem = cluster.main.array_mut();
+        self.marshal_into(cluster.main.array_mut(), m, x);
+    }
+
+    /// [`ClusterCsrmvPlan::marshal`] against a bare memory array (the
+    /// multi-cluster system owns the shared main memory itself).
+    pub fn marshal_into<I: KernelIndex>(
+        &self,
+        mem: &mut issr_mem::array::MemArray,
+        m: &CsrMatrix<I>,
+        x: &[f64],
+    ) {
         mem.store_f64_slice(self.main_vals, m.vals());
         I::store_slice(mem, self.main_idcs, m.idcs());
         // Meta block: x, ptr, descriptors — contiguous, DMAed in one go.
@@ -193,8 +208,172 @@ impl ClusterCsrmvPlan {
     /// Reads the result vector back from main memory.
     #[must_use]
     pub fn read_y(&self, cluster: &Cluster) -> Vec<f64> {
-        cluster.main.array().load_f64_slice(self.main_y, self.nrows as usize)
+        self.read_y_from(cluster.main.array())
     }
+
+    /// [`ClusterCsrmvPlan::read_y`] against a bare memory array.
+    #[must_use]
+    pub fn read_y_from(&self, mem: &issr_mem::array::MemArray) -> Vec<f64> {
+        mem.load_f64_slice(self.main_y, self.nrows as usize)
+    }
+
+    /// Address of the work-queue ticket word in main memory.
+    #[must_use]
+    pub fn queue_addr(&self) -> u32 {
+        self.main_queue
+    }
+}
+
+/// TCDM geometry the shared CsrMV worker body bakes in — identical for
+/// the single-cluster kernel and the multi-cluster system kernel, whose
+/// per-cluster layouts mirror each other.
+pub(crate) struct CsrmvWorkerGeom {
+    pub n_workers: u32,
+    pub tcdm_x: u32,
+    pub tcdm_ptr: u32,
+    pub tcdm_y: u32,
+    pub buf_a: u32,
+    pub vals_cap: u32,
+}
+
+impl CsrmvWorkerGeom {
+    pub(crate) fn of(plan: &ClusterCsrmvPlan) -> Self {
+        Self {
+            n_workers: plan.n_workers,
+            tcdm_x: plan.tcdm_x,
+            tcdm_ptr: plan.tcdm_ptr,
+            tcdm_y: plan.tcdm_y,
+            buf_a: BUF_A,
+            vals_cap: VALS_CAP,
+        }
+    }
+}
+
+/// Emits the invariant ISSR lane configuration of the CsrMV worker
+/// (value stride, index mode, x base) and enables the streamer.
+pub(crate) fn emit_worker_issr_cfg<I: KernelIndex>(asm: &mut Assembler, tcdm_x: u32) {
+    asm.li(R::T0, 8);
+    asm.scfgwi(R::T0, cfg_addr(sreg::STRIDES[0], 0));
+    asm.li(R::T0, i64::from(idx_cfg_word(I::IDX_SIZE, 0)));
+    asm.scfgwi(R::T0, cfg_addr(sreg::IDX_CFG, 1));
+    asm.li_addr(R::T0, tcdm_x);
+    asm.scfgwi(R::T0, cfg_addr(sreg::DATA_BASE, 1));
+    asm.csrsi(Csr::Ssr, 1);
+    asm.fcvt_d_w(FZ, R::ZERO);
+}
+
+/// Emits the shared per-block worker body: reads the descriptor `blk`
+/// indexes (via `s9` = descriptor base), derives this worker's row
+/// slice, seeds the cursors into the double buffer `s10 & 1` and runs
+/// the row loop; branches to `signal_done` when the worker has no rows
+/// in the block. Register contract: `a7` hartid, `s8` the y stride (8),
+/// `s9` descriptor base, `s10` block sequence number (buffer parity);
+/// everything else is clobbered.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn emit_worker_block_body<I: KernelIndex>(
+    asm: &mut Assembler,
+    variant: Variant,
+    geom: &CsrmvWorkerGeom,
+    blk: R,
+    signal_done: issr_isa::asm::Label,
+) {
+    let log_w = if I::BYTES == 2 { 1 } else { 2 };
+    // Descriptor fields.
+    asm.slli(R::T4, blk, 5);
+    asm.add(R::T4, R::T4, R::S9);
+    asm.lw(R::A0, R::T4, 0); // row_start
+    asm.lw(R::A1, R::T4, 4); // row_count
+    asm.lw(R::A2, R::T4, 8); // nnz_start
+                             // My row slice: rpw = ceil(row_count / workers); my_off = h * rpw.
+    asm.addi(R::T5, R::A1, i32::try_from(geom.n_workers - 1).expect("small"));
+    asm.srli(R::T5, R::T5, geom.n_workers.trailing_zeros() as i32);
+    asm.mul(R::T6, R::T5, R::A7);
+    asm.sub(R::A3, R::A1, R::T6); // rows remaining after my offset
+    asm.blez(R::A3, signal_done); // no rows for me in this block
+    let clamp_ok = asm.new_label();
+    asm.bge(R::A3, R::T5, clamp_ok);
+    asm.mv(R::T5, R::A3); // my_count = min(rpw, remaining)
+    asm.bind(clamp_ok);
+    asm.add(R::A4, R::A0, R::T6); // my_start
+                                  // Row-pointer window: s3 = ptr[my_start]; s0 = &ptr[my_start + 1].
+    asm.slli(R::T0, R::A4, 2);
+    asm.li_addr(R::T1, geom.tcdm_ptr);
+    asm.add(R::T0, R::T0, R::T1);
+    asm.lw(R::S3, R::T0, 0);
+    asm.addi(R::S0, R::T0, 4);
+    asm.slli(R::T2, R::T5, 2);
+    asm.add(R::T2, R::T2, R::T0);
+    asm.lw(R::T2, R::T2, 0); // ptr[my_end]
+    asm.mv(R::S2, R::T5); // row count for the row loop
+                          // y cursor.
+    asm.slli(R::T0, R::A4, 3);
+    asm.li_addr(R::T1, geom.tcdm_y);
+    asm.add(R::S1, R::T0, R::T1);
+    asm.sub(R::A5, R::T2, R::S3); // my element count
+                                  // Buffer bases for this block.
+    asm.andi(R::T0, R::S10, 1);
+    asm.slli(R::T0, R::T0, 16);
+    asm.li_addr(R::T1, geom.buf_a);
+    asm.add(R::T0, R::T0, R::T1); // buffer base (vals at +0)
+    match variant {
+        Variant::Issr => {
+            let launch_done = asm.new_label();
+            asm.beqz(R::A5, launch_done); // nothing streams this block
+                                          // Launch SSR over my values.
+            asm.addi(R::T1, R::A5, -1);
+            asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 0));
+            asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 1));
+            asm.sub(R::T2, R::S3, R::A2); // element offset in buffer
+            asm.slli(R::T2, R::T2, 3);
+            asm.add(R::T2, R::T2, R::T0);
+            asm.scfgwi(R::T2, cfg_addr(sreg::RPTR[0], 0));
+            // Launch ISSR over my indices (buffer chunk is 8-aligned from
+            // `idcs_src`; the serializer absorbs the sub-word offset).
+            asm.slli(R::T2, R::S3, log_w);
+            asm.slli(R::T3, R::A2, log_w);
+            asm.andi(R::T3, R::T3, -8);
+            asm.sub(R::T2, R::T2, R::T3);
+            asm.add(R::T2, R::T2, R::T0);
+            asm.li(R::T3, i64::from(geom.vals_cap));
+            asm.add(R::T2, R::T2, R::T3);
+            asm.scfgwi(R::T2, cfg_addr(sreg::RPTR[0], 1));
+            asm.bind(launch_done);
+            emit_issr_row_loop::<I>(asm, &RowLoopCtx { idx_shift: 3, restore_cursors: false });
+        }
+        _ => {
+            // BASE: software cursors into the buffer.
+            // Virtual value base: buf_vals - 8 * nnz_start.
+            asm.slli(R::T1, R::A2, 3);
+            asm.sub(R::S7, R::T0, R::T1);
+            asm.slli(R::T1, R::S3, 3);
+            asm.add(R::S5, R::S7, R::T1); // vals cursor at ptr[my_start]
+                                          // Virtual index base: buf_idcs - align8(W * nnz_start).
+            asm.slli(R::T1, R::A2, log_w);
+            asm.andi(R::T1, R::T1, -8);
+            asm.li(R::T2, i64::from(geom.vals_cap));
+            asm.add(R::T2, R::T2, R::T0);
+            asm.sub(R::T2, R::T2, R::T1); // virtual idx base
+            asm.slli(R::T1, R::S3, log_w);
+            asm.add(R::S4, R::T2, R::T1); // idx cursor
+            asm.li_addr(R::S6, geom.tcdm_x);
+            // emit_sw_row_loop(BASE) computes row ends against s7.
+            emit_sw_row_loop::<I>(
+                asm,
+                Variant::Base,
+                &RowLoopCtx { idx_shift: 3, restore_cursors: false },
+            );
+        }
+    }
+    // y-fence: the row loops store y through the FPU LSU, the done flag
+    // goes through the core LSU, and the shared-port mux arbitrates the
+    // two — an integer flag store could overtake the last y store. Pull
+    // the final y word back through the FPU LSU (ordered behind the
+    // store) and sync it into an integer register so the fall-through
+    // path cannot signal done before its y rows are in the TCDM — the
+    // per-block DMA write-back reads them right after.
+    asm.fld(issr_isa::reg::FpReg::FT6, R::S1, -8);
+    asm.fcvt_w_d(R::T0, issr_isa::reg::FpReg::FT6);
+    asm.add(R::ZERO, R::T0, R::T0);
 }
 
 /// Builds the SPMD cluster program (all harts run it; the DMCC is hart
@@ -208,7 +387,6 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
         "cluster CsrMV is evaluated for BASE and ISSR (paper Fig. 4c)"
     );
     let nblocks = plan.blocks.len() as u32;
-    let log_w = if I::BYTES == 2 { 1 } else { 2 };
     let mut asm = Assembler::new();
     asm.csrr(R::A7, Csr::MHartId);
     let dmcc_entry = asm.new_label();
@@ -232,14 +410,7 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
     asm.add(R::A6, R::A6, R::T0);
     if variant == Variant::Issr {
         // Invariant lane configuration: value stride, index mode, x base.
-        asm.li(R::T0, 8);
-        asm.scfgwi(R::T0, cfg_addr(sreg::STRIDES[0], 0));
-        asm.li(R::T0, i64::from(idx_cfg_word(I::IDX_SIZE, 0)));
-        asm.scfgwi(R::T0, cfg_addr(sreg::IDX_CFG, 1));
-        asm.li_addr(R::T0, plan.tcdm_x);
-        asm.scfgwi(R::T0, cfg_addr(sreg::DATA_BASE, 1));
-        asm.csrsi(Csr::Ssr, 1);
-        asm.fcvt_d_w(FZ, R::ZERO);
+        emit_worker_issr_cfg::<I>(&mut asm, plan.tcdm_x);
     }
     asm.roi_begin();
     let worker_end = asm.new_label();
@@ -257,93 +428,10 @@ pub fn build_cluster_csrmv<I: KernelIndex>(variant: Variant, plan: &ClusterCsrmv
     let spin_ready = asm.bind_label();
     asm.lw(R::T2, R::T0, 0);
     asm.blt(R::T2, R::T3, spin_ready);
-    // Descriptor fields.
-    asm.slli(R::T4, R::S10, 5);
-    asm.add(R::T4, R::T4, R::S9);
-    asm.lw(R::A0, R::T4, 0); // row_start
-    asm.lw(R::A1, R::T4, 4); // row_count
-    asm.lw(R::A2, R::T4, 8); // nnz_start
-                             // My row slice: rpw = ceil(row_count / workers); my_off = h * rpw.
-    asm.addi(R::T5, R::A1, i32::try_from(plan.n_workers - 1).expect("small"));
-    asm.srli(R::T5, R::T5, plan.n_workers.trailing_zeros() as i32);
-    asm.mul(R::T6, R::T5, R::A7);
-    asm.sub(R::A3, R::A1, R::T6); // rows remaining after my offset
+    // Descriptor fields, row slice, cursors and the row loop — shared
+    // with the system kernel (block id = the sequence number here).
     let signal_done = asm.new_label();
-    asm.blez(R::A3, signal_done); // no rows for me in this block
-    let clamp_ok = asm.new_label();
-    asm.bge(R::A3, R::T5, clamp_ok);
-    asm.mv(R::T5, R::A3); // my_count = min(rpw, remaining)
-    asm.bind(clamp_ok);
-    asm.add(R::A4, R::A0, R::T6); // my_start
-                                  // Row-pointer window: s3 = ptr[my_start]; s0 = &ptr[my_start + 1].
-    asm.slli(R::T0, R::A4, 2);
-    asm.li_addr(R::T1, plan.tcdm_ptr);
-    asm.add(R::T0, R::T0, R::T1);
-    asm.lw(R::S3, R::T0, 0);
-    asm.addi(R::S0, R::T0, 4);
-    asm.slli(R::T2, R::T5, 2);
-    asm.add(R::T2, R::T2, R::T0);
-    asm.lw(R::T2, R::T2, 0); // ptr[my_end]
-    asm.mv(R::S2, R::T5); // row count for the row loop
-                          // y cursor.
-    asm.slli(R::T0, R::A4, 3);
-    asm.li_addr(R::T1, plan.tcdm_y);
-    asm.add(R::S1, R::T0, R::T1);
-    asm.sub(R::A5, R::T2, R::S3); // my element count
-                                  // Buffer bases for this block.
-    asm.andi(R::T0, R::S10, 1);
-    asm.slli(R::T0, R::T0, 16);
-    asm.li_addr(R::T1, BUF_A);
-    asm.add(R::T0, R::T0, R::T1); // buffer base (vals at +0)
-    match variant {
-        Variant::Issr => {
-            let launch_done = asm.new_label();
-            asm.beqz(R::A5, launch_done); // nothing streams this block
-                                          // Launch SSR over my values.
-            asm.addi(R::T1, R::A5, -1);
-            asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 0));
-            asm.scfgwi(R::T1, cfg_addr(sreg::BOUNDS[0], 1));
-            asm.sub(R::T2, R::S3, R::A2); // element offset in buffer
-            asm.slli(R::T2, R::T2, 3);
-            asm.add(R::T2, R::T2, R::T0);
-            asm.scfgwi(R::T2, cfg_addr(sreg::RPTR[0], 0));
-            // Launch ISSR over my indices (buffer chunk is 8-aligned from
-            // `idcs_src`; the serializer absorbs the sub-word offset).
-            asm.slli(R::T2, R::S3, log_w);
-            asm.slli(R::T3, R::A2, log_w);
-            asm.andi(R::T3, R::T3, -8);
-            asm.sub(R::T2, R::T2, R::T3);
-            asm.add(R::T2, R::T2, R::T0);
-            asm.li(R::T3, i64::from(VALS_CAP));
-            asm.add(R::T2, R::T2, R::T3);
-            asm.scfgwi(R::T2, cfg_addr(sreg::RPTR[0], 1));
-            asm.bind(launch_done);
-            emit_issr_row_loop::<I>(&mut asm, &RowLoopCtx { idx_shift: 3, restore_cursors: false });
-        }
-        _ => {
-            // BASE: software cursors into the buffer.
-            // Virtual value base: buf_vals - 8 * nnz_start.
-            asm.slli(R::T1, R::A2, 3);
-            asm.sub(R::S7, R::T0, R::T1);
-            asm.slli(R::T1, R::S3, 3);
-            asm.add(R::S5, R::S7, R::T1); // vals cursor at ptr[my_start]
-                                          // Virtual index base: buf_idcs - align8(W * nnz_start).
-            asm.slli(R::T1, R::A2, log_w);
-            asm.andi(R::T1, R::T1, -8);
-            asm.li(R::T2, i64::from(VALS_CAP));
-            asm.add(R::T2, R::T2, R::T0);
-            asm.sub(R::T2, R::T2, R::T1); // virtual idx base
-            asm.slli(R::T1, R::S3, log_w);
-            asm.add(R::S4, R::T2, R::T1); // idx cursor
-            asm.li_addr(R::S6, plan.tcdm_x);
-            // emit_sw_row_loop(BASE) computes row ends against s7.
-            emit_sw_row_loop::<I>(
-                &mut asm,
-                Variant::Base,
-                &RowLoopCtx { idx_shift: 3, restore_cursors: false },
-            );
-        }
-    }
+    emit_worker_block_body::<I>(&mut asm, variant, &CsrmvWorkerGeom::of(plan), R::S10, signal_done);
     asm.bind(signal_done);
     asm.addi(R::T0, R::S10, 1);
     asm.sw(R::T0, R::A6, 0);

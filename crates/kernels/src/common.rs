@@ -27,6 +27,33 @@ pub(crate) fn reprogram_joiner(sim: SingleCcSim, program: Program) -> SingleCcSi
     fresh
 }
 
+/// Emits `t0 = base + (seq & 1) * 8` — the parity-slot addressing of
+/// the system kernels' double-buffer flag protocols (`seq_reg` holds
+/// the sequence number). Clobbers `t1`.
+pub(crate) fn emit_parity_slot(asm: &mut Assembler, base: u32, seq_reg: IntReg) {
+    asm.andi(IntReg::T0, seq_reg, 1);
+    asm.slli(IntReg::T0, IntReg::T0, 3);
+    asm.li_addr(IntReg::T1, base);
+    asm.add(IntReg::T0, IntReg::T0, IntReg::T1);
+}
+
+/// Emits spins until every worker's monotonic done flag (8-byte slots
+/// from `done_base`) reaches the value held in `need` (must not be
+/// `t1`/`t2`, which are clobbered).
+pub(crate) fn emit_wait_all_done(
+    asm: &mut Assembler,
+    done_base: u32,
+    n_workers: u32,
+    need: IntReg,
+) {
+    for c in 0..n_workers {
+        let spin = asm.bind_label();
+        asm.li_addr(IntReg::T1, done_base + c * 8);
+        asm.lw(IntReg::T2, IntReg::T1, 0);
+        asm.blt(IntReg::T2, need, spin);
+    }
+}
+
 /// The constant-zero FP register kernels keep (`fz`), used to seed
 /// accumulators without explicit zeroing (the CsrMV head unrolling).
 pub const FZ: FpReg = FpReg::FT8; // f28

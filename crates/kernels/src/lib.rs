@@ -5,8 +5,11 @@
 //! CsrMV, the further indirection applications of §III-C (codebook
 //! decoding, scatter/gather streaming), the sparse-sparse SpVV∩ /
 //! SpMSpV kernels on the index joiner ([`spmspv`]), row-wise Gustavson
-//! SpGEMM on the sparse-output subsystem ([`spgemm`]), and their
-//! multicore cluster versions ([`cluster_spmspv`], [`cluster_spgemm`]).
+//! SpGEMM on the sparse-output subsystem ([`spgemm`]), their multicore
+//! cluster versions ([`cluster_spmspv`], [`cluster_spgemm`]), and the
+//! multi-cluster tiled out-of-TCDM drivers ([`system_csrmv`],
+//! [`system_spgemm`]) that claim row panels from a shared main-memory
+//! work queue.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +26,8 @@ pub mod spmspv;
 pub mod spvv;
 pub mod stencil;
 pub mod streaming;
+pub mod system_csrmv;
+pub mod system_spgemm;
 pub mod variant;
 
 pub use cluster_csrmv::{
@@ -49,4 +54,8 @@ pub use spmspv::{
 pub use spvv::{build_spvv, run_spvv, SpvvAddrs, SpvvRun};
 pub use stencil::{run_stencil, SparseStencil, StencilRun};
 pub use streaming::{run_codebook_spvv, run_gather, run_scatter, StreamRun};
+pub use system_csrmv::{build_system_csrmv, run_system_csrmv, SystemCsrmvRun};
+pub use system_spgemm::{
+    build_system_spgemm, run_system_spgemm, SystemSpgemmPlan, SystemSpgemmRun,
+};
 pub use variant::{issr_accumulators, KernelIndex, Variant};

@@ -48,6 +48,9 @@ struct Transfer {
 struct Progress {
     row: u32,
     word: u32,
+    /// Remaining main-memory access-latency cycles before the first
+    /// beat moves (charged once per transfer touching main memory).
+    startup_left: u64,
 }
 
 /// Statistics for energy modelling and tests.
@@ -61,6 +64,9 @@ pub struct DmaStats {
     pub busy_cycles: u64,
     /// Transfers completed.
     pub transfers: u64,
+    /// Cycles an active transfer moved nothing because the main-memory
+    /// bandwidth budget was exhausted (multi-cluster contention).
+    pub stall_cycles: u64,
 }
 
 /// The DMA engine front end + mover.
@@ -202,16 +208,28 @@ impl Dma {
     ) {
         if self.active.is_none() {
             if let Some(t) = self.queue.pop_front() {
-                self.active = Some((t, Progress { row: 0, word: 0 }));
+                let touches_main = t.size > 0 && self.direction(&t) != Direction::Local;
+                let startup_left = if touches_main { main.dma_latency() } else { 0 };
+                self.active = Some((t, Progress { row: 0, word: 0, startup_left }));
             }
         }
         let Some((t, mut p)) = self.active else {
             return;
         };
+        if p.startup_left > 0 {
+            p.startup_left -= 1;
+            self.active = Some((t, p));
+            return;
+        }
         let dir = self.direction(&t);
         let words_per_row = t.size / 8;
+        if words_per_row == 0 {
+            // A zero-byte row moves nothing; the transfer retires at once.
+            p.row = t.reps;
+        }
         let n_banks = claimed.len().max(1);
         let mut moved = 0;
+        let mut denied = false;
         while moved < DMA_WORDS_PER_CYCLE && p.row < t.reps {
             let src = t.src + p.row * t.src_stride + p.word * 8;
             let dst = t.dst + p.row * t.dst_stride + p.word * 8;
@@ -226,7 +244,13 @@ impl Dma {
                 }
             }
             let data = match dir {
-                Direction::In => main.dma_read_word(src),
+                Direction::In => match main.try_dma_read_word(src) {
+                    Some(data) => data,
+                    None => {
+                        denied = true;
+                        break;
+                    }
+                },
                 Direction::Out | Direction::Local => tcdm.read_word(src),
             };
             match dir {
@@ -234,7 +258,12 @@ impl Dma {
                     tcdm.write_word(dst, data, 0xFF);
                     claimed[((dst / 8) as usize) % n_banks] = true;
                 }
-                Direction::Out => main.dma_write_word(dst, data),
+                Direction::Out => {
+                    if !main.try_dma_write_word(dst, data) {
+                        denied = true;
+                        break;
+                    }
+                }
             }
             if dir == Direction::Out || dir == Direction::Local {
                 claimed[((src / 8) as usize) % n_banks] = true;
@@ -256,6 +285,8 @@ impl Dma {
         }
         if moved > 0 {
             self.stats.busy_cycles += 1;
+        } else if denied {
+            self.stats.stall_cycles += 1;
         }
         if p.row >= t.reps {
             self.completed = self.completed.max(t.id + 1);
@@ -278,6 +309,22 @@ mod tests {
         (tcdm, main, dma)
     }
 
+    /// Ticks `dma` to completion with a fresh bandwidth budget per
+    /// cycle (what the cluster harness does), returning the cycles
+    /// taken.
+    fn drain(dma: &mut Dma, tcdm: &mut MemArray, main: &mut MainMemory) -> u64 {
+        let mut cycles = 0;
+        let mut claimed = vec![false; 32];
+        while dma.busy() {
+            main.begin_dma_cycle();
+            claimed.fill(false);
+            dma.tick(tcdm, main, &mut claimed, &[], false);
+            cycles += 1;
+            assert!(cycles < 10_000, "transfer did not finish");
+        }
+        cycles
+    }
+
     #[test]
     fn one_dimensional_transfer_in() {
         let (mut tcdm, mut main, mut dma) = setup();
@@ -288,14 +335,7 @@ mod tests {
         dma.set_dst(0x0010_0000);
         let id = dma.start(32 * 8, false);
         assert_eq!(id, 0);
-        let mut cycles = 0;
-        let mut claimed = vec![false; 32];
-        while dma.busy() {
-            claimed.fill(false);
-            dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
-            cycles += 1;
-            assert!(cycles < 100, "transfer did not finish");
-        }
+        let cycles = drain(&mut dma, &mut tcdm, &mut main);
         // 32 words at 8 words/cycle = 4 cycles.
         assert_eq!(cycles, 4);
         for i in 0..32u32 {
@@ -320,11 +360,7 @@ mod tests {
         dma.set_strides(64, 16);
         dma.set_reps(4);
         dma.start(16, true);
-        let mut claimed = vec![false; 32];
-        while dma.busy() {
-            claimed.fill(false);
-            dma.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
-        }
+        drain(&mut dma, &mut tcdm, &mut main);
         for row in 0..4u32 {
             assert_eq!(tcdm.load_u64(0x0010_0000 + row * 16), u64::from(row * 100));
             assert_eq!(tcdm.load_u64(0x0010_0000 + row * 16 + 8), u64::from(row * 100 + 1));
@@ -375,5 +411,163 @@ mod tests {
     fn unaligned_size_panics() {
         let (_, _, mut dma) = setup();
         dma.start(12, false);
+    }
+
+    /// A zero-byte transfer retires without moving a word (and without
+    /// hanging the engine on a row that can never advance).
+    #[test]
+    fn zero_size_transfer_completes_immediately() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        dma.start(0, false);
+        let cycles = drain(&mut dma, &mut tcdm, &mut main);
+        assert_eq!(cycles, 1);
+        assert_eq!(dma.completed(), 1);
+        let s = dma.stats();
+        assert_eq!((s.words_in, s.words_out), (0, 0));
+    }
+
+    /// `dmrep 0` clamps to one repetition: the 2D transfer degenerates
+    /// to a single row instead of moving nothing (or wrapping).
+    #[test]
+    fn zero_reps_clamp_to_one_row() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        main.array_mut().store_u64(0x8000_0000, 0xBEEF);
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        dma.set_strides(64, 8);
+        dma.set_reps(0);
+        dma.start(8, true);
+        drain(&mut dma, &mut tcdm, &mut main);
+        assert_eq!(tcdm.load_u64(0x0010_0000), 0xBEEF);
+        assert_eq!(dma.stats().words_in, 1);
+    }
+
+    /// Single-word rows: the strided gather advances rows after every
+    /// word and lands each at its strided destination.
+    #[test]
+    fn two_dimensional_single_word_rows() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        for row in 0..5u32 {
+            main.array_mut().store_u64(0x8000_0000 + row * 40, u64::from(row) + 7);
+        }
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        dma.set_strides(40, 8);
+        dma.set_reps(5);
+        dma.start(8, true);
+        drain(&mut dma, &mut tcdm, &mut main);
+        for row in 0..5u32 {
+            assert_eq!(tcdm.load_u64(0x0010_0000 + row * 8), u64::from(row) + 7);
+        }
+        assert_eq!(dma.stats().words_in, 5);
+    }
+
+    /// TCDM → TCDM local copies never touch main memory (no wide beats,
+    /// no budget draw) and count both word directions.
+    #[test]
+    fn local_copy_stays_inside_the_tcdm() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        for i in 0..16u32 {
+            tcdm.store_u64(0x0010_0000 + i * 8, u64::from(i) * 3);
+        }
+        dma.set_src(0x0010_0000);
+        dma.set_dst(0x0012_0000);
+        dma.start(16 * 8, false);
+        drain(&mut dma, &mut tcdm, &mut main);
+        for i in 0..16u32 {
+            assert_eq!(tcdm.load_u64(0x0012_0000 + i * 8), u64::from(i) * 3);
+        }
+        assert_eq!(main.wide_beats(), 0, "local copies must bypass main memory");
+        let s = dma.stats();
+        assert_eq!((s.words_in, s.words_out), (16, 16));
+    }
+
+    /// A transfer whose last word lands exactly at the TCDM top stays
+    /// classified as TCDM-bound for its entire extent.
+    #[test]
+    fn transfer_ending_exactly_at_tcdm_top() {
+        let (mut tcdm, mut main, mut dma) = setup();
+        let top = 0x0010_0000 + 0x4_0000;
+        for i in 0..4u32 {
+            main.array_mut().store_u64(0x8000_0100 + i * 8, u64::from(i) + 40);
+        }
+        dma.set_src(0x8000_0100);
+        dma.set_dst(top - 32);
+        dma.start(32, false);
+        drain(&mut dma, &mut tcdm, &mut main);
+        for i in 0..4u32 {
+            assert_eq!(tcdm.load_u64(top - 32 + i * 8), u64::from(i) + 40);
+        }
+        assert_eq!(dma.stats().words_in, 4, "all four words are an inbound TCDM transfer");
+    }
+
+    /// The configured per-transfer access latency delays the first beat
+    /// of main-memory transfers; local copies are exempt.
+    #[test]
+    fn dma_latency_charges_once_per_main_transfer() {
+        let (mut tcdm, _, mut dma) = setup();
+        let mut main = MainMemory::new(0x8000_0000, 1 << 20).with_dma_latency(3);
+        dma.set_src(0x8000_0000);
+        dma.set_dst(0x0010_0000);
+        dma.start(8 * 8, false);
+        // 3 startup cycles + 1 move cycle.
+        assert_eq!(drain(&mut dma, &mut tcdm, &mut main), 4);
+        tcdm.store_u64(0x0010_0000, 5);
+        dma.set_src(0x0010_0000);
+        dma.set_dst(0x0011_0000);
+        dma.start(8, false);
+        assert_eq!(drain(&mut dma, &mut tcdm, &mut main), 1, "local copies skip the latency");
+    }
+
+    /// Two engines sharing one memory each see roughly half the
+    /// throughput: the bandwidth budget arbitrates, denials are counted.
+    #[test]
+    fn competing_streams_halve_throughput() {
+        let words = 64u32;
+        let solo = {
+            let (mut tcdm, mut main, mut dma) = setup();
+            dma.set_src(0x8000_0000);
+            dma.set_dst(0x0010_0000);
+            dma.start(words * 8, false);
+            drain(&mut dma, &mut tcdm, &mut main)
+        };
+        let (mut tcdm, mut main, _) = setup();
+        let mut tcdm_b = MemArray::new(0x0010_0000, 0x4_0000);
+        let mut a = Dma::new(0x0010_0000, 0x4_0000);
+        let mut b = Dma::new(0x0010_0000, 0x4_0000);
+        a.set_src(0x8000_0000);
+        a.set_dst(0x0010_0000);
+        a.start(words * 8, false);
+        b.set_src(0x8008_0000);
+        b.set_dst(0x0010_0000);
+        b.start(words * 8, false);
+        let mut cycles = 0u64;
+        let mut claimed = vec![false; 32];
+        while a.busy() || b.busy() {
+            main.begin_dma_cycle();
+            claimed.fill(false);
+            // Rotate the grant order (the system's round-robin).
+            if cycles % 2 == 0 {
+                a.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+                b.tick(&mut tcdm_b, &mut main, &mut claimed, &[], false);
+            } else {
+                b.tick(&mut tcdm_b, &mut main, &mut claimed, &[], false);
+                a.tick(&mut tcdm, &mut main, &mut claimed, &[], false);
+            }
+            cycles += 1;
+            assert!(cycles < 10_000, "contended transfers did not finish");
+        }
+        assert!(
+            cycles >= 2 * solo - 1,
+            "two streams over one port must each see ~half throughput \
+             (solo {solo}, contended {cycles})"
+        );
+        assert!(main.stats.dma_denied > 0, "contention must be counted");
+        assert!(
+            a.stats().stall_cycles + b.stats().stall_cycles > 0,
+            "denied engines must record stalls"
+        );
     }
 }

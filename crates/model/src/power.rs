@@ -57,9 +57,9 @@ pub struct EnergyBreakdown {
 }
 
 impl PowerModel {
-    /// Evaluates a cluster run.
-    #[must_use]
-    pub fn evaluate(&self, summary: &ClusterSummary) -> EnergyBreakdown {
+    /// Dynamic energy of one cluster's activity counters — the shared
+    /// five-term formula of the cluster and system evaluations.
+    fn cluster_dynamic_pj(&self, summary: &ClusterSummary) -> f64 {
         let core_ops: u64 = summary.worker_metrics.iter().map(|m| m.instret).sum::<u64>()
             + summary.dmcc_metrics.instret;
         let fpu_ops: u64 = summary.worker_metrics.iter().map(|m| m.roi.fpu_ops).sum();
@@ -69,22 +69,47 @@ impl PowerModel {
             .flatten()
             .map(|l| l.data_reads + l.data_writes + l.idx_words)
             .sum();
-        let tcdm = summary.tcdm_stats.grants;
         let dma_words = summary.dma_stats.words_in + summary.dma_stats.words_out;
-        let dynamic_pj = self.core_op_pj * core_ops as f64
+        self.core_op_pj * core_ops as f64
             + self.fpu_op_pj * fpu_ops as f64
-            + self.tcdm_access_pj * tcdm as f64
+            + self.tcdm_access_pj * summary.tcdm_stats.grants as f64
             + self.stream_elem_pj * stream_elems as f64
-            + self.dma_word_pj * dma_words as f64;
-        let cycles = summary.cycles.max(1) as f64;
-        let static_pj = self.static_mw / self.freq_ghz * cycles;
+            + self.dma_word_pj * dma_words as f64
+    }
+
+    fn breakdown(
+        &self,
+        dynamic_pj: f64,
+        cycles: u64,
+        static_clusters: usize,
+        fmadds: u64,
+    ) -> EnergyBreakdown {
+        let cycles = cycles.max(1) as f64;
+        let static_pj = self.static_mw / self.freq_ghz * cycles * static_clusters.max(1) as f64;
         let total_pj = dynamic_pj + static_pj;
-        let fmadds = summary.total_fmadds().max(1) as f64;
         EnergyBreakdown {
             total_nj: total_pj / 1000.0,
             avg_power_mw: total_pj / cycles * self.freq_ghz,
-            pj_per_fmadd: total_pj / fmadds,
+            pj_per_fmadd: total_pj / fmadds.max(1) as f64,
         }
+    }
+
+    /// Evaluates a multi-cluster system run: per-cluster dynamic energy
+    /// from each [`ClusterSummary`]'s activity counters (DMA words
+    /// charge the shared main-memory interface), plus the leakage floor
+    /// paid once per cluster over the *system* wall clock — contention
+    /// lengthens the run, so denied bandwidth shows up as
+    /// leakage-cycles, exactly how it hurts real silicon.
+    #[must_use]
+    pub fn evaluate_system(&self, summary: &issr_system::system::SystemSummary) -> EnergyBreakdown {
+        let dynamic_pj: f64 = summary.clusters.iter().map(|c| self.cluster_dynamic_pj(c)).sum();
+        self.breakdown(dynamic_pj, summary.cycles, summary.clusters.len(), summary.total_fmadds())
+    }
+
+    /// Evaluates a cluster run.
+    #[must_use]
+    pub fn evaluate(&self, summary: &ClusterSummary) -> EnergyBreakdown {
+        self.breakdown(self.cluster_dynamic_pj(summary), summary.cycles, 1, summary.total_fmadds())
     }
 }
 
@@ -116,6 +141,30 @@ mod tests {
         // ...but finishes so much faster that energy/fmadd drops ~2-3x.
         let gain = pb.pj_per_fmadd / pi.pj_per_fmadd;
         assert!(gain > 1.7 && gain < 3.5, "efficiency gain {gain:.2}");
+    }
+
+    /// System-level evaluation: two clusters draw more average power
+    /// than one (twice the leakage plus concurrent activity) on the
+    /// same workload, while energy per multiply stays in a sane band —
+    /// the scale-out tradeoff the scaling bench reports.
+    #[test]
+    fn system_energy_scales_with_clusters() {
+        use issr_kernels::system_csrmv::run_system_csrmv;
+        let mut rng = gen::rng(909);
+        let m = gen::csr_uniform::<u16>(&mut rng, 400, 256, 16_000);
+        let x = gen::dense_vector(&mut rng, 256);
+        let model = PowerModel::default();
+        let one = run_system_csrmv(Variant::Issr, &m, &x, 1).expect("1-cluster run");
+        let two = run_system_csrmv(Variant::Issr, &m, &x, 2).expect("2-cluster run");
+        let e1 = model.evaluate_system(&one.summary);
+        let e2 = model.evaluate_system(&two.summary);
+        assert!(e2.avg_power_mw > e1.avg_power_mw, "two clusters draw more power");
+        assert!(two.summary.cycles < one.summary.cycles, "two clusters finish sooner");
+        let ratio = e2.pj_per_fmadd / e1.pj_per_fmadd;
+        assert!(
+            ratio > 0.8 && ratio < 2.0,
+            "scale-out energy per multiply out of band ({ratio:.2})"
+        );
     }
 
     #[test]

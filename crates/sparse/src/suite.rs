@@ -51,6 +51,24 @@ impl SuiteEntry {
         self.nnz as f64 / self.nrows as f64
     }
 
+    /// CSR footprint of the **full-size** stand-in in bytes for index
+    /// width `I`: 4-byte row pointers, `I`-byte column indices, 8-byte
+    /// values. The honest input size of the out-of-TCDM system paths.
+    #[must_use]
+    pub fn csr_bytes<I: IndexValue>(&self) -> u64 {
+        (self.nrows as u64 + 1) * 4 + self.nnz as u64 * (u64::from(I::BYTES) + 8)
+    }
+
+    /// Whether the full-size stand-in fits a scratchpad of
+    /// `tcdm_bytes`. Entries that do not are exactly the ones the
+    /// multi-cluster system kernels exist for — the single-cluster
+    /// sweeps clamp them to principal windows instead
+    /// ([`principal_window`]).
+    #[must_use]
+    pub fn fits_tcdm<I: IndexValue>(&self, tcdm_bytes: u64) -> bool {
+        self.csr_bytes::<I>() <= tcdm_bytes
+    }
+
     /// Materializes the stand-in with a deterministic per-name seed.
     #[must_use]
     pub fn build<I: IndexValue>(&self) -> CsrMatrix<I> {
@@ -168,6 +186,17 @@ pub fn by_name(name: &str) -> Option<SuiteEntry> {
     suite().into_iter().find(|e| e.name == name)
 }
 
+/// The leading `k`-by-`k` principal submatrix — the windowed accessor
+/// the TCDM-resident sweeps clamp oversized stand-ins with (the
+/// full-size builds stay available through [`SuiteEntry::build`]).
+#[must_use]
+pub fn principal_window<I: IndexValue>(m: &CsrMatrix<I>, k: usize) -> CsrMatrix<I> {
+    let triplets: Vec<(usize, usize, f64)> = (0..k.min(m.nrows()))
+        .flat_map(|r| m.row(r).filter(|&(c, _)| c < k).map(move |(c, v)| (r, c, v)))
+        .collect();
+    CsrMatrix::from_triplets(k, k, &triplets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +237,39 @@ mod tests {
         let a: CsrMatrix<u32> = e.build();
         let b: CsrMatrix<u32> = e.build();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_size_metadata_is_honest() {
+        // The paper's TCDM is 256 KiB; several stand-ins exceed it at
+        // full size — the inputs the out-of-TCDM system kernels take.
+        let tcdm = 256 * 1024;
+        let psmigr = by_name("psmigr_1").unwrap();
+        assert!(!psmigr.fits_tcdm::<u16>(tcdm), "psmigr_1 must exceed the TCDM");
+        assert!(by_name("ragusa18").unwrap().fits_tcdm::<u16>(tcdm));
+        // The byte formula matches the materialized matrix exactly.
+        let e = by_name("g11").unwrap();
+        let m: CsrMatrix<u16> = e.build();
+        let bytes = (m.nrows() as u64 + 1) * 4 + m.nnz() as u64 * (2 + 8);
+        assert_eq!(e.csr_bytes::<u16>(), bytes);
+        assert!(e.csr_bytes::<u32>() > e.csr_bytes::<u16>());
+    }
+
+    #[test]
+    fn principal_window_clamps_shape_and_content() {
+        let e = by_name("g7").unwrap();
+        let m: CsrMatrix<u16> = e.build();
+        let w = principal_window(&m, 100);
+        assert_eq!((w.nrows(), w.ncols()), (100, 100));
+        assert!(w.nnz() < m.nnz());
+        for r in 0..100 {
+            let full: Vec<_> = m.row(r).filter(|&(c, _)| c < 100).collect();
+            let win: Vec<_> = w.row(r).collect();
+            assert_eq!(full, win, "row {r}");
+        }
+        // A window at least as large as the matrix is the identity.
+        let id = principal_window(&m, m.nrows());
+        assert_eq!(id.nnz(), m.nnz());
     }
 
     #[test]

@@ -45,3 +45,4 @@ pub use issr_mem as mem;
 pub use issr_model as model;
 pub use issr_snitch as snitch;
 pub use issr_sparse as sparse;
+pub use issr_system as system;
