@@ -1,0 +1,224 @@
+//! CI baseline checker for the `BENCH_*.json` telemetry.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--tolerance 0.25]
+//! ```
+//!
+//! Validates that the fresh file a bench binary just wrote (1) carries
+//! the shared envelope (`schema_version`, `bench`, `mode`, `results`),
+//! (2) keeps its attribution invariants — every per-unit stall-cause
+//! breakdown sums to the cycle count it covers — and (3) has not
+//! regressed any cycle counter beyond the tolerance relative to the
+//! committed baseline. Structural drift (sections, rows or units
+//! appearing/disappearing) also fails: that is a schema change and the
+//! baseline must be regenerated deliberately.
+//!
+//! Exits non-zero with one line per violation — the CI gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use issr_bench::telemetry::SCHEMA_VERSION;
+use issr_trace::{Json, StallCause};
+
+/// Integer fields compared against the baseline within the tolerance.
+const CYCLE_KEYS: [&str; 9] = [
+    "cycles",
+    "elapsed",
+    "base16",
+    "issr16",
+    "issr16_single",
+    "base32",
+    "issr32",
+    "base_cycles",
+    "issr_cycles",
+];
+
+fn load(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: read: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: parse: {e}"))
+}
+
+fn check_envelope(doc: &Json, path: &str, errors: &mut Vec<String>) {
+    match doc.get("schema_version").and_then(Json::as_int) {
+        Some(SCHEMA_VERSION) => {}
+        other => {
+            errors.push(format!("{path}: schema_version {other:?}, expected {SCHEMA_VERSION}"))
+        }
+    }
+    if doc.get("bench").and_then(Json::as_str).is_none() {
+        errors.push(format!("{path}: missing string field 'bench'"));
+    }
+    if doc.get("mode").and_then(Json::as_str).is_none() {
+        errors.push(format!("{path}: missing string field 'mode'"));
+    }
+    if !matches!(doc.get("results"), Some(Json::Obj(_))) {
+        errors.push(format!("{path}: missing object field 'results'"));
+    }
+}
+
+/// The sum of a stall-cause breakdown object, or `None` if `v` is not
+/// one (a breakdown carries exactly the ten cause labels).
+fn breakdown_total(v: &Json) -> Option<i64> {
+    let Json::Obj(fields) = v else { return None };
+    if fields.len() != StallCause::COUNT {
+        return None;
+    }
+    let mut total = 0i64;
+    for cause in StallCause::ALL {
+        total += v.get(cause.label())?.as_int()?;
+    }
+    Some(total)
+}
+
+/// Walks the document checking the attribution invariants:
+/// an object with `roi_cycles` + `units` has every unit breakdown
+/// summing to `roi_cycles`; an object with `elapsed` + `dma` has the
+/// DMA breakdown summing to `elapsed`.
+fn check_attribution(v: &Json, path: &str, errors: &mut Vec<String>) {
+    if let (Some(roi), Some(Json::Obj(units))) =
+        (v.get("roi_cycles").and_then(Json::as_int), v.get("units"))
+    {
+        for (name, unit) in units {
+            match breakdown_total(unit) {
+                Some(total) if total == roi => {}
+                Some(total) => errors.push(format!(
+                    "{path}/units/{name}: breakdown sums to {total}, roi_cycles is {roi}"
+                )),
+                None => errors.push(format!("{path}/units/{name}: not a stall-cause breakdown")),
+            }
+        }
+    }
+    if let (Some(elapsed), Some(dma)) = (v.get("elapsed").and_then(Json::as_int), v.get("dma")) {
+        match breakdown_total(dma) {
+            Some(total) if total == elapsed => {}
+            Some(total) => {
+                errors.push(format!("{path}/dma: breakdown sums to {total}, elapsed is {elapsed}"))
+            }
+            None => errors.push(format!("{path}/dma: not a stall-cause breakdown")),
+        }
+    }
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                check_attribution(child, &format!("{path}/{k}"), errors);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                check_attribution(child, &format!("{path}/{i}"), errors);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Walks baseline and fresh in parallel: structure must match, and any
+/// [`CYCLE_KEYS`] integer may drift by at most `tol` relative to the
+/// baseline.
+fn compare(base: &Json, fresh: &Json, tol: f64, path: &str, errors: &mut Vec<String>) {
+    match (base, fresh) {
+        (Json::Obj(bf), Json::Obj(_)) => {
+            for (k, bv) in bf {
+                let p = format!("{path}/{k}");
+                let Some(fv) = fresh.get(k) else {
+                    errors.push(format!("{p}: present in baseline, missing in fresh file"));
+                    continue;
+                };
+                if CYCLE_KEYS.contains(&k.as_str()) {
+                    if let (Some(b), Some(f)) = (bv.as_int(), fv.as_int()) {
+                        let drift = (f - b).abs() as f64;
+                        if b > 0 && drift > tol * b as f64 {
+                            errors.push(format!(
+                                "{p}: {f} vs baseline {b} (drift {:.1}% > {:.0}%)",
+                                100.0 * drift / b as f64,
+                                100.0 * tol
+                            ));
+                        }
+                        continue;
+                    }
+                }
+                compare(bv, fv, tol, &p, errors);
+            }
+            if let Json::Obj(ff) = fresh {
+                for (k, _) in ff {
+                    if base.get(k).is_none() {
+                        errors.push(format!(
+                            "{path}/{k}: present in fresh file, missing in baseline \
+                             (regenerate the baseline)"
+                        ));
+                    }
+                }
+            }
+        }
+        (Json::Arr(bi), Json::Arr(fi)) => {
+            if bi.len() != fi.len() {
+                errors.push(format!("{path}: {} rows vs baseline {}", fi.len(), bi.len()));
+                return;
+            }
+            for (i, (bv, fv)) in bi.iter().zip(fi.iter()).enumerate() {
+                compare(bv, fv, tol, &format!("{path}/{i}"), errors);
+            }
+        }
+        // Scalars other than the gated cycle keys (floats, strings,
+        // free-running counters) may drift freely.
+        _ => {}
+    }
+}
+
+fn run() -> Result<(), Vec<String>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tol = 0.25f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().ok_or_else(|| vec!["--tolerance requires a value".to_owned()])?;
+            tol = v.parse().map_err(|e| vec![format!("--tolerance {v}: {e}")])?;
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        return Err(vec![
+            "usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.25]".to_owned()
+        ]);
+    };
+    let baseline = load(baseline_path).map_err(|e| vec![e])?;
+    let fresh = load(fresh_path).map_err(|e| vec![e])?;
+    let mut errors = Vec::new();
+    check_envelope(&baseline, baseline_path, &mut errors);
+    check_envelope(&fresh, fresh_path, &mut errors);
+    for key in ["bench", "mode"] {
+        let b = baseline.get(key).and_then(Json::as_str);
+        let f = fresh.get(key).and_then(Json::as_str);
+        if b != f {
+            errors.push(format!("{key} mismatch: baseline {b:?}, fresh {f:?}"));
+        }
+    }
+    check_attribution(&fresh, fresh_path, &mut errors);
+    check_attribution(&baseline, baseline_path, &mut errors);
+    compare(&baseline, &fresh, tol, "", &mut errors);
+    if errors.is_empty() {
+        println!(
+            "bench_check: {fresh_path} ok against {baseline_path} (tolerance {:.0}%)",
+            100.0 * tol
+        );
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("bench_check: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,7 +1,12 @@
 //! Regenerates Fig. 4a: single-CC SpVV FPU utilization vs nnz.
+//!
+//! Pass `--json <path>` to also write the rows as `BENCH_fig4a.json`.
 
 use issr_bench::figures::{default_nnz_sweep, fig4a};
 use issr_bench::report::markdown_table;
+use issr_bench::telemetry::{self, Telemetry};
+use issr_trace::json::obj;
+use issr_trace::Json;
 
 fn main() {
     let rows = fig4a(&default_nnz_sweep());
@@ -27,4 +32,27 @@ fn main() {
             &table
         )
     );
+    if let Some(path) = telemetry::json_arg() {
+        let mut t = Telemetry::new("fig4a", "full");
+        t.push(
+            "utilization",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("nnz", Json::from(r.nnz)),
+                            ("base", Json::Float(r.base)),
+                            ("ssr", Json::Float(r.ssr)),
+                            ("issr32", Json::Float(r.issr32)),
+                            ("issr32_m", Json::Float(r.issr32_m)),
+                            ("issr16", Json::Float(r.issr16)),
+                            ("issr16_m", Json::Float(r.issr16_m)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        t.write(&path).expect("write BENCH json");
+        println!("wrote {}", path.display());
+    }
 }

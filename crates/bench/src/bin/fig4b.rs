@@ -1,7 +1,12 @@
 //! Regenerates Fig. 4b: single-CC CsrMV speedup over BASE vs nnz/row.
+//!
+//! Pass `--json <path>` to also write the rows as `BENCH_fig4b.json`.
 
 use issr_bench::figures::fig4b;
 use issr_bench::report::markdown_table;
+use issr_bench::telemetry::{self, Telemetry};
+use issr_trace::json::obj;
+use issr_trace::Json;
 
 fn main() {
     let points = [1, 2, 4, 8, 16, 24, 32, 64, 128, 256];
@@ -19,4 +24,24 @@ fn main() {
         .collect();
     println!("Fig. 4b — CC CsrMV speedup over BASE (paper limits: ISSR-16 7.2x, ISSR-32 6.0x; crossover ~nnz 20)\n");
     println!("{}", markdown_table(&["nnz/row", "SSR", "ISSR-32", "ISSR-16"], &table));
+    if let Some(path) = telemetry::json_arg() {
+        let mut t = Telemetry::new("fig4b", "full");
+        t.push(
+            "speedup",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("row_nnz", Json::from(r.row_nnz)),
+                            ("ssr", Json::Float(r.ssr)),
+                            ("issr32", Json::Float(r.issr32)),
+                            ("issr16", Json::Float(r.issr16)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        t.write(&path).expect("write BENCH json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,8 +1,13 @@
 //! Regenerates Fig. 4c: cluster CsrMV speedup (ISSR-16 over BASE).
+//!
+//! Pass `--json <path>` to also write the rows as `BENCH_fig4c.json`.
 
 use issr_bench::figures::fig4c;
 use issr_bench::report::markdown_table;
+use issr_bench::telemetry::{self, Telemetry};
 use issr_compare::base_core_equivalent;
+use issr_trace::json::obj;
+use issr_trace::Json;
 
 fn main() {
     let points = [1, 2, 4, 8, 16, 32, 64, 128];
@@ -34,4 +39,27 @@ fn main() {
         peak,
         base_core_equivalent(8.0, peak)
     );
+    if let Some(path) = telemetry::json_arg() {
+        let mut t = Telemetry::new("fig4c", "full");
+        t.push(
+            "speedup",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("row_nnz", Json::from(r.row_nnz)),
+                            ("base_cycles", Json::from(r.base_cycles)),
+                            ("issr_cycles", Json::from(r.issr_cycles)),
+                            ("speedup", Json::Float(r.speedup)),
+                            ("peak_util", Json::Float(r.peak_util)),
+                            ("cluster_util", Json::Float(r.cluster_util)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        t.push("peak_speedup", Json::Float(peak));
+        t.write(&path).expect("write BENCH json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,7 +1,12 @@
 //! Regenerates Fig. 4d: cluster CsrMV energy per suite matrix.
+//!
+//! Pass `--json <path>` to also write the rows as `BENCH_fig4d.json`.
 
 use issr_bench::figures::fig4d;
 use issr_bench::report::markdown_table;
+use issr_bench::telemetry::{self, Telemetry};
+use issr_trace::json::obj;
+use issr_trace::Json;
 
 fn main() {
     let cap: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120_000);
@@ -28,4 +33,27 @@ fn main() {
             &table
         )
     );
+    if let Some(path) = telemetry::json_arg() {
+        let mut t = Telemetry::new("fig4d", "full");
+        t.push(
+            "energy",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("name", Json::from(r.name.as_str())),
+                            ("nnz", Json::from(r.nnz)),
+                            ("base_mw", Json::Float(r.base_mw)),
+                            ("issr_mw", Json::Float(r.issr_mw)),
+                            ("base_pj", Json::Float(r.base_pj)),
+                            ("issr_pj", Json::Float(r.issr_pj)),
+                            ("gain", Json::Float(r.gain)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        t.write(&path).expect("write BENCH json");
+        println!("wrote {}", path.display());
+    }
 }

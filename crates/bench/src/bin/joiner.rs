@@ -1,12 +1,64 @@
 //! Reports the sparse-sparse index-joiner subsystem: SpVV∩ and SpMSpV
 //! cycle counts, joiner vs. software two-pointer merge, across match
-//! densities.
+//! densities, plus the ROI stall-cause attribution of a representative
+//! joiner run.
+//!
+//! Pass `--smoke` for a reduced sweep (the CI baseline run) and
+//! `--json <path>` to also write the rows as `BENCH_joiner.json`.
 
-use issr_bench::figures::{default_overlap_sweep, joiner_spmspv, joiner_spvv};
+use issr_bench::figures::{
+    default_overlap_sweep, joiner_spmspv, joiner_spvv, spvv_attribution, JoinerSpmspvRow,
+    JoinerSpvvRow,
+};
 use issr_bench::report::markdown_table;
+use issr_bench::telemetry::{self, cc_attr_json, Telemetry};
+use issr_trace::json::obj;
+use issr_trace::{breakdown_table, Json};
+
+fn spvv_json(rows: &[JoinerSpvvRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("overlap", Json::Float(r.overlap)),
+                    ("base16", Json::from(r.base16)),
+                    ("issr16", Json::from(r.issr16)),
+                    ("speedup16", Json::Float(r.speedup16())),
+                    ("base32", Json::from(r.base32)),
+                    ("issr32", Json::from(r.issr32)),
+                    ("speedup32", Json::Float(r.speedup32())),
+                    ("joiner_util", Json::Float(r.joiner_util)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn spmspv_json(rows: &[JoinerSpmspvRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("x_nnz", Json::from(r.x_nnz)),
+                    ("base16", Json::from(r.base16)),
+                    ("issr16", Json::from(r.issr16)),
+                    ("speedup16", Json::Float(r.speedup16())),
+                    ("base32", Json::from(r.base32)),
+                    ("issr32", Json::from(r.issr32)),
+                    ("speedup32", Json::Float(r.speedup32())),
+                ])
+            })
+            .collect(),
+    )
+}
 
 fn main() {
-    let spvv = joiner_spvv(&default_overlap_sweep());
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut t = Telemetry::new("joiner", if smoke { "smoke" } else { "full" });
+    let overlaps: Vec<f64> = if smoke { vec![0.0, 0.5, 1.0] } else { default_overlap_sweep() };
+    let x_nnzs: Vec<usize> = if smoke { vec![64, 256] } else { vec![16, 64, 256, 1024] };
+
+    let spvv = joiner_spvv(&overlaps);
     let table: Vec<Vec<String>> = spvv
         .iter()
         .map(|r| {
@@ -39,8 +91,9 @@ fn main() {
             &table
         )
     );
+    t.push("spvv", spvv_json(&spvv));
 
-    let spmspv = joiner_spmspv(&[16, 64, 256, 1024]);
+    let spmspv = joiner_spmspv(&x_nnzs);
     let table: Vec<Vec<String>> = spmspv
         .iter()
         .map(|r| {
@@ -63,4 +116,17 @@ fn main() {
             &table
         )
     );
+    t.push("spmspv", spmspv_json(&spmspv));
+
+    // Where the cycles of a joiner-fed run go: ROI attribution of the
+    // half-overlap SpVV∩ run (ISSR-16).
+    let attr = spvv_attribution(0.5);
+    println!("stall-cause attribution — SpVV∩ at 0.5 overlap (ISSR-16)\n");
+    println!("{}", breakdown_table(&attr.rows("")));
+    t.push("spvv_attribution", cc_attr_json(&attr));
+
+    if let Some(path) = telemetry::json_arg() {
+        t.write(&path).expect("write BENCH json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -14,12 +14,59 @@
 //! power model's energy table for the sparse-output kernel.
 
 use issr_bench::figures::{
-    cluster_spgemm_report, default_spgemm_regimes, smoke_spgemm_regimes, spgemm_recovery_report,
-    spgemm_suite_sweep, spgemm_sweep,
+    cluster_spgemm_report, default_spgemm_regimes, smoke_spgemm_regimes, spgemm_attribution,
+    spgemm_recovery_report, spgemm_suite_sweep, spgemm_sweep, SpgemmRow, SpgemmSuiteRow,
 };
-use issr_bench::report::markdown_table;
+use issr_bench::report::{markdown_table, ratio};
+use issr_bench::telemetry::{self, cc_attr_json, Telemetry};
+use issr_trace::json::obj;
+use issr_trace::{breakdown_table, Json};
 
-fn suite_energy_table() {
+fn regimes_json(rows: &[SpgemmRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("label", Json::from(r.regime.label)),
+                    ("base16", Json::from(r.base16)),
+                    ("issr16", Json::from(r.issr16)),
+                    ("speedup16", Json::Float(r.speedup16())),
+                    ("issr16_single", Json::from(r.issr16_single)),
+                    ("base32", Json::from(r.base32)),
+                    ("issr32", Json::from(r.issr32)),
+                    ("speedup32", Json::Float(r.speedup32())),
+                    ("spacc_peak_nnz", Json::from(r.spacc.peak_nnz)),
+                    ("spacc_overlap_cycles", Json::from(r.spacc.overlap_cycles)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn suite_json(rows: &[SpgemmSuiteRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("name", Json::from(r.name.as_str())),
+                    ("window", Json::from(r.window)),
+                    ("nnz", Json::from(r.nnz)),
+                    ("c_nnz", Json::from(r.c_nnz)),
+                    ("macs", Json::from(r.macs)),
+                    ("base_cycles", Json::from(r.base_cycles)),
+                    ("issr_cycles", Json::from(r.issr_cycles)),
+                    ("base_mw", Json::Float(r.base_mw)),
+                    ("issr_mw", Json::Float(r.issr_mw)),
+                    ("base_pj_per_mac", Json::Float(r.base_pj_per_mac)),
+                    ("issr_pj_per_mac", Json::Float(r.issr_pj_per_mac)),
+                    ("gain", Json::Float(r.gain)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn suite_energy_table(t: &mut Telemetry) {
     let names: Vec<String> =
         issr_sparse::suite::suite().into_iter().map(|e| e.name.to_owned()).collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -68,12 +115,26 @@ fn suite_energy_table() {
             r.gain
         );
     }
+    t.push("suite_energy", suite_json(&rows));
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    if std::env::args().any(|a| a == "--suite") {
-        suite_energy_table();
+    let suite = std::env::args().any(|a| a == "--suite");
+    let mode = if suite {
+        "suite"
+    } else if smoke {
+        "smoke"
+    } else {
+        "full"
+    };
+    let mut t = Telemetry::new("spgemm", mode);
+    if suite {
+        suite_energy_table(&mut t);
+        if let Some(path) = telemetry::json_arg() {
+            t.write(&path).expect("write BENCH json");
+            println!("wrote {}", path.display());
+        }
         return;
     }
     let regimes = if smoke { smoke_spgemm_regimes() } else { default_spgemm_regimes() };
@@ -115,6 +176,7 @@ fn main() {
             ]
         })
         .collect();
+    t.push("regimes", regimes_json(&rows));
     println!("SpGEMM — row-wise Gustavson, SpAcc subsystem vs software merge\n");
     println!(
         "{}",
@@ -161,7 +223,10 @@ fn main() {
                 r.issr16_single.to_string(),
                 r.issr16.to_string(),
                 r.double_buffer_gain().to_string(),
-                format!("{:.1}%", 100.0 * r.double_buffer_gain() as f64 / r.issr16_single as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * ratio(r.double_buffer_gain() as f64, r.issr16_single as f64)
+                ),
                 r.spacc.overlap_cycles.to_string(),
                 r.spacc.port_shared.to_string(),
             ]
@@ -185,6 +250,16 @@ fn main() {
         rec.initial_cap, rec.final_cap, rec.retries, rec.cycles, rec.peak_nnz,
     );
     assert!(rec.retries >= 1, "the overflow-recovery regime must trap and recover");
+    t.push(
+        "recovery",
+        obj(vec![
+            ("initial_cap", Json::from(u64::from(rec.initial_cap))),
+            ("final_cap", Json::from(u64::from(rec.final_cap))),
+            ("retries", Json::from(u64::from(rec.retries))),
+            ("cycles", Json::from(rec.cycles)),
+            ("peak_nnz", Json::from(rec.peak_nnz)),
+        ]),
+    );
 
     let cluster = cluster_spgemm_report(regimes[regimes.len() - 1]);
     println!(
@@ -192,7 +267,7 @@ fn main() {
         cluster.regime.label,
         cluster.base_cycles,
         cluster.issr_cycles,
-        cluster.base_cycles as f64 / cluster.issr_cycles as f64,
+        ratio(cluster.base_cycles as f64, cluster.issr_cycles as f64),
     );
     let table: Vec<Vec<String>> = cluster
         .spacc
@@ -218,4 +293,24 @@ fn main() {
             &table
         )
     );
+    t.push(
+        "cluster",
+        obj(vec![
+            ("label", Json::from(cluster.regime.label)),
+            ("base_cycles", Json::from(cluster.base_cycles)),
+            ("issr_cycles", Json::from(cluster.issr_cycles)),
+        ]),
+    );
+
+    // Where the cycles of an SpAcc-backed run go: ROI attribution of
+    // the last regime's ISSR-16 run.
+    let attr = spgemm_attribution(regimes[regimes.len() - 1]);
+    println!("stall-cause attribution — {} regime (ISSR-16)\n", regimes[regimes.len() - 1].label);
+    println!("{}", breakdown_table(&attr.rows("")));
+    t.push("attribution", cc_attr_json(&attr));
+
+    if let Some(path) = telemetry::json_arg() {
+        t.write(&path).expect("write BENCH json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -14,12 +14,23 @@
 //! * full mode: ≥ 1.5× strong-scaling speedup at 4 clusters on the
 //!   full-size (larger-than-TCDM) suite matrix, with contention
 //!   visible in the shared-interface counters.
+//!
+//! The run ends with an instrumented 2-cluster CsrMV: its per-cluster
+//! stall-cause attribution is printed as a breakdown table, and with
+//! `--json <path>` the whole report lands in `BENCH_system.json` plus a
+//! Chrome trace-event export (`<path stem>.trace.json`, loadable at
+//! `ui.perfetto.dev`) with one track per hart, stream lane and DMA
+//! engine.
 
 use issr_bench::figures::{
-    system_csrmv_scaling, system_csrmv_weak_scaling, system_spgemm_scaling, SystemScalingRow,
+    system_csrmv_attribution, system_csrmv_scaling, system_csrmv_weak_scaling,
+    system_spgemm_scaling, SystemAttributionReport, SystemScalingRow,
 };
 use issr_bench::report::markdown_table;
+use issr_bench::telemetry::{self, system_attr_json, Telemetry};
 use issr_sparse::{gen, suite};
+use issr_trace::json::obj;
+use issr_trace::{breakdown_table, Json};
 
 fn scaling_table(rows: &[SystemScalingRow], label: &str, speedup_head: &str) {
     let table: Vec<Vec<String>> = rows
@@ -56,6 +67,26 @@ fn scaling_table(rows: &[SystemScalingRow], label: &str, speedup_head: &str) {
     );
 }
 
+fn scaling_json(rows: &[SystemScalingRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("n_clusters", Json::from(r.n_clusters)),
+                    ("cycles", Json::from(r.cycles)),
+                    ("speedup", Json::Float(r.speedup)),
+                    ("contention", Json::Float(r.contention)),
+                    ("dma_stalls", Json::from(r.dma_stalls)),
+                    ("overlap_cycles", Json::from(r.overlap_cycles)),
+                    ("avg_power_mw", Json::Float(r.avg_power_mw)),
+                    ("total_nj", Json::Float(r.total_nj)),
+                    ("pj_per_fmadd", Json::Float(r.pj_per_fmadd)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn gate_overlap(rows: &[SystemScalingRow], what: &str) {
     for r in rows.iter().filter(|r| r.n_clusters > 1) {
         assert!(
@@ -66,7 +97,7 @@ fn gate_overlap(rows: &[SystemScalingRow], what: &str) {
     }
 }
 
-fn smoke() {
+fn smoke(t: &mut Telemetry) {
     // CsrMV: a generated operand whose values + indices exceed the
     // 256 KiB TCDM (the block buffers stream it), 1 vs 2 clusters.
     let mut rng = gen::rng(8_800);
@@ -80,6 +111,7 @@ fn smoke() {
         "2-cluster CsrMV speedup {:.2}x below the smoke floor",
         rows[1].speedup
     );
+    t.push("csrmv_scaling", scaling_json(&rows));
     // SpGEMM: clamped panel capacities force the full multi-panel
     // choreography (claims, double buffers, output drains) on a small
     // product, 1 vs 2 clusters.
@@ -89,10 +121,11 @@ fn smoke() {
     let rows = system_spgemm_scaling(&a, &b, &[1, 2], Some((256, 2_048)));
     scaling_table(&rows, "system SpGEMM — smoke (forced multi-panel)", "speedup");
     gate_overlap(&rows, "SpGEMM smoke");
+    t.push("spgemm_scaling", scaling_json(&rows));
     println!("smoke gates passed: bit-identity, overlap, 2-cluster speedup\n");
 }
 
-fn full() {
+fn full(t: &mut Telemetry) {
     // Strong scaling on the heaviest suite stand-in: psmigr_1 at full
     // size (543k nonzeros ≈ 5.4 MB of CSR data — 21x the TCDM).
     let entry = suite::by_name("psmigr_1").expect("suite entry");
@@ -122,10 +155,12 @@ fn full() {
         at4.speedup
     );
     assert!(at4.contention > 0.0, "4 clusters on a 16-word port must contend");
+    t.push("csrmv_scaling", scaling_json(&rows));
 
     // Weak scaling: constant per-cluster work.
     let rows = system_csrmv_weak_scaling(600, 512, 45_000, &[1, 2, 4]);
     scaling_table(&rows, "system CsrMV — weak scaling (45k nnz per cluster)", "efficiency");
+    t.push("csrmv_weak_scaling", scaling_json(&rows));
 
     // SpGEMM strong scaling: full-size A (psmigr_1) against a sparse
     // resident B of matching inner dimension.
@@ -140,13 +175,43 @@ fn full() {
     gate_overlap(&rows, "SpGEMM strong");
     let at4 = rows.iter().find(|r| r.n_clusters == 4).expect("4-cluster row");
     assert!(at4.speedup > 1.5, "4-cluster SpGEMM speedup {:.2}x below the 1.5x floor", at4.speedup);
+    t.push("spgemm_scaling", scaling_json(&rows));
     println!("scaling gates passed: bit-identity, overlap, >1.5x at 4 clusters\n");
 }
 
+/// One instrumented 2-cluster CsrMV (the smoke operand): attribution
+/// tables for the report, the attribution section of the JSON file, and
+/// the Chrome trace.
+fn attribution_report() -> SystemAttributionReport {
+    let mut rng = gen::rng(8_800);
+    let m = gen::csr_uniform::<u16>(&mut rng, 2000, 512, 40_000);
+    let x = gen::dense_vector(&mut rng, 512);
+    let report = system_csrmv_attribution(&m, &x, 2, 65_536);
+    let mut rows = Vec::new();
+    for (i, c) in report.summary.clusters.iter().enumerate() {
+        rows.extend(c.attr.merged_workers().rows(&format!("c{i}/workers/")));
+        rows.push((format!("c{i}/dmcc"), c.attr.dmcc.hart));
+        rows.push((format!("c{i}/dma"), c.attr.dma));
+    }
+    println!("stall-cause attribution — 2-cluster CsrMV (workers merged per cluster)\n");
+    println!("{}", breakdown_table(&rows));
+    report
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
-        smoke();
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let mut t = Telemetry::new("system", if smoke_mode { "smoke" } else { "full" });
+    if smoke_mode {
+        smoke(&mut t);
     } else {
-        full();
+        full(&mut t);
+    }
+    let report = attribution_report();
+    t.push("attribution", system_attr_json(&report.summary));
+    if let Some(path) = telemetry::json_arg() {
+        t.write(&path).expect("write BENCH json");
+        let trace = telemetry::trace_path(&path);
+        telemetry::write_json(&trace, &report.trace).expect("write Chrome trace");
+        println!("wrote {} and {}", path.display(), trace.display());
     }
 }

@@ -8,13 +8,14 @@ use issr_kernels::csrmv::run_csrmv;
 use issr_kernels::spgemm::{run_spgemm, run_spgemm_buffered, run_spgemm_recover};
 use issr_kernels::spmspv::{run_spmspv, run_spvv_ss};
 use issr_kernels::spvv::run_spvv;
-use issr_kernels::system_csrmv::run_system_csrmv;
+use issr_kernels::system_csrmv::{run_system_csrmv, run_system_csrmv_traced};
 use issr_kernels::system_spgemm::{run_system_spgemm_planned, SystemSpgemmPlan};
 use issr_kernels::variant::Variant;
 use issr_model::power::PowerModel;
 use issr_sparse::csr::CsrMatrix;
 use issr_sparse::dense::DenseMatrix;
 use issr_sparse::{gen, reference, suite};
+use issr_trace::ratio;
 
 /// One series point of Fig. 4a: SpVV FPU utilization against nnz.
 #[derive(Clone, Copy, Debug)]
@@ -97,9 +98,9 @@ pub fn fig4b(points: &[usize]) -> Vec<Fig4bRow> {
             let base = cycles(Variant::Base, true) as f64;
             Fig4bRow {
                 row_nnz,
-                ssr: base / cycles(Variant::Ssr, true) as f64,
-                issr32: base / cycles(Variant::Issr, true) as f64,
-                issr16: base / cycles(Variant::Issr, false) as f64,
+                ssr: ratio(base, cycles(Variant::Ssr, true) as f64),
+                issr32: ratio(base, cycles(Variant::Issr, true) as f64),
+                issr16: ratio(base, cycles(Variant::Issr, false) as f64),
             }
         })
         .collect()
@@ -144,7 +145,7 @@ pub fn fig4c(points: &[usize]) -> Vec<Fig4cRow> {
                 row_nnz,
                 base_cycles: base.summary.cycles,
                 issr_cycles: issr.summary.cycles,
-                speedup: base.summary.cycles as f64 / issr.summary.cycles as f64,
+                speedup: ratio(base.summary.cycles as f64, issr.summary.cycles as f64),
                 peak_util: issr.summary.peak_worker_utilization(),
                 cluster_util: issr.summary.cluster_utilization(),
             }
@@ -197,7 +198,7 @@ pub fn fig4d(max_nnz: usize) -> Vec<Fig4dRow> {
                 issr_mw: ei.avg_power_mw,
                 base_pj: eb.pj_per_fmadd,
                 issr_pj: ei.pj_per_fmadd,
-                gain: eb.pj_per_fmadd / ei.pj_per_fmadd,
+                gain: ratio(eb.pj_per_fmadd, ei.pj_per_fmadd),
             }
         })
         .collect()
@@ -272,13 +273,13 @@ impl JoinerSpvvRow {
     /// Joiner speedup over the software merge, 16-bit indices.
     #[must_use]
     pub fn speedup16(&self) -> f64 {
-        self.base16 as f64 / self.issr16 as f64
+        ratio(self.base16 as f64, self.issr16 as f64)
     }
 
     /// Joiner speedup over the software merge, 32-bit indices.
     #[must_use]
     pub fn speedup32(&self) -> f64 {
-        self.base32 as f64 / self.issr32 as f64
+        ratio(self.base32 as f64, self.issr32 as f64)
     }
 }
 
@@ -296,14 +297,16 @@ pub fn joiner_spvv(overlaps: &[f64]) -> Vec<JoinerSpvvRow> {
             let issr16 = run_spvv_ss(Variant::Issr, &a16, &b16).expect("issr16 run");
             let base32 = run_spvv_ss(Variant::Base, &a32, &b32).expect("base32 run");
             let issr32 = run_spvv_ss(Variant::Issr, &a32, &b32).expect("issr32 run");
-            let roi = issr16.summary.metrics.roi.cycles.max(1);
             JoinerSpvvRow {
                 overlap,
                 base16: base16.summary.metrics.roi.cycles,
                 issr16: issr16.summary.metrics.roi.cycles,
                 base32: base32.summary.metrics.roi.cycles,
                 issr32: issr32.summary.metrics.roi.cycles,
-                joiner_util: issr16.summary.joiner_stats.emissions as f64 / roi as f64,
+                joiner_util: ratio(
+                    issr16.summary.joiner_stats.emissions as f64,
+                    issr16.summary.metrics.roi.cycles as f64,
+                ),
             }
         })
         .collect()
@@ -329,13 +332,13 @@ impl JoinerSpmspvRow {
     /// Joiner speedup over the software merge, 16-bit indices.
     #[must_use]
     pub fn speedup16(&self) -> f64 {
-        self.base16 as f64 / self.issr16 as f64
+        ratio(self.base16 as f64, self.issr16 as f64)
     }
 
     /// Joiner speedup over the software merge, 32-bit indices.
     #[must_use]
     pub fn speedup32(&self) -> f64 {
-        self.base32 as f64 / self.issr32 as f64
+        ratio(self.base32 as f64, self.issr32 as f64)
     }
 }
 
@@ -415,13 +418,13 @@ impl SpgemmRow {
     /// SpAcc-subsystem speedup over the software merge, 16-bit indices.
     #[must_use]
     pub fn speedup16(&self) -> f64 {
-        self.base16 as f64 / self.issr16 as f64
+        ratio(self.base16 as f64, self.issr16 as f64)
     }
 
     /// SpAcc-subsystem speedup over the software merge, 32-bit indices.
     #[must_use]
     pub fn speedup32(&self) -> f64 {
-        self.base32 as f64 / self.issr32 as f64
+        ratio(self.base32 as f64, self.issr32 as f64)
     }
 
     /// Cycles the double-buffered SpAcc saves over the single-buffered
@@ -637,8 +640,8 @@ pub fn spgemm_suite_sweep(names: &[&str]) -> Vec<SpgemmSuiteRow> {
             let eb = model.evaluate(&base.summary);
             let ei = model.evaluate(&issr.summary);
             let macs = spgemm_macs(&m).max(1);
-            let base_pj = eb.total_nj * 1000.0 / macs as f64;
-            let issr_pj = ei.total_nj * 1000.0 / macs as f64;
+            let base_pj = ratio(eb.total_nj * 1000.0, macs as f64);
+            let issr_pj = ratio(ei.total_nj * 1000.0, macs as f64);
             SpgemmSuiteRow {
                 name: name.to_owned(),
                 window: m.nrows(),
@@ -651,7 +654,7 @@ pub fn spgemm_suite_sweep(names: &[&str]) -> Vec<SpgemmSuiteRow> {
                 issr_mw: ei.avg_power_mw,
                 base_pj_per_mac: base_pj,
                 issr_pj_per_mac: issr_pj,
-                gain: base_pj / issr_pj,
+                gain: ratio(base_pj, issr_pj),
             }
         })
         .collect()
@@ -762,7 +765,7 @@ fn scaling_row(
     SystemScalingRow {
         n_clusters,
         cycles: summary.cycles,
-        speedup: base_cycles as f64 / summary.cycles as f64,
+        speedup: ratio(base_cycles as f64, summary.cycles as f64),
         contention: summary.contention_ratio(),
         dma_stalls: summary.total_dma_stalls(),
         overlap_cycles: summary.overlap_cycles,
@@ -880,6 +883,72 @@ pub fn system_csrmv_weak_scaling(
         out.push(scaling_row(n, &run.summary, energy, base));
     }
     out
+}
+
+/// ROI stall-cause attribution of one joiner-backed SpVV∩ run
+/// (ISSR-16, the sweep's operand shape at match density `overlap`) —
+/// the breakdown tables the joiner binary prints and exports.
+#[must_use]
+pub fn spvv_attribution(overlap: f64) -> issr_snitch::attr::CcAttribution {
+    let (dim, nnz) = (8192, 512);
+    let mut rng = gen::rng(0x000F_164E + (overlap * 100.0) as u64);
+    let (a32, b32) = gen::overlapping_pair::<u32>(&mut rng, dim, nnz, nnz, overlap);
+    let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+    run_spvv_ss(Variant::Issr, &a16, &b16).expect("issr16 run").summary.attr
+}
+
+/// ROI stall-cause attribution of one SpAcc-backed SpGEMM run
+/// (ISSR-16 on `regime`) — the breakdown tables the SpGEMM binary
+/// prints and exports.
+#[must_use]
+pub fn spgemm_attribution(regime: SpgemmRegime) -> issr_snitch::attr::CcAttribution {
+    let mut rng = gen::rng(0x000F_1650 + regime.b_row_nnz as u64);
+    let a32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, regime.nrows, regime.inner, regime.a_row_nnz);
+    let b32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, regime.inner, regime.ncols, regime.b_row_nnz);
+    let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+    run_spgemm(Variant::Issr, &a16, &b16).expect("issr16 run").summary.attr
+}
+
+/// One instrumented system-CsrMV run: the summary whose per-cluster
+/// stall-cause breakdowns the JSON telemetry emits, plus the Chrome
+/// trace-event export (one track per hart, stream lane and DMA engine
+/// per cluster).
+#[derive(Clone, Debug)]
+pub struct SystemAttributionReport {
+    /// The run's system summary (per-cluster attribution included).
+    pub summary: issr_system::system::SystemSummary,
+    /// The Chrome trace-event document (loadable at `ui.perfetto.dev`).
+    pub trace: issr_trace::Json,
+}
+
+/// Runs system CsrMV (ISSR) once with the interval recorder enabled and
+/// returns attribution + trace. The result is validated against the
+/// host reference — tracing must not change a single bit.
+///
+/// # Panics
+/// Panics if the run fails, traps, or diverges from the reference.
+#[must_use]
+pub fn system_csrmv_attribution(
+    m: &CsrMatrix<u16>,
+    x: &[f64],
+    n_clusters: usize,
+    trace_cap: usize,
+) -> SystemAttributionReport {
+    use issr_system::system::SystemParams;
+    let (run, trace) = run_system_csrmv_traced(
+        Variant::Issr,
+        m,
+        x,
+        SystemParams { n_clusters, ..SystemParams::default() },
+        trace_cap,
+    )
+    .expect("instrumented system run");
+    let expect = reference::csrmv(m, x);
+    assert!(
+        issr_sparse::dense::allclose(&run.y, &expect, 1e-12, 1e-12),
+        "instrumented system CsrMV diverged from the reference"
+    );
+    SystemAttributionReport { summary: run.summary, trace }
 }
 
 #[cfg(test)]

@@ -9,5 +9,6 @@
 
 pub mod figures;
 pub mod report;
+pub mod telemetry;
 
 pub use figures::*;

@@ -1,5 +1,7 @@
 //! Markdown table rendering for the figure binaries.
 
+pub use issr_trace::ratio;
+
 /// Renders a markdown table from a header and rows of cells.
 #[must_use]
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {

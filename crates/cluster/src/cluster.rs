@@ -9,10 +9,12 @@ use issr_mem::main_mem::MainMemory;
 use issr_mem::map::{region_of, Region, MAIN_BASE, MAIN_SIZE, TCDM_BANKS, TCDM_BASE, TCDM_SIZE};
 use issr_mem::port::MemPort;
 use issr_mem::tcdm::{Tcdm, TcdmStats};
+use issr_snitch::attr::CcAttribution;
 use issr_snitch::cc::{CoreComplex, SimTimeout};
 use issr_snitch::core::Trap;
 use issr_snitch::metrics::Metrics;
 use issr_snitch::params::CcParams;
+use issr_trace::{CycleBreakdown, StallCause, StatMerge, TraceRecorder, TrackId};
 
 /// Cluster configuration.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +48,55 @@ impl Default for ClusterParams {
     }
 }
 
+/// ROI stall-cause breakdowns for a whole cluster: every core complex
+/// plus the DMA engine. The DMA table is sampled once per *cluster*
+/// cycle (the engine has no ROI), so it totals to the cluster's elapsed
+/// cycles, while each core's tables total to that core's ROI cycles.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterAttribution {
+    /// Per-worker breakdowns.
+    pub workers: Vec<CcAttribution>,
+    /// The data-mover core's breakdown.
+    pub dmcc: CcAttribution,
+    /// The DMA engine's breakdown (totals to the cluster cycles).
+    pub dma: CycleBreakdown,
+}
+
+impl ClusterAttribution {
+    /// All worker breakdowns folded into one [`CcAttribution`] — the
+    /// cluster-wide view the reports and JSON emitters print.
+    #[must_use]
+    pub fn merged_workers(&self) -> CcAttribution {
+        issr_trace::merge::merge_all(self.workers.iter())
+    }
+
+    /// Labelled rows (workers, DMCC, DMA) for
+    /// [`issr_trace::breakdown_table`], with `prefix` prepended.
+    #[must_use]
+    pub fn rows(&self, prefix: &str) -> Vec<(String, CycleBreakdown)> {
+        let mut rows = Vec::new();
+        for (i, w) in self.workers.iter().enumerate() {
+            rows.extend(w.rows(&format!("{prefix}hart{i}/")));
+        }
+        rows.push((format!("{prefix}dmcc"), self.dmcc.hart));
+        rows.push((format!("{prefix}dma"), self.dma));
+        rows
+    }
+}
+
+impl StatMerge for ClusterAttribution {
+    fn merge_from(&mut self, other: &Self) {
+        if self.workers.len() < other.workers.len() {
+            self.workers.resize(other.workers.len(), CcAttribution::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(other.workers.iter()) {
+            mine.merge_from(theirs);
+        }
+        self.dmcc.merge_from(&other.dmcc);
+        self.dma.merge_from(&other.dma);
+    }
+}
+
 /// Result of a completed cluster run.
 #[derive(Clone, Debug)]
 pub struct ClusterSummary {
@@ -64,6 +115,8 @@ pub struct ClusterSummary {
     pub tcdm_stats: TcdmStats,
     /// DMA statistics.
     pub dma_stats: DmaStats,
+    /// ROI stall-cause breakdowns (every core + the DMA engine).
+    pub attr: ClusterAttribution,
     /// Decode/fetch traps that parked cores (workers and DMCC alike);
     /// empty on a clean run.
     pub traps: Vec<Trap>,
@@ -123,7 +176,21 @@ pub struct Cluster {
     ports: Vec<Vec<MemPort>>,
     l1: Vec<L1ICache>,
     dma_claimed: Vec<bool>,
+    dma_attr: CycleBreakdown,
     now: u64,
+}
+
+/// Track handles for one cluster's units in a [`TraceRecorder`]: one
+/// per hart (workers then DMCC), one per worker lane, one for the DMA
+/// engine.
+#[derive(Clone, Debug)]
+pub struct ClusterTracks {
+    /// Hart tracks: workers `0..n_workers`, then the DMCC.
+    pub harts: Vec<TrackId>,
+    /// Per-worker lane tracks.
+    pub lanes: Vec<Vec<TrackId>>,
+    /// The DMA engine's track.
+    pub dma: TrackId,
 }
 
 impl Cluster {
@@ -175,6 +242,7 @@ impl Cluster {
             ports,
             l1,
             dma_claimed: vec![false; TCDM_BANKS],
+            dma_attr: CycleBreakdown::default(),
             now: 0,
         }
     }
@@ -264,6 +332,7 @@ impl Cluster {
             yield_to_cores,
         );
         let moved_after = main.stats.wide_beats;
+        self.dma_attr.record(self.dma.last_cause());
         // 3. Route ports to their memories by pending-request region.
         let mut tcdm_ports: Vec<&mut MemPort> = Vec::new();
         let mut main_ports: Vec<&mut MemPort> = Vec::new();
@@ -299,6 +368,43 @@ impl Cluster {
         Err(SimTimeout { max_cycles, pc: self.workers[0].core.pc() })
     }
 
+    /// Registers one track per hart (workers then DMCC), per worker
+    /// lane and for the DMA engine under process `pid` — the system
+    /// harness calls this once per cluster before tracing starts.
+    #[must_use]
+    pub fn register_tracks(&self, rec: &mut TraceRecorder, pid: u32) -> ClusterTracks {
+        let mut harts = Vec::with_capacity(self.workers.len() + 1);
+        let mut lanes = Vec::with_capacity(self.workers.len());
+        for (i, cc) in self.workers.iter().enumerate() {
+            harts.push(rec.add_track(pid, format!("hart {i}")));
+            lanes.push(
+                (0..cc.streamer.n_lanes())
+                    .map(|l| rec.add_track(pid, format!("hart {i} ft{l}")))
+                    .collect(),
+            );
+        }
+        harts.push(rec.add_track(pid, "dmcc"));
+        let dma = rec.add_track(pid, "dma");
+        ClusterTracks { harts, lanes, dma }
+    }
+
+    /// Feeds one cycle's occupancy of every unit into the recorder.
+    /// Reads only the classification latched by the tick that just ran,
+    /// so sampling (or not sampling) cannot change simulated behavior.
+    pub fn trace_sample(&self, rec: &mut TraceRecorder, tracks: &ClusterTracks, now: u64) {
+        for (i, cc) in self.workers.iter().enumerate() {
+            let causes = cc.last_causes();
+            rec.sample(tracks.harts[i], now, causes.hart == StallCause::Active);
+            for (l, &track) in tracks.lanes[i].iter().enumerate() {
+                let busy = causes.streamer.lanes.get(l) == Some(&StallCause::Active);
+                rec.sample(track, now, busy);
+            }
+        }
+        let dmcc_busy = self.dmcc.last_causes().hart == StallCause::Active;
+        rec.sample(tracks.harts[self.workers.len()], now, dmcc_busy);
+        rec.sample(tracks.dma, now, self.dma.last_cause() == StallCause::Active);
+    }
+
     /// Snapshot of the run statistics.
     #[must_use]
     pub fn summary(&self) -> ClusterSummary {
@@ -310,6 +416,11 @@ impl Cluster {
             spacc_stats: self.workers.iter().map(|cc| cc.streamer.spacc_stats()).collect(),
             tcdm_stats: self.tcdm.stats(),
             dma_stats: self.dma.stats(),
+            attr: ClusterAttribution {
+                workers: self.workers.iter().map(|cc| cc.attr.clone()).collect(),
+                dmcc: self.dmcc.attr.clone(),
+                dma: self.dma_attr,
+            },
             traps: self
                 .workers
                 .iter()

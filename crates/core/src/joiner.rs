@@ -59,6 +59,12 @@ pub struct JoinerStats {
 impl JoinerStats {
     /// Accumulates another job's counters into this one.
     pub fn merge(&mut self, other: &JoinerStats) {
+        issr_trace::StatMerge::merge_from(self, other);
+    }
+}
+
+impl issr_trace::StatMerge for JoinerStats {
+    fn merge_from(&mut self, other: &Self) {
         self.steps += other.steps;
         self.matches += other.matches;
         self.emissions += other.emissions;
@@ -310,6 +316,9 @@ pub struct IndexJoiner {
     /// Progress happened since the last watchdog check (merge step,
     /// memory traffic, or a consumer pop).
     progress: bool,
+    /// Whether the last [`Self::tick`] observably advanced the job —
+    /// the attribution probe's activity signal.
+    advanced: bool,
     stats: JoinerStats,
 }
 
@@ -328,6 +337,7 @@ impl IndexJoiner {
             watchdog: STREAM_WATCHDOG_RESET,
             stall: 0,
             progress: false,
+            advanced: false,
             stats: JoinerStats::default(),
         }
     }
@@ -408,6 +418,39 @@ impl IndexJoiner {
         self.done_stepping && self.a.drained() && self.b.drained()
     }
 
+    /// Whether a stream fault froze this job.
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Whether both output queues have a free slot (the comparator can
+    /// emit a matched pair this cycle).
+    #[must_use]
+    pub fn outputs_free(&self) -> bool {
+        self.count_only || (self.a.can_emit() && self.b.can_emit())
+    }
+
+    /// Classifies what the joiner spent the cycle that just ticked on:
+    /// parked when frozen, active when it observably advanced, output
+    /// back-pressure when the comparator has matches but no free slot,
+    /// starved otherwise (index/value words still in flight).
+    #[must_use]
+    pub fn attr_cause(&self) -> issr_trace::StallCause {
+        use issr_trace::StallCause;
+        if self.frozen {
+            StallCause::Parked
+        } else if self.is_done() {
+            StallCause::Idle
+        } else if self.advanced {
+            StallCause::Active
+        } else if !self.outputs_free() {
+            StallCause::FifoFull
+        } else {
+            StallCause::FifoEmpty
+        }
+    }
+
     /// A cheap fingerprint of every observable advance: any change means
     /// the job made progress this cycle.
     #[allow(clippy::type_complexity)]
@@ -430,6 +473,7 @@ impl IndexJoiner {
     /// Advances one cycle against the two lane ports.
     pub fn tick(&mut self, now: u64, port_a: &mut MemPort, port_b: &mut MemPort) {
         if self.frozen {
+            self.advanced = false;
             self.a.drain_discard_bounded(now, port_a);
             self.b.drain_discard_bounded(now, port_b);
             return;
@@ -446,7 +490,8 @@ impl IndexJoiner {
         // memory, nor gets consumed for `watchdog` cycles is deadlocked
         // (a consumer that never reads its outputs) — latch a stall
         // fault and freeze instead of hanging the simulation.
-        if self.signature() != before || self.progress {
+        self.advanced = self.signature() != before || self.progress;
+        if self.advanced {
             self.stall = 0;
         } else if !self.is_done() {
             self.stall += 1;

@@ -15,6 +15,7 @@ use crate::cfg::{reg, CfgShadow, JobKind, JobSpec, Pattern};
 use crate::fifo::Fifo;
 use crate::serializer::{IndexSerializer, IndexSize};
 use issr_mem::port::{MemPort, MemReq};
+use issr_trace::StallCause;
 use std::collections::VecDeque;
 
 /// What a lane's hardware supports.
@@ -46,6 +47,17 @@ pub struct LaneStats {
     pub fpu_writes: u64,
     /// Jobs completed.
     pub jobs: u64,
+}
+
+impl issr_trace::StatMerge for LaneStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.idx_words += other.idx_words;
+        self.fpu_reads += other.fpu_reads;
+        self.fpu_writes += other.fpu_writes;
+        self.jobs += other.jobs;
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -159,6 +171,10 @@ pub struct Lane {
     /// drains its in-flight responses, then discards all job and buffer
     /// state so the frozen streamer settles to idle.
     frozen: bool,
+    /// Last cycle's outcome flags for attribution: a request went out /
+    /// a request wanted out but the port was taken (shared-port loss).
+    issued: bool,
+    blocked_on_port: bool,
     stats: LaneStats,
 }
 
@@ -176,6 +192,8 @@ impl Lane {
             outstanding_data: 0,
             rsp_tags: VecDeque::new(),
             frozen: false,
+            issued: false,
+            blocked_on_port: false,
             stats: LaneStats::default(),
         }
     }
@@ -363,6 +381,8 @@ impl Lane {
 
     /// Advances the lane by one cycle against its memory port.
     pub fn tick(&mut self, now: u64, port: &mut MemPort) {
+        self.issued = false;
+        self.blocked_on_port = false;
         self.drain_responses(now, port);
         if self.frozen {
             // Drain-only: once every in-flight response has returned,
@@ -377,9 +397,68 @@ impl Lane {
         }
         self.promote_pending();
         if port.can_send() {
-            self.issue(port);
+            self.issued = self.issue(port);
+        } else {
+            self.blocked_on_port = self.wants_issue();
         }
         self.retire_if_done();
+    }
+
+    /// Whether [`Self::issue`] would send a request right now — the
+    /// attribution predicate behind [`Self::attr_cause`]'s
+    /// port-conflict classification (kept in lockstep with `issue`).
+    fn wants_issue(&self) -> bool {
+        let Some(job) = &self.job else {
+            return false;
+        };
+        match (&job.engine, job.kind) {
+            (Engine::Affine(it), JobKind::Read) => self.data_credit() && !it.is_done(),
+            (Engine::Affine(it), JobKind::Write) => !self.data_fifo.is_empty() && !it.is_done(),
+            (Engine::Indirect(unit), kind) => {
+                let data_ready = match kind {
+                    JobKind::Read => self.data_credit(),
+                    JobKind::Write => !self.data_fifo.is_empty(),
+                };
+                (data_ready && unit.emitted < unit.count && unit.index_available())
+                    || unit.idx_wants()
+            }
+        }
+    }
+
+    /// Classifies what this lane spent the cycle that just ticked on.
+    /// Exactly one cause per cycle; the core-complex sampler records it
+    /// once per ROI cycle, so the breakdown sums to the ROI length by
+    /// construction.
+    #[must_use]
+    pub fn attr_cause(&self) -> StallCause {
+        if self.frozen {
+            return StallCause::Parked;
+        }
+        if !self.is_streaming() {
+            return StallCause::Idle;
+        }
+        if self.issued {
+            return StallCause::Active;
+        }
+        if self.blocked_on_port {
+            return StallCause::PortConflict;
+        }
+        match self.job.as_ref().map(|j| j.kind) {
+            // A read stream with no FIFO credit is back-pressured by
+            // its consumer; otherwise it waits on upstream words
+            // (index fetches, in-flight responses).
+            Some(JobKind::Read) => {
+                if self.data_credit() {
+                    StallCause::FifoEmpty
+                } else {
+                    StallCause::FifoFull
+                }
+            }
+            // A write stream starves until the producer pushes.
+            Some(JobKind::Write) => StallCause::FifoEmpty,
+            // No job but responses in flight: upstream latency.
+            None => StallCause::FifoEmpty,
+        }
     }
 
     fn drain_responses(&mut self, now: u64, port: &mut MemPort) {
@@ -424,10 +503,10 @@ impl Lane {
         self.data_fifo.len() + self.outstanding_data < self.data_fifo.capacity()
     }
 
-    fn issue(&mut self, port: &mut MemPort) {
+    fn issue(&mut self, port: &mut MemPort) -> bool {
         let data_credit = self.data_credit();
         let Some(job) = &mut self.job else {
-            return;
+            return false;
         };
         match (&mut job.engine, job.kind) {
             (Engine::Affine(it), JobKind::Read) => {
@@ -437,7 +516,9 @@ impl Lane {
                     self.rsp_tags.push_back(RspTag::DataWord { repeat: job.repeat });
                     self.outstanding_data += 1;
                     self.stats.data_reads += 1;
+                    return true;
                 }
+                false
             }
             (Engine::Affine(it), JobKind::Write) => {
                 if !self.data_fifo.is_empty() && !it.is_done() {
@@ -445,7 +526,9 @@ impl Lane {
                     let (value, _) = self.data_fifo.pop().expect("non-empty");
                     port.send(MemReq::write(addr, value));
                     self.stats.data_writes += 1;
+                    return true;
                 }
+                false
             }
             (Engine::Indirect(unit), kind) => {
                 let data_ready = match kind {
@@ -458,7 +541,7 @@ impl Lane {
                     (true, false) => true,
                     (false, true) => false,
                     (true, true) => !unit.idx_won_last,
-                    (false, false) => return,
+                    (false, false) => return false,
                 };
                 if grant_idx {
                     let addr = unit.word_it.next_addr().expect("idx_wants checked");
@@ -486,6 +569,7 @@ impl Lane {
                         }
                     }
                 }
+                true
             }
         }
     }

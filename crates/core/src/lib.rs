@@ -55,4 +55,4 @@ pub use joiner::{IndexJoiner, JoinerStats, JOIN_OUT_DEPTH};
 pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};
 pub use serializer::{IndexSerializer, IndexSize};
 pub use spacc::{SpAcc, SpAccStats, SPACC_LANE};
-pub use streamer::{CfgFault, Streamer};
+pub use streamer::{CfgFault, Streamer, StreamerProbe};

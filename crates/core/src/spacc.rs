@@ -132,6 +132,22 @@ pub struct SpAccStats {
     pub port_shared: u64,
 }
 
+impl issr_trace::StatMerge for SpAccStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.feeds += other.feeds;
+        self.count_feeds += other.count_feeds;
+        self.drains += other.drains;
+        self.pairs_in += other.pairs_in;
+        self.merges += other.merges;
+        self.steps += other.steps;
+        self.idx_words += other.idx_words;
+        self.out_words += other.out_words;
+        self.peak_nnz = self.peak_nnz.max(other.peak_nnz);
+        self.overlap_cycles += other.overlap_cycles;
+        self.port_shared += other.port_shared;
+    }
+}
+
 /// A queued SpAcc job.
 #[derive(Clone, Copy, Debug)]
 enum AccJob {
@@ -303,6 +319,9 @@ pub struct SpAcc {
     /// Progress happened this cycle (request, response, merge step,
     /// promotion or retire) — resets the stall counter.
     progress: bool,
+    /// Whether the last [`Self::tick`] made progress — the attribution
+    /// probe's activity signal (latched before `progress` resets).
+    advanced: bool,
     /// Index-word responses still in flight for an aborted feed,
     /// discarded as they arrive.
     sink_rsps: usize,
@@ -331,6 +350,7 @@ impl SpAcc {
             watchdog: STREAM_WATCHDOG_RESET,
             stall: 0,
             progress: false,
+            advanced: false,
             sink_rsps: 0,
             stats: SpAccStats::default(),
         }
@@ -517,6 +537,7 @@ impl SpAcc {
     /// flight), `lane`'s write FIFO supplies the feed values.
     pub fn tick(&mut self, now: u64, port: &mut MemPort, lane: &mut Lane) {
         if self.frozen {
+            self.advanced = false;
             self.tick_frozen(now, port, lane);
             return;
         }
@@ -538,6 +559,7 @@ impl SpAcc {
             None => FeedStep::Busy,
         };
         if let FeedStep::Fault(kind) = feed_step {
+            self.advanced = false;
             self.latch_fault(kind);
             return;
         }
@@ -593,7 +615,30 @@ impl SpAcc {
         } else {
             self.stall = 0;
         }
+        self.advanced = self.progress;
         self.progress = false;
+    }
+
+    /// Classifies what the unit spent the cycle that just ticked on:
+    /// parked when frozen, active when any datapath advanced, queued
+    /// work blocked behind a drain, a drain write that lost the shared
+    /// port, or a feed starved for indices/values.
+    #[must_use]
+    pub fn attr_cause(&self) -> issr_trace::StallCause {
+        use issr_trace::StallCause;
+        if self.frozen {
+            StallCause::Parked
+        } else if !self.busy() {
+            StallCause::Idle
+        } else if self.advanced {
+            StallCause::Active
+        } else if self.feed.is_none() && self.pending.is_some() && self.drain.is_some() {
+            StallCause::DrainBusy
+        } else if self.feed.is_none() && self.drain.is_some() {
+            StallCause::PortConflict
+        } else {
+            StallCause::FifoEmpty
+        }
     }
 
     /// One feed cycle: drain index-word responses, pull the stream

@@ -25,6 +25,20 @@ use crate::joiner::{IndexJoiner, JoinerStats};
 use crate::lane::{Lane, LaneKind, LaneStats};
 use crate::spacc::{SpAcc, SpAccStats, SPACC_LANE};
 use issr_mem::port::MemPort;
+use issr_trace::StallCause;
+
+/// One cycle's stall-cause classification of every stream unit, read
+/// after [`Streamer::tick`] by the core-complex attribution sampler.
+/// Pure state readout: taking a probe never changes timing.
+#[derive(Clone, Debug)]
+pub struct StreamerProbe {
+    /// Per-lane causes, indexed like the lanes (`ft0`, `ft1`, ...).
+    pub lanes: Vec<StallCause>,
+    /// The index joiner's cause ([`StallCause::Idle`] when absent).
+    pub joiner: StallCause,
+    /// The sparse accumulator's cause ([`StallCause::Idle`] when absent).
+    pub spacc: StallCause,
+}
 
 /// A malformed streamer configuration access: the hardware cannot
 /// execute it and raises a fault the core latches as a trap (surfaced
@@ -573,6 +587,52 @@ impl Streamer {
             && self.joiner.is_none()
             && self.pending_join.is_none()
             && self.spacc.is_idle()
+    }
+
+    /// Classifies lane `i`'s current cycle for attribution. Starts from
+    /// the lane's own view ([`Lane::attr_cause`]) and applies the two
+    /// streamer-level upgrades the lane cannot see:
+    ///
+    /// * a joiner-fed lane (0/1) with no job of its own is waiting on
+    ///   the joiner's merge, not on memory — [`StallCause::JoinerWait`],
+    ///   unless matched pairs are already queued for the FPU
+    ///   ([`StallCause::Active`]);
+    /// * the SpAcc-owned lane while a SpAcc job runs inherits the
+    ///   accumulator's cause, since the unit borrowing the port is what
+    ///   the lane's cycles are spent on.
+    #[must_use]
+    pub fn lane_attr_cause(&self, i: usize) -> StallCause {
+        let lane = &self.lanes[i];
+        let base = lane.attr_cause();
+        if matches!(base, StallCause::Parked | StallCause::Active | StallCause::PortConflict) {
+            return base;
+        }
+        if i <= 1 && (self.joiner.is_some() || self.pending_join.is_some()) && !lane.is_streaming()
+        {
+            return if lane.can_pop() { StallCause::Active } else { StallCause::JoinerWait };
+        }
+        if i == SPACC_LANE && self.spacc.busy() && !lane.is_streaming() {
+            return self.spacc.attr_cause();
+        }
+        base
+    }
+
+    /// One cycle's classification of every stream unit (lanes, joiner,
+    /// SpAcc), read after [`Streamer::tick`] by the attribution sampler.
+    #[must_use]
+    pub fn attr_probe(&self) -> StreamerProbe {
+        let joiner = match &self.joiner {
+            Some(joiner) => joiner.attr_cause(),
+            // A queued job waiting for lanes 0/1 to release their ports
+            // is blocked on the port handover, not on input data.
+            None if self.pending_join.is_some() => StallCause::PortConflict,
+            None => StallCause::Idle,
+        };
+        StreamerProbe {
+            lanes: (0..self.lanes.len()).map(|i| self.lane_attr_cause(i)).collect(),
+            joiner,
+            spacc: self.spacc.attr_cause(),
+        }
     }
 
     /// Per-lane statistics.

@@ -648,7 +648,7 @@ mod tests {
         let x = gen::dense_vector(&mut rng, 512);
         let base = run_cluster_csrmv(Variant::Base, &m, &x).unwrap();
         let issr = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();
-        let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+        let speedup = issr_trace::ratio(base.summary.cycles as f64, issr.summary.cycles as f64);
         assert!(
             speedup > 3.0 && speedup < 7.3,
             "cluster ISSR-16 speedup {speedup:.2} out of plausible band"
@@ -679,7 +679,7 @@ mod probe {
             let x = gen::dense_vector(&mut rng, 1024);
             let base = run_cluster_csrmv(Variant::Base, &m, &x).unwrap();
             let issr = run_cluster_csrmv(Variant::Issr, &m, &x).unwrap();
-            let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+            let speedup = issr_trace::ratio(base.summary.cycles as f64, issr.summary.cycles as f64);
             let w0 = &issr.summary.worker_metrics[0];
             println!(
                 "nnz/row {row_nnz:4}: BASE {:8} ISSR {:8} speedup {speedup:.2} peak_util {:.3} cluster_util {:.3} conflicts {} dma_busy {} w0_roi {} w0_fpustall {} w0_fmadds {}",

@@ -699,7 +699,7 @@ mod tests {
         let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, 48, 160, 20);
         let base = run_cluster_spgemm(Variant::Base, &a, &b).unwrap();
         let issr = run_cluster_spgemm(Variant::Issr, &a, &b).unwrap();
-        let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+        let speedup = issr_trace::ratio(base.summary.cycles as f64, issr.summary.cycles as f64);
         assert!(speedup > 2.0, "cluster SpGEMM speedup {speedup:.2}");
     }
 

@@ -346,7 +346,7 @@ mod tests {
         let x = gen::sparse_vector::<u16>(&mut rng, 1024, 256);
         let base = run_cluster_spmspv(Variant::Base, &m, &x).unwrap();
         let issr = run_cluster_spmspv(Variant::Issr, &m, &x).unwrap();
-        let speedup = base.summary.cycles as f64 / issr.summary.cycles as f64;
+        let speedup = issr_trace::ratio(base.summary.cycles as f64, issr.summary.cycles as f64);
         assert!(speedup > 2.0, "cluster SpMSpV speedup {speedup:.2}");
     }
 }

@@ -357,8 +357,8 @@ mod tests {
         let base = run_csrmv(Variant::Base, &m32, &x).unwrap().summary.metrics.roi.cycles;
         let issr16 = run_csrmv(Variant::Issr, &m16, &x).unwrap().summary.metrics.roi.cycles;
         let issr32 = run_csrmv(Variant::Issr, &m32, &x).unwrap().summary.metrics.roi.cycles;
-        let s16 = base as f64 / issr16 as f64;
-        let s32 = base as f64 / issr32 as f64;
+        let s16 = issr_trace::ratio(base as f64, issr16 as f64);
+        let s32 = issr_trace::ratio(base as f64, issr32 as f64);
         assert!(s16 > 5.5 && s16 <= 7.3, "ISSR-16 speedup {s16:.2}");
         assert!(s32 > 4.8 && s32 <= 6.1, "ISSR-32 speedup {s32:.2}");
         assert!(s16 > s32, "16-bit must win on dense rows");

@@ -658,7 +658,7 @@ mod tests {
         let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, 64, 256, 24);
         let base = run_spgemm(Variant::Base, &a, &b).unwrap().summary.metrics.roi.cycles;
         let issr = run_spgemm(Variant::Issr, &a, &b).unwrap().summary.metrics.roi.cycles;
-        let speedup = base as f64 / issr as f64;
+        let speedup = issr_trace::ratio(base as f64, issr as f64);
         assert!(speedup > 3.0, "SpGEMM speedup {speedup:.2} (base {base}, issr {issr})");
     }
 

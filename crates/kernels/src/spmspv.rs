@@ -639,7 +639,7 @@ mod tests {
         let (a, b) = gen::overlapping_pair::<u16>(&mut rng, 4096, 600, 600, 0.5);
         let base = run_spvv_ss(Variant::Base, &a, &b).unwrap().summary.metrics.roi.cycles;
         let issr = run_spvv_ss(Variant::Issr, &a, &b).unwrap().summary.metrics.roi.cycles;
-        let speedup = base as f64 / issr as f64;
+        let speedup = issr_trace::ratio(base as f64, issr as f64);
         assert!(speedup > 3.0, "SpVV∩ joiner speedup {speedup:.2} (base {base}, issr {issr})");
     }
 

@@ -200,7 +200,7 @@ mod tests {
         let run = run_gather(&data, &idcs).unwrap();
         // One element per fmv; data side capped at 4/5 by the shared
         // index/data port.
-        let rate = idcs.len() as f64 / run.summary.metrics.roi.cycles as f64;
+        let rate = issr_trace::ratio(idcs.len() as f64, run.summary.metrics.roi.cycles as f64);
         assert!(rate > 0.7, "gather rate {rate:.3}");
     }
 

@@ -270,15 +270,52 @@ pub fn run_system_csrmv_with<I: KernelIndex>(
     x: &[f64],
     params: SystemParams,
 ) -> Result<SystemCsrmvRun, SimTimeout> {
+    Ok(run_system_csrmv_inner(variant, m, x, params, None)?.0)
+}
+
+/// [`run_system_csrmv_with`] with the interval recorder enabled
+/// (`trace_cap` spans per track): returns the run plus the Chrome
+/// trace-event export — one track per hart, stream lane and DMA engine
+/// of every cluster, loadable at `ui.perfetto.dev`. Tracing only reads
+/// state the simulation latches anyway, so the run is cycle-identical
+/// to the untraced one.
+///
+/// # Errors
+/// As [`run_system_csrmv_with`].
+///
+/// # Panics
+/// As [`run_system_csrmv`].
+pub fn run_system_csrmv_traced<I: KernelIndex>(
+    variant: Variant,
+    m: &CsrMatrix<I>,
+    x: &[f64],
+    params: SystemParams,
+    trace_cap: usize,
+) -> Result<(SystemCsrmvRun, issr_trace::Json), SimTimeout> {
+    let (run, trace) = run_system_csrmv_inner(variant, m, x, params, Some(trace_cap))?;
+    Ok((run, trace.expect("tracing was enabled")))
+}
+
+fn run_system_csrmv_inner<I: KernelIndex>(
+    variant: Variant,
+    m: &CsrMatrix<I>,
+    x: &[f64],
+    params: SystemParams,
+    trace_cap: Option<usize>,
+) -> Result<(SystemCsrmvRun, Option<issr_trace::Json>), SimTimeout> {
     let plan = ClusterCsrmvPlan::new(m, params.cluster.n_workers as u32);
     let program = build_system_csrmv::<I>(variant, &plan);
     let mut system = System::new(program, params);
+    if let Some(cap) = trace_cap {
+        system.enable_tracing(cap);
+    }
     plan.marshal_into(system.main.array_mut(), m, x);
     system.set_work_queue(plan.queue_addr());
     let budget = 1_000_000 + 64 * m.nnz() as u64 + 1024 * m.nrows() as u64;
     let summary = system.run(budget)?;
     assert!(summary.traps().is_empty(), "system cores trapped: {:?}", summary.traps());
-    Ok(SystemCsrmvRun { y: plan.read_y_from(system.main.array()), summary })
+    let trace = system.trace_json();
+    Ok((SystemCsrmvRun { y: plan.read_y_from(system.main.array()), summary }, trace))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 
 use crate::array::MemArray;
 use crate::main_mem::MainMemory;
+use issr_trace::{StallCause, StatMerge};
 
 /// Words moved per cycle (512-bit datapath).
 pub const DMA_WORDS_PER_CYCLE: u32 = 8;
@@ -69,6 +70,16 @@ pub struct DmaStats {
     pub stall_cycles: u64,
 }
 
+impl StatMerge for DmaStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.words_in += other.words_in;
+        self.words_out += other.words_out;
+        self.busy_cycles += other.busy_cycles;
+        self.transfers += other.transfers;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
 /// The DMA engine front end + mover.
 #[derive(Clone, Debug)]
 pub struct Dma {
@@ -86,6 +97,9 @@ pub struct Dma {
     tcdm_base: u32,
     tcdm_size: u32,
     stats: DmaStats,
+    /// What the engine spent its most recent [`Dma::tick`] on — the
+    /// cluster harness records it into the attribution breakdown.
+    last_cause: StallCause,
 }
 
 impl Dma {
@@ -106,6 +120,7 @@ impl Dma {
             tcdm_base,
             tcdm_size,
             stats: DmaStats::default(),
+            last_cause: StallCause::Idle,
         }
     }
 
@@ -174,6 +189,17 @@ impl Dma {
         self.stats
     }
 
+    /// Classification of the engine's most recent tick: moving beats
+    /// ([`StallCause::Active`]), denied shared bandwidth
+    /// ([`StallCause::BwDenied`]), yielding contested banks to core
+    /// ports ([`StallCause::PortConflict`]), paying a transfer's
+    /// main-memory startup latency ([`StallCause::DrainBusy`]), or
+    /// idle.
+    #[must_use]
+    pub fn last_cause(&self) -> StallCause {
+        self.last_cause
+    }
+
     fn direction(&self, t: &Transfer) -> Direction {
         let src_local = self.in_tcdm(t.src);
         let dst_local = self.in_tcdm(t.dst);
@@ -214,11 +240,13 @@ impl Dma {
             }
         }
         let Some((t, mut p)) = self.active else {
+            self.last_cause = StallCause::Idle;
             return;
         };
         if p.startup_left > 0 {
             p.startup_left -= 1;
             self.active = Some((t, p));
+            self.last_cause = StallCause::DrainBusy;
             return;
         }
         let dir = self.direction(&t);
@@ -230,6 +258,7 @@ impl Dma {
         let n_banks = claimed.len().max(1);
         let mut moved = 0;
         let mut denied = false;
+        let mut yielded = false;
         while moved < DMA_WORDS_PER_CYCLE && p.row < t.reps {
             let src = t.src + p.row * t.src_stride + p.word * 8;
             let dst = t.dst + p.row * t.dst_stride + p.word * 8;
@@ -240,6 +269,7 @@ impl Dma {
                 };
                 let bank = ((local / 8) as usize) % n_banks;
                 if contested.get(bank).copied().unwrap_or(false) {
+                    yielded = true;
                     break;
                 }
             }
@@ -288,6 +318,15 @@ impl Dma {
         } else if denied {
             self.stats.stall_cycles += 1;
         }
+        self.last_cause = if moved > 0 {
+            StallCause::Active
+        } else if denied {
+            StallCause::BwDenied
+        } else if yielded {
+            StallCause::PortConflict
+        } else {
+            StallCause::Idle
+        };
         if p.row >= t.reps {
             self.completed = self.completed.max(t.id + 1);
             self.stats.transfers += 1;

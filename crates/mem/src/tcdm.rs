@@ -24,6 +24,14 @@ pub struct TcdmStats {
     pub dma_conflicts: u64,
 }
 
+impl issr_trace::StatMerge for TcdmStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.grants += other.grants;
+        self.conflicts += other.conflicts;
+        self.dma_conflicts += other.dma_conflicts;
+    }
+}
+
 /// Banked, word-interleaved scratchpad memory.
 #[derive(Clone, Debug)]
 pub struct Tcdm {

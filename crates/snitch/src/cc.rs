@@ -2,9 +2,10 @@
 //! wired to the memory system — and the single-CC evaluation harness
 //! of §IV-A.
 
+use crate::attr::{CcAttribution, CcCauses};
 use crate::core::{SnitchCore, Trap};
 use crate::fpu::FpuSubsystem;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RoiCounters};
 use crate::params::CcParams;
 use crate::shared::SharedPort;
 use issr_core::joiner::JoinerStats;
@@ -17,6 +18,7 @@ use issr_mem::icache::{L0Buffer, L1ICache};
 use issr_mem::map::TCDM_BASE;
 use issr_mem::port::MemPort;
 use issr_mem::tcdm::{Tcdm, TcdmStats};
+use issr_trace::StallCause;
 
 /// One Snitch core complex.
 ///
@@ -36,8 +38,12 @@ pub struct CoreComplex {
     pub shared: SharedPort,
     /// Per-core metrics.
     pub metrics: Metrics,
+    /// ROI stall-cause breakdowns (hart + stream units), sampled once
+    /// per ROI cycle.
+    pub attr: CcAttribution,
     program: Program,
     l0: Option<L0Buffer>,
+    causes: CcCauses,
 }
 
 impl CoreComplex {
@@ -64,8 +70,10 @@ impl CoreComplex {
             streamer,
             shared: SharedPort::new(),
             metrics: Metrics::default(),
+            attr: CcAttribution::with_lanes(n_lanes),
             program,
             l0: None,
+            causes: CcCauses::default(),
         }
     }
 
@@ -106,6 +114,10 @@ impl CoreComplex {
         l1: Option<&mut L1ICache>,
     ) {
         assert_eq!(phys.len(), self.streamer.n_lanes(), "one physical port per lane");
+        // Pre-tick counter snapshot: the attribution sampler at step 6
+        // classifies the hart from what this cycle's sub-steps added.
+        let instret_before = self.metrics.instret;
+        let roi_before = self.metrics.roi;
         // 0. Instruction fetch timing (L0 / shared L1 model).
         if let (Some(l0), Some(l1)) = (self.l0.as_mut(), l1) {
             if !self.core.halted() && self.core.fetch_stall == 0 && !l0.fetch(self.core.pc()) {
@@ -152,11 +164,58 @@ impl CoreComplex {
         }
         // 5. Forward one combined request.
         self.shared.forward_requests(phys[0]);
-        // 6. Account the cycle.
+        // 6. Account the cycle — and classify it. The hart cause comes
+        // from the counter deltas this tick produced; the stream units
+        // classify themselves. Recording happens here, exactly once per
+        // cycle, right where the ROI cycle counter advances — which is
+        // what makes every breakdown total equal the ROI cycles.
+        let hart = self.hart_cause(instret_before, &roi_before);
+        let probe = self.streamer.attr_probe();
         self.metrics.cycles += 1;
         if self.metrics.roi_active {
             self.metrics.roi.cycles += 1;
+            self.attr.hart.record(hart);
+            for (table, &cause) in self.attr.lanes.iter_mut().zip(probe.lanes.iter()) {
+                table.record(cause);
+            }
+            self.attr.joiner.record(probe.joiner);
+            self.attr.spacc.record(probe.spacc);
         }
+        self.causes = CcCauses { hart, streamer: probe };
+    }
+
+    /// Classifies the hart's cycle from the counter deltas the tick's
+    /// sub-steps produced. Issue (integer or FPU) wins; otherwise the
+    /// park/barrier states, then the stall counters, decide.
+    fn hart_cause(&self, instret_before: u64, roi_before: &RoiCounters) -> StallCause {
+        let roi = &self.metrics.roi;
+        if self.metrics.instret > instret_before
+            || roi.core_ops > roi_before.core_ops
+            || roi.fpu_ops > roi_before.fpu_ops
+        {
+            return StallCause::Active;
+        }
+        if self.core.halted() {
+            return StallCause::Parked;
+        }
+        if self.core.at_barrier() {
+            return StallCause::BarrierWait;
+        }
+        if roi.core_stall_structural > roi_before.core_stall_structural {
+            return StallCause::PortConflict;
+        }
+        if roi.core_stall_raw > roi_before.core_stall_raw || roi.fpu_stall > roi_before.fpu_stall {
+            return StallCause::FifoEmpty;
+        }
+        StallCause::Idle
+    }
+
+    /// The most recent tick's classification of every unit, refreshed
+    /// every cycle (inside the ROI or not) — the signal the cluster and
+    /// system harnesses feed their interval-trace recorders.
+    #[must_use]
+    pub fn last_causes(&self) -> &CcCauses {
+        &self.causes
     }
 }
 
@@ -192,6 +251,9 @@ pub struct RunSummary {
     pub spacc_stats: SpAccStats,
     /// Memory statistics.
     pub tcdm_stats: TcdmStats,
+    /// ROI stall-cause breakdowns (hart + stream units); each table
+    /// totals to `metrics.roi.cycles`.
+    pub attr: CcAttribution,
     /// Decode/fetch trap that parked the core, if any. A trapped run
     /// still drains and returns `Ok` — callers inspect this field to
     /// distinguish a clean `halt` from a structured error.
@@ -219,6 +281,13 @@ impl RunSummary {
             );
         }
         self
+    }
+
+    /// The per-unit stall-cause breakdown as an aligned text table —
+    /// what the bench reporters print under their result rows.
+    #[must_use]
+    pub fn attribution_report(&self) -> String {
+        issr_trace::breakdown_table(&self.attr.rows(""))
     }
 }
 
@@ -307,6 +376,7 @@ impl SingleCcSim {
                     joiner_stats: self.cc.streamer.joiner_stats(),
                     spacc_stats: self.cc.streamer.spacc_stats(),
                     tcdm_stats: self.mem.stats(),
+                    attr: self.cc.attr.clone(),
                     trap: self.cc.core.trap(),
                 });
             }
@@ -714,6 +784,36 @@ mod tests {
         a.nop(); // no halt: runs off the end
         let mut sim = SingleCcSim::new(a.finish().unwrap());
         let _ = sim.run(100).unwrap().expect_clean();
+    }
+
+    /// Every attribution table totals exactly the ROI cycle count —
+    /// the by-construction invariant — and an issue-bound integer loop
+    /// shows an almost fully active hart.
+    #[test]
+    fn attribution_tables_sum_to_roi_cycles() {
+        use issr_trace::StallCause;
+        let mut a = Assembler::new();
+        a.li(R::T0, 64);
+        a.roi_begin();
+        let head = a.bind_label();
+        a.addi(R::T0, R::T0, -1);
+        a.bnez(R::T0, head);
+        a.roi_end();
+        a.halt();
+        let mut sim = SingleCcSim::new(a.finish().unwrap());
+        let summary = sim.run(10_000).unwrap().expect_clean();
+        let roi = summary.metrics.roi.cycles;
+        assert!(roi > 0);
+        assert_eq!(summary.attr.hart.total(), roi);
+        for lane in &summary.attr.lanes {
+            assert_eq!(lane.total(), roi);
+        }
+        assert_eq!(summary.attr.joiner.total(), roi);
+        assert_eq!(summary.attr.spacc.total(), roi);
+        // A pure integer loop: the hart is active nearly every cycle,
+        // the streams are idle throughout.
+        assert!(summary.attr.hart.occupancy() > 0.9, "{}", summary.attribution_report());
+        assert_eq!(summary.attr.lanes[0].get(StallCause::Idle), roi);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod attr;
 pub mod cc;
 pub mod core;
 pub mod fpu;
@@ -19,6 +20,7 @@ pub mod metrics;
 pub mod params;
 pub mod shared;
 
+pub use attr::{CcAttribution, CcCauses};
 pub use cc::{CoreComplex, RunSummary, SimTimeout, SingleCcSim, SINGLE_CC_ARENA};
 pub use core::{SnitchCore, Trap, TrapCause};
 pub use fpu::{FpOp, FpuSubsystem, IntWriteback};

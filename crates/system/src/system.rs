@@ -17,12 +17,14 @@
 //! ticket counter ([`System::set_work_queue`]) from which the clusters'
 //! DMCCs claim row-panel tiles of a shared work queue.
 
-use issr_cluster::cluster::{Cluster, ClusterParams, ClusterSummary};
+use issr_cluster::cluster::{Cluster, ClusterParams, ClusterSummary, ClusterTracks};
 use issr_isa::asm::Program;
+use issr_mem::dma::DmaStats;
 use issr_mem::main_mem::{MainMemStats, MainMemory};
 use issr_mem::map::{MAIN_BASE, MAIN_SIZE};
 use issr_snitch::cc::SimTimeout;
 use issr_snitch::core::Trap;
+use issr_trace::{merge::merge_all, TraceRecorder};
 
 /// System configuration.
 #[derive(Clone, Copy, Debug)]
@@ -83,16 +85,24 @@ impl SystemSummary {
             .collect()
     }
 
+    /// All clusters' DMA statistics folded into one (the single
+    /// aggregation path every total below reads from).
+    #[must_use]
+    pub fn merged_dma_stats(&self) -> DmaStats {
+        merge_all(self.clusters.iter().map(|c| &c.dma_stats))
+    }
+
     /// Total DMA words moved by all clusters (both directions).
     #[must_use]
     pub fn total_dma_words(&self) -> u64 {
-        self.clusters.iter().map(|c| c.dma_stats.words_in + c.dma_stats.words_out).sum()
+        let dma = self.merged_dma_stats();
+        dma.words_in + dma.words_out
     }
 
     /// Total cycles DMA engines stalled on denied main-memory bandwidth.
     #[must_use]
     pub fn total_dma_stalls(&self) -> u64 {
-        self.clusters.iter().map(|c| c.dma_stats.stall_cycles).sum()
+        self.merged_dma_stats().stall_cycles
     }
 
     /// Fraction of DMA word requests denied by the shared interface —
@@ -119,6 +129,14 @@ pub struct System {
     rr: usize,
     now: u64,
     overlap_cycles: u64,
+    trace: Option<SystemTrace>,
+}
+
+/// The opt-in interval recorder plus the per-cluster track handles.
+#[derive(Debug)]
+struct SystemTrace {
+    rec: TraceRecorder,
+    tracks: Vec<ClusterTracks>,
 }
 
 impl System {
@@ -133,7 +151,41 @@ impl System {
         let main = MainMemory::new(MAIN_BASE, MAIN_SIZE)
             .with_dma_bandwidth(params.dma_words_per_cycle)
             .with_dma_latency(params.dma_latency);
-        Self { clusters, main, rr: 0, now: 0, overlap_cycles: 0 }
+        Self { clusters, main, rr: 0, now: 0, overlap_cycles: 0, trace: None }
+    }
+
+    /// Enables interval tracing with a ring of at most `cap` spans:
+    /// registers one track per hart, per worker lane and per DMA engine
+    /// in every cluster (cluster index = Perfetto process id) and
+    /// samples them each cycle from then on. The recorder only *reads*
+    /// latched per-tick state, so enabling it cannot change timing.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        let mut rec = TraceRecorder::new(cap);
+        let tracks = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(pid, c)| c.register_tracks(&mut rec, pid as u32))
+            .collect();
+        self.trace = Some(SystemTrace { rec, tracks });
+    }
+
+    /// Closes all open spans and returns the Chrome trace-event
+    /// document, or `None` if tracing was never enabled. Tracing
+    /// continues if the system keeps running afterwards.
+    pub fn trace_json(&mut self) -> Option<issr_trace::Json> {
+        let now = self.now;
+        self.trace.as_mut().map(|t| {
+            t.rec.finish(now);
+            t.rec.to_chrome_json()
+        })
+    }
+
+    /// The live recorder, if tracing is enabled (tests inspect track
+    /// and span counts through this).
+    #[must_use]
+    pub fn trace_recorder(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref().map(|t| &t.rec)
     }
 
     /// Designates `addr` (in main memory) as the hardware fetch-and-add
@@ -164,6 +216,11 @@ impl System {
         }
         if dma_moved && in_roi {
             self.overlap_cycles += 1;
+        }
+        if let Some(trace) = &mut self.trace {
+            for (cluster, tracks) in self.clusters.iter().zip(trace.tracks.iter()) {
+                cluster.trace_sample(&mut trace.rec, tracks, self.now);
+            }
         }
         self.rr = (self.rr + 1) % n;
         self.now += 1;
@@ -327,6 +384,38 @@ mod tests {
         let expect: Vec<u32> = (0..3 * claims).collect();
         assert_eq!(seen, expect, "tickets must be unique and gap-free");
         assert_eq!(sys.main.array().load_u64(queue), u64::from(3 * claims));
+    }
+
+    /// Tracing is observational: enabling it changes no cycle counts,
+    /// and the export carries one named track per hart, per lane and
+    /// per DMA engine in every cluster.
+    #[test]
+    fn tracing_is_timing_neutral_and_tracks_every_unit() {
+        let n_workers = ClusterParams::default().n_workers;
+        let build = || dma_pull_program(128, n_workers as u32);
+        let plain = System::new(build(), params(2)).run(100_000).unwrap();
+        let mut sys = System::new(build(), params(2));
+        sys.enable_tracing(4096);
+        let traced = sys.run(100_000).unwrap();
+        assert_eq!(traced.cycles, plain.cycles, "tracing must not alter timing");
+        assert_eq!(traced.total_dma_words(), plain.total_dma_words());
+        // Tracks: per cluster, one per worker hart + 2 lanes each,
+        // the DMCC and the DMA engine.
+        let per_cluster = n_workers + 2 * n_workers + 1 + 1;
+        let rec = sys.trace_recorder().expect("tracing enabled");
+        assert_eq!(rec.n_tracks(), 2 * per_cluster);
+        assert!(rec.n_spans() > 0, "the DMA pull must produce busy spans");
+        // Per-cluster DMA attribution covers every cluster cycle.
+        for c in &traced.clusters {
+            assert_eq!(c.attr.dma.total(), c.cycles);
+        }
+        let doc = sys.trace_json().expect("export");
+        let events = doc.get("traceEvents").and_then(issr_trace::Json::as_arr).expect("events");
+        let metas = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(issr_trace::Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(metas, 2 * per_cluster, "every track must be named");
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Opt-in interval tracing with Chrome trace-event export.
+//!
+//! The recorder observes unit occupancy from *outside* the timing model
+//! (the run harnesses sample public state once per cycle), so enabling
+//! it cannot change simulated behavior — the invariance the property
+//! tests pin down. Spans live in a bounded ring: when the cap is hit
+//! the oldest span is dropped and counted, so a full-size
+//! `system_spgemm` run keeps the tail of its timeline at a fixed memory
+//! cost instead of growing without bound.
+//!
+//! The export is the Chrome trace-event JSON array format: complete
+//! (`"ph":"X"`) events on one track per unit, with thread-name metadata
+//! so Perfetto labels the tracks. Load it at `ui.perfetto.dev` (Open
+//! trace file) or `chrome://tracing`.
+
+use crate::json::{obj, Json};
+
+/// Handle to one registered track.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrackId(usize);
+
+#[derive(Clone, Debug)]
+struct Track {
+    /// Process id in the export — one per cluster.
+    pid: u32,
+    /// Display name ("hart 3", "dma", "w0 lane 1", …).
+    name: String,
+    /// Open span's start cycle, if the unit is currently busy.
+    open_since: Option<u64>,
+}
+
+/// One closed occupancy span.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    track: usize,
+    start: u64,
+    dur: u64,
+}
+
+/// Default span capacity: ~1.5 MB of spans, plenty for the smoke runs
+/// and a bounded tail for full-size ones.
+pub const DEFAULT_SPAN_CAP: usize = 65_536;
+
+/// Ring-buffered occupancy recorder.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    tracks: Vec<Track>,
+    spans: std::collections::VecDeque<Span>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_SPAN_CAP)
+    }
+}
+
+impl TraceRecorder {
+    /// Creates a recorder holding at most `cap` spans (oldest dropped
+    /// first; a zero cap records nothing but still counts drops).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self { tracks: Vec::new(), spans: std::collections::VecDeque::new(), cap, dropped: 0 }
+    }
+
+    /// Registers a track under process `pid` (one pid per cluster).
+    pub fn add_track(&mut self, pid: u32, name: impl Into<String>) -> TrackId {
+        self.tracks.push(Track { pid, name: name.into(), open_since: None });
+        TrackId(self.tracks.len() - 1)
+    }
+
+    /// Records the unit's busy/idle state for cycle `now`. Transitions
+    /// open and close spans; steady state is free.
+    pub fn sample(&mut self, track: TrackId, now: u64, busy: bool) {
+        let t = &mut self.tracks[track.0];
+        match (t.open_since, busy) {
+            (None, true) => t.open_since = Some(now),
+            (Some(start), false) => {
+                t.open_since = None;
+                self.push_span(Span { track: track.0, start, dur: now.saturating_sub(start) });
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes every open span at end-of-run cycle `now`.
+    pub fn finish(&mut self, now: u64) {
+        for i in 0..self.tracks.len() {
+            if let Some(start) = self.tracks[i].open_since.take() {
+                self.push_span(Span { track: i, start, dur: now.saturating_sub(start) });
+            }
+        }
+    }
+
+    fn push_span(&mut self, span: Span) {
+        if span.dur == 0 {
+            return;
+        }
+        if self.spans.len() >= self.cap {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        if self.cap > 0 {
+            self.spans.push_back(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Registered tracks.
+    #[must_use]
+    pub fn n_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Closed spans currently held.
+    #[must_use]
+    pub fn n_spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Spans evicted by the ring cap.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports the Chrome trace-event document (1 cycle = 1 µs, so
+    /// Perfetto's time axis reads directly in cycles).
+    #[must_use]
+    pub fn to_chrome_json(&self) -> Json {
+        let mut events = Vec::with_capacity(self.tracks.len() + self.spans.len());
+        for (tid, t) in self.tracks.iter().enumerate() {
+            events.push(obj(vec![
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(u64::from(t.pid))),
+                ("tid", Json::from(tid)),
+                ("args", obj(vec![("name", Json::from(t.name.as_str()))])),
+            ]));
+        }
+        for s in &self.spans {
+            let t = &self.tracks[s.track];
+            events.push(obj(vec![
+                ("name", Json::from("busy")),
+                ("ph", Json::from("X")),
+                ("ts", Json::from(s.start)),
+                ("dur", Json::from(s.dur)),
+                ("pid", Json::from(u64::from(t.pid))),
+                ("tid", Json::from(s.track)),
+            ]));
+        }
+        obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ns")),
+            ("droppedSpans", Json::from(self.dropped)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_make_spans() {
+        let mut rec = TraceRecorder::new(16);
+        let t = rec.add_track(0, "hart 0");
+        for now in 0..10u64 {
+            rec.sample(t, now, (2..5).contains(&now) || now >= 8);
+        }
+        rec.finish(10);
+        assert_eq!(rec.n_spans(), 2); // [2,5) and [8,10)
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_cap_drops_oldest() {
+        let mut rec = TraceRecorder::new(2);
+        let t = rec.add_track(0, "x");
+        for i in 0..4u64 {
+            rec.sample(t, 2 * i, true);
+            rec.sample(t, 2 * i + 1, false);
+        }
+        assert_eq!(rec.n_spans(), 2);
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn export_names_every_track() {
+        let mut rec = TraceRecorder::new(8);
+        let a = rec.add_track(0, "hart 0");
+        let _b = rec.add_track(1, "dma");
+        rec.sample(a, 0, true);
+        rec.finish(3);
+        let doc = rec.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("events");
+        let metas =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")).count();
+        assert_eq!(metas, 2);
+        let spans: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("dur").and_then(Json::as_int), Some(3));
+    }
+}

@@ -1,0 +1,63 @@
+//! # issr-trace
+//!
+//! The simulator's observability layer: where the other crates *model*
+//! the architecture, this one explains what the model spent its cycles
+//! on. It is deliberately at the bottom of the dependency graph (no
+//! dependencies, not even on `issr-mem`) so every layer — stream units,
+//! core complex, cluster, system, benches — can report through the same
+//! vocabulary.
+//!
+//! Three facilities:
+//!
+//! * [`attr`] — stall-cause cycle attribution. Each simulated unit
+//!   classifies every ROI cycle into one [`StallCause`] and accumulates
+//!   a [`CycleBreakdown`]; by construction the breakdown sums exactly
+//!   to the elapsed cycles it covers.
+//! * [`chrome`] — an opt-in, ring-buffered interval recorder
+//!   ([`TraceRecorder`]) exporting Chrome trace-event JSON that loads
+//!   directly in Perfetto (`ui.perfetto.dev`).
+//! * [`json`] — a minimal JSON value/writer/parser ([`Json`]) for the
+//!   machine-readable `BENCH_*.json` bench telemetry. No serde: the
+//!   build environment is offline and the schema is tiny.
+//!
+//! Plus [`StatMerge`], the one merge trait behind every stats
+//! aggregation path, and [`ratio`], the guarded division every
+//! speedup/rate computation goes through.
+
+#![forbid(unsafe_code)]
+
+pub mod attr;
+pub mod chrome;
+pub mod json;
+pub mod merge;
+
+pub use attr::{breakdown_table, CycleBreakdown, StallCause};
+pub use chrome::{TraceRecorder, TrackId};
+pub use json::Json;
+pub use merge::StatMerge;
+
+/// Guarded division for speedups, rates and utilizations: returns
+/// `num / den`, or 0.0 when the denominator is zero (a run that
+/// completed in zero ROI cycles, an empty sweep, …) instead of a NaN
+/// or infinity that would poison every downstream table and JSON file.
+#[must_use]
+pub fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(0.0, 0.0), 0.0);
+        assert!((ratio(6.0, 3.0) - 2.0).abs() < 1e-12);
+        assert!(ratio(1.0, 0.0).is_finite());
+    }
+}

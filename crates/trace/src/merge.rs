@@ -1,0 +1,54 @@
+//! The one stats-merge trait.
+//!
+//! `RunSummary`, `ClusterSummary` and `SystemSummary` all aggregate
+//! per-unit counter structs (`LaneStats`, `JoinerStats`, `SpAccStats`,
+//! `DmaStats`, [`crate::CycleBreakdown`]); before this trait each did
+//! so by hand, field by field, and the three copies drifted. Counter
+//! structs implement [`StatMerge`] next to their definition and every
+//! aggregation path goes through it.
+
+/// Counter-wise accumulation of one stats struct into another.
+pub trait StatMerge {
+    /// Adds `other`'s counters into `self` (`max`-like fields take the
+    /// maximum — the implementor decides per field, once).
+    fn merge_from(&mut self, other: &Self);
+}
+
+/// Folds an iterator of stats into a single merged value.
+pub fn merge_all<'a, T, I>(items: I) -> T
+where
+    T: StatMerge + Default + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut acc = T::default();
+    for item in items {
+        acc.merge_from(item);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counts {
+        n: u64,
+        peak: u64,
+    }
+
+    impl StatMerge for Counts {
+        fn merge_from(&mut self, other: &Self) {
+            self.n += other.n;
+            self.peak = self.peak.max(other.peak);
+        }
+    }
+
+    #[test]
+    fn merge_all_folds() {
+        let parts = [Counts { n: 1, peak: 3 }, Counts { n: 2, peak: 1 }];
+        let total: Counts = merge_all(&parts);
+        assert_eq!(total.n, 3);
+        assert_eq!(total.peak, 3);
+    }
+}
