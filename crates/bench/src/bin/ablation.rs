@@ -14,6 +14,7 @@ use issr_trace::json::obj;
 use issr_trace::Json;
 
 fn main() {
+    issr_trace::host::install();
     let mut t = Telemetry::new("ablation", "full");
     let mut rng = gen::rng(0xAB1A);
     let m = gen::csr_clustered::<u16>(&mut rng, 512, 2048, 64, 256);
@@ -55,9 +56,13 @@ fn main() {
     // Instruction-cache contribution: ideal fetch vs L0+L1 model.
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
+    let mut verdict = None;
     for icache in [false, true] {
         let params = ClusterParams { icache, ..ClusterParams::default() };
         let run = run_cluster_csrmv_with(Variant::Issr, &m, &x, params).expect("run");
+        if icache {
+            verdict = Some(issr_bench::verdict::cluster_verdict(&run.summary));
+        }
         let label = if icache { "L0 + shared L1" } else { "ideal fetch" };
         rows.push(vec![
             label.to_owned(),
@@ -73,6 +78,11 @@ fn main() {
     println!("\nAblation 2 — instruction-cache model (\"some instruction cache stalls\", §IV-B)\n");
     println!("{}", markdown_table(&["fetch model", "cycles", "cluster util"], &rows));
     t.push("icache", Json::Arr(json_rows));
+
+    let verdict = verdict.expect("icache ablation ran");
+    println!("\n{}", verdict.line("cluster csrmv 8w icache"));
+    t.push("verdict", verdict.to_json());
+    t.set_host(issr_trace::host::report());
 
     if let Some(path) = telemetry::json_arg() {
         t.write(&path).expect("write BENCH json");

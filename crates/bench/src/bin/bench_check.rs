@@ -2,16 +2,26 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--tolerance 0.25]
+//! bench_check --update [--dir baselines]
 //! ```
 //!
 //! Validates that the fresh file a bench binary just wrote (1) carries
 //! the shared envelope (`schema_version`, `bench`, `mode`, `results`),
 //! (2) keeps its attribution invariants — every per-unit stall-cause
 //! breakdown sums to the cycle count it covers — and (3) has not
-//! regressed any cycle counter beyond the tolerance relative to the
-//! committed baseline. Structural drift (sections, rows or units
-//! appearing/disappearing) also fails: that is a schema change and the
-//! baseline must be regenerated deliberately.
+//! regressed any cycle counter beyond its tolerance relative to the
+//! committed baseline. Tolerances are per metric: the baseline's own
+//! `tolerances` object names the budget for each gated key, and
+//! `--tolerance` is only the fallback for keys it does not name.
+//! Structural drift (sections, rows or units appearing/disappearing)
+//! also fails: that is a schema change and the baseline must be
+//! regenerated deliberately. The `host` section (wall-clock profile,
+//! machine-dependent) and the `tolerances` object itself are exempt
+//! from the structural walk.
+//!
+//! `--update` regenerates the committed baselines by spawning the three
+//! smoke runs (`joiner`, `spgemm`, `system`, each `--smoke --json`)
+//! into the baseline directory.
 //!
 //! Exits non-zero with one line per violation — the CI gate.
 
@@ -33,6 +43,36 @@ const CYCLE_KEYS: [&str; 9] = [
     "base_cycles",
     "issr_cycles",
 ];
+
+/// Subtrees exempt from the structural walk: `host` is wall-clock
+/// profile data (machine-dependent, absent when the profiler is off)
+/// and `tolerances` is checker configuration, not a result.
+const SKIP_KEYS: [&str; 2] = ["host", "tolerances"];
+
+/// Per-metric drift budgets: the baseline's `tolerances` object plus
+/// the command-line fallback for unnamed metrics.
+struct Tolerances {
+    per_metric: Vec<(String, f64)>,
+    fallback: f64,
+}
+
+impl Tolerances {
+    fn from_baseline(doc: &Json, fallback: f64) -> Self {
+        let mut per_metric = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("tolerances") {
+            for (k, v) in fields {
+                if let Some(t) = v.as_f64() {
+                    per_metric.push((k.clone(), t));
+                }
+            }
+        }
+        Self { per_metric, fallback }
+    }
+
+    fn for_metric(&self, key: &str) -> f64 {
+        self.per_metric.iter().find(|(k, _)| k == key).map_or(self.fallback, |&(_, t)| t)
+    }
+}
 
 fn load(path: &str) -> Result<Json, String> {
     let text =
@@ -115,37 +155,53 @@ fn check_attribution(v: &Json, path: &str, errors: &mut Vec<String>) {
 }
 
 /// Walks baseline and fresh in parallel: structure must match, and any
-/// [`CYCLE_KEYS`] integer may drift by at most `tol` relative to the
-/// baseline.
-fn compare(base: &Json, fresh: &Json, tol: f64, path: &str, errors: &mut Vec<String>) {
+/// [`CYCLE_KEYS`] integer may drift by at most its per-metric tolerance
+/// relative to the baseline. A violation names the bench, the metric
+/// path and both values.
+fn compare(
+    base: &Json,
+    fresh: &Json,
+    tol: &Tolerances,
+    bench: &str,
+    path: &str,
+    errors: &mut Vec<String>,
+) {
     match (base, fresh) {
         (Json::Obj(bf), Json::Obj(_)) => {
             for (k, bv) in bf {
+                if path.is_empty() && SKIP_KEYS.contains(&k.as_str()) {
+                    continue;
+                }
                 let p = format!("{path}/{k}");
                 let Some(fv) = fresh.get(k) else {
-                    errors.push(format!("{p}: present in baseline, missing in fresh file"));
+                    errors.push(format!("{bench}{p}: present in baseline, missing in fresh file"));
                     continue;
                 };
                 if CYCLE_KEYS.contains(&k.as_str()) {
                     if let (Some(b), Some(f)) = (bv.as_int(), fv.as_int()) {
+                        let budget = tol.for_metric(k);
                         let drift = (f - b).abs() as f64;
-                        if b > 0 && drift > tol * b as f64 {
+                        if b > 0 && drift > budget * b as f64 {
                             errors.push(format!(
-                                "{p}: {f} vs baseline {b} (drift {:.1}% > {:.0}%)",
+                                "{bench}{p}: metric '{k}' is {f} vs baseline {b} \
+                                 (drift {:.1}% > {:.0}%)",
                                 100.0 * drift / b as f64,
-                                100.0 * tol
+                                100.0 * budget
                             ));
                         }
                         continue;
                     }
                 }
-                compare(bv, fv, tol, &p, errors);
+                compare(bv, fv, tol, bench, &p, errors);
             }
             if let Json::Obj(ff) = fresh {
                 for (k, _) in ff {
+                    if path.is_empty() && SKIP_KEYS.contains(&k.as_str()) {
+                        continue;
+                    }
                     if base.get(k).is_none() {
                         errors.push(format!(
-                            "{path}/{k}: present in fresh file, missing in baseline \
+                            "{bench}{path}/{k}: present in fresh file, missing in baseline \
                              (regenerate the baseline)"
                         ));
                     }
@@ -154,11 +210,11 @@ fn compare(base: &Json, fresh: &Json, tol: f64, path: &str, errors: &mut Vec<Str
         }
         (Json::Arr(bi), Json::Arr(fi)) => {
             if bi.len() != fi.len() {
-                errors.push(format!("{path}: {} rows vs baseline {}", fi.len(), bi.len()));
+                errors.push(format!("{bench}{path}: {} rows vs baseline {}", fi.len(), bi.len()));
                 return;
             }
             for (i, (bv, fv)) in bi.iter().zip(fi.iter()).enumerate() {
-                compare(bv, fv, tol, &format!("{path}/{i}"), errors);
+                compare(bv, fv, tol, bench, &format!("{path}/{i}"), errors);
             }
         }
         // Scalars other than the gated cycle keys (floats, strings,
@@ -167,23 +223,63 @@ fn compare(base: &Json, fresh: &Json, tol: f64, path: &str, errors: &mut Vec<Str
     }
 }
 
+/// Regenerates the committed baselines: one smoke run per bench binary,
+/// written straight into `dir`.
+fn update(dir: &str) -> Result<(), Vec<String>> {
+    std::fs::create_dir_all(dir).map_err(|e| vec![format!("{dir}: create: {e}")])?;
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut errors = Vec::new();
+    for bench in ["joiner", "spgemm", "system"] {
+        let out = format!("{dir}/BENCH_{bench}.json");
+        println!("bench_check: regenerating {out}");
+        let status = std::process::Command::new(&cargo)
+            .args(["run", "--release", "-q", "-p", "issr-bench", "--bin", bench, "--"])
+            .args(["--smoke", "--json", &out])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => errors.push(format!("{bench} --smoke exited with {s}")),
+            Err(e) => errors.push(format!("{bench} --smoke failed to spawn: {e}")),
+        }
+    }
+    // The system binary writes a Chrome trace next to its envelope;
+    // the baseline directory only keeps envelopes.
+    let _ = std::fs::remove_file(format!("{dir}/BENCH_system.trace.json"));
+    if errors.is_empty() {
+        println!("bench_check: baselines updated in {dir}/");
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn run() -> Result<(), Vec<String>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut tol = 0.25f64;
+    let mut fallback_tol = 0.25f64;
+    let mut dir = "baselines".to_owned();
+    let mut do_update = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
             let v = it.next().ok_or_else(|| vec!["--tolerance requires a value".to_owned()])?;
-            tol = v.parse().map_err(|e| vec![format!("--tolerance {v}: {e}")])?;
+            fallback_tol = v.parse().map_err(|e| vec![format!("--tolerance {v}: {e}")])?;
+        } else if a == "--dir" {
+            let v = it.next().ok_or_else(|| vec!["--dir requires a value".to_owned()])?;
+            dir = v.clone();
+        } else if a == "--update" {
+            do_update = true;
         } else {
             files.push(a.clone());
         }
     }
+    if do_update {
+        return update(&dir);
+    }
     let [baseline_path, fresh_path] = files.as_slice() else {
-        return Err(vec![
-            "usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.25]".to_owned()
-        ]);
+        return Err(vec!["usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.25] \
+             | bench_check --update [--dir baselines]"
+            .to_owned()]);
     };
     let baseline = load(baseline_path).map_err(|e| vec![e])?;
     let fresh = load(fresh_path).map_err(|e| vec![e])?;
@@ -199,11 +295,16 @@ fn run() -> Result<(), Vec<String>> {
     }
     check_attribution(&fresh, fresh_path, &mut errors);
     check_attribution(&baseline, baseline_path, &mut errors);
-    compare(&baseline, &fresh, tol, "", &mut errors);
+    let bench = baseline.get("bench").and_then(Json::as_str).unwrap_or("?").to_owned();
+    let tol = Tolerances::from_baseline(&baseline, fallback_tol);
+    compare(&baseline, &fresh, &tol, &bench, "", &mut errors);
     if errors.is_empty() {
         println!(
-            "bench_check: {fresh_path} ok against {baseline_path} (tolerance {:.0}%)",
-            100.0 * tol
+            "bench_check: {fresh_path} ok against {baseline_path} ({} per-metric tolerance{}, \
+             fallback {:.0}%)",
+            tol.per_metric.len(),
+            if tol.per_metric.len() == 1 { "" } else { "s" },
+            100.0 * tol.fallback
         );
         Ok(())
     } else {

@@ -1,0 +1,183 @@
+//! Regression differ for two `BENCH_*.json` envelopes.
+//!
+//! ```text
+//! bench_diff <baseline.json> <fresh.json> [--tolerance 0.25]
+//! ```
+//!
+//! Prints a markdown table of every gated cycle metric present in both
+//! files — value then, value now, signed drift, and whether the drift
+//! is inside the metric's tolerance (the baseline's `tolerances`
+//! object, falling back to `--tolerance`) — followed by any bound-
+//! classification changes (`verdict.bound` flips) and the host
+//! simulation-throughput delta when both files carry a `host` section.
+//!
+//! Unlike `bench_check` this is a report, not a gate: it always exits
+//! zero unless the arguments themselves are unusable, so CI can display
+//! the table for every run without failing the build twice for one
+//! regression.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use issr_bench::report::markdown_table;
+use issr_trace::Json;
+
+/// Integer fields worth diffing (the same set `bench_check` gates).
+const CYCLE_KEYS: [&str; 9] = [
+    "cycles",
+    "elapsed",
+    "base16",
+    "issr16",
+    "issr16_single",
+    "base32",
+    "issr32",
+    "base_cycles",
+    "issr_cycles",
+];
+
+struct MetricRow {
+    path: String,
+    metric: String,
+    old: i64,
+    new: i64,
+}
+
+/// Walks both documents in lockstep collecting every gated metric that
+/// is an integer on both sides, plus every `bound` string pair.
+fn collect(
+    base: &Json,
+    fresh: &Json,
+    path: &str,
+    rows: &mut Vec<MetricRow>,
+    bounds: &mut Vec<(String, String, String)>,
+) {
+    match (base, fresh) {
+        (Json::Obj(bf), Json::Obj(_)) => {
+            for (k, bv) in bf {
+                let Some(fv) = fresh.get(k) else { continue };
+                let p = format!("{path}/{k}");
+                if CYCLE_KEYS.contains(&k.as_str()) {
+                    if let (Some(b), Some(f)) = (bv.as_int(), fv.as_int()) {
+                        rows.push(MetricRow { path: p, metric: k.clone(), old: b, new: f });
+                        continue;
+                    }
+                }
+                if k == "bound" {
+                    if let (Some(b), Some(f)) = (bv.as_str(), fv.as_str()) {
+                        bounds.push((path.to_owned(), b.to_owned(), f.to_owned()));
+                        continue;
+                    }
+                }
+                collect(bv, fv, &p, rows, bounds);
+            }
+        }
+        (Json::Arr(bi), Json::Arr(fi)) => {
+            for (i, (bv, fv)) in bi.iter().zip(fi.iter()).enumerate() {
+                collect(bv, fv, &format!("{path}/{i}"), rows, bounds);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn tolerance_for(doc: &Json, metric: &str, fallback: f64) -> f64 {
+    doc.get("tolerances").and_then(|t| t.get(metric)).and_then(Json::as_f64).unwrap_or(fallback)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: read: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: parse: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fallback_tol = 0.25f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().ok_or("--tolerance requires a value")?;
+            fallback_tol = v.parse().map_err(|e| format!("--tolerance {v}: {e}"))?;
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [base_path, fresh_path] = files.as_slice() else {
+        return Err("usage: bench_diff <baseline.json> <fresh.json> [--tolerance 0.25]".to_owned());
+    };
+    let base = load(base_path)?;
+    let fresh = load(fresh_path)?;
+    let bench = base.get("bench").and_then(Json::as_str).unwrap_or("?");
+
+    let mut rows = Vec::new();
+    let mut bounds = Vec::new();
+    collect(&base, &fresh, "", &mut rows, &mut bounds);
+
+    println!("bench_diff: {bench} — {fresh_path} vs {base_path}\n");
+    if rows.is_empty() {
+        println!("no shared cycle metrics to compare");
+    } else {
+        let mut over = 0usize;
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let tol = tolerance_for(&base, &r.metric, fallback_tol);
+                let drift = if r.old > 0 { (r.new - r.old) as f64 / r.old as f64 } else { 0.0 };
+                let within = drift.abs() <= tol;
+                if !within {
+                    over += 1;
+                }
+                vec![
+                    r.path.clone(),
+                    r.old.to_string(),
+                    r.new.to_string(),
+                    format!("{:+.1}%", 100.0 * drift),
+                    format!("{:.0}%", 100.0 * tol),
+                    if within { "ok".to_owned() } else { "OVER".to_owned() },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(&["metric", "baseline", "fresh", "drift", "tolerance", ""], &table)
+        );
+        println!("{} metric(s), {} over tolerance\n", rows.len(), over);
+    }
+
+    let flips: Vec<&(String, String, String)> = bounds.iter().filter(|(_, b, f)| b != f).collect();
+    if flips.is_empty() {
+        if !bounds.is_empty() {
+            println!("bound classification unchanged");
+        }
+    } else {
+        for (path, b, f) in flips {
+            println!("bound change at {path}: {b}-bound -> {f}-bound");
+        }
+    }
+
+    let rate = |doc: &Json| {
+        doc.get("host").and_then(|h| h.get("sim_cycles_per_sec")).and_then(Json::as_f64)
+    };
+    if let (Some(old), Some(new)) = (rate(&base), rate(&fresh)) {
+        if old > 0.0 {
+            println!(
+                "host throughput: {:.0} -> {:.0} sim cycles/s ({:+.1}%)",
+                old,
+                new,
+                100.0 * (new - old) / old
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

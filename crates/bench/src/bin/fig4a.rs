@@ -5,10 +5,14 @@
 use issr_bench::figures::{default_nnz_sweep, fig4a};
 use issr_bench::report::markdown_table;
 use issr_bench::telemetry::{self, Telemetry};
+use issr_kernels::spvv::run_spvv;
+use issr_kernels::variant::Variant;
+use issr_sparse::gen;
 use issr_trace::json::obj;
 use issr_trace::Json;
 
 fn main() {
+    issr_trace::host::install();
     let rows = fig4a(&default_nnz_sweep());
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -32,8 +36,17 @@ fn main() {
             &table
         )
     );
+    // Bound verdict of a representative sweep point (ISSR-16, nnz 512).
+    let mut rng = gen::rng(0x000F_164A + 512);
+    let a = gen::sparse_vector::<u32>(&mut rng, 2048, 512).with_index_width::<u16>();
+    let b = gen::dense_vector(&mut rng, 2048);
+    let summary = run_spvv(Variant::Issr, &a, &b).expect("issr16 run").summary;
+    let verdict = issr_bench::verdict::cc_verdict(&summary);
+    println!("\n{}", verdict.line("spvv nnz=512 issr16"));
     if let Some(path) = telemetry::json_arg() {
         let mut t = Telemetry::new("fig4a", "full");
+        t.push("verdict", verdict.to_json());
+        t.set_host(issr_trace::host::report());
         t.push(
             "utilization",
             Json::Arr(

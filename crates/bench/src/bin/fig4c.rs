@@ -6,10 +6,14 @@ use issr_bench::figures::fig4c;
 use issr_bench::report::markdown_table;
 use issr_bench::telemetry::{self, Telemetry};
 use issr_compare::base_core_equivalent;
+use issr_kernels::cluster_csrmv::run_cluster_csrmv;
+use issr_kernels::variant::Variant;
+use issr_sparse::gen;
 use issr_trace::json::obj;
 use issr_trace::Json;
 
 fn main() {
+    issr_trace::host::install();
     let points = [1, 2, 4, 8, 16, 32, 64, 128];
     let rows = fig4c(&points);
     let table: Vec<Vec<String>> = rows
@@ -39,8 +43,17 @@ fn main() {
         peak,
         base_core_equivalent(8.0, peak)
     );
+    // Bound verdict of a representative sweep point (ISSR, 64 nnz/row).
+    let mut rng = gen::rng(0x000F_164C + 64);
+    let m = gen::csr_clustered::<u16>(&mut rng, 512, 2048, 64, 256);
+    let x = gen::dense_vector(&mut rng, 2048);
+    let run = run_cluster_csrmv(Variant::Issr, &m, &x).expect("issr run");
+    let verdict = issr_bench::verdict::cluster_verdict(&run.summary);
+    println!("\n{}", verdict.line("cluster csrmv nnz/row=64 issr"));
     if let Some(path) = telemetry::json_arg() {
         let mut t = Telemetry::new("fig4c", "full");
+        t.push("verdict", verdict.to_json());
+        t.set_host(issr_trace::host::report());
         t.push(
             "speedup",
             Json::Arr(

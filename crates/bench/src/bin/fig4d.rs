@@ -5,10 +5,14 @@
 use issr_bench::figures::fig4d;
 use issr_bench::report::markdown_table;
 use issr_bench::telemetry::{self, Telemetry};
+use issr_kernels::cluster_csrmv::run_cluster_csrmv;
+use issr_kernels::variant::Variant;
+use issr_sparse::{gen, suite};
 use issr_trace::json::obj;
 use issr_trace::Json;
 
 fn main() {
+    issr_trace::host::install();
     let cap: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120_000);
     let rows = fig4d(cap);
     let table: Vec<Vec<String>> = rows
@@ -33,8 +37,23 @@ fn main() {
             &table
         )
     );
+    // Bound verdict of the smallest suite stand-in under the cap
+    // (ISSR cluster run, same operands as its sweep row).
+    let entry = suite::suite()
+        .into_iter()
+        .filter(|e| e.nnz <= cap)
+        .min_by_key(|e| e.nnz)
+        .expect("suite entry under cap");
+    let m = entry.build::<u16>();
+    let mut rng = gen::rng(0x000F_164D);
+    let x = gen::dense_vector(&mut rng, m.ncols());
+    let run = run_cluster_csrmv(Variant::Issr, &m, &x).expect("issr run");
+    let verdict = issr_bench::verdict::cluster_verdict(&run.summary);
+    println!("\n{}", verdict.line(&format!("cluster csrmv {} issr", entry.name)));
     if let Some(path) = telemetry::json_arg() {
         let mut t = Telemetry::new("fig4d", "full");
+        t.push("verdict", verdict.to_json());
+        t.set_host(issr_trace::host::report());
         t.push(
             "energy",
             Json::Arr(

@@ -7,8 +7,7 @@
 //! `--json <path>` to also write the rows as `BENCH_joiner.json`.
 
 use issr_bench::figures::{
-    default_overlap_sweep, joiner_spmspv, joiner_spvv, spvv_attribution, JoinerSpmspvRow,
-    JoinerSpvvRow,
+    default_overlap_sweep, joiner_spmspv, joiner_spvv, spvv_summary, JoinerSpmspvRow, JoinerSpvvRow,
 };
 use issr_bench::report::markdown_table;
 use issr_bench::telemetry::{self, cc_attr_json, Telemetry};
@@ -53,6 +52,7 @@ fn spmspv_json(rows: &[JoinerSpmspvRow]) -> Json {
 }
 
 fn main() {
+    issr_trace::host::install();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut t = Telemetry::new("joiner", if smoke { "smoke" } else { "full" });
     let overlaps: Vec<f64> = if smoke { vec![0.0, 0.5, 1.0] } else { default_overlap_sweep() };
@@ -119,11 +119,15 @@ fn main() {
     t.push("spmspv", spmspv_json(&spmspv));
 
     // Where the cycles of a joiner-fed run go: ROI attribution of the
-    // half-overlap SpVV∩ run (ISSR-16).
-    let attr = spvv_attribution(0.5);
+    // half-overlap SpVV∩ run (ISSR-16), and what bounds it.
+    let summary = spvv_summary(0.5);
     println!("stall-cause attribution — SpVV∩ at 0.5 overlap (ISSR-16)\n");
-    println!("{}", breakdown_table(&attr.rows("")));
-    t.push("spvv_attribution", cc_attr_json(&attr));
+    println!("{}", breakdown_table(&summary.attr.rows("")));
+    t.push("spvv_attribution", cc_attr_json(&summary.attr));
+    let verdict = issr_bench::verdict::cc_verdict(&summary);
+    println!("{}", verdict.line("spvv 0.5 overlap"));
+    t.push("verdict", verdict.to_json());
+    t.set_host(issr_trace::host::report());
 
     if let Some(path) = telemetry::json_arg() {
         t.write(&path).expect("write BENCH json");

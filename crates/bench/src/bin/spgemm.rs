@@ -14,8 +14,9 @@
 //! power model's energy table for the sparse-output kernel.
 
 use issr_bench::figures::{
-    cluster_spgemm_report, default_spgemm_regimes, smoke_spgemm_regimes, spgemm_attribution,
-    spgemm_recovery_report, spgemm_suite_sweep, spgemm_sweep, SpgemmRow, SpgemmSuiteRow,
+    cluster_spgemm_phase_profile, cluster_spgemm_report, default_spgemm_regimes,
+    smoke_spgemm_regimes, spgemm_recovery_report, spgemm_suite_sweep, spgemm_summary, spgemm_sweep,
+    SpgemmRow, SpgemmSuiteRow,
 };
 use issr_bench::report::{markdown_table, ratio};
 use issr_bench::telemetry::{self, cc_attr_json, Telemetry};
@@ -119,6 +120,7 @@ fn suite_energy_table(t: &mut Telemetry) {
 }
 
 fn main() {
+    issr_trace::host::install();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let suite = std::env::args().any(|a| a == "--suite");
     let mode = if suite {
@@ -131,6 +133,7 @@ fn main() {
     let mut t = Telemetry::new("spgemm", mode);
     if suite {
         suite_energy_table(&mut t);
+        t.set_host(issr_trace::host::report());
         if let Some(path) = telemetry::json_arg() {
             t.write(&path).expect("write BENCH json");
             println!("wrote {}", path.display());
@@ -303,11 +306,23 @@ fn main() {
     );
 
     // Where the cycles of an SpAcc-backed run go: ROI attribution of
-    // the last regime's ISSR-16 run.
-    let attr = spgemm_attribution(regimes[regimes.len() - 1]);
-    println!("stall-cause attribution — {} regime (ISSR-16)\n", regimes[regimes.len() - 1].label);
-    println!("{}", breakdown_table(&attr.rows("")));
-    t.push("attribution", cc_attr_json(&attr));
+    // the last regime's ISSR-16 run, plus the bound verdict.
+    let last = regimes[regimes.len() - 1];
+    let summary = spgemm_summary(last);
+    println!("stall-cause attribution — {} regime (ISSR-16)\n", last.label);
+    println!("{}", breakdown_table(&summary.attr.rows("")));
+    t.push("attribution", cc_attr_json(&summary.attr));
+    let verdict = issr_bench::verdict::cc_verdict(&summary);
+    println!("{}", verdict.line(&format!("spgemm {}", last.label)));
+    t.push("verdict", verdict.to_json());
+
+    // The two-pass cluster kernel's phases, resolved by PC sampling:
+    // where the symbolic, scan and numeric passes each burn cycles.
+    let profile = cluster_spgemm_phase_profile(last);
+    println!("cluster SpGEMM phase profile — {} regime (ISSR, PC-sampled)\n", last.label);
+    println!("{}", breakdown_table(&profile.rows()));
+    t.push("phases", profile.to_json());
+    t.set_host(issr_trace::host::report());
 
     if let Some(path) = telemetry::json_arg() {
         t.write(&path).expect("write BENCH json");

@@ -199,6 +199,7 @@ fn attribution_report() -> SystemAttributionReport {
 }
 
 fn main() {
+    issr_trace::host::install();
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
     let mut t = Telemetry::new("system", if smoke_mode { "smoke" } else { "full" });
     if smoke_mode {
@@ -208,6 +209,11 @@ fn main() {
     }
     let report = attribution_report();
     t.push("attribution", system_attr_json(&report.summary));
+    let words_per_cycle = issr_system::system::SystemParams::default().dma_words_per_cycle;
+    let verdict = issr_bench::verdict::system_verdict(&report.summary, words_per_cycle);
+    println!("{}", verdict.line("system_csrmv x2"));
+    t.push("verdict", verdict.to_json());
+    t.set_host(issr_trace::host::report());
     if let Some(path) = telemetry::json_arg() {
         t.write(&path).expect("write BENCH json");
         let trace = telemetry::trace_path(&path);

@@ -2,7 +2,7 @@
 
 use issr_core::spacc::SpAccStats;
 use issr_kernels::cluster_csrmv::run_cluster_csrmv;
-use issr_kernels::cluster_spgemm::run_cluster_spgemm;
+use issr_kernels::cluster_spgemm::{build_cluster_spgemm, run_cluster_spgemm, ClusterSpgemmPlan};
 use issr_kernels::csrmm::run_csrmm;
 use issr_kernels::csrmv::run_csrmv;
 use issr_kernels::spgemm::{run_spgemm, run_spgemm_buffered, run_spgemm_recover};
@@ -885,16 +885,36 @@ pub fn system_csrmv_weak_scaling(
     out
 }
 
+/// Full run summary of one joiner-backed SpVV∩ run (ISSR-16, the
+/// sweep's operand shape at match density `overlap`) — attribution,
+/// lane stats and ROI counters for the joiner binary's breakdown table
+/// and bound verdict.
+#[must_use]
+pub fn spvv_summary(overlap: f64) -> issr_snitch::cc::RunSummary {
+    let (dim, nnz) = (8192, 512);
+    let mut rng = gen::rng(0x000F_164E + (overlap * 100.0) as u64);
+    let (a32, b32) = gen::overlapping_pair::<u32>(&mut rng, dim, nnz, nnz, overlap);
+    let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
+    run_spvv_ss(Variant::Issr, &a16, &b16).expect("issr16 run").summary
+}
+
 /// ROI stall-cause attribution of one joiner-backed SpVV∩ run
 /// (ISSR-16, the sweep's operand shape at match density `overlap`) —
 /// the breakdown tables the joiner binary prints and exports.
 #[must_use]
 pub fn spvv_attribution(overlap: f64) -> issr_snitch::attr::CcAttribution {
-    let (dim, nnz) = (8192, 512);
-    let mut rng = gen::rng(0x000F_164E + (overlap * 100.0) as u64);
-    let (a32, b32) = gen::overlapping_pair::<u32>(&mut rng, dim, nnz, nnz, overlap);
+    spvv_summary(overlap).attr
+}
+
+/// Full run summary of one SpAcc-backed SpGEMM run (ISSR-16 on
+/// `regime`) — attribution plus the counters the bound verdict needs.
+#[must_use]
+pub fn spgemm_summary(regime: SpgemmRegime) -> issr_snitch::cc::RunSummary {
+    let mut rng = gen::rng(0x000F_1650 + regime.b_row_nnz as u64);
+    let a32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, regime.nrows, regime.inner, regime.a_row_nnz);
+    let b32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, regime.inner, regime.ncols, regime.b_row_nnz);
     let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
-    run_spvv_ss(Variant::Issr, &a16, &b16).expect("issr16 run").summary.attr
+    run_spgemm(Variant::Issr, &a16, &b16).expect("issr16 run").summary
 }
 
 /// ROI stall-cause attribution of one SpAcc-backed SpGEMM run
@@ -902,11 +922,52 @@ pub fn spvv_attribution(overlap: f64) -> issr_snitch::attr::CcAttribution {
 /// prints and exports.
 #[must_use]
 pub fn spgemm_attribution(regime: SpgemmRegime) -> issr_snitch::attr::CcAttribution {
-    let mut rng = gen::rng(0x000F_1650 + regime.b_row_nnz as u64);
-    let a32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, regime.nrows, regime.inner, regime.a_row_nnz);
-    let b32 = gen::csr_fixed_row_nnz::<u32>(&mut rng, regime.inner, regime.ncols, regime.b_row_nnz);
-    let (a16, b16) = (a32.with_index_width::<u16>(), b32.with_index_width::<u16>());
-    run_spgemm(Variant::Issr, &a16, &b16).expect("issr16 run").summary.attr
+    spgemm_summary(regime).attr
+}
+
+/// Per-phase stall profile of one cluster SpGEMM run (ISSR-16 on
+/// `regime`): the two-pass kernel's symbolic, scan/offset and numeric
+/// phases resolved by sampling each worker's PC against the program's
+/// kernel symbols once per cycle. Host-side only — the kernel and the
+/// timing model are untouched, so the profiled run's cycle count equals
+/// the unprofiled one's.
+///
+/// # Panics
+/// Panics if the kernel symbols are missing or the cluster times out.
+#[must_use]
+pub fn cluster_spgemm_phase_profile(regime: SpgemmRegime) -> issr_trace::PhaseProfile {
+    use issr_cluster::cluster::{Cluster, ClusterParams};
+    let mut rng = gen::rng(0x000F_1651);
+    let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, regime.nrows, regime.inner, regime.a_row_nnz);
+    let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, regime.inner, regime.ncols, regime.b_row_nnz);
+    let params = ClusterParams { sssr: true, ..ClusterParams::default() };
+    let plan = ClusterSpgemmPlan::new(&a, &b, params.n_workers as u32);
+    let program = build_cluster_spgemm::<u16>(Variant::Issr, &plan);
+    // Instruction index × 4 = byte PC (the fetch unit indexes by pc/4).
+    let pc_of = |sym: &str| {
+        u32::try_from(program.symbol(sym).expect("kernel symbol") * 4).expect("pc fits u32")
+    };
+    let end = u32::try_from(program.len() * 4).expect("pc fits u32");
+    let mut profile = issr_trace::PhaseProfile::new(&[
+        ("symbolic", pc_of("worker"), pc_of("scan")),
+        ("scan", pc_of("scan"), pc_of("issr_row")),
+        ("numeric", pc_of("issr_row"), end),
+    ]);
+    let mut cluster = Cluster::new(program, params);
+    plan.marshal(&mut cluster, &a, &b);
+    let budget = 4_000_000 + 1024 * (a.nnz() + b.nnz() + a.nrows()) as u64;
+    let mut cycles = 0u64;
+    while !cluster.quiescent() {
+        assert!(cycles < budget, "phase-profiled SpGEMM run exceeded its budget");
+        cluster.tick();
+        cycles += 1;
+        for cc in &cluster.workers {
+            if !cc.core.halted() {
+                profile.sample(cc.core.pc(), cc.last_causes().hart);
+            }
+        }
+    }
+    profile
 }
 
 /// One instrumented system-CsrMV run: the summary whose per-cluster

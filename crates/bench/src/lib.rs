@@ -10,5 +10,6 @@
 pub mod figures;
 pub mod report;
 pub mod telemetry;
+pub mod verdict;
 
 pub use figures::*;

@@ -8,12 +8,20 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "bench": "system",
 //!   "mode": "smoke",
+//!   "tolerances": { "cycles": 0.25, ... },
+//!   "host": { "sim_cycles": ..., "classes": { ... } },
 //!   "results": { "<section>": ... }
 //! }
 //! ```
+//!
+//! `tolerances` carries the per-metric relative drift the checker
+//! accepts when this file serves as a baseline. `host` is the
+//! [`issr_trace::host`] self-profiler section (wall-clock per unit
+//! class, idle-tick census, simulated-cycles/sec); it describes the
+//! host machine, not the modeled one, so the checker ignores it.
 //!
 //! Everything is emitted through [`issr_trace::Json`] (insertion-ordered
 //! objects), so re-running a binary on unchanged code produces a
@@ -28,22 +36,49 @@ use issr_trace::json::obj;
 use issr_trace::Json;
 
 /// Version stamp of the envelope; bump on breaking schema changes.
-pub const SCHEMA_VERSION: i64 = 1;
+/// v2 added `tolerances` and `host` alongside `results`.
+pub const SCHEMA_VERSION: i64 = 2;
+
+/// Default per-metric baseline tolerances. Cluster/system cycle counts
+/// wander with matrix reseeds and scheduling changes, so they get the
+/// historical 25%; single-CC runs are deterministic per matrix and sit
+/// tighter. The checker falls back to its `--tolerance` flag for any
+/// metric not listed in a baseline.
+pub const DEFAULT_TOLERANCES: [(&str, f64); 9] = [
+    ("cycles", 0.25),
+    ("elapsed", 0.25),
+    ("base16", 0.20),
+    ("issr16", 0.20),
+    ("issr16_single", 0.20),
+    ("base32", 0.20),
+    ("issr32", 0.20),
+    ("base_cycles", 0.25),
+    ("issr_cycles", 0.25),
+];
 
 /// Accumulates one binary's result sections into the shared envelope.
 #[derive(Clone, Debug)]
 pub struct Telemetry {
     bench: String,
     mode: String,
+    tolerances: Vec<(String, f64)>,
+    host: Option<Json>,
     results: Vec<(String, Json)>,
 }
 
 impl Telemetry {
     /// Starts an envelope for bench `bench` running in `mode`
-    /// (`"smoke"`, `"full"`, `"suite"`, …).
+    /// (`"smoke"`, `"full"`, `"suite"`, …) carrying the
+    /// [`DEFAULT_TOLERANCES`].
     #[must_use]
     pub fn new(bench: &str, mode: &str) -> Self {
-        Self { bench: bench.to_owned(), mode: mode.to_owned(), results: Vec::new() }
+        Self {
+            bench: bench.to_owned(),
+            mode: mode.to_owned(),
+            tolerances: DEFAULT_TOLERANCES.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+            host: None,
+            results: Vec::new(),
+        }
     }
 
     /// Appends one named result section.
@@ -51,15 +86,39 @@ impl Telemetry {
         self.results.push((key.to_owned(), value));
     }
 
+    /// Overrides (or adds) the baseline tolerance for one metric.
+    pub fn set_tolerance(&mut self, metric: &str, tolerance: f64) {
+        match self.tolerances.iter_mut().find(|(k, _)| k == metric) {
+            Some((_, t)) => *t = tolerance,
+            None => self.tolerances.push((metric.to_owned(), tolerance)),
+        }
+    }
+
+    /// Attaches the host self-profiler section (usually
+    /// `issr_trace::host::report()` at the end of `main`).
+    pub fn set_host(&mut self, host: Option<Json>) {
+        self.host = host;
+    }
+
     /// The complete envelope.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("schema_version", Json::Int(SCHEMA_VERSION)),
             ("bench", Json::from(self.bench.as_str())),
             ("mode", Json::from(self.mode.as_str())),
-            ("results", Json::Obj(self.results.clone())),
-        ])
+            (
+                "tolerances",
+                Json::Obj(
+                    self.tolerances.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect(),
+                ),
+            ),
+        ];
+        if let Some(host) = &self.host {
+            fields.push(("host", host.clone()));
+        }
+        fields.push(("results", Json::Obj(self.results.clone())));
+        obj(fields)
     }
 
     /// Writes the envelope to `path` (with a trailing newline).
@@ -158,6 +217,25 @@ mod tests {
         assert_eq!(rows.map(<[Json]>::len), Some(1));
         // Round-trips through the writer/parser.
         assert_eq!(Json::parse(&doc.to_string()).expect("parse"), doc);
+    }
+
+    #[test]
+    fn envelope_carries_tolerances_and_host() {
+        let mut t = Telemetry::new("system", "smoke");
+        t.set_tolerance("cycles", 0.1);
+        t.set_tolerance("speedup", 0.05);
+        t.set_host(Some(obj(vec![("sim_cycles", Json::Int(7))])));
+        let doc = t.to_json();
+        let tol = doc.get("tolerances").expect("tolerances object");
+        assert_eq!(tol.get("cycles").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(tol.get("speedup").and_then(Json::as_f64), Some(0.05));
+        assert_eq!(tol.get("elapsed").and_then(Json::as_f64), Some(0.25));
+        let host = doc.get("host").expect("host section");
+        assert_eq!(host.get("sim_cycles").and_then(Json::as_int), Some(7));
+        // Without a host section the key is simply absent.
+        let bare = Telemetry::new("x", "smoke").to_json();
+        assert!(bare.get("host").is_none());
+        assert!(bare.get("tolerances").is_some());
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the host profiler (`issr_trace::host`):
+//!
+//! * **Guest neutrality** — installing the ambient profiler changes
+//!   neither a cycle count nor an output bit of any run shape
+//!   (single-CC SpMSpV, single-CC SpGEMM, multi-cluster system CsrMV).
+//!   The profiler only reads simulator state the tick already latched;
+//!   any divergence is an instrumentation bug.
+//! * **Census sanity** — a profiled run reports nonzero simulated
+//!   cycles and unit ticks, and every idle count stays within its
+//!   class's unit-tick total.
+
+use issr_kernels::spgemm::run_spgemm;
+use issr_kernels::spmspv::run_spmspv;
+use issr_kernels::system_csrmv::run_system_csrmv;
+use issr_kernels::variant::Variant;
+use issr_sparse::gen;
+use issr_trace::{host, Json};
+use proptest::prelude::*;
+
+/// Runs `f` twice — profiler off, then profiler on — and returns both
+/// results plus the profiled run's host report.
+fn with_and_without<T>(f: impl Fn() -> T) -> (T, T, Json) {
+    host::uninstall();
+    let plain = f();
+    host::install();
+    let profiled = f();
+    let report = host::report().expect("profiler installed");
+    host::uninstall();
+    (plain, profiled, report)
+}
+
+/// Asserts the report's shape: nonzero cycles, nonzero unit ticks, and
+/// idle counts bounded by their class totals.
+fn assert_report_sane(report: &Json, what: &str) {
+    let cycles = report.get("sim_cycles").and_then(Json::as_int).expect("sim_cycles");
+    assert!(cycles > 0, "{what}: profiled run counted no simulated cycles");
+    let Some(Json::Obj(classes)) = report.get("classes") else {
+        panic!("{what}: host report carries no classes object");
+    };
+    assert!(!classes.is_empty(), "{what}: host report names no unit classes");
+    let mut total_ticks = 0i64;
+    for (name, class) in classes {
+        let ticks = class.get("unit_ticks").and_then(Json::as_int).expect("unit_ticks");
+        let idle = class.get("idle_unit_ticks").and_then(Json::as_int).expect("idle_unit_ticks");
+        assert!(ticks > 0, "{what}/{name}: class recorded no unit ticks");
+        assert!(
+            (0..=ticks).contains(&idle),
+            "{what}/{name}: idle ticks {idle} outside 0..={ticks}"
+        );
+        total_ticks += ticks;
+    }
+    assert!(total_ticks > 0, "{what}: no unit ticks across any class");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Single-CC SpMSpV is bit- and cycle-identical under profiling.
+    #[test]
+    fn spmspv_is_profile_neutral(
+        nrows in 1usize..24,
+        ncols in 32usize..256,
+        row_nnz in 1usize..16,
+        x_nnz in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = gen::rng(seed);
+        let m = gen::csr_fixed_row_nnz::<u16>(&mut rng, nrows, ncols, row_nnz.min(ncols));
+        let x = gen::sparse_vector::<u16>(&mut rng, ncols, x_nnz.min(ncols));
+        let (plain, profiled, report) =
+            with_and_without(|| run_spmspv(Variant::Issr, &m, &x).expect("spmspv run"));
+        prop_assert_eq!(plain.summary.cycles, profiled.summary.cycles, "cycle counts must match");
+        let plain_bits: Vec<u64> = plain.y.iter().map(|v| v.to_bits()).collect();
+        let profiled_bits: Vec<u64> = profiled.y.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(plain_bits, profiled_bits, "output bits must match");
+        assert_report_sane(&report, "SpMSpV");
+    }
+
+    /// Single-CC SpGEMM (SpAcc path) is bit- and cycle-identical under
+    /// profiling.
+    #[test]
+    fn spgemm_is_profile_neutral(
+        nrows in 1usize..10,
+        inner in 1usize..24,
+        ncols in 1usize..48,
+        fill_a in 1usize..4,
+        fill_b in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = gen::rng(seed);
+        let a = gen::csr_fixed_row_nnz::<u16>(&mut rng, nrows, inner, fill_a.min(inner));
+        let b = gen::csr_fixed_row_nnz::<u16>(&mut rng, inner, ncols, fill_b.min(ncols));
+        let (plain, profiled, report) =
+            with_and_without(|| run_spgemm(Variant::Issr, &a, &b).expect("spgemm run"));
+        prop_assert_eq!(plain.summary.cycles, profiled.summary.cycles, "cycle counts must match");
+        let plain_bits: Vec<u64> = plain.c.vals().iter().map(|v| v.to_bits()).collect();
+        let profiled_bits: Vec<u64> = profiled.c.vals().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(plain_bits, profiled_bits, "output bits must match");
+        assert_report_sane(&report, "SpGEMM");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Multi-cluster system CsrMV — the run shape with every unit class
+    /// (workers, DMCC, DMA, memory) in play — is bit- and
+    /// cycle-identical under profiling.
+    #[test]
+    fn system_csrmv_is_profile_neutral(
+        nrows in 32usize..128,
+        ncols in 32usize..128,
+        n_clusters in prop_oneof![Just(1usize), Just(2)],
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = gen::rng(seed);
+        let nnz = (nrows * 4).min(nrows * ncols);
+        let m = gen::csr_uniform::<u16>(&mut rng, nrows, ncols, nnz);
+        let x = gen::dense_vector(&mut rng, ncols);
+        let (plain, profiled, report) = with_and_without(|| {
+            run_system_csrmv(Variant::Issr, &m, &x, n_clusters).expect("system run")
+        });
+        prop_assert_eq!(plain.summary.cycles, profiled.summary.cycles, "cycle counts must match");
+        let plain_bits: Vec<u64> = plain.y.iter().map(|v| v.to_bits()).collect();
+        let profiled_bits: Vec<u64> = profiled.y.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(plain_bits, profiled_bits, "output bits must match");
+        assert_report_sane(&report, "system CsrMV");
+        // The cluster harness reports all four unit classes.
+        let classes = report.get("classes").expect("classes");
+        for class in ["workers", "dmcc", "dma", "mem"] {
+            prop_assert!(classes.get(class).is_some(), "missing class {}", class);
+        }
+    }
+}

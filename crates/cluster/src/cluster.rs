@@ -14,7 +14,7 @@ use issr_snitch::cc::{CoreComplex, SimTimeout};
 use issr_snitch::core::Trap;
 use issr_snitch::metrics::Metrics;
 use issr_snitch::params::CcParams;
-use issr_trace::{CycleBreakdown, StallCause, StatMerge, TraceRecorder, TrackId};
+use issr_trace::{host, CounterId, CycleBreakdown, StallCause, StatMerge, TraceRecorder, TrackId};
 
 /// Cluster configuration.
 #[derive(Clone, Copy, Debug)]
@@ -191,6 +191,10 @@ pub struct ClusterTracks {
     pub lanes: Vec<Vec<TrackId>>,
     /// The DMA engine's track.
     pub dma: TrackId,
+    /// Per-worker, per-lane data-FIFO occupancy counters.
+    pub lane_fifo: Vec<Vec<CounterId>>,
+    /// Outstanding-words counter for the DMA engine.
+    pub dma_words: CounterId,
 }
 
 impl Cluster {
@@ -283,6 +287,7 @@ impl Cluster {
     /// Advances the whole cluster one cycle against its private main
     /// memory, resetting the memory's per-cycle DMA bandwidth budget.
     pub fn tick(&mut self) {
+        host::cycle();
         self.main.begin_dma_cycle();
         let mut main = std::mem::replace(&mut self.main, MainMemory::new(MAIN_BASE, 0));
         self.tick_shared(&mut main);
@@ -296,6 +301,20 @@ impl Cluster {
     /// share it — their tick order is the bandwidth grant order.
     pub fn tick_shared(&mut self, main: &mut MainMemory) -> TickActivity {
         let now = self.now;
+        // Host self-profiler (opt-in, read-only): take the provably-idle
+        // census *before* the phases run, then bill each phase's
+        // wall-clock to its unit class. All of it is gated on one
+        // thread-local check; `host_t = None` means zero further cost.
+        let mut host_t = host::phase_start();
+        let (idle_workers, idle_dmcc, idle_dma) = if host_t.is_some() {
+            (
+                self.workers.iter().filter(|cc| cc.quiescent()).count() as u64,
+                u64::from(self.dmcc.quiescent()),
+                u64::from(!self.dma.busy()),
+            )
+        } else {
+            (0, 0, 0)
+        };
         self.release_barrier_if_all_arrived();
         // 1. Cores.
         let n_workers = self.workers.len();
@@ -304,10 +323,12 @@ impl Cluster {
             let mut refs: Vec<&mut MemPort> = self.ports[i].iter_mut().collect();
             cc.tick(now, &mut refs, None, Some(&mut self.l1[hive.min(1)]));
         }
+        host::phase(&mut host_t, "workers", n_workers as u64, idle_workers);
         {
             let mut refs: Vec<&mut MemPort> = self.ports[n_workers].iter_mut().collect();
             self.dmcc.tick(now, &mut refs, Some(&mut self.dma), None);
         }
+        host::phase(&mut host_t, "dmcc", 1, idle_dmcc);
         // 2. DMA moves a beat and claims its banks, yielding contested
         // banks to core ports every other cycle (fair interconnect).
         self.dma_claimed.fill(false);
@@ -333,6 +354,16 @@ impl Cluster {
         );
         let moved_after = main.stats.wide_beats;
         self.dma_attr.record(self.dma.last_cause());
+        host::phase(&mut host_t, "dma", 1, idle_dma);
+        // The memories are idle when no port carries a request and the
+        // DMA claimed no bank this cycle.
+        let idle_mem = if host_t.is_some() {
+            let any_pending = self.ports.iter().flatten().any(|p| p.pending().is_some());
+            let any_claim = self.dma_claimed.iter().any(|&c| c);
+            u64::from(!any_pending && !any_claim)
+        } else {
+            0
+        };
         // 3. Route ports to their memories by pending-request region.
         let mut tcdm_ports: Vec<&mut MemPort> = Vec::new();
         let mut main_ports: Vec<&mut MemPort> = Vec::new();
@@ -345,6 +376,7 @@ impl Cluster {
         }
         self.tcdm.tick(now, &mut tcdm_ports, &self.dma_claimed);
         main.tick(now, &mut main_ports);
+        host::phase(&mut host_t, "mem", 1, idle_mem);
         self.now += 1;
         TickActivity {
             dma_words_moved: moved_after - moved_before,
@@ -369,12 +401,15 @@ impl Cluster {
     }
 
     /// Registers one track per hart (workers then DMCC), per worker
-    /// lane and for the DMA engine under process `pid` — the system
-    /// harness calls this once per cluster before tracing starts.
+    /// lane and for the DMA engine under process `pid`, plus counter
+    /// tracks for each lane's data-FIFO occupancy and the DMA engine's
+    /// outstanding words — the system harness calls this once per
+    /// cluster before tracing starts.
     #[must_use]
     pub fn register_tracks(&self, rec: &mut TraceRecorder, pid: u32) -> ClusterTracks {
         let mut harts = Vec::with_capacity(self.workers.len() + 1);
         let mut lanes = Vec::with_capacity(self.workers.len());
+        let mut lane_fifo = Vec::with_capacity(self.workers.len());
         for (i, cc) in self.workers.iter().enumerate() {
             harts.push(rec.add_track(pid, format!("hart {i}")));
             lanes.push(
@@ -382,10 +417,16 @@ impl Cluster {
                     .map(|l| rec.add_track(pid, format!("hart {i} ft{l}")))
                     .collect(),
             );
+            lane_fifo.push(
+                (0..cc.streamer.n_lanes())
+                    .map(|l| rec.add_counter(pid, format!("hart {i} ft{l} fifo")))
+                    .collect(),
+            );
         }
         harts.push(rec.add_track(pid, "dmcc"));
         let dma = rec.add_track(pid, "dma");
-        ClusterTracks { harts, lanes, dma }
+        let dma_words = rec.add_counter(pid, "dma outstanding words");
+        ClusterTracks { harts, lanes, dma, lane_fifo, dma_words }
     }
 
     /// Feeds one cycle's occupancy of every unit into the recorder.
@@ -399,10 +440,14 @@ impl Cluster {
                 let busy = causes.streamer.lanes.get(l) == Some(&StallCause::Active);
                 rec.sample(track, now, busy);
             }
+            for (l, &ctr) in tracks.lane_fifo[i].iter().enumerate() {
+                rec.sample_counter(ctr, now, cc.streamer.lane(l).fifo_len() as u64);
+            }
         }
         let dmcc_busy = self.dmcc.last_causes().hart == StallCause::Active;
         rec.sample(tracks.harts[self.workers.len()], now, dmcc_busy);
         rec.sample(tracks.dma, now, self.dma.last_cause() == StallCause::Active);
+        rec.sample_counter(tracks.dma_words, now, self.dma.outstanding_words());
     }
 
     /// Snapshot of the run statistics.

@@ -230,6 +230,13 @@ impl Lane {
             && self.rsp_tags.is_empty()
     }
 
+    /// Entries buffered in the data FIFO (Perfetto counter-track probe;
+    /// occupancy only, the contents stay private).
+    #[must_use]
+    pub fn fifo_len(&self) -> usize {
+        self.data_fifo.len()
+    }
+
     /// Whether the lane owns its memory port: a job is running or queued,
     /// or responses are still in flight. Unlike [`Self::is_idle`], data
     /// already buffered for the register file does not count — the

@@ -177,6 +177,21 @@ impl Dma {
         self.completed
     }
 
+    /// Words not yet moved: the active transfer's remaining words plus
+    /// everything queued behind it (Perfetto counter-track probe).
+    #[must_use]
+    pub fn outstanding_words(&self) -> u64 {
+        let queued: u64 =
+            self.queue.iter().map(|t| u64::from(t.size / 8) * u64::from(t.reps)).sum();
+        let active = self.active.as_ref().map_or(0, |(t, p)| {
+            let per_row = u64::from(t.size / 8);
+            let total = per_row * u64::from(t.reps);
+            let done = u64::from(p.row) * per_row + u64::from(p.word);
+            total.saturating_sub(done)
+        });
+        queued + active
+    }
+
     /// Whether a transfer is active or queued (`dmstati 1`).
     #[must_use]
     pub fn busy(&self) -> bool {

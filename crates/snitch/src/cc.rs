@@ -359,14 +359,26 @@ impl SingleCcSim {
         let deadline = self.now + max_cycles;
         while self.now < deadline {
             let now = self.now;
+            // Host self-profiler (opt-in, read-only): the single CC is
+            // its own "workers" class, the ideal memory is "mem".
+            let mut host_t = issr_trace::host::phase_start();
+            let idle_cc = if host_t.is_some() { u64::from(self.cc.quiescent()) } else { 0 };
             {
                 let mut port_refs: Vec<&mut MemPort> = self.ports.iter_mut().collect();
                 self.cc.tick(now, &mut port_refs, None, None);
             }
+            issr_trace::host::phase(&mut host_t, "workers", 1, idle_cc);
+            let idle_mem = if host_t.is_some() {
+                u64::from(self.ports.iter().all(|p| p.pending().is_none()))
+            } else {
+                0
+            };
             {
                 let mut port_refs: Vec<&mut MemPort> = self.ports.iter_mut().collect();
                 self.mem.tick(now, &mut port_refs, &[]);
             }
+            issr_trace::host::phase(&mut host_t, "mem", 1, idle_mem);
+            issr_trace::host::cycle();
             self.now += 1;
             if self.cc.quiescent() {
                 return Ok(RunSummary {

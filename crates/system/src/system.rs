@@ -204,6 +204,7 @@ impl System {
     /// Advances the whole system one cycle: one shared-bandwidth window,
     /// clusters granted in rotating round-robin order.
     pub fn tick(&mut self) {
+        issr_trace::host::cycle();
         self.main.begin_dma_cycle();
         let n = self.clusters.len();
         let mut dma_moved = false;

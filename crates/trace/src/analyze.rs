@@ -1,0 +1,438 @@
+//! Bottleneck classification: from raw counters to a verdict.
+//!
+//! [`attr`](crate::attr) answers *where the cycles went*; this module
+//! answers the question a reader actually has: *what bounds this run?*
+//! [`classify`] applies a roofline-style model — the cycles the moved
+//! words would take at the interconnect's word budget, vs the cycles
+//! the flops would take at peak FPU throughput — and falls back to the
+//! dominant stall cause when neither roof explains the runtime. The
+//! result is a [`Verdict`] with a one-line human-readable summary that
+//! every bench bin prints, and a JSON form for the telemetry envelope.
+//!
+//! [`PhaseProfile`] adds program-phase resolution: the bench harness
+//! maps kernel symbols to PC regions and buckets each sampled cycle's
+//! stall cause into the phase the worker's PC was in — how two-pass
+//! SpGEMM splits between symbolic, scan and numeric without touching
+//! the kernel or the timing model.
+
+use crate::json::obj;
+use crate::{ratio, CycleBreakdown, Json, StallCause};
+
+/// What limits a kernel run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bound {
+    /// Data movement at the interconnect/DMA word budget explains the
+    /// runtime (or bandwidth-denied stalls dominate).
+    Bandwidth,
+    /// FPU throughput at peak explains the runtime, or the units are
+    /// simply busy (control-flow limited counts as compute here: the
+    /// cores, not the memory system, are the limiter).
+    Compute,
+    /// Dependency latency dominates: starved or back-pressured FIFOs,
+    /// port conflicts, joiner waits, drains in flight.
+    Latency,
+    /// Synchronization dominates: cycles burnt at the cluster barrier.
+    Sync,
+}
+
+impl Bound {
+    /// Stable lowercase label (JSON value and verdict line).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::Bandwidth => "bandwidth",
+            Bound::Compute => "compute",
+            Bound::Latency => "latency",
+            Bound::Sync => "sync",
+        }
+    }
+}
+
+/// Inputs to [`classify`]: one kernel run reduced to the quantities the
+/// roofline model needs.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflineInput {
+    /// Measured runtime in cycles.
+    pub elapsed: u64,
+    /// Floating-point operations performed (fmadds + fadds).
+    pub flops: u64,
+    /// Peak flops/cycle of the units involved (1.0 per FPU).
+    pub peak_flops_per_cycle: f64,
+    /// 64-bit words moved through the bounding interconnect.
+    pub words_moved: u64,
+    /// That interconnect's word budget per cycle.
+    pub words_per_cycle: f64,
+    /// Merged stall-cause breakdown of the compute units.
+    pub stalls: CycleBreakdown,
+}
+
+/// A classified run: the bound, how much of the runtime each roof
+/// explains, and the dominant stall cause.
+#[derive(Clone, Copy, Debug)]
+pub struct Verdict {
+    /// The classification.
+    pub bound: Bound,
+    /// Cycles the moved words need at the word budget.
+    pub bw_limit_cycles: f64,
+    /// Cycles the flops need at peak FPU throughput.
+    pub fp_limit_cycles: f64,
+    /// `bw_limit_cycles / elapsed`.
+    pub bw_fraction: f64,
+    /// `fp_limit_cycles / elapsed`.
+    pub fp_fraction: f64,
+    /// Largest stall cause (excluding active/parked/idle); `Active`
+    /// when nothing stalled.
+    pub dominant_stall: StallCause,
+    /// The measured runtime the fractions refer to.
+    pub elapsed: u64,
+}
+
+/// Which stall causes count toward each fallback bound.
+const LATENCY_CAUSES: [StallCause; 5] = [
+    StallCause::FifoEmpty,
+    StallCause::FifoFull,
+    StallCause::PortConflict,
+    StallCause::JoinerWait,
+    StallCause::DrainBusy,
+];
+
+/// Classifies one run.
+///
+/// Decision rule, in order:
+/// 1. If the bandwidth roof explains ≥ 50% of the runtime and at least
+///    as much as the FPU roof → [`Bound::Bandwidth`].
+/// 2. Else if the FPU roof explains ≥ 50% → [`Bound::Compute`].
+/// 3. Else neither roof explains the runtime; the dominant stall group
+///    decides: barrier cycles → [`Bound::Sync`], bandwidth-denied →
+///    [`Bound::Bandwidth`], dependency stalls (FIFO, port, joiner,
+///    drain) → [`Bound::Latency`]. If active cycles outweigh every
+///    stall group the units are busy on non-FP work → [`Bound::Compute`].
+///
+/// Parked and idle cycles never influence the verdict: a halted hart is
+/// a finished hart, not a bottleneck.
+#[must_use]
+pub fn classify(input: &RooflineInput) -> Verdict {
+    let elapsed = input.elapsed as f64;
+    let bw_limit = ratio(input.words_moved as f64, input.words_per_cycle);
+    let fp_limit = ratio(input.flops as f64, input.peak_flops_per_cycle);
+    let bw_fraction = ratio(bw_limit, elapsed);
+    let fp_fraction = ratio(fp_limit, elapsed);
+
+    let dominant_stall = StallCause::ALL
+        .iter()
+        .copied()
+        .filter(|&c| {
+            !matches!(c, StallCause::Active | StallCause::Parked | StallCause::Idle)
+                && input.stalls.get(c) > 0
+        })
+        .max_by_key(|&c| input.stalls.get(c))
+        .unwrap_or(StallCause::Active);
+
+    let sync = input.stalls.get(StallCause::BarrierWait);
+    let latency: u64 = LATENCY_CAUSES.iter().map(|&c| input.stalls.get(c)).sum();
+    let bw_denied = input.stalls.get(StallCause::BwDenied);
+    let active = input.stalls.get(StallCause::Active);
+
+    let bound = if bw_fraction >= 0.5 && bw_fraction >= fp_fraction {
+        Bound::Bandwidth
+    } else if fp_fraction >= 0.5 || (active >= sync && active >= latency && active >= bw_denied) {
+        Bound::Compute
+    } else if sync >= latency && sync >= bw_denied {
+        Bound::Sync
+    } else if bw_denied >= latency {
+        Bound::Bandwidth
+    } else {
+        Bound::Latency
+    };
+
+    Verdict {
+        bound,
+        bw_limit_cycles: bw_limit,
+        fp_limit_cycles: fp_limit,
+        bw_fraction,
+        fp_fraction,
+        dominant_stall,
+        elapsed: input.elapsed,
+    }
+}
+
+impl Verdict {
+    /// The one-line human-readable verdict every bench bin prints.
+    #[must_use]
+    pub fn line(&self, label: &str) -> String {
+        format!(
+            "verdict[{label}]: {}-bound — bw roof {:.0}% / fpu roof {:.0}% of {} cycles, dominant stall {}",
+            self.bound.label(),
+            self.bw_fraction * 100.0,
+            self.fp_fraction * 100.0,
+            self.elapsed,
+            self.dominant_stall.label(),
+        )
+    }
+
+    /// The verdict as a telemetry object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("bound", Json::from(self.bound.label())),
+            ("bw_limit_cycles", Json::Float(self.bw_limit_cycles)),
+            ("fp_limit_cycles", Json::Float(self.fp_limit_cycles)),
+            ("bw_fraction", Json::Float(self.bw_fraction)),
+            ("fp_fraction", Json::Float(self.fp_fraction)),
+            ("dominant_stall", Json::from(self.dominant_stall.label())),
+            ("elapsed", Json::from(self.elapsed)),
+        ])
+    }
+}
+
+/// One named PC region of a program.
+#[derive(Clone, Debug)]
+struct Phase {
+    name: String,
+    /// Byte-address span `[lo, hi)`.
+    lo: u32,
+    hi: u32,
+    cycles: CycleBreakdown,
+}
+
+/// Buckets per-cycle stall samples by the PC region they occurred in.
+///
+/// The harness builds the regions from kernel symbols (instruction
+/// index × 4 = byte PC) and calls [`sample`](Self::sample) once per
+/// worker per cycle with the worker's current PC and latched stall
+/// cause. Samples outside every region land in the `other` bucket, so
+/// the profile always sums to the samples taken.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfile {
+    phases: Vec<Phase>,
+    other: CycleBreakdown,
+}
+
+impl PhaseProfile {
+    /// Builds a profile over `(name, lo, hi)` byte-address spans.
+    /// Earlier spans win on overlap.
+    #[must_use]
+    pub fn new(spans: &[(&str, u32, u32)]) -> Self {
+        Self {
+            phases: spans
+                .iter()
+                .map(|&(name, lo, hi)| Phase {
+                    name: name.to_owned(),
+                    lo,
+                    hi,
+                    cycles: CycleBreakdown::new(),
+                })
+                .collect(),
+            other: CycleBreakdown::new(),
+        }
+    }
+
+    /// Attributes one sampled cycle at `pc` to its phase.
+    pub fn sample(&mut self, pc: u32, cause: StallCause) {
+        match self.phases.iter_mut().find(|p| (p.lo..p.hi).contains(&pc)) {
+            Some(p) => p.cycles.record(cause),
+            None => self.other.record(cause),
+        }
+    }
+
+    /// `(name, breakdown)` rows for [`crate::breakdown_table`] — every
+    /// declared phase plus `other` when it caught anything.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(String, CycleBreakdown)> {
+        let mut rows: Vec<(String, CycleBreakdown)> =
+            self.phases.iter().map(|p| (p.name.clone(), p.cycles)).collect();
+        if self.other.total() > 0 {
+            rows.push(("other".to_owned(), self.other));
+        }
+        rows
+    }
+
+    /// Total samples taken.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles.total()).sum::<u64>() + self.other.total()
+    }
+
+    /// `{phase: {cause: cycles, …}, …}` for the telemetry envelope.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.rows().into_iter().map(|(name, b)| (name, b.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(pairs: &[(StallCause, u64)]) -> CycleBreakdown {
+        let mut b = CycleBreakdown::new();
+        for &(cause, n) in pairs {
+            for _ in 0..n {
+                b.record(cause);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn bandwidth_roof_wins() {
+        // 8000 words at 8 words/cycle = 1000 cycles = 83% of runtime.
+        let v = classify(&RooflineInput {
+            elapsed: 1200,
+            flops: 100,
+            peak_flops_per_cycle: 8.0,
+            words_moved: 8000,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[(StallCause::Active, 100)]),
+        });
+        assert_eq!(v.bound, Bound::Bandwidth);
+        assert!(v.bw_fraction > 0.8);
+    }
+
+    #[test]
+    fn fpu_roof_wins() {
+        // 900 flops at 1 flop/cycle on a 1000-cycle run.
+        let v = classify(&RooflineInput {
+            elapsed: 1000,
+            flops: 900,
+            peak_flops_per_cycle: 1.0,
+            words_moved: 100,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[(StallCause::Active, 900), (StallCause::FifoEmpty, 100)]),
+        });
+        assert_eq!(v.bound, Bound::Compute);
+        assert_eq!(v.dominant_stall, StallCause::FifoEmpty);
+    }
+
+    #[test]
+    fn barrier_stalls_mean_sync_bound() {
+        let v = classify(&RooflineInput {
+            elapsed: 1000,
+            flops: 50,
+            peak_flops_per_cycle: 8.0,
+            words_moved: 50,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[
+                (StallCause::Active, 200),
+                (StallCause::BarrierWait, 600),
+                (StallCause::FifoEmpty, 200),
+            ]),
+        });
+        assert_eq!(v.bound, Bound::Sync);
+        assert_eq!(v.dominant_stall, StallCause::BarrierWait);
+    }
+
+    #[test]
+    fn starved_fifos_mean_latency_bound() {
+        let v = classify(&RooflineInput {
+            elapsed: 1000,
+            flops: 100,
+            peak_flops_per_cycle: 1.0,
+            words_moved: 100,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[
+                (StallCause::Active, 300),
+                (StallCause::FifoEmpty, 400),
+                (StallCause::JoinerWait, 200),
+            ]),
+        });
+        assert_eq!(v.bound, Bound::Latency);
+        assert_eq!(v.dominant_stall, StallCause::FifoEmpty);
+    }
+
+    #[test]
+    fn bw_denied_stalls_mean_bandwidth_bound() {
+        let v = classify(&RooflineInput {
+            elapsed: 1000,
+            flops: 100,
+            peak_flops_per_cycle: 8.0,
+            words_moved: 500,
+            words_per_cycle: 16.0,
+            stalls: breakdown(&[(StallCause::Active, 300), (StallCause::BwDenied, 500)]),
+        });
+        assert_eq!(v.bound, Bound::Bandwidth);
+        assert_eq!(v.dominant_stall, StallCause::BwDenied);
+    }
+
+    #[test]
+    fn busy_but_under_roof_is_compute() {
+        // Mostly active, low FP intensity: control-flow limited.
+        let v = classify(&RooflineInput {
+            elapsed: 1000,
+            flops: 100,
+            peak_flops_per_cycle: 8.0,
+            words_moved: 100,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[(StallCause::Active, 800), (StallCause::FifoEmpty, 100)]),
+        });
+        assert_eq!(v.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn parked_cycles_do_not_decide() {
+        // Parked dominates the table but is ignored; barrier decides.
+        let v = classify(&RooflineInput {
+            elapsed: 1000,
+            flops: 10,
+            peak_flops_per_cycle: 8.0,
+            words_moved: 10,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[
+                (StallCause::Parked, 900),
+                (StallCause::BarrierWait, 60),
+                (StallCause::Active, 40),
+            ]),
+        });
+        assert_eq!(v.bound, Bound::Sync);
+        assert_eq!(v.dominant_stall, StallCause::BarrierWait);
+    }
+
+    #[test]
+    fn zero_elapsed_is_guarded() {
+        let v = classify(&RooflineInput {
+            elapsed: 0,
+            flops: 0,
+            peak_flops_per_cycle: 1.0,
+            words_moved: 0,
+            words_per_cycle: 8.0,
+            stalls: CycleBreakdown::new(),
+        });
+        assert_eq!(v.bound, Bound::Compute);
+        assert_eq!(v.dominant_stall, StallCause::Active);
+        assert!(v.line("empty").contains("compute-bound"));
+    }
+
+    #[test]
+    fn verdict_json_shape() {
+        let v = classify(&RooflineInput {
+            elapsed: 100,
+            flops: 90,
+            peak_flops_per_cycle: 1.0,
+            words_moved: 10,
+            words_per_cycle: 8.0,
+            stalls: breakdown(&[(StallCause::Active, 90)]),
+        });
+        let doc = v.to_json();
+        assert_eq!(doc.get("bound").and_then(Json::as_str), Some("compute"));
+        assert_eq!(doc.get("elapsed").and_then(Json::as_int), Some(100));
+        assert!(doc.get("bw_fraction").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn phase_profile_buckets_by_pc() {
+        let mut p = PhaseProfile::new(&[("symbolic", 0, 40), ("numeric", 40, 100)]);
+        p.sample(0, StallCause::Active);
+        p.sample(36, StallCause::FifoEmpty);
+        p.sample(40, StallCause::Active);
+        p.sample(120, StallCause::Parked); // outside both spans
+        let rows = p.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, "symbolic");
+        assert_eq!(rows[0].1.total(), 2);
+        assert_eq!(rows[1].1.get(StallCause::Active), 1);
+        assert_eq!(rows[2].0, "other");
+        assert_eq!(p.total(), 4);
+        let doc = p.to_json();
+        assert!(doc.get("numeric").is_some());
+    }
+}

@@ -10,14 +10,38 @@
 //!
 //! The export is the Chrome trace-event JSON array format: complete
 //! (`"ph":"X"`) events on one track per unit, with thread-name metadata
-//! so Perfetto labels the tracks. Load it at `ui.perfetto.dev` (Open
-//! trace file) or `chrome://tracing`.
+//! so Perfetto labels the tracks, plus counter (`"ph":"C"`) events for
+//! registered counter tracks (FIFO occupancy, outstanding DMA words).
+//! Load it at `ui.perfetto.dev` (Open trace file) or
+//! `chrome://tracing`.
 
 use crate::json::{obj, Json};
 
 /// Handle to one registered track.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TrackId(usize);
+
+/// Handle to one registered counter track.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CounterId(usize);
+
+#[derive(Clone, Debug)]
+struct Counter {
+    /// Process id in the export — same grouping as span tracks.
+    pid: u32,
+    /// Counter name ("w0 lane 1 fifo", "dma words", …).
+    name: String,
+    /// Last recorded value; samples repeating it are free.
+    last: Option<u64>,
+}
+
+/// One recorded counter value change.
+#[derive(Clone, Copy, Debug)]
+struct CounterSample {
+    counter: usize,
+    ts: u64,
+    value: u64,
+}
 
 #[derive(Clone, Debug)]
 struct Track {
@@ -46,6 +70,8 @@ pub const DEFAULT_SPAN_CAP: usize = 65_536;
 pub struct TraceRecorder {
     tracks: Vec<Track>,
     spans: std::collections::VecDeque<Span>,
+    counters: Vec<Counter>,
+    counter_samples: std::collections::VecDeque<CounterSample>,
     cap: usize,
     dropped: u64,
 }
@@ -57,17 +83,50 @@ impl Default for TraceRecorder {
 }
 
 impl TraceRecorder {
-    /// Creates a recorder holding at most `cap` spans (oldest dropped
-    /// first; a zero cap records nothing but still counts drops).
+    /// Creates a recorder holding at most `cap` spans and `cap` counter
+    /// samples (oldest dropped first; a zero cap records nothing but
+    /// still counts drops).
     #[must_use]
     pub fn new(cap: usize) -> Self {
-        Self { tracks: Vec::new(), spans: std::collections::VecDeque::new(), cap, dropped: 0 }
+        Self {
+            tracks: Vec::new(),
+            spans: std::collections::VecDeque::new(),
+            counters: Vec::new(),
+            counter_samples: std::collections::VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
     }
 
     /// Registers a track under process `pid` (one pid per cluster).
     pub fn add_track(&mut self, pid: u32, name: impl Into<String>) -> TrackId {
         self.tracks.push(Track { pid, name: name.into(), open_since: None });
         TrackId(self.tracks.len() - 1)
+    }
+
+    /// Registers a counter track under process `pid`.
+    pub fn add_counter(&mut self, pid: u32, name: impl Into<String>) -> CounterId {
+        self.counters.push(Counter { pid, name: name.into(), last: None });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Records the counter's value for cycle `now`. Only value changes
+    /// cost a sample; steady state is free.
+    pub fn sample_counter(&mut self, counter: CounterId, now: u64, value: u64) {
+        let c = &mut self.counters[counter.0];
+        if c.last == Some(value) {
+            return;
+        }
+        c.last = Some(value);
+        if self.counter_samples.len() >= self.cap {
+            self.counter_samples.pop_front();
+            self.dropped += 1;
+        }
+        if self.cap > 0 {
+            self.counter_samples.push_back(CounterSample { counter: counter.0, ts: now, value });
+        } else {
+            self.dropped += 1;
+        }
     }
 
     /// Records the unit's busy/idle state for cycle `now`. Transitions
@@ -120,7 +179,19 @@ impl TraceRecorder {
         self.spans.len()
     }
 
-    /// Spans evicted by the ring cap.
+    /// Registered counter tracks.
+    #[must_use]
+    pub fn n_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Counter samples currently held.
+    #[must_use]
+    pub fn n_counter_samples(&self) -> usize {
+        self.counter_samples.len()
+    }
+
+    /// Events (spans or counter samples) evicted by the ring cap.
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -149,6 +220,16 @@ impl TraceRecorder {
                 ("dur", Json::from(s.dur)),
                 ("pid", Json::from(u64::from(t.pid))),
                 ("tid", Json::from(s.track)),
+            ]));
+        }
+        for s in &self.counter_samples {
+            let c = &self.counters[s.counter];
+            events.push(obj(vec![
+                ("name", Json::from(c.name.as_str())),
+                ("ph", Json::from("C")),
+                ("ts", Json::from(s.ts)),
+                ("pid", Json::from(u64::from(c.pid))),
+                ("args", obj(vec![("value", Json::from(s.value))])),
             ]));
         }
         obj(vec![
@@ -185,6 +266,46 @@ mod tests {
         }
         assert_eq!(rec.n_spans(), 2);
         assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn counters_record_changes_only() {
+        let mut rec = TraceRecorder::new(16);
+        let c = rec.add_counter(0, "fifo depth");
+        rec.sample_counter(c, 0, 0);
+        rec.sample_counter(c, 1, 0); // unchanged: free
+        rec.sample_counter(c, 2, 3);
+        rec.sample_counter(c, 3, 3); // unchanged: free
+        rec.sample_counter(c, 4, 1);
+        assert_eq!(rec.n_counters(), 1);
+        assert_eq!(rec.n_counter_samples(), 3);
+        assert_eq!(rec.n_tracks(), 0); // counters are not span tracks
+        let doc = rec.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("events");
+        let counters: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("C")).collect();
+        assert_eq!(counters.len(), 3);
+        assert_eq!(counters[1].get("ts").and_then(Json::as_int), Some(2));
+        assert_eq!(
+            counters[1].get("args").and_then(|a| a.get("value")).and_then(Json::as_int),
+            Some(3)
+        );
+        // No thread-name metadata for counters: Perfetto names them
+        // from the event itself.
+        let metas =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")).count();
+        assert_eq!(metas, 0);
+    }
+
+    #[test]
+    fn counter_ring_cap_drops_oldest() {
+        let mut rec = TraceRecorder::new(2);
+        let c = rec.add_counter(0, "x");
+        for i in 0..5u64 {
+            rec.sample_counter(c, i, i); // always changing
+        }
+        assert_eq!(rec.n_counter_samples(), 2);
+        assert_eq!(rec.dropped(), 3);
     }
 
     #[test]

@@ -7,15 +7,22 @@
 //! core complex, cluster, system, benches — can report through the same
 //! vocabulary.
 //!
-//! Three facilities:
+//! Five facilities:
 //!
 //! * [`attr`] — stall-cause cycle attribution. Each simulated unit
 //!   classifies every ROI cycle into one [`StallCause`] and accumulates
 //!   a [`CycleBreakdown`]; by construction the breakdown sums exactly
 //!   to the elapsed cycles it covers.
+//! * [`analyze`] — the interpretation layer: a roofline-style
+//!   bottleneck classifier turning counters into a bandwidth/compute/
+//!   latency/sync [`Verdict`], and a PC-region [`PhaseProfile`] for
+//!   per-phase stall breakdowns.
 //! * [`chrome`] — an opt-in, ring-buffered interval recorder
-//!   ([`TraceRecorder`]) exporting Chrome trace-event JSON that loads
-//!   directly in Perfetto (`ui.perfetto.dev`).
+//!   ([`TraceRecorder`]) exporting Chrome trace-event JSON (span and
+//!   counter tracks) that loads directly in Perfetto
+//!   (`ui.perfetto.dev`).
+//! * [`host`] — the opt-in host-side self-profiler: wall-clock per
+//!   unit class, the provably-idle tick census, simulated-cycles/sec.
 //! * [`json`] — a minimal JSON value/writer/parser ([`Json`]) for the
 //!   machine-readable `BENCH_*.json` bench telemetry. No serde: the
 //!   build environment is offline and the schema is tiny.
@@ -26,13 +33,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod attr;
 pub mod chrome;
+pub mod host;
 pub mod json;
 pub mod merge;
 
+pub use analyze::{classify, Bound, PhaseProfile, RooflineInput, Verdict};
 pub use attr::{breakdown_table, CycleBreakdown, StallCause};
-pub use chrome::{TraceRecorder, TrackId};
+pub use chrome::{CounterId, TraceRecorder, TrackId};
+pub use host::HostProfiler;
 pub use json::Json;
 pub use merge::StatMerge;
 
