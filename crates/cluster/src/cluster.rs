@@ -157,6 +157,21 @@ pub struct TickActivity {
     pub workers_in_roi: bool,
 }
 
+/// The pre-tick idle census of one cluster cycle, computed every cycle
+/// from the same `is_idle()` predicates the dirty-set skipper acts on —
+/// PR 7's profiler-gated read-only census promoted to an always-on
+/// input that the skipping logic and the host profiler now share.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickCensus {
+    /// Worker CCs that were provably idle before this tick (and were
+    /// therefore ticked through the cheap bookkeeping path).
+    pub idle_workers: u64,
+    /// Whether the DMCC was provably idle.
+    pub idle_dmcc: bool,
+    /// Whether the DMA engine had nothing queued or in flight.
+    pub idle_dma: bool,
+}
+
 /// The eight-worker Snitch cluster plus DMCC.
 #[derive(Debug)]
 pub struct Cluster {
@@ -177,6 +192,18 @@ pub struct Cluster {
     l1: Vec<L1ICache>,
     dma_claimed: Vec<bool>,
     dma_attr: CycleBreakdown,
+    /// Persistent scratch for the DMA fairness yield: banks contested by
+    /// core ports this cycle. Only (re)filled while the engine is busy —
+    /// [`Dma::tick`] never reads it when idle.
+    contested: Vec<bool>,
+    /// Flat port slots routed to main memory this cycle, latched by
+    /// [`Cluster::tick_interconnect`] so [`Cluster::tick_mem`] excludes
+    /// exactly those slots from TCDM arbitration (served or not).
+    main_routed: u64,
+    dma_words_moved: u64,
+    workers_in_roi: bool,
+    census: TickCensus,
+    idle_mem: bool,
     now: u64,
 }
 
@@ -247,6 +274,12 @@ impl Cluster {
             l1,
             dma_claimed: vec![false; TCDM_BANKS],
             dma_attr: CycleBreakdown::default(),
+            contested: vec![false; TCDM_BANKS],
+            main_routed: 0,
+            dma_words_moved: 0,
+            workers_in_roi: false,
+            census: TickCensus::default(),
+            idle_mem: true,
             now: 0,
         }
     }
@@ -299,44 +332,75 @@ impl Cluster {
     /// per-cycle DMA budget: reset it once per system cycle with
     /// [`MainMemory::begin_dma_cycle`] before ticking the clusters that
     /// share it — their tick order is the bandwidth grant order.
+    ///
+    /// The tick is three phases. Compute and memory touch only
+    /// cluster-local state; every access to the shared main memory is
+    /// confined to [`Cluster::tick_interconnect`], which is why the
+    /// system harness can run the other two phases of different
+    /// clusters on a thread pool and still replay the interconnect
+    /// serially in grant order — bit-identical to this serial
+    /// composition regardless of thread count.
     pub fn tick_shared(&mut self, main: &mut MainMemory) -> TickActivity {
+        self.tick_compute();
+        self.tick_interconnect(main);
+        self.tick_mem()
+    }
+
+    /// Phase 1 — cluster-local compute: barrier release, worker CCs,
+    /// DMCC. Provably idle units (per [`CoreComplex::is_idle`]) take the
+    /// cheap bookkeeping path instead of a full tick; the census of who
+    /// was skipped is latched for [`Cluster::last_census`].
+    pub fn tick_compute(&mut self) {
         let now = self.now;
-        // Host self-profiler (opt-in, read-only): take the provably-idle
-        // census *before* the phases run, then bill each phase's
-        // wall-clock to its unit class. All of it is gated on one
-        // thread-local check; `host_t = None` means zero further cost.
+        // Host self-profiler (opt-in, read-only): bill each phase's
+        // wall-clock to its unit class. Gated on one thread-local
+        // check; `host_t = None` means zero further cost.
         let mut host_t = host::phase_start();
-        let (idle_workers, idle_dmcc, idle_dma) = if host_t.is_some() {
-            (
-                self.workers.iter().filter(|cc| cc.quiescent()).count() as u64,
-                u64::from(self.dmcc.quiescent()),
-                u64::from(!self.dma.busy()),
-            )
-        } else {
-            (0, 0, 0)
-        };
         self.release_barrier_if_all_arrived();
-        // 1. Cores.
         let n_workers = self.workers.len();
+        let mut idle_workers = 0u64;
+        let mut in_roi = false;
         for (i, cc) in self.workers.iter_mut().enumerate() {
-            let hive = i / 4;
-            let mut refs: Vec<&mut MemPort> = self.ports[i].iter_mut().collect();
-            cc.tick(now, &mut refs, None, Some(&mut self.l1[hive.min(1)]));
+            if cc.is_idle() {
+                idle_workers += 1;
+                cc.tick_idle();
+            } else {
+                let hive = i / 4;
+                cc.tick(now, &mut self.ports[i], None, Some(&mut self.l1[hive.min(1)]));
+            }
+            in_roi |= cc.metrics.roi_active;
         }
+        self.workers_in_roi = in_roi;
         host::phase(&mut host_t, "workers", n_workers as u64, idle_workers);
-        {
-            let mut refs: Vec<&mut MemPort> = self.ports[n_workers].iter_mut().collect();
-            self.dmcc.tick(now, &mut refs, Some(&mut self.dma), None);
+        let idle_dmcc = self.dmcc.is_idle();
+        if idle_dmcc {
+            self.dmcc.tick_idle();
+        } else {
+            self.dmcc.tick(now, &mut self.ports[n_workers], Some(&mut self.dma), None);
         }
-        host::phase(&mut host_t, "dmcc", 1, idle_dmcc);
-        // 2. DMA moves a beat and claims its banks, yielding contested
+        host::phase(&mut host_t, "dmcc", 1, u64::from(idle_dmcc));
+        self.census = TickCensus { idle_workers, idle_dmcc, idle_dma: !self.dma.busy() };
+    }
+
+    /// Phase 2 — the only phase that touches the (possibly shared) main
+    /// memory: the DMA engine moves a beat and claims banks, then
+    /// narrow main-region requests are served. Under the thread pool
+    /// this phase runs serially, cluster by cluster in grant order.
+    pub fn tick_interconnect(&mut self, main: &mut MainMemory) {
+        let now = self.now;
+        let mut host_t = host::phase_start();
+        // DMA moves a beat and claims its banks, yielding contested
         // banks to core ports every other cycle (fair interconnect).
         self.dma_claimed.fill(false);
-        let mut contested = vec![false; issr_mem::map::TCDM_BANKS];
-        for port in self.ports.iter().flatten() {
-            if let Some(req) = port.pending() {
-                if region_of(req.addr) == Region::Tcdm {
-                    contested[self.tcdm.bank_of(req.addr)] = true;
+        if self.dma.busy() {
+            // Only a busy engine reads the contested map; skip the
+            // banks scan (and tolerate stale contents) otherwise.
+            self.contested.fill(false);
+            for port in self.ports.iter().flatten() {
+                if let Some(req) = port.pending() {
+                    if region_of(req.addr) == Region::Tcdm {
+                        self.contested[self.tcdm.bank_of(req.addr)] = true;
+                    }
                 }
             }
         }
@@ -349,39 +413,98 @@ impl Cluster {
             self.tcdm.array_mut(),
             main,
             &mut self.dma_claimed,
-            &contested,
+            &self.contested,
             yield_to_cores,
         );
-        let moved_after = main.stats.wide_beats;
+        self.dma_words_moved = main.stats.wide_beats - moved_before;
         self.dma_attr.record(self.dma.last_cause());
-        host::phase(&mut host_t, "dma", 1, idle_dma);
-        // The memories are idle when no port carries a request and the
-        // DMA claimed no bank this cycle.
-        let idle_mem = if host_t.is_some() {
-            let any_pending = self.ports.iter().flatten().any(|p| p.pending().is_some());
-            let any_claim = self.dma_claimed.iter().any(|&c| c);
-            u64::from(!any_pending && !any_claim)
-        } else {
-            0
-        };
-        // 3. Route ports to their memories by pending-request region.
-        let mut tcdm_ports: Vec<&mut MemPort> = Vec::new();
+        host::phase(&mut host_t, "dma", 1, u64::from(self.census.idle_dma));
+        // Route main-region requests and latch the routing: the TCDM
+        // phase must exclude exactly these slots — served or not — so
+        // its round-robin port positions match the pre-split order.
+        debug_assert!(self.ports.iter().map(Vec::len).sum::<usize>() <= 64, "port mask width");
+        let mut main_routed: u64 = 0;
+        let mut any_pending = false;
         let mut main_ports: Vec<&mut MemPort> = Vec::new();
-        for port in self.ports.iter_mut().flatten() {
+        for (slot, port) in self.ports.iter_mut().flatten().enumerate() {
             match port.pending().map(|r| region_of(r.addr)) {
-                Some(Region::Tcdm) | None => tcdm_ports.push(port),
-                Some(Region::Main) => main_ports.push(port),
+                None => {}
+                Some(Region::Tcdm) => any_pending = true,
+                Some(Region::Main) => {
+                    any_pending = true;
+                    main_routed |= 1 << slot;
+                    main_ports.push(port);
+                }
                 Some(other) => panic!("cluster request to unsupported region {other:?}"),
             }
         }
-        self.tcdm.tick(now, &mut tcdm_ports, &self.dma_claimed);
+        self.main_routed = main_routed;
+        // The memories are idle when no port carries a request and the
+        // DMA claimed no bank this cycle.
+        self.idle_mem = !any_pending && !self.dma_claimed.iter().any(|&c| c);
         main.tick(now, &mut main_ports);
-        host::phase(&mut host_t, "mem", 1, idle_mem);
-        self.now += 1;
-        TickActivity {
-            dma_words_moved: moved_after - moved_before,
-            workers_in_roi: self.workers.iter().any(|cc| cc.metrics.roi_active),
+        // Billed to "mem" with zero units: tick_mem records the class's
+        // one unit-tick per cycle.
+        host::phase(&mut host_t, "mem", 0, 0);
+    }
+
+    /// Phase 3 — cluster-local memory: TCDM bank arbitration, then the
+    /// cycle counter advances and the tick's activity is reported.
+    pub fn tick_mem(&mut self) -> TickActivity {
+        let now = self.now;
+        let mut host_t = host::phase_start();
+        let mut main_routed = self.main_routed;
+        let mut tcdm_ports: Vec<&mut MemPort> = Vec::new();
+        for port in self.ports.iter_mut().flatten() {
+            let routed_main = main_routed & 1 != 0;
+            main_routed >>= 1;
+            if !routed_main {
+                tcdm_ports.push(port);
+            }
         }
+        self.tcdm.tick(now, &mut tcdm_ports, &self.dma_claimed);
+        host::phase(&mut host_t, "mem", 1, u64::from(self.idle_mem));
+        self.now += 1;
+        TickActivity { dma_words_moved: self.dma_words_moved, workers_in_roi: self.workers_in_roi }
+    }
+
+    /// The idle census taken by the last [`Cluster::tick_compute`]: how
+    /// many units were provably idle (and therefore skipped) that cycle.
+    #[must_use]
+    pub fn last_census(&self) -> TickCensus {
+        self.census
+    }
+
+    /// The activity of the last completed tick — what
+    /// [`Cluster::tick_mem`] returned. The thread-pool harness reads it
+    /// after the barrier (the return value stays on the worker thread).
+    #[must_use]
+    pub fn last_activity(&self) -> TickActivity {
+        TickActivity { dma_words_moved: self.dma_words_moved, workers_in_roi: self.workers_in_roi }
+    }
+
+    /// Every hart (workers, then the DMCC as hart `n_workers`) that has
+    /// not gone quiescent, with its current PC — the timeout diagnostic.
+    #[must_use]
+    pub fn stuck_harts(&self, cluster: usize) -> Vec<issr_snitch::cc::StuckHart> {
+        let mut stuck = Vec::new();
+        for (i, cc) in self.workers.iter().enumerate() {
+            if !cc.quiescent() {
+                stuck.push(issr_snitch::cc::StuckHart {
+                    cluster,
+                    hart: i as u32,
+                    pc: cc.core.pc(),
+                });
+            }
+        }
+        if !self.dmcc.quiescent() {
+            stuck.push(issr_snitch::cc::StuckHart {
+                cluster,
+                hart: self.workers.len() as u32,
+                pc: self.dmcc.core.pc(),
+            });
+        }
+        stuck
     }
 
     /// Runs to quiescence.
@@ -397,7 +520,7 @@ impl Cluster {
                 return Ok(self.summary());
             }
         }
-        Err(SimTimeout { max_cycles, pc: self.workers[0].core.pc() })
+        Err(SimTimeout::new(max_cycles, self.stuck_harts(0)))
     }
 
     /// Registers one track per hart (workers then DMCC), per worker

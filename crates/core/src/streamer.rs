@@ -40,6 +40,12 @@ pub struct StreamerProbe {
     pub spacc: StallCause,
 }
 
+impl Default for StreamerProbe {
+    fn default() -> Self {
+        Self { lanes: Vec::new(), joiner: StallCause::Idle, spacc: StallCause::Idle }
+    }
+}
+
 /// A malformed streamer configuration access: the hardware cannot
 /// execute it and raises a fault the core latches as a trap (surfaced
 /// through the run summaries) instead of aborting the simulation.
@@ -474,11 +480,14 @@ impl Streamer {
         self.joiner = Some(joiner);
     }
 
-    /// Advances all lanes one cycle; `ports[i]` is lane *i*'s private
-    /// memory port. An active joiner job runs on the ports of lanes 0
-    /// and 1 and delivers matched pairs into those lanes' FIFOs; an
-    /// active SpAcc job runs on lane 1's port and consumes its write
-    /// stream.
+    /// Advances all lanes one cycle; `first` is lane 0's memory port,
+    /// `rest[i]` is lane *i+1*'s. (The split mirrors the physical
+    /// topology — lane 0 rides the core's shared port, further lanes
+    /// own exclusive ports — and keeps the hot tick free of a
+    /// per-cycle port-reference collection.) An active joiner job runs
+    /// on the ports of lanes 0 and 1 and delivers matched pairs into
+    /// those lanes' FIFOs; an active SpAcc job runs on lane 1's port
+    /// and consumes its write stream.
     ///
     /// Mid-stream failures — a lane job launched on a port the joiner
     /// or SpAcc owns, a joiner overlapping an active SpAcc job, or a
@@ -486,17 +495,17 @@ impl Streamer {
     /// watchdog) — latch a [`StreamFault`] and freeze the streamer
     /// instead of panicking; the frozen units drain their in-flight
     /// traffic and the streamer settles to idle.
-    pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort]) {
-        debug_assert_eq!(ports.len(), self.lanes.len(), "one port per lane");
+    pub fn tick(&mut self, now: u64, first: &mut MemPort, rest: &mut [MemPort]) {
+        debug_assert_eq!(rest.len() + 1, self.lanes.len(), "one port per lane");
         if self.fault.is_none() {
             self.detect_port_conflicts();
         }
         if self.fault.is_some() {
-            self.tick_frozen(now, ports);
+            self.tick_frozen(now, first, rest);
             return;
         }
         if self.spacc.busy() {
-            self.spacc.tick(now, ports[SPACC_LANE], &mut self.lanes[SPACC_LANE]);
+            self.spacc.tick(now, &mut rest[SPACC_LANE - 1], &mut self.lanes[SPACC_LANE]);
             if let Some(kind) = self.spacc.fault() {
                 self.latch_stream_fault(StreamUnit::SpAcc, kind);
                 return;
@@ -504,8 +513,7 @@ impl Streamer {
         }
         self.promote_join();
         if let Some(joiner) = &mut self.joiner {
-            let (p0, rest) = ports.split_at_mut(1);
-            joiner.tick(now, p0[0], rest[0]);
+            joiner.tick(now, first, &mut rest[0]);
             while joiner.a_ready() && self.lanes[0].can_push() {
                 let value = joiner.pop_a();
                 self.lanes[0].inject(value);
@@ -527,7 +535,8 @@ impl Streamer {
                 self.promote_join();
             }
         }
-        for (lane, port) in self.lanes.iter_mut().zip(ports.iter_mut()) {
+        let ports = std::iter::once(first).chain(rest.iter_mut());
+        for (lane, port) in self.lanes.iter_mut().zip(ports) {
             lane.tick(now, port);
         }
     }
@@ -556,10 +565,9 @@ impl Streamer {
     /// 0/1's ports until its in-flight responses return; the SpAcc
     /// sinks its aborted feed's index responses; lanes drop their jobs
     /// and buffers once their own responses settle.
-    fn tick_frozen(&mut self, now: u64, ports: &mut [&mut MemPort]) {
+    fn tick_frozen(&mut self, now: u64, first: &mut MemPort, rest: &mut [MemPort]) {
         if let Some(joiner) = &mut self.joiner {
-            let (p0, rest) = ports.split_at_mut(1);
-            joiner.tick(now, p0[0], rest[0]);
+            joiner.tick(now, &mut *first, &mut rest[0]);
             if joiner.is_done() {
                 self.joiner_stats.merge(&joiner.stats());
                 self.joiner = None;
@@ -567,7 +575,8 @@ impl Streamer {
         }
         let joiner_active = self.joiner.is_some();
         let spacc = &mut self.spacc;
-        for (i, (lane, port)) in self.lanes.iter_mut().zip(ports.iter_mut()).enumerate() {
+        let ports = std::iter::once(first).chain(rest.iter_mut());
+        for (i, (lane, port)) in self.lanes.iter_mut().zip(ports).enumerate() {
             if joiner_active && i <= 1 {
                 continue;
             }
@@ -621,18 +630,24 @@ impl Streamer {
     /// SpAcc), read after [`Streamer::tick`] by the attribution sampler.
     #[must_use]
     pub fn attr_probe(&self) -> StreamerProbe {
-        let joiner = match &self.joiner {
+        let mut probe = StreamerProbe::default();
+        self.attr_probe_into(&mut probe);
+        probe
+    }
+
+    /// [`Streamer::attr_probe`] into a caller-owned probe, reusing its
+    /// lane buffer — the per-cycle sampler path, kept allocation-free.
+    pub fn attr_probe_into(&self, probe: &mut StreamerProbe) {
+        probe.joiner = match &self.joiner {
             Some(joiner) => joiner.attr_cause(),
             // A queued job waiting for lanes 0/1 to release their ports
             // is blocked on the port handover, not on input data.
             None if self.pending_join.is_some() => StallCause::PortConflict,
             None => StallCause::Idle,
         };
-        StreamerProbe {
-            lanes: (0..self.lanes.len()).map(|i| self.lane_attr_cause(i)).collect(),
-            joiner,
-            spacc: self.spacc.attr_cause(),
-        }
+        probe.spacc = self.spacc.attr_cause();
+        probe.lanes.clear();
+        probe.lanes.extend((0..self.lanes.len()).map(|i| self.lane_attr_cause(i)));
     }
 
     /// Per-lane statistics.
@@ -718,7 +733,7 @@ mod tests {
         let mut pairs = 0u32;
         let mut cycles = 0u64;
         for now in 0..2000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.lane(0).can_pop() && s.lane(1).can_pop() {
                 let a = f64::from_bits(s.lane_mut(0).pop());
@@ -792,7 +807,7 @@ mod tests {
         let mut p1 = MemPort::new();
         let mut pairs = Vec::new();
         for now in 0..2000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.lane(0).can_pop() && s.lane(1).can_pop() {
                 pairs.push((s.lane_mut(0).pop(), s.lane_mut(1).pop()));
@@ -825,7 +840,7 @@ mod tests {
         let mut p1 = MemPort::new();
         let mut pairs = 0;
         for now in 0..4000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.lane(0).can_pop() && s.lane(1).can_pop() {
                 let _ = s.lane_mut(0).pop();
@@ -863,7 +878,7 @@ mod tests {
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
         for now in 0..2000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             assert!(!s.lane(0).can_pop() && !s.lane(1).can_pop(), "no values may be delivered");
             if s.is_idle() {
@@ -904,7 +919,7 @@ mod tests {
                 s.lane_mut(1).push(vals[next].to_bits());
                 next += 1;
             }
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.is_idle() && next == vals.len() {
                 break;
@@ -918,7 +933,7 @@ mod tests {
         assert!(s.cfg_write(cfg_addr(reg::ACC_DRAIN, 0), BASE + 0x4000).unwrap());
         assert_eq!(s.cfg_read(cfg_addr(reg::ACC_STATUS, 0)).unwrap() & 2, 2, "drain busy");
         for now in 2000..4000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.is_idle() {
                 break;
@@ -1000,7 +1015,7 @@ mod tests {
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
         for now in 0..2000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.is_idle() {
                 break;
@@ -1058,7 +1073,7 @@ mod tests {
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
         for now in 0..200u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.stream_fault().is_some() && s.is_idle() {
                 break;
@@ -1088,7 +1103,7 @@ mod tests {
         let mut p0 = MemPort::new();
         let mut p1 = MemPort::new();
         for now in 0..200u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             if s.stream_fault().is_some() && s.is_idle() {
                 break;
@@ -1122,7 +1137,7 @@ mod tests {
         let mut lane0 = Vec::new();
         let mut lane1 = Vec::new();
         for now in 0..4000u64 {
-            s.tick(now, &mut [&mut p0, &mut p1]);
+            s.tick(now, &mut p0, std::slice::from_mut(&mut p1));
             tcdm.tick(now, &mut [&mut p0, &mut p1], &[]);
             while s.lane(0).can_pop() {
                 lane0.push(s.lane_mut(0).pop());

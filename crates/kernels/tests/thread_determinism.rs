@@ -1,0 +1,98 @@
+//! Thread-count invariance of the system harness.
+//!
+//! The pooled system tick runs only cluster-local phases (cores, TCDM)
+//! concurrently and replays the shared interconnect serially in grant
+//! order, so every observable must be bit-identical at every thread
+//! count: kernel outputs, cycle counts, stall-cause attribution tables,
+//! and the Perfetto trace export. These tests pin that guarantee on
+//! randomized CsrMV / SpGEMM / SpMSpV workloads.
+
+use issr_kernels::cluster_spmspv::run_cluster_spmspv;
+use issr_kernels::system_csrmv::run_system_csrmv_traced;
+use issr_kernels::system_spgemm::{run_system_spgemm_planned, SystemSpgemmPlan};
+use issr_kernels::variant::Variant;
+use issr_sparse::gen;
+use issr_system::system::SystemParams;
+
+/// Thread counts under test; 8 exceeds the cluster count and exercises
+/// the clamp.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn params(n_clusters: usize, threads: usize) -> SystemParams {
+    SystemParams { n_clusters, threads, ..SystemParams::default() }
+}
+
+/// One run's complete observable footprint, bitwise.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    out_bits: Vec<u64>,
+    cycles: u64,
+    attr: String,
+    trace: String,
+}
+
+#[test]
+fn system_csrmv_is_thread_count_invariant() {
+    let mut rng = gen::rng(0x5eed_c5e1);
+    let m = gen::csr_uniform::<u32>(&mut rng, 48, 64, 420);
+    let x = gen::dense_vector(&mut rng, 64);
+    let mut baseline: Option<(usize, Fingerprint)> = None;
+    for t in THREADS {
+        let (run, trace) =
+            run_system_csrmv_traced::<u32>(Variant::Issr, &m, &x, params(4, t), 4096)
+                .expect("system CsrMV completes");
+        let fp = Fingerprint {
+            out_bits: run.y.iter().map(|v| v.to_bits()).collect(),
+            cycles: run.summary.cycles,
+            attr: format!("{:?}", run.summary.clusters.iter().map(|c| &c.attr).collect::<Vec<_>>()),
+            trace: trace.to_string(),
+        };
+        match &baseline {
+            None => baseline = Some((t, fp)),
+            Some((t0, fp0)) => {
+                assert_eq!(fp0, &fp, "threads={t} diverged from threads={t0}");
+            }
+        }
+    }
+}
+
+#[test]
+fn system_spgemm_is_thread_count_invariant() {
+    let mut rng = gen::rng(0x5eed_59e3);
+    let a = gen::csr_fixed_row_nnz::<u32>(&mut rng, 24, 32, 6);
+    let b = gen::csr_fixed_row_nnz::<u32>(&mut rng, 32, 28, 5);
+    let n_workers = SystemParams::default().cluster.n_workers as u32;
+    let mut baseline: Option<(usize, Fingerprint)> = None;
+    for t in THREADS {
+        let plan = SystemSpgemmPlan::new(Variant::Issr, &a, &b, n_workers);
+        let run = run_system_spgemm_planned::<u32>(Variant::Issr, &a, &b, plan, params(4, t))
+            .expect("system SpGEMM completes");
+        let fp = Fingerprint {
+            out_bits: run.c.vals().iter().map(|v| v.to_bits()).collect(),
+            cycles: run.summary.cycles,
+            attr: format!("{:?}", run.summary.clusters.iter().map(|c| &c.attr).collect::<Vec<_>>()),
+            trace: format!("{:?}/{:?}", run.c.ptr(), run.c.idcs()),
+        };
+        match &baseline {
+            None => baseline = Some((t, fp)),
+            Some((t0, fp0)) => {
+                assert_eq!(fp0, &fp, "threads={t} diverged from threads={t0}");
+            }
+        }
+    }
+}
+
+/// The cluster harness has no pool, but the same dirty-set skipping
+/// runs under it: randomized SpMSpV must stay bit-identical run to run.
+#[test]
+fn cluster_spmspv_is_run_to_run_deterministic() {
+    let mut rng = gen::rng(0x5eed_535d);
+    let m = gen::csr_uniform::<u32>(&mut rng, 40, 48, 300);
+    let x = gen::sparse_vector::<u32>(&mut rng, 48, 12);
+    let one = run_cluster_spmspv::<u32>(Variant::Issr, &m, &x).expect("SpMSpV completes");
+    let two = run_cluster_spmspv::<u32>(Variant::Issr, &m, &x).expect("SpMSpV completes");
+    let bits = |y: &[f64]| y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&one.y), bits(&two.y));
+    assert_eq!(one.summary.cycles, two.summary.cycles);
+    assert_eq!(format!("{:?}", one.summary.attr), format!("{:?}", two.summary.attr));
+}

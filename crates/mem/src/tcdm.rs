@@ -50,6 +50,7 @@ impl Tcdm {
     #[must_use]
     pub fn banked(base: u32, size: u32, n_banks: usize) -> Self {
         assert!(n_banks.is_power_of_two() && n_banks > 0, "bank count must be a power of two");
+        assert!(n_banks <= 64, "bank count must fit the arbitration mask");
         Self {
             array: MemArray::new(base, size),
             n_banks,
@@ -98,12 +99,21 @@ impl Tcdm {
     /// `now` is the current cycle; read responses become visible at
     /// `now + 1`. `dma_claimed` marks banks the DMA engine occupies this
     /// cycle (it has priority, as in the Snitch cluster); pass `&[]` when
-    /// no DMA is present.
-    pub fn tick(&mut self, now: u64, ports: &mut [&mut MemPort], dma_claimed: &[bool]) {
+    /// no DMA is present. Accepts both owned port slices
+    /// (`&mut [MemPort]`) and collected references (`&mut [&mut
+    /// MemPort]`); the port's *position in the slice* is its identity
+    /// for round-robin arbitration.
+    pub fn tick<P: std::borrow::BorrowMut<MemPort>>(
+        &mut self,
+        now: u64,
+        ports: &mut [P],
+        dma_claimed: &[bool],
+    ) {
         match self.rr_next.take() {
             None => {
                 // Ideal memory: grant every pending request.
                 for port in ports.iter_mut() {
+                    let port = port.borrow_mut();
                     if let Some(req) = port.take_pending() {
                         self.serve(now, req, port);
                     }
@@ -111,36 +121,73 @@ impl Tcdm {
             }
             Some(mut rr) => {
                 let n = ports.len();
-                // For each bank, scan ports beginning at its round-robin
-                // pointer and grant the first contender.
-                for (bank, rr_slot) in rr.iter_mut().enumerate() {
+                // Bitmask arbitration: one pass over the ports builds a
+                // per-bank contender mask, then each active bank grants
+                // in O(1) — the first contender at or after its
+                // round-robin pointer is two shifts and a trailing-zero
+                // count, with no rescan of the port list. Bank counts
+                // are powers of two and ≤ 64 in every configuration
+                // (the paper's cluster has 32), and a cluster exposes
+                // well under 64 ports, so u64 masks always suffice.
+                debug_assert!(self.n_banks <= 64, "bank mask width");
+                assert!(n <= 64, "port count must fit the arbitration mask");
+                let mut bank_ports = [0u64; 64];
+                let mut port_bank = [0u8; 64];
+                let mut active: u64 = 0;
+                let mut pending_mask: u64 = 0;
+                for (pi, port) in ports.iter_mut().enumerate() {
+                    if let Some(req) = port.borrow_mut().pending() {
+                        let bank = self.bank_of(req.addr);
+                        active |= 1 << bank;
+                        bank_ports[bank] |= 1 << pi;
+                        port_bank[pi] = bank as u8;
+                        pending_mask |= 1 << pi;
+                    }
+                }
+                if pending_mask == 0 {
+                    self.rr_next = Some(rr);
+                    return;
+                }
+                let mut served_mask: u64 = 0;
+                // Each active bank (ascending) grants its first
+                // contender at or after the round-robin pointer,
+                // wrapping. A port carries at most one request, so the
+                // contender is still pending when its bank is reached.
+                while active != 0 {
+                    let bank = active.trailing_zeros() as usize;
+                    active &= active - 1;
                     if dma_claimed.get(bank).copied().unwrap_or(false) {
                         continue;
                     }
-                    let start = *rr_slot;
-                    for k in 0..n {
-                        let pi = (start + k) % n;
-                        let wants =
-                            ports[pi].pending().is_some_and(|req| self.bank_of(req.addr) == bank);
-                        if wants {
-                            let req = ports[pi].take_pending().expect("pending checked");
-                            self.serve(now, req, ports[pi]);
-                            *rr_slot = (pi + 1) % n;
-                            break;
-                        }
-                    }
+                    let m = bank_ports[bank];
+                    // The pointer may exceed the current port count (the
+                    // slice shrinks when ports route to main memory);
+                    // the scan always started from `rr % n`.
+                    let start = rr[bank] % n;
+                    let wrapped = m >> start;
+                    let pi = if wrapped != 0 {
+                        start + wrapped.trailing_zeros() as usize
+                    } else {
+                        m.trailing_zeros() as usize
+                    };
+                    let port = ports[pi].borrow_mut();
+                    let req = port.take_pending().expect("contender tracked pending");
+                    self.serve(now, req, port);
+                    rr[bank] = (pi + 1) % n;
+                    served_mask |= 1 << pi;
                 }
                 // Count contention on ports still pending.
-                for port in ports.iter_mut() {
-                    if let Some(req) = port.pending() {
-                        let bank = self.bank_of(req.addr);
-                        if dma_claimed.get(bank).copied().unwrap_or(false) {
-                            self.stats.dma_conflicts += 1;
-                        } else {
-                            self.stats.conflicts += 1;
-                        }
-                        port.note_wait();
+                let mut waiting = pending_mask & !served_mask;
+                while waiting != 0 {
+                    let pi = waiting.trailing_zeros() as usize;
+                    waiting &= waiting - 1;
+                    let bank = usize::from(port_bank[pi]);
+                    if dma_claimed.get(bank).copied().unwrap_or(false) {
+                        self.stats.dma_conflicts += 1;
+                    } else {
+                        self.stats.conflicts += 1;
                     }
+                    ports[pi].borrow_mut().note_wait();
                 }
                 self.rr_next = Some(rr);
             }

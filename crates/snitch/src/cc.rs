@@ -103,13 +103,48 @@ impl CoreComplex {
             && self.shared.is_idle()
     }
 
+    /// Whether ticking this CC is provably a no-op beyond cycle
+    /// bookkeeping: the core halted with a fully drained pipeline,
+    /// the FPU and streamer drained, no shared-port traffic in flight.
+    /// Halting is terminal, so an idle CC stays idle — this is the
+    /// single predicate both the host profiler's idle census and the
+    /// dirty-set tick skipping use (see [`CoreComplex::tick_idle`]).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.quiescent() && self.core.is_drained()
+    }
+
+    /// The cycle bookkeeping of a [`CoreComplex::tick`] on an idle CC,
+    /// without ticking any unit: advances the cycle counters and
+    /// re-latches the (stable) stall-cause classification — exactly
+    /// what a full tick does when [`CoreComplex::is_idle`] holds, as
+    /// the idle-no-op property test pins down.
+    pub fn tick_idle(&mut self) {
+        let instret_before = self.metrics.instret;
+        let roi_before = self.metrics.roi;
+        let hart = self.hart_cause(instret_before, &roi_before);
+        let mut probe = std::mem::take(&mut self.causes.streamer);
+        self.streamer.attr_probe_into(&mut probe);
+        self.metrics.cycles += 1;
+        if self.metrics.roi_active {
+            self.metrics.roi.cycles += 1;
+            self.attr.hart.record(hart);
+            for (table, &cause) in self.attr.lanes.iter_mut().zip(probe.lanes.iter()) {
+                table.record(cause);
+            }
+            self.attr.joiner.record(probe.joiner);
+            self.attr.spacc.record(probe.spacc);
+        }
+        self.causes = CcCauses { hart, streamer: probe };
+    }
+
     /// Advances the CC one cycle. `phys[0]` is the shared port, `phys[1..]`
     /// the exclusive lane ports; `l1` is the hive instruction cache (None
     /// models the ideal instruction memory of §IV-A).
     pub fn tick(
         &mut self,
         now: u64,
-        phys: &mut [&mut MemPort],
+        phys: &mut [MemPort],
         dma: Option<&mut Dma>,
         l1: Option<&mut L1ICache>,
     ) {
@@ -125,7 +160,7 @@ impl CoreComplex {
             }
         }
         // 1. Return yesterday's shared-port responses to their masters.
-        self.shared.relay_responses(now, phys[0]);
+        self.shared.relay_responses(now, &mut phys[0]);
         // 2. Integer pipeline.
         self.core.tick(
             now,
@@ -142,16 +177,11 @@ impl CoreComplex {
         for wb in int_wbs {
             self.core.apply_int_writeback(wb.reg, wb.value);
         }
-        // 4. Streamer lanes: lane 0 shares, others are exclusive.
+        // 4. Streamer lanes: lane 0 rides the shared port's SSR leg,
+        // the rest own their exclusive physical ports directly.
         {
-            let (first, rest) = phys.split_at_mut(1);
-            let _ = first;
-            let mut lane_ports: Vec<&mut MemPort> = Vec::with_capacity(self.streamer.n_lanes());
-            lane_ports.push(&mut self.shared.ssr);
-            for p in rest.iter_mut() {
-                lane_ports.push(&mut **p);
-            }
-            self.streamer.tick(now, &mut lane_ports);
+            let (_, rest) = phys.split_at_mut(1);
+            self.streamer.tick(now, &mut self.shared.ssr, rest);
         }
         // 4b. Mid-stream fault delivery: the streamer latched a
         // structured fault and froze — park the core on the trap and
@@ -163,14 +193,16 @@ impl CoreComplex {
             self.fpu.flush();
         }
         // 5. Forward one combined request.
-        self.shared.forward_requests(phys[0]);
+        self.shared.forward_requests(&mut phys[0]);
         // 6. Account the cycle — and classify it. The hart cause comes
         // from the counter deltas this tick produced; the stream units
         // classify themselves. Recording happens here, exactly once per
         // cycle, right where the ROI cycle counter advances — which is
         // what makes every breakdown total equal the ROI cycles.
         let hart = self.hart_cause(instret_before, &roi_before);
-        let probe = self.streamer.attr_probe();
+        // Reuse last cycle's probe buffer instead of allocating one.
+        let mut probe = std::mem::take(&mut self.causes.streamer);
+        self.streamer.attr_probe_into(&mut probe);
         self.metrics.cycles += 1;
         if self.metrics.roi_active {
             self.metrics.roi.cycles += 1;
@@ -219,18 +251,64 @@ impl CoreComplex {
     }
 }
 
-/// Why a run did not complete.
+/// One hart that had not gone quiescent when a run timed out.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StuckHart {
+    /// Cluster index within the system (0 for standalone runs).
+    pub cluster: usize,
+    /// Hart id within its cluster (workers `0..n_workers`, the DMCC is
+    /// `n_workers`).
+    pub hart: u32,
+    /// The hart's PC at the timeout.
+    pub pc: u32,
+}
+
+impl std::fmt::Display for StuckHart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster {} hart {} pc={:#010x}", self.cluster, self.hart, self.pc)
+    }
+}
+
+/// Why a run did not complete.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SimTimeout {
     /// The cycle limit that was exhausted.
     pub max_cycles: u64,
-    /// The PC at the timeout (for diagnostics).
+    /// The PC of the first stuck hart (single-hart convenience; the
+    /// full picture is in [`SimTimeout::stuck`]).
     pub pc: u32,
+    /// Every non-quiescent hart at the timeout, in cluster/hart order —
+    /// a multi-cluster deadlock names all its participants, not just
+    /// cluster 0's first worker.
+    pub stuck: Vec<StuckHart>,
+}
+
+impl SimTimeout {
+    /// Builds the error from the non-quiescent hart list; `pc` echoes
+    /// the first entry (0 when the stall is outside any hart, e.g. a
+    /// DMA engine that never drained).
+    #[must_use]
+    pub fn new(max_cycles: u64, stuck: Vec<StuckHart>) -> Self {
+        let pc = stuck.first().map_or(0, |s| s.pc);
+        Self { max_cycles, pc, stuck }
+    }
 }
 
 impl std::fmt::Display for SimTimeout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulation exceeded {} cycles (pc={:#010x})", self.max_cycles, self.pc)
+        write!(f, "simulation exceeded {} cycles", self.max_cycles)?;
+        if self.stuck.is_empty() {
+            return write!(f, " (no hart stuck; an engine or queue never drained)");
+        }
+        write!(f, "; {} hart(s) not quiescent:", self.stuck.len())?;
+        const SHOWN: usize = 8;
+        for (i, hart) in self.stuck.iter().take(SHOWN).enumerate() {
+            write!(f, "{} {hart}", if i == 0 { "" } else { "," })?;
+        }
+        if self.stuck.len() > SHOWN {
+            write!(f, ", +{} more", self.stuck.len() - SHOWN)?;
+        }
+        Ok(())
     }
 }
 
@@ -362,11 +440,8 @@ impl SingleCcSim {
             // Host self-profiler (opt-in, read-only): the single CC is
             // its own "workers" class, the ideal memory is "mem".
             let mut host_t = issr_trace::host::phase_start();
-            let idle_cc = if host_t.is_some() { u64::from(self.cc.quiescent()) } else { 0 };
-            {
-                let mut port_refs: Vec<&mut MemPort> = self.ports.iter_mut().collect();
-                self.cc.tick(now, &mut port_refs, None, None);
-            }
+            let idle_cc = if host_t.is_some() { u64::from(self.cc.is_idle()) } else { 0 };
+            self.cc.tick(now, &mut self.ports, None, None);
             issr_trace::host::phase(&mut host_t, "workers", 1, idle_cc);
             let idle_mem = if host_t.is_some() {
                 u64::from(self.ports.iter().all(|p| p.pending().is_none()))
@@ -393,7 +468,10 @@ impl SingleCcSim {
                 });
             }
         }
-        Err(SimTimeout { max_cycles, pc: self.cc.core.pc() })
+        Err(SimTimeout::new(
+            max_cycles,
+            vec![StuckHart { cluster: 0, hart: self.cc.core.hartid(), pc: self.cc.core.pc() }],
+        ))
     }
 }
 
@@ -826,6 +904,71 @@ mod tests {
         // the streams are idle throughout.
         assert!(summary.attr.hart.occupancy() > 0.9, "{}", summary.attribution_report());
         assert_eq!(summary.attr.lanes[0].get(StallCause::Idle), roi);
+    }
+
+    /// The dirty-set soundness property: once [`CoreComplex::is_idle`]
+    /// holds, a full [`CoreComplex::tick`] and the skip path
+    /// [`CoreComplex::tick_idle`] must leave bit-identical state — the
+    /// skip is only legal because the tick it elides is a provable
+    /// no-op. Checked with the ROI closed (plain counting) and left
+    /// open at `halt` (attribution keeps recording every idle cycle).
+    fn assert_idle_tick_equivalence(close_roi: bool) {
+        let build = || {
+            let mut a = Assembler::new();
+            a.li(R::T0, 8);
+            a.roi_begin();
+            let head = a.bind_label();
+            a.addi(R::T0, R::T0, -1);
+            a.bnez(R::T0, head);
+            if close_roi {
+                a.roi_end();
+            }
+            a.halt();
+            a.finish().unwrap()
+        };
+        let mut full = SingleCcSim::new(build());
+        let mut skip = SingleCcSim::new(build());
+        // Identical programs run identically; both stop quiescent, then
+        // tick until the writeback slots drain and `is_idle` latches.
+        for sim in [&mut full, &mut skip] {
+            sim.run(1000).unwrap();
+            for _ in 0..16 {
+                if sim.cc.is_idle() {
+                    break;
+                }
+                let now = sim.now;
+                sim.cc.tick(now, &mut sim.ports, None, None);
+                let mut refs: Vec<&mut MemPort> = sim.ports.iter_mut().collect();
+                sim.mem.tick(now, &mut refs, &[]);
+                sim.now += 1;
+            }
+            assert!(sim.cc.is_idle(), "CC failed to reach the idle state");
+        }
+        assert_eq!(format!("{:?}", full.cc), format!("{:?}", skip.cc));
+        // Diverge: one CC keeps taking full ticks, the other only the
+        // skip path's bookkeeping. Every observable must stay equal.
+        for _ in 0..16 {
+            let now = full.now;
+            full.cc.tick(now, &mut full.ports, None, None);
+            let mut refs: Vec<&mut MemPort> = full.ports.iter_mut().collect();
+            full.mem.tick(now, &mut refs, &[]);
+            full.now += 1;
+            skip.cc.tick_idle();
+            assert!(full.cc.is_idle(), "idle must be sticky under full ticks");
+            assert_eq!(format!("{:?}", full.cc), format!("{:?}", skip.cc));
+            assert_eq!(format!("{:?}", full.ports), format!("{:?}", skip.ports));
+            assert_eq!(format!("{:?}", full.mem), format!("{:?}", skip.mem));
+        }
+    }
+
+    #[test]
+    fn idle_tick_is_a_no_op() {
+        assert_idle_tick_equivalence(true);
+    }
+
+    #[test]
+    fn idle_tick_is_a_no_op_with_roi_open() {
+        assert_idle_tick_equivalence(false);
     }
 
     #[test]

@@ -154,6 +154,15 @@ impl SnitchCore {
         self.halted
     }
 
+    /// Whether the pipeline carries no in-flight write-backs (load tags
+    /// or multi-cycle ALU results still waiting to retire). A halted
+    /// core with a drained pipeline cannot change architectural state
+    /// on a tick — the property the dirty-set scheduler relies on.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.lsu_tags.is_empty() && self.alu_wb.is_empty()
+    }
+
     /// The latched decode/fetch trap, if the core stopped on one.
     #[must_use]
     pub fn trap(&self) -> Option<Trap> {

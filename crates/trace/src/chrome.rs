@@ -3,10 +3,13 @@
 //! The recorder observes unit occupancy from *outside* the timing model
 //! (the run harnesses sample public state once per cycle), so enabling
 //! it cannot change simulated behavior — the invariance the property
-//! tests pin down. Spans live in a bounded ring: when the cap is hit
-//! the oldest span is dropped and counted, so a full-size
-//! `system_spgemm` run keeps the tail of its timeline at a fixed memory
-//! cost instead of growing without bound.
+//! tests pin down. Spans live in a bounded buffer: once the cap is hit
+//! further events are dropped and counted, so a full-size
+//! `system_spgemm` run keeps the head of its timeline at a fixed memory
+//! cost instead of growing without bound. A recorder whose buffers are
+//! all full is [`TraceRecorder::saturated`] — it can accept nothing
+//! more, and the run harnesses stop sampling it entirely (the per-cycle
+//! walk over every track is pure overhead at that point).
 //!
 //! The export is the Chrome trace-event JSON array format: complete
 //! (`"ph":"X"`) events on one track per unit, with thread-name metadata
@@ -84,8 +87,9 @@ impl Default for TraceRecorder {
 
 impl TraceRecorder {
     /// Creates a recorder holding at most `cap` spans and `cap` counter
-    /// samples (oldest dropped first; a zero cap records nothing but
-    /// still counts drops).
+    /// samples (the head of the timeline is kept, later events are
+    /// dropped and counted; a zero cap records nothing but still counts
+    /// drops).
     #[must_use]
     pub fn new(cap: usize) -> Self {
         Self {
@@ -118,11 +122,7 @@ impl TraceRecorder {
             return;
         }
         c.last = Some(value);
-        if self.counter_samples.len() >= self.cap {
-            self.counter_samples.pop_front();
-            self.dropped += 1;
-        }
-        if self.cap > 0 {
+        if self.counter_samples.len() < self.cap {
             self.counter_samples.push_back(CounterSample { counter: counter.0, ts: now, value });
         } else {
             self.dropped += 1;
@@ -156,15 +156,20 @@ impl TraceRecorder {
         if span.dur == 0 {
             return;
         }
-        if self.spans.len() >= self.cap {
-            self.spans.pop_front();
-            self.dropped += 1;
-        }
-        if self.cap > 0 {
+        if self.spans.len() < self.cap {
             self.spans.push_back(span);
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Whether every buffer is at its hard cap: no future span or
+    /// counter sample can be accepted. Harnesses short-circuit their
+    /// per-cycle sampling walk once this holds — nothing that walk
+    /// could record would be kept.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.spans.len() >= self.cap && self.counter_samples.len() >= self.cap
     }
 
     /// Registered tracks.
@@ -257,15 +262,39 @@ mod tests {
     }
 
     #[test]
-    fn ring_cap_drops_oldest() {
+    fn hard_cap_keeps_head_and_counts_drops() {
         let mut rec = TraceRecorder::new(2);
         let t = rec.add_track(0, "x");
+        assert!(!rec.saturated());
         for i in 0..4u64 {
             rec.sample(t, 2 * i, true);
             rec.sample(t, 2 * i + 1, false);
         }
         assert_eq!(rec.n_spans(), 2);
         assert_eq!(rec.dropped(), 2);
+        // Counter buffer is empty but there are no counters to fill it:
+        // the span buffer alone decides nothing more fits.
+        let doc = rec.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("events");
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| e.get("ts").and_then(Json::as_int).unwrap())
+            .collect();
+        assert_eq!(starts, vec![0, 2], "the head of the timeline is kept");
+    }
+
+    #[test]
+    fn saturated_once_all_buffers_full() {
+        let mut rec = TraceRecorder::new(1);
+        let t = rec.add_track(0, "x");
+        let c = rec.add_counter(0, "v");
+        rec.sample(t, 0, true);
+        rec.sample(t, 1, false);
+        assert!(!rec.saturated(), "counter buffer still has room");
+        rec.sample_counter(c, 2, 7);
+        assert!(rec.saturated());
+        assert!(TraceRecorder::new(0).saturated(), "zero cap accepts nothing");
     }
 
     #[test]
@@ -298,7 +327,7 @@ mod tests {
     }
 
     #[test]
-    fn counter_ring_cap_drops_oldest() {
+    fn counter_hard_cap_keeps_head() {
         let mut rec = TraceRecorder::new(2);
         let c = rec.add_counter(0, "x");
         for i in 0..5u64 {
