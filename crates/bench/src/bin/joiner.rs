@@ -52,6 +52,8 @@ fn spmspv_json(rows: &[JoinerSpmspvRow]) -> Json {
 }
 
 fn main() {
+    // Static verification before anything ticks (see issr-lint).
+    issr_lint::assert_shipped_clean();
     issr_trace::host::install();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut t = Telemetry::new("joiner", if smoke { "smoke" } else { "full" });

@@ -120,6 +120,9 @@ fn suite_energy_table(t: &mut Telemetry) {
 }
 
 fn main() {
+    // Static verification before anything ticks: a kernel that fails
+    // the linter would waste the whole sweep discovering it.
+    issr_lint::assert_shipped_clean();
     issr_trace::host::install();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let suite = std::env::args().any(|a| a == "--suite");

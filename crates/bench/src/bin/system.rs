@@ -201,6 +201,8 @@ fn attribution_report() -> SystemAttributionReport {
 }
 
 fn main() {
+    // Static verification before anything ticks (see issr-lint).
+    issr_lint::assert_shipped_clean();
     issr_trace::host::install();
     if let Some(n) = telemetry::threads_arg() {
         issr_system::system::set_default_threads(n);

@@ -38,7 +38,7 @@ impl AffineIterator {
     /// Panics if `dims` is zero or exceeds [`MAX_DIMS`].
     #[must_use]
     pub fn new(base: u32, dims: usize, bounds: [u32; MAX_DIMS], strides: [i64; MAX_DIMS]) -> Self {
-        assert!((1..=MAX_DIMS).contains(&dims), "dims {dims} out of range");
+        assert!((1..=MAX_DIMS).contains(&dims), "dims {dims} out of range"); // gate-allow: host-API construction precondition
         Self { bounds, strides, dims, index: [0; MAX_DIMS], pointer: base, done: false }
     }
 
@@ -67,7 +67,7 @@ impl AffineIterator {
     /// Panics if `count` is zero.
     #[must_use]
     pub fn linear(base: u32, count: u32, stride: i64) -> Self {
-        assert!(count > 0, "element count must be positive");
+        assert!(count > 0, "element count must be positive"); // gate-allow: host-API construction precondition
         Self::new(base, 1, [count - 1, 0, 0, 0], [stride, 0, 0, 0])
     }
 

@@ -32,10 +32,15 @@ pub enum StreamUnit {
 
 impl std::fmt::Display for StreamUnit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Each unit names the lane ports it owns, so a fault report
+        // pinpoints the contended port without a hardware map — and the
+        // static linter's diagnostics read identically.
         match self {
             StreamUnit::Lane(lane) => write!(f, "lane {lane}"),
-            StreamUnit::Joiner => f.write_str("index joiner"),
-            StreamUnit::SpAcc => f.write_str("sparse accumulator"),
+            StreamUnit::Joiner => f.write_str("index joiner (lanes 0/1)"),
+            StreamUnit::SpAcc => {
+                write!(f, "sparse accumulator (lane {} write stream)", crate::spacc::SPACC_LANE)
+            }
         }
     }
 }
@@ -125,5 +130,17 @@ mod tests {
         let f =
             StreamFault { unit: StreamUnit::Joiner, kind: StreamFaultKind::Stall { cycles: 7 } };
         assert!(f.to_string().contains("stalled"), "{f}");
+    }
+
+    /// Every unit's Display names the lane port(s) it owns, so fault
+    /// reports (runtime and lint) carry the port context directly.
+    #[test]
+    fn display_includes_owning_lanes() {
+        let s = StreamUnit::SpAcc.to_string();
+        assert!(s.contains("lane 1"), "{s}");
+        let s = StreamUnit::Joiner.to_string();
+        assert!(s.contains("lanes 0/1"), "{s}");
+        let f = StreamFault { unit: StreamUnit::SpAcc, kind: StreamFaultKind::PortConflict };
+        assert!(f.to_string().contains("lane 1"), "{f}");
     }
 }

@@ -25,7 +25,7 @@ impl<T> Fifo<T> {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "FIFO capacity must be positive");
+        assert!(capacity > 0, "FIFO capacity must be positive"); // gate-allow: host-API construction precondition
         Self { slots: VecDeque::with_capacity(capacity), capacity, pushes: 0, pops: 0 }
     }
 
@@ -65,7 +65,7 @@ impl<T> Fifo<T> {
     /// Panics if the FIFO is full — the caller models back-pressure and
     /// must check [`Self::is_full`] first.
     pub fn push(&mut self, value: T) {
-        assert!(!self.is_full(), "FIFO overflow");
+        assert!(!self.is_full(), "FIFO overflow"); // gate-allow: documented precondition; callers model back-pressure via is_full
         self.slots.push_back(value);
         self.pushes += 1;
     }

@@ -478,7 +478,7 @@ impl Lane {
                 RspTag::IdxWord => {
                     let Some(RunningJob { engine: Engine::Indirect(unit), .. }) = &mut self.job
                     else {
-                        panic!("index response without indirection job");
+                        panic!("index response without indirection job"); // gate-allow: internal invariant: responses are tagged by the job that issued them
                     };
                     unit.outstanding_idx -= 1;
                     unit.idx_fifo.push(rsp.data);

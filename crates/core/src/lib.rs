@@ -35,6 +35,7 @@
 
 pub mod affine;
 pub mod cfg;
+pub mod cfg_check;
 pub mod fault;
 pub mod fifo;
 pub mod joiner;
@@ -49,10 +50,11 @@ pub use cfg::{
     AccDrainSpec, AccFeedSpec, CfgShadow, JobKind, JobSpec, JoinerMode, JoinerSpec, Pattern,
     SPACC_ROW_CAP_RESET,
 };
+pub use cfg_check::{CfgFault, HwCaps};
 pub use fault::{StreamFault, StreamFaultKind, StreamUnit, STREAM_WATCHDOG_RESET};
 pub use fifo::Fifo;
 pub use joiner::{IndexJoiner, JoinerStats, JOIN_OUT_DEPTH};
 pub use lane::{Lane, LaneKind, LaneStats, DATA_FIFO_DEPTH, IDX_FIFO_DEPTH};
 pub use serializer::{IndexSerializer, IndexSize};
 pub use spacc::{SpAcc, SpAccStats, SPACC_LANE};
-pub use streamer::{CfgFault, Streamer, StreamerProbe};
+pub use streamer::{Streamer, StreamerProbe};

@@ -105,7 +105,7 @@ impl IndexSerializer {
     /// # Panics
     /// Panics if the previous word has not been fully consumed.
     pub fn load_word(&mut self, word: u64) {
-        assert!(self.current.is_none(), "serializer word still in use");
+        assert!(self.current.is_none(), "serializer word still in use"); // gate-allow: documented precondition; callers drain before reloading
         self.current = Some(word);
     }
 

@@ -20,6 +20,7 @@
 //! delivers matched value pairs through those two registers.
 
 use crate::cfg::{reg, AccDrainSpec, AccFeedSpec, JoinerSpec};
+use crate::cfg_check::{self, HwCaps};
 use crate::fault::{StreamFault, StreamFaultKind, StreamUnit, STREAM_WATCHDOG_RESET};
 use crate::joiner::{IndexJoiner, JoinerStats};
 use crate::lane::{Lane, LaneKind, LaneStats};
@@ -46,88 +47,18 @@ impl Default for StreamerProbe {
     }
 }
 
-/// A malformed streamer configuration access: the hardware cannot
-/// execute it and raises a fault the core latches as a trap (surfaced
-/// through the run summaries) instead of aborting the simulation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum CfgFault {
-    /// `scfgwi`/`scfgri` addressed a lane this streamer does not have.
-    BadLane {
-        /// The addressed lane index.
-        lane: u8,
-    },
-    /// A joiner job was launched on a streamer without joiner hardware.
-    NoJoiner,
-    /// A SpAcc job was launched on a streamer without a sparse
-    /// accumulator.
-    NoSpAcc,
-    /// A SpAcc feed was launched with a zero-capacity row buffer
-    /// (`ACC_BUF_CAP` written to 0).
-    ZeroCapacity,
-    /// A SpAcc drain was launched while `ACC_CFG` selects count-only
-    /// (symbolic) mode — there are no values to drain.
-    CountModeDrain,
-    /// A pointer write would launch an indirection (ISSR) job on a
-    /// plain SSR lane, which has no indirection unit.
-    NoIndirection {
-        /// The addressed lane index.
-        lane: u8,
-    },
-    /// A pointer write with `JOIN_CFG` enabled outside the joiner's
-    /// launch register (lane 0's `RPTR[0]`) — the joiner spans lanes
-    /// 0/1 and launches only through that register.
-    BadJoinerLaunch {
-        /// The addressed lane index.
-        lane: u8,
-    },
-    /// A SpAcc drain was launched with a misaligned output base: the
-    /// index base must be element aligned, the value base word aligned
-    /// (byte strobes cover partial words, not arbitrary offsets).
-    MisalignedDrain {
-        /// The index output base of the faulting launch.
-        idx_out: u32,
-        /// The value output base of the faulting launch.
-        val_out: u32,
-    },
-}
-
-impl std::fmt::Display for CfgFault {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CfgFault::BadLane { lane } => write!(f, "scfg access to nonexistent lane {lane}"),
-            CfgFault::NoJoiner => {
-                f.write_str("joiner job launched on a streamer without an index joiner")
-            }
-            CfgFault::NoSpAcc => {
-                f.write_str("SpAcc job launched on a streamer without a sparse accumulator")
-            }
-            CfgFault::ZeroCapacity => {
-                f.write_str("SpAcc feed launched with a zero-capacity row buffer")
-            }
-            CfgFault::CountModeDrain => {
-                f.write_str("SpAcc drain launched in count-only (symbolic) mode")
-            }
-            CfgFault::NoIndirection { lane } => {
-                write!(f, "indirection job launched on plain SSR lane {lane}")
-            }
-            CfgFault::BadJoinerLaunch { lane } => {
-                write!(f, "joiner-enabled pointer write outside the launch register (lane {lane})")
-            }
-            CfgFault::MisalignedDrain { idx_out, val_out } => {
-                write!(
-                    f,
-                    "SpAcc drain launched with misaligned output bases \
-                     (idcs {idx_out:#010x}, vals {val_out:#010x})"
-                )
-            }
-        }
-    }
-}
+// The fault type and its validation predicates live in
+// [`crate::cfg_check`], shared with `issr-lint`; re-exported here for
+// the original path's compatibility.
+pub use crate::cfg_check::CfgFault;
 
 /// The lane bundle attached to one core's FPU subsystem.
 #[derive(Debug)]
 pub struct Streamer {
     lanes: Vec<Lane>,
+    /// The lane kinds, kept as a flat list so capability checks can
+    /// borrow them as a [`HwCaps`] without walking the lanes.
+    kinds: Vec<LaneKind>,
     enabled: bool,
     /// Whether the hardware includes the index joiner.
     has_joiner: bool,
@@ -162,6 +93,7 @@ impl Streamer {
         assert!((1..=8).contains(&kinds.len()), "streamer supports 1..=8 lanes"); // gate-allow
         Self {
             lanes: kinds.iter().map(|&k| Lane::new(k)).collect(),
+            kinds: kinds.to_vec(),
             enabled: false,
             has_joiner: false,
             joiner: None,
@@ -232,6 +164,13 @@ impl Streamer {
     #[must_use]
     pub fn has_spacc(&self) -> bool {
         self.has_spacc
+    }
+
+    /// The hardware capability set configuration accesses are validated
+    /// against — the same view `issr-lint` checks statically.
+    #[must_use]
+    pub fn caps(&self) -> HwCaps<'_> {
+        HwCaps { lanes: &self.kinds, has_joiner: self.has_joiner, has_spacc: self.has_spacc }
     }
 
     /// Selects single- or double-buffered SpAcc row storage (see
@@ -360,14 +299,10 @@ impl Streamer {
     /// a zero-capacity feed, or a drain in count-only mode.
     pub fn cfg_write(&mut self, addr: u16, value: u32) -> Result<bool, CfgFault> {
         let (register, lane) = crate::cfg::split_addr(addr);
-        if lane as usize >= self.lanes.len() {
-            return Err(CfgFault::BadLane { lane });
-        }
+        self.caps().check_lane(lane)?;
         let lane = lane as usize;
-        if lane == 0 && register == reg::RPTR[0] && self.lanes[0].shadow().join_enabled() {
-            if !self.has_joiner {
-                return Err(CfgFault::NoJoiner);
-            }
+        if cfg_check::is_joiner_launch(register, lane as u8, self.lanes[0].shadow()) {
+            self.caps().check_joiner_present()?;
             if self.pending_join.is_some() {
                 return Ok(false);
             }
@@ -376,49 +311,25 @@ impl Streamer {
             return Ok(true);
         }
         if lane == 0 && register == reg::ACC_FEED {
-            if !self.has_spacc {
-                return Err(CfgFault::NoSpAcc);
-            }
             let spec = AccFeedSpec::from_shadow(self.lanes[0].shadow(), value);
-            if spec.cap == 0 {
-                return Err(CfgFault::ZeroCapacity);
-            }
+            self.caps().check_feed(&spec)?;
             return Ok(self.spacc.launch_feed(spec));
         }
         if lane == 0 && register == reg::ACC_DRAIN {
-            if !self.has_spacc {
-                return Err(CfgFault::NoSpAcc);
-            }
-            if self.lanes[0].shadow().acc_count_only() {
-                return Err(CfgFault::CountModeDrain);
-            }
             let spec = AccDrainSpec::from_shadow(self.lanes[0].shadow(), value);
-            if spec.idx_out % spec.idx_size.bytes() != 0 || spec.val_out % 8 != 0 {
-                return Err(CfgFault::MisalignedDrain {
-                    idx_out: spec.idx_out,
-                    val_out: spec.val_out,
-                });
-            }
+            self.caps().check_drain(self.lanes[0].shadow().acc_count_only(), &spec)?;
             return Ok(self.spacc.launch_drain(spec));
         }
         if lane == 0 && register == reg::ACC_CLEAR {
-            if !self.has_spacc {
-                return Err(CfgFault::NoSpAcc);
-            }
+            self.caps().check_spacc_present()?;
             return Ok(self.spacc.clear());
         }
         // Launch-time capability checks: a pointer write decodes
         // against the lane's shadow, and malformed combinations fault
-        // here (the lane itself only debug-asserts them).
-        if reg::RPTR.contains(&register) || reg::WPTR.contains(&register) {
-            let shadow = self.lanes[lane].shadow();
-            if shadow.join_enabled() {
-                // Lane 0's RPTR[0] joiner launch was handled above.
-                return Err(CfgFault::BadJoinerLaunch { lane: lane as u8 });
-            }
-            if shadow.indirect() && self.lanes[lane].kind() != LaneKind::Issr {
-                return Err(CfgFault::NoIndirection { lane: lane as u8 });
-            }
+        // here (the lane itself only debug-asserts them). Lane 0's
+        // RPTR[0] joiner launch was dispatched above.
+        if cfg_check::is_pointer_reg(register) {
+            self.caps().check_pointer_write(self.lanes[lane].shadow(), lane as u8)?;
         }
         Ok(self.lanes[lane].cfg_write(register, value))
     }
@@ -433,26 +344,18 @@ impl Streamer {
     /// absent status bits.
     pub fn cfg_read(&self, addr: u16) -> Result<u32, CfgFault> {
         let (register, lane) = crate::cfg::split_addr(addr);
-        if lane as usize >= self.lanes.len() {
-            return Err(CfgFault::BadLane { lane });
-        }
+        self.caps().check_lane(lane)?;
         let lane = lane as usize;
         if lane == 0 && register == reg::JOIN_COUNT {
-            if !self.has_joiner {
-                return Err(CfgFault::NoJoiner);
-            }
+            self.caps().check_joiner_present()?;
             return Ok(self.join_count_last);
         }
         if lane == 0 && register == reg::ACC_NNZ {
-            if !self.has_spacc {
-                return Err(CfgFault::NoSpAcc);
-            }
+            self.caps().check_spacc_present()?;
             return Ok(u32::try_from(self.spacc.nnz()).expect("row buffer exceeds u32"));
         }
         if lane == 0 && register == reg::ACC_STATUS {
-            if !self.has_spacc {
-                return Err(CfgFault::NoSpAcc);
-            }
+            self.caps().check_spacc_present()?;
             let done = self.spacc.is_idle();
             let feeds_done = self.spacc.feeds_idle();
             return Ok(u32::from(done) | (u32::from(!done) << 1) | (u32::from(feeds_done) << 2));

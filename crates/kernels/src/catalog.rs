@@ -1,0 +1,190 @@
+//! The shipped-kernel catalog: one representative assembled program per
+//! kernel builder, for tools that sweep "every kernel this crate can
+//! emit" — the `issr-lint` binary and its clean-kernel gate, above all.
+//!
+//! Programs are generated per workload (addresses and counts are baked
+//! in), so the catalog instantiates each builder on a small nonzero
+//! workload laid out in the single-core arena. The cluster and system
+//! kernels are excluded: their builders take plan structures that are
+//! computed from placed workloads, not hand-constructible addresses.
+
+use crate::csrmm::CsrmmAddrs;
+use crate::csrmv::CsrmvAddrs;
+use crate::layout::{csr_addrs, fiber_addrs, Arena, CsrOutAddrs};
+use crate::spgemm::{build_spgemm, SpgemmAddrs};
+use crate::spmspv::{build_spmspv, build_spvv_ss, build_spvv_ss_dyn, build_spvv_ss_term};
+use crate::spvv::SpvvAddrs;
+use crate::variant::{KernelIndex, Variant};
+use crate::{build_csrmm, build_csrmv, build_spvv, SpmspvAddrs, SpvvSsAddrs};
+use issr_isa::asm::Program;
+
+/// One shipped kernel program.
+pub struct CatalogEntry {
+    /// Kernel, variant and index width, e.g. `"spvv/issr/u16"`.
+    pub name: String,
+    /// The assembled program.
+    pub program: Program,
+    /// Whether the program targets the sparse-sparse stream units
+    /// (index joiner / sparse accumulator) and therefore needs the
+    /// SSSR hardware configuration rather than the paper's.
+    pub needs_sparse_units: bool,
+}
+
+impl CatalogEntry {
+    fn new(name: impl Into<String>, program: Program, needs_sparse_units: bool) -> Self {
+        Self { name: name.into(), program, needs_sparse_units }
+    }
+}
+
+fn spvv_entries<I: KernelIndex>(tag: &str, out: &mut Vec<CatalogEntry>) {
+    for variant in Variant::ALL {
+        let mut arena = Arena::new(0x0030_0000, 0x0010_0000);
+        let a = fiber_addrs::<I>(&mut arena, 12);
+        let b = arena.alloc(64 * 8, 8);
+        let out_slot = arena.alloc(8, 8);
+        let program = build_spvv::<I>(variant, SpvvAddrs { a, b, out: out_slot });
+        out.push(CatalogEntry::new(
+            format!("spvv/{}/{tag}", variant.name().to_lowercase()),
+            program,
+            false,
+        ));
+    }
+}
+
+fn csrmv_entries<I: KernelIndex>(tag: &str, out: &mut Vec<CatalogEntry>) {
+    for variant in Variant::ALL {
+        let mut arena = Arena::new(0x0030_0000, 0x0010_0000);
+        let a = csr_addrs::<I>(&mut arena, 8, 24);
+        let x = arena.alloc(64 * 8, 8);
+        let y = arena.alloc(8 * 8, 8);
+        let program = build_csrmv::<I>(variant, CsrmvAddrs { a, x, y });
+        out.push(CatalogEntry::new(
+            format!("csrmv/{}/{tag}", variant.name().to_lowercase()),
+            program,
+            false,
+        ));
+    }
+}
+
+fn csrmm_entries<I: KernelIndex>(tag: &str, out: &mut Vec<CatalogEntry>) {
+    for variant in Variant::ALL {
+        let mut arena = Arena::new(0x0030_0000, 0x0010_0000);
+        let a = csr_addrs::<I>(&mut arena, 8, 24);
+        let b = arena.alloc(64 * 4 * 8, 8);
+        let y = arena.alloc(8 * 4 * 8, 8);
+        let program =
+            build_csrmm::<I>(variant, CsrmmAddrs { a, b, b_cols: 4, b_stride: 4, y, y_stride: 4 });
+        out.push(CatalogEntry::new(
+            format!("csrmm/{}/{tag}", variant.name().to_lowercase()),
+            program,
+            false,
+        ));
+    }
+}
+
+fn spgemm_entries<I: KernelIndex>(tag: &str, out: &mut Vec<CatalogEntry>) {
+    for variant in [Variant::Base, Variant::Issr] {
+        let mut arena = Arena::new(0x0030_0000, 0x0010_0000);
+        let nrows = 4;
+        let a = csr_addrs::<I>(&mut arena, nrows, 8);
+        let b = csr_addrs::<I>(&mut arena, 4, 8);
+        // Hand-allocated output region: `alloc_csr_out` also zeroes
+        // `ptr[0]` in simulated memory, which the catalog doesn't have.
+        let nnz_cap = 16u32;
+        let c = CsrOutAddrs {
+            ptr: arena.alloc((nrows + 1) * 4 + 4, 8),
+            vals: arena.alloc(nnz_cap * 8, 8),
+            idcs: arena.alloc(nnz_cap * 4, 8),
+            nnz_cap,
+        };
+        let scratch_idx = [arena.alloc(64, 8), arena.alloc(64, 8)];
+        let scratch_vals = [arena.alloc(64 * 8, 8), arena.alloc(64 * 8, 8)];
+        let program =
+            build_spgemm::<I>(variant, nrows, SpgemmAddrs { a, b, c, scratch_idx, scratch_vals });
+        out.push(CatalogEntry::new(
+            format!("spgemm/{}/{tag}", variant.name().to_lowercase()),
+            program,
+            variant == Variant::Issr,
+        ));
+    }
+}
+
+fn spmspv_entries<I: KernelIndex>(tag: &str, out: &mut Vec<CatalogEntry>) {
+    for variant in [Variant::Base, Variant::Issr] {
+        let mut arena = Arena::new(0x0030_0000, 0x0010_0000);
+        let a = csr_addrs::<I>(&mut arena, 8, 24);
+        let x = fiber_addrs::<I>(&mut arena, 6);
+        let y = arena.alloc(8 * 8, 8);
+        let program = build_spmspv::<I>(variant, SpmspvAddrs { a, x, y });
+        out.push(CatalogEntry::new(
+            format!("spmspv/{}/{tag}", variant.name().to_lowercase()),
+            program,
+            variant == Variant::Issr,
+        ));
+    }
+}
+
+fn spvv_ss_entries<I: KernelIndex>(tag: &str, out: &mut Vec<CatalogEntry>) {
+    let make_addrs = || {
+        let mut arena = Arena::new(0x0030_0000, 0x0010_0000);
+        let a = fiber_addrs::<I>(&mut arena, 10);
+        let b = fiber_addrs::<I>(&mut arena, 14);
+        let out_slot = arena.alloc(8, 8);
+        SpvvSsAddrs { a, b, out: out_slot }
+    };
+    for variant in [Variant::Base, Variant::Issr] {
+        let program = build_spvv_ss::<I>(variant, make_addrs());
+        out.push(CatalogEntry::new(
+            format!("spvv_ss/{}/{tag}", variant.name().to_lowercase()),
+            program,
+            variant == Variant::Issr,
+        ));
+    }
+    out.push(CatalogEntry::new(
+        format!("spvv_ss_dyn/issr/{tag}"),
+        build_spvv_ss_dyn::<I>(make_addrs()),
+        true,
+    ));
+    out.push(CatalogEntry::new(
+        format!("spvv_ss_term/issr/{tag}"),
+        build_spvv_ss_term::<I>(make_addrs()),
+        true,
+    ));
+}
+
+/// Builds every shipped single-core kernel program on a representative
+/// nonzero workload.
+#[must_use]
+pub fn catalog() -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    spvv_entries::<u16>("u16", &mut out);
+    spvv_entries::<u32>("u32", &mut out);
+    csrmv_entries::<u16>("u16", &mut out);
+    csrmv_entries::<u32>("u32", &mut out);
+    csrmm_entries::<u16>("u16", &mut out);
+    spgemm_entries::<u16>("u16", &mut out);
+    spgemm_entries::<u32>("u32", &mut out);
+    spmspv_entries::<u16>("u16", &mut out);
+    spmspv_entries::<u32>("u32", &mut out);
+    spvv_ss_entries::<u16>("u16", &mut out);
+    spvv_ss_entries::<u32>("u32", &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_named_uniquely() {
+        let entries = catalog();
+        assert!(entries.len() >= 20, "expected a substantial catalog, got {}", entries.len());
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len(), "catalog names must be unique");
+        for e in &entries {
+            assert!(!e.program.is_empty(), "{} assembled empty", e.name);
+        }
+    }
+}

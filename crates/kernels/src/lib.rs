@@ -13,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod cluster_csrmv;
 pub mod cluster_spgemm;
 pub mod cluster_spmspv;
@@ -30,6 +31,7 @@ pub mod system_csrmv;
 pub mod system_spgemm;
 pub mod variant;
 
+pub use catalog::{catalog, CatalogEntry};
 pub use cluster_csrmv::{
     build_cluster_csrmv, run_cluster_csrmv, ClusterCsrmvPlan, ClusterCsrmvRun,
 };

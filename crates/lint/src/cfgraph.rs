@@ -1,0 +1,118 @@
+//! Control-flow graph construction and structural checks.
+//!
+//! Programs are flat instruction sequences starting at PC 0 (see
+//! `issr_isa::asm::Program`), so the CFG is per-instruction: each node
+//! is an instruction index, each edge a possible `next_pc`. Branch and
+//! jump offsets are immediates, so every direct edge is known
+//! statically; `jalr` is the only indirect transfer and is modelled as
+//! "leaves the graph" (its presence disables the analyses that would
+//! otherwise claim to know all predecessors).
+
+use issr_isa::instr::Instr;
+
+use crate::{Diagnostic, FaultClass, Severity};
+
+/// The per-instruction control-flow graph.
+pub(crate) struct Cfg {
+    /// In-range successor indices per instruction.
+    pub succs: Vec<Vec<usize>>,
+    /// Whether each instruction is reachable from PC 0 along direct
+    /// edges.
+    pub reachable: Vec<bool>,
+    /// Whether the program contains an indirect jump (`jalr`).
+    pub has_indirect: bool,
+    /// Control transfers that leave the program: `(index, message)`.
+    escapes: Vec<(usize, String)>,
+}
+
+impl Cfg {
+    pub fn build(instrs: &[Instr]) -> Self {
+        let n = instrs.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut escapes = Vec::new();
+        let mut has_indirect = false;
+        for (i, instr) in instrs.iter().enumerate() {
+            match *instr {
+                Instr::Halt => {}
+                // The indirect target is data-dependent; the node keeps
+                // no out-edges and the flag weakens downstream passes.
+                Instr::Jalr { .. } => has_indirect = true,
+                Instr::Jal { offset, .. } => match jump_target(i, offset, n) {
+                    Ok(t) => succs[i].push(t),
+                    Err(msg) => escapes.push((i, msg)),
+                },
+                Instr::Branch { offset, .. } => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    } else {
+                        escapes.push((
+                            i,
+                            "branch fall-through runs past the end of the program".into(),
+                        ));
+                    }
+                    match jump_target(i, offset, n) {
+                        Ok(t) => succs[i].push(t),
+                        Err(msg) => escapes.push((i, msg)),
+                    }
+                }
+                _ => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    } else {
+                        escapes.push((
+                            i,
+                            "execution runs past the end of the program (no halt)".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(i) = stack.pop() {
+            for &s in &succs[i] {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        Self { succs, reachable, has_indirect, escapes }
+    }
+
+    /// Reports control transfers that leave the program — the static
+    /// image of the core's `PcOutOfRange` trap. Only reachable
+    /// instructions report (an unreachable escape is subsumed by the
+    /// dead-code warning).
+    pub fn structural_diagnostics(&self, diags: &mut Vec<Diagnostic>) {
+        for (i, msg) in &self.escapes {
+            if self.reachable[*i] {
+                diags.push(Diagnostic {
+                    pc: (*i as u32) * 4,
+                    severity: Severity::Error,
+                    class: FaultClass::PcOutOfRange,
+                    message: msg.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Resolves a direct jump/branch offset to an instruction index, or
+/// explains why the transfer escapes the program.
+fn jump_target(i: usize, offset: i32, n: usize) -> Result<usize, String> {
+    if offset % 4 != 0 {
+        return Err(format!("misaligned jump offset {offset} (targets must be 4-byte aligned)"));
+    }
+    let target = i as i64 + i64::from(offset) / 4;
+    if target < 0 || target >= n as i64 {
+        Err(format!(
+            "jump target {:#x} lies outside the program (0..{:#x})",
+            i as i64 * 4 + i64::from(offset),
+            n * 4
+        ))
+    } else {
+        Ok(target as usize)
+    }
+}

@@ -1,0 +1,344 @@
+//! # issr-lint
+//!
+//! Static verification of guest kernel programs *before they ever
+//! tick*: a control-flow graph plus a forward abstract-interpretation
+//! pass over the stream-unit state a program would build up — per-lane
+//! shadow `scfg` writes, joiner and SpAcc job launches, the `ssr`
+//! redirection CSR, and FREP sequencer windows.
+//!
+//! The SSR/ISSR programming model is easy to misconfigure, which is why
+//! the runtime latches [`issr_core::CfgFault`] /
+//! [`issr_core::StreamFault`] traps — but every one of those costs a
+//! full simulation to discover, and a serving layer must reject
+//! malformed tenant jobs before they occupy a cluster. This crate moves
+//! every *statically decidable* instance of that checking to assemble
+//! time. Both the linter and the runtime go through the same predicates
+//! in [`issr_core::cfg_check`], so the static verdict and the trap
+//! surface cannot drift apart.
+//!
+//! What the analyzer catches:
+//!
+//! 1. **Stream-register use before a job is launched** — an FP
+//!    instruction sourcing `ft0`/`ft1` under an enabled `ssr` CSR on a
+//!    path where no read job (pointer write, joiner launch) ever
+//!    configured the lane. At runtime this is a silent deadlock: the
+//!    lane FIFO never fills, the FPU stalls forever, and the run ends
+//!    in `SimTimeout` — the most expensive possible way to find a bug.
+//! 2. **Malformed FREP bodies** — branches, `scfg` accesses, `ssr` CSR
+//!    toggles, nested FREPs or `halt` inside the sequencer capture
+//!    window, bodies larger than the sequencer buffer, empty bodies,
+//!    and `frep.s` loops whose body reads no stream source (they retire
+//!    after zero iterations).
+//! 3. **Port-conflict schedules** — a lane job launched on the SpAcc's
+//!    port while a feed is active, or on a joiner-owned lane, or a
+//!    joiner launch overlapping an active SpAcc job: the schedules that
+//!    latch [`StreamFaultKind::PortConflict`] at runtime.
+//! 4. **Configuration faults** — every launch the runtime would reject
+//!    with a [`CfgFault`] (bad lane, missing joiner/SpAcc hardware,
+//!    zero-capacity feed, count-mode drain, misaligned drain bases,
+//!    indirection on a plain SSR lane, joiner-enabled pointer writes
+//!    outside the launch register), proved through constant propagation
+//!    over the shadow registers.
+//! 5. **Dead and unreachable code** — unreachable instructions and
+//!    stream cfg writes never consumed by any launch.
+//!
+//! The pass is a *must*-analysis: a diagnostic is only emitted when the
+//! fault provably occurs on every execution reaching that instruction,
+//! so well-formed kernels — including every kernel shipped in
+//! `issr-kernels` — lint clean, and a flagged launch is one the runtime
+//! would provably trap (test-enforced against the simulator).
+
+#![forbid(unsafe_code)]
+
+mod absint;
+mod cfgraph;
+mod liveness;
+
+use issr_core::cfg_check::HwCaps;
+use issr_core::lane::LaneKind;
+use issr_core::{CfgFault, StreamFault, StreamFaultKind};
+use issr_isa::asm::Program;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// The program misbehaves at runtime: a latched trap, a sequencer
+    /// abort, or a silent deadlock.
+    Error,
+    /// The program works but carries dead weight: unreachable code,
+    /// unconsumed cfg writes, zero-trip stream loops.
+    Warning,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// Cross-reference from a diagnostic to the runtime trap surface: what
+/// the simulator would do at this program point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultClass {
+    /// The launch latches exactly this [`CfgFault`] (same PC, same
+    /// payload — the trap records the faulting `scfgwi`/`scfgri`).
+    Cfg(CfgFault),
+    /// The schedule latches this [`StreamFault`] mid-stream (the trap
+    /// PC is the delivery vicinity, not the launch).
+    Stream(StreamFault),
+    /// No trap at all: the stream units deadlock and the run ends in
+    /// `SimTimeout` after the full cycle budget.
+    Hang,
+    /// The FREP sequencer (or FPU capture path) aborts the simulation.
+    Sequencer,
+    /// Control flow leaves the program: the core traps `PcOutOfRange`.
+    PcOutOfRange,
+    /// No runtime manifestation — wasted instructions.
+    Dead,
+}
+
+impl FaultClass {
+    /// Short class code used in the rendered diagnostic.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            FaultClass::Cfg(_) => "cfg",
+            FaultClass::Stream(_) => "stream",
+            FaultClass::Hang => "hang",
+            FaultClass::Sequencer => "frep",
+            FaultClass::PcOutOfRange => "pc",
+            FaultClass::Dead => "dead",
+        }
+    }
+}
+
+/// One finding: severity, the byte PC it anchors to (the same PC a
+/// runtime trap would record for cfg faults), the fault-class
+/// cross-reference, and a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Byte address of the offending instruction (instruction index × 4
+    /// — the unit `Trap::pc` uses).
+    pub pc: u32,
+    /// Error (runtime misbehaviour) or warning (dead weight).
+    pub severity: Severity,
+    /// What the runtime would do here.
+    pub class: FaultClass,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}] {:#010x}: {}", self.severity, self.class.code(), self.pc, self.message)
+    }
+}
+
+/// The stream-unit hardware a program is linted against — mirrors the
+/// streamer configurations the harnesses construct.
+#[derive(Clone, Debug)]
+pub struct LintTarget {
+    /// Lane kinds, indexed like the stream registers (`ft0`, `ft1`, ...).
+    pub lanes: Vec<LaneKind>,
+    /// Whether the target has the sparse-sparse index joiner.
+    pub has_joiner: bool,
+    /// Whether the target has the sparse accumulator.
+    pub has_spacc: bool,
+    /// FREP sequencer buffer depth in instructions.
+    pub frep_buffer: usize,
+}
+
+impl LintTarget {
+    /// The paper configuration: one SSR lane + one ISSR lane, no
+    /// sparse-sparse units (`SingleCcSim::new`).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            lanes: vec![LaneKind::Ssr, LaneKind::Issr],
+            has_joiner: false,
+            has_spacc: false,
+            frep_buffer: 16,
+        }
+    }
+
+    /// The SSSR configuration: paper lanes plus the index joiner and
+    /// the sparse accumulator (`SingleCcSim::with_joiner`).
+    #[must_use]
+    pub fn sssr() -> Self {
+        Self { has_joiner: true, has_spacc: true, ..Self::paper() }
+    }
+
+    /// The capability view shared with the runtime's `cfg_write` path.
+    #[must_use]
+    pub fn caps(&self) -> HwCaps<'_> {
+        HwCaps { lanes: &self.lanes, has_joiner: self.has_joiner, has_spacc: self.has_spacc }
+    }
+
+    pub(crate) fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+/// Where a fault class is decidable: at assemble time or only once the
+/// data arrives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decidability {
+    /// The linter proves the fault from the program text alone.
+    Static,
+    /// The fault depends on runtime data (actual indices, row lengths,
+    /// timing) — only the trap surface can catch it.
+    RuntimeOnly,
+}
+
+/// Classification of every [`CfgFault`] class. The `match` is
+/// deliberately exhaustive (no wildcard): adding a fault variant fails
+/// compilation here until it is classified.
+#[must_use]
+pub fn classify_cfg_fault(fault: &CfgFault) -> Decidability {
+    match fault {
+        // Every configuration fault is a pure function of the shadow
+        // state the program itself wrote — constant propagation decides
+        // all of them when the operands are program constants.
+        CfgFault::BadLane { .. }
+        | CfgFault::NoJoiner
+        | CfgFault::NoSpAcc
+        | CfgFault::ZeroCapacity
+        | CfgFault::CountModeDrain
+        | CfgFault::NoIndirection { .. }
+        | CfgFault::BadJoinerLaunch { .. }
+        | CfgFault::MisalignedDrain { .. } => Decidability::Static,
+    }
+}
+
+/// Classification of every [`StreamFaultKind`] variant — exhaustive for
+/// the same reason as [`classify_cfg_fault`].
+#[must_use]
+pub fn classify_stream_fault(kind: &StreamFaultKind) -> Decidability {
+    match kind {
+        // Whether a merged row overflows, a feed's indices are sorted,
+        // or a unit's watchdog expires depends on the data streamed at
+        // runtime. (The *never-configured* special case of a stall — a
+        // stream register read with no job — is caught statically as a
+        // `FaultClass::Hang`.)
+        StreamFaultKind::Overflow { .. }
+        | StreamFaultKind::Unsorted { .. }
+        | StreamFaultKind::Stall { .. } => Decidability::RuntimeOnly,
+        // Port ownership is schedule-determined: two launches on one
+        // port conflict regardless of the data.
+        StreamFaultKind::PortConflict => Decidability::Static,
+    }
+}
+
+/// Lints an assembled program against a hardware target. Diagnostics
+/// come back sorted by PC, errors before warnings at the same PC.
+#[must_use]
+pub fn lint_program(program: &Program, target: &LintTarget) -> Vec<Diagnostic> {
+    let instrs = program.instrs();
+    let mut diags = Vec::new();
+    if instrs.is_empty() {
+        diags.push(Diagnostic {
+            pc: 0,
+            severity: Severity::Error,
+            class: FaultClass::PcOutOfRange,
+            message: "empty program: the fetch of the first instruction traps".into(),
+        });
+        return diags;
+    }
+    let cfg = cfgraph::Cfg::build(instrs);
+    cfg.structural_diagnostics(&mut diags);
+    let states = absint::analyze(instrs, &cfg, target);
+    absint::report(instrs, &cfg, target, &states, &mut diags);
+    liveness::report(instrs, &cfg, target, &mut diags);
+    diags.sort_by_key(|d| (d.pc, d.severity));
+    diags
+}
+
+/// Whether any diagnostic in `diags` is an error.
+#[must_use]
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Lints `program` and panics with the rendered findings if any
+/// diagnostic (error *or* warning) comes back — the load-time gate the
+/// examples and benches run before handing a program to a simulator.
+///
+/// # Panics
+/// Panics if the program produces any diagnostic.
+pub fn assert_clean(program: &Program, target: &LintTarget, what: &str) {
+    let diags = lint_program(program, target);
+    assert!(
+        diags.is_empty(),
+        "issr-lint: {what} failed static verification:\n{}",
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// Lints every program in the shipped-kernel catalog
+/// ([`issr_kernels::catalog`]) against the hardware configuration it
+/// targets — the one-call load-time gate the bench binaries and
+/// examples run before handing anything to a simulator.
+///
+/// # Panics
+/// Panics if any shipped kernel produces a diagnostic.
+pub fn assert_shipped_clean() {
+    let paper = LintTarget::paper();
+    let sssr = LintTarget::sssr();
+    for entry in issr_kernels::catalog::catalog() {
+        let target = if entry.needs_sparse_units { &sssr } else { &paper };
+        assert_clean(&entry.program, target, &entry.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_every_variant() {
+        let cfg_faults = [
+            CfgFault::BadLane { lane: 2 },
+            CfgFault::NoJoiner,
+            CfgFault::NoSpAcc,
+            CfgFault::ZeroCapacity,
+            CfgFault::CountModeDrain,
+            CfgFault::NoIndirection { lane: 0 },
+            CfgFault::BadJoinerLaunch { lane: 1 },
+            CfgFault::MisalignedDrain { idx_out: 1, val_out: 4 },
+        ];
+        for f in &cfg_faults {
+            assert_eq!(classify_cfg_fault(f), Decidability::Static, "{f}");
+        }
+        assert_eq!(classify_stream_fault(&StreamFaultKind::PortConflict), Decidability::Static);
+        for k in [
+            StreamFaultKind::Overflow { cap: 4 },
+            StreamFaultKind::Unsorted { prev: 3, next: 1 },
+            StreamFaultKind::Stall { cycles: 100 },
+        ] {
+            assert_eq!(classify_stream_fault(&k), Decidability::RuntimeOnly);
+        }
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let p = Program::default();
+        let diags = lint_program(&p, &LintTarget::paper());
+        assert!(has_errors(&diags));
+        assert_eq!(diags[0].class, FaultClass::PcOutOfRange);
+    }
+
+    #[test]
+    fn diagnostic_renders_with_class_code_and_pc() {
+        let d = Diagnostic {
+            pc: 0x18,
+            severity: Severity::Error,
+            class: FaultClass::Cfg(CfgFault::NoJoiner),
+            message: "joiner job launched on a streamer without an index joiner".into(),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("error[cfg] 0x00000018:"), "{s}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Gate: every shipped kernel program lints clean — zero diagnostics,
+//! warnings included. A kernel that trips the analyzer means either the
+//! kernel is wrong or the analyzer over-approximates a legal schedule;
+//! both must be fixed before shipping.
+
+use issr_kernels::catalog::catalog;
+use issr_lint::{assert_clean, LintTarget};
+
+#[test]
+fn every_shipped_kernel_lints_clean() {
+    let paper = LintTarget::paper();
+    let sssr = LintTarget::sssr();
+    let entries = catalog();
+    assert!(entries.len() >= 20, "catalog suspiciously small: {}", entries.len());
+    for entry in &entries {
+        let target = if entry.needs_sparse_units { &sssr } else { &paper };
+        assert_clean(&entry.program, target, &entry.name);
+    }
+}
+
+/// The non-sparse-unit kernels must also be clean under the *larger*
+/// hardware configuration: extra units never make a legal program
+/// illegal.
+#[test]
+fn paper_kernels_also_clean_on_sssr_hardware() {
+    let sssr = LintTarget::sssr();
+    for entry in catalog() {
+        assert_clean(&entry.program, &sssr, &entry.name);
+    }
+}

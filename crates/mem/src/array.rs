@@ -19,8 +19,8 @@ impl MemArray {
     /// Panics if `base` or `size` is not 8-byte aligned.
     #[must_use]
     pub fn new(base: u32, size: u32) -> Self {
-        assert_eq!(base % 8, 0, "region base must be 8-byte aligned");
-        assert_eq!(size % 8, 0, "region size must be 8-byte aligned");
+        assert_eq!(base % 8, 0, "region base must be 8-byte aligned"); // gate-allow: host-API construction precondition
+        assert_eq!(size % 8, 0, "region size must be 8-byte aligned"); // gate-allow: host-API construction precondition
         Self { base, words: vec![0; (size / 8) as usize] }
     }
 
@@ -74,7 +74,7 @@ impl MemArray {
 
     /// Writes a `u64` at an 8-byte-aligned address.
     pub fn store_u64(&mut self, addr: u32, value: u64) {
-        assert_eq!(addr % 8, 0, "store_u64 requires 8-byte alignment");
+        assert_eq!(addr % 8, 0, "store_u64 requires 8-byte alignment"); // gate-allow: host-API alignment precondition
         let idx = self.word_index(addr);
         self.words[idx] = value;
     }
@@ -82,7 +82,7 @@ impl MemArray {
     /// Reads a `u64` from an 8-byte-aligned address.
     #[must_use]
     pub fn load_u64(&self, addr: u32) -> u64 {
-        assert_eq!(addr % 8, 0, "load_u64 requires 8-byte alignment");
+        assert_eq!(addr % 8, 0, "load_u64 requires 8-byte alignment"); // gate-allow: host-API alignment precondition
         self.read_word(addr)
     }
 
@@ -99,7 +99,7 @@ impl MemArray {
 
     /// Writes a `u32` at a 4-byte-aligned address.
     pub fn store_u32(&mut self, addr: u32, value: u32) {
-        assert_eq!(addr % 4, 0, "store_u32 requires 4-byte alignment");
+        assert_eq!(addr % 4, 0, "store_u32 requires 4-byte alignment"); // gate-allow: host-API alignment precondition
         let shift = (addr % 8) * 8;
         let strb = 0x0F << (addr % 8);
         self.write_word(addr & !7, u64::from(value) << shift, strb as u8);
@@ -108,14 +108,14 @@ impl MemArray {
     /// Reads a `u32` from a 4-byte-aligned address.
     #[must_use]
     pub fn load_u32(&self, addr: u32) -> u32 {
-        assert_eq!(addr % 4, 0, "load_u32 requires 4-byte alignment");
+        assert_eq!(addr % 4, 0, "load_u32 requires 4-byte alignment"); // gate-allow: host-API alignment precondition
         let shift = (addr % 8) * 8;
         (self.read_word(addr & !7) >> shift) as u32
     }
 
     /// Writes a `u16` at a 2-byte-aligned address.
     pub fn store_u16(&mut self, addr: u32, value: u16) {
-        assert_eq!(addr % 2, 0, "store_u16 requires 2-byte alignment");
+        assert_eq!(addr % 2, 0, "store_u16 requires 2-byte alignment"); // gate-allow: host-API alignment precondition
         let shift = (addr % 8) * 8;
         let strb = 0x03 << (addr % 8);
         self.write_word(addr & !7, u64::from(value) << shift, strb as u8);
@@ -124,7 +124,7 @@ impl MemArray {
     /// Reads a `u16` from a 2-byte-aligned address.
     #[must_use]
     pub fn load_u16(&self, addr: u32) -> u16 {
-        assert_eq!(addr % 2, 0, "load_u16 requires 2-byte alignment");
+        assert_eq!(addr % 2, 0, "load_u16 requires 2-byte alignment"); // gate-allow: host-API alignment precondition
         let shift = (addr % 8) * 8;
         (self.read_word(addr & !7) >> shift) as u16
     }

@@ -153,9 +153,9 @@ impl Dma {
     /// Panics if addresses or size are not 8-byte aligned (the engine
     /// moves whole words; the layout planners guarantee alignment).
     pub fn start(&mut self, size: u32, twod: bool) -> u32 {
-        assert_eq!(size % 8, 0, "DMA size must be word-aligned");
-        assert_eq!(self.src % 8, 0, "DMA source must be word-aligned");
-        assert_eq!(self.dst % 8, 0, "DMA destination must be word-aligned");
+        assert_eq!(size % 8, 0, "DMA size must be word-aligned"); // gate-allow: host-side transfer-descriptor precondition
+        assert_eq!(self.src % 8, 0, "DMA source must be word-aligned"); // gate-allow: host-side transfer-descriptor precondition
+        assert_eq!(self.dst % 8, 0, "DMA destination must be word-aligned"); // gate-allow: host-side transfer-descriptor precondition
         let id = self.next_id;
         self.next_id += 1;
         self.queue.push_back(Transfer {

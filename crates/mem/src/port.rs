@@ -91,7 +91,7 @@ impl MemPort {
     /// # Panics
     /// Panics if the port is already occupied (check [`Self::can_send`]).
     pub fn send(&mut self, req: MemReq) {
-        assert!(self.pending.is_none(), "port already has a pending request");
+        assert!(self.pending.is_none(), "port already has a pending request"); // gate-allow: protocol invariant: one request in flight per port
         self.pending = Some(req);
     }
 

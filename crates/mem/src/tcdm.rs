@@ -49,8 +49,8 @@ impl Tcdm {
     /// Panics if `n_banks` is zero or not a power of two.
     #[must_use]
     pub fn banked(base: u32, size: u32, n_banks: usize) -> Self {
-        assert!(n_banks.is_power_of_two() && n_banks > 0, "bank count must be a power of two");
-        assert!(n_banks <= 64, "bank count must fit the arbitration mask");
+        assert!(n_banks.is_power_of_two() && n_banks > 0, "bank count must be a power of two"); // gate-allow: host-API construction precondition
+        assert!(n_banks <= 64, "bank count must fit the arbitration mask"); // gate-allow: host-API construction precondition
         Self {
             array: MemArray::new(base, size),
             n_banks,
@@ -130,7 +130,7 @@ impl Tcdm {
                 // (the paper's cluster has 32), and a cluster exposes
                 // well under 64 ports, so u64 masks always suffice.
                 debug_assert!(self.n_banks <= 64, "bank mask width");
-                assert!(n <= 64, "port count must fit the arbitration mask");
+                assert!(n <= 64, "port count must fit the arbitration mask"); // gate-allow: host-API construction precondition
                 let mut bank_ports = [0u64; 64];
                 let mut port_bank = [0u8; 64];
                 let mut active: u64 = 0;

@@ -148,9 +148,9 @@ impl CoreComplex {
         dma: Option<&mut Dma>,
         l1: Option<&mut L1ICache>,
     ) {
-        assert_eq!(phys.len(), self.streamer.n_lanes(), "one physical port per lane");
-        // Pre-tick counter snapshot: the attribution sampler at step 6
-        // classifies the hart from what this cycle's sub-steps added.
+        assert_eq!(phys.len(), self.streamer.n_lanes(), "one physical port per lane"); // gate-allow: construction invariant between streamer and port vector
+                                                                                       // Pre-tick counter snapshot: the attribution sampler at step 6
+                                                                                       // classifies the hart from what this cycle's sub-steps added.
         let instret_before = self.metrics.instret;
         let roi_before = self.metrics.roi;
         // 0. Instruction fetch timing (L0 / shared L1 model).
@@ -353,6 +353,7 @@ impl RunSummary {
     pub fn expect_clean(self) -> Self {
         if let Some(trap) = self.trap {
             panic!(
+                // gate-allow: test-harness helper; documented to panic on trapped runs
                 "simulated core trapped: {trap} (cause: {:?}, faulting pc {:#010x}, \
                  hart {})",
                 trap.cause, trap.pc, trap.hartid

@@ -499,7 +499,10 @@ impl SnitchCore {
                     return stall_raw(metrics);
                 }
                 let Some(dma) = dma else {
-                    panic!("DMA instruction on a core without a DMA engine");
+                    // No DMA engine (worker cores): a structured trap,
+                    // like every other unsupported operation.
+                    self.take_trap(TrapCause::UnimplementedInstr(instr));
+                    return;
                 };
                 match instr {
                     Instr::DmSrc { .. } => dma.set_src(self.read(rs1)),
@@ -513,7 +516,10 @@ impl SnitchCore {
                     return stall_raw(metrics);
                 }
                 let Some(dma) = dma else {
-                    panic!("DMA instruction on a core without a DMA engine");
+                    // No DMA engine (worker cores): a structured trap,
+                    // like every other unsupported operation.
+                    self.take_trap(TrapCause::UnimplementedInstr(instr));
+                    return;
                 };
                 dma.set_reps(self.read(rs1));
             }
@@ -522,14 +528,20 @@ impl SnitchCore {
                     return stall_raw(metrics);
                 }
                 let Some(dma) = dma else {
-                    panic!("DMA instruction on a core without a DMA engine");
+                    // No DMA engine (worker cores): a structured trap,
+                    // like every other unsupported operation.
+                    self.take_trap(TrapCause::UnimplementedInstr(instr));
+                    return;
                 };
                 let id = dma.start(self.read(rs1), cfg & 1 != 0);
                 self.write(rd, id);
             }
             Instr::DmStatI { rd, which } => {
                 let Some(dma) = dma else {
-                    panic!("DMA instruction on a core without a DMA engine");
+                    // No DMA engine (worker cores): a structured trap,
+                    // like every other unsupported operation.
+                    self.take_trap(TrapCause::UnimplementedInstr(instr));
+                    return;
                 };
                 let v = match which {
                     0 => dma.completed(),

@@ -122,7 +122,7 @@ impl FpuSubsystem {
     /// # Panics
     /// Panics if the queue is full (check [`Self::can_offload`]).
     pub fn offload(&mut self, op: FpOp) {
-        assert!(self.can_offload(), "FPU offload queue overflow");
+        assert!(self.can_offload(), "FPU offload queue overflow"); // gate-allow: documented precondition; the core checks can_offload first
         self.queue.push_back(op);
     }
 
@@ -278,12 +278,13 @@ impl FpuSubsystem {
         loop {
             match self.queue.front() {
                 Some(FpOp { instr: Instr::Frep { kind, n_insns, stagger, .. }, aux }) => {
-                    assert!(matches!(self.seq, SeqState::Idle), "nested FREP is not supported");
+                    assert!(matches!(self.seq, SeqState::Idle), "nested FREP is not supported"); // gate-allow: guest bug caught statically by issr-lint (frep window checks)
                     assert!(
+                        // gate-allow: guest bug caught statically by issr-lint (frep window checks)
                         (*n_insns as usize) <= self.params.frep_buffer,
                         "FREP body exceeds sequencer buffer"
                     );
-                    assert!(*n_insns > 0, "FREP with empty body");
+                    assert!(*n_insns > 0, "FREP with empty body"); // gate-allow: guest bug caught statically by issr-lint (frep window checks)
                     self.seq = SeqState::Capturing {
                         remaining: *n_insns,
                         max_rpt: *aux,
@@ -307,7 +308,7 @@ impl FpuSubsystem {
             let Some(&op) = self.queue.front() else {
                 return Err(Blocked::Empty);
             };
-            assert!(op.instr.is_fp(), "non-FP instruction inside an FREP body");
+            assert!(op.instr.is_fp(), "non-FP instruction inside an FREP body"); // gate-allow: guest bug caught statically by issr-lint (frep window checks)
             buf.push(op);
             self.queue.pop_front();
             *remaining -= 1;
@@ -541,6 +542,7 @@ impl FpuSubsystem {
             Instr::Fld { rd, .. } => {
                 let rd = Self::stagger_reg(rd, 0, smask, soff);
                 assert!(
+                    // gate-allow: guest bug caught statically by issr-lint (fld into stream reg)
                     streamer.lane_of_reg(rd.index()).is_none(),
                     "fld into a redirected stream register"
                 );
@@ -597,7 +599,7 @@ impl FpuSubsystem {
                     .push((now + p.fpu_short_latency, IntWriteback { reg: rd.index(), value: v }));
                 count(metrics, false, false);
             }
-            other => panic!("non-FP instruction {other} offloaded to FPU"),
+            other => panic!("non-FP instruction {other} offloaded to FPU"), // gate-allow: internal invariant: the core only offloads is_fp instructions
         }
         Ok(())
     }

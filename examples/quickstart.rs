@@ -10,6 +10,11 @@ use issr::kernels::variant::Variant;
 use issr::sparse::{gen, reference};
 
 fn main() {
+    // Every shipped kernel is statically verified before anything
+    // ticks — the same gate `cargo run -p issr-lint --bin lint` runs.
+    issr::lint::assert_shipped_clean();
+    println!("issr-lint: all shipped kernels verified\n");
+
     let dim = 2048;
     let nnz = 512;
     let mut rng = gen::rng(1);

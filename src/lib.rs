@@ -41,6 +41,7 @@ pub use issr_compare as compare;
 pub use issr_core as core;
 pub use issr_isa as isa;
 pub use issr_kernels as kernels;
+pub use issr_lint as lint;
 pub use issr_mem as mem;
 pub use issr_model as model;
 pub use issr_snitch as snitch;
