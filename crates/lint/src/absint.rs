@@ -535,14 +535,21 @@ impl Interp<'_> {
                 }
                 st.joiner_active = Bool3::Yes;
                 st.lanes[0].read_job = Bool3::Yes;
-                st.lanes[1].read_job = Bool3::Yes;
+                // A caller-constructed LintTarget (public fields) may
+                // pair has_joiner with a single lane; the joiner's
+                // lane-1 effect only exists when the lane does.
+                if st.lanes.len() > 1 {
+                    st.lanes[1].read_job = Bool3::Yes;
+                }
                 return;
             }
             if je == Bool3::Maybe {
                 // Could be a joiner launch or a plain lane-0 read job:
                 // join both effects, report nothing.
                 st.joiner_active = st.joiner_active.join(Bool3::Yes);
-                st.lanes[1].read_job = st.lanes[1].read_job.join(Bool3::Yes);
+                if st.lanes.len() > 1 {
+                    st.lanes[1].read_job = st.lanes[1].read_job.join(Bool3::Yes);
+                }
                 st.lanes[0].read_job = Bool3::Yes;
                 return;
             }

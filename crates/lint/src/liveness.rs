@@ -72,7 +72,14 @@ fn is_launch(register: u16, lane: u8) -> bool {
 fn dead_cfg_writes(instrs: &[Instr], cfg: &Cfg, target: &LintTarget, diags: &mut Vec<Diagnostic>) {
     let n = instrs.len();
     let n_lanes = target.n_lanes();
-    debug_assert!(n_lanes * N_CELLS <= 128, "bitset domain exceeds u128");
+    // The (lane, cell) domain is packed into a u128 bitset. Streamers
+    // allow up to 8 lanes, and 8 * N_CELLS = 160 bits does not fit —
+    // in release builds the shift would silently wrap and every
+    // verdict after it would be wrong. This pass only emits warnings,
+    // so for oversized targets it is skipped rather than widened.
+    if n_lanes * N_CELLS >= 128 {
+        return;
+    }
     let all: u128 = (1u128 << (n_lanes * N_CELLS)) - 1;
     let bit = |lane: usize, slot: usize| 1u128 << (lane * N_CELLS + slot);
 

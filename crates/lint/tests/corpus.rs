@@ -17,6 +17,7 @@ use issr_core::cfg::{
     JoinerMode,
 };
 use issr_core::fault::{StreamFault, StreamFaultKind, StreamUnit};
+use issr_core::lane::LaneKind;
 use issr_core::serializer::IndexSize;
 use issr_core::CfgFault;
 use issr_isa::asm::{Assembler, Program};
@@ -524,4 +525,60 @@ fn corpus_covers_the_classification_table() {
     a.halt();
     let diags = lint_program(&a.finish().unwrap(), &LintTarget::paper());
     assert!(!has_errors(&diags) && diags.is_empty(), "clean probe: {diags:?}");
+}
+
+// ---- Degenerate caller-constructed targets ----
+//
+// `LintTarget`'s fields are public, so shapes the shipped constructors
+// never produce — a single-lane joiner, more lanes than the liveness
+// bitset holds — must degrade gracefully, not panic or mis-analyze.
+
+#[test]
+fn single_lane_joiner_target_lints_without_panic() {
+    let target = LintTarget {
+        lanes: vec![LaneKind::Issr],
+        has_joiner: true,
+        has_spacc: false,
+        frep_buffer: 16,
+    };
+
+    // Definite joiner launch: JOIN_CFG enabled by a program constant.
+    let mut a = Assembler::new();
+    a.li(R::T0, i64::from(join_cfg_word(JoinerMode::Union, IndexSize::U16)));
+    a.scfgwi(R::T0, cfg_addr(sreg::JOIN_CFG, 0));
+    a.scfgwi(R::ZERO, cfg_addr(sreg::RPTR[0], 0));
+    a.halt();
+    let _ = lint_program(&a.finish().unwrap(), &target);
+
+    // Maybe-joiner launch: JOIN_CFG written from an unknown register,
+    // so the RPTR write joins both the launch and plain-job effects.
+    let mut a = Assembler::new();
+    a.scfgwi(R::A0, cfg_addr(sreg::JOIN_CFG, 0));
+    a.scfgwi(R::ZERO, cfg_addr(sreg::RPTR[0], 0));
+    a.halt();
+    let _ = lint_program(&a.finish().unwrap(), &target);
+}
+
+#[test]
+fn oversized_lane_target_skips_dead_write_analysis() {
+    // 8 lanes x 20 cells = 160 bits: past the u128 (lane, cell) bitset,
+    // so the dead-write pass skips itself rather than computing with a
+    // wrapped mask. The unconsumed write below must simply go
+    // unreported — never flagged from garbage liveness bits, never a
+    // panic.
+    let target = LintTarget {
+        lanes: vec![LaneKind::Ssr; 8],
+        has_joiner: false,
+        has_spacc: false,
+        frep_buffer: 16,
+    };
+    let mut a = Assembler::new();
+    a.li(R::T0, 3);
+    a.scfgwi(R::T0, cfg_addr(sreg::BOUNDS[0], 7)); // nothing ever launches
+    a.halt();
+    let diags = lint_program(&a.finish().unwrap(), &target);
+    assert!(
+        !diags.iter().any(|d| d.class == FaultClass::Dead && d.message.contains("never consumed")),
+        "dead-write analysis must be skipped for oversized targets: {diags:?}"
+    );
 }
