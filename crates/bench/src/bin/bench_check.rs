@@ -112,11 +112,39 @@ fn breakdown_total(v: &Json) -> Option<i64> {
     Some(total)
 }
 
+/// Checks a `critical_path` section: an object with `length`, `compute`
+/// and an `edges` object must partition exactly — compute plus the sum
+/// of every edge-class attribution equals the path length.
+fn check_critical_path(v: &Json, path: &str, errors: &mut Vec<String>) {
+    let (Some(length), Some(compute), Some(Json::Obj(edges))) = (
+        v.get("length").and_then(Json::as_int),
+        v.get("compute").and_then(Json::as_int),
+        v.get("edges"),
+    ) else {
+        return;
+    };
+    let mut blocked = 0i64;
+    for (name, n) in edges {
+        match n.as_int() {
+            Some(n) => blocked += n,
+            None => errors.push(format!("{path}/edges/{name}: not an integer")),
+        }
+    }
+    if compute + blocked != length {
+        errors.push(format!(
+            "{path}: critical path does not partition: {compute} compute + {blocked} \
+             edge cycles != length {length}"
+        ));
+    }
+}
+
 /// Walks the document checking the attribution invariants:
 /// an object with `roi_cycles` + `units` has every unit breakdown
 /// summing to `roi_cycles`; an object with `elapsed` + `dma` has the
-/// DMA breakdown summing to `elapsed`.
+/// DMA breakdown summing to `elapsed`; an object with `length` +
+/// `compute` + `edges` partitions exactly (a `critical_path` section).
 fn check_attribution(v: &Json, path: &str, errors: &mut Vec<String>) {
+    check_critical_path(v, path, errors);
     if let (Some(roi), Some(Json::Obj(units))) =
         (v.get("roi_cycles").and_then(Json::as_int), v.get("units"))
     {

@@ -43,13 +43,15 @@ struct MetricRow {
 }
 
 /// Walks both documents in lockstep collecting every gated metric that
-/// is an integer on both sides, plus every `bound` string pair.
+/// is an integer on both sides, plus every `bound` and `dominant_edge`
+/// string pair.
 fn collect(
     base: &Json,
     fresh: &Json,
     path: &str,
     rows: &mut Vec<MetricRow>,
     bounds: &mut Vec<(String, String, String)>,
+    edges: &mut Vec<(String, String, String)>,
 ) {
     match (base, fresh) {
         (Json::Obj(bf), Json::Obj(_)) => {
@@ -68,12 +70,18 @@ fn collect(
                         continue;
                     }
                 }
-                collect(bv, fv, &p, rows, bounds);
+                if k == "dominant_edge" {
+                    if let (Some(b), Some(f)) = (bv.as_str(), fv.as_str()) {
+                        edges.push((path.to_owned(), b.to_owned(), f.to_owned()));
+                        continue;
+                    }
+                }
+                collect(bv, fv, &p, rows, bounds, edges);
             }
         }
         (Json::Arr(bi), Json::Arr(fi)) => {
             for (i, (bv, fv)) in bi.iter().zip(fi.iter()).enumerate() {
-                collect(bv, fv, &format!("{path}/{i}"), rows, bounds);
+                collect(bv, fv, &format!("{path}/{i}"), rows, bounds, edges);
             }
         }
         _ => {}
@@ -112,7 +120,8 @@ fn run() -> Result<(), String> {
 
     let mut rows = Vec::new();
     let mut bounds = Vec::new();
-    collect(&base, &fresh, "", &mut rows, &mut bounds);
+    let mut edges = Vec::new();
+    collect(&base, &fresh, "", &mut rows, &mut bounds, &mut edges);
 
     println!("bench_diff: {bench} — {fresh_path} vs {base_path}\n");
     if rows.is_empty() {
@@ -153,6 +162,21 @@ fn run() -> Result<(), String> {
     } else {
         for (path, b, f) in flips {
             println!("bound change at {path}: {b}-bound -> {f}-bound");
+        }
+    }
+
+    // Critical-path dominant-edge flips: reported, never fatal — the
+    // dominant edge is a blame ranking, and close seconds legitimately
+    // swap under small timing shifts.
+    let edge_flips: Vec<&(String, String, String)> =
+        edges.iter().filter(|(_, b, f)| b != f).collect();
+    if edge_flips.is_empty() {
+        if !edges.is_empty() {
+            println!("critical-path dominant edge unchanged");
+        }
+    } else {
+        for (path, b, f) in edge_flips {
+            println!("dominant-edge change at {path}: {b} -> {f}");
         }
     }
 

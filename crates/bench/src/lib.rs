@@ -7,6 +7,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod critical;
 pub mod figures;
 pub mod report;
 pub mod telemetry;

@@ -8,16 +8,39 @@
 //!   bookkeeping bug.
 //! * **Neutrality** — enabling the interval recorder changes neither a
 //!   cycle count nor an output bit: tracing only reads state the
-//!   simulation latches anyway.
+//!   simulation latches anyway. The same holds for the post-mortem
+//!   flight recorders and the live wait-graph recorders.
+//! * **Wait-graph soundness** — every blocked cycle of every unit maps
+//!   to exactly one outgoing edge, so per-unit edge sums equal the
+//!   breakdowns' blocked counts, the live recorder equals the derived
+//!   graph, and the critical path partitions exactly within the ROI.
 
 use issr_kernels::spgemm::run_spgemm;
 use issr_kernels::spmspv::run_spmspv;
-use issr_kernels::system_csrmv::{run_system_csrmv, run_system_csrmv_traced};
+use issr_kernels::system_csrmv::{
+    run_system_csrmv, run_system_csrmv_recorded, run_system_csrmv_traced,
+};
 use issr_kernels::variant::Variant;
 use issr_snitch::attr::CcAttribution;
 use issr_sparse::gen;
 use issr_system::system::SystemParams;
+use issr_trace::waitgraph::UnitClass;
+use issr_trace::{is_blocked, CycleBreakdown, StatMerge, WaitGraph};
 use proptest::prelude::*;
+
+/// The blocked cycles of one breakdown (everything that is not Active,
+/// Idle or Parked — the causes that map to a wait-graph edge).
+fn blocked_cycles(b: &CycleBreakdown) -> u64 {
+    b.iter().filter(|&(c, _)| is_blocked(c)).map(|(_, n)| n).sum()
+}
+
+/// Asserts one unit's edge contribution equals its blocked cycles —
+/// "every blocked cycle has exactly one outgoing edge" over a real run.
+fn assert_unit_edges(unit: UnitClass, b: &CycleBreakdown, what: &str) {
+    let mut g = WaitGraph::new();
+    g.add_breakdown(unit, b);
+    assert_eq!(g.total(), blocked_cycles(b), "{what}: unit edge sum vs blocked stall cycles");
+}
 
 /// Asserts every table of one core complex's attribution totals `roi`.
 fn assert_cc_sums(attr: &CcAttribution, roi: u64, what: &str) {
@@ -69,6 +92,46 @@ proptest! {
         let run = run_spgemm(Variant::Issr, &a, &b).expect("spgemm run");
         let roi = run.summary.metrics.roi.cycles;
         assert_cc_sums(&run.summary.attr, roi, "SpGEMM");
+    }
+
+    /// Wait-graph soundness over joiner-backed SpMSpV runs: every unit
+    /// contributes exactly its blocked cycles (one edge per blocked
+    /// cycle, none for active/idle/parked), so the whole graph's total
+    /// is the attribution's blocked total, and the critical path is an
+    /// exact partition bounded by the ROI.
+    #[test]
+    fn wait_graph_and_critical_path_are_sound(
+        nrows in 1usize..24,
+        ncols in 32usize..512,
+        row_nnz in 1usize..24,
+        x_nnz in 1usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = gen::rng(seed);
+        let row_nnz = row_nnz.min(ncols);
+        let m = gen::csr_fixed_row_nnz::<u16>(&mut rng, nrows, ncols, row_nnz);
+        let x = gen::sparse_vector::<u16>(&mut rng, ncols, x_nnz.min(ncols));
+        let run = run_spmspv(Variant::Issr, &m, &x).expect("spmspv run");
+        let attr = &run.summary.attr;
+        // Per-unit edge sums equal the breakdowns' blocked counts.
+        assert_unit_edges(UnitClass::Hart, &attr.hart, "hart");
+        for (i, lane) in attr.lanes.iter().enumerate() {
+            assert_unit_edges(UnitClass::Lane, lane, &format!("ft{i}"));
+        }
+        assert_unit_edges(UnitClass::Joiner, &attr.joiner, "joiner");
+        assert_unit_edges(UnitClass::SpAcc, &attr.spacc, "spacc");
+        // Whole-graph total is the blocked total across every unit.
+        let blocked: u64 = std::iter::once(&attr.hart)
+            .chain(attr.lanes.iter())
+            .chain([&attr.joiner, &attr.spacc])
+            .map(blocked_cycles)
+            .sum();
+        prop_assert_eq!(attr.wait_graph().total(), blocked);
+        // The critical path partitions exactly and fits inside the ROI.
+        let path = attr.critical_path();
+        prop_assert_eq!(path.length, attr.roi_cycles());
+        prop_assert_eq!(path.compute + path.blocked(), path.length, "exact partition");
+        prop_assert!(path.length <= run.summary.cycles, "ROI path fits in the elapsed run");
     }
 }
 
@@ -140,5 +203,37 @@ proptest! {
         let expect = params.n_clusters
             * (n_workers + n_workers * lanes_per_worker + 1 + 1);
         prop_assert_eq!(meta, expect, "one metadata record per registered track");
+    }
+
+    /// Flight-recorder and wait-graph neutrality: arming every recorder
+    /// changes neither a cycle count nor an output bit, and the live
+    /// wait graph equals the one derived from the attribution tables.
+    #[test]
+    fn recorders_change_no_bit_and_no_cycle(
+        nrows in 32usize..128,
+        ncols in 32usize..128,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = gen::rng(seed);
+        let nnz = (nrows * 4).min(nrows * ncols);
+        let m = gen::csr_uniform::<u16>(&mut rng, nrows, ncols, nnz);
+        let x = gen::dense_vector(&mut rng, ncols);
+        let params = SystemParams { n_clusters: 2, ..SystemParams::default() };
+        let plain =
+            run_system_csrmv(Variant::Issr, &m, &x, params.n_clusters).expect("plain run");
+        let (recorded, live) =
+            run_system_csrmv_recorded(Variant::Issr, &m, &x, params, 1 << 16)
+                .expect("recorded run");
+        prop_assert_eq!(plain.summary.cycles, recorded.summary.cycles, "cycles must match");
+        let plain_bits: Vec<u64> = plain.y.iter().map(|v| v.to_bits()).collect();
+        let rec_bits: Vec<u64> = recorded.y.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(plain_bits, rec_bits, "output bits must match");
+        // The live recorder and the derived graph agree edge for edge.
+        let mut derived = WaitGraph::new();
+        for c in &recorded.summary.clusters {
+            derived.merge_from(&c.attr.wait_graph());
+        }
+        prop_assert_eq!(live, derived, "live wait graph must equal the derived one");
+        prop_assert!(derived.total() > 0, "a contended system run must block somewhere");
     }
 }

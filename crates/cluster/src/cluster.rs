@@ -14,7 +14,12 @@ use issr_snitch::cc::{CoreComplex, SimTimeout};
 use issr_snitch::core::Trap;
 use issr_snitch::metrics::Metrics;
 use issr_snitch::params::CcParams;
-use issr_trace::{host, CounterId, CycleBreakdown, StallCause, StatMerge, TraceRecorder, TrackId};
+use issr_trace::blackbox::DEFAULT_BLACKBOX_CAP;
+use issr_trace::waitgraph::UnitClass;
+use issr_trace::{
+    host, BlackBox, CounterId, CriticalPath, CycleBreakdown, PostMortem, StallCause, StatMerge,
+    StuckUnit, TraceRecorder, TrackId, UnitId, WaitGraph,
+};
 
 /// Cluster configuration.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +75,37 @@ impl ClusterAttribution {
         issr_trace::merge::merge_all(self.workers.iter())
     }
 
+    /// The whole cluster's wait graph: every worker's, the DMCC's and
+    /// the DMA engine's blocked cycles folded into per-edge-class cycle
+    /// counts. Derived from the attribution tables, so it is exactly as
+    /// timing-neutral and thread-invariant as they are.
+    #[must_use]
+    pub fn wait_graph(&self) -> WaitGraph {
+        let mut g = WaitGraph::new();
+        for w in &self.workers {
+            g.merge_from(&w.wait_graph());
+        }
+        g.merge_from(&self.dmcc.wait_graph());
+        g.add_breakdown(UnitClass::Dma, &self.dma);
+        g
+    }
+
+    /// The cluster's critical path: the backward blame walk starts at
+    /// the worker with the longest ROI (the one end-of-ROI waits on),
+    /// then descends into its busiest lane. Falls back to the DMCC when
+    /// no worker opened an ROI (pure data-movement runs).
+    #[must_use]
+    pub fn critical_path(&self) -> CriticalPath {
+        let mut best: Option<&CcAttribution> = None;
+        for w in &self.workers {
+            // Strictly greater: ties keep the earlier hart.
+            if w.roi_cycles() > 0 && best.is_none_or(|b| w.roi_cycles() > b.roi_cycles()) {
+                best = Some(w);
+            }
+        }
+        best.unwrap_or(&self.dmcc).critical_path()
+    }
+
     /// Labelled rows (workers, DMCC, DMA) for
     /// [`issr_trace::breakdown_table`], with `prefix` prepended.
     #[must_use]
@@ -120,6 +156,10 @@ pub struct ClusterSummary {
     /// Decode/fetch traps that parked cores (workers and DMCC alike);
     /// empty on a clean run.
     pub traps: Vec<Trap>,
+    /// Post-mortem assembled automatically when the run ended with
+    /// latched traps (a clean, trap-free run carries `None`; a timeout
+    /// carries its post-mortem on the [`SimTimeout`] instead).
+    pub post_mortem: Option<PostMortem>,
 }
 
 impl ClusterSummary {
@@ -172,6 +212,18 @@ pub struct TickCensus {
     pub idle_dma: bool,
 }
 
+/// One cluster's always-cheap flight recorder: a bounded ring of
+/// recent per-unit state transitions (workers, DMCC, DMA), sampled from
+/// the classifications the tick already latched — never from live
+/// machine state, so recording cannot perturb timing.
+#[derive(Clone, Debug)]
+struct FlightRecorder {
+    bb: BlackBox,
+    /// Unit handles: workers `0..n_workers`, then the DMCC.
+    harts: Vec<UnitId>,
+    dma: UnitId,
+}
+
 /// The eight-worker Snitch cluster plus DMCC.
 #[derive(Debug)]
 pub struct Cluster {
@@ -204,6 +256,18 @@ pub struct Cluster {
     workers_in_roi: bool,
     census: TickCensus,
     idle_mem: bool,
+    /// Post-mortem flight recorder; [`Cluster::run`] arms a default one
+    /// so every timeout dump carries recent history.
+    flight: Option<FlightRecorder>,
+    /// Opt-in live wait-graph recorder. Provably redundant — it must
+    /// (and property-tested does) equal the graph derived from the
+    /// attribution tables — but it lets harnesses watch edges grow
+    /// mid-run without waiting for a summary.
+    live_graph: Option<WaitGraph>,
+    /// Declared synchronization words `(addr, owner_hart)` — e.g. flag
+    /// words one hart writes and others spin on. Post-mortem deadlock
+    /// classification builds its blame edges from these.
+    sync_words: Vec<(u32, u32)>,
     now: u64,
 }
 
@@ -212,6 +276,9 @@ pub struct Cluster {
 /// engine.
 #[derive(Clone, Debug)]
 pub struct ClusterTracks {
+    /// The Chrome-trace process these tracks live under — kept so
+    /// sampling can drop instant markers (traps) on the right process.
+    pub pid: u32,
     /// Hart tracks: workers `0..n_workers`, then the DMCC.
     pub harts: Vec<TrackId>,
     /// Per-worker lane tracks.
@@ -280,6 +347,9 @@ impl Cluster {
             workers_in_roi: false,
             census: TickCensus::default(),
             idle_mem: true,
+            flight: None,
+            live_graph: None,
+            sync_words: Vec::new(),
             now: 0,
         }
     }
@@ -464,8 +534,41 @@ impl Cluster {
         }
         self.tcdm.tick(now, &mut tcdm_ports, &self.dma_claimed);
         host::phase(&mut host_t, "mem", 1, u64::from(self.idle_mem));
+        self.sample_recorders(now);
         self.now += 1;
         TickActivity { dma_words_moved: self.dma_words_moved, workers_in_roi: self.workers_in_roi }
+    }
+
+    /// Feeds the cycle that just completed into whichever recorders are
+    /// armed. Runs at the end of phase 3 — per-cluster state only, so
+    /// the thread-pool harness keeps its bit-identical replay — and
+    /// reads only latched classifications, so recording is invisible to
+    /// the simulated machine.
+    fn sample_recorders(&mut self, now: u64) {
+        if let Some(fr) = self.flight.as_mut() {
+            for (i, cc) in self.workers.iter().enumerate() {
+                fr.bb.sample(fr.harts[i], now, cc.last_causes().hart);
+            }
+            fr.bb.sample(fr.harts[self.workers.len()], now, self.dmcc.last_causes().hart);
+            fr.bb.sample(fr.dma, now, self.dma.last_cause());
+        }
+        if let Some(g) = self.live_graph.as_mut() {
+            // Mirror the attribution gating exactly: cores count edges
+            // only inside their ROI, the DMA engine every cluster cycle
+            // — that is what makes live == derived provable.
+            for cc in self.workers.iter().chain(std::iter::once(&self.dmcc)) {
+                if cc.metrics.roi_active {
+                    let causes = cc.last_causes();
+                    g.record(UnitClass::Hart, causes.hart);
+                    for &c in &causes.streamer.lanes {
+                        g.record(UnitClass::Lane, c);
+                    }
+                    g.record(UnitClass::Joiner, causes.streamer.joiner);
+                    g.record(UnitClass::SpAcc, causes.streamer.spacc);
+                }
+            }
+            g.record(UnitClass::Dma, self.dma.last_cause());
+        }
     }
 
     /// The idle census taken by the last [`Cluster::tick_compute`]: how
@@ -483,8 +586,54 @@ impl Cluster {
         TickActivity { dma_words_moved: self.dma_words_moved, workers_in_roi: self.workers_in_roi }
     }
 
+    /// Arms the post-mortem flight recorder with a ring of `cap` recent
+    /// per-unit transitions, naming units for cluster `cluster` (e.g.
+    /// `"c0 hart 3"`). Re-arming resets the ring. The recorder samples
+    /// only the classifications the tick already latched, so arming it
+    /// changes no simulated bit and no cycle count.
+    pub fn enable_flight_recorder(&mut self, cap: usize, cluster: usize) {
+        let mut bb = BlackBox::new(cap);
+        let mut harts = Vec::with_capacity(self.workers.len() + 1);
+        for i in 0..self.workers.len() {
+            harts.push(bb.add_unit(format!("c{cluster} hart {i}")));
+        }
+        harts.push(bb.add_unit(format!("c{cluster} dmcc")));
+        let dma = bb.add_unit(format!("c{cluster} dma"));
+        self.flight = Some(FlightRecorder { bb, harts, dma });
+    }
+
+    /// Whether a flight recorder is armed ([`Cluster::run`] and the
+    /// system harness arm a default one before running).
+    #[must_use]
+    pub fn flight_recorder_armed(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Arms the live wait-graph recorder (edges accumulate as the run
+    /// ticks). Redundant with the graph derived from the summary's
+    /// attribution — the two must be equal — and just as timing-neutral.
+    pub fn enable_waitgraph(&mut self) {
+        self.live_graph = Some(WaitGraph::new());
+    }
+
+    /// The live wait graph accumulated so far (`None` until
+    /// [`Cluster::enable_waitgraph`]).
+    #[must_use]
+    pub fn live_wait_graph(&self) -> Option<&WaitGraph> {
+        self.live_graph.as_ref()
+    }
+
+    /// Declares `addr` a synchronization word owned (written) by
+    /// `owner_hart`. The post-mortem uses these to turn "hart X last
+    /// loaded `addr`" into a blame edge toward the owner, which is what
+    /// lets it tell a deadlocked spin from a merely slow one.
+    pub fn declare_sync_word(&mut self, addr: u32, owner_hart: u32) {
+        self.sync_words.push((addr, owner_hart));
+    }
+
     /// Every hart (workers, then the DMCC as hart `n_workers`) that has
-    /// not gone quiescent, with its current PC — the timeout diagnostic.
+    /// not gone quiescent, with its current PC and dominant lifetime
+    /// stall cause — the timeout diagnostic.
     #[must_use]
     pub fn stuck_harts(&self, cluster: usize) -> Vec<issr_snitch::cc::StuckHart> {
         let mut stuck = Vec::new();
@@ -494,6 +643,7 @@ impl Cluster {
                     cluster,
                     hart: i as u32,
                     pc: cc.core.pc(),
+                    cause: cc.cause_tally.dominant(),
                 });
             }
         }
@@ -502,9 +652,58 @@ impl Cluster {
                 cluster,
                 hart: self.workers.len() as u32,
                 pc: self.dmcc.core.pc(),
+                cause: self.dmcc.cause_tally.dominant(),
             });
         }
         stuck
+    }
+
+    /// Assembles the post-mortem for the cluster's current state: stuck
+    /// harts with their dominant stall cause and last-polled address,
+    /// the frozen wait graph, deadlock-vs-slow classification over the
+    /// declared sync words, and whatever the flight recorder holds.
+    #[must_use]
+    pub fn post_mortem(&self, cluster: usize) -> PostMortem {
+        let mut stuck = Vec::new();
+        let name = |i: usize| {
+            if i == self.workers.len() {
+                format!("c{cluster} dmcc")
+            } else {
+                format!("c{cluster} hart {i}")
+            }
+        };
+        for (i, cc) in self.workers.iter().chain(std::iter::once(&self.dmcc)).enumerate() {
+            if !cc.quiescent() {
+                stuck.push(StuckUnit {
+                    name: name(i),
+                    hart: i as u32,
+                    pc: cc.core.pc(),
+                    dominant: cc.cause_tally.dominant(),
+                    polls: cc.core.last_load_addr(),
+                });
+            }
+        }
+        // The post-mortem graph uses the whole-lifetime hart tallies,
+        // not the ROI-gated tables: a hung run often never opened (or
+        // never closed) an ROI, and the dump must still show where the
+        // harts waited. Streamer units and the DMA keep their tables.
+        let mut graph = WaitGraph::new();
+        for cc in self.workers.iter().chain(std::iter::once(&self.dmcc)) {
+            graph.add_breakdown(UnitClass::Hart, &cc.cause_tally);
+            for lane in &cc.attr.lanes {
+                graph.add_breakdown(UnitClass::Lane, lane);
+            }
+            graph.add_breakdown(UnitClass::Joiner, &cc.attr.joiner);
+            graph.add_breakdown(UnitClass::SpAcc, &cc.attr.spacc);
+        }
+        graph.add_breakdown(UnitClass::Dma, &self.dma_attr);
+        PostMortem::assemble(
+            self.now,
+            stuck,
+            &self.sync_words,
+            graph,
+            self.flight.as_ref().map(|f| &f.bb),
+        )
     }
 
     /// Runs to quiescence.
@@ -513,6 +712,12 @@ impl Cluster {
     /// Returns [`SimTimeout`] if the cluster does not finish in
     /// `max_cycles` (deadlock or bug).
     pub fn run(&mut self, max_cycles: u64) -> Result<ClusterSummary, SimTimeout> {
+        // Arm a default flight recorder so any timeout dump carries
+        // recent history; recording reads only latched state, so this
+        // changes no simulated bit and no cycle count.
+        if self.flight.is_none() {
+            self.enable_flight_recorder(DEFAULT_BLACKBOX_CAP, 0);
+        }
         let deadline = self.now + max_cycles;
         while self.now < deadline {
             self.tick();
@@ -520,7 +725,7 @@ impl Cluster {
                 return Ok(self.summary());
             }
         }
-        Err(SimTimeout::new(max_cycles, self.stuck_harts(0)))
+        Err(SimTimeout::new(max_cycles, self.stuck_harts(0)).with_post_mortem(self.post_mortem(0)))
     }
 
     /// Registers one track per hart (workers then DMCC), per worker
@@ -549,7 +754,7 @@ impl Cluster {
         harts.push(rec.add_track(pid, "dmcc"));
         let dma = rec.add_track(pid, "dma");
         let dma_words = rec.add_counter(pid, "dma outstanding words");
-        ClusterTracks { harts, lanes, dma, lane_fifo, dma_words }
+        ClusterTracks { pid, harts, lanes, dma, lane_fifo, dma_words }
     }
 
     /// Feeds one cycle's occupancy of every unit into the recorder.
@@ -571,12 +776,19 @@ impl Cluster {
         rec.sample(tracks.harts[self.workers.len()], now, dmcc_busy);
         rec.sample(tracks.dma, now, self.dma.last_cause() == StallCause::Active);
         rec.sample_counter(tracks.dma_words, now, self.dma.outstanding_words());
+        // Instant markers for latched traps: `mark` dedups on
+        // `(pid, name)`, so each trap lands once at its first sighting.
+        for (i, cc) in self.workers.iter().chain(std::iter::once(&self.dmcc)).enumerate() {
+            if let Some(trap) = cc.core.trap() {
+                rec.mark(tracks.pid, format!("trap hart {i}: {trap}"), now);
+            }
+        }
     }
 
     /// Snapshot of the run statistics.
     #[must_use]
     pub fn summary(&self) -> ClusterSummary {
-        ClusterSummary {
+        let mut summary = ClusterSummary {
             cycles: self.now,
             worker_metrics: self.workers.iter().map(|cc| cc.metrics).collect(),
             dmcc_metrics: self.dmcc.metrics,
@@ -595,7 +807,12 @@ impl Cluster {
                 .chain(std::iter::once(&self.dmcc))
                 .filter_map(|cc| cc.core.trap())
                 .collect(),
+            post_mortem: None,
+        };
+        if !summary.traps.is_empty() {
+            summary.post_mortem = Some(self.post_mortem(0));
         }
+        summary
     }
 }
 

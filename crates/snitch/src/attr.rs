@@ -9,7 +9,8 @@
 //! construction.
 
 use issr_core::streamer::StreamerProbe;
-use issr_trace::{CycleBreakdown, StallCause, StatMerge};
+use issr_trace::waitgraph::UnitClass;
+use issr_trace::{CriticalPath, CycleBreakdown, StallCause, StatMerge, WaitGraph};
 
 /// ROI stall-cause breakdowns for one core complex.
 #[derive(Clone, Debug, Default)]
@@ -37,6 +38,46 @@ impl CcAttribution {
     #[must_use]
     pub fn roi_cycles(&self) -> u64 {
         self.hart.total()
+    }
+
+    /// The attribution folded into a wait graph: every blocked cycle of
+    /// every unit becomes exactly one edge cycle (see
+    /// [`issr_trace::waitgraph::edge_for`]). Derived, so it is
+    /// timing-neutral and thread-invariant for free, and its per-unit
+    /// edge sums equal the breakdowns' blocked cycles by construction.
+    #[must_use]
+    pub fn wait_graph(&self) -> WaitGraph {
+        let mut g = WaitGraph::new();
+        g.add_breakdown(UnitClass::Hart, &self.hart);
+        for lane in &self.lanes {
+            g.add_breakdown(UnitClass::Lane, lane);
+        }
+        g.add_breakdown(UnitClass::Joiner, &self.joiner);
+        g.add_breakdown(UnitClass::SpAcc, &self.spacc);
+        g
+    }
+
+    /// The lane the hart most plausibly waits on: the one with the most
+    /// non-idle cycles. `None` when every lane stayed idle.
+    #[must_use]
+    pub fn busiest_lane(&self) -> Option<&CycleBreakdown> {
+        let mut best: Option<(u64, &CycleBreakdown)> = None;
+        for lane in &self.lanes {
+            let busy = lane.total() - lane.get(StallCause::Idle);
+            // Strictly greater: ties keep the earlier lane.
+            if busy > 0 && best.is_none_or(|(b, _)| busy > b) {
+                best = Some((busy, lane));
+            }
+        }
+        best.map(|(_, l)| l)
+    }
+
+    /// The critical path ending at this CC's hart, with one level of
+    /// hart→lane descent into the busiest lane. Its partition sums
+    /// exactly to [`CcAttribution::roi_cycles`].
+    #[must_use]
+    pub fn critical_path(&self) -> CriticalPath {
+        issr_trace::critpath::extract(UnitClass::Hart, &self.hart, self.busiest_lane())
     }
 
     /// Labelled `(unit, breakdown)` rows for reporting, with `prefix`
@@ -111,6 +152,57 @@ mod tests {
         assert_eq!(a.lanes.len(), 2);
         assert_eq!(a.hart.total(), 2);
         assert_eq!(a.lanes[1].get(StallCause::FifoEmpty), 1);
+    }
+
+    #[test]
+    fn wait_graph_sums_blocked_cycles_across_units() {
+        use issr_trace::{is_blocked, EdgeClass};
+        let mut attr = CcAttribution::with_lanes(2);
+        attr.hart.record(StallCause::Active);
+        attr.hart.record(StallCause::FifoEmpty);
+        attr.lanes[0].record(StallCause::PortConflict);
+        attr.lanes[0].record(StallCause::Active);
+        attr.lanes[1].record(StallCause::Idle);
+        attr.joiner.record(StallCause::FifoEmpty);
+        attr.spacc.record(StallCause::DrainBusy);
+        let g = attr.wait_graph();
+        let blocked: u64 = [&attr.hart, &attr.lanes[0], &attr.lanes[1], &attr.joiner, &attr.spacc]
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|&(c, _)| is_blocked(c))
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(g.total(), blocked);
+        assert_eq!(g.get(EdgeClass::HartLane), 1);
+        assert_eq!(g.get(EdgeClass::LaneTcdm), 1);
+        assert_eq!(g.get(EdgeClass::JoinerLane), 1);
+        assert_eq!(g.get(EdgeClass::SpAccTcdm), 1);
+    }
+
+    #[test]
+    fn critical_path_descends_into_busiest_lane() {
+        use issr_trace::EdgeClass;
+        let mut attr = CcAttribution::with_lanes(2);
+        for _ in 0..4 {
+            attr.hart.record(StallCause::Active);
+        }
+        for _ in 0..6 {
+            attr.hart.record(StallCause::FifoEmpty);
+        }
+        // Lane 0 busy and TCDM-bound; lane 1 idle (must not dilute).
+        for _ in 0..5 {
+            attr.lanes[0].record(StallCause::FifoEmpty);
+            attr.lanes[0].record(StallCause::Active);
+            attr.lanes[1].record(StallCause::Idle);
+            attr.lanes[1].record(StallCause::Idle);
+        }
+        let p = attr.critical_path();
+        assert_eq!(p.length, attr.roi_cycles());
+        assert_eq!(p.compute + p.blocked(), p.length, "exact partition");
+        assert_eq!(p.get(EdgeClass::LaneTcdm), 3, "half the descended wait");
+        assert_eq!(p.compute, 4 + 3);
+        assert!(attr.busiest_lane().is_some());
+        assert!(CcAttribution::with_lanes(2).busiest_lane().is_none());
     }
 
     #[test]

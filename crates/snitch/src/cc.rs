@@ -18,7 +18,7 @@ use issr_mem::icache::{L0Buffer, L1ICache};
 use issr_mem::map::TCDM_BASE;
 use issr_mem::port::MemPort;
 use issr_mem::tcdm::{Tcdm, TcdmStats};
-use issr_trace::StallCause;
+use issr_trace::{CycleBreakdown, PostMortem, StallCause};
 
 /// One Snitch core complex.
 ///
@@ -41,6 +41,10 @@ pub struct CoreComplex {
     /// ROI stall-cause breakdowns (hart + stream units), sampled once
     /// per ROI cycle.
     pub attr: CcAttribution,
+    /// Whole-lifetime hart cause tally (not ROI-gated): every cycle the
+    /// CC exists is classified, so a timed-out run can name each stuck
+    /// hart's dominant stall cause even when its ROI never opened.
+    pub cause_tally: CycleBreakdown,
     program: Program,
     l0: Option<L0Buffer>,
     causes: CcCauses,
@@ -71,6 +75,7 @@ impl CoreComplex {
             shared: SharedPort::new(),
             metrics: Metrics::default(),
             attr: CcAttribution::with_lanes(n_lanes),
+            cause_tally: CycleBreakdown::new(),
             program,
             l0: None,
             causes: CcCauses::default(),
@@ -126,6 +131,7 @@ impl CoreComplex {
         let mut probe = std::mem::take(&mut self.causes.streamer);
         self.streamer.attr_probe_into(&mut probe);
         self.metrics.cycles += 1;
+        self.cause_tally.record(hart);
         if self.metrics.roi_active {
             self.metrics.roi.cycles += 1;
             self.attr.hart.record(hart);
@@ -204,6 +210,7 @@ impl CoreComplex {
         let mut probe = std::mem::take(&mut self.causes.streamer);
         self.streamer.attr_probe_into(&mut probe);
         self.metrics.cycles += 1;
+        self.cause_tally.record(hart);
         if self.metrics.roi_active {
             self.metrics.roi.cycles += 1;
             self.attr.hart.record(hart);
@@ -261,11 +268,21 @@ pub struct StuckHart {
     pub hart: u32,
     /// The hart's PC at the timeout.
     pub pc: u32,
+    /// The cause the hart spent most of its lifetime cycles in — a
+    /// spinning hart reads `active`, a wedged one names its stall.
+    pub cause: StallCause,
 }
 
 impl std::fmt::Display for StuckHart {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cluster {} hart {} pc={:#010x}", self.cluster, self.hart, self.pc)
+        write!(
+            f,
+            "cluster {} hart {} pc={:#010x} mostly {}",
+            self.cluster,
+            self.hart,
+            self.pc,
+            self.cause.label()
+        )
     }
 }
 
@@ -281,6 +298,10 @@ pub struct SimTimeout {
     /// a multi-cluster deadlock names all its participants, not just
     /// cluster 0's first worker.
     pub stuck: Vec<StuckHart>,
+    /// The flight recorder's post-mortem report, when the run harness
+    /// assembled one (cluster and system runs always do). Boxed so the
+    /// error stays small on the happy path.
+    pub post_mortem: Option<Box<PostMortem>>,
 }
 
 impl SimTimeout {
@@ -290,7 +311,14 @@ impl SimTimeout {
     #[must_use]
     pub fn new(max_cycles: u64, stuck: Vec<StuckHart>) -> Self {
         let pc = stuck.first().map_or(0, |s| s.pc);
-        Self { max_cycles, pc, stuck }
+        Self { max_cycles, pc, stuck, post_mortem: None }
+    }
+
+    /// Attaches the flight recorder's post-mortem report.
+    #[must_use]
+    pub fn with_post_mortem(mut self, pm: PostMortem) -> Self {
+        self.post_mortem = Some(Box::new(pm));
+        self
     }
 }
 
@@ -298,15 +326,24 @@ impl std::fmt::Display for SimTimeout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "simulation exceeded {} cycles", self.max_cycles)?;
         if self.stuck.is_empty() {
-            return write!(f, " (no hart stuck; an engine or queue never drained)");
+            write!(f, " (no hart stuck; an engine or queue never drained)")?;
+        } else {
+            write!(f, "; {} hart(s) not quiescent:", self.stuck.len())?;
+            const SHOWN: usize = 8;
+            for (i, hart) in self.stuck.iter().take(SHOWN).enumerate() {
+                write!(f, "{} {hart}", if i == 0 { "" } else { "," })?;
+            }
+            if self.stuck.len() > SHOWN {
+                write!(
+                    f,
+                    ", +{} more ({} stuck in total)",
+                    self.stuck.len() - SHOWN,
+                    self.stuck.len()
+                )?;
+            }
         }
-        write!(f, "; {} hart(s) not quiescent:", self.stuck.len())?;
-        const SHOWN: usize = 8;
-        for (i, hart) in self.stuck.iter().take(SHOWN).enumerate() {
-            write!(f, "{} {hart}", if i == 0 { "" } else { "," })?;
-        }
-        if self.stuck.len() > SHOWN {
-            write!(f, ", +{} more", self.stuck.len() - SHOWN)?;
+        if let Some(pm) = &self.post_mortem {
+            write!(f, "\n{pm}")?;
         }
         Ok(())
     }
@@ -471,7 +508,12 @@ impl SingleCcSim {
         }
         Err(SimTimeout::new(
             max_cycles,
-            vec![StuckHart { cluster: 0, hart: self.cc.core.hartid(), pc: self.cc.core.pc() }],
+            vec![StuckHart {
+                cluster: 0,
+                hart: self.cc.core.hartid(),
+                pc: self.cc.core.pc(),
+                cause: self.cc.cause_tally.dominant(),
+            }],
         ))
     }
 }

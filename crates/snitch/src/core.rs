@@ -105,6 +105,10 @@ pub struct SnitchCore {
     alu_wb: Vec<(u64, u8, u32)>,
     /// Set while a peripheral (barrier) load blocks all issue.
     blocked_on_periph: bool,
+    /// Address of the most recently issued load — the word a spin loop
+    /// is polling, which is what the post-mortem deadlock classifier
+    /// resolves against the declared sync words.
+    last_load_addr: Option<u32>,
     /// Latched decode/fetch trap (the core reads as halted once set).
     trap: Option<Trap>,
     /// Set while the core waits at the hardware barrier (CSR read).
@@ -128,6 +132,7 @@ impl SnitchCore {
             lsu_tags: VecDeque::new(),
             alu_wb: Vec::new(),
             blocked_on_periph: false,
+            last_load_addr: None,
             trap: None,
             barrier_waiting: false,
             barrier_clear: false,
@@ -167,6 +172,13 @@ impl SnitchCore {
     #[must_use]
     pub fn trap(&self) -> Option<Trap> {
         self.trap
+    }
+
+    /// Address of the most recently issued load, if any — a spinning
+    /// hart's poll target (forensic state for the post-mortem report).
+    #[must_use]
+    pub fn last_load_addr(&self) -> Option<u32> {
+        self.last_load_addr
     }
 
     /// Parks the core on `cause`: it stops issuing and reads as halted
@@ -366,6 +378,7 @@ impl SnitchCore {
                 }
                 let addr = self.read(rs1).wrapping_add(offset as u32);
                 let blocking = region_of(addr) == Region::Periph;
+                self.last_load_addr = Some(addr);
                 lsu.send(MemReq::read(addr));
                 self.lsu_tags.push_back(LsuTag { rd: rd.index(), width, byte: addr % 8, blocking });
                 if !rd.is_zero() {

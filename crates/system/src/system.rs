@@ -24,7 +24,8 @@ use issr_mem::main_mem::{MainMemStats, MainMemory};
 use issr_mem::map::{MAIN_BASE, MAIN_SIZE};
 use issr_snitch::cc::{SimTimeout, StuckHart};
 use issr_snitch::core::Trap;
-use issr_trace::{merge::merge_all, TraceRecorder};
+use issr_trace::blackbox::DEFAULT_BLACKBOX_CAP;
+use issr_trace::{merge::merge_all, PostMortem, StatMerge, TraceRecorder, WaitGraph};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -384,6 +385,52 @@ impl System {
         self.main.set_fetch_add_word(addr);
     }
 
+    /// Arms every cluster's post-mortem flight recorder with a ring of
+    /// `cap` recent transitions each ([`System::run`] does this
+    /// automatically with the default capacity). Timing-neutral.
+    pub fn enable_flight_recorders(&mut self, cap: usize) {
+        for (ci, cluster) in self.clusters.iter_mut().enumerate() {
+            cluster.enable_flight_recorder(cap, ci);
+        }
+    }
+
+    /// Arms every cluster's live wait-graph recorder (see
+    /// [`Cluster::enable_waitgraph`]). Timing-neutral and provably
+    /// redundant with the summary-derived graph — property-tested equal.
+    pub fn enable_waitgraphs(&mut self) {
+        for cluster in &mut self.clusters {
+            cluster.enable_waitgraph();
+        }
+    }
+
+    /// Declares `addr` a synchronization word owned by `owner_hart` of
+    /// cluster `cluster` — see [`Cluster::declare_sync_word`].
+    pub fn declare_sync_word(&mut self, cluster: usize, addr: u32, owner_hart: u32) {
+        self.clusters[cluster].declare_sync_word(addr, owner_hart);
+    }
+
+    /// The system-wide post-mortem: every cluster's report merged (stuck
+    /// units, wait graphs, recorder contents, blame cycles).
+    #[must_use]
+    pub fn post_mortem(&self) -> PostMortem {
+        PostMortem::merge(
+            self.clusters.iter().enumerate().map(|(ci, c)| c.post_mortem(ci)).collect(),
+        )
+    }
+
+    /// The system's wait graph so far: every cluster's live recorder
+    /// merged. Empty unless the clusters' live recorders are armed.
+    #[must_use]
+    pub fn live_wait_graph(&self) -> WaitGraph {
+        let mut g = WaitGraph::new();
+        for c in &self.clusters {
+            if let Some(cg) = c.live_wait_graph() {
+                g.merge_from(cg);
+            }
+        }
+        g
+    }
+
     /// Whether every cluster halted and drained.
     #[must_use]
     pub fn quiescent(&self) -> bool {
@@ -455,6 +502,14 @@ impl System {
     /// `max_cycles` (deadlock or bug); the error lists every hart that
     /// was not quiescent, with its cluster index and current PC.
     pub fn run(&mut self, max_cycles: u64) -> Result<SystemSummary, SimTimeout> {
+        // Arm default flight recorders so a timeout dump always carries
+        // recent history (recording is timing-neutral; see the cluster).
+        // Only unarmed clusters: re-arming would reset a caller's ring.
+        for (ci, cluster) in self.clusters.iter_mut().enumerate() {
+            if !cluster.flight_recorder_armed() {
+                cluster.enable_flight_recorder(DEFAULT_BLACKBOX_CAP, ci);
+            }
+        }
         let deadline = self.now + max_cycles;
         while self.now < deadline {
             self.tick();
@@ -471,9 +526,13 @@ impl System {
                 return Ok(self.summary());
             }
         }
+        if let Some(trace) = &mut self.trace {
+            trace.rec.mark(0, format!("sim timeout after {max_cycles} cycles"), self.now);
+        }
         let stuck: Vec<StuckHart> =
             self.clusters.iter().enumerate().flat_map(|(ci, c)| c.stuck_harts(ci)).collect();
-        Err(SimTimeout::new(max_cycles, stuck))
+        let pm = self.post_mortem();
+        Err(SimTimeout::new(max_cycles, stuck).with_post_mortem(pm))
     }
 
     /// Snapshot of the run statistics.

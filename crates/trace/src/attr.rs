@@ -116,6 +116,22 @@ impl CycleBreakdown {
         crate::ratio(self.get(StallCause::Active) as f64, self.total() as f64)
     }
 
+    /// The cause with the most attributed cycles, ties broken by
+    /// declaration order. An empty breakdown is `Idle` — the unit was
+    /// never observed doing anything else.
+    #[must_use]
+    pub fn dominant(&self) -> StallCause {
+        let mut best = StallCause::Idle;
+        let mut best_n = 0u64;
+        for (cause, n) in self.iter() {
+            if n > best_n {
+                best = cause;
+                best_n = n;
+            }
+        }
+        best
+    }
+
     /// `(cause, cycles)` pairs in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
         StallCause::ALL.iter().map(move |&c| (c, self.counts[c as usize]))
@@ -210,6 +226,19 @@ mod tests {
         assert_eq!(a.get(StallCause::Active), 2);
         assert_eq!(a.get(StallCause::BwDenied), 1);
         assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn dominant_picks_heaviest_with_idle_fallback() {
+        let mut b = CycleBreakdown::new();
+        assert_eq!(b.dominant(), StallCause::Idle);
+        b.record(StallCause::Active);
+        b.record(StallCause::BarrierWait);
+        b.record(StallCause::BarrierWait);
+        assert_eq!(b.dominant(), StallCause::BarrierWait);
+        b.record(StallCause::Active);
+        // Tie: declaration order wins (Active precedes BarrierWait).
+        assert_eq!(b.dominant(), StallCause::Active);
     }
 
     #[test]

@@ -64,6 +64,19 @@ struct Span {
     dur: u64,
 }
 
+/// One instant marker (trap, fault, timeout).
+#[derive(Clone, Debug)]
+struct Instant {
+    pid: u32,
+    name: String,
+    ts: u64,
+}
+
+/// Hard cap on instant markers: they mark exceptional moments (traps,
+/// faults, timeouts), so a run emitting more than this is pathological
+/// and further markers carry no information.
+const INSTANT_CAP: usize = 1024;
+
 /// Default span capacity: ~1.5 MB of spans, plenty for the smoke runs
 /// and a bounded tail for full-size ones.
 pub const DEFAULT_SPAN_CAP: usize = 65_536;
@@ -75,6 +88,7 @@ pub struct TraceRecorder {
     spans: std::collections::VecDeque<Span>,
     counters: Vec<Counter>,
     counter_samples: std::collections::VecDeque<CounterSample>,
+    instants: Vec<Instant>,
     cap: usize,
     dropped: u64,
 }
@@ -97,9 +111,34 @@ impl TraceRecorder {
             spans: std::collections::VecDeque::new(),
             counters: Vec::new(),
             counter_samples: std::collections::VecDeque::new(),
+            instants: Vec::new(),
             cap,
             dropped: 0,
         }
+    }
+
+    /// Records an instant marker (`"ph":"i"`) at cycle `now` under
+    /// process `pid` — used for trap, fault and timeout moments so
+    /// post-mortem windows align with the timeline. Duplicate
+    /// `(pid, name)` pairs are recorded once (the *first* occurrence is
+    /// the forensic one); markers past [`INSTANT_CAP`] are dropped and
+    /// counted.
+    pub fn mark(&mut self, pid: u32, name: impl Into<String>, now: u64) {
+        let name = name.into();
+        if self.instants.iter().any(|i| i.pid == pid && i.name == name) {
+            return;
+        }
+        if self.instants.len() < INSTANT_CAP {
+            self.instants.push(Instant { pid, name, ts: now });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Instant markers currently held.
+    #[must_use]
+    pub fn n_instants(&self) -> usize {
+        self.instants.len()
     }
 
     /// Registers a track under process `pid` (one pid per cluster).
@@ -237,6 +276,16 @@ impl TraceRecorder {
                 ("args", obj(vec![("value", Json::from(s.value))])),
             ]));
         }
+        for i in &self.instants {
+            events.push(obj(vec![
+                ("name", Json::from(i.name.as_str())),
+                ("ph", Json::from("i")),
+                ("ts", Json::from(i.ts)),
+                ("pid", Json::from(u64::from(i.pid))),
+                ("tid", Json::from(0u64)),
+                ("s", Json::from("p")),
+            ]));
+        }
         obj(vec![
             ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::from("ns")),
@@ -335,6 +384,27 @@ mod tests {
         }
         assert_eq!(rec.n_counter_samples(), 2);
         assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn instants_export_and_dedup() {
+        let mut rec = TraceRecorder::new(8);
+        rec.mark(0, "trap hart 3", 42);
+        rec.mark(0, "trap hart 3", 99); // duplicate: first occurrence wins
+        rec.mark(1, "trap hart 3", 50); // different pid: kept
+        rec.mark(0, "timeout", 100);
+        assert_eq!(rec.n_instants(), 3);
+        let doc = rec.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("events");
+        let instants: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("i")).collect();
+        assert_eq!(instants.len(), 3);
+        assert_eq!(instants[0].get("ts").and_then(Json::as_int), Some(42));
+        assert_eq!(instants[0].get("s").and_then(Json::as_str), Some("p"));
+        assert_eq!(rec.dropped(), 0);
+        // Instants do not create tracks or spans.
+        assert_eq!(rec.n_tracks(), 0);
+        assert_eq!(rec.n_spans(), 0);
     }
 
     #[test]

@@ -7,20 +7,31 @@
 //! core complex, cluster, system, benches — can report through the same
 //! vocabulary.
 //!
-//! Five facilities:
+//! Eight facilities:
 //!
 //! * [`attr`] — stall-cause cycle attribution. Each simulated unit
 //!   classifies every ROI cycle into one [`StallCause`] and accumulates
 //!   a [`CycleBreakdown`]; by construction the breakdown sums exactly
 //!   to the elapsed cycles it covers.
+//! * [`waitgraph`] — the causal layer over attribution: every blocked
+//!   cycle is simultaneously a *blocked-on* edge (hart→lane,
+//!   lane→TCDM bank, DMA→main memory, …), aggregated per edge class
+//!   into a [`WaitGraph`].
+//! * [`critpath`] — critical-path extraction: an exact partition of
+//!   the measured window into compute plus per-edge-class blame, with
+//!   what-if savings bounds ([`CriticalPath`]).
 //! * [`analyze`] — the interpretation layer: a roofline-style
 //!   bottleneck classifier turning counters into a bandwidth/compute/
 //!   latency/sync [`Verdict`], and a PC-region [`PhaseProfile`] for
 //!   per-phase stall breakdowns.
 //! * [`chrome`] — an opt-in, ring-buffered interval recorder
 //!   ([`TraceRecorder`]) exporting Chrome trace-event JSON (span and
-//!   counter tracks) that loads directly in Perfetto
-//!   (`ui.perfetto.dev`).
+//!   counter tracks, plus instant markers at trap/timeout moments)
+//!   that loads directly in Perfetto (`ui.perfetto.dev`).
+//! * [`blackbox`] — the flight recorder: a bounded ring of *recent*
+//!   per-unit state transitions (the tail, where [`chrome`] keeps the
+//!   head) and the [`PostMortem`] report the run harnesses dump on
+//!   timeout or a latched fault.
 //! * [`host`] — the opt-in host-side self-profiler: wall-clock per
 //!   unit class, the provably-idle tick census, simulated-cycles/sec.
 //! * [`json`] — a minimal JSON value/writer/parser ([`Json`]) for the
@@ -35,17 +46,23 @@
 
 pub mod analyze;
 pub mod attr;
+pub mod blackbox;
 pub mod chrome;
+pub mod critpath;
 pub mod host;
 pub mod json;
 pub mod merge;
+pub mod waitgraph;
 
 pub use analyze::{classify, Bound, PhaseProfile, RooflineInput, Verdict};
 pub use attr::{breakdown_table, CycleBreakdown, StallCause};
+pub use blackbox::{BlackBox, Classification, PostMortem, StuckUnit, Transition, UnitId};
 pub use chrome::{CounterId, TraceRecorder, TrackId};
+pub use critpath::{extract, CriticalPath};
 pub use host::HostProfiler;
 pub use json::Json;
 pub use merge::StatMerge;
+pub use waitgraph::{edge_for, is_blocked, EdgeClass, UnitClass, WaitGraph};
 
 /// Guarded division for speedups, rates and utilizations: returns
 /// `num / den`, or 0.0 when the denominator is zero (a run that
